@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Regenerates Fig. 11 (all panels) at Nt = 16:
+ *   (a) inference speedup ladder over the HiMA-baseline as the
+ *       architectural features stack, ending with DNC-D + skimming;
+ *   (b) kernel runtime breakdown of HiMA-DNC and HiMA-DNC-D;
+ *   (c) power ladder for the same feature steps;
+ *   (d) kernel power breakdown;
+ *   (e) silicon area and power table;
+ *   (f) module power breakdown.
+ */
+
+#include <iostream>
+
+#include "arch/engine.h"
+#include "common/table.h"
+
+namespace hima {
+namespace {
+
+struct LadderStep
+{
+    const char *name;
+    ArchConfig cfg;
+};
+
+std::vector<LadderStep>
+featureLadder()
+{
+    std::vector<LadderStep> ladder;
+    ArchConfig baseline = himaBaselineConfig(16);
+    ladder.push_back({"HiMA-baseline", baseline});
+
+    ArchConfig sorted = baseline;
+    sorted.twoStageSort = true;
+    ladder.push_back({"+ 2-stage sort", sorted});
+
+    ArchConfig noc = sorted;
+    noc.noc = NocKind::Hima;
+    noc.multiModeRouting = true;
+    ladder.push_back({"+ HiMA-NoC", noc});
+
+    ArchConfig submat = noc;
+    submat.linkPartition = optimizeLinkagePartition(1024, 16);
+    ladder.push_back({"+ Submat partition (= HiMA-DNC)", submat});
+
+    ArchConfig dncd = submat;
+    dncd.distributed = true;
+    ladder.push_back({"DNC-D Nt=16", dncd});
+
+    ArchConfig skim = dncd;
+    skim.dnc.skimRate = 0.2;
+    skim.dnc.approximateSoftmax = true;
+    ladder.push_back({"+ K=20% skim & softmax approx (= HiMA-DNC-D)",
+                      skim});
+    return ladder;
+}
+
+void
+panelA(const std::vector<LadderStep> &ladder)
+{
+    std::cout << "Fig. 11(a): inference speedup over HiMA-baseline\n";
+    Table table({"Configuration", "Cycles/step", "us/test", "Speedup",
+                 "Paper"});
+    const char *paper[] = {"1.00x", "1.12x", "1.23x", "1.39x", "8.29x",
+                           "8.42x"};
+    Real base = 0.0;
+    int i = 0;
+    for (const LadderStep &step : ladder) {
+        HimaEngine engine(step.cfg);
+        const Cycle cycles = engine.simulateStep().totalCycles;
+        HimaEngine engine2(step.cfg);
+        const Real us = engine2.testLatencyUs();
+        if (base == 0.0)
+            base = static_cast<Real>(cycles);
+        table.addRow({step.name, fmtCount(cycles), fmtReal(us, 2),
+                      fmtRatio(base / static_cast<Real>(cycles)),
+                      paper[i++]});
+    }
+    table.print(std::cout);
+}
+
+void
+panelB(const ArchConfig &dnc, const ArchConfig &dncd)
+{
+    std::cout << "\nFig. 11(b): kernel runtime breakdown\n";
+    HimaEngine ednc(dnc), edncd(dncd);
+    const StepTiming a = ednc.simulateStep();
+    const StepTiming b = edncd.simulateStep();
+
+    Table table({"Category", "HiMA-DNC", "share", "HiMA-DNC-D", "share",
+                 "Paper DNC", "Paper DNC-D"});
+    const char *paperDnc[] = {"20%", "21%", "24%", "33%", "2%"};
+    const char *paperDncd[] = {"21%", "28%", "19%", "20%", "12%"};
+    for (int c = 0; c < static_cast<int>(KernelCategory::NumCategories);
+         ++c) {
+        const auto cat = static_cast<KernelCategory>(c);
+        table.addRow(
+            {categoryName(cat), fmtCount(a.categoryCycles(cat)),
+             fmtPercent(static_cast<Real>(a.categoryCycles(cat)) /
+                        static_cast<Real>(a.totalCycles)),
+             fmtCount(b.categoryCycles(cat)),
+             fmtPercent(static_cast<Real>(b.categoryCycles(cat)) /
+                        static_cast<Real>(b.totalCycles)),
+             paperDnc[c], paperDncd[c]});
+    }
+    table.print(std::cout);
+    std::cout << "(paper: history-based write/read weighting dominate "
+                 "DNC; DNC-D cuts both by ~87-89%)\n";
+}
+
+void
+panelC(const std::vector<LadderStep> &ladder)
+{
+    std::cout << "\nFig. 11(c): normalized power vs HiMA-baseline\n";
+    Table table({"Configuration", "Power (W)", "Normalized", "Paper"});
+    const char *paper[] = {"1.000x", "1.091x", "1.130x", "0.991x",
+                           "0.612x", "0.603x"};
+    Real base = 0.0;
+    int i = 0;
+    for (const LadderStep &step : ladder) {
+        HimaEngine engine(step.cfg);
+        const Real watts = engine.power().totalW;
+        if (base == 0.0)
+            base = watts;
+        table.addRow({step.name, fmtReal(watts, 2),
+                      fmtRatio(watts / base, 3), paper[i++]});
+    }
+    table.print(std::cout);
+}
+
+void
+panelD(const ArchConfig &dnc, const ArchConfig &dncd)
+{
+    std::cout << "\nFig. 11(d): kernel power breakdown\n";
+    HimaEngine ednc(dnc), edncd(dncd);
+    const PowerReport a = ednc.power();
+    const PowerReport b = edncd.power();
+
+    Real aTotal = 0.0, bTotal = 0.0;
+    for (int c = 0; c < static_cast<int>(KernelCategory::NumCategories);
+         ++c) {
+        aTotal += a.categoryW[c];
+        bTotal += b.categoryW[c];
+    }
+
+    Table table({"Category", "DNC (W)", "share", "DNC-D (W)", "share",
+                 "Paper DNC", "Paper DNC-D"});
+    const char *paperDnc[] = {"31%", "19%", "18%", "22%", "10%"};
+    const char *paperDncd[] = {"27%", "25%", "6%", "25%", "16%"};
+    for (int c = 0; c < static_cast<int>(KernelCategory::NumCategories);
+         ++c) {
+        const auto cat = static_cast<KernelCategory>(c);
+        table.addRow({categoryName(cat), fmtReal(a.categoryW[c], 2),
+                      fmtPercent(a.categoryW[c] / aTotal),
+                      fmtReal(b.categoryW[c], 2),
+                      fmtPercent(b.categoryW[c] / bTotal), paperDnc[c],
+                      paperDncd[c]});
+    }
+    table.print(std::cout);
+}
+
+void
+panelE(const ArchConfig &baselineCfg, const ArchConfig &dnc,
+       const ArchConfig &dncd)
+{
+    std::cout << "\nFig. 11(e): silicon area and power (40 nm)\n";
+    Table table({"Metric", "HiMA-baseline", "HiMA-DNC", "HiMA-DNC-D",
+                 "Paper (base/DNC/DNC-D)"});
+    HimaEngine eb(baselineCfg), ed(dnc), edd(dncd);
+    const AreaReport ab = eb.area(), ad = ed.area(), add = edd.area();
+    table.addRow({"PT (mm^2)", fmtReal(ab.ptMm2, 2), fmtReal(ad.ptMm2, 2),
+                  fmtReal(add.ptMm2, 2), "4.92 / 5.01 / 4.22"});
+    table.addRow({"PT Mem (mm^2)", fmtReal(ab.ptMemMm2, 2),
+                  fmtReal(ad.ptMemMm2, 2), fmtReal(add.ptMemMm2, 2),
+                  "2.07 / 2.07 / 1.53"});
+    table.addRow({"CT (mm^2)", fmtReal(ab.ctMm2, 2), fmtReal(ad.ctMm2, 2),
+                  fmtReal(add.ctMm2, 2), "0.43 / 0.52 / 0.18"});
+    table.addRow({"Total (mm^2)", fmtReal(ab.totalMm2, 2),
+                  fmtReal(ad.totalMm2, 2), fmtReal(add.totalMm2, 2),
+                  "79.14 / 80.69 / 67.71"});
+    table.addRow({"Power (W)", fmtReal(eb.power().totalW, 2),
+                  fmtReal(ed.power().totalW, 2),
+                  fmtReal(edd.power().totalW, 2),
+                  "16.80 / 16.96 / 10.28"});
+    table.print(std::cout);
+}
+
+void
+panelF(const ArchConfig &dnc, const ArchConfig &dncd)
+{
+    std::cout << "\nFig. 11(f): module power breakdown\n";
+    HimaEngine ednc(dnc), edncd(dncd);
+    const ModuleEnergy a = ednc.power().modulePower;
+    const ModuleEnergy b = edncd.power().modulePower;
+
+    Table table({"Module", "DNC (W)", "share", "DNC-D (W)", "share",
+                 "Paper DNC", "Paper DNC-D"});
+    struct Row
+    {
+        const char *name;
+        Real da, db;
+        const char *pa, *pb;
+    };
+    const Row rows[] = {
+        {"PT Mem. System", a.ptMemJ, b.ptMemJ, "28.7%", "30.6%"},
+        {"PT M-M Engine", a.ptEngineJ, b.ptEngineJ, "47.8%", "52.4%"},
+        {"PT Router", a.ptRouterJ, b.ptRouterJ, "9.0%", "0.24%"},
+        {"PT Other Logic", a.ptOtherJ, b.ptOtherJ, "13.6%", "16.4%"},
+        {"CT Logic", a.ctJ, b.ctJ, "0.9%", "0.35%"},
+    };
+    for (const Row &r : rows) {
+        table.addRow({r.name, fmtReal(r.da, 2),
+                      fmtPercent(r.da / a.total()), fmtReal(r.db, 2),
+                      fmtPercent(r.db / b.total()), r.pa, r.pb});
+    }
+    table.print(std::cout);
+    const Real routerCut = 1.0 - b.ptRouterJ / a.ptRouterJ;
+    std::cout << "DNC-D router power cut: " << fmtPercent(routerCut)
+              << " (paper: 98.4%)\n";
+}
+
+void
+run()
+{
+    std::cout << "Fig. 11: HiMA speed, area and power at Nt = 16\n\n";
+    const auto ladder = featureLadder();
+    const ArchConfig &baselineCfg = ladder[0].cfg;
+    const ArchConfig &dnc = ladder[3].cfg;  // HiMA-DNC
+    const ArchConfig &dncd = ladder[5].cfg; // HiMA-DNC-D (skim+approx)
+
+    panelA(ladder);
+    panelB(dnc, dncd);
+    panelC(ladder);
+    panelD(dnc, dncd);
+    panelE(baselineCfg, dnc, dncd);
+    panelF(dnc, dncd);
+}
+
+} // namespace
+} // namespace hima
+
+int
+main()
+{
+    hima::run();
+    return 0;
+}

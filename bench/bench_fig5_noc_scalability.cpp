@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Regenerates Fig. 5(d): normalized DNC speedup versus processing-tile
+ * count for H-tree, binary tree, mesh, star and HiMA NoCs, plus HiMA
+ * running DNC-D and the ideal (linear) line.
+ *
+ * Method: the HiMA engine simulates one DNC step at each (NoC, Nt)
+ * point; speedup is the single-tile latency divided by the Nt-tile
+ * latency. The fixed NoCs saturate once inter-tile traffic dominates
+ * (the H-tree root serializes), HiMA's diagonals hold on longer, and
+ * DNC-D tracks close to ideal because it eliminates inter-PT traffic —
+ * the qualitative ordering of the paper's figure.
+ */
+
+#include <iostream>
+
+#include "arch/engine.h"
+#include "common/table.h"
+
+namespace hima {
+namespace {
+
+Cycle
+stepCycles(NocKind noc, Index tiles, bool distributed)
+{
+    ArchConfig cfg = himaDncConfig(tiles);
+    cfg.noc = noc;
+    cfg.multiModeRouting = (noc == NocKind::Hima);
+    cfg.distributed = distributed;
+    cfg.finalize();
+    HimaEngine engine(cfg);
+    return engine.simulateStep().totalCycles;
+}
+
+void
+run()
+{
+    std::cout << "Fig. 5(d): speedup scalability by NoC topology "
+                 "(normalized to Nt = 1)\n";
+
+    const Index tileCounts[] = {1, 2, 4, 8, 16, 32, 64};
+    struct Series
+    {
+        const char *name;
+        NocKind noc;
+        bool dncd;
+    };
+    const Series series[] = {
+        {"H-Tree, DNC", NocKind::HTree, false},
+        {"Bi-Tree, DNC", NocKind::BinaryTree, false},
+        {"Mesh, DNC", NocKind::Mesh, false},
+        {"Star, DNC", NocKind::Star, false},
+        {"HiMA, DNC", NocKind::Hima, false},
+        {"HiMA, DNC-D", NocKind::Hima, true},
+    };
+
+    std::vector<std::string> headers = {"PT count"};
+    for (const Series &s : series)
+        headers.push_back(s.name);
+    headers.push_back("Ideal");
+    Table table(headers);
+
+    // Common normalization baseline: one tile, no meaningful NoC.
+    const Cycle base = stepCycles(NocKind::Hima, 1, false);
+
+    for (Index nt : tileCounts) {
+        std::vector<std::string> row = {std::to_string(nt)};
+        for (const Series &s : series) {
+            const Cycle cycles = stepCycles(s.noc, nt, s.dncd);
+            row.push_back(fmtRatio(static_cast<Real>(base) /
+                                   static_cast<Real>(cycles)));
+        }
+        row.push_back(fmtRatio(static_cast<Real>(nt), 1));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    // The paper's headline observations, checked numerically.
+    const Real htree64 = static_cast<Real>(base) /
+                         static_cast<Real>(stepCycles(NocKind::HTree, 64,
+                                                      false));
+    const Real hima64 = static_cast<Real>(base) /
+                        static_cast<Real>(stepCycles(NocKind::Hima, 64,
+                                                     false));
+    const Real dncd64 = static_cast<Real>(base) /
+                        static_cast<Real>(stepCycles(NocKind::Hima, 64,
+                                                     true));
+    std::cout << "\nAt Nt = 64: H-tree " << fmtRatio(htree64) << ", HiMA "
+              << fmtRatio(hima64) << ", HiMA DNC-D " << fmtRatio(dncd64)
+              << " (paper: fixed NoCs saturate beyond ~8 tiles; HiMA "
+                 "scales further; DNC-D is near-ideal)\n";
+}
+
+} // namespace
+} // namespace hima
+
+int
+main()
+{
+    hima::run();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Accelerator-simulation scenario: configure HiMA prototypes, simulate a
+ * DNC timestep on each and print the latency / area / power report — the
+ * workflow an architect would use to size a deployment.
+ *
+ *     ./example_accelerator_sim
+ */
+
+#include <iostream>
+
+#include "hima/hima.h"
+
+int
+main()
+{
+    using namespace hima;
+
+    std::cout << "HiMA accelerator sizing sweep (N x W = 1024 x 64, "
+                 "R = 4)\n\n";
+
+    Table table({"Prototype", "Nt", "NoC", "Cycles/step", "us/test",
+                 "Area (mm^2)", "Power (W)"});
+
+    for (Index nt : {4, 16, 64}) {
+        for (bool distributed : {false, true}) {
+            ArchConfig cfg =
+                distributed ? himaDncDConfig(nt) : himaDncConfig(nt);
+            HimaEngine engine(cfg);
+            const StepTiming step = engine.simulateStep();
+            HimaEngine engine2(cfg);
+            table.addRow({distributed ? "HiMA-DNC-D" : "HiMA-DNC",
+                          std::to_string(nt), nocKindName(cfg.noc),
+                          fmtCount(step.totalCycles),
+                          fmtReal(engine2.testLatencyUs(), 2),
+                          fmtReal(engine.area().totalMm2, 1),
+                          fmtReal(engine.power().totalW, 2)});
+        }
+    }
+    table.print(std::cout);
+
+    // Drill into one configuration's kernel timeline.
+    std::cout << "\nKernel timeline, HiMA-DNC at Nt = 16:\n";
+    HimaEngine engine(himaDncConfig(16));
+    const StepTiming step = engine.simulateStep();
+    Table timeline({"Kernel", "Compute cyc", "NoC cyc", "Energy (uJ)"});
+    for (const StageTiming &stage : step.stages) {
+        timeline.addRow({kernelName(stage.kernel),
+                         fmtCount(stage.computeCycles),
+                         fmtCount(stage.nocCycles),
+                         fmtReal(stage.energyJ * 1e6, 3)});
+    }
+    timeline.print(std::cout);
+    std::cout << "Step total: " << fmtCount(step.totalCycles)
+              << " cycles\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * NoC exploration scenario: drive the cycle-level network simulator
+ * directly with the DNC's traffic patterns over every topology, the way
+ * Sec. 4.1 motivates the multi-mode HiMA-NoC.
+ *
+ *     ./example_noc_explorer
+ */
+
+#include <iostream>
+
+#include "hima/hima.h"
+
+int
+main()
+{
+    using namespace hima;
+
+    const Index tiles = 16;
+    const std::uint64_t flits = 16;
+
+    std::cout << "NoC exploration: makespan (cycles) of DNC traffic "
+                 "patterns on " << tiles << " tiles, " << flits
+              << " flits per message\n\n";
+
+    const NocKind kinds[] = {NocKind::HTree, NocKind::BinaryTree,
+                             NocKind::Mesh, NocKind::Star, NocKind::Ring,
+                             NocKind::Hima};
+
+    Table table({"Topology", "Worst hops", "Broadcast", "Gather",
+                 "Gather+Bcast", "Ring acc", "All-to-all", "Transpose"});
+    for (NocKind kind : kinds) {
+        const Topology topo = Topology::build(kind, tiles);
+        Network net(topo);
+        auto mk = [&](const std::vector<Message> &batch) {
+            return fmtCount(net.run(batch, NocMode::Full).makespan);
+        };
+        table.addRow({nocKindName(kind),
+                      std::to_string(topo.worstCaseHops(NocMode::Full)),
+                      mk(broadcast(topo, flits, 1)),
+                      mk(gather(topo, flits)),
+                      mk(gatherBroadcast(topo, flits, flits, 2, 3)),
+                      mk(ringAccumulate(topo, flits)),
+                      mk(allToAll(topo, flits)),
+                      mk(transposePairs(topo, flits))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nHiMA-NoC router modes (Fig. 5(c)) on the 5x5 grid:\n";
+    const Topology hima = Topology::build(NocKind::Hima, 24);
+    Table modes({"Mode", "Use", "Worst-case hops"});
+    modes.addRow({"star", "CT broadcast/collect, sorting",
+                  std::to_string(hima.worstCaseHops(NocMode::Star))});
+    modes.addRow({"ring", "accumulation, vec inner product",
+                  std::to_string(hima.worstCaseHops(NocMode::RingMode))});
+    modes.addRow({"full", "mat-vec mult, vec outer product",
+                  std::to_string(hima.worstCaseHops(NocMode::Full))});
+    modes.print(std::cout);
+    std::cout << "(diagonal mode carries only NE/SW transpose streams; "
+              << "full-mode worst case is 4 hops on 5x5 as in the "
+                 "paper)\n";
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Q-format signed fixed-point arithmetic mirroring HiMA's 32-bit datapath.
+ *
+ * The paper synthesizes all designs at 32-bit precision "for a fair
+ * comparison with state-of-the-art MANN accelerators" (Sec. 7). This type
+ * lets the functional model and the tests quantify what a fixed-width
+ * datapath does to the DNC weightings. Arithmetic saturates instead of
+ * wrapping, the way a hardware datapath with clamping output stages would.
+ */
+
+#ifndef HIMA_APPROX_FIXED_POINT_H
+#define HIMA_APPROX_FIXED_POINT_H
+
+#include <cstdint>
+#include <limits>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/**
+ * Signed fixed-point value with `IntBits` integer bits (including sign)
+ * and `FracBits` fractional bits, stored in 64-bit two's complement.
+ * The default Q16.16 matches a 32-bit hardware word.
+ */
+template <int IntBits = 16, int FracBits = 16>
+class Fixed
+{
+    static_assert(IntBits >= 2, "need a sign bit and at least one int bit");
+    static_assert(FracBits >= 1, "need at least one fractional bit");
+    static_assert(IntBits + FracBits <= 62, "raw value must fit in int64");
+
+  public:
+    static constexpr int intBits = IntBits;
+    static constexpr int fracBits = FracBits;
+    static constexpr std::int64_t one = std::int64_t{1} << FracBits;
+    static constexpr std::int64_t rawMax =
+        (std::int64_t{1} << (IntBits + FracBits - 1)) - 1;
+    static constexpr std::int64_t rawMin = -rawMax - 1;
+
+    constexpr Fixed() = default;
+
+    /** Quantize a real value (round to nearest, saturate). */
+    static Fixed
+    fromReal(Real v)
+    {
+        const Real scaled = v * static_cast<Real>(one);
+        if (scaled >= static_cast<Real>(rawMax))
+            return fromRaw(rawMax);
+        if (scaled <= static_cast<Real>(rawMin))
+            return fromRaw(rawMin);
+        return fromRaw(static_cast<std::int64_t>(
+            scaled >= 0 ? scaled + 0.5 : scaled - 0.5));
+    }
+
+    /** Wrap an already-scaled raw integer. */
+    static constexpr Fixed
+    fromRaw(std::int64_t raw)
+    {
+        Fixed f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    std::int64_t raw() const { return raw_; }
+
+    Real toReal() const
+    {
+        return static_cast<Real>(raw_) / static_cast<Real>(one);
+    }
+
+    /** Smallest representable increment. */
+    static Real resolution() { return 1.0 / static_cast<Real>(one); }
+
+    Fixed
+    operator+(Fixed other) const
+    {
+        return fromRaw(saturate(raw_ + other.raw_));
+    }
+
+    Fixed
+    operator-(Fixed other) const
+    {
+        return fromRaw(saturate(raw_ - other.raw_));
+    }
+
+    Fixed
+    operator*(Fixed other) const
+    {
+        // Multiply in 128-bit then shift back, rounding toward zero the
+        // way a truncating hardware multiplier does.
+        const __int128 wide =
+            static_cast<__int128>(raw_) * static_cast<__int128>(other.raw_);
+        const __int128 shifted = wide >> FracBits;
+        if (shifted > rawMax)
+            return fromRaw(rawMax);
+        if (shifted < rawMin)
+            return fromRaw(rawMin);
+        return fromRaw(static_cast<std::int64_t>(shifted));
+    }
+
+    Fixed
+    operator/(Fixed other) const
+    {
+        HIMA_ASSERT(other.raw_ != 0, "fixed-point divide by zero");
+        const __int128 wide = (static_cast<__int128>(raw_) << FracBits) /
+                              static_cast<__int128>(other.raw_);
+        if (wide > rawMax)
+            return fromRaw(rawMax);
+        if (wide < rawMin)
+            return fromRaw(rawMin);
+        return fromRaw(static_cast<std::int64_t>(wide));
+    }
+
+    Fixed operator-() const { return fromRaw(saturate(-raw_)); }
+
+    auto operator<=>(const Fixed &) const = default;
+
+  private:
+    static std::int64_t
+    saturate(std::int64_t raw)
+    {
+        if (raw > rawMax)
+            return rawMax;
+        if (raw < rawMin)
+            return rawMin;
+        return raw;
+    }
+
+    std::int64_t raw_ = 0;
+};
+
+/** The library-wide hardware word: Q16.16 in a 32-bit datapath. */
+using Fix32 = Fixed<16, 16>;
+
+/** Quantize a vector through the fixed-point word and back. */
+inline Vector
+quantize(const Vector &v)
+{
+    Vector out(v.size());
+    for (Index i = 0; i < v.size(); ++i)
+        out[i] = Fix32::fromReal(v[i]).toReal();
+    return out;
+}
+
+/** Quantize a matrix through the fixed-point word and back. */
+inline Matrix
+quantize(const Matrix &m)
+{
+    Matrix out(m.rows(), m.cols());
+    for (Index i = 0; i < m.size(); ++i)
+        out.data()[i] = Fix32::fromReal(m.data()[i]).toReal();
+    return out;
+}
+
+} // namespace hima
+
+#endif // HIMA_APPROX_FIXED_POINT_H

@@ -1,0 +1,111 @@
+#include "approx/softmax_approx.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace hima {
+
+PlaExp::PlaExp(int segments, Real domainLo) : domainLo_(domainLo)
+{
+    HIMA_ASSERT(segments >= 2, "need at least two PLA segments");
+    HIMA_ASSERT(domainLo < 0.0, "PLA domain must cover negative inputs");
+
+    // Geometric segment spacing: exp() changes fastest near zero, so the
+    // segment edges crowd toward the right end of the domain. Each segment
+    // stores the secant line through its endpoints, which keeps the
+    // approximation exact at every knot.
+    segments_.reserve(segments);
+    std::vector<Real> knots(segments + 1);
+    for (int i = 0; i <= segments; ++i) {
+        const Real t = static_cast<Real>(i) / segments;
+        // Quadratic warp keeps ~half the knots in the rightmost quarter
+        // of the domain where curvature is highest.
+        knots[i] = domainLo * (1.0 - t) * (1.0 - t);
+    }
+
+    for (int i = 0; i < segments; ++i) {
+        const Real lo = knots[i];
+        const Real hi = knots[i + 1];
+        const Real flo = std::exp(lo);
+        const Real fhi = std::exp(hi);
+        PlaSegment seg;
+        seg.lo = lo;
+        seg.hi = hi;
+        seg.slope = (fhi - flo) / (hi - lo);
+        seg.intercept = flo - seg.slope * lo;
+        segments_.push_back(seg);
+    }
+}
+
+Real
+PlaExp::eval(Real x) const
+{
+    if (x <= domainLo_)
+        return 0.0; // hardware flush-to-zero below the domain
+    if (x >= 0.0)
+        return 1.0; // softmax inputs are max-shifted, so x <= 0 always
+    // Binary search for the owning segment; the hardware equivalent is a
+    // LUT index derived from the exponent/high bits of x.
+    Index lo = 0, hi = segments_.size();
+    while (lo + 1 < hi) {
+        const Index mid = (lo + hi) / 2;
+        if (x >= segments_[mid].lo)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const PlaSegment &seg = segments_[lo];
+    return seg.slope * x + seg.intercept; // 1 multiply + 1 add
+}
+
+Real
+PlaExp::maxAbsError(int samples) const
+{
+    Real worst = 0.0;
+    for (int i = 0; i <= samples; ++i) {
+        const Real x = domainLo_ * (1.0 - static_cast<Real>(i) / samples);
+        worst = std::max(worst, std::fabs(eval(x) - std::exp(x)));
+    }
+    return worst;
+}
+
+SoftmaxApprox::SoftmaxApprox(int segments, Real domainLo)
+    : exp_(segments, domainLo)
+{}
+
+Vector
+SoftmaxApprox::eval(const Vector &x) const
+{
+    HIMA_ASSERT(!x.empty(), "softmax of empty vector");
+    const Real m = x.max();
+    Vector out(x.size());
+    Real denom = 0.0;
+    for (Index i = 0; i < x.size(); ++i) {
+        out[i] = exp_.eval(x[i] - m);
+        denom += out[i];
+    }
+    HIMA_ASSERT(denom > 0.0, "approximate softmax denominator vanished");
+    for (Index i = 0; i < x.size(); ++i)
+        out[i] /= denom;
+    return out;
+}
+
+Vector
+SoftmaxApprox::eval(const Vector &x, Real beta) const
+{
+    return eval(scale(x, beta));
+}
+
+Real
+SoftmaxApprox::l1Error(const Vector &x) const
+{
+    const Vector approx = eval(x);
+    const Vector exact = softmax(x);
+    Real err = 0.0;
+    for (Index i = 0; i < x.size(); ++i)
+        err += std::fabs(approx[i] - exact[i]);
+    return err;
+}
+
+} // namespace hima

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Hardware softmax approximation (Sec. 5.2).
+ *
+ * The paper combines piece-wise linear approximation (PLA) with a look-up
+ * table: the input range of the exponential is split into a small number of
+ * segments; a LUT stores one affine function (slope, intercept) per segment
+ * so each exp() evaluation costs one multiply and one add. This module
+ * implements that scheme and exposes the LUT so tests can check the segment
+ * construction and error bound.
+ */
+
+#ifndef HIMA_APPROX_SOFTMAX_APPROX_H
+#define HIMA_APPROX_SOFTMAX_APPROX_H
+
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** One PLA segment: exp(x) ~= slope * x + intercept on [lo, hi). */
+struct PlaSegment
+{
+    Real lo;
+    Real hi;
+    Real slope;
+    Real intercept;
+};
+
+/**
+ * PLA+LUT approximation of e^x on a bounded negative domain.
+ *
+ * Softmax inputs are first shifted by the running max, so the exponential
+ * only ever sees x <= 0; inputs below `domainLo` underflow to zero exactly
+ * as a hardware unit would flush them.
+ */
+class PlaExp
+{
+  public:
+    /**
+     * Build the LUT.
+     *
+     * @param segments  number of affine pieces (paper: "a small number")
+     * @param domainLo  left edge of the approximated domain (x in
+     *                  [domainLo, 0]); anything below evaluates to 0
+     */
+    explicit PlaExp(int segments = 8, Real domainLo = -16.0);
+
+    /** Approximate e^x with one multiply and one add. */
+    Real eval(Real x) const;
+
+    /** Worst-case absolute error of eval() over the domain (sampled). */
+    Real maxAbsError(int samples = 4096) const;
+
+    const std::vector<PlaSegment> &segments() const { return segments_; }
+    Real domainLo() const { return domainLo_; }
+
+  private:
+    std::vector<PlaSegment> segments_;
+    Real domainLo_;
+};
+
+/**
+ * Approximate softmax built on PlaExp: shift by max, PLA-exp each element,
+ * normalize by the accumulated sum.
+ */
+class SoftmaxApprox
+{
+  public:
+    explicit SoftmaxApprox(int segments = 8, Real domainLo = -16.0);
+
+    /** Approximate softmax of x. */
+    Vector eval(const Vector &x) const;
+
+    /** Approximate softmax of beta * x. */
+    Vector eval(const Vector &x, Real beta) const;
+
+    /** L1 distance between approximate and exact softmax for x. */
+    Real l1Error(const Vector &x) const;
+
+    const PlaExp &exp() const { return exp_; }
+
+  private:
+    PlaExp exp_;
+};
+
+} // namespace hima
+
+#endif // HIMA_APPROX_SOFTMAX_APPROX_H

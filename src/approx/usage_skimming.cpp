@@ -1,0 +1,59 @@
+#include "approx/usage_skimming.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hima {
+
+SkimmedUsage
+skimUsage(const Vector &usage, Index k)
+{
+    const Index n = usage.size();
+    HIMA_ASSERT(k < n, "cannot skim %zu of %zu usage entries", k, n);
+
+    SkimmedUsage out;
+    out.skimmed = k;
+    if (k == 0) {
+        out.values = usage;
+        out.indices.resize(n);
+        std::iota(out.indices.begin(), out.indices.end(), Index{0});
+        return out;
+    }
+
+    // Rank indices by (value, index) so threshold ties break toward the
+    // lower original index deterministically.
+    std::vector<Index> order(n);
+    std::iota(order.begin(), order.end(), Index{0});
+    std::nth_element(order.begin(), order.begin() + k, order.end(),
+                     [&](Index a, Index b) {
+                         if (usage[a] != usage[b])
+                             return usage[a] < usage[b];
+                         return a < b;
+                     });
+
+    std::vector<bool> dropped(n, false);
+    for (Index i = 0; i < k; ++i)
+        dropped[order[i]] = true;
+
+    out.values = Vector(n - k);
+    out.indices.reserve(n - k);
+    Index w = 0;
+    for (Index i = 0; i < n; ++i) {
+        if (dropped[i])
+            continue;
+        out.values[w++] = usage[i];
+        out.indices.push_back(i);
+    }
+    return out;
+}
+
+SkimmedUsage
+skimUsageRate(const Vector &usage, Real rate)
+{
+    HIMA_ASSERT(rate >= 0.0 && rate < 1.0, "skim rate %f out of [0,1)",
+                rate);
+    const Index k = static_cast<Index>(rate * static_cast<Real>(usage.size()));
+    return skimUsage(usage, k);
+}
+
+} // namespace hima

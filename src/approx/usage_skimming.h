@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Usage skimming (Sec. 5.2): drop the K smallest usage entries before the
+ * usage sort and allocation-weighting steps. The skimmed entries contribute
+ * (nearly) nothing to the allocation product chain, so discarding them cuts
+ * the sort length and the accumulate-product length proportionally.
+ */
+
+#ifndef HIMA_APPROX_USAGE_SKIMMING_H
+#define HIMA_APPROX_USAGE_SKIMMING_H
+
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** Result of skimming: the surviving entries and their original indices. */
+struct SkimmedUsage
+{
+    /** Usage values that survived, in original order. */
+    Vector values;
+    /** Original index of each surviving value. */
+    std::vector<Index> indices;
+    /** How many entries were discarded. */
+    Index skimmed;
+};
+
+/**
+ * Discard the `k` smallest usage entries.
+ *
+ * Selection uses an nth-element partition (the hardware analogue is a
+ * threshold comparator fed by a running min-heap); ties at the threshold
+ * keep the lower original index first so results are deterministic.
+ *
+ * @param usage  the length-N usage vector, entries in [0, 1]
+ * @param k      number of entries to discard; k < usage.size()
+ */
+SkimmedUsage skimUsage(const Vector &usage, Index k);
+
+/**
+ * Convenience overload taking a skim *rate* in [0, 1): k = rate * N,
+ * matching the paper's "K = 20%" notation.
+ */
+SkimmedUsage skimUsageRate(const Vector &usage, Real rate);
+
+} // namespace hima
+
+#endif // HIMA_APPROX_USAGE_SKIMMING_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Configuration of one HiMA machine instance: DNC shapes, tile count,
+ * NoC choice, partitions, and the architectural/algorithmic feature
+ * toggles that Fig. 11(a)/(c) ablate one by one.
+ */
+
+#ifndef HIMA_ARCH_ARCH_CONFIG_H
+#define HIMA_ARCH_ARCH_CONFIG_H
+
+#include "arch/partition.h"
+#include "dnc/dnc_config.h"
+#include "noc/topology.h"
+
+namespace hima {
+
+/** Full architecture description of a HiMA prototype. */
+struct ArchConfig
+{
+    /** Model shapes (memoryRows is the global N). */
+    DncConfig dnc;
+
+    /** Processing tile count Nt. */
+    Index tiles = 16;
+
+    /** NoC topology (HiMA-baseline uses HTree; optimized uses Hima). */
+    NocKind noc = NocKind::Hima;
+
+    /**
+     * Multi-mode routers (Sec. 4.1). Routing always takes the shortest
+     * enabled path; when set, idle router ports are mode-gated, which the
+     * power model credits (Fig. 11(c)'s HiMA-NoC step).
+     */
+    bool multiModeRouting = true;
+
+    /** External memory partition (Sec. 4.2.1; row-wise is optimal). */
+    Partition extPartition = Partition::rowWise(16);
+
+    /** Linkage memory partition (Sec. 4.2.2; submatrix is optimal). */
+    Partition linkPartition = {4, 4};
+
+    /** Two-stage usage sort (Sec. 4.3) vs centralized merge sort. */
+    bool twoStageSort = true;
+
+    /** Run the DNC-D distributed model (Sec. 5.1). */
+    bool distributed = false;
+
+    // --- tile microarchitecture -------------------------------------
+    /** M-M engine MAC (and element-op) throughput per PT per cycle. */
+    Index peMacsPerCycle = 256;
+    /** Special-function (exp/div/sqrt) throughput per PT per cycle. */
+    Index sfuOpsPerCycle = 2;
+    /** External-memory bank bandwidth per PT (words per cycle). */
+    Index extMemWordsPerCycle = 128;
+    /** Small state-memory bandwidth per PT (words per cycle). */
+    Index stateMemWordsPerCycle = 128;
+    /** Linkage bank bandwidth per PT (wide on-tile SRAM macro). */
+    Index linkMemWordsPerCycle = 256;
+    /**
+     * Controller-tile MAC throughput. The CT hosts "an LSTM
+     * implementation employed by [MANNA]" — a wide systolic engine; a
+     * 64 x 64 MAC array keeps the NN under ~5% of the step latency as
+     * in Fig. 11(b).
+     */
+    Index ctMacsPerCycle = 4096;
+    /** NoC link width in 32-bit words per flit (256-bit links). */
+    Index linkWords = 8;
+    /** Router crossbar transit capacity in flits per cycle. */
+    Index routerCapacity = 4;
+    /** Clock frequency (the paper synthesizes at 500 MHz). */
+    Real clockGhz = 0.5;
+    /** DNC timesteps folded into one bAbI-style "test". */
+    Index stepsPerTest = 1;
+
+    /** Derive the default partitions and validate divisibility. */
+    void
+    finalize()
+    {
+        dnc.validate();
+        if (extPartition.tiles() != tiles)
+            extPartition = Partition::rowWise(tiles);
+        if (linkPartition.tiles() != tiles)
+            linkPartition = optimizeLinkagePartition(dnc.memoryRows, tiles);
+        if (dnc.memoryRows % tiles != 0)
+            HIMA_FATAL("N=%zu not divisible by Nt=%zu", dnc.memoryRows,
+                       tiles);
+    }
+
+    /** Rows of external memory per tile. */
+    Index rowsPerTile() const { return dnc.memoryRows / tiles; }
+};
+
+/** Named prototype presets used throughout the benches. */
+ArchConfig himaBaselineConfig(Index tiles = 16);  ///< H-tree, no features
+ArchConfig himaDncConfig(Index tiles = 16);       ///< all arch features
+ArchConfig himaDncDConfig(Index tiles = 16);      ///< + DNC-D model
+
+} // namespace hima
+
+#endif // HIMA_ARCH_ARCH_CONFIG_H

@@ -1,0 +1,131 @@
+#include "arch/area_power.h"
+
+namespace hima {
+
+namespace {
+
+/** Area of one SRAM macro of the given capacity. */
+Real
+macroMm2(const TechParams &tech, Real kb)
+{
+    return tech.sramPeripheryMm2 + tech.sramSlopeMm2PerKb * kb;
+}
+
+} // namespace
+
+TileMemoryFootprint
+tileMemoryFootprint(const ArchConfig &config)
+{
+    const Real wordBytes = 4.0; // 32-bit datapath
+    const Index n = config.dnc.memoryRows;
+    const Index w = config.dnc.memoryWidth;
+    const Index r = config.dnc.readHeads;
+    const Index nt = config.tiles;
+    const Index localRows = n / nt;
+
+    TileMemoryFootprint fp;
+    fp.extKb = static_cast<Real>(localRows * w) * wordBytes / 1024.0;
+
+    if (config.distributed) {
+        // DNC-D: linkage is purely local, (N/Nt) x (N/Nt) per tile.
+        fp.linkageKb = static_cast<Real>(localRows * localRows) * wordBytes /
+                       1024.0;
+    } else {
+        // DNC: the N x N linkage is sharded submatrix-wise, N^2 / Nt
+        // words per tile regardless of the block shape.
+        fp.linkageKb =
+            static_cast<Real>(n) * n / static_cast<Real>(nt) * wordBytes /
+            1024.0;
+    }
+
+    // usage + precedence + write weighting + R read weightings, each a
+    // local slice of N/Nt words ("multiple 256 B state memories").
+    fp.smallStateKb = static_cast<Real>(localRows * (3 + r)) * wordBytes /
+                      1024.0;
+    return fp;
+}
+
+AreaReport
+areaReport(const ArchConfig &config, const TechParams &tech)
+{
+    const TileMemoryFootprint fp = tileMemoryFootprint(config);
+
+    AreaReport report;
+
+    // PT memory system: one macro for the external bank, one for the
+    // linkage bank, and one per small state memory (3 + R of them).
+    const Real smallMacros = static_cast<Real>(3 + config.dnc.readHeads);
+    report.ptMemMm2 = macroMm2(tech, fp.extKb) +
+                      macroMm2(tech, fp.linkageKb) +
+                      smallMacros *
+                          macroMm2(tech, fp.smallStateKb / smallMacros);
+
+    // PT logic: M-M engine, router, optional local sorter, other logic.
+    // The H-tree router is larger than the mode-gated HiMA router (it
+    // carries wide tree ports); DNC-D's CT-PT-only router is smallest.
+    Real routerMm2;
+    if (config.distributed)
+        routerMm2 = tech.routerSimpleMm2;
+    else if (config.noc == NocKind::Hima)
+        routerMm2 = tech.routerMm2;
+    else
+        routerMm2 = tech.routerMm2 + 0.13; // H-tree/star wide-port router
+
+    report.ptMm2 = report.ptMemMm2 + tech.peArrayMm2 + routerMm2 +
+                   (config.twoStageSort ? tech.mdsaSorterMm2 : 0.0) +
+                   tech.tileOtherMm2;
+
+    // Controller tile: LSTM engine + the global sort stage (merge sorter
+    // for two-stage, a larger centralized sorter otherwise) + misc. DNC-D
+    // eliminates the global sort entirely.
+    Real ctSortMm2 = 0.0;
+    if (!config.distributed)
+        ctSortMm2 = config.twoStageSort ? tech.ctSorterMm2
+                                        : tech.ctSorterMm2 - 0.09;
+    report.ctMm2 = tech.ctLstmMm2 + ctSortMm2 + tech.ctOtherMm2;
+
+    report.totalMm2 =
+        static_cast<Real>(config.tiles) * report.ptMm2 + report.ctMm2;
+    return report;
+}
+
+ArchConfig
+himaBaselineConfig(Index tiles)
+{
+    ArchConfig cfg;
+    cfg.tiles = tiles;
+    cfg.noc = NocKind::HTree;
+    cfg.multiModeRouting = false;
+    cfg.extPartition = Partition::rowWise(tiles);
+    cfg.linkPartition = Partition::rowWise(tiles);
+    cfg.twoStageSort = false;
+    cfg.distributed = false;
+    cfg.finalize();
+    return cfg;
+}
+
+ArchConfig
+himaDncConfig(Index tiles)
+{
+    ArchConfig cfg;
+    cfg.tiles = tiles;
+    cfg.noc = NocKind::Hima;
+    cfg.multiModeRouting = true;
+    cfg.extPartition = Partition::rowWise(tiles);
+    cfg.linkPartition = optimizeLinkagePartition(cfg.dnc.memoryRows, tiles);
+    cfg.twoStageSort = true;
+    cfg.distributed = false;
+    cfg.finalize();
+    return cfg;
+}
+
+ArchConfig
+himaDncDConfig(Index tiles)
+{
+    ArchConfig cfg = himaDncConfig(tiles);
+    cfg.distributed = true;
+    cfg.finalize();
+    return cfg;
+}
+
+} // namespace hima

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Silicon area and power model (40 nm, 500 MHz), replacing the paper's
+ * synthesis + Ansys PowerArtist flow with an analytic model.
+ *
+ * Area: affine SRAM-macro model (periphery + bit-cell slope) plus fixed
+ * per-module logic areas, calibrated so HiMA-DNC at Nt = 16 lands on the
+ * paper's Fig. 11(e) (PT 5.01 mm^2, PT mem 2.07 mm^2, CT 0.52 mm^2,
+ * total 80.69 mm^2).
+ *
+ * Power: dynamic energy per primitive op / memory word / flit-hop taken
+ * from 40 nm design-practice values, plus per-area leakage. Relative
+ * deltas between configurations come from measured counts; the absolute
+ * scale is calibrated to the paper's 16.96 W HiMA-DNC operating point.
+ */
+
+#ifndef HIMA_ARCH_AREA_POWER_H
+#define HIMA_ARCH_AREA_POWER_H
+
+#include "arch/arch_config.h"
+
+namespace hima {
+
+/** Technology constants (40 nm unless noted). */
+struct TechParams
+{
+    // --- SRAM area: mm^2 = periphery + slope * KB ---------------------
+    Real sramPeripheryMm2 = 0.045;   ///< per macro
+    Real sramSlopeMm2PerKb = 0.0066; ///< bit-cell array slope
+
+    // --- logic areas (mm^2) -------------------------------------------
+    Real peArrayMm2 = 1.95;        ///< M-M engine (256-MAC array + CPT)
+    Real routerMm2 = 0.42;         ///< 8-way multi-mode router
+    Real routerSimpleMm2 = 0.12;   ///< CT-PT-only router (DNC-D)
+    Real mdsaSorterMm2 = 0.22;     ///< per-PT local sorter
+    Real tileOtherMm2 = 0.30;      ///< buffers, loaders, interface logic
+    Real ctLstmMm2 = 0.13;         ///< CT LSTM engine + interface logic
+    Real ctSorterMm2 = 0.34;       ///< global merge sorter + usage bufs
+    Real ctOtherMm2 = 0.05;
+
+    // --- dynamic energy (pJ) at 32-bit ---------------------------------
+    Real macPj = 6.0;
+    Real elemPj = 2.4;
+    Real sfuPj = 15.0;
+    Real comparePj = 0.8;
+    Real extMemPj = 8.0;     ///< per word, external memory bank
+    Real stateMemPj = 5.0;   ///< per word, small state memories
+    Real linkageMemPj = 3.2; ///< per word, the large linkage bank
+    Real flitHopPj = 2.6;    ///< per flit per router hop
+
+    // --- static power ---------------------------------------------------
+    Real leakageWPerMm2 = 0.018;
+    /** Router idle power when all ports are active, per PT (W). */
+    Real routerIdleW = 0.200;
+    /** Port-gating saving factor under multi-mode routing. */
+    Real modeGatingFactor = 0.45;
+    /** MDSA local sorter clock/idle power per PT when present (W). */
+    Real sorterIdleW = 0.060;
+};
+
+/** Per-module area report (Fig. 11(e)). */
+struct AreaReport
+{
+    Real ptMemMm2;    ///< one PT's memory system
+    Real ptMm2;       ///< one full PT
+    Real ctMm2;       ///< the controller tile
+    Real totalMm2;    ///< Nt PTs + CT
+};
+
+/** Per-module energy for one test (Fig. 11(f) numerator). */
+struct ModuleEnergy
+{
+    Real ptMemJ;
+    Real ptRouterJ;
+    Real ptEngineJ;
+    Real ptOtherJ;
+    Real ctJ;
+
+    Real total() const
+    {
+        return ptMemJ + ptRouterJ + ptEngineJ + ptOtherJ + ctJ;
+    }
+};
+
+/** State-memory footprint per PT in KB (32-bit words). */
+struct TileMemoryFootprint
+{
+    Real extKb;
+    Real linkageKb;
+    Real smallStateKb;
+    Real total() const { return extKb + linkageKb + smallStateKb; }
+};
+
+/** Compute the per-PT memory footprint for a configuration. */
+TileMemoryFootprint tileMemoryFootprint(const ArchConfig &config);
+
+/** Area of one configuration under the technology model. */
+AreaReport areaReport(const ArchConfig &config,
+                      const TechParams &tech = TechParams{});
+
+} // namespace hima
+
+#endif // HIMA_ARCH_AREA_POWER_H

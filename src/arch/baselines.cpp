@@ -1,0 +1,94 @@
+#include "arch/baselines.h"
+
+namespace hima {
+
+PlatformRecord
+farmRecord()
+{
+    // Farm [4]: centralized mixed-signal DNC accelerator. The paper
+    // reports it 68.5x faster than the 3080Ti GPU with N capped at 256;
+    // its 40nm-equivalent area and power are back-derived from the
+    // paper's normalized comparisons (HiMA-baseline = 3.16x Farm area;
+    // MANNA = 32x Farm power).
+    return {"Farm", 75.3, 25.0, 0.50, 40.0, 256};
+}
+
+PlatformRecord
+mannaRecord()
+{
+    // MANNA [33]: 16-tile H-tree NTM accelerator in 15 nm. Speed is
+    // "similar to Farm"; area/power follow from the paper's 11x-area /
+    // 32x-power-of-Farm statement (physical area stored at 15 nm so the
+    // node normalization reproduces the 40nm-equivalent 284 mm^2).
+    return {"MANNA", 76.3, 40.0, 16.0, 15.0, 5120};
+}
+
+PlatformRecord
+gpuRecord()
+{
+    // Nvidia 3080Ti, measured by the paper at 5.16 ms/test on bAbI.
+    return {"GPU (3080Ti)", 5160.0, 0.0, 350.0, 8.0, 0};
+}
+
+PlatformRecord
+cpuRecord()
+{
+    // Intel i7-9700K, 10.94 ms/test (2.12x slower than the GPU).
+    return {"CPU (i7-9700K)", 10940.0, 0.0, 95.0, 14.0, 0};
+}
+
+PlatformRecord
+himaRecord(const std::string &name, HimaEngine &engine)
+{
+    PlatformRecord rec;
+    rec.name = name;
+    rec.inferenceUsPerTest = engine.testLatencyUs();
+    rec.areaMm2 = engine.area().totalMm2;
+    rec.powerW = engine.power().totalW;
+    rec.techNm = 40.0;
+    rec.memoryRows = engine.config().dnc.memoryRows;
+    return rec;
+}
+
+Real
+normalizedArea(const PlatformRecord &rec, Real targetNm)
+{
+    const Real scale = targetNm / rec.techNm;
+    return rec.areaMm2 * scale * scale;
+}
+
+Real
+GpuKernelModel::efficiency(KernelCategory cat) const
+{
+    // Fractions of peak sustained per kernel class. These fold in kernel
+    // launch overhead and serialization: the usage sort / allocation
+    // chain is nearly serial on a GPU (hence the minuscule value), while
+    // the linkage/forward-backward dense matrix work runs near peak —
+    // reproducing the paper's observation that history-based *write*
+    // weighting eats 72% of GPU time while history-based *read*
+    // weighting, despite ~500x more raw ops, takes only 9%.
+    switch (cat) {
+      case KernelCategory::HistoryWrite: return 5.6e-7;
+      case KernelCategory::HistoryRead: return 2.25e-3;
+      case KernelCategory::ContentWeighting: return 8.8e-5;
+      case KernelCategory::MemoryAccess: return 2.1e-4;
+      case KernelCategory::Nn: return 4.0e-4;
+      default: HIMA_PANIC("bad category %d", static_cast<int>(cat));
+    }
+}
+
+std::array<Real, static_cast<int>(KernelCategory::NumCategories)>
+GpuKernelModel::categorySeconds(const KernelProfiler &profile) const
+{
+    std::array<Real, static_cast<int>(KernelCategory::NumCategories)> out{};
+    for (int c = 0; c < static_cast<int>(KernelCategory::NumCategories);
+         ++c) {
+        const auto cat = static_cast<KernelCategory>(c);
+        const KernelCounters total = profile.categoryTotal(cat);
+        out[c] = static_cast<Real>(total.totalOps()) /
+                 (peakOpsPerSec * efficiency(cat));
+    }
+    return out;
+}
+
+} // namespace hima

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Comparison points for Fig. 4 and Fig. 12: the MANNA and Farm
+ * accelerators, and analytic GPU / measured-CPU platform models.
+ *
+ * MANNA [33] (15 nm, 16-tile H-tree NTM accelerator) and Farm [4] (40 nm
+ * equivalent, centralized mixed-signal, N <= 256) are reconstructed as
+ * behavioural models from their papers' published specs; we cannot
+ * re-synthesize them. Their headline numbers act as fixed comparison
+ * anchors (documented constants below), while every HiMA number in the
+ * comparison is *measured* from our engine. Area normalization across
+ * process nodes follows the paper's practice (scaling by the square of
+ * the feature-size ratio).
+ *
+ * The GPU model is an analytic parallel-processor model: each kernel
+ * class runs at a class-specific parallel efficiency on a fixed-FLOP
+ * device; sorting parallelizes poorly, dense mat-vec superbly — which is
+ * precisely the Fig. 4 observation (history-based write weighting eats
+ * 72% of GPU time). The CPU "model" is a real measurement: the functional
+ * DNC's per-kernel wall-clock profile on the host.
+ */
+
+#ifndef HIMA_ARCH_BASELINES_H
+#define HIMA_ARCH_BASELINES_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "arch/engine.h"
+
+namespace hima {
+
+/** One platform's comparison record (Fig. 12(b)-(d)). */
+struct PlatformRecord
+{
+    std::string name;
+    Real inferenceUsPerTest; ///< bAbI-style test latency
+    Real areaMm2;            ///< 0 for CPU/GPU (not compared)
+    Real powerW;
+    Real techNm;             ///< process node for area normalization
+    Index memoryRows;        ///< largest supported N
+};
+
+/** Published anchors for the prior accelerators (see file header). */
+PlatformRecord farmRecord();
+PlatformRecord mannaRecord();
+
+/** GPU / CPU platform anchors (Nvidia 3080Ti, Intel i7-9700K). */
+PlatformRecord gpuRecord();
+PlatformRecord cpuRecord();
+
+/** HiMA records measured from the engine. */
+PlatformRecord himaRecord(const std::string &name, HimaEngine &engine);
+
+/** Area normalized to the given node (quadratic feature-size scaling). */
+Real normalizedArea(const PlatformRecord &rec, Real targetNm);
+
+/**
+ * Analytic GPU kernel-runtime model for Fig. 4: per-category time for one
+ * DNC step given the functional model's op counts.
+ */
+struct GpuKernelModel
+{
+    /** Device throughput in effective ops/s for perfectly parallel work. */
+    Real peakOpsPerSec = 1.2e13;
+
+    /**
+     * Parallel efficiency per kernel category: the fraction of peak the
+     * category sustains. Sorting-dominated history-write work is nearly
+     * serial on a GPU; dense matrix work is nearly ideal.
+     */
+    Real efficiency(KernelCategory cat) const;
+
+    /** Seconds per category for the given measured profile. */
+    std::array<Real, static_cast<int>(KernelCategory::NumCategories)>
+    categorySeconds(const KernelProfiler &profile) const;
+};
+
+} // namespace hima
+
+#endif // HIMA_ARCH_BASELINES_H

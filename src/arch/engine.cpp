@@ -1,0 +1,540 @@
+#include "arch/engine.h"
+
+#include <algorithm>
+
+#include "sort/centralized_sort.h"
+
+namespace hima {
+
+Cycle
+StepTiming::categoryCycles(KernelCategory cat) const
+{
+    Cycle total = 0;
+    for (const StageTiming &s : stages)
+        if (kernelCategory(s.kernel) == cat)
+            total += s.total();
+    return total;
+}
+
+Real
+StepTiming::categoryEnergy(KernelCategory cat) const
+{
+    Real total = 0.0;
+    for (const StageTiming &s : stages)
+        if (kernelCategory(s.kernel) == cat)
+            total += s.energyJ;
+    return total;
+}
+
+Real
+StepTiming::totalEnergyJ() const
+{
+    Real total = 0.0;
+    for (const StageTiming &s : stages)
+        total += s.energyJ;
+    return total;
+}
+
+HimaEngine::HimaEngine(const ArchConfig &config, const TechParams &tech)
+    : config_(config), tech_(tech),
+      topology_(Topology::build(config.noc, config.tiles)),
+      network_(topology_, config.routerCapacity)
+{
+    config_.finalize();
+}
+
+Cycle
+HimaEngine::computeCycles(const OpCounts &perTile, bool onCt) const
+{
+    // Roofline: the datapath, the SFUs and the three memory ports all
+    // stream concurrently; the kernel runs at the pace of its binding
+    // resource.
+    const Index macRate =
+        onCt ? config_.ctMacsPerCycle : config_.peMacsPerCycle;
+    auto ceilDiv = [](std::uint64_t a, std::uint64_t b) {
+        return (a + b - 1) / b;
+    };
+    Cycle cycles = ceilDiv(perTile.macs + perTile.elems, macRate);
+    // The CT's LSTM engine carries a wide sigmoid/tanh array; PTs share
+    // a narrow SFU.
+    const Index sfuRate = onCt ? 64 : config_.sfuOpsPerCycle;
+    cycles = std::max(cycles, ceilDiv(perTile.sfu, sfuRate));
+    cycles = std::max(cycles, ceilDiv(perTile.extWords,
+                                      config_.extMemWordsPerCycle));
+    cycles = std::max(cycles, ceilDiv(perTile.stateWords,
+                                      config_.stateMemWordsPerCycle));
+    cycles = std::max(cycles, ceilDiv(perTile.linkWords,
+                                      config_.linkMemWordsPerCycle));
+    return cycles;
+}
+
+Real
+HimaEngine::stageEnergy(const OpCounts &perTile, Index activeTiles,
+                        std::uint64_t flitHops) const
+{
+    const Real pj = 1e-12;
+    Real energy = 0.0;
+    const Real tiles = static_cast<Real>(activeTiles);
+    energy += tiles * static_cast<Real>(perTile.macs) * tech_.macPj;
+    energy += tiles * static_cast<Real>(perTile.elems) * tech_.elemPj;
+    energy += tiles * static_cast<Real>(perTile.sfu) * tech_.sfuPj;
+    energy += tiles * static_cast<Real>(perTile.extWords) * tech_.extMemPj;
+    energy +=
+        tiles * static_cast<Real>(perTile.stateWords) * tech_.stateMemPj;
+    energy +=
+        tiles * static_cast<Real>(perTile.linkWords) * tech_.linkageMemPj;
+    energy += static_cast<Real>(flitHops) * tech_.flitHopPj;
+    return energy * pj;
+}
+
+void
+HimaEngine::runStage(StepTiming &out, Kernel kernel,
+                     const OpCounts &perTile,
+                     const std::vector<Message> &batch, NocMode mode,
+                     bool onControllerTile)
+{
+    StageTiming stage;
+    stage.kernel = kernel;
+    stage.computeCycles = computeCycles(perTile, onControllerTile);
+
+    std::uint64_t flitHops = 0;
+    stage.nocCycles = 0;
+    if (!batch.empty()) {
+        // Kernels express payloads in 32-bit words; convert to flits of
+        // the configured link width here, centrally.
+        std::vector<Message> flitBatch = batch;
+        for (Message &m : flitBatch)
+            m.flits = std::max<std::uint64_t>(
+                1, (m.flits + config_.linkWords - 1) / config_.linkWords);
+        const NocMode effective =
+            topology_.supportsMode(mode) ? mode : NocMode::Full;
+        TrafficResult traffic = network_.run(flitBatch, effective);
+        stage.nocCycles = traffic.makespan;
+        flitHops = traffic.flitHops * config_.linkWords;
+    }
+
+    const Index activeTiles = onControllerTile ? 1 : config_.tiles;
+    stage.energyJ = stageEnergy(perTile, activeTiles, flitHops);
+
+    // Module attribution for Fig. 11(f).
+    const Real pj = 1e-12;
+    const Real tiles = static_cast<Real>(activeTiles);
+    const Real opJ = tiles * pj *
+                     (static_cast<Real>(perTile.macs) * tech_.macPj +
+                      static_cast<Real>(perTile.elems) * tech_.elemPj +
+                      static_cast<Real>(perTile.sfu) * tech_.sfuPj);
+    const Real memJ =
+        tiles * pj *
+        (static_cast<Real>(perTile.extWords) * tech_.extMemPj +
+         static_cast<Real>(perTile.stateWords) * tech_.stateMemPj +
+         static_cast<Real>(perTile.linkWords) * tech_.linkageMemPj);
+    const Real netJ = pj * static_cast<Real>(flitHops) * tech_.flitHopPj;
+    if (onControllerTile) {
+        out.moduleEnergy.ctJ += opJ + memJ;
+    } else {
+        out.moduleEnergy.ptEngineJ += opJ;
+        out.moduleEnergy.ptMemJ += memJ;
+        // Buffer loaders / interface logic scale with the datapath work.
+        out.moduleEnergy.ptOtherJ += 0.18 * (opJ + memJ);
+    }
+    out.moduleEnergy.ptRouterJ += netJ;
+
+    out.totalCycles += stage.total();
+    out.stages.push_back(stage);
+}
+
+StepTiming
+HimaEngine::simulateStep()
+{
+    StepTiming out;
+
+    const Index n = config_.dnc.memoryRows;
+    const Index w = config_.dnc.memoryWidth;
+    const Index r = config_.dnc.readHeads;
+    const Index nt = config_.tiles;
+    const Index local = n / nt;
+    const bool dncd = config_.distributed;
+
+    // In DNC-D every kernel operates on the local shard; in DNC the work
+    // is the global kernel divided across tiles per the partition.
+    const std::uint64_t rowsPerTile = dncd ? local : n / nt;
+    const Partition &lp = config_.linkPartition;
+    // Linkage cells per tile: (N/Nt_h) x (N/Nt_w) for DNC, local^2 for
+    // DNC-D.
+    const std::uint64_t linkCells =
+        dncd ? static_cast<std::uint64_t>(local) * local
+             : (static_cast<std::uint64_t>(n) / lp.blockRows) *
+                   (n / lp.blockCols);
+
+    const Index skim = static_cast<Index>(
+        config_.dnc.skimRate * static_cast<Real>(dncd ? local : n));
+    const std::uint64_t sortLen = (dncd ? local : n) - skim;
+    const std::uint64_t sortShard = dncd ? sortLen : sortLen / nt;
+
+    // Fresh stream-sharing group ids per stage.
+    std::uint64_t nextGroup = 1;
+
+    // ---- NN (LSTM) on the CT + interface broadcast -------------------
+    {
+        OpCounts ops;
+        const Index hidden = config_.dnc.controllerSize;
+        const Index feed = config_.dnc.inputSize + r * w;
+        ops.macs = 4ull * hidden * (feed + hidden + 1) +
+                   static_cast<std::uint64_t>(
+                       config_.dnc.interfaceSize()) * hidden +
+                   2ull * config_.dnc.outputSize * hidden;
+        ops.sfu = 5ull * hidden;
+        // Interface broadcast is a tree multicast: the same vector goes
+        // to every PT.
+        runStage(out, Kernel::Lstm, ops,
+                 broadcast(topology_, config_.dnc.interfaceSize(),
+                           nextGroup++),
+                 NocMode::Star, true);
+    }
+
+    // ---- CW.(1) Normalize --------------------------------------------
+    {
+        OpCounts ops;
+        ops.macs = rowsPerTile * w;
+        ops.sfu = rowsPerTile + 1;
+        ops.extWords = rowsPerTile * w;
+        std::vector<Message> batch;
+        if (!dncd && config_.extPartition.blockCols > 1) {
+            // Partial row norms exchanged within each external block row.
+            const Partition &ep = config_.extPartition;
+            const auto &pts = topology_.processingNodes();
+            const std::uint64_t words = n / ep.blockRows;
+            for (Index bi = 0; bi < ep.blockRows; ++bi) {
+                const NodeId leader = pts[bi * ep.blockCols];
+                for (Index bj = 1; bj < ep.blockCols; ++bj) {
+                    const NodeId t = pts[bi * ep.blockCols + bj];
+                    batch.push_back({t, leader, words, 0, {}});
+                    batch.push_back({leader, t, words, 0, {}});
+                }
+            }
+        }
+        runStage(out, Kernel::Normalize, ops, batch, NocMode::Full);
+    }
+
+    // ---- CW.(2) Similarity (write key) --------------------------------
+    {
+        OpCounts ops;
+        ops.macs = rowsPerTile * w;
+        // PLA+LUT softmax turns the exp into 1 multiply + 1 add on the
+        // MAC rail (Sec. 5.2); exact softmax burns the SFU.
+        if (config_.dnc.approximateSoftmax) {
+            ops.macs += 2 * rowsPerTile;
+            ops.sfu = rowsPerTile; // the normalize divide remains
+        } else {
+            ops.sfu = 2 * rowsPerTile; // exp + normalize divide
+        }
+        ops.extWords = rowsPerTile * w;
+        std::vector<Message> batch;
+        if (!dncd) { // global softmax: psum round trip through the CT
+            batch = gatherBroadcast(topology_, 2, 2, nextGroup,
+                                    nextGroup + 1);
+            nextGroup += 2;
+        }
+        runStage(out, Kernel::Similarity, ops, batch, NocMode::Star);
+    }
+
+    // ---- HW.(1) Retention / HW.(2) Usage -------------------------------
+    {
+        OpCounts ops;
+        ops.elems = 2ull * r * rowsPerTile;
+        ops.stateWords = static_cast<std::uint64_t>(r) * rowsPerTile;
+        runStage(out, Kernel::Retention, ops, {}, NocMode::Full);
+    }
+    {
+        OpCounts ops;
+        ops.elems = 4ull * rowsPerTile;
+        ops.stateWords = 3ull * rowsPerTile;
+        runStage(out, Kernel::Usage, ops, {}, NocMode::Full);
+    }
+
+    // ---- HW.(2) Usage sort ---------------------------------------------
+    {
+        OpCounts ops;
+        std::vector<Message> batch;
+        Cycle sortCycles = 0;
+        if (dncd) {
+            // Local MDSA only; the global stage is eliminated (Fig. 9).
+            sortCycles = MdsaSorter(sortLen).modelCycles();
+            ops.elems = 0;
+        } else if (config_.twoStageSort) {
+            TwoStageSorter sorter(sortShard * nt, nt);
+            sortCycles = sorter.modelTiming().totalCycles;
+            // The PMS consumes Nt shard streams in parallel through the
+            // CT's usage buffers (wide port: group-shared), and the
+            // merged order streams back.
+            batch = gatherBroadcast(topology_, sortShard, sortShard,
+                                    nextGroup, nextGroup + 1);
+            nextGroup += 2;
+        } else {
+            // HiMA-baseline sort: each tile sorts its shard serially
+            // (n log n insertion-free merge), then the CT merges the Nt
+            // runs at one output per cycle — no MDSA, no parallel merge
+            // tree. This is the organization the two-stage sort replaces
+            // for its 1.12x step (Fig. 11(a)).
+            sortCycles = CentralizedSorter::modelCycles(sortShard) +
+                         sortLen + nt;
+            batch = gatherBroadcast(topology_, sortShard, sortShard,
+                                    nextGroup, nextGroup + 1);
+            nextGroup += 2;
+        }
+        ops.stateWords = 2ull * sortShard;
+        // Comparator energy rides on the element-op rail.
+        ops.elems = sortLen > 1
+                        ? static_cast<std::uint64_t>(sortLen) / nt
+                        : 0;
+        runStage(out, Kernel::UsageSort, ops, batch, NocMode::Star);
+        out.stages.back().computeCycles += sortCycles;
+        out.totalCycles += sortCycles;
+    }
+
+    // ---- HW.(3) Allocation ---------------------------------------------
+    {
+        OpCounts ops;
+        ops.elems = 2ull * sortShard;
+        ops.stateWords = 2ull * sortShard;
+        std::vector<Message> batch;
+        if (!dncd) // running product handed tile to tile
+            batch = ringAccumulate(topology_, 1);
+        runStage(out, Kernel::Allocation, ops, batch, NocMode::RingMode);
+    }
+
+    // ---- WM Write-weight merge -----------------------------------------
+    {
+        OpCounts ops;
+        ops.elems = 3ull * rowsPerTile;
+        ops.stateWords = 3ull * rowsPerTile;
+        runStage(out, Kernel::WriteMerge, ops, {}, NocMode::Full);
+    }
+
+    // ---- MW Memory write ------------------------------------------------
+    {
+        OpCounts ops;
+        ops.elems = 4ull * rowsPerTile * w;
+        ops.extWords = 2ull * rowsPerTile * w;
+        ops.stateWords = rowsPerTile;
+        runStage(out, Kernel::MemoryWrite, ops, {}, NocMode::Full);
+    }
+
+    // ---- HR.(1) Linkage ---------------------------------------------------
+    {
+        OpCounts ops;
+        ops.elems = 4ull * linkCells;
+        ops.linkWords = 2ull * linkCells;
+        ops.stateWords = 2ull * rowsPerTile;
+        std::vector<Message> batch;
+        if (!dncd) {
+            // Every linkage tile pulls its w (block-row) and p (block-col)
+            // slices from the row-wise state owners: O(Nt * N) words.
+            // Tiles in the same block row need the *same* w slice, so
+            // each owner's distribution is a multicast group.
+            const auto &pts = topology_.processingNodes();
+            const std::uint64_t wGroupBase = nextGroup;
+            nextGroup += lp.blockRows;
+            const std::uint64_t pGroupBase = nextGroup;
+            nextGroup += lp.blockCols;
+            for (Index t = 0; t < nt; ++t) {
+                const Index bi = t / lp.blockCols;
+                const Index bj = t % lp.blockCols;
+                const NodeId wOwner = pts[(bi * nt / lp.blockRows) % nt];
+                const NodeId pOwner = pts[(bj * nt / lp.blockCols) % nt];
+                if (wOwner != pts[t])
+                    batch.push_back({wOwner, pts[t], n / lp.blockRows, 0,
+                                     {}, wGroupBase + bi});
+                if (pOwner != pts[t])
+                    batch.push_back({pOwner, pts[t], n / lp.blockCols, 0,
+                                     {}, pGroupBase + bj});
+            }
+        }
+        runStage(out, Kernel::Linkage, ops, batch, NocMode::Full);
+    }
+
+    // ---- HR.(2) Precedence -------------------------------------------------
+    {
+        OpCounts ops;
+        ops.elems = 3ull * rowsPerTile;
+        ops.stateWords = 3ull * rowsPerTile;
+        std::vector<Message> batch;
+        if (!dncd) // global write-weight sum
+            batch = ringAccumulate(topology_, 1);
+        runStage(out, Kernel::Precedence, ops, batch, NocMode::RingMode);
+    }
+
+    // ---- HR.(3) Forward-backward --------------------------------------------
+    {
+        OpCounts ops;
+        ops.macs = 2ull * r * linkCells;
+        ops.linkWords = 2ull * r * linkCells;
+        ops.stateWords = 4ull * r * rowsPerTile;
+        std::vector<Message> batch;
+        if (!dncd) {
+            const auto &pts = topology_.processingNodes();
+            const std::uint64_t rowWords = r * (n / lp.blockRows);
+            const std::uint64_t colWords = r * (n / lp.blockCols);
+            // Forward psums reduce (in-network, associative adds) onto
+            // each linkage block row's leader; backward psums onto each
+            // block column's leader.
+            for (Index bi = 0; bi < lp.blockRows; ++bi) {
+                const std::uint64_t group = nextGroup++;
+                const NodeId leader = pts[bi * lp.blockCols];
+                for (Index bj = 1; bj < lp.blockCols; ++bj) {
+                    batch.push_back({pts[bi * lp.blockCols + bj], leader,
+                                     rowWords, 0, {}, group});
+                }
+            }
+            for (Index bj = 0; bj < lp.blockCols; ++bj) {
+                const std::uint64_t group = nextGroup++;
+                const NodeId leader = pts[bj];
+                for (Index bi = 1; bi < lp.blockRows; ++bi) {
+                    batch.push_back({pts[bi * lp.blockCols + bj], leader,
+                                     colWords, 0, {}, group});
+                }
+            }
+        }
+        runStage(out, Kernel::ForwardBackward, ops, batch, NocMode::Full);
+    }
+
+    // ---- CR Content read weighting (R heads) ---------------------------------
+    {
+        OpCounts ops;
+        ops.macs = static_cast<std::uint64_t>(r) * rowsPerTile * w;
+        if (config_.dnc.approximateSoftmax) {
+            ops.macs += 2ull * r * rowsPerTile;
+            ops.sfu = static_cast<std::uint64_t>(r) * rowsPerTile;
+        } else {
+            ops.sfu = 2ull * r * rowsPerTile;
+        }
+        ops.extWords = static_cast<std::uint64_t>(r) * rowsPerTile * w;
+        std::vector<Message> batch;
+        if (!dncd) {
+            batch = gatherBroadcast(topology_, 2 * r, 2 * r, nextGroup,
+                                    nextGroup + 1);
+            nextGroup += 2;
+        }
+        runStage(out, Kernel::Similarity, ops, batch, NocMode::Star);
+    }
+
+    // ---- RM Read-weight merge -------------------------------------------------
+    {
+        OpCounts ops;
+        ops.elems = 3ull * r * rowsPerTile;
+        ops.stateWords = 4ull * r * rowsPerTile;
+        runStage(out, Kernel::ReadMerge, ops, {}, NocMode::Full);
+    }
+
+    // ---- MR Memory read ----------------------------------------------------
+    {
+        OpCounts ops;
+        ops.macs = static_cast<std::uint64_t>(r) * rowsPerTile * w;
+        ops.extWords = static_cast<std::uint64_t>(r) * rowsPerTile * w;
+        ops.stateWords = static_cast<std::uint64_t>(r) * rowsPerTile;
+        std::vector<Message> batch;
+        if (!dncd) {
+            const Partition &ep = config_.extPartition;
+            const auto &pts = topology_.processingNodes();
+            // Transpose element moves within external block rows (zero
+            // for the row-wise optimum), Eq. (2) first term. Distinct
+            // submatrices: genuine unicast, no sharing.
+            if (ep.blockCols > 1) {
+                const std::uint64_t words =
+                    std::max<std::uint64_t>(1, (n / nt) /
+                                                   (ep.blockCols - 1));
+                for (Index bi = 0; bi < ep.blockRows; ++bi)
+                    for (Index a = 0; a < ep.blockCols; ++a)
+                        for (Index b = 0; b < ep.blockCols; ++b)
+                            if (a != b)
+                                batch.push_back(
+                                    {pts[bi * ep.blockCols + a],
+                                     pts[bi * ep.blockCols + b],
+                                     words * r, 0, {}});
+            }
+            // Psum reduction down each block column (in-network adds),
+            // Eq. (2) second term.
+            const std::uint64_t psumWords =
+                std::max<std::uint64_t>(1, r * (w / ep.blockCols));
+            for (Index bj = 0; bj < ep.blockCols; ++bj) {
+                const std::uint64_t group = nextGroup++;
+                const NodeId leader = pts[bj];
+                for (Index bi = 1; bi < ep.blockRows; ++bi) {
+                    batch.push_back({pts[bi * ep.blockCols + bj], leader,
+                                     psumWords, 0, {}, group});
+                }
+            }
+        }
+        // Final read vectors collect at the CT. The weighted combine is
+        // associative, so this too reduces in-network (one R*W stream).
+        std::vector<Message> collect = gather(
+            topology_, static_cast<std::uint64_t>(r) * w, nextGroup++);
+        for (auto &m : collect)
+            batch.push_back(std::move(m));
+        runStage(out, Kernel::MemoryRead, ops, batch, NocMode::Full);
+    }
+
+    // ---- DNC-D read-vector merge on the CT ------------------------------------
+    if (dncd) {
+        OpCounts ops;
+        ops.macs = static_cast<std::uint64_t>(nt) * r * w;
+        runStage(out, Kernel::ReadMerge, ops, {}, NocMode::Full, true);
+    }
+
+    return out;
+}
+
+Real
+HimaEngine::testLatencyUs()
+{
+    const StepTiming step = simulateStep();
+    const Real cycles = static_cast<Real>(step.totalCycles) *
+                        static_cast<Real>(config_.stepsPerTest);
+    return cycles / (config_.clockGhz * 1e3);
+}
+
+PowerReport
+HimaEngine::power()
+{
+    const StepTiming step = simulateStep();
+    const Real seconds =
+        static_cast<Real>(step.totalCycles) / (config_.clockGhz * 1e9);
+
+    PowerReport report{};
+    report.dynamicW = step.totalEnergyJ() / seconds;
+
+    const AreaReport areas = area();
+    report.leakageW = areas.totalMm2 * tech_.leakageWPerMm2;
+
+    // Router idle power: mode gating powers down unused ports.
+    Real routerIdle = tech_.routerIdleW * static_cast<Real>(config_.tiles);
+    if (config_.multiModeRouting)
+        routerIdle *= tech_.modeGatingFactor;
+    if (config_.distributed)
+        routerIdle *= 0.05; // CT-PT-only router
+    report.leakageW += routerIdle;
+
+    // The per-PT MDSA sorters clock whenever present (the paper's
+    // Fig. 11(c) "+9% for the two-stage sort" step).
+    if (config_.twoStageSort)
+        report.leakageW +=
+            tech_.sorterIdleW * static_cast<Real>(config_.tiles);
+
+    report.totalW = report.dynamicW + report.leakageW;
+
+    for (int c = 0; c < static_cast<int>(KernelCategory::NumCategories);
+         ++c) {
+        report.categoryW[c] =
+            step.categoryEnergy(static_cast<KernelCategory>(c)) / seconds;
+    }
+
+    report.modulePower.ptMemJ = step.moduleEnergy.ptMemJ / seconds;
+    report.modulePower.ptRouterJ =
+        step.moduleEnergy.ptRouterJ / seconds + routerIdle;
+    report.modulePower.ptEngineJ = step.moduleEnergy.ptEngineJ / seconds;
+    report.modulePower.ptOtherJ = step.moduleEnergy.ptOtherJ / seconds;
+    report.modulePower.ctJ = step.moduleEnergy.ctJ / seconds;
+    return report;
+}
+
+} // namespace hima

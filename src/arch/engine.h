@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The HiMA timing and energy engine.
+ *
+ * One simulateStep() walks the Fig. 2 dataflow kernel by kernel. Each
+ * kernel charges:
+ *
+ *   - compute cycles: its primitive-op counts (the same formulas the
+ *     functional model's KernelProfiler measures) divided over the tiles
+ *     it runs on and through the M-M engine / SFU / sorter throughput
+ *     models;
+ *   - NoC cycles: the kernel's real traffic pattern (per the configured
+ *     memory partitions) injected into the cycle-level Network simulator.
+ *
+ * The timestep latency is the sum over the dataflow stages (the Fig. 2
+ * graph is a chain at kernel granularity — each kernel consumes the
+ * previous kernel's full output). Energy is accumulated per kernel and
+ * per module alongside.
+ *
+ * DNC-D (Sec. 5.1) switches every kernel to its local shard size,
+ * eliminates all inter-PT batches and drops the global sort stage.
+ */
+
+#ifndef HIMA_ARCH_ENGINE_H
+#define HIMA_ARCH_ENGINE_H
+
+#include <array>
+
+#include "arch/area_power.h"
+#include "dnc/kernel_profiler.h"
+#include "noc/network.h"
+#include "noc/traffic.h"
+#include "sort/two_stage_sort.h"
+
+namespace hima {
+
+/** Timing + energy of one kernel within a step. */
+struct StageTiming
+{
+    Kernel kernel;
+    Cycle computeCycles;
+    Cycle nocCycles;
+    Real energyJ;
+
+    Cycle total() const { return computeCycles + nocCycles; }
+};
+
+/** Result of one simulated DNC timestep. */
+struct StepTiming
+{
+    std::vector<StageTiming> stages;
+    Cycle totalCycles = 0;
+    ModuleEnergy moduleEnergy{};
+
+    /** Cycles spent in one kernel category. */
+    Cycle categoryCycles(KernelCategory cat) const;
+    /** Dynamic energy of one kernel category (J). */
+    Real categoryEnergy(KernelCategory cat) const;
+    Real totalEnergyJ() const;
+};
+
+/** Power report for a run (Fig. 11(c)/(d)/(f)). */
+struct PowerReport
+{
+    Real totalW;
+    Real dynamicW;
+    Real leakageW;
+    std::array<Real, static_cast<int>(KernelCategory::NumCategories)>
+        categoryW;
+    ModuleEnergy modulePower; ///< reused struct, values in watts
+};
+
+/** The HiMA machine model. */
+class HimaEngine
+{
+  public:
+    explicit HimaEngine(const ArchConfig &config,
+                        const TechParams &tech = TechParams{});
+
+    /** Simulate one DNC timestep. Deterministic; no internal state. */
+    StepTiming simulateStep();
+
+    /** Latency of one bAbI-style test (stepsPerTest timesteps), in us. */
+    Real testLatencyUs();
+
+    /** Power while running steps back to back. */
+    PowerReport power();
+
+    /** Area of this configuration. */
+    AreaReport area() const { return areaReport(config_, tech_); }
+
+    const ArchConfig &config() const { return config_; }
+    const Topology &topology() const { return topology_; }
+
+  private:
+    struct OpCounts
+    {
+        std::uint64_t macs = 0;      ///< per most-loaded tile
+        std::uint64_t elems = 0;
+        std::uint64_t sfu = 0;
+        std::uint64_t extWords = 0;  ///< per tile, external memory
+        std::uint64_t stateWords = 0; ///< per tile, small state memories
+        std::uint64_t linkWords = 0; ///< per tile, linkage memory
+    };
+
+    /** Charge one dataflow stage: compute + optional traffic batch. */
+    void runStage(StepTiming &out, Kernel kernel, const OpCounts &perTile,
+                  const std::vector<Message> &batch, NocMode mode,
+                  bool onControllerTile = false);
+
+    Cycle computeCycles(const OpCounts &perTile, bool onCt) const;
+    Real stageEnergy(const OpCounts &perTile, Index activeTiles,
+                     std::uint64_t flitHops) const;
+
+    ArchConfig config_;
+    TechParams tech_;
+    Topology topology_;
+    Network network_;
+};
+
+} // namespace hima
+
+#endif // HIMA_ARCH_ENGINE_H

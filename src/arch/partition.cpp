@@ -1,0 +1,88 @@
+#include "arch/partition.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hima {
+
+std::vector<Partition>
+enumeratePartitions(Index nt)
+{
+    HIMA_ASSERT(nt >= 1, "need at least one tile");
+    std::vector<Partition> out;
+    for (Index w = 1; w <= nt; ++w) {
+        if (nt % w == 0)
+            out.push_back({nt / w, w});
+    }
+    return out;
+}
+
+std::uint64_t
+contentWeightingTraffic(Index n, const Partition &p)
+{
+    // Normalization: 2N(Nt_w - 1) element transfers (partial row norms
+    // exchanged within each block row); similarity: 2(Nt_h - 1) psum
+    // round trips to the softmax reducer.
+    return 2ull * n * (p.blockCols - 1) + 2ull * (p.blockRows - 1);
+}
+
+std::uint64_t
+memoryReadTraffic(Index n, Index w, const Partition &p)
+{
+    // Transpose: Nt_w (Nt_w - 1) N / Nt submatrix elements moved within
+    // block rows; mat-vec psums: W (Nt_h - 1) along block columns.
+    const Index nt = p.tiles();
+    return static_cast<std::uint64_t>(p.blockCols) * (p.blockCols - 1) *
+               (n / nt) +
+           static_cast<std::uint64_t>(w) * (p.blockRows - 1);
+}
+
+Real
+forwardBackwardTraffic(Index n, const Partition &p)
+{
+    (void)n; // the count is in length-N chunk units, independent of N
+    const Real nt = static_cast<Real>(p.tiles());
+    const Real nh = static_cast<Real>(p.blockRows);
+    const Real nw = static_cast<Real>(p.blockCols);
+    const Real forward = nh * (nh - 1.0) / nt + nw;
+    const Real backward = nw * (nw - 1.0) / nt + nh;
+    return forward + backward;
+}
+
+Partition
+optimizeExternalPartition(Index n, Index w, Index nt, Index readHeads)
+{
+    Partition best = Partition::rowWise(nt);
+    std::uint64_t bestCost = std::numeric_limits<std::uint64_t>::max();
+    for (const Partition &p : enumeratePartitions(nt)) {
+        // Weight each kernel's cost by how often it runs per step:
+        // content weighting once per key (1 write + R reads), memory
+        // read once per read head.
+        const std::uint64_t cost =
+            (1 + readHeads) * contentWeightingTraffic(n, p) +
+            readHeads * memoryReadTraffic(n, w, p);
+        if (cost < bestCost) {
+            bestCost = cost;
+            best = p;
+        }
+    }
+    return best;
+}
+
+Partition
+optimizeLinkagePartition(Index n, Index nt)
+{
+    Partition best = Partition::rowWise(nt);
+    Real bestCost = std::numeric_limits<Real>::max();
+    for (const Partition &p : enumeratePartitions(nt)) {
+        const Real cost = forwardBackwardTraffic(n, p);
+        if (cost < bestCost) {
+            bestCost = cost;
+            best = p;
+        }
+    }
+    return best;
+}
+
+} // namespace hima

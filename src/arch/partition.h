@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Submatrix-wise memory partition (Sec. 4.2).
+ *
+ * A partition splits an M-row x C-column memory across Nt = Nt_h x Nt_w
+ * tiles: Nt_h block rows by Nt_w block columns. Row-wise (Nt_h = Nt,
+ * Nt_w = 1) and column-wise (Nt_h = 1, Nt_w = Nt) are the two extremes.
+ *
+ * The closed-form inter-tile transfer counts below are Eqs. (1)-(3) of
+ * the paper; the optimizers enumerate the divisor pairs of Nt and return
+ * the arg-min, reproducing the paper's findings that the external memory
+ * wants row-wise partitioning while the N x N linkage memory wants a
+ * balanced submatrix split (4 x 4 at Nt = 16).
+ */
+
+#ifndef HIMA_ARCH_PARTITION_H
+#define HIMA_ARCH_PARTITION_H
+
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** One Nt_h x Nt_w block partition. */
+struct Partition
+{
+    Index blockRows; ///< Nt_h
+    Index blockCols; ///< Nt_w
+
+    Index tiles() const { return blockRows * blockCols; }
+
+    /** Row-wise partition over Nt tiles. */
+    static Partition rowWise(Index nt) { return {nt, 1}; }
+    /** Column-wise partition over Nt tiles. */
+    static Partition colWise(Index nt) { return {1, nt}; }
+
+    bool operator==(const Partition &) const = default;
+};
+
+/** All (Nt_h, Nt_w) divisor pairs of Nt, ascending Nt_w. */
+std::vector<Partition> enumeratePartitions(Index nt);
+
+/**
+ * Eq. (1): inter-tile transfers of the content-based weighting kernels
+ * (normalize + similarity) for an N-row external memory.
+ */
+std::uint64_t contentWeightingTraffic(Index n, const Partition &p);
+
+/**
+ * Eq. (2): inter-tile transfers of the memory-read kernel (transpose +
+ * mat-vec) for an N x W external memory.
+ */
+std::uint64_t memoryReadTraffic(Index n, Index w, const Partition &p);
+
+/**
+ * Eq. (3): inter-tile transfers of the forward-backward kernel over the
+ * N x N linkage memory, in units of length-N row/psum chunks (forward
+ * plus backward term).
+ */
+Real forwardBackwardTraffic(Index n, const Partition &p);
+
+/**
+ * Arg-min over the divisor pairs of Nt of the external memory's total
+ * per-step traffic: the content-weighting kernel runs (1 + R) times per
+ * DNC step (one write key + R read keys) and the memory-read kernel R
+ * times, so the costs are weighted by those kernel frequencies.
+ */
+Partition optimizeExternalPartition(Index n, Index w, Index nt,
+                                    Index readHeads = 4);
+
+/** Arg-min of forwardBackwardTraffic over the divisor pairs of Nt. */
+Partition optimizeLinkagePartition(Index n, Index nt);
+
+} // namespace hima
+
+#endif // HIMA_ARCH_PARTITION_H

@@ -1,0 +1,77 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hima {
+
+namespace {
+
+void
+vreport(FILE *stream, const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stream, "%s: ", tag);
+    std::vfprintf(stream, fmt, args);
+    std::fprintf(stream, "\n");
+    std::fflush(stream);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "panic: (%s:%d) ", file, line);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::abort();
+}
+
+void
+assertFailImpl(const char *file, int line, const char *cond,
+               const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "panic: (%s:%d) assertion '%s' failed: ", file,
+                 line, cond);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "fatal: (%s:%d) ", file, line);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stderr, "warn", fmt, args);
+    va_end(args);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(stdout, "info", fmt, args);
+    va_end(args);
+}
+
+} // namespace hima

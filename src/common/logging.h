@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; this is a library bug.
+ *            Aborts so a debugger or core dump can capture the state.
+ * fatal()  — the *user* asked for something impossible (bad configuration,
+ *            inconsistent sizes). Exits with an error code.
+ * warn()   — something is off but simulation can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef HIMA_COMMON_LOGGING_H
+#define HIMA_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace hima {
+
+/** Print a formatted message tagged "panic:" and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted message tagged "fatal:" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+
+/** Print a formatted message tagged "warn:" to stderr. */
+void warnImpl(const char *fmt, ...);
+
+/** Print a formatted status message to stdout. */
+void informImpl(const char *fmt, ...);
+
+#define HIMA_PANIC(...) ::hima::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define HIMA_FATAL(...) ::hima::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define HIMA_WARN(...) ::hima::warnImpl(__VA_ARGS__)
+#define HIMA_INFORM(...) ::hima::informImpl(__VA_ARGS__)
+
+/**
+ * Print a failed-assertion report (condition text passed separately so
+ * stringized conditions containing '%' cannot corrupt the format) and
+ * abort().
+ */
+[[noreturn]] void assertFailImpl(const char *file, int line,
+                                 const char *cond, const char *fmt, ...);
+
+/**
+ * Assert a library invariant with a formatted explanation. Active in all
+ * build types: the simulator's correctness claims rest on these checks.
+ */
+#define HIMA_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::hima::assertFailImpl(__FILE__, __LINE__, #cond,               \
+                                   __VA_ARGS__);                            \
+        }                                                                   \
+    } while (0)
+
+} // namespace hima
+
+#endif // HIMA_COMMON_LOGGING_H

@@ -1,0 +1,72 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hima {
+
+Real
+sigmoid(Real x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+Real
+oneplus(Real x)
+{
+    return 1.0 + std::log1p(std::exp(x));
+}
+
+Vector
+softmax(const Vector &x)
+{
+    HIMA_ASSERT(!x.empty(), "softmax of empty vector");
+    const Real m = x.max();
+    Vector out(x.size());
+    Real denom = 0.0;
+    for (Index i = 0; i < x.size(); ++i) {
+        out[i] = std::exp(x[i] - m);
+        denom += out[i];
+    }
+    for (Index i = 0; i < x.size(); ++i)
+        out[i] /= denom;
+    return out;
+}
+
+Vector
+softmax(const Vector &x, Real beta)
+{
+    return softmax(scale(x, beta));
+}
+
+Vector
+tanhVec(const Vector &x)
+{
+    Vector out(x.size());
+    for (Index i = 0; i < x.size(); ++i)
+        out[i] = std::tanh(x[i]);
+    return out;
+}
+
+Vector
+sigmoidVec(const Vector &x)
+{
+    Vector out(x.size());
+    for (Index i = 0; i < x.size(); ++i)
+        out[i] = sigmoid(x[i]);
+    return out;
+}
+
+Real
+clamp(Real x, Real lo, Real hi)
+{
+    return std::min(std::max(x, lo), hi);
+}
+
+bool
+nearlyEqual(Real a, Real b, Real tol)
+{
+    return std::fabs(a - b) <= tol;
+}
+
+} // namespace hima

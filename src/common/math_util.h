@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Scalar non-linearities and vector reductions shared by the DNC model and
+ * the approximation modules.
+ */
+
+#ifndef HIMA_COMMON_MATH_UTIL_H
+#define HIMA_COMMON_MATH_UTIL_H
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** Logistic sigmoid 1 / (1 + e^-x). */
+Real sigmoid(Real x);
+
+/**
+ * The DNC "oneplus" function 1 + log(1 + e^x), used to constrain key
+ * strengths to [1, inf).
+ */
+Real oneplus(Real x);
+
+/** Numerically-stable softmax over a vector (subtracts the max). */
+Vector softmax(const Vector &x);
+
+/** Softmax of x scaled by a sharpness beta. */
+Vector softmax(const Vector &x, Real beta);
+
+/** Element-wise hyperbolic tangent. */
+Vector tanhVec(const Vector &x);
+
+/** Element-wise logistic sigmoid. */
+Vector sigmoidVec(const Vector &x);
+
+/** Clamp x into [lo, hi]. */
+Real clamp(Real x, Real lo, Real hi);
+
+/** True when |a - b| <= tol. */
+bool nearlyEqual(Real a, Real b, Real tol = 1e-9);
+
+} // namespace hima
+
+#endif // HIMA_COMMON_MATH_UTIL_H

@@ -1,0 +1,132 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace hima {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+Real
+Rng::uniform()
+{
+    return static_cast<Real>(next() >> 11) * 0x1.0p-53;
+}
+
+Real
+Rng::uniform(Real lo, Real hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+Index
+Rng::uniformInt(Index n)
+{
+    HIMA_ASSERT(n > 0, "uniformInt(0)");
+    return static_cast<Index>(next() % n);
+}
+
+Real
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    Real u1 = uniform();
+    Real u2 = uniform();
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    const Real mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+Real
+Rng::normal(Real mean, Real stddev)
+{
+    return mean + stddev * normal();
+}
+
+Vector
+Rng::uniformVector(Index n, Real lo, Real hi)
+{
+    Vector v(n);
+    for (Index i = 0; i < n; ++i)
+        v[i] = uniform(lo, hi);
+    return v;
+}
+
+Vector
+Rng::normalVector(Index n, Real mean, Real stddev)
+{
+    Vector v(n);
+    for (Index i = 0; i < n; ++i)
+        v[i] = normal(mean, stddev);
+    return v;
+}
+
+Matrix
+Rng::normalMatrix(Index rows, Index cols, Real mean, Real stddev)
+{
+    Matrix m(rows, cols);
+    for (Index i = 0; i < m.size(); ++i)
+        m.data()[i] = normal(mean, stddev);
+    return m;
+}
+
+std::vector<Index>
+Rng::permutation(Index n)
+{
+    std::vector<Index> perm(n);
+    std::iota(perm.begin(), perm.end(), Index{0});
+    for (Index i = n; i > 1; --i) {
+        const Index j = uniformInt(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+} // namespace hima

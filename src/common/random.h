@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random source used across the library.
+ *
+ * Every experiment in the benchmark harness must be reproducible run to
+ * run, so all stochastic behaviour flows through this seeded generator
+ * (xoshiro256**, a small, fast, well-studied PRNG) rather than through
+ * std::random_device or global state.
+ */
+
+#ifndef HIMA_COMMON_RANDOM_H
+#define HIMA_COMMON_RANDOM_H
+
+#include <cstdint>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** Seeded xoshiro256** generator with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    Real uniform();
+
+    /** Uniform double in [lo, hi). */
+    Real uniform(Real lo, Real hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    Index uniformInt(Index n);
+
+    /** Standard normal via Box-Muller. */
+    Real normal();
+
+    /** Normal with the given mean and standard deviation. */
+    Real normal(Real mean, Real stddev);
+
+    /** Vector of iid uniform values in [lo, hi). */
+    Vector uniformVector(Index n, Real lo = 0.0, Real hi = 1.0);
+
+    /** Vector of iid normal values. */
+    Vector normalVector(Index n, Real mean = 0.0, Real stddev = 1.0);
+
+    /** Matrix of iid normal values. */
+    Matrix normalMatrix(Index rows, Index cols, Real mean = 0.0,
+                        Real stddev = 1.0);
+
+    /** In-place Fisher-Yates shuffle of an index permutation [0, n). */
+    std::vector<Index> permutation(Index n);
+
+  private:
+    std::uint64_t state_[4];
+    bool hasSpare_ = false;
+    Real spare_ = 0.0;
+};
+
+} // namespace hima
+
+#endif // HIMA_COMMON_RANDOM_H

@@ -1,0 +1,118 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hima {
+
+void
+RunningStat::add(Real x)
+{
+    ++count_;
+    sum_ += x;
+    if (count_ == 1) {
+        min_ = max_ = x;
+        mean_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const Real delta = x - mean_;
+    mean_ += delta / static_cast<Real>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+Real
+RunningStat::variance() const
+{
+    return count_ ? m2_ / static_cast<Real>(count_) : 0.0;
+}
+
+Real
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const Real na = static_cast<Real>(count_);
+    const Real nb = static_cast<Real>(other.count_);
+    const Real delta = other.mean_ - mean_;
+    const Real total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+void
+StatRegistry::inc(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatRegistry::set(const std::string &name, std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+std::uint64_t
+StatRegistry::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatRegistry::withPrefix(const std::string &prefix) const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto &[name, value] : counters_) {
+        if (name.rfind(prefix, 0) == 0)
+            out.emplace_back(name, value);
+    }
+    return out;
+}
+
+std::uint64_t
+StatRegistry::sumPrefix(const std::string &prefix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : counters_) {
+        if (name.rfind(prefix, 0) == 0)
+            total += value;
+    }
+    return total;
+}
+
+void
+StatRegistry::clear()
+{
+    counters_.clear();
+}
+
+} // namespace hima

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters grouped into a
+ * registry, plus a running-moment accumulator. The kernel profiler, the
+ * NoC simulator and the area/power model all report through this so that
+ * benches can dump a uniform stats block.
+ */
+
+#ifndef HIMA_COMMON_STATS_H
+#define HIMA_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** Running mean / variance / extrema accumulator (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    /** Record one sample. */
+    void add(Real x);
+
+    std::uint64_t count() const { return count_; }
+    Real mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance. */
+    Real variance() const;
+
+    /** Population standard deviation. */
+    Real stddev() const;
+
+    Real min() const { return count_ ? min_ : 0.0; }
+    Real max() const { return count_ ? max_ : 0.0; }
+    Real total() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    Real mean_ = 0.0;
+    Real m2_ = 0.0;
+    Real sum_ = 0.0;
+    Real min_ = 0.0;
+    Real max_ = 0.0;
+};
+
+/**
+ * A flat registry of named 64-bit counters. Names use '.'-separated paths
+ * ("noc.flits_routed", "kernel.linkage.mac_ops") so related counters sort
+ * together when dumped.
+ */
+class StatRegistry
+{
+  public:
+    /** Add delta (default 1) to the named counter, creating it at zero. */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Overwrite the named counter. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Current value, or zero when the counter has never been touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True when the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** All counters whose name starts with the given prefix, sorted. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    withPrefix(const std::string &prefix) const;
+
+    /** Sum of all counters under a prefix. */
+    std::uint64_t sumPrefix(const std::string &prefix) const;
+
+    void clear();
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace hima
+
+#endif // HIMA_COMMON_STATS_H

@@ -1,0 +1,118 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hima {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    HIMA_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    HIMA_ASSERT(cells.size() == headers_.size(),
+                "row arity %zu != header arity %zu",
+                cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back(); // sentinel: empty row renders as a rule
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        os << '+';
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    rule();
+    emit(headers_);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            rule();
+        else
+            emit(row);
+    }
+    rule();
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+fmtReal(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+fmtRatio(double v, int precision)
+{
+    return fmtReal(v, precision) + "x";
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    return fmtReal(fraction * 100.0, precision) + "%";
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int digits = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (digits && digits % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++digits;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace hima

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII table/report printer used by the benchmark harness to render the
+ * paper's tables and figure series as aligned text.
+ */
+
+#ifndef HIMA_COMMON_TABLE_H
+#define HIMA_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hima {
+
+/**
+ * An aligned ASCII table. Columns are sized to their widest cell; numeric
+ * formatting is the caller's job (use the fmt* helpers below).
+ */
+class Table
+{
+  public:
+    /** Construct with a column header row. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal rule before the next row. */
+    void addRule();
+
+    /** Render to the stream with single-space-padded ASCII borders. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == rule
+};
+
+/** Format a double with the given precision. */
+std::string fmtReal(double v, int precision = 2);
+
+/** Format a double as "N.NNx" speedup/ratio notation. */
+std::string fmtRatio(double v, int precision = 2);
+
+/** Format a fraction as a percentage "NN.N%". */
+std::string fmtPercent(double fraction, int precision = 1);
+
+/** Format an integer with thousands separators. */
+std::string fmtCount(std::uint64_t v);
+
+/** Print a "=== title ===" section banner. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace hima
+
+#endif // HIMA_COMMON_TABLE_H

@@ -1,0 +1,259 @@
+#include "common/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hima {
+
+void
+Vector::fill(Real value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Real
+Vector::sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+Real
+Vector::norm() const
+{
+    Real acc = 0.0;
+    for (Real v : data_)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+Real
+Vector::max() const
+{
+    HIMA_ASSERT(!data_.empty(), "max() of empty vector");
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+Real
+Vector::min() const
+{
+    HIMA_ASSERT(!data_.empty(), "min() of empty vector");
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+Index
+Vector::argmax() const
+{
+    HIMA_ASSERT(!data_.empty(), "argmax() of empty vector");
+    return static_cast<Index>(
+        std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+void
+Matrix::fill(Real value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Vector
+Matrix::row(Index r) const
+{
+    HIMA_ASSERT(r < rows_, "row %zu out of range %zu", r, rows_);
+    Vector v(cols_);
+    for (Index c = 0; c < cols_; ++c)
+        v[c] = data_[r * cols_ + c];
+    return v;
+}
+
+void
+Matrix::setRow(Index r, const Vector &v)
+{
+    HIMA_ASSERT(r < rows_, "row %zu out of range %zu", r, rows_);
+    HIMA_ASSERT(v.size() == cols_, "row length %zu != cols %zu",
+                v.size(), cols_);
+    for (Index c = 0; c < cols_; ++c)
+        data_[r * cols_ + c] = v[c];
+}
+
+namespace {
+
+void
+checkSameSize(const Vector &a, const Vector &b, const char *op)
+{
+    HIMA_ASSERT(a.size() == b.size(), "%s: size mismatch %zu vs %zu",
+                op, a.size(), b.size());
+}
+
+void
+checkSameShape(const Matrix &a, const Matrix &b, const char *op)
+{
+    HIMA_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                "%s: shape mismatch (%zu,%zu) vs (%zu,%zu)",
+                op, a.rows(), a.cols(), b.rows(), b.cols());
+}
+
+} // namespace
+
+Vector
+add(const Vector &a, const Vector &b)
+{
+    checkSameSize(a, b, "add");
+    Vector out(a.size());
+    for (Index i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+Vector
+sub(const Vector &a, const Vector &b)
+{
+    checkSameSize(a, b, "sub");
+    Vector out(a.size());
+    for (Index i = 0; i < a.size(); ++i)
+        out[i] = a[i] - b[i];
+    return out;
+}
+
+Vector
+mul(const Vector &a, const Vector &b)
+{
+    checkSameSize(a, b, "mul");
+    Vector out(a.size());
+    for (Index i = 0; i < a.size(); ++i)
+        out[i] = a[i] * b[i];
+    return out;
+}
+
+Vector
+scale(const Vector &a, Real s)
+{
+    Vector out(a.size());
+    for (Index i = 0; i < a.size(); ++i)
+        out[i] = a[i] * s;
+    return out;
+}
+
+Real
+dot(const Vector &a, const Vector &b)
+{
+    checkSameSize(a, b, "dot");
+    Real acc = 0.0;
+    for (Index i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+Real
+cosineSimilarity(const Vector &a, const Vector &b, Real eps)
+{
+    checkSameSize(a, b, "cosineSimilarity");
+    return dot(a, b) / (a.norm() * b.norm() + eps);
+}
+
+Vector
+matVec(const Matrix &m, const Vector &x)
+{
+    HIMA_ASSERT(m.cols() == x.size(), "matVec: cols %zu != x %zu",
+                m.cols(), x.size());
+    Vector y(m.rows());
+    for (Index r = 0; r < m.rows(); ++r) {
+        Real acc = 0.0;
+        for (Index c = 0; c < m.cols(); ++c)
+            acc += m(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Vector
+matTVec(const Matrix &m, const Vector &x)
+{
+    HIMA_ASSERT(m.rows() == x.size(), "matTVec: rows %zu != x %zu",
+                m.rows(), x.size());
+    Vector y(m.cols());
+    for (Index r = 0; r < m.rows(); ++r) {
+        const Real xv = x[r];
+        for (Index c = 0; c < m.cols(); ++c)
+            y[c] += m(r, c) * xv;
+    }
+    return y;
+}
+
+Matrix
+outer(const Vector &a, const Vector &b)
+{
+    Matrix m(a.size(), b.size());
+    for (Index r = 0; r < a.size(); ++r)
+        for (Index c = 0; c < b.size(); ++c)
+            m(r, c) = a[r] * b[c];
+    return m;
+}
+
+Matrix
+transpose(const Matrix &m)
+{
+    Matrix t(m.cols(), m.rows());
+    for (Index r = 0; r < m.rows(); ++r)
+        for (Index c = 0; c < m.cols(); ++c)
+            t(c, r) = m(r, c);
+    return t;
+}
+
+Matrix
+add(const Matrix &a, const Matrix &b)
+{
+    checkSameShape(a, b, "add");
+    Matrix out(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        out.data()[i] = a.data()[i] + b.data()[i];
+    return out;
+}
+
+Matrix
+sub(const Matrix &a, const Matrix &b)
+{
+    checkSameShape(a, b, "sub");
+    Matrix out(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        out.data()[i] = a.data()[i] - b.data()[i];
+    return out;
+}
+
+Matrix
+mul(const Matrix &a, const Matrix &b)
+{
+    checkSameShape(a, b, "mul");
+    Matrix out(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        out.data()[i] = a.data()[i] * b.data()[i];
+    return out;
+}
+
+Matrix
+scale(const Matrix &a, Real s)
+{
+    Matrix out(a.rows(), a.cols());
+    for (Index i = 0; i < a.size(); ++i)
+        out.data()[i] = a.data()[i] * s;
+    return out;
+}
+
+Matrix
+matMul(const Matrix &a, const Matrix &b)
+{
+    HIMA_ASSERT(a.cols() == b.rows(), "matMul: inner dims %zu vs %zu",
+                a.cols(), b.rows());
+    Matrix out(a.rows(), b.cols());
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index k = 0; k < a.cols(); ++k) {
+            const Real av = a(r, k);
+            if (av == 0.0)
+                continue;
+            for (Index c = 0; c < b.cols(); ++c)
+                out(r, c) += av * b(k, c);
+        }
+    }
+    return out;
+}
+
+} // namespace hima

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Dense vector/matrix types and the linear-algebra kernels the DNC memory
+ * unit is built from.
+ *
+ * The types are intentionally simple — row-major, owning, bounds-checked in
+ * the accessors — because every cycle- and energy-model in src/arch charges
+ * cost from *operation counts*, and a transparent implementation keeps those
+ * counts auditable. No external BLAS is used.
+ */
+
+#ifndef HIMA_COMMON_TENSOR_H
+#define HIMA_COMMON_TENSOR_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hima {
+
+using Real = double;
+using Index = std::size_t;
+
+/** A dense, owning, fixed-length vector of Real. */
+class Vector
+{
+  public:
+    Vector() = default;
+
+    /** Construct a zero vector of the given length. */
+    explicit Vector(Index n) : data_(n, 0.0) {}
+
+    /** Construct a constant vector. */
+    Vector(Index n, Real value) : data_(n, value) {}
+
+    Vector(std::initializer_list<Real> init) : data_(init) {}
+
+    Index size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    Real &
+    operator[](Index i)
+    {
+        HIMA_ASSERT(i < data_.size(), "vector index %zu out of range %zu",
+                    i, data_.size());
+        return data_[i];
+    }
+
+    Real
+    operator[](Index i) const
+    {
+        HIMA_ASSERT(i < data_.size(), "vector index %zu out of range %zu",
+                    i, data_.size());
+        return data_[i];
+    }
+
+    Real *data() { return data_.data(); }
+    const Real *data() const { return data_.data(); }
+
+    auto begin() { return data_.begin(); }
+    auto end() { return data_.end(); }
+    auto begin() const { return data_.begin(); }
+    auto end() const { return data_.end(); }
+
+    /** Set every element to the given value. */
+    void fill(Real value);
+
+    /** Sum of all elements. */
+    Real sum() const;
+
+    /** Euclidean (L2) norm. */
+    Real norm() const;
+
+    /** Largest element; requires a non-empty vector. */
+    Real max() const;
+
+    /** Smallest element; requires a non-empty vector. */
+    Real min() const;
+
+    /** Index of the largest element; requires a non-empty vector. */
+    Index argmax() const;
+
+    bool operator==(const Vector &other) const = default;
+
+  private:
+    std::vector<Real> data_;
+};
+
+/** A dense, owning, row-major matrix of Real. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a zero matrix of the given shape. */
+    Matrix(Index rows, Index cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    /** Construct a constant matrix. */
+    Matrix(Index rows, Index cols, Real value)
+        : rows_(rows), cols_(cols), data_(rows * cols, value)
+    {}
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+    Index size() const { return data_.size(); }
+
+    Real &
+    operator()(Index r, Index c)
+    {
+        HIMA_ASSERT(r < rows_ && c < cols_,
+                    "matrix index (%zu,%zu) out of range (%zu,%zu)",
+                    r, c, rows_, cols_);
+        return data_[r * cols_ + c];
+    }
+
+    Real
+    operator()(Index r, Index c) const
+    {
+        HIMA_ASSERT(r < rows_ && c < cols_,
+                    "matrix index (%zu,%zu) out of range (%zu,%zu)",
+                    r, c, rows_, cols_);
+        return data_[r * cols_ + c];
+    }
+
+    Real *data() { return data_.data(); }
+    const Real *data() const { return data_.data(); }
+
+    /** Set every element to the given value. */
+    void fill(Real value);
+
+    /** Copy row r out as a Vector. */
+    Vector row(Index r) const;
+
+    /** Overwrite row r from a Vector of matching length. */
+    void setRow(Index r, const Vector &v);
+
+    bool operator==(const Matrix &other) const = default;
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<Real> data_;
+};
+
+// ---------------------------------------------------------------------
+// Vector kernels
+// ---------------------------------------------------------------------
+
+/** Element-wise a + b. */
+Vector add(const Vector &a, const Vector &b);
+/** Element-wise a - b. */
+Vector sub(const Vector &a, const Vector &b);
+/** Element-wise (Hadamard) a * b. */
+Vector mul(const Vector &a, const Vector &b);
+/** Scale every element of a by s. */
+Vector scale(const Vector &a, Real s);
+/** Inner (dot) product. */
+Real dot(const Vector &a, const Vector &b);
+
+/**
+ * Cosine similarity between a and b with an epsilon guard against
+ * zero-norm operands, matching the DNC paper's content addressing.
+ */
+Real cosineSimilarity(const Vector &a, const Vector &b, Real eps = 1e-6);
+
+// ---------------------------------------------------------------------
+// Matrix kernels
+// ---------------------------------------------------------------------
+
+/** y = M x  (rows(M) must equal x for transpose=false path sizes). */
+Vector matVec(const Matrix &m, const Vector &x);
+
+/** y = M^T x. */
+Vector matTVec(const Matrix &m, const Vector &x);
+
+/** Outer product a b^T as a rows(a) x rows(b) matrix. */
+Matrix outer(const Vector &a, const Vector &b);
+
+/** Explicit transpose (the hardware transpose primitive). */
+Matrix transpose(const Matrix &m);
+
+/** Element-wise a + b. */
+Matrix add(const Matrix &a, const Matrix &b);
+/** Element-wise a - b. */
+Matrix sub(const Matrix &a, const Matrix &b);
+/** Element-wise (Hadamard) a * b. */
+Matrix mul(const Matrix &a, const Matrix &b);
+/** Scale every element. */
+Matrix scale(const Matrix &a, Real s);
+
+/** Matrix-matrix product. */
+Matrix matMul(const Matrix &a, const Matrix &b);
+
+} // namespace hima
+
+#endif // HIMA_COMMON_TENSOR_H

@@ -1,0 +1,81 @@
+#include "dnc/allocation.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "approx/usage_skimming.h"
+#include "common/tensor.h"
+
+namespace hima {
+
+SortResult
+referenceUsageSort(const std::vector<SortRecord> &records, SortOrder order)
+{
+    SortResult result;
+    result.records = records;
+    std::stable_sort(result.records.begin(), result.records.end(),
+                     [order](const SortRecord &a, const SortRecord &b) {
+                         return recordLess(a, b, order);
+                     });
+    result.cycles = 0;
+    result.comparisons = 0;
+    return result;
+}
+
+Vector
+allocationWeighting(const Vector &usage, const UsageSortFn &sorter,
+                    Index skimK, KernelProfiler *profiler)
+{
+    const Index n = usage.size();
+    HIMA_ASSERT(n > 0, "allocation over empty usage");
+    HIMA_ASSERT(skimK < n, "cannot skim %zu of %zu", skimK, n);
+
+    // --- Skim: drop the K smallest usage entries (Sec. 5.2). ---
+    std::vector<SortRecord> records;
+    records.reserve(n - skimK);
+    if (skimK == 0) {
+        records = makeRecords(usage);
+    } else {
+        const SkimmedUsage skimmed = skimUsage(usage, skimK);
+        for (Index i = 0; i < skimmed.values.size(); ++i)
+            records.push_back({skimmed.values[i], skimmed.indices[i]});
+    }
+
+    // --- HW.(2) Usage sort (ascending = free list order). ---
+    SortResult sorted;
+    {
+        std::unique_ptr<KernelScope> scope;
+        if (profiler)
+            scope = std::make_unique<KernelScope>(*profiler,
+                                                  Kernel::UsageSort);
+        sorted = sorter(records, SortOrder::Ascending);
+        if (profiler) {
+            auto &c = profiler->at(Kernel::UsageSort);
+            c.compareOps += sorted.comparisons;
+            c.stateMemAccesses += 2 * records.size(); // read + write back
+        }
+    }
+    HIMA_ASSERT(isSorted(sorted.records, SortOrder::Ascending),
+                "usage sort backend returned unsorted output");
+
+    // --- HW.(3) Allocation: accumulate products along the free list. ---
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Allocation);
+
+    Vector wa(n, 0.0);
+    Real runningProduct = 1.0;
+    for (const SortRecord &rec : sorted.records) {
+        wa[rec.idx] = (1.0 - rec.key) * runningProduct;
+        runningProduct *= rec.key;
+    }
+
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Allocation);
+        c.elementOps += 2 * sorted.records.size(); // (1-u)*prod and prod*=
+        c.stateMemAccesses += 2 * sorted.records.size();
+    }
+    return wa;
+}
+
+} // namespace hima

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Allocation weighting (HW.(2)-(3) in Fig. 2): sort the usage vector
+ * ascending to obtain the free list, then accumulate products of sorted
+ * usage so the least-used slot receives (almost) all the write allocation.
+ *
+ * The sorter is pluggable — centralized merge sort, HiMA's two-stage sort,
+ * or a plain std::sort reference — because the sorting *result* must be
+ * identical across them (tested) while the cycle cost differs. Usage
+ * skimming (Sec. 5.2) optionally drops the entries least relevant to the
+ * allocation before sorting.
+ */
+
+#ifndef HIMA_DNC_ALLOCATION_H
+#define HIMA_DNC_ALLOCATION_H
+
+#include <functional>
+
+#include "dnc/kernel_profiler.h"
+#include "sort/sort_types.h"
+
+namespace hima {
+
+/** Pluggable sorting backend for the usage sort. */
+using UsageSortFn =
+    std::function<SortResult(const std::vector<SortRecord> &, SortOrder)>;
+
+/** Reference backend: std::stable_sort, zero modeled cycles. */
+SortResult referenceUsageSort(const std::vector<SortRecord> &records,
+                              SortOrder order);
+
+/**
+ * Compute the allocation weighting.
+ *
+ * wa[phi[j]] = (1 - u[phi[j]]) * prod_{i<j} u[phi[i]] with phi the
+ * ascending usage order.
+ *
+ * Usage skimming (Sec. 5.2): discard the K *smallest* usage entries
+ * before the sort, shrinking the sort and product chain by K. Skimmed
+ * entries receive zero allocation weight, so writes land on the
+ * (K+1)-th least-used slot onward. While plenty of near-free slots
+ * remain this is harmless (the paper's "least significant usage entries
+ * have little effect"); as memory pressure grows it forces overwrites of
+ * live slots — the accuracy/efficiency trade Fig. 10 quantifies.
+ *
+ * @param usage    length-N usage vector, entries in [0, 1]
+ * @param sorter   sorting backend (defaults to the reference sort)
+ * @param skimK    entries to skim (0 disables)
+ * @param profiler optional instrumentation sink
+ */
+Vector allocationWeighting(const Vector &usage,
+                           const UsageSortFn &sorter = referenceUsageSort,
+                           Index skimK = 0,
+                           KernelProfiler *profiler = nullptr);
+
+} // namespace hima
+
+#endif // HIMA_DNC_ALLOCATION_H

@@ -1,0 +1,83 @@
+#include "dnc/content_addressing.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace hima {
+
+ContentAddressing::ContentAddressing(bool approximate, int segments)
+{
+    if (approximate)
+        approx_ = std::make_unique<SoftmaxApprox>(segments);
+}
+
+Vector
+ContentAddressing::weighting(const Matrix &memory, const Vector &key,
+                             Real strength, KernelProfiler *profiler) const
+{
+    HIMA_ASSERT(memory.cols() == key.size(),
+                "key width %zu != memory width %zu",
+                key.size(), memory.cols());
+    const Index n = memory.rows();
+    const Index w = memory.cols();
+
+    // CW/CR.(1) Normalize: row norms and the key norm.
+    Vector rowNorms(n);
+    Real keyNorm = 0.0;
+    {
+        std::unique_ptr<KernelScope> scope;
+        if (profiler)
+            scope = std::make_unique<KernelScope>(*profiler,
+                                                  Kernel::Normalize);
+        for (Index i = 0; i < n; ++i) {
+            Real acc = 0.0;
+            for (Index c = 0; c < w; ++c) {
+                const Real v = memory(i, c);
+                acc += v * v;
+            }
+            rowNorms[i] = std::sqrt(acc);
+        }
+        keyNorm = key.norm();
+        if (profiler) {
+            auto &c = profiler->at(Kernel::Normalize);
+            c.macOps += n * w + w;       // squared accumulations
+            c.specialOps += n + 1;       // square roots
+            c.extMemAccesses += n * w;   // every memory word read
+            c.stateMemAccesses += w;     // the key
+        }
+    }
+
+    // CW/CR.(2) Similarity: cosine scores sharpened and softmaxed.
+    Vector scores(n);
+    {
+        std::unique_ptr<KernelScope> scope;
+        if (profiler)
+            scope = std::make_unique<KernelScope>(*profiler,
+                                                  Kernel::Similarity);
+        constexpr Real eps = 1e-6;
+        for (Index i = 0; i < n; ++i) {
+            Real acc = 0.0;
+            for (Index c = 0; c < w; ++c)
+                acc += memory(i, c) * key[c];
+            scores[i] = strength * acc / (rowNorms[i] * keyNorm + eps);
+        }
+        if (profiler) {
+            auto &c = profiler->at(Kernel::Similarity);
+            c.macOps += n * w;
+            c.specialOps += n;          // divides
+            c.extMemAccesses += n * w;
+            c.stateMemAccesses += w;
+        }
+    }
+
+    Vector result = approx_ ? approx_->eval(scores) : softmax(scores);
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Similarity);
+        c.specialOps += n;              // exponentials (exact or PLA)
+        c.elementOps += n;              // normalization divides
+    }
+    return result;
+}
+
+} // namespace hima

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Content-based addressing (CW.(1)-(2) / CR.(1)-(2) in Fig. 2): normalize
+ * the memory rows and the key, take row-key cosine similarities, sharpen
+ * by the strength and softmax into a weighting over slots.
+ */
+
+#ifndef HIMA_DNC_CONTENT_ADDRESSING_H
+#define HIMA_DNC_CONTENT_ADDRESSING_H
+
+#include <memory>
+
+#include "approx/softmax_approx.h"
+#include "dnc/kernel_profiler.h"
+
+namespace hima {
+
+/**
+ * Content-addressing engine. Owns an optional approximate-softmax unit so
+ * that one construction decision (exact vs PLA+LUT) applies to every
+ * lookup, the way a synthesized SFU choice would.
+ */
+class ContentAddressing
+{
+  public:
+    /**
+     * @param approximate use the PLA+LUT softmax (Sec. 5.2)
+     * @param segments    PLA segment count when approximate
+     */
+    explicit ContentAddressing(bool approximate = false, int segments = 8);
+
+    /**
+     * C(M, k, beta): weighting over the N rows of memory.
+     *
+     * Charges Normalize and Similarity kernel counts to the profiler when
+     * one is supplied.
+     *
+     * @param memory   N x W external memory
+     * @param key      width-W lookup key
+     * @param strength sharpness beta >= 1
+     * @param profiler optional instrumentation sink
+     */
+    Vector weighting(const Matrix &memory, const Vector &key, Real strength,
+                     KernelProfiler *profiler = nullptr) const;
+
+    bool approximate() const { return approx_ != nullptr; }
+
+  private:
+    std::unique_ptr<SoftmaxApprox> approx_;
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_CONTENT_ADDRESSING_H

@@ -1,0 +1,98 @@
+#include "dnc/controller.h"
+
+#include <cmath>
+#include <memory>
+
+namespace hima {
+
+Controller::Controller(const DncConfig &config, Rng &rng)
+    : config_(config),
+      lstm_(config.inputSize + config.readHeads * config.memoryWidth,
+            config.controllerSize, rng)
+{
+    const Real hs = std::sqrt(1.0 / static_cast<Real>(config.controllerSize));
+    interfaceHead_ =
+        rng.normalMatrix(config.interfaceSize(), config.controllerSize,
+                         0.0, hs);
+    outputHead_ =
+        rng.normalMatrix(config.outputSize, config.controllerSize, 0.0, hs);
+    const Index readWidth = config.readHeads * config.memoryWidth;
+    readHead_ = rng.normalMatrix(config.outputSize, readWidth, 0.0,
+                                 std::sqrt(1.0 / static_cast<Real>(readWidth)));
+}
+
+Vector
+Controller::concatInput(const Vector &input,
+                        const std::vector<Vector> &readVectors) const
+{
+    HIMA_ASSERT(input.size() == config_.inputSize, "controller input width");
+    HIMA_ASSERT(readVectors.size() == config_.readHeads,
+                "read vector arity %zu != %zu",
+                readVectors.size(), config_.readHeads);
+
+    Vector feed(config_.inputSize +
+                config_.readHeads * config_.memoryWidth);
+    Index pos = 0;
+    for (Index i = 0; i < input.size(); ++i)
+        feed[pos++] = input[i];
+    for (const Vector &rv : readVectors) {
+        HIMA_ASSERT(rv.size() == config_.memoryWidth, "read vector width");
+        for (Index i = 0; i < rv.size(); ++i)
+            feed[pos++] = rv[i];
+    }
+    return feed;
+}
+
+InterfaceVector
+Controller::step(const Vector &input,
+                 const std::vector<Vector> &readVectors,
+                 KernelProfiler *profiler)
+{
+    const Vector hidden = lstm_.step(concatInput(input, readVectors),
+                                     profiler);
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Lstm);
+    const Vector raw = matVec(interfaceHead_, hidden);
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Lstm);
+        c.macOps += static_cast<std::uint64_t>(interfaceHead_.rows()) *
+                    interfaceHead_.cols();
+    }
+    return decodeInterface(raw, config_);
+}
+
+Vector
+Controller::output(const std::vector<Vector> &readVectors,
+                   KernelProfiler *profiler) const
+{
+    HIMA_ASSERT(readVectors.size() == config_.readHeads, "read arity");
+    Vector reads(config_.readHeads * config_.memoryWidth);
+    Index pos = 0;
+    for (const Vector &rv : readVectors)
+        for (Index i = 0; i < rv.size(); ++i)
+            reads[pos++] = rv[i];
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Lstm);
+    Vector y = add(matVec(outputHead_, lstm_.hidden()),
+                   matVec(readHead_, reads));
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Lstm);
+        c.macOps += static_cast<std::uint64_t>(outputHead_.rows()) *
+                        outputHead_.cols() +
+                    static_cast<std::uint64_t>(readHead_.rows()) *
+                        readHead_.cols();
+    }
+    return y;
+}
+
+void
+Controller::reset()
+{
+    lstm_.reset();
+}
+
+} // namespace hima

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The DNC controller: an LSTM fed with [input; previous read vectors],
+ * plus the linear heads that emit the interface vector and the model
+ * output (output = W_y h + W_r [read vectors], per the DNC paper).
+ */
+
+#ifndef HIMA_DNC_CONTROLLER_H
+#define HIMA_DNC_CONTROLLER_H
+
+#include <vector>
+
+#include "dnc/dnc_config.h"
+#include "dnc/interface.h"
+#include "dnc/lstm.h"
+
+namespace hima {
+
+/** LSTM controller with interface and output projection heads. */
+class Controller
+{
+  public:
+    Controller(const DncConfig &config, Rng &rng);
+
+    /**
+     * One controller step.
+     *
+     * @param input       task input of width config.inputSize
+     * @param readVectors previous step's R read vectors
+     * @param profiler    optional instrumentation sink
+     * @return the decoded interface vector for the memory unit
+     */
+    InterfaceVector step(const Vector &input,
+                         const std::vector<Vector> &readVectors,
+                         KernelProfiler *profiler = nullptr);
+
+    /**
+     * Model output for the *current* step: y = W_y h + W_r [reads]. Call
+     * after the memory unit has produced this step's read vectors.
+     */
+    Vector output(const std::vector<Vector> &readVectors,
+                  KernelProfiler *profiler = nullptr) const;
+
+    void reset();
+
+    const LstmCell &lstm() const { return lstm_; }
+
+  private:
+    /** Concatenate input and read vectors into the LSTM feed. */
+    Vector concatInput(const Vector &input,
+                       const std::vector<Vector> &readVectors) const;
+
+    DncConfig config_;
+    LstmCell lstm_;
+    Matrix interfaceHead_; ///< hidden -> interface emission
+    Matrix outputHead_;    ///< hidden -> output
+    Matrix readHead_;      ///< concatenated reads -> output
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_CONTROLLER_H

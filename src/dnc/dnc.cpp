@@ -1,0 +1,39 @@
+#include "dnc/dnc.h"
+
+namespace hima {
+
+Dnc::Dnc(const DncConfig &config, std::uint64_t seed)
+    : config_(config), rng_(seed), controller_(config, rng_),
+      memory_(config),
+      lastReads_(config.readHeads, Vector(config.memoryWidth))
+{}
+
+Vector
+Dnc::step(const Vector &input)
+{
+    KernelProfiler &prof = memory_.profiler();
+    const InterfaceVector iface =
+        controller_.step(input, lastReads_, &prof);
+    MemoryReadout readout = memory_.step(iface);
+    lastReads_ = readout.readVectors;
+    return controller_.output(lastReads_, &prof);
+}
+
+MemoryReadout
+Dnc::stepInterface(const InterfaceVector &iface)
+{
+    MemoryReadout readout = memory_.step(iface);
+    lastReads_ = readout.readVectors;
+    return readout;
+}
+
+void
+Dnc::reset()
+{
+    controller_.reset();
+    memory_.reset();
+    for (auto &rv : lastReads_)
+        rv.fill(0.0);
+}
+
+} // namespace hima

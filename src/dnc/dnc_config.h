@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Configuration record shared by the DNC, NTM and DNC-D models.
+ */
+
+#ifndef HIMA_DNC_DNC_CONFIG_H
+#define HIMA_DNC_DNC_CONFIG_H
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/**
+ * Shape and feature knobs of one DNC instance. Defaults follow the
+ * paper's evaluation point: external memory N x W = 1024 x 64 with
+ * R = 4 read heads and a 1-layer LSTM of size 256 (Fig. 4 caption).
+ */
+struct DncConfig
+{
+    /** External memory rows (slots). */
+    Index memoryRows = 1024;
+    /** External memory columns (word width). */
+    Index memoryWidth = 64;
+    /** Parallel read heads. */
+    Index readHeads = 4;
+    /** LSTM hidden size. */
+    Index controllerSize = 256;
+    /** Model input width (task token embedding). */
+    Index inputSize = 64;
+    /** Model output width. */
+    Index outputSize = 64;
+
+    /** Use the PLA+LUT softmax instead of exact softmax (Sec. 5.2). */
+    bool approximateSoftmax = false;
+    /** PLA segment count when approximateSoftmax is set. */
+    int softmaxSegments = 8;
+
+    /**
+     * Usage-skimming rate K in [0, 1): fraction of usage entries dropped
+     * from the sort and allocation (Sec. 5.2). Zero disables skimming.
+     */
+    Real skimRate = 0.0;
+
+    /** Quantize memory and weightings through the Q16.16 datapath. */
+    bool fixedPoint = false;
+
+    /** Interface vector width for these shapes (DNC paper layout). */
+    Index
+    interfaceSize() const
+    {
+        // R read keys (R*W) + R read strengths + write key (W) + write
+        // strength + erase (W) + write vector (W) + R free gates +
+        // allocation gate + write gate + R read modes of 3.
+        return readHeads * memoryWidth + 3 * memoryWidth + 5 * readHeads + 3;
+    }
+
+    /** Sanity-check the shape parameters; fatal on user error. */
+    void
+    validate() const
+    {
+        if (memoryRows == 0 || memoryWidth == 0 || readHeads == 0)
+            HIMA_FATAL("DncConfig: zero-sized memory or read heads");
+        if (memoryRows <= memoryWidth) {
+            // Sharded (DNC-D) configs routinely have small local N;
+            // nag once, not per shard.
+            static bool warned = false;
+            if (!warned) {
+                warned = true;
+                HIMA_WARN("DncConfig: paper assumes N > W (got N=%zu, "
+                          "W=%zu); further occurrences suppressed",
+                          memoryRows, memoryWidth);
+            }
+        }
+        if (skimRate < 0.0 || skimRate >= 1.0)
+            HIMA_FATAL("DncConfig: skim rate %f outside [0, 1)", skimRate);
+    }
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_DNC_CONFIG_H

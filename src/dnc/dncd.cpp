@@ -1,0 +1,134 @@
+#include "dnc/dncd.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace hima {
+
+DncD::DncD(const DncConfig &config, Index tiles, MergePolicy policy)
+    : globalConfig_(config), shardConfig_(config), tiles_(tiles),
+      policy_(policy)
+{
+    HIMA_ASSERT(tiles_ >= 1, "DNC-D needs at least one tile");
+    HIMA_ASSERT(config.memoryRows % tiles_ == 0,
+                "N=%zu not divisible by Nt=%zu", config.memoryRows, tiles_);
+    shardConfig_.memoryRows = config.memoryRows / tiles_;
+
+    shards_.reserve(tiles_);
+    for (Index t = 0; t < tiles_; ++t)
+        shards_.push_back(std::make_unique<MemoryUnit>(shardConfig_));
+}
+
+std::vector<Real>
+DncD::mergeWeights(const Vector &key, Real strength) const
+{
+    std::vector<Real> alphas(tiles_, 1.0 / static_cast<Real>(tiles_));
+    if (policy_ == MergePolicy::Uniform)
+        return alphas;
+
+    // Confidence gating: each tile scores its best cosine match against
+    // the read key; a softmax over tiles yields the alphas.
+    Vector scores(tiles_);
+    for (Index t = 0; t < tiles_; ++t) {
+        const Matrix &mem = shards_[t]->memory();
+        Real best = -1.0;
+        for (Index i = 0; i < mem.rows(); ++i)
+            best = std::max(best, cosineSimilarity(mem.row(i), key));
+        scores[t] = strength * best;
+    }
+    const Vector sm = softmax(scores);
+    for (Index t = 0; t < tiles_; ++t)
+        alphas[t] = sm[t];
+    return alphas;
+}
+
+MemoryReadout
+DncD::stepInterface(const InterfaceVector &iface)
+{
+    return stepInterfaces(
+        std::vector<InterfaceVector>(tiles_, iface));
+}
+
+MemoryReadout
+DncD::stepInterfaces(const std::vector<InterfaceVector> &ifaces)
+{
+    HIMA_ASSERT(ifaces.size() == tiles_, "need one interface per tile");
+    const Index w = globalConfig_.memoryWidth;
+    const Index r = globalConfig_.readHeads;
+
+    // Local soft write + soft read on every shard (parallel on hardware).
+    std::vector<MemoryReadout> locals;
+    locals.reserve(tiles_);
+    for (Index t = 0; t < tiles_; ++t)
+        locals.push_back(shards_[t]->step(ifaces[t]));
+
+    // Read-vector merge: v_r = sum_t alpha_t v_r_t (Eq. 4).
+    MemoryReadout merged;
+    merged.readVectors.assign(r, Vector(w));
+    prevAlphas_ = lastAlphas_;
+    lastAlphas_.assign(r, std::vector<Real>(tiles_, 0.0));
+    for (Index head = 0; head < r; ++head) {
+        // Read keys are shared across tiles (queries broadcast); use
+        // tile 0's copy for the confidence gating. For history-dominated
+        // reads (forward/backward mode) there is no content key to score
+        // — the trained gate carries the previous step's attention, so
+        // we reuse the last alphas (the tile that held the anchor keeps
+        // owning the chain).
+        std::vector<Real> alphas;
+        const ReadMode &mode = ifaces[0].readModes[head];
+        if (mode.content < 0.5 && head < prevAlphas_.size() &&
+            !prevAlphas_[head].empty()) {
+            alphas = prevAlphas_[head];
+        } else {
+            alphas = mergeWeights(ifaces[0].readKeys[head],
+                                  ifaces[0].readStrengths[head]);
+        }
+        lastAlphas_[head] = alphas;
+        for (Index t = 0; t < tiles_; ++t) {
+            const Vector &local = locals[t].readVectors[head];
+            for (Index c = 0; c < w; ++c)
+                merged.readVectors[head][c] += alphas[t] * local[c];
+        }
+    }
+
+    // Concatenated (global-view) weightings for inspection: tile t's
+    // local weighting occupies rows [t*n, (t+1)*n).
+    const Index shardRows = shardConfig_.memoryRows;
+    merged.readWeightings.assign(r, Vector(globalConfig_.memoryRows));
+    merged.writeWeighting = Vector(globalConfig_.memoryRows);
+    for (Index t = 0; t < tiles_; ++t) {
+        for (Index head = 0; head < r; ++head) {
+            for (Index i = 0; i < shardRows; ++i) {
+                merged.readWeightings[head][t * shardRows + i] =
+                    locals[t].readWeightings[head][i] *
+                    lastAlphas_[head][t];
+            }
+        }
+        for (Index i = 0; i < shardRows; ++i) {
+            merged.writeWeighting[t * shardRows + i] =
+                locals[t].writeWeighting[i] / static_cast<Real>(tiles_);
+        }
+    }
+    return merged;
+}
+
+void
+DncD::reset()
+{
+    for (auto &shard : shards_)
+        shard->reset();
+    lastAlphas_.clear();
+    prevAlphas_.clear();
+}
+
+KernelProfiler
+DncD::aggregateProfile() const
+{
+    KernelProfiler total;
+    for (const auto &shard : shards_)
+        total.merge(shard->profiler());
+    return total;
+}
+
+} // namespace hima

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * DNC-D: the distributed DNC model (Sec. 5.1, Fig. 8).
+ *
+ * The external memory and *all* state memories are sharded across Nt
+ * tiles; each tile runs the complete soft write + soft read pipeline on
+ * its local N/Nt-row shard with no inter-tile communication. The tile
+ * read vectors are merged by a weighted sum
+ *
+ *     v_r = sum_i alpha_i * v_r_i,   alpha in [0,1]
+ *
+ * where the paper trains the alphas through the LSTM. At inference time
+ * we model the trained gating with a content-confidence softmax: each
+ * tile's alpha is proportional to exp(beta * best cosine match) between
+ * the read key and that tile's memory rows — the tile that actually holds
+ * the matching record dominates the merge, which is what the trained
+ * gating converges to for retrieval workloads (see DESIGN.md).
+ */
+
+#ifndef HIMA_DNC_DNCD_H
+#define HIMA_DNC_DNCD_H
+
+#include <memory>
+#include <vector>
+
+#include "dnc/dnc.h"
+
+namespace hima {
+
+/** How DNC-D merges the per-tile read vectors. */
+enum class MergePolicy
+{
+    /** Uniform alphas (1/Nt each) — the untrained lower bound. */
+    Uniform,
+    /** Content-confidence softmax (models the trained gating). */
+    Confidence,
+};
+
+/** Distributed DNC over Nt shards. */
+class DncD
+{
+  public:
+    /**
+     * @param config full-size DNC shapes (memoryRows is the *global* N)
+     * @param tiles  shard count Nt; must divide memoryRows
+     * @param policy read-vector merge policy
+     */
+    DncD(const DncConfig &config, Index tiles,
+         MergePolicy policy = MergePolicy::Confidence);
+
+    /**
+     * Drive every shard with the same scripted interface vector and merge
+     * the read vectors. This mirrors Fig. 8: soft read/write execute
+     * locally per tile; only the read-vector merge is global.
+     */
+    MemoryReadout stepInterface(const InterfaceVector &iface);
+
+    /**
+     * Drive each shard with its own *sub interface vector* (the Fig. 8
+     * arrangement: the trained LSTM emits per-tile interfaces, e.g.
+     * raising the write gate on exactly the tile that should store this
+     * item). Read-vector merge is identical to stepInterface().
+     */
+    MemoryReadout stepInterfaces(const std::vector<InterfaceVector> &ifaces);
+
+    /** Reset all shards. */
+    void reset();
+
+    Index tiles() const { return tiles_; }
+    const DncConfig &globalConfig() const { return globalConfig_; }
+    const DncConfig &shardConfig() const { return shardConfig_; }
+    MemoryUnit &shard(Index t) { return *shards_[t]; }
+    const MemoryUnit &shard(Index t) const { return *shards_[t]; }
+
+    /** Merge weights used on the most recent step (per head, per tile). */
+    const std::vector<std::vector<Real>> &lastAlphas() const
+    {
+        return lastAlphas_;
+    }
+
+    /** Aggregate profiler across all shards. */
+    KernelProfiler aggregateProfile() const;
+
+  private:
+    /** Per-head tile confidences -> alphas under the merge policy. */
+    std::vector<Real> mergeWeights(const Vector &key, Real strength) const;
+
+    DncConfig globalConfig_;
+    DncConfig shardConfig_;
+    Index tiles_;
+    MergePolicy policy_;
+    std::vector<std::unique_ptr<MemoryUnit>> shards_;
+    std::vector<std::vector<Real>> lastAlphas_;
+    std::vector<std::vector<Real>> prevAlphas_;
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_DNCD_H

@@ -1,0 +1,95 @@
+#include "dnc/interface.h"
+
+#include "common/math_util.h"
+
+namespace hima {
+
+InterfaceVector
+decodeInterface(const Vector &raw, const DncConfig &config)
+{
+    HIMA_ASSERT(raw.size() == config.interfaceSize(),
+                "interface width %zu != expected %zu",
+                raw.size(), config.interfaceSize());
+
+    const Index w = config.memoryWidth;
+    const Index r = config.readHeads;
+
+    InterfaceVector iface;
+    Index pos = 0;
+
+    auto takeVector = [&](Index len) {
+        Vector v(len);
+        for (Index i = 0; i < len; ++i)
+            v[i] = raw[pos + i];
+        pos += len;
+        return v;
+    };
+    auto takeScalar = [&] { return raw[pos++]; };
+
+    iface.readKeys.reserve(r);
+    for (Index i = 0; i < r; ++i)
+        iface.readKeys.push_back(takeVector(w));
+
+    iface.readStrengths.reserve(r);
+    for (Index i = 0; i < r; ++i)
+        iface.readStrengths.push_back(oneplus(takeScalar()));
+
+    iface.writeKey = takeVector(w);
+    iface.writeStrength = oneplus(takeScalar());
+    iface.eraseVector = sigmoidVec(takeVector(w));
+    iface.writeVector = takeVector(w);
+
+    iface.freeGates.reserve(r);
+    for (Index i = 0; i < r; ++i)
+        iface.freeGates.push_back(sigmoid(takeScalar()));
+
+    iface.allocationGate = sigmoid(takeScalar());
+    iface.writeGate = sigmoid(takeScalar());
+
+    iface.readModes.reserve(r);
+    for (Index i = 0; i < r; ++i) {
+        Vector mode = softmax(takeVector(3));
+        iface.readModes.push_back({mode[0], mode[1], mode[2]});
+    }
+
+    HIMA_ASSERT(pos == raw.size(), "interface decode consumed %zu of %zu",
+                pos, raw.size());
+    return iface;
+}
+
+void
+validateInterface(const InterfaceVector &iface, const DncConfig &config)
+{
+    const Index w = config.memoryWidth;
+    const Index r = config.readHeads;
+
+    HIMA_ASSERT(iface.readKeys.size() == r, "expected %zu read keys", r);
+    for (const auto &key : iface.readKeys)
+        HIMA_ASSERT(key.size() == w, "read key width %zu != %zu",
+                    key.size(), w);
+    HIMA_ASSERT(iface.readStrengths.size() == r, "read strengths arity");
+    HIMA_ASSERT(iface.writeKey.size() == w, "write key width");
+    HIMA_ASSERT(iface.eraseVector.size() == w, "erase width");
+    HIMA_ASSERT(iface.writeVector.size() == w, "write vector width");
+    HIMA_ASSERT(iface.freeGates.size() == r, "free gates arity");
+    HIMA_ASSERT(iface.readModes.size() == r, "read modes arity");
+    for (Real s : iface.readStrengths)
+        HIMA_ASSERT(s >= 1.0, "read strength %f < 1", s);
+    HIMA_ASSERT(iface.writeStrength >= 1.0, "write strength %f < 1",
+                iface.writeStrength);
+    for (Real g : iface.freeGates)
+        HIMA_ASSERT(g >= 0.0 && g <= 1.0, "free gate %f outside [0,1]", g);
+    HIMA_ASSERT(iface.allocationGate >= 0.0 && iface.allocationGate <= 1.0,
+                "allocation gate range");
+    HIMA_ASSERT(iface.writeGate >= 0.0 && iface.writeGate <= 1.0,
+                "write gate range");
+    for (const auto &m : iface.readModes) {
+        HIMA_ASSERT(m.backward >= 0.0 && m.content >= 0.0 && m.forward >= 0.0,
+                    "read mode negative");
+        HIMA_ASSERT(nearlyEqual(m.backward + m.content + m.forward, 1.0,
+                                1e-6),
+                    "read mode not on simplex");
+    }
+}
+
+} // namespace hima

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Interface-vector codec: the contract between the LSTM controller and the
+ * memory unit (the v^i of Fig. 1/2).
+ *
+ * The raw controller emission is a flat vector; this module slices it into
+ * the named fields and applies the DNC paper's range constraints (oneplus
+ * for strengths, sigmoid for gates/erase, softmax for read modes).
+ */
+
+#ifndef HIMA_DNC_INTERFACE_H
+#define HIMA_DNC_INTERFACE_H
+
+#include <vector>
+
+#include "dnc/dnc_config.h"
+
+namespace hima {
+
+/** Read-mode mixing weights: backward / content / forward (HR.(3)). */
+struct ReadMode
+{
+    Real backward;
+    Real content;
+    Real forward;
+};
+
+/** Decoded interface vector. */
+struct InterfaceVector
+{
+    std::vector<Vector> readKeys;   ///< R keys of width W
+    std::vector<Real> readStrengths; ///< R strengths, each >= 1
+    Vector writeKey;                ///< width W
+    Real writeStrength;             ///< >= 1
+    Vector eraseVector;             ///< width W, in (0, 1)
+    Vector writeVector;             ///< width W
+    std::vector<Real> freeGates;    ///< R gates in (0, 1)
+    Real allocationGate;            ///< in (0, 1)
+    Real writeGate;                 ///< in (0, 1)
+    std::vector<ReadMode> readModes; ///< R simplex triples
+};
+
+/**
+ * Decode a flat emission of length config.interfaceSize() into the named
+ * fields, applying the constraint non-linearities.
+ */
+InterfaceVector decodeInterface(const Vector &raw, const DncConfig &config);
+
+/**
+ * Re-encode an InterfaceVector into pre-constraint raw form is not
+ * possible (the non-linearities are not all invertible at the edges), but
+ * tests and workloads need to *construct* scripted interfaces directly;
+ * this validates field shapes against a config.
+ */
+void validateInterface(const InterfaceVector &iface, const DncConfig &config);
+
+} // namespace hima
+
+#endif // HIMA_DNC_INTERFACE_H

@@ -1,0 +1,133 @@
+#include "dnc/kernel_profiler.h"
+
+#include "common/logging.h"
+
+namespace hima {
+
+const char *
+kernelName(Kernel k)
+{
+    switch (k) {
+      case Kernel::Normalize: return "Normalize";
+      case Kernel::Similarity: return "Similarity";
+      case Kernel::MemoryWrite: return "Memory Write";
+      case Kernel::MemoryRead: return "Memory Read";
+      case Kernel::Retention: return "Retention";
+      case Kernel::Usage: return "Usage";
+      case Kernel::UsageSort: return "Usage Sort";
+      case Kernel::Allocation: return "Allocation";
+      case Kernel::WriteMerge: return "Wr. Weight Merge";
+      case Kernel::Linkage: return "Linkage";
+      case Kernel::Precedence: return "Precedence";
+      case Kernel::ForwardBackward: return "Forward-Backward";
+      case Kernel::ReadMerge: return "Rd. Weight Merge";
+      case Kernel::Lstm: return "NN (LSTM)";
+      default: HIMA_PANIC("bad kernel id %d", static_cast<int>(k));
+    }
+}
+
+KernelCategory
+kernelCategory(Kernel k)
+{
+    switch (k) {
+      case Kernel::Normalize:
+      case Kernel::Similarity:
+        return KernelCategory::ContentWeighting;
+      case Kernel::MemoryWrite:
+      case Kernel::MemoryRead:
+        return KernelCategory::MemoryAccess;
+      case Kernel::Retention:
+      case Kernel::Usage:
+      case Kernel::UsageSort:
+      case Kernel::Allocation:
+      case Kernel::WriteMerge:
+        return KernelCategory::HistoryWrite;
+      case Kernel::Linkage:
+      case Kernel::Precedence:
+      case Kernel::ForwardBackward:
+      case Kernel::ReadMerge:
+        return KernelCategory::HistoryRead;
+      case Kernel::Lstm:
+        return KernelCategory::Nn;
+      default: HIMA_PANIC("bad kernel id %d", static_cast<int>(k));
+    }
+}
+
+const char *
+categoryName(KernelCategory c)
+{
+    switch (c) {
+      case KernelCategory::ContentWeighting:
+        return "Content-based Weighting";
+      case KernelCategory::MemoryAccess:
+        return "Write/Read Mem. Access";
+      case KernelCategory::HistoryWrite:
+        return "Hist.-based Wr. Weighting";
+      case KernelCategory::HistoryRead:
+        return "Hist.-based Rd. Weighting";
+      case KernelCategory::Nn:
+        return "NN (LSTM)";
+      default: HIMA_PANIC("bad category id %d", static_cast<int>(c));
+    }
+}
+
+void
+KernelCounters::merge(const KernelCounters &other)
+{
+    invocations += other.invocations;
+    macOps += other.macOps;
+    elementOps += other.elementOps;
+    specialOps += other.specialOps;
+    compareOps += other.compareOps;
+    extMemAccesses += other.extMemAccesses;
+    stateMemAccesses += other.stateMemAccesses;
+    nanoseconds += other.nanoseconds;
+}
+
+KernelCounters &
+KernelProfiler::at(Kernel k)
+{
+    return counters_[static_cast<int>(k)];
+}
+
+const KernelCounters &
+KernelProfiler::at(Kernel k) const
+{
+    return counters_[static_cast<int>(k)];
+}
+
+KernelCounters
+KernelProfiler::categoryTotal(KernelCategory c) const
+{
+    KernelCounters total;
+    for (int i = 0; i < static_cast<int>(Kernel::NumKernels); ++i) {
+        const auto k = static_cast<Kernel>(i);
+        if (kernelCategory(k) == c)
+            total.merge(counters_[i]);
+    }
+    return total;
+}
+
+KernelCounters
+KernelProfiler::grandTotal() const
+{
+    KernelCounters total;
+    for (const auto &c : counters_)
+        total.merge(c);
+    return total;
+}
+
+void
+KernelProfiler::merge(const KernelProfiler &other)
+{
+    for (int i = 0; i < static_cast<int>(Kernel::NumKernels); ++i)
+        counters_[i].merge(other.counters_[i]);
+}
+
+void
+KernelProfiler::reset()
+{
+    counters_ = {};
+}
+
+} // namespace hima

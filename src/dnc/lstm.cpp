@@ -1,0 +1,72 @@
+#include "dnc/lstm.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/math_util.h"
+
+namespace hima {
+
+LstmCell::LstmCell(Index inputSize, Index hiddenSize, Rng &rng)
+    : inputSize_(inputSize), hiddenSize_(hiddenSize),
+      hidden_(hiddenSize), cell_(hiddenSize)
+{
+    HIMA_ASSERT(inputSize_ > 0 && hiddenSize_ > 0, "LSTM sizes");
+    const Real xs = std::sqrt(2.0 / static_cast<Real>(inputSize + hiddenSize));
+    for (int g = 0; g < 4; ++g) {
+        wx_[g] = rng.normalMatrix(hiddenSize, inputSize, 0.0, xs);
+        wh_[g] = rng.normalMatrix(hiddenSize, hiddenSize, 0.0, xs);
+        bias_[g] = Vector(hiddenSize);
+    }
+    // Positive forget-gate bias: standard recipe for stable recurrence.
+    bias_[1] = Vector(hiddenSize, 1.0);
+}
+
+Vector
+LstmCell::step(const Vector &input, KernelProfiler *profiler)
+{
+    HIMA_ASSERT(input.size() == inputSize_, "LSTM input width %zu != %zu",
+                input.size(), inputSize_);
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Lstm);
+
+    Vector gate[4];
+    for (int g = 0; g < 4; ++g)
+        gate[g] = add(add(matVec(wx_[g], input), matVec(wh_[g], hidden_)),
+                      bias_[g]);
+
+    const Vector i = sigmoidVec(gate[0]);
+    const Vector f = sigmoidVec(gate[1]);
+    const Vector cand = tanhVec(gate[2]);
+    const Vector o = sigmoidVec(gate[3]);
+
+    for (Index k = 0; k < hiddenSize_; ++k) {
+        cell_[k] = f[k] * cell_[k] + i[k] * cand[k];
+        hidden_[k] = o[k] * std::tanh(cell_[k]);
+    }
+
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Lstm);
+        c.macOps += macsPerStep();
+        c.specialOps += 5 * hiddenSize_; // sigmoid/tanh SFU evaluations
+        c.elementOps += 4 * hiddenSize_;
+    }
+    return hidden_;
+}
+
+void
+LstmCell::reset()
+{
+    hidden_.fill(0.0);
+    cell_.fill(0.0);
+}
+
+std::uint64_t
+LstmCell::macsPerStep() const
+{
+    return 4ull * hiddenSize_ * (inputSize_ + hiddenSize_ + 1);
+}
+
+} // namespace hima

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * LSTM controller substrate. HiMA's controller tile hosts "an LSTM
+ * implementation employed by [MANNA]"; this is the functional equivalent:
+ * a standard LSTM cell (input/forget/output gates + candidate) with the
+ * profiler charging its MACs to the NN kernel category.
+ */
+
+#ifndef HIMA_DNC_LSTM_H
+#define HIMA_DNC_LSTM_H
+
+#include "common/random.h"
+#include "dnc/kernel_profiler.h"
+
+namespace hima {
+
+/** A single LSTM layer with persistent (h, c) state. */
+class LstmCell
+{
+  public:
+    /**
+     * @param inputSize  width of x_t
+     * @param hiddenSize width of h_t / c_t
+     * @param rng        weight initializer (Xavier-scaled normal)
+     */
+    LstmCell(Index inputSize, Index hiddenSize, Rng &rng);
+
+    /** One recurrence step; returns the new hidden state. */
+    Vector step(const Vector &input, KernelProfiler *profiler = nullptr);
+
+    /** Zero the recurrent state. */
+    void reset();
+
+    const Vector &hidden() const { return hidden_; }
+    const Vector &cell() const { return cell_; }
+    Index inputSize() const { return inputSize_; }
+    Index hiddenSize() const { return hiddenSize_; }
+
+    /** MACs per step: 4 gates of (in + hidden + 1) x hidden. */
+    std::uint64_t macsPerStep() const;
+
+  private:
+    Index inputSize_;
+    Index hiddenSize_;
+
+    // Gate weights: each maps [x; h] + bias -> hidden. Order: input,
+    // forget, candidate, output.
+    Matrix wx_[4];
+    Matrix wh_[4];
+    Vector bias_[4];
+
+    Vector hidden_;
+    Vector cell_;
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_LSTM_H

@@ -1,0 +1,190 @@
+#include "dnc/memory_unit.h"
+
+#include <memory>
+
+#include "approx/fixed_point.h"
+#include "common/math_util.h"
+
+namespace hima {
+
+MemoryUnit::MemoryUnit(const DncConfig &config)
+    : config_(config),
+      addressing_(config.approximateSoftmax, config.softmaxSegments),
+      usageSorter_(referenceUsageSort),
+      skimK_(static_cast<Index>(config.skimRate *
+                                static_cast<Real>(config.memoryRows))),
+      memory_(config.memoryRows, config.memoryWidth),
+      usage_(config.memoryRows),
+      linkage_(config.memoryRows),
+      writeWeighting_(config.memoryRows),
+      readWeightings_(config.readHeads, Vector(config.memoryRows))
+{
+    config_.validate();
+}
+
+void
+MemoryUnit::setUsageSorter(UsageSortFn sorter)
+{
+    HIMA_ASSERT(static_cast<bool>(sorter), "null usage sorter");
+    usageSorter_ = std::move(sorter);
+}
+
+MemoryReadout
+MemoryUnit::step(const InterfaceVector &iface)
+{
+    validateInterface(iface, config_);
+
+    MemoryReadout out;
+    const Vector writeWeighting = softWrite(iface);
+
+    // HR.(1)-(2): linkage must see the *previous* precedence, so the
+    // linkage update precedes the precedence update.
+    linkage_.updateLinkage(writeWeighting, &profiler_);
+    linkage_.updatePrecedence(writeWeighting, &profiler_);
+
+    writeWeighting_ = writeWeighting;
+    out.writeWeighting = writeWeighting;
+
+    softRead(iface, out);
+    return out;
+}
+
+Vector
+MemoryUnit::softWrite(const InterfaceVector &iface)
+{
+    const Index n = config_.memoryRows;
+
+    // CW.(1)-(2): content-based write weighting.
+    const Vector contentW = addressing_.weighting(
+        memory_, iface.writeKey, iface.writeStrength, &profiler_);
+
+    // HW.(1)-(2): retention then usage update (uses *previous* write and
+    // read weightings).
+    const Vector psi =
+        retentionVector(iface.freeGates, readWeightings_, &profiler_);
+    usage_ = updateUsage(usage_, writeWeighting_, psi, &profiler_);
+
+    // HW.(2)-(3): usage sort + allocation weighting (optionally skimmed).
+    const Vector alloc =
+        allocationWeighting(usage_, usageSorter_, skimK_, &profiler_);
+
+    // WM: merge content and allocation paths under the gates.
+    Vector writeWeighting(n);
+    {
+        std::unique_ptr<KernelScope> scope =
+            std::make_unique<KernelScope>(profiler_, Kernel::WriteMerge);
+        const Real ga = iface.allocationGate;
+        const Real gw = iface.writeGate;
+        for (Index i = 0; i < n; ++i)
+            writeWeighting[i] = gw * (ga * alloc[i] + (1.0 - ga) * contentW[i]);
+        auto &c = profiler_.at(Kernel::WriteMerge);
+        c.elementOps += 3 * n;
+        c.stateMemAccesses += 3 * n;
+    }
+
+    // MW: apply erase then additive write to the external memory.
+    memoryWrite(writeWeighting, iface.eraseVector, iface.writeVector);
+
+    if (config_.fixedPoint)
+        writeWeighting = quantize(writeWeighting);
+    return writeWeighting;
+}
+
+void
+MemoryUnit::memoryWrite(const Vector &writeWeighting, const Vector &erase,
+                        const Vector &write)
+{
+    std::unique_ptr<KernelScope> scope =
+        std::make_unique<KernelScope>(profiler_, Kernel::MemoryWrite);
+
+    const Index n = config_.memoryRows;
+    const Index w = config_.memoryWidth;
+    // M <- M .* (E - w_w e^T) + w_w v^T, computed row-at-a-time: the
+    // outer products never materialize, matching the PE-array dataflow.
+    for (Index i = 0; i < n; ++i) {
+        const Real wi = writeWeighting[i];
+        if (wi == 0.0)
+            continue;
+        for (Index c = 0; c < w; ++c)
+            memory_(i, c) = memory_(i, c) * (1.0 - wi * erase[c])
+                          + wi * write[c];
+    }
+    if (config_.fixedPoint)
+        memory_ = quantize(memory_);
+
+    auto &counters = profiler_.at(Kernel::MemoryWrite);
+    counters.elementOps += 4 * static_cast<std::uint64_t>(n) * w;
+    counters.extMemAccesses += 2 * static_cast<std::uint64_t>(n) * w;
+    counters.stateMemAccesses += n; // the write weighting
+}
+
+void
+MemoryUnit::softRead(const InterfaceVector &iface, MemoryReadout &out)
+{
+    const Index n = config_.memoryRows;
+    const Index w = config_.memoryWidth;
+    const Index r = config_.readHeads;
+
+    out.readVectors.reserve(r);
+    out.readWeightings.reserve(r);
+
+    for (Index head = 0; head < r; ++head) {
+        // HR.(3): forward/backward via the linkage matrix.
+        const Vector fwd =
+            linkage_.forwardWeighting(readWeightings_[head], &profiler_);
+        const Vector bwd =
+            linkage_.backwardWeighting(readWeightings_[head], &profiler_);
+
+        // CR.(1)-(2): content-based read weighting.
+        const Vector content = addressing_.weighting(
+            memory_, iface.readKeys[head], iface.readStrengths[head],
+            &profiler_);
+
+        // RM: mode-weighted merge onto the simplex.
+        Vector weighting(n);
+        {
+            KernelScope scope(profiler_, Kernel::ReadMerge);
+            const ReadMode &mode = iface.readModes[head];
+            for (Index i = 0; i < n; ++i) {
+                weighting[i] = mode.backward * bwd[i]
+                             + mode.content * content[i]
+                             + mode.forward * fwd[i];
+            }
+            auto &c = profiler_.at(Kernel::ReadMerge);
+            c.elementOps += 3 * n;
+            c.stateMemAccesses += 4 * n;
+        }
+        if (config_.fixedPoint)
+            weighting = quantize(weighting);
+
+        // MR: v_r = M^T w_r.
+        Vector readVector(w);
+        {
+            KernelScope scope(profiler_, Kernel::MemoryRead);
+            readVector = matTVec(memory_, weighting);
+            auto &c = profiler_.at(Kernel::MemoryRead);
+            c.macOps += static_cast<std::uint64_t>(n) * w;
+            c.extMemAccesses += static_cast<std::uint64_t>(n) * w;
+            c.stateMemAccesses += n;
+        }
+        if (config_.fixedPoint)
+            readVector = quantize(readVector);
+
+        readWeightings_[head] = weighting;
+        out.readWeightings.push_back(std::move(weighting));
+        out.readVectors.push_back(std::move(readVector));
+    }
+}
+
+void
+MemoryUnit::reset()
+{
+    memory_.fill(0.0);
+    usage_.fill(0.0);
+    linkage_.reset();
+    writeWeighting_.fill(0.0);
+    for (auto &rw : readWeightings_)
+        rw.fill(0.0);
+}
+
+} // namespace hima

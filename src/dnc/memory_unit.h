@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The DNC memory unit: the complete Fig. 2 dataflow.
+ *
+ * One step() consumes an InterfaceVector and produces R read vectors,
+ * executing:
+ *
+ *   Soft write: content write weighting (CW) -> retention/usage/sort/
+ *   allocation (HW) -> write weight merge (WM) -> memory write (MW)
+ *
+ *   Soft read: linkage + precedence + forward/backward (HR) -> content
+ *   read weighting (CR) -> read weight merge (RM) -> memory read (MR)
+ *
+ * All state (M, u, p, L, previous weightings) lives here; the LSTM
+ * controller is external. Every kernel charges the KernelProfiler.
+ */
+
+#ifndef HIMA_DNC_MEMORY_UNIT_H
+#define HIMA_DNC_MEMORY_UNIT_H
+
+#include <vector>
+
+#include "dnc/allocation.h"
+#include "dnc/content_addressing.h"
+#include "dnc/dnc_config.h"
+#include "dnc/interface.h"
+#include "dnc/temporal_linkage.h"
+#include "dnc/usage.h"
+
+namespace hima {
+
+/** Result of one memory-unit step. */
+struct MemoryReadout
+{
+    /** R read vectors of width W. */
+    std::vector<Vector> readVectors;
+    /** The read weightings that produced them (for inspection/tests). */
+    std::vector<Vector> readWeightings;
+    /** The write weighting applied this step. */
+    Vector writeWeighting;
+};
+
+/** The stateful DNC memory unit. */
+class MemoryUnit
+{
+  public:
+    explicit MemoryUnit(const DncConfig &config);
+
+    /**
+     * Execute one full soft write + soft read cycle.
+     *
+     * @param iface decoded interface vector from the controller
+     */
+    MemoryReadout step(const InterfaceVector &iface);
+
+    /** Zero all state (episode boundary). */
+    void reset();
+
+    // --- state inspection (tests, workloads, the DNC-D merge) ---
+    const Matrix &memory() const { return memory_; }
+    const Vector &usage() const { return usage_; }
+    const TemporalLinkage &linkage() const { return linkage_; }
+    const Vector &writeWeighting() const { return writeWeighting_; }
+    const std::vector<Vector> &readWeightings() const
+    {
+        return readWeightings_;
+    }
+    const DncConfig &config() const { return config_; }
+
+    KernelProfiler &profiler() { return profiler_; }
+    const KernelProfiler &profiler() const { return profiler_; }
+
+    /**
+     * Install a hardware sorting backend for the usage sort (defaults to
+     * the reference sort). Lets the accelerator model reuse the exact
+     * functional pipeline while charging hardware sorter cycles.
+     */
+    void setUsageSorter(UsageSortFn sorter);
+
+  private:
+    /** Soft write per Sec. 2.1.1; returns the merged write weighting. */
+    Vector softWrite(const InterfaceVector &iface);
+
+    /** Soft read per Sec. 2.1.2; fills the readout. */
+    void softRead(const InterfaceVector &iface, MemoryReadout &out);
+
+    /** Apply erase+add to the external memory (MW). */
+    void memoryWrite(const Vector &writeWeighting, const Vector &erase,
+                     const Vector &write);
+
+    DncConfig config_;
+    ContentAddressing addressing_;
+    UsageSortFn usageSorter_;
+    Index skimK_;
+
+    Matrix memory_;                     ///< external memory, N x W
+    Vector usage_;                      ///< usage state, N
+    TemporalLinkage linkage_;           ///< linkage + precedence state
+    Vector writeWeighting_;             ///< previous write weighting, N
+    std::vector<Vector> readWeightings_; ///< previous read weightings, R x N
+
+    KernelProfiler profiler_;
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_MEMORY_UNIT_H

@@ -1,0 +1,126 @@
+#include "dnc/ntm.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace hima {
+
+NtmMemoryUnit::NtmMemoryUnit(const DncConfig &config)
+    : config_(config),
+      addressing_(config.approximateSoftmax, config.softmaxSegments),
+      memory_(config.memoryRows, config.memoryWidth),
+      writeWeighting_(config.memoryRows),
+      readWeightings_(config.readHeads, Vector(config.memoryRows))
+{
+    config_.validate();
+}
+
+Vector
+NtmMemoryUnit::address(const NtmHeadInput &head, const Vector &prevWeighting)
+{
+    HIMA_ASSERT(head.shift.size() == 3, "NTM shift kernel must be length 3");
+    const Index n = config_.memoryRows;
+
+    // Content addressing (shared CW/CR kernels with DNC).
+    const Vector content =
+        addressing_.weighting(memory_, head.key, head.strength, &profiler_);
+
+    // Interpolate with the previous weighting, circular-shift, sharpen.
+    // These are cheap element-wise access-kernel operations; charge them
+    // to the merge kernels so category accounting stays comparable.
+    Vector gated(n);
+    for (Index i = 0; i < n; ++i)
+        gated[i] = head.gate * content[i]
+                 + (1.0 - head.gate) * prevWeighting[i];
+
+    Vector shifted(n);
+    for (Index i = 0; i < n; ++i) {
+        // shift[0] = move -1, shift[1] = stay, shift[2] = move +1.
+        const Index prev = (i + n - 1) % n;
+        const Index next = (i + 1) % n;
+        shifted[i] = gated[next] * head.shift[0]
+                   + gated[i] * head.shift[1]
+                   + gated[prev] * head.shift[2];
+    }
+
+    Vector sharpened(n);
+    Real denom = 0.0;
+    for (Index i = 0; i < n; ++i) {
+        sharpened[i] = std::pow(shifted[i], head.gamma);
+        denom += sharpened[i];
+    }
+    HIMA_ASSERT(denom > 0.0, "NTM sharpening denominator vanished");
+    for (Index i = 0; i < n; ++i)
+        sharpened[i] /= denom;
+
+    auto &c = profiler_.at(Kernel::ReadMerge);
+    c.elementOps += 7 * n;
+    c.specialOps += n; // pow
+    c.stateMemAccesses += 3 * n;
+    return sharpened;
+}
+
+std::vector<Vector>
+NtmMemoryUnit::step(const NtmInterface &iface)
+{
+    const Index n = config_.memoryRows;
+    const Index w = config_.memoryWidth;
+    HIMA_ASSERT(iface.readHeads.size() == config_.readHeads,
+                "NTM read head arity");
+    HIMA_ASSERT(iface.eraseVector.size() == w && iface.addVector.size() == w,
+                "NTM erase/add width");
+
+    // Soft write.
+    writeWeighting_ = address(iface.writeHead, writeWeighting_);
+    {
+        KernelScope scope(profiler_, Kernel::MemoryWrite);
+        for (Index i = 0; i < n; ++i) {
+            const Real wi = writeWeighting_[i];
+            if (wi == 0.0)
+                continue;
+            for (Index c = 0; c < w; ++c)
+                memory_(i, c) = memory_(i, c) * (1.0 - wi *
+                                                 iface.eraseVector[c])
+                              + wi * iface.addVector[c];
+        }
+        auto &c = profiler_.at(Kernel::MemoryWrite);
+        c.elementOps += 4ull * n * w;
+        c.extMemAccesses += 2ull * n * w;
+    }
+
+    // Soft reads.
+    std::vector<Vector> reads;
+    reads.reserve(config_.readHeads);
+    for (Index r = 0; r < config_.readHeads; ++r) {
+        readWeightings_[r] = address(iface.readHeads[r], readWeightings_[r]);
+        KernelScope scope(profiler_, Kernel::MemoryRead);
+        reads.push_back(matTVec(memory_, readWeightings_[r]));
+        auto &c = profiler_.at(Kernel::MemoryRead);
+        c.macOps += static_cast<std::uint64_t>(n) * w;
+        c.extMemAccesses += static_cast<std::uint64_t>(n) * w;
+    }
+    return reads;
+}
+
+void
+NtmMemoryUnit::seedMemory(const Matrix &contents)
+{
+    HIMA_ASSERT(contents.rows() == config_.memoryRows &&
+                    contents.cols() == config_.memoryWidth,
+                "seed shape (%zu,%zu) != memory (%zu,%zu)",
+                contents.rows(), contents.cols(), config_.memoryRows,
+                config_.memoryWidth);
+    memory_ = contents;
+}
+
+void
+NtmMemoryUnit::reset()
+{
+    memory_.fill(0.0);
+    writeWeighting_.fill(0.0);
+    for (auto &rw : readWeightings_)
+        rw.fill(0.0);
+}
+
+} // namespace hima

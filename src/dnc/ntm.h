@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Neural Turing Machine memory unit — the model the MANNA baseline
+ * accelerates. NTM uses only *content-based* addressing plus location
+ * interpolation/shift/sharpen; it has no usage, allocation, linkage or
+ * precedence state ("access kernels" only, Table 1), which is exactly why
+ * MANNA cannot run DNC and why HiMA needs the new state kernels.
+ */
+
+#ifndef HIMA_DNC_NTM_H
+#define HIMA_DNC_NTM_H
+
+#include <vector>
+
+#include "dnc/content_addressing.h"
+#include "dnc/dnc_config.h"
+#include "dnc/kernel_profiler.h"
+
+namespace hima {
+
+/** One NTM head's addressing inputs. */
+struct NtmHeadInput
+{
+    Vector key;        ///< width-W lookup key
+    Real strength;     ///< content sharpness beta >= 1
+    Real gate;         ///< interpolation gate in [0, 1]
+    Vector shift;      ///< length-3 shift kernel on the simplex
+    Real gamma;        ///< sharpening exponent >= 1
+};
+
+/** Interface consumed by one NTM step. */
+struct NtmInterface
+{
+    std::vector<NtmHeadInput> readHeads; ///< R read heads
+    NtmHeadInput writeHead;
+    Vector eraseVector; ///< width W, in (0, 1)
+    Vector addVector;   ///< width W
+};
+
+/** Functional NTM memory unit with the MANNA-relevant kernel profile. */
+class NtmMemoryUnit
+{
+  public:
+    explicit NtmMemoryUnit(const DncConfig &config);
+
+    /** One soft write + R soft reads; returns the R read vectors. */
+    std::vector<Vector> step(const NtmInterface &iface);
+
+    void reset();
+
+    /**
+     * Overwrite the external memory directly (episode setup / tests).
+     * Real deployments prime memory through soft writes; this bypass
+     * mirrors the DMA preload path an accelerator exposes.
+     */
+    void seedMemory(const Matrix &contents);
+
+    const Matrix &memory() const { return memory_; }
+    const std::vector<Vector> &readWeightings() const
+    {
+        return readWeightings_;
+    }
+    const Vector &writeWeighting() const { return writeWeighting_; }
+    KernelProfiler &profiler() { return profiler_; }
+    const KernelProfiler &profiler() const { return profiler_; }
+
+  private:
+    /** Content -> interpolate -> shift -> sharpen addressing chain. */
+    Vector address(const NtmHeadInput &head, const Vector &prevWeighting);
+
+    DncConfig config_;
+    ContentAddressing addressing_;
+    Matrix memory_;
+    Vector writeWeighting_;
+    std::vector<Vector> readWeightings_;
+    KernelProfiler profiler_;
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_NTM_H

@@ -1,0 +1,115 @@
+#include "dnc/temporal_linkage.h"
+
+#include <memory>
+
+namespace hima {
+
+TemporalLinkage::TemporalLinkage(Index slots)
+    : slots_(slots), linkage_(slots, slots), precedence_(slots)
+{
+    HIMA_ASSERT(slots_ > 0, "linkage needs at least one slot");
+}
+
+void
+TemporalLinkage::updateLinkage(const Vector &writeWeighting,
+                               KernelProfiler *profiler)
+{
+    HIMA_ASSERT(writeWeighting.size() == slots_, "write weighting length");
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Linkage);
+
+    // L[i][j] <- (1 - w[i] - w[j]) L[i][j] + w[i] p[j], diagonal zeroed.
+    for (Index i = 0; i < slots_; ++i) {
+        const Real wi = writeWeighting[i];
+        for (Index j = 0; j < slots_; ++j) {
+            if (i == j) {
+                linkage_(i, j) = 0.0;
+                continue;
+            }
+            linkage_(i, j) = (1.0 - wi - writeWeighting[j]) * linkage_(i, j)
+                           + wi * precedence_[j];
+        }
+    }
+
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Linkage);
+        const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
+        c.elementOps += 4 * n2;          // sub, sub, mult, mac per cell
+        c.stateMemAccesses += 2 * n2 + 2 * slots_; // L rd+wr, w and p reads
+    }
+}
+
+void
+TemporalLinkage::updatePrecedence(const Vector &writeWeighting,
+                                  KernelProfiler *profiler)
+{
+    HIMA_ASSERT(writeWeighting.size() == slots_, "write weighting length");
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Precedence);
+
+    const Real writeSum = writeWeighting.sum();
+    const Real keep = 1.0 - writeSum;
+    for (Index i = 0; i < slots_; ++i)
+        precedence_[i] = keep * precedence_[i] + writeWeighting[i];
+
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Precedence);
+        c.elementOps += 3 * slots_; // acc-sum + scale + add
+        c.stateMemAccesses += 3 * slots_;
+    }
+}
+
+Vector
+TemporalLinkage::forwardWeighting(const Vector &prevReadWeighting,
+                                  KernelProfiler *profiler) const
+{
+    HIMA_ASSERT(prevReadWeighting.size() == slots_, "read weighting length");
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler,
+                                              Kernel::ForwardBackward);
+    Vector f = matVec(linkage_, prevReadWeighting);
+    if (profiler) {
+        auto &c = profiler->at(Kernel::ForwardBackward);
+        const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
+        c.macOps += n2;
+        c.stateMemAccesses += n2 + 2 * slots_;
+    }
+    return f;
+}
+
+Vector
+TemporalLinkage::backwardWeighting(const Vector &prevReadWeighting,
+                                   KernelProfiler *profiler) const
+{
+    HIMA_ASSERT(prevReadWeighting.size() == slots_, "read weighting length");
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler,
+                                              Kernel::ForwardBackward);
+    // The hardware path is transpose + mat-vec (Table 1); the functional
+    // path fuses them to avoid materializing L^T.
+    Vector b = matTVec(linkage_, prevReadWeighting);
+    if (profiler) {
+        auto &c = profiler->at(Kernel::ForwardBackward);
+        const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
+        c.macOps += n2;
+        c.stateMemAccesses += n2 + 2 * slots_;
+    }
+    return b;
+}
+
+void
+TemporalLinkage::reset()
+{
+    linkage_.fill(0.0);
+    precedence_.fill(0.0);
+}
+
+} // namespace hima

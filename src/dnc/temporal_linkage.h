@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Temporal linkage (HR.(1)-(3) in Fig. 2): the N x N linkage matrix that
+ * records the order in which slots were written, the precedence vector
+ * feeding it, and the forward/backward read weightings derived from it.
+ *
+ * This is the state memory that dominates HiMA's on-tile storage (262 KB
+ * of 2.07 mm^2 PT memory in Fig. 11(e)) and the kernel with the worst NoC
+ * footprint (O(Nt * N^2), Table 1).
+ */
+
+#ifndef HIMA_DNC_TEMPORAL_LINKAGE_H
+#define HIMA_DNC_TEMPORAL_LINKAGE_H
+
+#include "dnc/kernel_profiler.h"
+#include "common/tensor.h"
+
+namespace hima {
+
+/** Linkage matrix + precedence vector with their update rules. */
+class TemporalLinkage
+{
+  public:
+    /** Construct zeroed state for an N-slot memory. */
+    explicit TemporalLinkage(Index slots);
+
+    /**
+     * HR.(1) Linkage update:
+     *   L <- {(E - w 1^T - 1 w^T) .* L + w p^T} .* (E - I)
+     * with w the current write weighting and p the *previous* precedence.
+     * Must run before updatePrecedence() each timestep.
+     */
+    void updateLinkage(const Vector &writeWeighting,
+                       KernelProfiler *profiler = nullptr);
+
+    /**
+     * HR.(2) Precedence update: p <- (1 - sum(w)) p + w.
+     */
+    void updatePrecedence(const Vector &writeWeighting,
+                          KernelProfiler *profiler = nullptr);
+
+    /** HR.(3) Forward weighting f = L w_prev. */
+    Vector forwardWeighting(const Vector &prevReadWeighting,
+                            KernelProfiler *profiler = nullptr) const;
+
+    /** HR.(3) Backward weighting b = L^T w_prev. */
+    Vector backwardWeighting(const Vector &prevReadWeighting,
+                             KernelProfiler *profiler = nullptr) const;
+
+    const Matrix &linkage() const { return linkage_; }
+    const Vector &precedence() const { return precedence_; }
+    Index slots() const { return slots_; }
+
+    /** Reset all state to zero (episode boundary). */
+    void reset();
+
+  private:
+    Index slots_;
+    Matrix linkage_;
+    Vector precedence_;
+};
+
+} // namespace hima
+
+#endif // HIMA_DNC_TEMPORAL_LINKAGE_H

@@ -1,0 +1,67 @@
+#include "dnc/usage.h"
+
+#include <memory>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+Vector
+retentionVector(const std::vector<Real> &freeGates,
+                const std::vector<Vector> &readWeights,
+                KernelProfiler *profiler)
+{
+    HIMA_ASSERT(freeGates.size() == readWeights.size(),
+                "free gates %zu != read heads %zu",
+                freeGates.size(), readWeights.size());
+    HIMA_ASSERT(!readWeights.empty(), "need at least one read head");
+
+    const Index n = readWeights[0].size();
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Retention);
+
+    Vector psi(n, 1.0);
+    for (Index r = 0; r < readWeights.size(); ++r) {
+        HIMA_ASSERT(readWeights[r].size() == n, "read weighting length");
+        const Real gate = freeGates[r];
+        for (Index i = 0; i < n; ++i)
+            psi[i] *= 1.0 - gate * readWeights[r][i];
+    }
+
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Retention);
+        c.elementOps += 2 * readWeights.size() * n; // mult + accumulate-prod
+        c.stateMemAccesses += readWeights.size() * n; // read weight memory
+    }
+    return psi;
+}
+
+Vector
+updateUsage(const Vector &usage, const Vector &prevWriteWeighting,
+            const Vector &retention, KernelProfiler *profiler)
+{
+    const Index n = usage.size();
+    HIMA_ASSERT(prevWriteWeighting.size() == n && retention.size() == n,
+                "usage update shape mismatch");
+
+    std::unique_ptr<KernelScope> scope;
+    if (profiler)
+        scope = std::make_unique<KernelScope>(*profiler, Kernel::Usage);
+
+    Vector out(n);
+    for (Index i = 0; i < n; ++i) {
+        const Real u = usage[i];
+        const Real w = prevWriteWeighting[i];
+        out[i] = (u + w - u * w) * retention[i];
+    }
+
+    if (profiler) {
+        auto &c = profiler->at(Kernel::Usage);
+        c.elementOps += 4 * n;
+        c.stateMemAccesses += 3 * n; // usage read+write, write weighting
+    }
+    return out;
+}
+
+} // namespace hima

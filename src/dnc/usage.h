@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Usage tracking (HW.(1)-(2) in Fig. 2): the retention vector derived from
+ * the free gates and previous read weightings, and the usage-vector update
+ * driven by the previous write weighting.
+ */
+
+#ifndef HIMA_DNC_USAGE_H
+#define HIMA_DNC_USAGE_H
+
+#include <vector>
+
+#include "common/tensor.h"
+#include "dnc/kernel_profiler.h"
+
+namespace hima {
+
+/**
+ * HW.(1) Retention: psi[i] = prod_r (1 - freeGate[r] * readWeight[r][i]).
+ *
+ * A slot is retained unless every read head that touched it last step
+ * declared it free.
+ *
+ * @param freeGates    R free gates in [0, 1]
+ * @param readWeights  R previous read weightings over N slots
+ */
+Vector retentionVector(const std::vector<Real> &freeGates,
+                       const std::vector<Vector> &readWeights,
+                       KernelProfiler *profiler = nullptr);
+
+/**
+ * HW.(2) Usage update: u <- (u + w - u .* w) .* psi, where w is the
+ * previous write weighting. Every entry stays in [0, 1] when the inputs
+ * do (tested as an invariant).
+ */
+Vector updateUsage(const Vector &usage, const Vector &prevWriteWeighting,
+                   const Vector &retention,
+                   KernelProfiler *profiler = nullptr);
+
+} // namespace hima
+
+#endif // HIMA_DNC_USAGE_H

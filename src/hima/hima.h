@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Umbrella public header for the HiMA library.
+ *
+ * Pull this in to get the functional DNC/NTM/DNC-D models, the hardware
+ * sorter models, the NoC simulator, the HiMA accelerator engine and the
+ * synthetic workload suite. Individual headers remain includable on
+ * their own for faster builds.
+ */
+
+#ifndef HIMA_HIMA_H
+#define HIMA_HIMA_H
+
+// Substrate
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/tensor.h"
+
+// Approximation / datapath
+#include "approx/fixed_point.h"
+#include "approx/softmax_approx.h"
+#include "approx/usage_skimming.h"
+
+// Hardware sorters
+#include "sort/bitonic.h"
+#include "sort/centralized_sort.h"
+#include "sort/mdsa.h"
+#include "sort/merge_sorter.h"
+#include "sort/two_stage_sort.h"
+
+// DNC family models
+#include "dnc/dnc.h"
+#include "dnc/dncd.h"
+#include "dnc/ntm.h"
+
+// NoC
+#include "noc/network.h"
+#include "noc/topology.h"
+#include "noc/traffic.h"
+
+// Accelerator model
+#include "arch/area_power.h"
+#include "arch/baselines.h"
+#include "arch/engine.h"
+#include "arch/partition.h"
+
+// Workloads
+#include "workload/copy_task.h"
+#include "workload/encoder.h"
+#include "workload/retrieval.h"
+#include "workload/task_suite.h"
+
+#endif // HIMA_HIMA_H

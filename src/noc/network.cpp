@@ -1,0 +1,178 @@
+#include "noc/network.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace hima {
+
+Network::Network(const Topology &topology, std::uint64_t transitCapacity)
+    : topology_(topology), transitCapacity_(transitCapacity)
+{
+    HIMA_ASSERT(transitCapacity_ > 0, "router needs non-zero capacity");
+}
+
+TrafficResult
+Network::run(const std::vector<Message> &messages, NocMode mode)
+{
+    const Index count = messages.size();
+
+    // Topologically order the dependency DAG (stable by injection cycle,
+    // then batch order, among ready messages).
+    std::vector<Index> indegree(count, 0);
+    std::vector<std::vector<Index>> dependents(count);
+    for (Index i = 0; i < count; ++i) {
+        for (Index dep : messages[i].dependsOn) {
+            HIMA_ASSERT(dep < count, "dependency %zu out of batch", dep);
+            HIMA_ASSERT(dep != i, "message depends on itself");
+            ++indegree[i];
+            dependents[dep].push_back(i);
+        }
+    }
+
+    auto readyOrder = [&](Index a, Index b) {
+        if (messages[a].injectCycle != messages[b].injectCycle)
+            return messages[a].injectCycle > messages[b].injectCycle;
+        return a > b; // min-heap by batch order
+    };
+    std::vector<Index> heap;
+    for (Index i = 0; i < count; ++i)
+        if (indegree[i] == 0)
+            heap.push_back(i);
+    std::make_heap(heap.begin(), heap.end(), readyOrder);
+
+    // Reservation schedules: the cycle each resource becomes free.
+    std::vector<Cycle> linkFree(topology_.links().size(), 0);
+    std::vector<Cycle> injectFree(topology_.nodeCount(), 0);
+    std::vector<Cycle> ejectFree(topology_.nodeCount(), 0);
+    std::vector<Cycle> depReady(count, 0);
+
+    // Stream-sharing state: resources already carrying a group's stream
+    // record the head-exit / completion time for later group members.
+    using GroupKey = std::pair<std::uint64_t, Index>;
+    std::map<GroupKey, Cycle> groupInject; // (group, node) -> start
+    std::map<GroupKey, Cycle> groupLink;   // (group, link) -> head out
+    std::map<GroupKey, Cycle> groupEject;  // (group, node) -> tail in
+
+    // Router crossbar occupancy for through traffic.
+    std::vector<Cycle> nodeFree(topology_.nodeCount(), 0);
+
+    TrafficResult result;
+    result.deliveries.assign(count, {0, 0});
+    result.makespan = 0;
+    result.flitHops = 0;
+
+    Index processed = 0;
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), readyOrder);
+        const Index mi = heap.back();
+        heap.pop_back();
+        ++processed;
+
+        const Message &msg = messages[mi];
+        HIMA_ASSERT(msg.flits > 0, "zero-flit message");
+
+        Cycle ready = std::max<Cycle>(msg.injectCycle, depReady[mi]);
+
+        if (msg.src == msg.dst) {
+            // Local delivery: no NoC resources, zero latency.
+            result.deliveries[mi] = {ready, ready};
+        } else {
+            const std::vector<Index> path =
+                topology_.route(msg.src, msg.dst, mode);
+            const std::uint64_t group = msg.shareGroup;
+
+            // Injection port serializes the full message; a group-mate
+            // from the same source rides the already-flowing stream.
+            Cycle start;
+            auto injKey = GroupKey{group, msg.src};
+            auto injIt = group ? groupInject.find(injKey)
+                               : groupInject.end();
+            if (group && injIt != groupInject.end()) {
+                start = std::max(ready, injIt->second);
+            } else {
+                start = std::max(ready, injectFree[msg.src]);
+                injectFree[msg.src] = start + msg.flits;
+                if (group)
+                    groupInject[injKey] = start;
+            }
+
+            // Head flit advances hop by hop; each link stays busy for
+            // the full flit count (wormhole occupancy) unless the group
+            // already reserved it (replicated / reduced stream). At each
+            // intermediate router the stream also occupies the crossbar
+            // for flits / transitCapacity cycles — the star-hub /
+            // H-tree-root congestion mechanism.
+            const Cycle transit =
+                (msg.flits + transitCapacity_ - 1) / transitCapacity_;
+            Cycle head = start;
+            for (Index pi = 0; pi < path.size(); ++pi) {
+                const Index l = path[pi];
+
+                auto linkKey = GroupKey{group, l};
+                auto linkIt = group ? groupLink.find(linkKey)
+                                    : groupLink.end();
+                if (group && linkIt != groupLink.end()) {
+                    head = std::max(head, linkIt->second);
+                    continue;
+                }
+
+                // Reserving a fresh output: a through router spends
+                // crossbar time per *distinct outgoing stream*, so a hub
+                // replicating a multicast to many ports pays for each —
+                // the star-hub / H-tree-root congestion mechanism.
+                if (pi > 0) {
+                    const NodeId node = topology_.links()[l].from;
+                    head = std::max(head, nodeFree[node]);
+                    nodeFree[node] = head + transit;
+                }
+
+                head = std::max(head, linkFree[l]);
+                linkFree[l] = head + msg.flits;
+                head += 1; // router + link traversal for the head flit
+                result.flitHops += msg.flits;
+                if (group)
+                    groupLink[linkKey] = head;
+            }
+
+            // Ejection port at the destination (shared per group: a
+            // reduced stream arrives once).
+            Cycle tail;
+            auto ejKey = GroupKey{group, msg.dst};
+            auto ejIt = group ? groupEject.find(ejKey) : groupEject.end();
+            if (group && ejIt != groupEject.end()) {
+                tail = std::max(ejIt->second, head);
+            } else {
+                Cycle eject = std::max(head, ejectFree[msg.dst]);
+                tail = eject + msg.flits - 1;
+                ejectFree[msg.dst] = tail + 1;
+                if (group)
+                    groupEject[ejKey] = tail;
+            }
+
+            result.deliveries[mi] = {start, tail};
+        }
+
+        const Cycle done = result.deliveries[mi].delivered;
+        result.makespan = std::max(result.makespan, done);
+        for (Index dep : dependents[mi]) {
+            depReady[dep] = std::max(depReady[dep], done);
+            if (--indegree[dep] == 0) {
+                heap.push_back(dep);
+                std::push_heap(heap.begin(), heap.end(), readyOrder);
+            }
+        }
+    }
+    HIMA_ASSERT(processed == count, "dependency cycle in message batch");
+
+    result.maxLinkBusy =
+        linkFree.empty() ? 0 : *std::max_element(linkFree.begin(),
+                                                 linkFree.end());
+
+    stats_.inc("noc.batches");
+    stats_.inc("noc.messages", count);
+    stats_.inc("noc.flit_hops", result.flitHops);
+    return result;
+}
+
+} // namespace hima

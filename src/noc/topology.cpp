@@ -1,0 +1,310 @@
+#include "noc/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace hima {
+
+const char *
+nocKindName(NocKind kind)
+{
+    switch (kind) {
+      case NocKind::HTree: return "H-Tree";
+      case NocKind::BinaryTree: return "Binary-Tree";
+      case NocKind::Mesh: return "Mesh";
+      case NocKind::Star: return "Star";
+      case NocKind::Ring: return "Ring";
+      case NocKind::Hima: return "HiMA";
+      default: HIMA_PANIC("bad NocKind %d", static_cast<int>(kind));
+    }
+}
+
+const char *
+nocModeName(NocMode mode)
+{
+    switch (mode) {
+      case NocMode::Star: return "star";
+      case NocMode::RingMode: return "ring";
+      case NocMode::Diagonal: return "diagonal";
+      case NocMode::Full: return "full";
+      default: HIMA_PANIC("bad NocMode %d", static_cast<int>(mode));
+    }
+}
+
+void
+Topology::addBidirectional(NodeId a, NodeId b, bool diagonal)
+{
+    links_.push_back({a, b, diagonal});
+    links_.push_back({b, a, diagonal});
+}
+
+Topology
+Topology::buildMeshLike(Index tiles, bool diagonals)
+{
+    Topology t;
+    t.kind_ = diagonals ? NocKind::Hima : NocKind::Mesh;
+
+    const Index total = tiles + 1; // PTs + CT
+    const Index w = static_cast<Index>(
+        std::ceil(std::sqrt(static_cast<double>(total))));
+    const Index h = (total + w - 1) / w;
+    t.gridWidth_ = w;
+    t.gridHeight_ = h;
+    t.nodeCount_ = w * h;
+
+    t.nodeRow_.resize(t.nodeCount_);
+    t.nodeCol_.resize(t.nodeCount_);
+    for (Index n = 0; n < t.nodeCount_; ++n) {
+        t.nodeRow_[n] = n / w;
+        t.nodeCol_[n] = n % w;
+    }
+
+    // Controller tile at the grid center (Fig. 9); PTs fill the rest in
+    // row-major order, leaving any surplus grid nodes as pure routers.
+    t.controllerNode_ = (h / 2) * w + w / 2;
+    for (Index n = 0; n < t.nodeCount_ && t.processingTiles_.size() < tiles;
+         ++n) {
+        if (n != t.controllerNode_)
+            t.processingTiles_.push_back(n);
+    }
+    HIMA_ASSERT(t.processingTiles_.size() == tiles,
+                "mesh placement lost tiles");
+
+    for (Index r = 0; r < h; ++r) {
+        for (Index c = 0; c < w; ++c) {
+            const NodeId n = r * w + c;
+            if (c + 1 < w)
+                t.addBidirectional(n, n + 1);
+            if (r + 1 < h)
+                t.addBidirectional(n, n + w);
+            if (diagonals) {
+                if (r + 1 < h && c + 1 < w)
+                    t.addBidirectional(n, n + w + 1, true); // NW-SE
+                if (r + 1 < h && c >= 1)
+                    t.addBidirectional(n, n + w - 1, true); // NE-SW
+            }
+        }
+    }
+
+    t.buildRoutingTables();
+    return t;
+}
+
+Topology
+Topology::buildTree(Index tiles, bool lateralLinks)
+{
+    Topology t;
+    t.kind_ = lateralLinks ? NocKind::BinaryTree : NocKind::HTree;
+
+    // Complete binary tree with >= tiles leaves; leaves host PTs, the
+    // root hosts the CT, internal nodes are pure routers.
+    Index leaves = 1;
+    while (leaves < tiles)
+        leaves <<= 1;
+    const Index internal = leaves - 1;
+    t.nodeCount_ = internal + leaves;
+    t.controllerNode_ = 0;
+
+    for (Index leaf = 0; leaf < tiles; ++leaf)
+        t.processingTiles_.push_back(internal + leaf);
+
+    // Heap indexing: children of node i are 2i+1 and 2i+2.
+    for (Index n = 0; n < internal; ++n) {
+        t.addBidirectional(n, 2 * n + 1);
+        t.addBidirectional(n, 2 * n + 2);
+    }
+
+    if (lateralLinks) {
+        // MAERI-style lateral links between horizontally adjacent nodes
+        // of the same tree level.
+        for (Index levelStart = 1, levelSize = 2;
+             levelStart < t.nodeCount_;
+             levelStart += levelSize, levelSize <<= 1) {
+            const Index end =
+                std::min(levelStart + levelSize, t.nodeCount_);
+            for (Index n = levelStart; n + 1 < end; ++n)
+                t.addBidirectional(n, n + 1);
+        }
+    }
+
+    t.buildRoutingTables();
+    return t;
+}
+
+Topology
+Topology::buildStar(Index tiles)
+{
+    Topology t;
+    t.kind_ = NocKind::Star;
+    t.nodeCount_ = tiles + 1;
+    t.controllerNode_ = 0;
+    for (Index i = 1; i <= tiles; ++i) {
+        t.processingTiles_.push_back(i);
+        t.addBidirectional(0, i);
+    }
+    t.buildRoutingTables();
+    return t;
+}
+
+Topology
+Topology::buildRing(Index tiles)
+{
+    Topology t;
+    t.kind_ = NocKind::Ring;
+    t.nodeCount_ = tiles + 1;
+    t.controllerNode_ = 0;
+    for (Index i = 1; i <= tiles; ++i)
+        t.processingTiles_.push_back(i);
+    for (Index i = 0; i < t.nodeCount_; ++i)
+        t.addBidirectional(i, (i + 1) % t.nodeCount_);
+    t.buildRoutingTables();
+    return t;
+}
+
+Topology
+Topology::build(NocKind kind, Index tiles)
+{
+    HIMA_ASSERT(tiles >= 1, "need at least one processing tile");
+    switch (kind) {
+      case NocKind::HTree: return buildTree(tiles, false);
+      case NocKind::BinaryTree: return buildTree(tiles, true);
+      case NocKind::Mesh: return buildMeshLike(tiles, false);
+      case NocKind::Star: return buildStar(tiles);
+      case NocKind::Ring: return buildRing(tiles);
+      case NocKind::Hima: return buildMeshLike(tiles, true);
+      default: HIMA_PANIC("bad NocKind %d", static_cast<int>(kind));
+    }
+}
+
+bool
+Topology::supportsMode(NocMode mode) const
+{
+    return kind_ == NocKind::Hima || mode == NocMode::Full;
+}
+
+bool
+Topology::linkEnabled(const Link &link, NocMode mode) const
+{
+    if (kind_ != NocKind::Hima || mode == NocMode::Full)
+        return true;
+
+    const Index fr = nodeRow_[link.from], fc = nodeCol_[link.from];
+    const Index tr = nodeRow_[link.to], tc = nodeCol_[link.to];
+
+    switch (mode) {
+      case NocMode::Star:
+        // CT-rooted traffic: mesh links only; the router powers its
+        // diagonal ports down.
+        return !link.diagonal;
+      case NocMode::RingMode: {
+        // Boustrophedon (snake) chain through the grid: east/west links
+        // within rows plus the row-end column links that stitch rows.
+        if (link.diagonal)
+            return false;
+        if (fr == tr)
+            return true; // all horizontal links lie on the snake
+        // Vertical link: enabled only at the snake's turning columns.
+        const Index turnCol = (std::min(fr, tr) % 2 == 0)
+                                  ? gridWidth_ - 1
+                                  : 0;
+        return fc == turnCol && tc == turnCol;
+      }
+      case NocMode::Diagonal:
+        // Transpose traffic: northeast/southwest diagonal ports only.
+        // A NE/SW link changes row and column in opposite directions.
+        return link.diagonal &&
+               ((tr > fr && tc < fc) || (tr < fr && tc > fc));
+      default:
+        return true;
+    }
+}
+
+void
+Topology::buildRoutingTables()
+{
+    constexpr int kNumModes = 4;
+    nextHop_.assign(kNumModes,
+                    std::vector<std::vector<Index>>(
+                        nodeCount_, std::vector<Index>(nodeCount_,
+                                                       kNoRoute)));
+
+    // Per-node outgoing link lists.
+    std::vector<std::vector<Index>> outLinks(nodeCount_);
+    for (Index l = 0; l < links_.size(); ++l)
+        outLinks[links_[l].from].push_back(l);
+
+    for (int m = 0; m < kNumModes; ++m) {
+        const auto mode = static_cast<NocMode>(m);
+        if (!supportsMode(mode))
+            continue;
+        // BFS from every destination over *reversed* enabled links so the
+        // table stores the forward next hop.
+        for (NodeId dst = 0; dst < nodeCount_; ++dst) {
+            std::vector<Index> dist(nodeCount_, kNoRoute);
+            std::queue<NodeId> frontier;
+            dist[dst] = 0;
+            frontier.push(dst);
+            while (!frontier.empty()) {
+                const NodeId cur = frontier.front();
+                frontier.pop();
+                // Expand over links *into* cur: from -> cur.
+                for (Index l = 0; l < links_.size(); ++l) {
+                    const Link &link = links_[l];
+                    if (link.to != cur || !linkEnabled(link, mode))
+                        continue;
+                    if (dist[link.from] != kNoRoute)
+                        continue;
+                    dist[link.from] = dist[cur] + 1;
+                    nextHop_[m][link.from][dst] = l;
+                    frontier.push(link.from);
+                }
+            }
+        }
+    }
+}
+
+std::vector<Index>
+Topology::route(NodeId src, NodeId dst, NocMode mode) const
+{
+    HIMA_ASSERT(src < nodeCount_ && dst < nodeCount_, "route endpoints");
+    HIMA_ASSERT(supportsMode(mode), "%s NoC has no %s mode",
+                nocKindName(kind_), nocModeName(mode));
+
+    std::vector<Index> path;
+    NodeId cur = src;
+    const auto &table = nextHop_[static_cast<int>(mode)];
+    while (cur != dst) {
+        const Index l = table[cur][dst];
+        HIMA_ASSERT(l != kNoRoute,
+                    "no %s-mode route from node %zu to node %zu",
+                    nocModeName(mode), src, dst);
+        path.push_back(l);
+        cur = links_[l].to;
+        HIMA_ASSERT(path.size() <= nodeCount_, "routing loop");
+    }
+    return path;
+}
+
+Index
+Topology::hops(NodeId src, NodeId dst, NocMode mode) const
+{
+    return route(src, dst, mode).size();
+}
+
+Index
+Topology::worstCaseHops(NocMode mode) const
+{
+    std::vector<NodeId> tiles = processingTiles_;
+    tiles.push_back(controllerNode_);
+    Index worst = 0;
+    for (NodeId a : tiles)
+        for (NodeId b : tiles)
+            if (a != b)
+                worst = std::max(worst, hops(a, b, mode));
+    return worst;
+}
+
+} // namespace hima

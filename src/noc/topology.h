@@ -1,0 +1,134 @@
+/**
+ * @file
+ * NoC topology builders and per-mode routing tables (Sec. 4.1, Fig. 5).
+ *
+ * A Topology is a directed graph over router nodes. Some nodes host tiles
+ * (the controller tile and the processing tiles); H-tree/binary-tree
+ * topologies also contain pure router nodes at internal tree levels.
+ *
+ * The HiMA-NoC is a 2D mesh augmented with diagonal links whose routers
+ * can be masked into four run-time modes (star / ring / diagonal / full).
+ * Fixed topologies (H-tree, binary tree, mesh, star, ring) expose a single
+ * "full" mode using all of their links.
+ */
+
+#ifndef HIMA_NOC_TOPOLOGY_H
+#define HIMA_NOC_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+using NodeId = Index;
+
+/** Topology families evaluated in Fig. 5(d). */
+enum class NocKind
+{
+    HTree,      ///< MANNA's H-tree [33]
+    BinaryTree, ///< MAERI-style tree with lateral sub-tree links [22]
+    Mesh,       ///< plain 2D mesh
+    Star,       ///< all PTs one hop from the CT
+    Ring,       ///< unidirectional ring through all tiles
+    Hima,       ///< mesh + diagonals, multi-mode (this paper)
+};
+
+/** Run-time router modes of the HiMA-NoC (Fig. 5(c)). */
+enum class NocMode
+{
+    Star,     ///< CT broadcast/collect, sorting
+    RingMode, ///< accumulation, vector inner product
+    Diagonal, ///< matrix transpose
+    Full,     ///< mat-vec mult, vector outer product (all links)
+};
+
+const char *nocKindName(NocKind kind);
+const char *nocModeName(NocMode mode);
+
+/** One directed link. */
+struct Link
+{
+    NodeId from;
+    NodeId to;
+    bool diagonal; ///< true for the HiMA diagonal links
+};
+
+/**
+ * A routed topology: nodes, links, tile placement and per-mode next-hop
+ * tables (BFS shortest path over the links enabled in that mode).
+ */
+class Topology
+{
+  public:
+    /**
+     * Build a topology of the given kind for `tiles` processing tiles
+     * plus one controller tile.
+     *
+     * Mesh/HiMA topologies arrange PTs + CT in the most-square grid with
+     * the CT at the center position (Fig. 9); tree topologies put the CT
+     * at the root and the PTs at the leaves.
+     */
+    static Topology build(NocKind kind, Index tiles);
+
+    NocKind kind() const { return kind_; }
+    Index nodeCount() const { return nodeCount_; }
+    Index tileCount() const { return processingTiles_.size(); }
+    NodeId controllerNode() const { return controllerNode_; }
+    const std::vector<NodeId> &processingNodes() const
+    {
+        return processingTiles_;
+    }
+
+    const std::vector<Link> &links() const { return links_; }
+
+    /** Modes this topology supports (fixed NoCs only support Full). */
+    bool supportsMode(NocMode mode) const;
+
+    /**
+     * Shortest-path route from src to dst under the given mode, as a
+     * sequence of link indices. Empty when src == dst. Panics when the
+     * mode leaves the pair disconnected (a modeling error).
+     */
+    std::vector<Index> route(NodeId src, NodeId dst, NocMode mode) const;
+
+    /** Hop count of route(). */
+    Index hops(NodeId src, NodeId dst, NocMode mode) const;
+
+    /** Worst-case hop count over all tile pairs (paper: 4 for 5x5 HiMA). */
+    Index worstCaseHops(NocMode mode) const;
+
+  private:
+    Topology() = default;
+
+    void addBidirectional(NodeId a, NodeId b, bool diagonal = false);
+    void buildRoutingTables();
+    bool linkEnabled(const Link &link, NocMode mode) const;
+
+    static Topology buildMeshLike(Index tiles, bool diagonals);
+    static Topology buildTree(Index tiles, bool lateralLinks);
+    static Topology buildStar(Index tiles);
+    static Topology buildRing(Index tiles);
+
+    NocKind kind_ = NocKind::Mesh;
+    Index nodeCount_ = 0;
+    NodeId controllerNode_ = 0;
+    std::vector<NodeId> processingTiles_;
+    std::vector<Link> links_;
+
+    // Mesh geometry (mesh/HiMA only) for mode masks.
+    Index gridWidth_ = 0;
+    Index gridHeight_ = 0;
+    std::vector<Index> nodeRow_;
+    std::vector<Index> nodeCol_;
+
+    // nextHop_[mode][src][dst] = link index to take, or kNoRoute.
+    static constexpr Index kNoRoute = static_cast<Index>(-1);
+    std::vector<std::vector<std::vector<Index>>> nextHop_;
+};
+
+} // namespace hima
+
+#endif // HIMA_NOC_TOPOLOGY_H

@@ -1,0 +1,96 @@
+#include "noc/traffic.h"
+
+#include <cmath>
+
+namespace hima {
+
+std::vector<Message>
+broadcast(const Topology &topo, std::uint64_t flits, std::uint64_t group)
+{
+    std::vector<Message> batch;
+    batch.reserve(topo.tileCount());
+    for (NodeId pt : topo.processingNodes())
+        batch.push_back({topo.controllerNode(), pt, flits, 0, {}, group});
+    return batch;
+}
+
+std::vector<Message>
+gather(const Topology &topo, std::uint64_t flits, std::uint64_t group)
+{
+    std::vector<Message> batch;
+    batch.reserve(topo.tileCount());
+    for (NodeId pt : topo.processingNodes())
+        batch.push_back({pt, topo.controllerNode(), flits, 0, {}, group});
+    return batch;
+}
+
+std::vector<Message>
+gatherBroadcast(const Topology &topo, std::uint64_t gatherFlits,
+                std::uint64_t broadcastFlits, std::uint64_t gatherGroup,
+                std::uint64_t broadcastGroup)
+{
+    std::vector<Message> batch = gather(topo, gatherFlits, gatherGroup);
+    const Index gatherCount = batch.size();
+    std::vector<Index> allGathers(gatherCount);
+    for (Index i = 0; i < gatherCount; ++i)
+        allGathers[i] = i;
+    for (NodeId pt : topo.processingNodes())
+        batch.push_back({topo.controllerNode(), pt, broadcastFlits, 0,
+                         allGathers, broadcastGroup});
+    return batch;
+}
+
+std::vector<Message>
+ringAccumulate(const Topology &topo, std::uint64_t flits)
+{
+    const auto &pts = topo.processingNodes();
+    std::vector<Message> batch;
+    batch.reserve(pts.size() > 0 ? pts.size() - 1 : 0);
+    for (Index i = 0; i + 1 < pts.size(); ++i) {
+        Message msg{pts[i], pts[i + 1], flits, 0, {}};
+        if (i > 0)
+            msg.dependsOn.push_back(i - 1);
+        batch.push_back(std::move(msg));
+    }
+    return batch;
+}
+
+std::vector<Message>
+allToAll(const Topology &topo, std::uint64_t flits)
+{
+    const auto &pts = topo.processingNodes();
+    std::vector<Message> batch;
+    batch.reserve(pts.size() * (pts.size() - 1));
+    for (NodeId src : pts)
+        for (NodeId dst : pts)
+            if (src != dst)
+                batch.push_back({src, dst, flits, 0, {}});
+    return batch;
+}
+
+std::vector<Message>
+transposePairs(const Topology &topo, std::uint64_t flits)
+{
+    const Index nt = topo.tileCount();
+    // Most-square logical grid over the PT list.
+    Index gw = static_cast<Index>(
+        std::floor(std::sqrt(static_cast<double>(nt))));
+    while (gw > 1 && nt % gw != 0)
+        --gw;
+    const Index gh = nt / gw;
+    const Index dim = std::min(gw, gh);
+
+    const auto &pts = topo.processingNodes();
+    std::vector<Message> batch;
+    for (Index i = 0; i < dim; ++i) {
+        for (Index j = 0; j < dim; ++j) {
+            if (i == j)
+                continue; // diagonal submatrices stay put
+            batch.push_back({pts[i * gw + j], pts[j * gw + i], flits, 0,
+                             {}});
+        }
+    }
+    return batch;
+}
+
+} // namespace hima

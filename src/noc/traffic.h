@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Traffic-pattern generators for the DNC primitives (Sec. 4.1).
+ *
+ * Each generator emits the message batch one primitive injects, expressed
+ * over a topology's tile placement:
+ *
+ *   broadcast           CT -> every PT            (interface vectors)
+ *   gather              every PT -> CT            (read vectors, psums)
+ *   gatherBroadcast     gather, then dependent broadcast (softmax global)
+ *   ringAccumulate      PT_i -> PT_{i+1} chain    (acc-prod / inner prod)
+ *   allToAll            every PT -> every other   (mat-vec, outer prod)
+ *   transposePairs      PT_(i,j) -> PT_(j,i)      (matrix transpose)
+ */
+
+#ifndef HIMA_NOC_TRAFFIC_H
+#define HIMA_NOC_TRAFFIC_H
+
+#include "noc/network.h"
+
+namespace hima {
+
+/**
+ * CT to every PT, `flits` each. A non-zero `group` makes it a tree
+ * multicast: one stream replicated at router branch points.
+ */
+std::vector<Message> broadcast(const Topology &topo, std::uint64_t flits,
+                               std::uint64_t group = 0);
+
+/**
+ * Every PT to CT, `flits` each. A non-zero `group` models in-network
+ * reduction (associative psum combining on the way in).
+ */
+std::vector<Message> gather(const Topology &topo, std::uint64_t flits,
+                            std::uint64_t group = 0);
+
+/**
+ * Gather psums to CT then broadcast the reduced result back; the
+ * broadcast depends on every gather message (the softmax global-sum
+ * round trip of content weighting). Non-zero groups enable in-network
+ * reduction for the gather and tree multicast for the broadcast.
+ */
+std::vector<Message> gatherBroadcast(const Topology &topo,
+                                     std::uint64_t gatherFlits,
+                                     std::uint64_t broadcastFlits,
+                                     std::uint64_t gatherGroup = 0,
+                                     std::uint64_t broadcastGroup = 0);
+
+/** Dependent chain PT_0 -> PT_1 -> ... -> PT_{Nt-1}, `flits` per hop. */
+std::vector<Message> ringAccumulate(const Topology &topo,
+                                    std::uint64_t flits);
+
+/** Every PT sends `flits` to every other PT. */
+std::vector<Message> allToAll(const Topology &topo, std::uint64_t flits);
+
+/**
+ * Tile-grid transpose: PT at logical grid position (i, j) sends its
+ * submatrix to the PT at (j, i). The logical grid is the most-square
+ * factorization of the PT count; diagonal tiles stay silent.
+ */
+std::vector<Message> transposePairs(const Topology &topo,
+                                    std::uint64_t flits);
+
+} // namespace hima
+
+#endif // HIMA_NOC_TRAFFIC_H

@@ -1,0 +1,122 @@
+#include "sort/bitonic.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hima {
+
+std::vector<SortRecord>
+makeRecords(const Vector &keys)
+{
+    std::vector<SortRecord> records(keys.size());
+    for (Index i = 0; i < keys.size(); ++i)
+        records[i] = {keys[i], i};
+    return records;
+}
+
+bool
+isSorted(const std::vector<SortRecord> &records, SortOrder order)
+{
+    for (Index i = 1; i < records.size(); ++i) {
+        const bool ok = order == SortOrder::Ascending
+                            ? records[i - 1].key <= records[i].key
+                            : records[i - 1].key >= records[i].key;
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+int
+ceilLog2(Index n)
+{
+    int bits = 0;
+    Index v = 1;
+    while (v < n) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+BitonicSorter::BitonicSorter(Index width) : width_(width)
+{
+    HIMA_ASSERT(width_ >= 1, "bitonic sorter needs width >= 1");
+    log2Width_ = ceilLog2(width_);
+    netWidth_ = Index{1} << log2Width_;
+}
+
+SortResult
+BitonicSorter::sort(const std::vector<SortRecord> &input,
+                    SortOrder order) const
+{
+    HIMA_ASSERT(input.size() == width_,
+                "bitonic input size %zu != width %zu", input.size(), width_);
+
+    // Pad to the network width with +inf sentinels so the real records
+    // always end up in the leading positions for ascending order (and the
+    // comparator network stays oblivious, as hardware would be).
+    const Real sentinel = order == SortOrder::Ascending
+                              ? std::numeric_limits<Real>::infinity()
+                              : -std::numeric_limits<Real>::infinity();
+    std::vector<SortRecord> work(netWidth_,
+                                 {sentinel, std::numeric_limits<Index>::max()});
+    std::copy(input.begin(), input.end(), work.begin());
+
+    std::uint64_t comparisons = 0;
+    const bool ascending = order == SortOrder::Ascending;
+
+    // Classic iterative bitonic network: k is the sorted-run size being
+    // merged, j is the comparator stride inside a merge stage.
+    for (Index k = 2; k <= netWidth_; k <<= 1) {
+        for (Index j = k >> 1; j > 0; j >>= 1) {
+            for (Index i = 0; i < netWidth_; ++i) {
+                const Index partner = i ^ j;
+                if (partner <= i)
+                    continue;
+                const bool up = ((i & k) == 0) == ascending;
+                ++comparisons;
+                // Tie-break by index in *both* directions (recordLess),
+                // so every sorter in the library realizes the same total
+                // order and the allocation weighting is backend-exact.
+                const SortOrder dir =
+                    up ? SortOrder::Ascending : SortOrder::Descending;
+                const bool outOfOrder =
+                    recordLess(work[partner], work[i], dir);
+                if (outOfOrder)
+                    std::swap(work[i], work[partner]);
+            }
+        }
+    }
+
+    SortResult result;
+    result.records.assign(work.begin(), work.begin() + width_);
+    result.cycles = pipelineDepth();
+    result.comparisons = comparisons;
+    return result;
+}
+
+std::uint64_t
+BitonicSorter::pipelineDepth() const
+{
+    return static_cast<std::uint64_t>(log2Width_) + 1;
+}
+
+std::uint64_t
+BitonicSorter::networkStages() const
+{
+    const std::uint64_t lg = static_cast<std::uint64_t>(log2Width_);
+    return lg * (lg + 1) / 2;
+}
+
+std::uint64_t
+BitonicSorter::comparatorCount() const
+{
+    return networkStages() * (netWidth_ / 2);
+}
+
+} // namespace hima

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dual-mode pipelined bitonic sorter (DPBS) model, after Norollah et al.
+ * [24] as used by HiMA's MDSA local sorter (Sec. 4.3).
+ *
+ * The functional path executes the exact bitonic sorting network on P
+ * inputs (P padded to a power of two with sentinels); the timing model
+ * reports the pipeline depth: a P-input DPBS is pipelined so that one
+ * P-vector enters per cycle and results emerge `pipelineDepth()` cycles
+ * later. The paper's 16-input DPBS has depth 5, which matches
+ * log2(P) + 1 (merge network stages plus the output register).
+ */
+
+#ifndef HIMA_SORT_BITONIC_H
+#define HIMA_SORT_BITONIC_H
+
+#include "sort/sort_types.h"
+
+namespace hima {
+
+/** P-input dual-mode pipelined bitonic sorter. */
+class BitonicSorter
+{
+  public:
+    /** Construct a sorter for vectors of length `width` (any size >= 1). */
+    explicit BitonicSorter(Index width);
+
+    /**
+     * Sort one vector of exactly width() records in the given direction.
+     * Returns the sorted records, the pipeline latency and the comparator
+     * count for this pass.
+     */
+    SortResult sort(const std::vector<SortRecord> &input,
+                    SortOrder order) const;
+
+    Index width() const { return width_; }
+
+    /** Padded power-of-two network width. */
+    Index networkWidth() const { return netWidth_; }
+
+    /**
+     * Pipeline register stages of the dual-mode sorter: log2(P) + 1,
+     * matching the paper's D_DPBS = 5 for P = 16.
+     */
+    std::uint64_t pipelineDepth() const;
+
+    /**
+     * Comparator stages of a full bitonic sort network on P inputs:
+     * log2(P) * (log2(P) + 1) / 2.
+     */
+    std::uint64_t networkStages() const;
+
+    /** Comparators in the full network (stages * P/2). */
+    std::uint64_t comparatorCount() const;
+
+  private:
+    Index width_;
+    Index netWidth_;
+    int log2Width_;
+};
+
+} // namespace hima
+
+#endif // HIMA_SORT_BITONIC_H

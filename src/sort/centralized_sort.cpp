@@ -1,0 +1,61 @@
+#include "sort/centralized_sort.h"
+
+#include <cmath>
+
+namespace hima {
+
+SortResult
+CentralizedSorter::sort(const std::vector<SortRecord> &input,
+                        SortOrder order) const
+{
+    SortResult result;
+    result.records = input;
+    result.comparisons = 0;
+
+    const Index n = input.size();
+    if (n <= 1) {
+        result.cycles = modelCycles(n);
+        return result;
+    }
+
+    // Bottom-up merge sort: runs of width 1, 2, 4, ... merged pairwise.
+    std::vector<SortRecord> buffer(n);
+    auto *src = &result.records;
+    auto *dst = &buffer;
+    for (Index width = 1; width < n; width <<= 1) {
+        for (Index lo = 0; lo < n; lo += 2 * width) {
+            const Index mid = std::min(lo + width, n);
+            const Index hi = std::min(lo + 2 * width, n);
+            Index a = lo, b = mid, w = lo;
+            while (a < mid && b < hi) {
+                ++result.comparisons;
+                if (recordLess((*src)[b], (*src)[a], order))
+                    (*dst)[w++] = (*src)[b++];
+                else
+                    (*dst)[w++] = (*src)[a++];
+            }
+            while (a < mid)
+                (*dst)[w++] = (*src)[a++];
+            while (b < hi)
+                (*dst)[w++] = (*src)[b++];
+        }
+        std::swap(src, dst);
+    }
+    if (src != &result.records)
+        result.records = *src;
+
+    result.cycles = modelCycles(n);
+    return result;
+}
+
+std::uint64_t
+CentralizedSorter::modelCycles(Index n)
+{
+    if (n <= 1)
+        return n;
+    const auto lg = static_cast<std::uint64_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    return static_cast<std::uint64_t>(n) * lg;
+}
+
+} // namespace hima

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Centralized merge sort baseline, the Fig. 7(a) organization used by
+ * Farm [4]: one pre-sort unit plus a sequential merge-sort controller over
+ * a single usage buffer. The paper charges it N * log2(N) cycles for a
+ * length-N vector; the functional path executes a genuine bottom-up merge
+ * sort so comparator counts are measured, not assumed.
+ */
+
+#ifndef HIMA_SORT_CENTRALIZED_SORT_H
+#define HIMA_SORT_CENTRALIZED_SORT_H
+
+#include "sort/sort_types.h"
+
+namespace hima {
+
+/** Sequential bottom-up merge sorter with the paper's N log N cycle model. */
+class CentralizedSorter
+{
+  public:
+    /** Sort all records. */
+    SortResult sort(const std::vector<SortRecord> &input,
+                    SortOrder order) const;
+
+    /** Paper cycle model: N * ceil(log2 N). */
+    static std::uint64_t modelCycles(Index n);
+};
+
+} // namespace hima
+
+#endif // HIMA_SORT_CENTRALIZED_SORT_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Multi-dimensional sorting algorithm (MDSA) local sorter, after RTHS [24],
+ * used by each HiMA processing tile for the stage-1 usage sort (Sec. 4.3).
+ *
+ * A length-n vector is reshaped into a P x P register file (P = ceil
+ * sqrt(n)). Rows and columns are alternately passed through the P-input
+ * dual-mode bitonic sorter (rows in snake — alternating — order, columns
+ * always ascending), which is shear sort. HiMA's cycle model charges the
+ * paper's 6 phases of (P vectors + DPBS pipeline depth) each:
+ *
+ *     cycles = 6 * (P + D_DPBS)        e.g. 6 * (16 + 5) = 126 for n = 256
+ *
+ * The functional path runs shear-sort phases until the register file is
+ * fully sorted, which for P <= 32 always converges within the modeled
+ * phase budget (asserted in tests).
+ */
+
+#ifndef HIMA_SORT_MDSA_H
+#define HIMA_SORT_MDSA_H
+
+#include "sort/bitonic.h"
+
+namespace hima {
+
+/** P x P shear-sort engine with a DPBS per dimension. */
+class MdsaSorter
+{
+  public:
+    /** Construct for vectors of length n (P = ceil(sqrt(n))). */
+    explicit MdsaSorter(Index n);
+
+    /** Sort n records; returns records in fully sorted order. */
+    SortResult sort(const std::vector<SortRecord> &input,
+                    SortOrder order) const;
+
+    Index length() const { return n_; }
+    Index gridDim() const { return p_; }
+
+    /** Paper cycle model: 6 * (P + D_DPBS). */
+    std::uint64_t modelCycles() const;
+
+    /** Phases the paper budgets for a full sort. */
+    static constexpr int modelPhases = 6;
+
+  private:
+    Index n_;
+    Index p_;
+    BitonicSorter rowSorter_;
+};
+
+} // namespace hima
+
+#endif // HIMA_SORT_MDSA_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Nt-input parallel merge sorter (PMS) model, after Mashimo et al. [23],
+ * used by the HiMA controller tile for the stage-2 global usage sort.
+ *
+ * The PMS consumes Nt sorted runs held in Nt memory banks and emits Nt
+ * merged outputs per cycle through a pipelined merge tree. With runs of
+ * total length N the merge drains in N / Nt cycles plus the pipeline
+ * depth D_PMS. The paper's 4-input PMS has D_PMS = 7, which matches
+ * 3 * log2(Nt) + 1.
+ */
+
+#ifndef HIMA_SORT_MERGE_SORTER_H
+#define HIMA_SORT_MERGE_SORTER_H
+
+#include "sort/sort_types.h"
+
+namespace hima {
+
+/** Nt-way pipelined hardware merge sorter. */
+class ParallelMergeSorter
+{
+  public:
+    /** Construct an Nt-input merger (Nt >= 1; non-powers of two round up). */
+    explicit ParallelMergeSorter(Index ways);
+
+    /**
+     * Merge `runs` (each already sorted in `order`) into one sorted
+     * sequence. The cycle model is totalLength / ways + pipelineDepth().
+     */
+    SortResult merge(const std::vector<std::vector<SortRecord>> &runs,
+                     SortOrder order) const;
+
+    Index ways() const { return ways_; }
+
+    /** Pipeline depth: 3 * log2(ways) + 1 (D_PMS = 7 for 4 ways). */
+    std::uint64_t pipelineDepth() const;
+
+  private:
+    Index ways_;
+    int log2Ways_;
+};
+
+} // namespace hima
+
+#endif // HIMA_SORT_MERGE_SORTER_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared types for the hardware sorter models.
+ *
+ * Every sorter in this library sorts (key, index) records: the DNC usage
+ * sort needs the *permutation* (the free list ordering), not just the
+ * sorted keys, because the allocation weighting writes results back to the
+ * original memory-slot positions (HW.(3) in Fig. 2).
+ */
+
+#ifndef HIMA_SORT_SORT_TYPES_H
+#define HIMA_SORT_SORT_TYPES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** One sortable record: a usage value plus its originating slot index. */
+struct SortRecord
+{
+    Real key;
+    Index idx;
+
+    bool operator==(const SortRecord &) const = default;
+};
+
+/** Sort direction; the DPBS is dual-mode and supports both. */
+enum class SortOrder
+{
+    Ascending,
+    Descending,
+};
+
+/** Records-with-timing result every sorter returns. */
+struct SortResult
+{
+    std::vector<SortRecord> records;
+    /** Modeled hardware latency in cycles. */
+    std::uint64_t cycles;
+    /** Total comparator activations (energy-model input). */
+    std::uint64_t comparisons;
+};
+
+/** Build records from a usage vector (idx = position). */
+std::vector<SortRecord> makeRecords(const Vector &keys);
+
+/** True when records are ordered by key (ties in any index order). */
+bool isSorted(const std::vector<SortRecord> &records, SortOrder order);
+
+/**
+ * Strict total order on records. Ascending is (key, idx) lexicographic;
+ * Descending is its exact reverse. Making the two directions mirror
+ * images lets the dual-mode hardware sorters, the parallel merge sorter
+ * and the std::sort reference all realize the *same* permutation, which
+ * the allocation-weighting equivalence tests rely on.
+ */
+inline bool
+recordLess(const SortRecord &a, const SortRecord &b, SortOrder order)
+{
+    if (order == SortOrder::Ascending) {
+        if (a.key != b.key)
+            return a.key < b.key;
+        return a.idx < b.idx;
+    }
+    if (a.key != b.key)
+        return a.key > b.key;
+    return a.idx > b.idx;
+}
+
+} // namespace hima
+
+#endif // HIMA_SORT_SORT_TYPES_H

@@ -1,0 +1,52 @@
+#include "sort/two_stage_sort.h"
+
+namespace hima {
+
+TwoStageSorter::TwoStageSorter(Index n, Index nt)
+    : n_(n), nt_(nt), localSorter_(n / nt), globalSorter_(nt)
+{
+    HIMA_ASSERT(nt_ >= 1, "need at least one tile");
+    HIMA_ASSERT(n_ % nt_ == 0, "N=%zu not divisible by Nt=%zu", n_, nt_);
+}
+
+SortResult
+TwoStageSorter::sort(const std::vector<SortRecord> &input,
+                     SortOrder order) const
+{
+    HIMA_ASSERT(input.size() == n_, "input length %zu != N=%zu",
+                input.size(), n_);
+
+    const Index shard = shardLength();
+    std::vector<std::vector<SortRecord>> runs;
+    runs.reserve(nt_);
+
+    std::uint64_t comparisons = 0;
+    for (Index t = 0; t < nt_; ++t) {
+        std::vector<SortRecord> local(input.begin() + t * shard,
+                                      input.begin() + (t + 1) * shard);
+        SortResult res = localSorter_.sort(local, order);
+        comparisons += res.comparisons;
+        runs.push_back(std::move(res.records));
+    }
+
+    SortResult merged = globalSorter_.merge(runs, order);
+    comparisons += merged.comparisons;
+
+    SortResult result;
+    result.records = std::move(merged.records);
+    result.comparisons = comparisons;
+    result.cycles = modelTiming().totalCycles;
+    return result;
+}
+
+TwoStageTiming
+TwoStageSorter::modelTiming() const
+{
+    TwoStageTiming t;
+    t.localCycles = localSorter_.modelCycles();
+    t.globalCycles = shardLength() + globalSorter_.pipelineDepth();
+    t.totalCycles = t.localCycles + t.globalCycles;
+    return t;
+}
+
+} // namespace hima

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * HiMA's local-global two-stage usage sort (Sec. 4.3, Fig. 7(b)).
+ *
+ * Stage 1: the usage vector, already sharded across the Nt processing
+ * tiles, is sorted locally by each tile's MDSA sorter. All tiles sort in
+ * parallel, so the stage-1 latency is one tile's 6 * (P + D_DPBS).
+ *
+ * Stage 2: the Nt sorted shards stream into the controller tile's usage
+ * buffers and drain through the Nt-input parallel merge sorter at Nt
+ * records per cycle: n + D_PMS cycles for shard length n = N / Nt.
+ *
+ * Total for N = 1024, Nt = 4: 6*(16+5) + 256 + 7 = 389 cycles, versus
+ * N log2 N = 10240 for the centralized baseline — the paper's example.
+ */
+
+#ifndef HIMA_SORT_TWO_STAGE_SORT_H
+#define HIMA_SORT_TWO_STAGE_SORT_H
+
+#include "sort/centralized_sort.h"
+#include "sort/mdsa.h"
+#include "sort/merge_sorter.h"
+
+namespace hima {
+
+/** Cycle breakdown of one two-stage sort pass. */
+struct TwoStageTiming
+{
+    std::uint64_t localCycles;  ///< stage-1 MDSA latency (parallel max)
+    std::uint64_t globalCycles; ///< stage-2 PMS drain latency
+    std::uint64_t totalCycles;  ///< sum of the two stages
+};
+
+/** Distributed two-stage usage sorter over Nt tiles. */
+class TwoStageSorter
+{
+  public:
+    /**
+     * @param n   total usage length N (shards of N / Nt per tile)
+     * @param nt  tile count; must divide n
+     */
+    TwoStageSorter(Index n, Index nt);
+
+    /**
+     * Sort a full-length usage record vector. Input is sharded
+     * contiguously (tile t owns records [t*n/Nt, (t+1)*n/Nt)), mirroring
+     * the row-wise state-memory partition.
+     */
+    SortResult sort(const std::vector<SortRecord> &input,
+                    SortOrder order) const;
+
+    /** Cycle model without running the functional path. */
+    TwoStageTiming modelTiming() const;
+
+    Index length() const { return n_; }
+    Index tiles() const { return nt_; }
+    Index shardLength() const { return n_ / nt_; }
+
+  private:
+    Index n_;
+    Index nt_;
+    MdsaSorter localSorter_;
+    ParallelMergeSorter globalSorter_;
+};
+
+} // namespace hima
+
+#endif // HIMA_SORT_TWO_STAGE_SORT_H

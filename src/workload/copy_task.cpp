@@ -1,0 +1,35 @@
+#include "workload/copy_task.h"
+
+namespace hima {
+
+CopyResult
+runCopyTask(Dnc &model, const InterfaceScripter &scripter,
+            const std::vector<Index> &sequence, Index keyBase)
+{
+    model.reset();
+
+    // Store phase: item i written under key keyBase + i.
+    for (Index i = 0; i < sequence.size(); ++i) {
+        model.stepInterface(
+            scripter.writeInterface(keyBase + i, sequence[i]));
+    }
+
+    CopyResult result{sequence.size(), 0};
+    if (sequence.empty())
+        return result;
+
+    // Recall phase: locate the first item by content once, then follow
+    // the forward linkage for the rest of the sequence.
+    MemoryReadout readout =
+        model.stepInterface(scripter.queryInterface(keyBase));
+    if (scripter.decodeValue(readout.readVectors[0]) == sequence[0])
+        ++result.correct;
+    for (Index i = 1; i < sequence.size(); ++i) {
+        readout = model.stepInterface(scripter.temporalInterface());
+        if (scripter.decodeValue(readout.readVectors[0]) == sequence[i])
+            ++result.correct;
+    }
+    return result;
+}
+
+} // namespace hima

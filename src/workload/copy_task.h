@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The classic copy task (the NTM/DNC "hello world"): store a token
+ * sequence, then stream it back *in written order* by walking the
+ * temporal linkage forward from the first item — no content key is given
+ * during recall, so success depends entirely on the history-based
+ * mechanisms HiMA exists to accelerate.
+ */
+
+#ifndef HIMA_WORKLOAD_COPY_TASK_H
+#define HIMA_WORKLOAD_COPY_TASK_H
+
+#include "workload/retrieval.h"
+
+namespace hima {
+
+/** Result of one copy run. */
+struct CopyResult
+{
+    Index length;      ///< sequence length
+    Index correct;     ///< tokens recalled at the right position
+    Real errorRate() const
+    {
+        return length ? 1.0 - static_cast<Real>(correct) /
+                                  static_cast<Real>(length)
+                      : 0.0;
+    }
+};
+
+/**
+ * Run the copy task on a DNC.
+ *
+ * @param model     the DNC under test (reset internally)
+ * @param scripter  interface builder whose codebooks supply tokens
+ * @param sequence  token ids to store and recall (values vocabulary)
+ * @param keyBase   first key token id to use for the stored items
+ */
+CopyResult runCopyTask(Dnc &model, const InterfaceScripter &scripter,
+                       const std::vector<Index> &sequence, Index keyBase);
+
+} // namespace hima
+
+#endif // HIMA_WORKLOAD_COPY_TASK_H

@@ -1,0 +1,50 @@
+#include "workload/encoder.h"
+
+namespace hima {
+
+TokenCodebook::TokenCodebook(Index vocabulary, Index width,
+                             std::uint64_t seed)
+    : width_(width)
+{
+    HIMA_ASSERT(vocabulary > 0 && width > 0, "empty codebook");
+    Rng rng(seed);
+    entries_.reserve(vocabulary);
+    for (Index t = 0; t < vocabulary; ++t) {
+        Vector v = rng.normalVector(width);
+        const Real norm = v.norm();
+        HIMA_ASSERT(norm > 0.0, "degenerate codebook draw");
+        entries_.push_back(scale(v, 1.0 / norm));
+    }
+}
+
+const Vector &
+TokenCodebook::encode(Index token) const
+{
+    HIMA_ASSERT(token < entries_.size(), "token %zu outside vocabulary %zu",
+                token, entries_.size());
+    return entries_[token];
+}
+
+Index
+TokenCodebook::decode(const Vector &readout) const
+{
+    HIMA_ASSERT(readout.size() == width_, "readout width");
+    Index best = 0;
+    Real bestScore = -2.0;
+    for (Index t = 0; t < entries_.size(); ++t) {
+        const Real s = cosineSimilarity(readout, entries_[t]);
+        if (s > bestScore) {
+            bestScore = s;
+            best = t;
+        }
+    }
+    return best;
+}
+
+Real
+TokenCodebook::score(const Vector &readout, Index token) const
+{
+    return cosineSimilarity(readout, encode(token));
+}
+
+} // namespace hima

@@ -1,0 +1,86 @@
+#include "workload/task_suite.h"
+
+#include <algorithm>
+
+namespace hima {
+
+std::vector<TaskSpec>
+taskSuite()
+{
+    // Twenty archetypes sweeping story length, temporal load and memory
+    // pressure. Names echo the bAbI categories they are modeled on.
+    std::vector<TaskSpec> suite;
+    const char *names[20] = {
+        "single-fact",       "two-facts",         "three-facts",
+        "two-arg-relations", "three-arg-relations", "yes-no-recall",
+        "counting-load",     "lists-sets",        "simple-negation",
+        "indefinite-facts",  "basic-coreference", "conjunction",
+        "compound-coref",    "time-order",        "basic-deduction",
+        "basic-induction",   "positional-recall", "size-chains",
+        "path-finding",      "agents-motivation",
+    };
+    for (Index i = 0; i < 20; ++i) {
+        TaskSpec spec;
+        spec.id = i + 1;
+        spec.name = names[i];
+        // Story length grows through the suite: 6..25 facts.
+        spec.items = 6 + i;
+        spec.queries = 4 + i / 2;
+        // Tasks 14, 18, 19 are the temporally-heavy archetypes.
+        if (spec.id == 14 || spec.id == 18 || spec.id == 19)
+            spec.temporalFraction = 0.6;
+        else if (spec.id % 5 == 0)
+            spec.temporalFraction = 0.25;
+        else
+            spec.temporalFraction = 0.0;
+        // Counting / list tasks pile on distractor writes.
+        spec.distractors = (spec.id == 7 || spec.id == 8) ? 12 : i / 3;
+        suite.push_back(spec);
+    }
+    return suite;
+}
+
+Episode
+makeEpisode(const TaskSpec &spec, Index vocabulary, Rng &rng)
+{
+    HIMA_ASSERT(vocabulary >= 2 * (spec.items + spec.distractors),
+                "vocabulary too small for task %zu", spec.id);
+
+    Episode ep;
+
+    // Distinct keys for the story facts (values may repeat).
+    std::vector<Index> perm = rng.permutation(vocabulary);
+    std::vector<Index> keys(perm.begin(),
+                            perm.begin() + spec.items + spec.distractors);
+    std::vector<Index> values(spec.items + spec.distractors);
+    for (auto &v : values)
+        v = rng.uniformInt(vocabulary);
+
+    // Story: facts interleaved with distractors in written order.
+    for (Index i = 0; i < keys.size(); ++i) {
+        ep.steps.push_back({StepKind::Write, keys[i], values[i]});
+        ++ep.writes;
+    }
+
+    // Questions. Temporal questions anchor on fact i and expect the
+    // *next written* fact's value through the forward linkage.
+    const Index temporalCount = static_cast<Index>(
+        spec.temporalFraction * static_cast<Real>(spec.queries));
+    for (Index q = 0; q < spec.queries; ++q) {
+        if (q < temporalCount && spec.items >= 2) {
+            const Index anchor = rng.uniformInt(spec.items - 1);
+            ep.steps.push_back(
+                {StepKind::TemporalAnchor, keys[anchor], values[anchor]});
+            ep.steps.push_back({StepKind::TemporalQuery, keys[anchor + 1],
+                                values[anchor + 1]});
+        } else {
+            const Index target = rng.uniformInt(spec.items);
+            ep.steps.push_back(
+                {StepKind::Query, keys[target], values[target]});
+        }
+        ++ep.scoredQueries;
+    }
+    return ep;
+}
+
+} // namespace hima

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The 20-task synthetic QA suite — our offline stand-in for bAbI.
+ *
+ * Each task archetype stresses a different mix of the DNC's memory
+ * mechanisms (the same axes the bAbI tasks vary: story length, distractor
+ * density, temporal reasoning, memory pressure), so per-task error
+ * profiles differ the way Fig. 10's per-task bars do:
+ *
+ *   - items/queries scale with the task id (longer "stories")
+ *   - a temporal-question fraction exercises the linkage chain
+ *   - distractor writes load usage and force allocation pressure
+ *   - key-similarity stress narrows content-addressing margins
+ */
+
+#ifndef HIMA_WORKLOAD_TASK_SUITE_H
+#define HIMA_WORKLOAD_TASK_SUITE_H
+
+#include <string>
+
+#include "workload/retrieval.h"
+
+namespace hima {
+
+/** Parameters of one task archetype. */
+struct TaskSpec
+{
+    Index id;                ///< 1-based, matching "task 1..20" labels
+    std::string name;
+    Index items;             ///< (key, value) pairs written per episode
+    Index queries;           ///< scored content queries
+    Real temporalFraction;   ///< fraction of queries run through linkage
+    Index distractors;       ///< extra unqueried writes (memory pressure)
+};
+
+/** The 20 task archetypes (deterministic). */
+std::vector<TaskSpec> taskSuite();
+
+/**
+ * Generate one episode of a task.
+ *
+ * @param spec       task parameters
+ * @param vocabulary key/value vocabulary size (tokens are < vocabulary)
+ * @param rng        episode randomness (keys, values, query order)
+ */
+Episode makeEpisode(const TaskSpec &spec, Index vocabulary, Rng &rng);
+
+} // namespace hima
+
+#endif // HIMA_WORKLOAD_TASK_SUITE_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the area/power technology model and the prototype presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_power.h"
+
+namespace hima {
+namespace {
+
+TEST(Presets, BaselineMatchesPaperConfiguration)
+{
+    const ArchConfig cfg = himaBaselineConfig(16);
+    EXPECT_EQ(cfg.noc, NocKind::HTree);
+    EXPECT_FALSE(cfg.twoStageSort);
+    EXPECT_FALSE(cfg.distributed);
+    EXPECT_EQ(cfg.extPartition, Partition::rowWise(16));
+    EXPECT_EQ(cfg.linkPartition, Partition::rowWise(16));
+}
+
+TEST(Presets, DncPresetEnablesAllArchFeatures)
+{
+    const ArchConfig cfg = himaDncConfig(16);
+    EXPECT_EQ(cfg.noc, NocKind::Hima);
+    EXPECT_TRUE(cfg.multiModeRouting);
+    EXPECT_TRUE(cfg.twoStageSort);
+    EXPECT_EQ(cfg.linkPartition, (Partition{4, 4}));
+    EXPECT_FALSE(cfg.distributed);
+    EXPECT_TRUE(himaDncDConfig(16).distributed);
+}
+
+TEST(Presets, FinalizeRejectsIndivisibleTiles)
+{
+    ArchConfig cfg = himaDncConfig(16);
+    cfg.tiles = 3;
+    cfg.dnc.memoryRows = 1024; // 1024 % 3 != 0
+    EXPECT_DEATH(cfg.finalize(), "not divisible");
+}
+
+TEST(Footprint, MatchesClosedForms)
+{
+    const ArchConfig cfg = himaDncConfig(16);
+    const TileMemoryFootprint fp = tileMemoryFootprint(cfg);
+    // ext: (1024/16) * 64 words * 4B = 16 KB.
+    EXPECT_DOUBLE_EQ(fp.extKb, 16.0);
+    // linkage (DNC): N^2/Nt words * 4B = 256 KB.
+    EXPECT_DOUBLE_EQ(fp.linkageKb, 256.0);
+    // small states: 64 * (3 + 4) * 4B = 1.75 KB.
+    EXPECT_DOUBLE_EQ(fp.smallStateKb, 1.75);
+    EXPECT_DOUBLE_EQ(fp.total(), 273.75);
+}
+
+TEST(Footprint, DistributedShrinksLinkageOnly)
+{
+    const TileMemoryFootprint dnc = tileMemoryFootprint(himaDncConfig(16));
+    const TileMemoryFootprint dncd =
+        tileMemoryFootprint(himaDncDConfig(16));
+    EXPECT_DOUBLE_EQ(dnc.extKb, dncd.extKb);
+    EXPECT_DOUBLE_EQ(dnc.smallStateKb, dncd.smallStateKb);
+    EXPECT_DOUBLE_EQ(dncd.linkageKb, 16.0); // (64)^2 * 4B
+}
+
+TEST(Area, MonotoneInTileCount)
+{
+    Real prev = 0.0;
+    for (Index nt : {4, 8, 16, 32, 64}) {
+        const Real total = areaReport(himaDncConfig(nt)).totalMm2;
+        EXPECT_GT(total, prev);
+        prev = total;
+    }
+}
+
+TEST(Area, LinkageDominatesPtMemory)
+{
+    // Paper: the linkage bank is 81.3% of PT memory area.
+    const ArchConfig cfg = himaDncConfig(16);
+    const TileMemoryFootprint fp = tileMemoryFootprint(cfg);
+    TechParams tech;
+    const Real linkMm2 =
+        tech.sramPeripheryMm2 + tech.sramSlopeMm2PerKb * fp.linkageKb;
+    const AreaReport area = areaReport(cfg, tech);
+    EXPECT_GT(linkMm2 / area.ptMemMm2, 0.70);
+}
+
+TEST(Area, TwoStageSortCostsSorterArea)
+{
+    ArchConfig with = himaDncConfig(16);
+    ArchConfig without = himaDncConfig(16);
+    without.twoStageSort = false;
+    TechParams tech;
+    EXPECT_NEAR(areaReport(with, tech).ptMm2 -
+                    areaReport(without, tech).ptMm2,
+                tech.mdsaSorterMm2, 1e-9);
+}
+
+TEST(Area, TechParamsScaleResults)
+{
+    TechParams fat;
+    fat.sramSlopeMm2PerKb *= 2.0;
+    const ArchConfig cfg = himaDncConfig(16);
+    EXPECT_GT(areaReport(cfg, fat).ptMemMm2,
+              areaReport(cfg).ptMemMm2);
+}
+
+TEST(Area, DncDRouterIsSimpler)
+{
+    // DNC-D's CT-PT-only router is smaller than the multi-mode router,
+    // visible in the non-memory PT area.
+    const AreaReport dnc = areaReport(himaDncConfig(16));
+    const AreaReport dncd = areaReport(himaDncDConfig(16));
+    const Real dncLogic = dnc.ptMm2 - dnc.ptMemMm2;
+    const Real dncdLogic = dncd.ptMm2 - dncd.ptMemMm2;
+    EXPECT_LT(dncdLogic, dncLogic);
+}
+
+} // namespace
+} // namespace hima

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for content-based addressing (CW/CR kernels).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dnc/content_addressing.h"
+
+namespace hima {
+namespace {
+
+TEST(ContentAddressing, WeightingIsDistribution)
+{
+    Rng rng(1);
+    ContentAddressing ca;
+    const Matrix mem = rng.normalMatrix(16, 8);
+    const Vector key = rng.normalVector(8);
+    const Vector w = ca.weighting(mem, key, 2.0);
+    ASSERT_EQ(w.size(), 16u);
+    Real sum = 0.0;
+    for (Index i = 0; i < w.size(); ++i) {
+        EXPECT_GT(w[i], 0.0);
+        sum += w[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ContentAddressing, ExactMatchWins)
+{
+    Rng rng(2);
+    Matrix mem = rng.normalMatrix(32, 8);
+    const Vector key = mem.row(13);
+    ContentAddressing ca;
+    const Vector w = ca.weighting(mem, key, 10.0);
+    EXPECT_EQ(w.argmax(), 13u);
+    EXPECT_GT(w[13], 0.5);
+}
+
+TEST(ContentAddressing, StrengthSharpens)
+{
+    Rng rng(3);
+    Matrix mem = rng.normalMatrix(32, 8);
+    const Vector key = mem.row(5);
+    ContentAddressing ca;
+    const Vector soft = ca.weighting(mem, key, 1.0);
+    const Vector sharp = ca.weighting(mem, key, 20.0);
+    EXPECT_GT(sharp[5], soft[5]);
+}
+
+TEST(ContentAddressing, ScaleInvarianceOfCosine)
+{
+    // Cosine similarity ignores row magnitude: scaling a row must not
+    // change the weighting materially.
+    Rng rng(4);
+    Matrix mem = rng.normalMatrix(8, 8);
+    const Vector key = rng.normalVector(8);
+    ContentAddressing ca;
+    const Vector before = ca.weighting(mem, key, 3.0);
+    mem.setRow(2, scale(mem.row(2), 7.0));
+    const Vector after = ca.weighting(mem, key, 3.0);
+    for (Index i = 0; i < 8; ++i)
+        EXPECT_NEAR(before[i], after[i], 1e-4);
+}
+
+TEST(ContentAddressing, ZeroMemoryDoesNotCrash)
+{
+    const Matrix mem(8, 4); // all zeros: epsilon guard path
+    ContentAddressing ca;
+    const Vector w = ca.weighting(mem, Vector(4, 1.0), 1.0);
+    EXPECT_NEAR(w.sum(), 1.0, 1e-9);
+    // Uniform: no row is preferable.
+    for (Index i = 0; i < 8; ++i)
+        EXPECT_NEAR(w[i], 1.0 / 8.0, 1e-9);
+}
+
+TEST(ContentAddressing, ProfilerChargesKernels)
+{
+    Rng rng(5);
+    const Matrix mem = rng.normalMatrix(16, 8);
+    const Vector key = rng.normalVector(8);
+    ContentAddressing ca;
+    KernelProfiler prof;
+    ca.weighting(mem, key, 2.0, &prof);
+
+    const auto &norm = prof.at(Kernel::Normalize);
+    EXPECT_EQ(norm.invocations, 1u);
+    EXPECT_EQ(norm.macOps, 16u * 8 + 8);
+    EXPECT_EQ(norm.extMemAccesses, 16u * 8);
+
+    const auto &sim = prof.at(Kernel::Similarity);
+    EXPECT_EQ(sim.macOps, 16u * 8);
+    EXPECT_GT(sim.specialOps, 0u);
+}
+
+TEST(ContentAddressing, ApproximateMatchesExactClosely)
+{
+    Rng rng(6);
+    const Matrix mem = rng.normalMatrix(64, 16);
+    const Vector key = rng.normalVector(16);
+    ContentAddressing exact(false);
+    ContentAddressing approx(true, 32);
+    const Vector we = exact.weighting(mem, key, 5.0);
+    const Vector wa = approx.weighting(mem, key, 5.0);
+    EXPECT_EQ(we.argmax(), wa.argmax());
+    Real l1 = 0.0;
+    for (Index i = 0; i < we.size(); ++i)
+        l1 += std::fabs(we[i] - wa[i]);
+    EXPECT_LT(l1, 0.05);
+}
+
+/** Property: weighting is invariant to key scaling (cosine). */
+class KeyScale : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(KeyScale, WeightingInvariant)
+{
+    Rng rng(7);
+    const Matrix mem = rng.normalMatrix(16, 8);
+    const Vector key = rng.normalVector(8);
+    ContentAddressing ca;
+    const Vector base = ca.weighting(mem, key, 4.0);
+    const Vector scaled = ca.weighting(mem, scale(key, GetParam()), 4.0);
+    for (Index i = 0; i < base.size(); ++i)
+        EXPECT_NEAR(base[i], scaled[i], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, KeyScale,
+                         ::testing::Values(0.5, 2.0, 10.0, 100.0));
+
+} // namespace
+} // namespace hima

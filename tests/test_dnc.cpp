@@ -1,0 +1,135 @@
+/**
+ * @file
+ * System-level tests of the complete DNC (controller + memory unit).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "dnc/dnc.h"
+
+namespace hima {
+namespace {
+
+DncConfig
+tinyConfig()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 32;
+    cfg.memoryWidth = 8;
+    cfg.readHeads = 2;
+    cfg.controllerSize = 16;
+    cfg.inputSize = 6;
+    cfg.outputSize = 6;
+    return cfg;
+}
+
+TEST(Dnc, EndToEndStepProducesOutput)
+{
+    Dnc dnc(tinyConfig(), 1);
+    Rng input(2);
+    for (int i = 0; i < 10; ++i) {
+        const Vector y = dnc.step(input.normalVector(6));
+        ASSERT_EQ(y.size(), 6u);
+        for (Index k = 0; k < y.size(); ++k)
+            EXPECT_TRUE(std::isfinite(y[k]));
+    }
+}
+
+TEST(Dnc, DeterministicAcrossInstances)
+{
+    Dnc a(tinyConfig(), 99);
+    Dnc b(tinyConfig(), 99);
+    Rng ia(5), ib(5);
+    for (int i = 0; i < 8; ++i) {
+        const Vector ya = a.step(ia.normalVector(6));
+        const Vector yb = b.step(ib.normalVector(6));
+        EXPECT_EQ(ya, yb);
+    }
+}
+
+TEST(Dnc, SeedChangesWeights)
+{
+    Dnc a(tinyConfig(), 1);
+    Dnc b(tinyConfig(), 2);
+    const Vector x(6, 0.5);
+    EXPECT_NE(a.step(x), b.step(x));
+}
+
+TEST(Dnc, ResetReproducesFirstStep)
+{
+    Dnc dnc(tinyConfig(), 3);
+    const Vector x(6, 0.25);
+    const Vector y1 = dnc.step(x);
+    dnc.step(x);
+    dnc.reset();
+    const Vector y1again = dnc.step(x);
+    EXPECT_EQ(y1, y1again);
+}
+
+TEST(Dnc, MemoryStateEvolves)
+{
+    Dnc dnc(tinyConfig(), 4);
+    Rng input(6);
+    Real before = 0.0;
+    for (Index i = 0; i < dnc.memory().memory().size(); ++i)
+        before += std::fabs(dnc.memory().memory().data()[i]);
+    for (int i = 0; i < 5; ++i)
+        dnc.step(input.normalVector(6));
+    Real after = 0.0;
+    for (Index i = 0; i < dnc.memory().memory().size(); ++i)
+        after += std::fabs(dnc.memory().memory().data()[i]);
+    EXPECT_EQ(before, 0.0);
+    EXPECT_GT(after, 0.0);
+}
+
+TEST(Dnc, ProfilerAccumulatesAcrossSteps)
+{
+    Dnc dnc(tinyConfig(), 5);
+    Rng input(7);
+    dnc.step(input.normalVector(6));
+    const auto once = dnc.profiler().grandTotal().totalOps();
+    dnc.step(input.normalVector(6));
+    const auto twice = dnc.profiler().grandTotal().totalOps();
+    EXPECT_GT(once, 0u);
+    EXPECT_EQ(twice, 2 * once);
+}
+
+TEST(Dnc, LstmKernelChargedThroughSystem)
+{
+    Dnc dnc(tinyConfig(), 6);
+    dnc.step(Vector(6, 0.1));
+    EXPECT_GT(dnc.profiler().at(Kernel::Lstm).macOps, 0u);
+    EXPECT_GT(dnc.profiler()
+                  .categoryTotal(KernelCategory::HistoryRead)
+                  .totalOps(),
+              0u);
+}
+
+TEST(Dnc, ApproximateSoftmaxVariantRuns)
+{
+    DncConfig cfg = tinyConfig();
+    cfg.approximateSoftmax = true;
+    cfg.softmaxSegments = 16;
+    Dnc dnc(cfg, 7);
+    Rng input(8);
+    for (int i = 0; i < 5; ++i) {
+        const Vector y = dnc.step(input.normalVector(6));
+        for (Index k = 0; k < y.size(); ++k)
+            EXPECT_TRUE(std::isfinite(y[k]));
+    }
+}
+
+TEST(Dnc, SkimmedVariantRuns)
+{
+    DncConfig cfg = tinyConfig();
+    cfg.skimRate = 0.2;
+    Dnc dnc(cfg, 8);
+    Rng input(9);
+    for (int i = 0; i < 5; ++i)
+        dnc.step(input.normalVector(6));
+    EXPECT_GT(dnc.profiler().at(Kernel::UsageSort).invocations, 0u);
+}
+
+} // namespace
+} // namespace hima

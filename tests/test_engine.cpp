@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the HiMA engine: timing sanity, feature ablations (two-stage
+ * sort, HiMA-NoC, submatrix partition, DNC-D), area model calibration and
+ * power-model behaviour — the machinery behind Figs. 11 and 12.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/baselines.h"
+#include "arch/engine.h"
+
+namespace hima {
+namespace {
+
+TEST(Engine, StepCoversAllKernelCategories)
+{
+    HimaEngine engine(himaDncConfig(16));
+    const StepTiming step = engine.simulateStep();
+    EXPECT_GT(step.totalCycles, 0u);
+    for (int c = 0; c < static_cast<int>(KernelCategory::NumCategories);
+         ++c) {
+        EXPECT_GT(step.categoryCycles(static_cast<KernelCategory>(c)), 0u)
+            << categoryName(static_cast<KernelCategory>(c));
+    }
+}
+
+TEST(Engine, Deterministic)
+{
+    HimaEngine a(himaDncConfig(16));
+    HimaEngine b(himaDncConfig(16));
+    EXPECT_EQ(a.simulateStep().totalCycles, b.simulateStep().totalCycles);
+}
+
+TEST(Engine, TwoStageSortBeatsCentralized)
+{
+    ArchConfig with = himaDncConfig(16);
+    ArchConfig without = himaDncConfig(16);
+    without.twoStageSort = false;
+    HimaEngine ew(with), ewo(without);
+    EXPECT_LT(ew.simulateStep().totalCycles,
+              ewo.simulateStep().totalCycles);
+}
+
+TEST(Engine, HimaNocBeatsHTree)
+{
+    ArchConfig hima = himaDncConfig(16);
+    ArchConfig htree = himaDncConfig(16);
+    htree.noc = NocKind::HTree;
+    HimaEngine eh(hima), et(htree);
+    EXPECT_LT(eh.simulateStep().totalCycles,
+              et.simulateStep().totalCycles);
+}
+
+TEST(Engine, SubmatrixLinkagePartitionBeatsRowWise)
+{
+    ArchConfig sub = himaDncConfig(16); // 4x4 linkage partition
+    ArchConfig row = himaDncConfig(16);
+    row.linkPartition = Partition::rowWise(16);
+    HimaEngine es(sub), er(row);
+    EXPECT_LT(es.simulateStep().totalCycles,
+              er.simulateStep().totalCycles);
+}
+
+TEST(Engine, DncDMuchFasterThanDnc)
+{
+    HimaEngine dnc(himaDncConfig(16));
+    HimaEngine dncd(himaDncDConfig(16));
+    const Cycle cDnc = dnc.simulateStep().totalCycles;
+    const Cycle cDncd = dncd.simulateStep().totalCycles;
+    // Fig. 11(a): DNC-D delivers a multi-x jump (8.3x over baseline).
+    EXPECT_GT(cDnc, 3 * cDncd);
+}
+
+TEST(Engine, FullFeatureLadderIsMonotone)
+{
+    // Fig. 11(a): baseline -> +2-stage -> +NoC -> +submat -> DNC-D must
+    // be monotonically faster.
+    ArchConfig baseline = himaBaselineConfig(16);
+
+    ArchConfig sorted = baseline;
+    sorted.twoStageSort = true;
+
+    ArchConfig noc = sorted;
+    noc.noc = NocKind::Hima;
+    noc.multiModeRouting = true;
+
+    ArchConfig submat = noc;
+    submat.linkPartition = optimizeLinkagePartition(1024, 16);
+
+    ArchConfig dncd = submat;
+    dncd.distributed = true;
+
+    Cycle prev = HimaEngine(baseline).simulateStep().totalCycles;
+    for (const ArchConfig &cfg : {sorted, noc, submat, dncd}) {
+        const Cycle cur = HimaEngine(cfg).simulateStep().totalCycles;
+        EXPECT_LT(cur, prev);
+        prev = cur;
+    }
+}
+
+TEST(Engine, SkimmingSpeedsUpSort)
+{
+    ArchConfig plain = himaDncDConfig(16);
+    ArchConfig skim = himaDncDConfig(16);
+    skim.dnc.skimRate = 0.2;
+    HimaEngine ep(plain), es(skim);
+    EXPECT_LE(es.simulateStep().totalCycles,
+              ep.simulateStep().totalCycles);
+}
+
+TEST(Engine, DncDHasAlmostNoRouterEnergy)
+{
+    HimaEngine dnc(himaDncConfig(16));
+    HimaEngine dncd(himaDncDConfig(16));
+    const StepTiming a = dnc.simulateStep();
+    const StepTiming b = dncd.simulateStep();
+    // Sec. 7.3: DNC-D cuts 98.4% of router power; our model must show a
+    // dramatic drop too (interface broadcast + read gather only).
+    EXPECT_LT(b.moduleEnergy.ptRouterJ, 0.2 * a.moduleEnergy.ptRouterJ);
+}
+
+// --------------------------------------------------------------------
+// Area model (Fig. 11(e))
+// --------------------------------------------------------------------
+
+TEST(Area, FootprintMatchesPaperSizes)
+{
+    const TileMemoryFootprint fp = tileMemoryFootprint(himaDncConfig(16));
+    EXPECT_NEAR(fp.extKb, 16.0, 0.5);      // "16.4 KB external"
+    EXPECT_NEAR(fp.linkageKb, 256.0, 8.0); // "262 KB linkage"
+    EXPECT_LT(fp.smallStateKb, 4.0);       // "multiple 256 B memories"
+}
+
+TEST(Area, DncDLinkageShrinksQuadratically)
+{
+    const TileMemoryFootprint dnc = tileMemoryFootprint(himaDncConfig(16));
+    const TileMemoryFootprint dncd =
+        tileMemoryFootprint(himaDncDConfig(16));
+    EXPECT_NEAR(dncd.linkageKb * 16.0, dnc.linkageKb, 1.0);
+}
+
+TEST(Area, CalibratedNearPaperNumbers)
+{
+    HimaEngine engine(himaDncConfig(16));
+    const AreaReport area = engine.area();
+    // Paper Fig. 11(e): PT 5.01, PT mem 2.07, CT 0.52, total 80.69 mm^2.
+    EXPECT_NEAR(area.ptMemMm2, 2.07, 0.25);
+    EXPECT_NEAR(area.ptMm2, 5.01, 0.50);
+    EXPECT_NEAR(area.ctMm2, 0.52, 0.10);
+    EXPECT_NEAR(area.totalMm2, 80.69, 8.0);
+}
+
+TEST(Area, DncDSmallerThanDnc)
+{
+    const AreaReport dnc = HimaEngine(himaDncConfig(16)).area();
+    const AreaReport dncd = HimaEngine(himaDncDConfig(16)).area();
+    EXPECT_LT(dncd.ptMm2, dnc.ptMm2);
+    EXPECT_LT(dncd.ctMm2, dnc.ctMm2);
+    EXPECT_LT(dncd.totalMm2, dnc.totalMm2);
+}
+
+TEST(Area, GrowsLinearlyWithTiles)
+{
+    const Real a4 = HimaEngine(himaDncConfig(4)).area().totalMm2;
+    const Real a8 = HimaEngine(himaDncConfig(8)).area().totalMm2;
+    const Real a16 = HimaEngine(himaDncConfig(16)).area().totalMm2;
+    // PT area repeats; only the shrinking per-tile linkage breaks exact
+    // linearity.
+    EXPECT_GT(a8, a4);
+    EXPECT_GT(a16, a8);
+}
+
+// --------------------------------------------------------------------
+// Power model
+// --------------------------------------------------------------------
+
+TEST(Power, DncDCheaperThanDnc)
+{
+    HimaEngine dnc(himaDncConfig(16));
+    HimaEngine dncd(himaDncDConfig(16));
+    EXPECT_LT(dncd.power().totalW, dnc.power().totalW);
+}
+
+TEST(Power, CategoriesSumToDynamic)
+{
+    HimaEngine engine(himaDncConfig(16));
+    const PowerReport p = engine.power();
+    Real catSum = 0.0;
+    for (Real w : p.categoryW)
+        catSum += w;
+    EXPECT_NEAR(catSum, p.dynamicW, 0.25 * p.dynamicW + 1e-9);
+    EXPECT_GT(p.totalW, p.dynamicW);
+}
+
+// --------------------------------------------------------------------
+// Baselines / records
+// --------------------------------------------------------------------
+
+TEST(Baselines, AnchorsMatchPaperRelations)
+{
+    const PlatformRecord gpu = gpuRecord();
+    const PlatformRecord cpu = cpuRecord();
+    const PlatformRecord farm = farmRecord();
+    const PlatformRecord manna = mannaRecord();
+
+    // CPU is 2.12x slower than GPU.
+    EXPECT_NEAR(cpu.inferenceUsPerTest / gpu.inferenceUsPerTest, 2.12,
+                0.02);
+    // Farm is ~68.5x faster than the GPU.
+    EXPECT_NEAR(gpu.inferenceUsPerTest / farm.inferenceUsPerTest, 68.5,
+                1.0);
+    // MANNA normalized area ~ 11x Farm.
+    EXPECT_NEAR(normalizedArea(manna, 40.0) / farm.areaMm2, 11.0, 1.0);
+    // MANNA power ~ 32x Farm.
+    EXPECT_NEAR(manna.powerW / farm.powerW, 32.0, 1.0);
+}
+
+TEST(Baselines, HimaRecordIsMeasured)
+{
+    HimaEngine engine(himaDncConfig(16));
+    const PlatformRecord rec = himaRecord("HiMA-DNC", engine);
+    EXPECT_GT(rec.inferenceUsPerTest, 0.0);
+    EXPECT_NEAR(rec.areaMm2, engine.area().totalMm2, 1e-9);
+    EXPECT_EQ(rec.techNm, 40.0);
+}
+
+TEST(GpuModel, HistoryWriteDominates)
+{
+    // Build a profile with the paper's op mix and check the Fig. 4 GPU
+    // shape: history-based write weighting must dominate the runtime.
+    KernelProfiler prof;
+    prof.at(Kernel::Retention).elementOps = 8192;
+    prof.at(Kernel::Usage).elementOps = 4096;
+    prof.at(Kernel::UsageSort).compareOps = 10240;
+    prof.at(Kernel::Allocation).elementOps = 2048;
+    prof.at(Kernel::Linkage).elementOps = 4ull * 1024 * 1024;
+    prof.at(Kernel::ForwardBackward).macOps = 8ull * 1024 * 1024;
+    prof.at(Kernel::Normalize).macOps = 5ull * 65536;
+    prof.at(Kernel::Similarity).macOps = 5ull * 65536;
+    prof.at(Kernel::MemoryWrite).elementOps = 4ull * 65536;
+    prof.at(Kernel::MemoryRead).macOps = 4ull * 65536;
+    prof.at(Kernel::Lstm).macOps = 743000;
+
+    GpuKernelModel model;
+    const auto secs = model.categorySeconds(prof);
+    Real total = 0.0;
+    for (Real s : secs)
+        total += s;
+    const Real histWr =
+        secs[static_cast<int>(KernelCategory::HistoryWrite)];
+    const Real histRd = secs[static_cast<int>(KernelCategory::HistoryRead)];
+    EXPECT_GT(histWr / total, 0.5);  // paper: 72%
+    EXPECT_LT(histRd / total, 0.25); // paper: 9%
+}
+
+} // namespace
+} // namespace hima

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the Q16.16 fixed-point datapath type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "approx/fixed_point.h"
+#include "common/random.h"
+
+namespace hima {
+namespace {
+
+TEST(Fixed, RoundTripExactValues)
+{
+    EXPECT_EQ(Fix32::fromReal(0.0).toReal(), 0.0);
+    EXPECT_EQ(Fix32::fromReal(1.0).toReal(), 1.0);
+    EXPECT_EQ(Fix32::fromReal(-2.5).toReal(), -2.5);
+    EXPECT_EQ(Fix32::fromReal(0.25).toReal(), 0.25);
+}
+
+TEST(Fixed, QuantizationErrorBounded)
+{
+    Rng rng(17);
+    const Real res = Fix32::resolution();
+    for (int i = 0; i < 1000; ++i) {
+        const Real v = rng.uniform(-100.0, 100.0);
+        EXPECT_NEAR(Fix32::fromReal(v).toReal(), v, res / 2 + 1e-12);
+    }
+}
+
+TEST(Fixed, Arithmetic)
+{
+    const Fix32 a = Fix32::fromReal(3.5);
+    const Fix32 b = Fix32::fromReal(-1.25);
+    EXPECT_EQ((a + b).toReal(), 2.25);
+    EXPECT_EQ((a - b).toReal(), 4.75);
+    EXPECT_EQ((a * b).toReal(), -4.375);
+    // -2.8 is not exactly representable in binary Q16.16.
+    EXPECT_NEAR((a / b).toReal(), -2.8, Fix32::resolution());
+    EXPECT_EQ((-a).toReal(), -3.5);
+}
+
+TEST(Fixed, SaturatesInsteadOfWrapping)
+{
+    const Fix32 big = Fix32::fromReal(32000.0);
+    const Fix32 sum = big + big;
+    EXPECT_EQ(sum.raw(), Fix32::rawMax);
+    EXPECT_GT(sum.toReal(), 32000.0);
+
+    const Fix32 neg = Fix32::fromReal(-32000.0);
+    EXPECT_EQ((neg + neg).raw(), Fix32::rawMin);
+    EXPECT_EQ((big * big).raw(), Fix32::rawMax);
+}
+
+TEST(Fixed, FromRealSaturates)
+{
+    EXPECT_EQ(Fix32::fromReal(1e12).raw(), Fix32::rawMax);
+    EXPECT_EQ(Fix32::fromReal(-1e12).raw(), Fix32::rawMin);
+}
+
+TEST(Fixed, Comparison)
+{
+    EXPECT_LT(Fix32::fromReal(1.0), Fix32::fromReal(2.0));
+    EXPECT_EQ(Fix32::fromReal(0.5), Fix32::fromReal(0.5));
+    EXPECT_GT(Fix32::fromReal(-1.0), Fix32::fromReal(-2.0));
+}
+
+TEST(Fixed, OtherFormats)
+{
+    using Q8 = Fixed<8, 8>;
+    EXPECT_EQ(Q8::fromReal(1.5).toReal(), 1.5);
+    EXPECT_EQ(Q8::resolution(), 1.0 / 256.0);
+    // Q8.8 saturates around +-128.
+    EXPECT_LT(Q8::fromReal(1000.0).toReal(), 129.0);
+}
+
+TEST(Quantize, VectorAndMatrix)
+{
+    Rng rng(23);
+    const Vector v = rng.normalVector(64);
+    const Vector qv = quantize(v);
+    ASSERT_EQ(qv.size(), v.size());
+    for (Index i = 0; i < v.size(); ++i)
+        EXPECT_NEAR(qv[i], v[i], Fix32::resolution());
+
+    const Matrix m = rng.normalMatrix(8, 8);
+    const Matrix qm = quantize(m);
+    for (Index i = 0; i < m.size(); ++i)
+        EXPECT_NEAR(qm.data()[i], m.data()[i], Fix32::resolution());
+}
+
+/** Property: fixed-point multiply error stays within 2 ulp for small
+ * operands. */
+class FixedMulError : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(FixedMulError, BoundedError)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 400);
+    for (int i = 0; i < 200; ++i) {
+        const Real a = rng.uniform(-8.0, 8.0);
+        const Real b = rng.uniform(-8.0, 8.0);
+        const Real got = (Fix32::fromReal(a) * Fix32::fromReal(b)).toReal();
+        EXPECT_NEAR(got, a * b, 16.0 * Fix32::resolution());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedMulError, ::testing::Range(0, 5));
+
+} // namespace
+} // namespace hima

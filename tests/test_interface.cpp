@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the interface-vector codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dnc/interface.h"
+
+namespace hima {
+namespace {
+
+DncConfig
+smallConfig()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 32;
+    cfg.memoryWidth = 8;
+    cfg.readHeads = 2;
+    return cfg;
+}
+
+TEST(Interface, SizeFormula)
+{
+    const DncConfig cfg = smallConfig();
+    // R*W + 3W + 5R + 3 = 16 + 24 + 10 + 3 = 53.
+    EXPECT_EQ(cfg.interfaceSize(), 53u);
+
+    DncConfig paper;
+    paper.memoryRows = 1024;
+    paper.memoryWidth = 64;
+    paper.readHeads = 4;
+    EXPECT_EQ(paper.interfaceSize(), 4u * 64 + 3 * 64 + 5 * 4 + 3);
+}
+
+TEST(Interface, DecodeAppliesConstraints)
+{
+    const DncConfig cfg = smallConfig();
+    Rng rng(1);
+    const Vector raw = rng.normalVector(cfg.interfaceSize(), 0.0, 3.0);
+    const InterfaceVector iface = decodeInterface(raw, cfg);
+
+    validateInterface(iface, cfg); // all constraints hold
+
+    EXPECT_EQ(iface.readKeys.size(), 2u);
+    EXPECT_EQ(iface.readKeys[0].size(), 8u);
+    for (Real s : iface.readStrengths)
+        EXPECT_GE(s, 1.0);
+    EXPECT_GE(iface.writeStrength, 1.0);
+    for (Index i = 0; i < iface.eraseVector.size(); ++i) {
+        EXPECT_GT(iface.eraseVector[i], 0.0);
+        EXPECT_LT(iface.eraseVector[i], 1.0);
+    }
+    for (const ReadMode &m : iface.readModes) {
+        EXPECT_NEAR(m.backward + m.content + m.forward, 1.0, 1e-9);
+    }
+}
+
+TEST(Interface, DecodeIsDeterministicSlicing)
+{
+    const DncConfig cfg = smallConfig();
+    // Raw layout: the first R*W entries are the read keys verbatim.
+    Vector raw(cfg.interfaceSize());
+    for (Index i = 0; i < raw.size(); ++i)
+        raw[i] = static_cast<Real>(i) * 0.01;
+    const InterfaceVector iface = decodeInterface(raw, cfg);
+    EXPECT_DOUBLE_EQ(iface.readKeys[0][0], 0.0);
+    EXPECT_DOUBLE_EQ(iface.readKeys[0][7], 0.07);
+    EXPECT_DOUBLE_EQ(iface.readKeys[1][0], 0.08);
+    // Write key follows the R read strengths.
+    EXPECT_DOUBLE_EQ(iface.writeKey[0], (16 + 2) * 0.01);
+}
+
+TEST(Interface, DecodeRejectsWrongWidth)
+{
+    const DncConfig cfg = smallConfig();
+    EXPECT_DEATH(decodeInterface(Vector(10), cfg), "interface width");
+}
+
+TEST(Interface, ValidateCatchesBadModes)
+{
+    const DncConfig cfg = smallConfig();
+    Rng rng(2);
+    InterfaceVector iface =
+        decodeInterface(rng.normalVector(cfg.interfaceSize()), cfg);
+    iface.readModes[0] = {0.5, 0.7, 0.2}; // off the simplex
+    EXPECT_DEATH(validateInterface(iface, cfg), "simplex");
+}
+
+TEST(Interface, ValidateCatchesBadStrength)
+{
+    const DncConfig cfg = smallConfig();
+    Rng rng(3);
+    InterfaceVector iface =
+        decodeInterface(rng.normalVector(cfg.interfaceSize()), cfg);
+    iface.writeStrength = 0.5;
+    EXPECT_DEATH(validateInterface(iface, cfg), "strength");
+}
+
+TEST(DncConfigTest, ValidateRejectsBadShapes)
+{
+    DncConfig cfg = smallConfig();
+    cfg.memoryRows = 0;
+    EXPECT_DEATH(cfg.validate(), "zero-sized");
+
+    DncConfig cfg2 = smallConfig();
+    cfg2.skimRate = 1.5;
+    EXPECT_DEATH(cfg2.validate(), "skim rate");
+}
+
+} // namespace
+} // namespace hima

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the temporal linkage state (HR.(1)-(3)): linkage matrix,
+ * precedence, forward/backward weightings, and their invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dnc/temporal_linkage.h"
+
+namespace hima {
+namespace {
+
+/** A one-hot write weighting. */
+Vector
+oneHot(Index n, Index where)
+{
+    Vector v(n);
+    v[where] = 1.0;
+    return v;
+}
+
+TEST(Precedence, TracksLastWrite)
+{
+    TemporalLinkage tl(8);
+    tl.updatePrecedence(oneHot(8, 3));
+    EXPECT_DOUBLE_EQ(tl.precedence()[3], 1.0);
+
+    tl.updatePrecedence(oneHot(8, 5));
+    EXPECT_DOUBLE_EQ(tl.precedence()[5], 1.0);
+    EXPECT_DOUBLE_EQ(tl.precedence()[3], 0.0); // fully overwritten
+}
+
+TEST(Precedence, PartialWriteBlends)
+{
+    TemporalLinkage tl(4);
+    Vector w(4);
+    w[0] = 0.5;
+    tl.updatePrecedence(w);
+    EXPECT_DOUBLE_EQ(tl.precedence()[0], 0.5);
+    tl.updatePrecedence(w);
+    // p = (1 - 0.5) * 0.5 + 0.5 = 0.75.
+    EXPECT_DOUBLE_EQ(tl.precedence()[0], 0.75);
+}
+
+TEST(Linkage, HardWritesChainInOrder)
+{
+    TemporalLinkage tl(8);
+    // Write slots 2 -> 5 -> 1 in sequence.
+    for (Index slot : {2, 5, 1}) {
+        tl.updateLinkage(oneHot(8, slot));
+        tl.updatePrecedence(oneHot(8, slot));
+    }
+    // L[to][from]: 5 follows 2, 1 follows 5.
+    EXPECT_NEAR(tl.linkage()(5, 2), 1.0, 1e-12);
+    EXPECT_NEAR(tl.linkage()(1, 5), 1.0, 1e-12);
+    EXPECT_NEAR(tl.linkage()(2, 5), 0.0, 1e-12);
+}
+
+TEST(Linkage, DiagonalAlwaysZero)
+{
+    TemporalLinkage tl(16);
+    Rng rng(5);
+    for (int step = 0; step < 20; ++step) {
+        Vector w = rng.uniformVector(16);
+        w = scale(w, 1.0 / w.sum());
+        tl.updateLinkage(w);
+        tl.updatePrecedence(w);
+    }
+    for (Index i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(tl.linkage()(i, i), 0.0);
+}
+
+TEST(ForwardBackward, FollowTheChain)
+{
+    TemporalLinkage tl(8);
+    for (Index slot : {2, 5, 1}) {
+        tl.updateLinkage(oneHot(8, slot));
+        tl.updatePrecedence(oneHot(8, slot));
+    }
+    // Reading slot 2, the forward weighting points to 5.
+    const Vector f = tl.forwardWeighting(oneHot(8, 2));
+    EXPECT_EQ(f.argmax(), 5u);
+    // Reading slot 5, the backward weighting points to 2.
+    const Vector b = tl.backwardWeighting(oneHot(8, 5));
+    EXPECT_EQ(b.argmax(), 2u);
+}
+
+/**
+ * Invariant from the DNC paper: rows and columns of L remain
+ * sub-stochastic (sums <= 1) for simplex write weightings.
+ */
+class LinkageInvariant : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LinkageInvariant, RowAndColumnSumsBounded)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+    TemporalLinkage tl(24);
+    for (int step = 0; step < 40; ++step) {
+        Vector w = rng.uniformVector(24);
+        w = scale(w, rng.uniform() / w.sum()); // sum in [0, 1)
+        tl.updateLinkage(w);
+        tl.updatePrecedence(w);
+
+        const Matrix &link = tl.linkage();
+        for (Index i = 0; i < 24; ++i) {
+            Real rowSum = 0.0, colSum = 0.0;
+            for (Index j = 0; j < 24; ++j) {
+                EXPECT_GE(link(i, j), -1e-9);
+                rowSum += link(i, j);
+                colSum += link(j, i);
+            }
+            EXPECT_LE(rowSum, 1.0 + 1e-9);
+            EXPECT_LE(colSum, 1.0 + 1e-9);
+        }
+        // Precedence stays a sub-distribution too.
+        Real pSum = tl.precedence().sum();
+        EXPECT_GE(pSum, -1e-9);
+        EXPECT_LE(pSum, 1.0 + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkageInvariant, ::testing::Range(0, 6));
+
+TEST(ForwardBackward, PreservesSubDistribution)
+{
+    Rng rng(11);
+    TemporalLinkage tl(16);
+    for (int step = 0; step < 10; ++step) {
+        Vector w = rng.uniformVector(16);
+        w = scale(w, 1.0 / w.sum());
+        tl.updateLinkage(w);
+        tl.updatePrecedence(w);
+    }
+    Vector r = rng.uniformVector(16);
+    r = scale(r, 1.0 / r.sum());
+    EXPECT_LE(tl.forwardWeighting(r).sum(), 1.0 + 1e-9);
+    EXPECT_LE(tl.backwardWeighting(r).sum(), 1.0 + 1e-9);
+}
+
+TEST(Linkage, ResetClearsState)
+{
+    TemporalLinkage tl(8);
+    tl.updateLinkage(oneHot(8, 1));
+    tl.updatePrecedence(oneHot(8, 1));
+    tl.reset();
+    EXPECT_DOUBLE_EQ(tl.precedence().sum(), 0.0);
+    for (Index i = 0; i < 8; ++i)
+        for (Index j = 0; j < 8; ++j)
+            EXPECT_DOUBLE_EQ(tl.linkage()(i, j), 0.0);
+}
+
+TEST(Linkage, ProfilerChargesQuadraticWork)
+{
+    KernelProfiler prof;
+    TemporalLinkage tl(32);
+    tl.updateLinkage(oneHot(32, 0), &prof);
+    tl.forwardWeighting(oneHot(32, 0), &prof);
+    EXPECT_EQ(prof.at(Kernel::Linkage).elementOps, 4u * 32 * 32);
+    EXPECT_EQ(prof.at(Kernel::ForwardBackward).macOps, 32u * 32);
+    EXPECT_GT(prof.at(Kernel::Linkage).stateMemAccesses, 2u * 32 * 32);
+}
+
+} // namespace
+} // namespace hima

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the LSTM cell and the DNC controller heads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnc/controller.h"
+
+namespace hima {
+namespace {
+
+TEST(Lstm, ShapesAndDeterminism)
+{
+    Rng r1(42), r2(42);
+    LstmCell a(8, 16, r1);
+    LstmCell b(8, 16, r2);
+    Rng input(1);
+    for (int i = 0; i < 5; ++i) {
+        const Vector x = input.normalVector(8);
+        const Vector ha = a.step(x);
+        const Vector hb = b.step(x);
+        ASSERT_EQ(ha.size(), 16u);
+        EXPECT_EQ(ha, hb);
+    }
+}
+
+TEST(Lstm, HiddenStateBounded)
+{
+    Rng rng(7);
+    LstmCell cell(4, 32, rng);
+    Rng input(2);
+    for (int i = 0; i < 100; ++i) {
+        const Vector h = cell.step(input.normalVector(4, 0.0, 5.0));
+        for (Index k = 0; k < h.size(); ++k) {
+            EXPECT_GE(h[k], -1.0);
+            EXPECT_LE(h[k], 1.0);
+        }
+    }
+}
+
+TEST(Lstm, StatePersistsAcrossSteps)
+{
+    Rng rng(3);
+    LstmCell cell(4, 8, rng);
+    const Vector x(4, 0.5);
+    const Vector h1 = cell.step(x);
+    const Vector h2 = cell.step(x);
+    // Same input, different state -> different output.
+    EXPECT_NE(h1, h2);
+
+    cell.reset();
+    const Vector h1again = cell.step(x);
+    EXPECT_EQ(h1, h1again);
+}
+
+TEST(Lstm, MacsPerStepFormula)
+{
+    Rng rng(4);
+    LstmCell cell(10, 20, rng);
+    EXPECT_EQ(cell.macsPerStep(), 4ull * 20 * (10 + 20 + 1));
+}
+
+TEST(Lstm, ProfilerCharged)
+{
+    Rng rng(5);
+    LstmCell cell(4, 8, rng);
+    KernelProfiler prof;
+    cell.step(Vector(4, 0.1), &prof);
+    EXPECT_EQ(prof.at(Kernel::Lstm).macOps, cell.macsPerStep());
+    EXPECT_EQ(prof.at(Kernel::Lstm).invocations, 1u);
+}
+
+TEST(Controller, EmitsValidInterface)
+{
+    DncConfig cfg;
+    cfg.memoryRows = 32;
+    cfg.memoryWidth = 8;
+    cfg.readHeads = 2;
+    cfg.controllerSize = 24;
+    cfg.inputSize = 6;
+    cfg.outputSize = 6;
+
+    Rng rng(6);
+    Controller ctrl(cfg, rng);
+    std::vector<Vector> reads(cfg.readHeads, Vector(cfg.memoryWidth));
+    Rng input(7);
+    for (int i = 0; i < 5; ++i) {
+        const InterfaceVector iface =
+            ctrl.step(input.normalVector(cfg.inputSize), reads);
+        validateInterface(iface, cfg); // dies on any violated constraint
+    }
+}
+
+TEST(Controller, OutputShapeAndDeterminism)
+{
+    DncConfig cfg;
+    cfg.memoryRows = 32;
+    cfg.memoryWidth = 8;
+    cfg.readHeads = 2;
+    cfg.controllerSize = 16;
+    cfg.inputSize = 4;
+    cfg.outputSize = 10;
+
+    Rng r1(8), r2(8);
+    Controller a(cfg, r1), b(cfg, r2);
+    std::vector<Vector> reads(cfg.readHeads, Vector(cfg.memoryWidth, 0.3));
+    a.step(Vector(cfg.inputSize, 0.1), reads);
+    b.step(Vector(cfg.inputSize, 0.1), reads);
+    const Vector ya = a.output(reads);
+    const Vector yb = b.output(reads);
+    ASSERT_EQ(ya.size(), 10u);
+    EXPECT_EQ(ya, yb);
+}
+
+} // namespace
+} // namespace hima

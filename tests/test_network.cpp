@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the cycle-level NoC contention simulator and the traffic
+ * generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/traffic.h"
+
+namespace hima {
+namespace {
+
+TEST(Network, SingleMessageLatency)
+{
+    const Topology topo = Topology::build(NocKind::Star, 4);
+    Network net(topo);
+    // 1 hop, 8 flits: head advances 1 cycle, tail 7 behind + ejection.
+    const NodeId pt = topo.processingNodes()[0];
+    TrafficResult res =
+        net.run({{topo.controllerNode(), pt, 8, 0, {}}}, NocMode::Full);
+    ASSERT_EQ(res.deliveries.size(), 1u);
+    EXPECT_EQ(res.deliveries[0].injected, 0u);
+    // head: 1 cycle for the hop; tail arrives 8 flits later.
+    EXPECT_EQ(res.makespan, 8u);
+    EXPECT_EQ(res.flitHops, 8u);
+}
+
+TEST(Network, LocalDeliveryIsFree)
+{
+    const Topology topo = Topology::build(NocKind::Mesh, 4);
+    Network net(topo);
+    const NodeId pt = topo.processingNodes()[0];
+    TrafficResult res = net.run({{pt, pt, 100, 5, {}}}, NocMode::Full);
+    EXPECT_EQ(res.deliveries[0].delivered, 5u);
+    EXPECT_EQ(res.flitHops, 0u);
+}
+
+TEST(Network, InjectionPortSerializesBroadcast)
+{
+    // A star hub must serialize its broadcast on the injection port:
+    // makespan grows linearly with fan-out.
+    const Topology topo = Topology::build(NocKind::Star, 8);
+    Network net(topo);
+    TrafficResult res = net.run(broadcast(topo, 16), NocMode::Full);
+    // 8 messages x 16 flits through one injection port >= 128 cycles.
+    EXPECT_GE(res.makespan, 128u);
+}
+
+TEST(Network, GatherSerializesAtEjection)
+{
+    const Topology topo = Topology::build(NocKind::Star, 8);
+    Network net(topo);
+    TrafficResult res = net.run(gather(topo, 16), NocMode::Full);
+    EXPECT_GE(res.makespan, 128u); // CT ejection port bottleneck
+}
+
+TEST(Network, DependenciesForceSequencing)
+{
+    const Topology topo = Topology::build(NocKind::Ring, 6);
+    Network net(topo);
+    const auto chain = ringAccumulate(topo, 4);
+    TrafficResult res = net.run(chain, NocMode::Full);
+    // Each hop in the dependent chain starts only after its predecessor
+    // delivered: makespan >= 5 links x ~5 cycles.
+    for (Index i = 1; i < chain.size(); ++i) {
+        EXPECT_GE(res.deliveries[i].injected,
+                  res.deliveries[i - 1].delivered);
+    }
+    EXPECT_GE(res.makespan, 5u * 4);
+}
+
+TEST(Network, GatherBroadcastOrdersPhases)
+{
+    const Topology topo = Topology::build(NocKind::Hima, 8);
+    Network net(topo);
+    const auto batch = gatherBroadcast(topo, 4, 4);
+    TrafficResult res = net.run(batch, NocMode::Full);
+    // Every broadcast message injects after every gather delivered.
+    Cycle lastGather = 0;
+    for (Index i = 0; i < 8; ++i)
+        lastGather = std::max(lastGather, res.deliveries[i].delivered);
+    for (Index i = 8; i < batch.size(); ++i)
+        EXPECT_GE(res.deliveries[i].injected, lastGather);
+}
+
+TEST(Network, DependencyCycleDies)
+{
+    const Topology topo = Topology::build(NocKind::Mesh, 4);
+    Network net(topo);
+    std::vector<Message> bad(2);
+    const auto &pts = topo.processingNodes();
+    bad[0] = {pts[0], pts[1], 1, 0, {1}};
+    bad[1] = {pts[1], pts[2], 1, 0, {0}};
+    EXPECT_DEATH(net.run(bad, NocMode::Full), "dependency cycle");
+}
+
+TEST(Network, HTreeRootCongestsUnderAllToAll)
+{
+    // The Fig. 5 premise: all-to-all traffic saturates the H-tree root
+    // while the HiMA mesh+diagonal spreads it.
+    const Index tiles = 16;
+    const std::uint64_t flits = 8;
+
+    const Topology ht = Topology::build(NocKind::HTree, tiles);
+    const Topology hm = Topology::build(NocKind::Hima, tiles);
+    Network netHt(ht), netHm(hm);
+    const auto batchHt = allToAll(ht, flits);
+    const auto batchHm = allToAll(hm, flits);
+    const Cycle mkHt = netHt.run(batchHt, NocMode::Full).makespan;
+    const Cycle mkHm = netHm.run(batchHm, NocMode::Full).makespan;
+    EXPECT_GT(mkHt, mkHm)
+        << "H-tree should congest more than HiMA on all-to-all";
+}
+
+TEST(Network, StatsAccumulate)
+{
+    const Topology topo = Topology::build(NocKind::Mesh, 4);
+    Network net(topo);
+    net.run(broadcast(topo, 2), NocMode::Full);
+    net.run(gather(topo, 2), NocMode::Full);
+    EXPECT_EQ(net.stats().get("noc.batches"), 2u);
+    EXPECT_EQ(net.stats().get("noc.messages"), 8u);
+    EXPECT_GT(net.stats().get("noc.flit_hops"), 0u);
+    net.clearStats();
+    EXPECT_EQ(net.stats().get("noc.batches"), 0u);
+}
+
+TEST(Traffic, GeneratorShapes)
+{
+    const Topology topo = Topology::build(NocKind::Hima, 9);
+    EXPECT_EQ(broadcast(topo, 1).size(), 9u);
+    EXPECT_EQ(gather(topo, 1).size(), 9u);
+    EXPECT_EQ(gatherBroadcast(topo, 1, 1).size(), 18u);
+    EXPECT_EQ(ringAccumulate(topo, 1).size(), 8u);
+    EXPECT_EQ(allToAll(topo, 1).size(), 9u * 8);
+    // 9 tiles -> 3x3 logical grid -> 6 off-diagonal transpose pairs.
+    EXPECT_EQ(transposePairs(topo, 1).size(), 6u);
+}
+
+TEST(Traffic, TransposePairsAreSymmetric)
+{
+    const Topology topo = Topology::build(NocKind::Hima, 16);
+    const auto batch = transposePairs(topo, 4);
+    // For every (a -> b) there is a (b -> a).
+    for (const Message &m : batch) {
+        bool found = false;
+        for (const Message &n : batch)
+            if (n.src == m.dst && n.dst == m.src)
+                found = true;
+        EXPECT_TRUE(found);
+    }
+}
+
+} // namespace
+} // namespace hima

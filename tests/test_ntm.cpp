@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the NTM memory unit (the MANNA baseline's model).
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dnc/ntm.h"
+
+namespace hima {
+namespace {
+
+DncConfig
+tinyConfig()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 16;
+    cfg.memoryWidth = 8;
+    cfg.readHeads = 1;
+    return cfg;
+}
+
+NtmHeadInput
+contentHead(const Vector &key, Real strength = 10.0)
+{
+    NtmHeadInput head;
+    head.key = key;
+    head.strength = strength;
+    head.gate = 1.0;               // pure content addressing
+    head.shift = {0.0, 1.0, 0.0};  // no shift
+    head.gamma = 1.0;              // no sharpening
+    return head;
+}
+
+TEST(Ntm, WriteThenReadRoundTrip)
+{
+    const DncConfig cfg = tinyConfig();
+    NtmMemoryUnit ntm(cfg);
+    Rng rng(1);
+
+    Vector pattern = rng.normalVector(cfg.memoryWidth);
+    NtmInterface wr;
+    wr.readHeads = {contentHead(Vector(cfg.memoryWidth))};
+    wr.writeHead = contentHead(pattern);
+    wr.eraseVector = Vector(cfg.memoryWidth, 1.0);
+    wr.addVector = pattern;
+    ntm.step(wr);
+
+    NtmInterface rd = wr;
+    rd.eraseVector = Vector(cfg.memoryWidth, 0.0);
+    rd.addVector = Vector(cfg.memoryWidth);
+    rd.readHeads = {contentHead(pattern)};
+    const auto reads = ntm.step(rd);
+    ASSERT_EQ(reads.size(), 1u);
+    EXPECT_GT(cosineSimilarity(reads[0], pattern), 0.5);
+}
+
+TEST(Ntm, ShiftRotatesWeighting)
+{
+    const DncConfig cfg = tinyConfig();
+    NtmMemoryUnit ntm(cfg);
+    Rng rng(2);
+
+    // Seed distinct memory rows so content addressing can lock onto one
+    // slot, then shift +1 with the interpolation gate closed.
+    const Matrix contents = rng.normalMatrix(cfg.memoryRows,
+                                             cfg.memoryWidth);
+    ntm.seedMemory(contents);
+    const Index target = 5;
+
+    NtmInterface locate;
+    locate.readHeads = {contentHead(contents.row(target), 30.0)};
+    locate.writeHead = contentHead(Vector(cfg.memoryWidth));
+    locate.eraseVector = Vector(cfg.memoryWidth, 0.0);
+    locate.addVector = Vector(cfg.memoryWidth);
+    ntm.step(locate);
+    ASSERT_EQ(ntm.readWeightings()[0].argmax(), target);
+
+    NtmInterface shift = locate;
+    shift.readHeads[0].gate = 0.0;               // keep previous weighting
+    shift.readHeads[0].shift = {0.0, 0.0, 1.0};  // move +1
+    shift.readHeads[0].gamma = 2.0;
+    ntm.step(shift);
+    EXPECT_EQ(ntm.readWeightings()[0].argmax(),
+              (target + 1) % cfg.memoryRows);
+}
+
+TEST(Ntm, WeightingsStayOnSimplex)
+{
+    const DncConfig cfg = tinyConfig();
+    NtmMemoryUnit ntm(cfg);
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i) {
+        NtmInterface iface;
+        NtmHeadInput head = contentHead(rng.normalVector(cfg.memoryWidth),
+                                        1.0 + rng.uniform() * 5.0);
+        head.gate = rng.uniform();
+        Vector s = rng.uniformVector(3);
+        head.shift = scale(s, 1.0 / s.sum());
+        head.gamma = 1.0 + rng.uniform() * 3.0;
+        iface.readHeads = {head};
+        iface.writeHead = head;
+        iface.eraseVector = rng.uniformVector(cfg.memoryWidth);
+        iface.addVector = rng.normalVector(cfg.memoryWidth);
+        ntm.step(iface);
+
+        Real sum = 0.0;
+        for (Index k = 0; k < cfg.memoryRows; ++k) {
+            EXPECT_GE(ntm.readWeightings()[0][k], 0.0);
+            sum += ntm.readWeightings()[0][k];
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-6);
+    }
+}
+
+TEST(Ntm, NoHistoryKernelsCharged)
+{
+    // The defining difference from DNC: no usage sort, no linkage, no
+    // allocation — only access kernels (Table 1's point).
+    const DncConfig cfg = tinyConfig();
+    NtmMemoryUnit ntm(cfg);
+    Rng rng(4);
+    NtmInterface iface;
+    iface.readHeads = {contentHead(rng.normalVector(cfg.memoryWidth))};
+    iface.writeHead = contentHead(rng.normalVector(cfg.memoryWidth));
+    iface.eraseVector = Vector(cfg.memoryWidth, 0.5);
+    iface.addVector = rng.normalVector(cfg.memoryWidth);
+    ntm.step(iface);
+
+    EXPECT_EQ(ntm.profiler().at(Kernel::UsageSort).invocations, 0u);
+    EXPECT_EQ(ntm.profiler().at(Kernel::Linkage).invocations, 0u);
+    EXPECT_EQ(ntm.profiler().at(Kernel::Allocation).invocations, 0u);
+    EXPECT_EQ(ntm.profiler().at(Kernel::ForwardBackward).invocations, 0u);
+    EXPECT_GT(ntm.profiler().at(Kernel::Normalize).invocations, 0u);
+    EXPECT_GT(ntm.profiler().at(Kernel::MemoryWrite).invocations, 0u);
+}
+
+TEST(Ntm, ResetClearsMemory)
+{
+    const DncConfig cfg = tinyConfig();
+    NtmMemoryUnit ntm(cfg);
+    Rng rng(5);
+    NtmInterface iface;
+    iface.readHeads = {contentHead(rng.normalVector(cfg.memoryWidth))};
+    iface.writeHead = contentHead(rng.normalVector(cfg.memoryWidth));
+    iface.eraseVector = Vector(cfg.memoryWidth, 0.0);
+    iface.addVector = rng.normalVector(cfg.memoryWidth);
+    ntm.step(iface);
+    ntm.reset();
+    Real sum = 0.0;
+    for (Index i = 0; i < ntm.memory().size(); ++i)
+        sum += std::fabs(ntm.memory().data()[i]);
+    EXPECT_EQ(sum, 0.0);
+}
+
+} // namespace
+} // namespace hima

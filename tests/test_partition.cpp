@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the submatrix partition math (Eqs. 1-3) and the optimizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/partition.h"
+
+namespace hima {
+namespace {
+
+TEST(Partition, EnumerationCoversDivisorPairs)
+{
+    const auto parts = enumeratePartitions(16);
+    // 16 = 1x16, 2x8, 4x4, 8x2, 16x1 -> 5 pairs.
+    EXPECT_EQ(parts.size(), 5u);
+    for (const Partition &p : parts)
+        EXPECT_EQ(p.tiles(), 16u);
+
+    EXPECT_EQ(enumeratePartitions(1).size(), 1u);
+    EXPECT_EQ(enumeratePartitions(7).size(), 2u); // 1x7, 7x1
+}
+
+TEST(Partition, ContentTrafficExtremes)
+{
+    const Index n = 1024;
+    // Row-wise: 2(Nt - 1) transfers only (Fig. 6(a)).
+    EXPECT_EQ(contentWeightingTraffic(n, Partition::rowWise(16)),
+              2u * 15);
+    // Column-wise: 2N(Nt - 1).
+    EXPECT_EQ(contentWeightingTraffic(n, Partition::colWise(16)),
+              2u * 1024 * 15);
+    // Submatrix 4x4: 2N*3 + 2*3.
+    EXPECT_EQ(contentWeightingTraffic(n, {4, 4}), 2u * 1024 * 3 + 6);
+}
+
+TEST(Partition, MemoryReadTrafficExtremes)
+{
+    const Index n = 1024, w = 64;
+    // Row-wise: psums only, W(Nt - 1) (Fig. 6(b)).
+    EXPECT_EQ(memoryReadTraffic(n, w, Partition::rowWise(16)), 64u * 15);
+    // Column-wise: matrix elements, Nt_w(Nt_w-1) N/Nt = 16*15*64.
+    EXPECT_EQ(memoryReadTraffic(n, w, Partition::colWise(16)),
+              16u * 15 * 64);
+}
+
+TEST(Partition, RowWiseOptimalForExternalMemory)
+{
+    // Sec. 4.2.1's conclusion: N >> Nt makes row-wise optimal.
+    for (Index nt : {4u, 16u, 32u, 64u}) {
+        const Partition best = optimizeExternalPartition(1024, 64, nt);
+        EXPECT_EQ(best.blockCols, 1u) << "Nt = " << nt;
+        EXPECT_EQ(best.blockRows, nt);
+    }
+}
+
+TEST(Partition, LinkageOptimumIsBalancedSubmatrix)
+{
+    // Sec. 4.2.2: at Nt = 16 the linkage optimum is 4 x 4.
+    const Partition best = optimizeLinkagePartition(1024, 16);
+    EXPECT_EQ(best.blockRows, 4u);
+    EXPECT_EQ(best.blockCols, 4u);
+
+    // At Nt = 64 the optimum is 8 x 8.
+    const Partition best64 = optimizeLinkagePartition(1024, 64);
+    EXPECT_EQ(best64.blockRows, 8u);
+    EXPECT_EQ(best64.blockCols, 8u);
+}
+
+TEST(Partition, LinkageCostUShape)
+{
+    // Fig. 6(d): both extremes are suboptimal, the minimum is interior.
+    const Real rowWise = forwardBackwardTraffic(1024,
+                                                Partition::rowWise(16));
+    const Real colWise = forwardBackwardTraffic(1024,
+                                                Partition::colWise(16));
+    const Real balanced = forwardBackwardTraffic(1024, {4, 4});
+    EXPECT_LT(balanced, rowWise);
+    EXPECT_LT(balanced, colWise);
+    // Symmetric formula: row-wise and column-wise cost the same.
+    EXPECT_DOUBLE_EQ(rowWise, colWise);
+}
+
+class TrafficMonotonicity : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TrafficMonotonicity, ContentTrafficIncreasesWithBlockCols)
+{
+    const Index nt = static_cast<Index>(GetParam());
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (const Partition &p : enumeratePartitions(nt)) {
+        // enumeratePartitions yields ascending blockCols.
+        const std::uint64_t cost = contentWeightingTraffic(1024, p);
+        if (!first)
+            EXPECT_GE(cost, prev);
+        prev = cost;
+        first = false;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, TrafficMonotonicity,
+                         ::testing::Values(4, 16, 32, 64));
+
+TEST(Partition, HelperConstructors)
+{
+    EXPECT_EQ(Partition::rowWise(8), (Partition{8, 1}));
+    EXPECT_EQ(Partition::colWise(8), (Partition{1, 8}));
+    EXPECT_EQ((Partition{2, 4}).tiles(), 8u);
+}
+
+} // namespace
+} // namespace hima

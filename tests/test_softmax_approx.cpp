@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the PLA+LUT softmax approximation (Sec. 5.2) and the usage
+ * skimming helper.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "approx/softmax_approx.h"
+#include "approx/usage_skimming.h"
+#include "common/math_util.h"
+#include "common/random.h"
+
+namespace hima {
+namespace {
+
+TEST(PlaExp, ExactAtKnots)
+{
+    PlaExp pla(8, -16.0);
+    for (const PlaSegment &seg : pla.segments()) {
+        // The domain edge itself flushes to zero (hardware behaviour),
+        // so only interior knots are exact.
+        if (seg.lo > pla.domainLo())
+            EXPECT_NEAR(pla.eval(seg.lo), std::exp(seg.lo), 1e-9);
+        if (seg.hi < 0.0)
+            EXPECT_NEAR(pla.eval(seg.hi), std::exp(seg.hi), 1e-9);
+    }
+}
+
+TEST(PlaExp, CoversDomainContiguously)
+{
+    PlaExp pla(8, -16.0);
+    const auto &segs = pla.segments();
+    ASSERT_FALSE(segs.empty());
+    EXPECT_DOUBLE_EQ(segs.front().lo, -16.0);
+    EXPECT_DOUBLE_EQ(segs.back().hi, 0.0);
+    for (std::size_t i = 1; i < segs.size(); ++i)
+        EXPECT_DOUBLE_EQ(segs[i - 1].hi, segs[i].lo);
+}
+
+TEST(PlaExp, FlushesBelowDomainAndClampsAbove)
+{
+    PlaExp pla(8, -16.0);
+    EXPECT_EQ(pla.eval(-100.0), 0.0);
+    EXPECT_EQ(pla.eval(0.0), 1.0);
+    EXPECT_EQ(pla.eval(5.0), 1.0);
+}
+
+class PlaSegmentsSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PlaSegmentsSweep, ErrorShrinksWithSegments)
+{
+    // Secant-line PLA overestimates convex exp(): positive bounded error
+    // that must shrink as the LUT grows.
+    PlaExp pla(GetParam(), -16.0);
+    const Real err = pla.maxAbsError();
+    EXPECT_LT(err, 0.35);
+    if (GetParam() >= 16)
+        EXPECT_LT(err, 0.08);
+    if (GetParam() >= 64)
+        EXPECT_LT(err, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, PlaSegmentsSweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+TEST(SoftmaxApprox, OutputsDistribution)
+{
+    Rng rng(5);
+    SoftmaxApprox approx(8);
+    const Vector x = rng.normalVector(128, 0.0, 4.0);
+    const Vector sm = approx.eval(x);
+    Real sum = 0.0;
+    for (Index i = 0; i < sm.size(); ++i) {
+        EXPECT_GE(sm[i], 0.0);
+        sum += sm[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SoftmaxApprox, PreservesArgmax)
+{
+    Rng rng(6);
+    SoftmaxApprox approx(8);
+    for (int trial = 0; trial < 50; ++trial) {
+        const Vector x = rng.normalVector(64, 0.0, 3.0);
+        EXPECT_EQ(approx.eval(x).argmax(), softmax(x).argmax());
+    }
+}
+
+TEST(SoftmaxApprox, L1ErrorSmallAndImprovesWithSegments)
+{
+    Rng rng(8);
+    SoftmaxApprox coarse(4);
+    SoftmaxApprox fine(64);
+    Real coarseTotal = 0.0, fineTotal = 0.0;
+    for (int trial = 0; trial < 20; ++trial) {
+        const Vector x = rng.normalVector(64, 0.0, 2.0);
+        coarseTotal += coarse.l1Error(x);
+        fineTotal += fine.l1Error(x);
+    }
+    EXPECT_LT(fineTotal, coarseTotal);
+    EXPECT_LT(fineTotal / 20.0, 0.01);
+    EXPECT_LT(coarseTotal / 20.0, 0.40);
+}
+
+TEST(SoftmaxApprox, SharpnessBeta)
+{
+    SoftmaxApprox approx(16);
+    const Vector x{1.0, 0.5, 0.0};
+    const Vector soft = approx.eval(x, 1.0);
+    const Vector sharp = approx.eval(x, 10.0);
+    EXPECT_GT(sharp[0], soft[0]); // higher beta concentrates mass
+}
+
+// --------------------------------------------------------------------
+// Usage skimming
+// --------------------------------------------------------------------
+
+TEST(UsageSkimming, ZeroKeepsEverything)
+{
+    Vector u{0.5, 0.1, 0.9};
+    const SkimmedUsage s = skimUsage(u, 0);
+    EXPECT_EQ(s.values.size(), 3u);
+    EXPECT_EQ(s.skimmed, 0u);
+    EXPECT_EQ(s.indices, (std::vector<Index>{0, 1, 2}));
+}
+
+TEST(UsageSkimming, DropsSmallest)
+{
+    Vector u{0.5, 0.1, 0.9, 0.3};
+    const SkimmedUsage s = skimUsage(u, 2);
+    // 0.1 (idx 1) and 0.3 (idx 3) are dropped.
+    EXPECT_EQ(s.indices, (std::vector<Index>{0, 2}));
+    EXPECT_EQ(s.values[0], 0.5);
+    EXPECT_EQ(s.values[1], 0.9);
+}
+
+TEST(UsageSkimming, TieBreakIsDeterministic)
+{
+    Vector u{0.2, 0.2, 0.2, 0.2};
+    const SkimmedUsage s = skimUsage(u, 2);
+    // Ties resolve toward lower indices being dropped first.
+    EXPECT_EQ(s.indices, (std::vector<Index>{2, 3}));
+}
+
+class SkimRates : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SkimRates, RatePropagatesToCount)
+{
+    Rng rng(99);
+    const Vector u = rng.uniformVector(200);
+    const SkimmedUsage s = skimUsageRate(u, GetParam());
+    const Index expected = static_cast<Index>(GetParam() * 200.0);
+    EXPECT_EQ(s.skimmed, expected);
+    EXPECT_EQ(s.values.size(), 200u - expected);
+
+    // Property: every surviving value >= every dropped value.
+    Real survivorMin = 2.0;
+    for (Index i = 0; i < s.values.size(); ++i)
+        survivorMin = std::min(survivorMin, s.values[i]);
+    std::vector<bool> kept(200, false);
+    for (Index idx : s.indices)
+        kept[idx] = true;
+    for (Index i = 0; i < 200; ++i) {
+        if (!kept[i])
+            EXPECT_LE(u[i], survivorMin);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SkimRates,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.5, 0.9));
+
+} // namespace
+} // namespace hima

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the hardware sorter models: DPBS bitonic network, MDSA shear
+ * sorter, parallel merge sorter, centralized baseline, and HiMA's
+ * two-stage sort — functional correctness, permutation preservation, and
+ * the paper's cycle models.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sort/bitonic.h"
+#include "sort/centralized_sort.h"
+#include "sort/mdsa.h"
+#include "sort/merge_sorter.h"
+#include "sort/two_stage_sort.h"
+
+namespace hima {
+namespace {
+
+std::vector<SortRecord>
+randomRecords(Index n, Rng &rng)
+{
+    std::vector<SortRecord> recs(n);
+    for (Index i = 0; i < n; ++i)
+        recs[i] = {rng.uniform(), i};
+    return recs;
+}
+
+/** A sort output must be a permutation of its input. */
+void
+expectPermutation(const std::vector<SortRecord> &in,
+                  const std::vector<SortRecord> &out)
+{
+    ASSERT_EQ(in.size(), out.size());
+    auto a = in;
+    auto b = out;
+    auto byIdx = [](const SortRecord &x, const SortRecord &y) {
+        return x.idx < y.idx;
+    };
+    std::sort(a.begin(), a.end(), byIdx);
+    std::sort(b.begin(), b.end(), byIdx);
+    EXPECT_EQ(a, b);
+}
+
+// --------------------------------------------------------------------
+// Bitonic (DPBS)
+// --------------------------------------------------------------------
+
+class BitonicWidths : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BitonicWidths, SortsBothDirections)
+{
+    const Index width = static_cast<Index>(GetParam());
+    Rng rng(width);
+    BitonicSorter sorter(width);
+    const auto input = randomRecords(width, rng);
+
+    for (SortOrder order : {SortOrder::Ascending, SortOrder::Descending}) {
+        const SortResult res = sorter.sort(input, order);
+        EXPECT_TRUE(isSorted(res.records, order));
+        expectPermutation(input, res.records);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitonicWidths,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 15, 16, 31,
+                                           32, 64));
+
+TEST(Bitonic, PipelineDepthMatchesPaper)
+{
+    // The paper's 16-input DPBS pipelines into 5 stages.
+    EXPECT_EQ(BitonicSorter(16).pipelineDepth(), 5u);
+    EXPECT_EQ(BitonicSorter(8).pipelineDepth(), 4u);
+    EXPECT_EQ(BitonicSorter(2).pipelineDepth(), 2u);
+}
+
+TEST(Bitonic, NetworkStageCount)
+{
+    // Full bitonic sort on 16 inputs: 4*5/2 = 10 comparator stages.
+    EXPECT_EQ(BitonicSorter(16).networkStages(), 10u);
+    EXPECT_EQ(BitonicSorter(16).comparatorCount(), 80u);
+}
+
+TEST(Bitonic, DuplicateKeysKeepAllRecords)
+{
+    BitonicSorter sorter(8);
+    std::vector<SortRecord> input(8);
+    for (Index i = 0; i < 8; ++i)
+        input[i] = {0.5, i};
+    const SortResult res = sorter.sort(input, SortOrder::Ascending);
+    expectPermutation(input, res.records);
+}
+
+// --------------------------------------------------------------------
+// MDSA
+// --------------------------------------------------------------------
+
+class MdsaLengths : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(MdsaLengths, SortsFully)
+{
+    const Index n = static_cast<Index>(GetParam());
+    Rng rng(1000 + n);
+    MdsaSorter sorter(n);
+    const auto input = randomRecords(n, rng);
+
+    const SortResult asc = sorter.sort(input, SortOrder::Ascending);
+    EXPECT_TRUE(isSorted(asc.records, SortOrder::Ascending));
+    expectPermutation(input, asc.records);
+
+    const SortResult desc = sorter.sort(input, SortOrder::Descending);
+    EXPECT_TRUE(isSorted(desc.records, SortOrder::Descending));
+    expectPermutation(input, desc.records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, MdsaLengths,
+                         ::testing::Values(1, 2, 5, 16, 30, 64, 100, 256));
+
+TEST(Mdsa, CycleModelMatchesPaperExample)
+{
+    // Sec 4.3: n = 256 -> P = 16, D_DPBS = 5, 6 * (16 + 5) = 126 cycles.
+    MdsaSorter sorter(256);
+    EXPECT_EQ(sorter.gridDim(), 16u);
+    EXPECT_EQ(sorter.modelCycles(), 126u);
+}
+
+TEST(Mdsa, GridDimensionIsCeilSqrt)
+{
+    EXPECT_EQ(MdsaSorter(64).gridDim(), 8u);
+    EXPECT_EQ(MdsaSorter(65).gridDim(), 9u);
+    EXPECT_EQ(MdsaSorter(1).gridDim(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Parallel merge sorter (PMS)
+// --------------------------------------------------------------------
+
+TEST(Pms, MergesSortedRuns)
+{
+    Rng rng(77);
+    ParallelMergeSorter pms(4);
+    std::vector<std::vector<SortRecord>> runs(4);
+    Index idx = 0;
+    for (auto &run : runs) {
+        run = randomRecords(32, rng);
+        for (auto &rec : run)
+            rec.idx = idx++;
+        std::sort(run.begin(), run.end(),
+                  [](const SortRecord &a, const SortRecord &b) {
+                      return recordLess(a, b, SortOrder::Ascending);
+                  });
+    }
+    const SortResult res = pms.merge(runs, SortOrder::Ascending);
+    EXPECT_EQ(res.records.size(), 128u);
+    EXPECT_TRUE(isSorted(res.records, SortOrder::Ascending));
+}
+
+TEST(Pms, PipelineDepthMatchesPaper)
+{
+    // 4-input PMS pipelines into 7 stages (Sec. 4.3).
+    EXPECT_EQ(ParallelMergeSorter(4).pipelineDepth(), 7u);
+}
+
+TEST(Pms, CycleModelMatchesPaperExample)
+{
+    // Nt = 4, shard n = 256: global merge = 256 + 7 = 263 cycles.
+    ParallelMergeSorter pms(4);
+    std::vector<std::vector<SortRecord>> runs(4);
+    Rng rng(3);
+    Index idx = 0;
+    for (auto &run : runs) {
+        run = randomRecords(256, rng);
+        for (auto &rec : run)
+            rec.idx = idx++;
+        std::sort(run.begin(), run.end(),
+                  [](const SortRecord &a, const SortRecord &b) {
+                      return recordLess(a, b, SortOrder::Ascending);
+                  });
+    }
+    EXPECT_EQ(pms.merge(runs, SortOrder::Ascending).cycles, 263u);
+}
+
+TEST(Pms, HandlesUnevenAndEmptyRuns)
+{
+    ParallelMergeSorter pms(4);
+    std::vector<std::vector<SortRecord>> runs(3);
+    runs[0] = {{0.1, 0}, {0.9, 1}};
+    runs[1] = {};
+    runs[2] = {{0.5, 2}};
+    const SortResult res = pms.merge(runs, SortOrder::Ascending);
+    ASSERT_EQ(res.records.size(), 3u);
+    EXPECT_TRUE(isSorted(res.records, SortOrder::Ascending));
+}
+
+// --------------------------------------------------------------------
+// Centralized baseline
+// --------------------------------------------------------------------
+
+class CentralizedLengths : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CentralizedLengths, SortsAndModelsNLogN)
+{
+    const Index n = static_cast<Index>(GetParam());
+    Rng rng(500 + n);
+    CentralizedSorter sorter;
+    const auto input = randomRecords(n, rng);
+    const SortResult res = sorter.sort(input, SortOrder::Ascending);
+    EXPECT_TRUE(isSorted(res.records, SortOrder::Ascending));
+    expectPermutation(input, res.records);
+    if (n > 1) {
+        const auto lg = static_cast<std::uint64_t>(
+            std::ceil(std::log2(static_cast<double>(n))));
+        EXPECT_EQ(res.cycles, n * lg);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CentralizedLengths,
+                         ::testing::Values(1, 2, 3, 17, 64, 1000, 1024));
+
+TEST(Centralized, PaperCycleModel)
+{
+    // N = 1024 -> 1024 * 10 = 10240 cycles.
+    EXPECT_EQ(CentralizedSorter::modelCycles(1024), 10240u);
+}
+
+// --------------------------------------------------------------------
+// Two-stage sort
+// --------------------------------------------------------------------
+
+class TwoStageConfigs
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(TwoStageConfigs, MatchesReferenceSort)
+{
+    const auto [n, nt] = GetParam();
+    Rng rng(n * 31 + nt);
+    TwoStageSorter sorter(n, nt);
+    const auto input = randomRecords(n, rng);
+
+    const SortResult res = sorter.sort(input, SortOrder::Ascending);
+    EXPECT_TRUE(isSorted(res.records, SortOrder::Ascending));
+    expectPermutation(input, res.records);
+
+    // Keys must match a reference std::sort exactly.
+    std::vector<Real> expectKeys(n);
+    for (Index i = 0; i < static_cast<Index>(n); ++i)
+        expectKeys[i] = input[i].key;
+    std::sort(expectKeys.begin(), expectKeys.end());
+    for (Index i = 0; i < static_cast<Index>(n); ++i)
+        EXPECT_EQ(res.records[i].key, expectKeys[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TwoStageConfigs,
+    ::testing::Values(std::pair{64, 4}, std::pair{256, 4},
+                      std::pair{1024, 4}, std::pair{1024, 16},
+                      std::pair{1024, 32}, std::pair{512, 8},
+                      std::pair{128, 128}));
+
+TEST(TwoStage, PaperHeadlineCycleCount)
+{
+    // N = 1024, Nt = 4: 126 local + 263 global = 389 cycles, vs 10240
+    // for the centralized merge sort (Sec. 4.3's headline comparison).
+    TwoStageSorter sorter(1024, 4);
+    const TwoStageTiming t = sorter.modelTiming();
+    EXPECT_EQ(t.localCycles, 126u);
+    EXPECT_EQ(t.globalCycles, 263u);
+    EXPECT_EQ(t.totalCycles, 389u);
+    EXPECT_LT(t.totalCycles, CentralizedSorter::modelCycles(1024) / 26);
+}
+
+TEST(TwoStage, MoreTilesCutLatency)
+{
+    const auto t4 = TwoStageSorter(1024, 4).modelTiming();
+    const auto t16 = TwoStageSorter(1024, 16).modelTiming();
+    const auto t32 = TwoStageSorter(1024, 32).modelTiming();
+    EXPECT_GT(t4.totalCycles, t16.totalCycles);
+    EXPECT_GT(t16.totalCycles, t32.totalCycles);
+}
+
+TEST(TwoStage, RejectsIndivisibleShards)
+{
+    EXPECT_DEATH(TwoStageSorter(10, 3), "divisible");
+}
+
+} // namespace
+} // namespace hima

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the statistics package (RunningStat, StatRegistry).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace hima {
+namespace {
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (Real v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    Rng rng(21);
+    RunningStat a, b, combined;
+    for (int i = 0; i < 500; ++i) {
+        const Real v = rng.normal(3.0, 1.5);
+        (i % 2 ? a : b).add(v);
+        combined.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStat c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(StatRegistry, IncrementAndGet)
+{
+    StatRegistry reg;
+    EXPECT_EQ(reg.get("x"), 0u);
+    EXPECT_FALSE(reg.has("x"));
+    reg.inc("x");
+    reg.inc("x", 4);
+    EXPECT_EQ(reg.get("x"), 5u);
+    EXPECT_TRUE(reg.has("x"));
+    reg.set("x", 2);
+    EXPECT_EQ(reg.get("x"), 2u);
+}
+
+TEST(StatRegistry, PrefixQueries)
+{
+    StatRegistry reg;
+    reg.inc("noc.flits", 10);
+    reg.inc("noc.msgs", 3);
+    reg.inc("kernel.linkage.macs", 7);
+
+    const auto nocStats = reg.withPrefix("noc.");
+    ASSERT_EQ(nocStats.size(), 2u);
+    EXPECT_EQ(reg.sumPrefix("noc."), 13u);
+    EXPECT_EQ(reg.sumPrefix("kernel."), 7u);
+    EXPECT_EQ(reg.sumPrefix("nope."), 0u);
+
+    reg.clear();
+    EXPECT_EQ(reg.sumPrefix(""), 0u);
+}
+
+} // namespace
+} // namespace hima

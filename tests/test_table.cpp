@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the ASCII table/report printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace hima {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"long-name-here", "23456"});
+    const std::string out = t.toString();
+
+    // Header and both rows present.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name-here"), std::string::npos);
+
+    // Every rendered line has identical width.
+    std::size_t width = std::string::npos;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t eol = out.find('\n', pos);
+        const std::size_t len = eol - pos;
+        if (width == std::string::npos)
+            width = len;
+        EXPECT_EQ(len, width);
+        pos = eol + 1;
+    }
+}
+
+TEST(Table, RuleSeparatesSections)
+{
+    Table t({"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string out = t.toString();
+    // 4 rules: top, under header, the explicit one, bottom.
+    std::size_t rules = 0, pos = 0;
+    while ((pos = out.find("+-", pos)) != std::string::npos) {
+        ++rules;
+        pos = out.find('\n', pos);
+    }
+    EXPECT_EQ(rules, 4u);
+    EXPECT_EQ(t.rowCount(), 3u); // rule stored as sentinel row
+}
+
+TEST(Formatters, Real)
+{
+    EXPECT_EQ(fmtReal(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtReal(2.0, 0), "2");
+    EXPECT_EQ(fmtReal(-0.5, 1), "-0.5");
+}
+
+TEST(Formatters, RatioAndPercent)
+{
+    EXPECT_EQ(fmtRatio(6.47), "6.47x");
+    EXPECT_EQ(fmtPercent(0.725), "72.5%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Formatters, CountSeparators)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+} // namespace
+} // namespace hima

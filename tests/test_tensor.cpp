@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit and property tests for the dense tensor kernels.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/tensor.h"
+
+namespace hima {
+namespace {
+
+TEST(Vector, ConstructionAndFill)
+{
+    Vector v(5);
+    EXPECT_EQ(v.size(), 5u);
+    for (Index i = 0; i < v.size(); ++i)
+        EXPECT_EQ(v[i], 0.0);
+
+    v.fill(2.5);
+    EXPECT_DOUBLE_EQ(v.sum(), 12.5);
+
+    Vector w(3, 1.0);
+    EXPECT_DOUBLE_EQ(w.sum(), 3.0);
+}
+
+TEST(Vector, InitializerListAndReductions)
+{
+    Vector v{3.0, -1.0, 4.0, 1.5};
+    EXPECT_DOUBLE_EQ(v.max(), 4.0);
+    EXPECT_DOUBLE_EQ(v.min(), -1.0);
+    EXPECT_EQ(v.argmax(), 2u);
+    EXPECT_DOUBLE_EQ(v.sum(), 7.5);
+}
+
+TEST(Vector, Norm)
+{
+    Vector v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(Vector(7).norm(), 0.0);
+}
+
+TEST(Vector, ElementwiseOps)
+{
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{4.0, 5.0, 6.0};
+    EXPECT_EQ(add(a, b), (Vector{5.0, 7.0, 9.0}));
+    EXPECT_EQ(sub(b, a), (Vector{3.0, 3.0, 3.0}));
+    EXPECT_EQ(mul(a, b), (Vector{4.0, 10.0, 18.0}));
+    EXPECT_EQ(scale(a, 2.0), (Vector{2.0, 4.0, 6.0}));
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vector, CosineSimilarity)
+{
+    Vector a{1.0, 0.0};
+    Vector b{0.0, 1.0};
+    EXPECT_NEAR(cosineSimilarity(a, a), 1.0, 1e-6);
+    EXPECT_NEAR(cosineSimilarity(a, b), 0.0, 1e-6);
+    EXPECT_NEAR(cosineSimilarity(a, scale(a, -1.0)), -1.0, 1e-6);
+    // Epsilon guard: zero vectors do not divide by zero.
+    EXPECT_EQ(cosineSimilarity(Vector(2), Vector(2)), 0.0);
+}
+
+TEST(Matrix, RowAccess)
+{
+    Matrix m(3, 2);
+    m(1, 0) = 5.0;
+    m(1, 1) = 7.0;
+    EXPECT_EQ(m.row(1), (Vector{5.0, 7.0}));
+
+    m.setRow(2, Vector{9.0, 11.0});
+    EXPECT_EQ(m(2, 0), 9.0);
+    EXPECT_EQ(m(2, 1), 11.0);
+}
+
+TEST(Matrix, MatVecKnownValues)
+{
+    Matrix m(2, 3);
+    // [[1 2 3], [4 5 6]]
+    for (Index c = 0; c < 3; ++c) {
+        m(0, c) = static_cast<Real>(c + 1);
+        m(1, c) = static_cast<Real>(c + 4);
+    }
+    Vector x{1.0, 0.0, -1.0};
+    EXPECT_EQ(matVec(m, x), (Vector{-2.0, -2.0}));
+    EXPECT_EQ(matTVec(m, Vector{1.0, 1.0}), (Vector{5.0, 7.0, 9.0}));
+}
+
+TEST(Matrix, OuterProduct)
+{
+    Matrix m = outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(1, 2), 10.0);
+    EXPECT_EQ(m(0, 0), 3.0);
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Rng rng(7);
+    const Matrix m = rng.normalMatrix(5, 9);
+    const Matrix mtt = transpose(transpose(m));
+    EXPECT_EQ(m, mtt);
+}
+
+TEST(Matrix, MatMulIdentity)
+{
+    Rng rng(11);
+    const Matrix m = rng.normalMatrix(4, 4);
+    Matrix eye(4, 4);
+    for (Index i = 0; i < 4; ++i)
+        eye(i, i) = 1.0;
+    const Matrix prod = matMul(m, eye);
+    for (Index i = 0; i < m.size(); ++i)
+        EXPECT_NEAR(prod.data()[i], m.data()[i], 1e-12);
+}
+
+/** Property: matTVec(m, x) == matVec(transpose(m), x). */
+class TransposeConsistency : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(TransposeConsistency, MatTVecMatchesExplicitTranspose)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Index rows = 2 + rng.uniformInt(20);
+    const Index cols = 2 + rng.uniformInt(20);
+    const Matrix m = rng.normalMatrix(rows, cols);
+    const Vector x = rng.normalVector(rows);
+
+    const Vector fused = matTVec(m, x);
+    const Vector explicitT = matVec(transpose(m), x);
+    ASSERT_EQ(fused.size(), explicitT.size());
+    for (Index i = 0; i < fused.size(); ++i)
+        EXPECT_NEAR(fused[i], explicitT[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransposeConsistency,
+                         ::testing::Range(0, 10));
+
+/** Property: dot is bilinear and symmetric. */
+class DotProperties : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DotProperties, SymmetryAndLinearity)
+{
+    Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+    const Index n = 1 + rng.uniformInt(32);
+    const Vector a = rng.normalVector(n);
+    const Vector b = rng.normalVector(n);
+    const Vector c = rng.normalVector(n);
+    const Real s = rng.uniform(-2.0, 2.0);
+
+    EXPECT_NEAR(dot(a, b), dot(b, a), 1e-9);
+    EXPECT_NEAR(dot(add(a, c), b), dot(a, b) + dot(c, b), 1e-9);
+    EXPECT_NEAR(dot(scale(a, s), b), s * dot(a, b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DotProperties, ::testing::Range(0, 8));
+
+TEST(MathUtil, SoftmaxIsDistribution)
+{
+    Rng rng(3);
+    const Vector x = rng.normalVector(64, 0.0, 3.0);
+    const Vector sm = softmax(x);
+    Real sum = 0.0;
+    for (Index i = 0; i < sm.size(); ++i) {
+        EXPECT_GT(sm[i], 0.0);
+        sum += sm[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Softmax is monotone: ordering preserved.
+    EXPECT_EQ(x.argmax(), sm.argmax());
+}
+
+TEST(MathUtil, SoftmaxStableForLargeInputs)
+{
+    Vector x{1000.0, 1000.0, 999.0};
+    const Vector sm = softmax(x);
+    EXPECT_NEAR(sm[0], sm[1], 1e-12);
+    EXPECT_LT(sm[2], sm[0]);
+    EXPECT_NEAR(sm.sum(), 1.0, 1e-9);
+}
+
+TEST(MathUtil, OneplusLowerBound)
+{
+    EXPECT_GE(oneplus(-100.0), 1.0);
+    EXPECT_NEAR(oneplus(0.0), 1.0 + std::log(2.0), 1e-12);
+    EXPECT_GT(oneplus(3.0), 4.0 - 0.1);
+}
+
+TEST(MathUtil, SigmoidRangeAndSymmetry)
+{
+    EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(sigmoid(5.0) + sigmoid(-5.0), 1.0, 1e-12);
+    EXPECT_GT(sigmoid(30.0), 0.9999);
+}
+
+TEST(Rng, Determinism)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const Real u = rng.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(9);
+    const auto perm = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (Index p : perm) {
+        ASSERT_LT(p, 50u);
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const Vector v = rng.normalVector(20000, 1.0, 2.0);
+    Real mean = v.sum() / static_cast<Real>(v.size());
+    Real var = 0.0;
+    for (Index i = 0; i < v.size(); ++i)
+        var += (v[i] - mean) * (v[i] - mean);
+    var /= static_cast<Real>(v.size());
+    EXPECT_NEAR(mean, 1.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+} // namespace
+} // namespace hima

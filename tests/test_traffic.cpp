@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the traffic generators' stream-sharing semantics: tree
+ * multicast, in-network reduction, and their interaction with the
+ * router-crossbar transit limit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/traffic.h"
+
+namespace hima {
+namespace {
+
+TEST(StreamSharing, MulticastBeatsUnicastBroadcast)
+{
+    const Topology topo = Topology::build(NocKind::Hima, 16);
+    Network net(topo);
+    const Cycle unicast =
+        net.run(broadcast(topo, 64, 0), NocMode::Full).makespan;
+    const Cycle multicast =
+        net.run(broadcast(topo, 64, 7), NocMode::Full).makespan;
+    // Unicast serializes 16 x 64 flits at the CT injection port; the
+    // multicast streams once and replicates at branch routers.
+    EXPECT_LT(3 * multicast, unicast);
+}
+
+TEST(StreamSharing, ReductionBeatsUnicastGather)
+{
+    const Topology topo = Topology::build(NocKind::Hima, 16);
+    Network net(topo);
+    const Cycle unicast =
+        net.run(gather(topo, 64, 0), NocMode::Full).makespan;
+    const Cycle reduced =
+        net.run(gather(topo, 64, 9), NocMode::Full).makespan;
+    EXPECT_LT(3 * reduced, unicast);
+}
+
+TEST(StreamSharing, GroupsDoNotMixAcrossIds)
+{
+    const Topology topo = Topology::build(NocKind::Mesh, 8);
+    Network net(topo);
+    // Two distinct broadcast groups must both reserve resources: the
+    // makespan is larger than a single group's.
+    auto one = broadcast(topo, 32, 1);
+    const Cycle single = net.run(one, NocMode::Full).makespan;
+
+    Network net2(topo);
+    auto two = broadcast(topo, 32, 1);
+    for (Message &m : broadcast(topo, 32, 2))
+        two.push_back(m);
+    const Cycle both = net2.run(two, NocMode::Full).makespan;
+    EXPECT_GT(both, single);
+}
+
+TEST(StreamSharing, SharedFlitHopsChargedOnce)
+{
+    const Topology topo = Topology::build(NocKind::Star, 8);
+    Network net(topo);
+    // Star: CT -> PT is one hop each, 8 distinct links; a multicast
+    // reserves each exactly once -> 8 * flits flit-hops, same as
+    // unicast here (no shared links), but on a tree sharing shows up.
+    const Topology tree = Topology::build(NocKind::HTree, 8);
+    Network netTree(tree);
+    const auto uni = netTree.run(broadcast(tree, 16, 0), NocMode::Full);
+    Network netTree2(tree);
+    const auto multi = netTree2.run(broadcast(tree, 16, 3), NocMode::Full);
+    EXPECT_LT(multi.flitHops, uni.flitHops)
+        << "multicast must not re-send on shared tree links";
+}
+
+TEST(RouterCapacity, TransitLimitCongestsHub)
+{
+    // Inter-PT traffic through a star hub serializes on the hub's
+    // crossbar; a fatter crossbar relieves it.
+    const Topology topo = Topology::build(NocKind::Star, 16);
+    Network narrow(topo, 1);
+    Network wide(topo, 64);
+    const auto batch = allToAll(topo, 16);
+    const Cycle slowHub = narrow.run(batch, NocMode::Full).makespan;
+    const Cycle fastHub = wide.run(batch, NocMode::Full).makespan;
+    EXPECT_GT(slowHub, fastHub);
+}
+
+TEST(RouterCapacity, EndpointsDontPayTransit)
+{
+    // A single one-hop message never transits an intermediate router,
+    // so capacity must not affect it.
+    const Topology topo = Topology::build(NocKind::Star, 4);
+    const NodeId pt = topo.processingNodes()[0];
+    Network narrow(topo, 1);
+    Network wide(topo, 64);
+    const std::vector<Message> one = {{topo.controllerNode(), pt, 32, 0,
+                                       {}, 0}};
+    EXPECT_EQ(narrow.run(one, NocMode::Full).makespan,
+              wide.run(one, NocMode::Full).makespan);
+}
+
+TEST(Traffic, RingAccumulateDependsInChain)
+{
+    const Topology topo = Topology::build(NocKind::Hima, 9);
+    const auto chain = ringAccumulate(topo, 4);
+    ASSERT_EQ(chain.size(), 8u);
+    EXPECT_TRUE(chain[0].dependsOn.empty());
+    for (Index i = 1; i < chain.size(); ++i) {
+        ASSERT_EQ(chain[i].dependsOn.size(), 1u);
+        EXPECT_EQ(chain[i].dependsOn[0], i - 1);
+    }
+}
+
+TEST(Traffic, GatherBroadcastDependencyArity)
+{
+    const Topology topo = Topology::build(NocKind::Mesh, 6);
+    const auto batch = gatherBroadcast(topo, 2, 2);
+    // 6 gathers then 6 broadcasts each depending on all 6 gathers.
+    ASSERT_EQ(batch.size(), 12u);
+    for (Index i = 6; i < 12; ++i)
+        EXPECT_EQ(batch[i].dependsOn.size(), 6u);
+}
+
+class AllKindsTraffic : public ::testing::TestWithParam<NocKind>
+{};
+
+TEST_P(AllKindsTraffic, EveryPatternCompletesEverywhere)
+{
+    const Topology topo = Topology::build(GetParam(), 12);
+    Network net(topo);
+    for (const auto &batch :
+         {broadcast(topo, 4, 1), gather(topo, 4, 2),
+          gatherBroadcast(topo, 4, 4, 3, 4), ringAccumulate(topo, 4),
+          allToAll(topo, 2), transposePairs(topo, 4)}) {
+        if (batch.empty())
+            continue;
+        const TrafficResult res = net.run(batch, NocMode::Full);
+        for (const Delivery &d : res.deliveries)
+            EXPECT_GE(d.delivered, d.injected);
+        EXPECT_GT(res.makespan, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AllKindsTraffic,
+                         ::testing::Values(NocKind::HTree,
+                                           NocKind::BinaryTree,
+                                           NocKind::Mesh, NocKind::Star,
+                                           NocKind::Ring, NocKind::Hima));
+
+} // namespace
+} // namespace hima

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the retention and usage kernels (HW.(1)-(2)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dnc/usage.h"
+
+namespace hima {
+namespace {
+
+TEST(Retention, NoFreeGatesMeansFullRetention)
+{
+    std::vector<Real> gates{0.0, 0.0};
+    std::vector<Vector> reads{Vector(8, 0.2), Vector(8, 0.3)};
+    const Vector psi = retentionVector(gates, reads);
+    for (Index i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(psi[i], 1.0);
+}
+
+TEST(Retention, FullFreeGateReleasesReadSlots)
+{
+    std::vector<Real> gates{1.0};
+    Vector rw(8);
+    rw[3] = 1.0; // head read slot 3 exclusively
+    const Vector psi = retentionVector(gates, {rw});
+    EXPECT_DOUBLE_EQ(psi[3], 0.0);
+    for (Index i = 0; i < 8; ++i) {
+        if (i != 3)
+            EXPECT_DOUBLE_EQ(psi[i], 1.0);
+    }
+}
+
+TEST(Retention, MultiHeadProduct)
+{
+    std::vector<Real> gates{0.5, 0.5};
+    std::vector<Vector> reads{Vector(4, 0.4), Vector(4, 0.4)};
+    const Vector psi = retentionVector(gates, reads);
+    // (1 - 0.5*0.4)^2 = 0.64 per slot.
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_NEAR(psi[i], 0.64, 1e-12);
+}
+
+TEST(Usage, WriteRaisesUsage)
+{
+    Vector u(8, 0.0);
+    Vector w(8);
+    w[2] = 0.8;
+    const Vector out = updateUsage(u, w, Vector(8, 1.0));
+    EXPECT_NEAR(out[2], 0.8, 1e-12);
+    EXPECT_EQ(out[0], 0.0);
+}
+
+TEST(Usage, RetentionScalesDown)
+{
+    Vector u(4, 0.6);
+    Vector psi(4, 0.5);
+    const Vector out = updateUsage(u, Vector(4, 0.0), psi);
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_NEAR(out[i], 0.3, 1e-12);
+}
+
+/** Invariant: usage stays in [0, 1] for in-range inputs. */
+class UsageInvariant : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(UsageInvariant, StaysInUnitInterval)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    Vector u = rng.uniformVector(32);
+    for (int step = 0; step < 50; ++step) {
+        Vector w = rng.uniformVector(32, 0.0, 1.0);
+        // Write weightings sum to <= 1: normalize.
+        const Real s = w.sum();
+        if (s > 1.0)
+            w = scale(w, 1.0 / s);
+        std::vector<Real> gates{rng.uniform(), rng.uniform()};
+        Vector r1 = rng.uniformVector(32);
+        Vector r2 = rng.uniformVector(32);
+        const Real s1 = r1.sum(), s2 = r2.sum();
+        if (s1 > 1.0)
+            r1 = scale(r1, 1.0 / s1);
+        if (s2 > 1.0)
+            r2 = scale(r2, 1.0 / s2);
+        const Vector psi = retentionVector(gates, {r1, r2});
+        u = updateUsage(u, w, psi);
+        for (Index i = 0; i < u.size(); ++i) {
+            EXPECT_GE(u[i], 0.0);
+            EXPECT_LE(u[i], 1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UsageInvariant, ::testing::Range(0, 10));
+
+TEST(Usage, ProfilerCounts)
+{
+    KernelProfiler prof;
+    Vector u(16, 0.5);
+    retentionVector({0.5}, {Vector(16, 0.1)}, &prof);
+    updateUsage(u, Vector(16, 0.1), Vector(16, 0.9), &prof);
+    EXPECT_EQ(prof.at(Kernel::Retention).invocations, 1u);
+    EXPECT_EQ(prof.at(Kernel::Usage).elementOps, 4u * 16);
+    EXPECT_GT(prof.at(Kernel::Retention).stateMemAccesses, 0u);
+}
+
+TEST(Usage, ShapeMismatchDies)
+{
+    EXPECT_DEATH(updateUsage(Vector(4), Vector(5), Vector(4)), "mismatch");
+    EXPECT_DEATH(retentionVector({0.5, 0.5}, {Vector(4)}), "free gates");
+}
+
+} // namespace
+} // namespace hima

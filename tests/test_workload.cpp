@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the synthetic workload suite: codebook, scripter, episodes,
+ * copy task and the DNC retrieval protocol end to end.
+ */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "workload/copy_task.h"
+#include "workload/task_suite.h"
+
+namespace hima {
+namespace {
+
+DncConfig
+testConfig()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 128;
+    cfg.memoryWidth = 16;
+    cfg.readHeads = 2;
+    return cfg;
+}
+
+TEST(Codebook, EncodingsAreUnitNormAndDistinct)
+{
+    TokenCodebook cb(64, 8, 7);
+    for (Index t = 0; t < 64; ++t)
+        EXPECT_NEAR(cb.encode(t).norm(), 1.0, 1e-9);
+    // Distinct tokens decode to themselves.
+    for (Index t = 0; t < 64; ++t)
+        EXPECT_EQ(cb.decode(cb.encode(t)), t);
+}
+
+TEST(Codebook, DecodeToleratesNoise)
+{
+    TokenCodebook cb(32, 16, 8);
+    Rng rng(9);
+    Index correct = 0;
+    for (Index t = 0; t < 32; ++t) {
+        Vector noisy = add(cb.encode(t),
+                           rng.normalVector(16, 0.0, 0.15));
+        if (cb.decode(noisy) == t)
+            ++correct;
+    }
+    EXPECT_GE(correct, 30u);
+}
+
+TEST(Scripter, InterfacesValidate)
+{
+    const DncConfig cfg = testConfig();
+    TokenCodebook keys(32, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(32, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+
+    validateInterface(scripter.writeInterface(3, 5), cfg);
+    validateInterface(scripter.queryInterface(3), cfg);
+    validateInterface(scripter.temporalInterface(), cfg);
+}
+
+TEST(Scripter, WriteVectorPacksKeyAndValue)
+{
+    const DncConfig cfg = testConfig();
+    TokenCodebook keys(32, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(32, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+    const InterfaceVector iface = scripter.writeInterface(4, 9);
+    for (Index i = 0; i < cfg.memoryWidth / 2; ++i) {
+        EXPECT_EQ(iface.writeVector[i], keys.encode(4)[i]);
+        EXPECT_EQ(iface.writeVector[cfg.memoryWidth / 2 + i],
+                  values.encode(9)[i]);
+    }
+    EXPECT_EQ(scripter.decodeValue(iface.writeVector), 9u);
+}
+
+TEST(TaskSuiteTest, TwentyTasksWellFormed)
+{
+    const auto suite = taskSuite();
+    ASSERT_EQ(suite.size(), 20u);
+    for (Index i = 0; i < 20; ++i) {
+        EXPECT_EQ(suite[i].id, i + 1);
+        EXPECT_GT(suite[i].items, 0u);
+        EXPECT_GT(suite[i].queries, 0u);
+        EXPECT_GE(suite[i].temporalFraction, 0.0);
+        EXPECT_LE(suite[i].temporalFraction, 1.0);
+    }
+    // Distinct names.
+    for (Index a = 0; a < 20; ++a)
+        for (Index b = a + 1; b < 20; ++b)
+            EXPECT_NE(suite[a].name, suite[b].name);
+}
+
+TEST(TaskSuiteTest, EpisodesHaveConsistentGroundTruth)
+{
+    Rng rng(3);
+    const auto suite = taskSuite();
+    for (const TaskSpec &spec : suite) {
+        const Episode ep = makeEpisode(spec, 256, rng);
+        EXPECT_EQ(ep.writes, spec.items + spec.distractors);
+        EXPECT_EQ(ep.scoredQueries, spec.queries);
+        // Every query's key was actually written with that value.
+        for (const EpisodeStep &step : ep.steps) {
+            if (step.kind != StepKind::Query)
+                continue;
+            bool found = false;
+            for (const EpisodeStep &w : ep.steps) {
+                if (w.kind == StepKind::Write &&
+                    w.keyToken == step.keyToken &&
+                    w.valueToken == step.valueToken)
+                    found = true;
+            }
+            EXPECT_TRUE(found);
+        }
+    }
+}
+
+TEST(Retrieval, MonolithicDncIsNearPerfectOnContentTasks)
+{
+    const DncConfig cfg = testConfig();
+    Dnc dnc(cfg, 11);
+    TokenCodebook keys(256, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(256, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+
+    Rng rng(4);
+    const auto suite = taskSuite();
+    // Task 1 (single-fact, purely content-based) must be near-perfect.
+    const Episode ep = makeEpisode(suite[0], 256, rng);
+    const EpisodeResult res = runEpisode(dnc, scripter, ep);
+    EXPECT_EQ(res.scored, suite[0].queries);
+    EXPECT_GE(static_cast<Real>(res.correct) /
+                  static_cast<Real>(res.scored),
+              0.95);
+}
+
+TEST(Retrieval, TemporalTaskExercisesLinkage)
+{
+    const DncConfig cfg = testConfig();
+    Dnc dnc(cfg, 12);
+    TokenCodebook keys(256, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(256, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+
+    Rng rng(5);
+    const auto suite = taskSuite();
+    // Task 14 ("time-order") has 60% temporal queries.
+    const Episode ep = makeEpisode(suite[13], 256, rng);
+    const EpisodeResult res = runEpisode(dnc, scripter, ep);
+    EXPECT_GE(static_cast<Real>(res.correct) /
+                  static_cast<Real>(res.scored),
+              0.8);
+    EXPECT_GT(dnc.profiler().at(Kernel::ForwardBackward).invocations, 0u);
+}
+
+TEST(CopyTask, PerfectOnShortSequences)
+{
+    const DncConfig cfg = testConfig();
+    Dnc dnc(cfg, 13);
+    TokenCodebook keys(64, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(64, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+
+    Rng rng(6);
+    std::vector<Index> seq;
+    for (int i = 0; i < 8; ++i)
+        seq.push_back(rng.uniformInt(64));
+    const CopyResult res = runCopyTask(dnc, scripter, seq, 0);
+    EXPECT_EQ(res.length, 8u);
+    EXPECT_GE(res.correct, 7u);
+}
+
+TEST(CopyTask, EmptySequence)
+{
+    const DncConfig cfg = testConfig();
+    Dnc dnc(cfg, 14);
+    TokenCodebook keys(8, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(8, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+    const CopyResult res = runCopyTask(dnc, scripter, {}, 0);
+    EXPECT_EQ(res.length, 0u);
+    EXPECT_EQ(res.errorRate(), 0.0);
+}
+
+TEST(Retrieval, SkimmingDegradesUnderMemoryPressure)
+{
+    // With skimming at 50% and a small memory, collisions must appear
+    // that the unskimmed DNC avoids (Fig. 10's mechanism).
+    DncConfig cfg = testConfig();
+    cfg.memoryRows = 32;
+    DncConfig skimCfg = cfg;
+    skimCfg.skimRate = 0.5;
+
+    Dnc plain(cfg, 15);
+    Dnc skimmed(skimCfg, 15);
+    TokenCodebook keys(256, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(256, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+
+    Rng rng(7);
+    Episode ep;
+    const Index items = 14; // close to the skimmed capacity of 16
+    for (Index i = 0; i < items; ++i) {
+        ep.steps.push_back({StepKind::Write, i, i + 20});
+        ++ep.writes;
+    }
+    for (Index i = 0; i < items; ++i) {
+        ep.steps.push_back({StepKind::Query, i, i + 20});
+        ++ep.scoredQueries;
+    }
+    const EpisodeResult plainRes = runEpisode(plain, scripter, ep);
+    const EpisodeResult skimRes = runEpisode(skimmed, scripter, ep);
+    EXPECT_GE(plainRes.correct, skimRes.correct);
+}
+
+} // namespace
+} // namespace hima
