@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Hot-path throughput benchmark: wall-clock timesteps/sec of the DNC
+ * memory unit, comparing the pre-refactor ("legacy") kernels against
+ * the allocation-free destination-passing path, plus DNC-D tile
+ * scaling on the thread pool. Emits BENCH_hot_path.json so the perf
+ * trajectory is tracked across PRs.
+ *
+ * The legacy path is a faithful replica of the seed implementation:
+ * bounds-checked element accessors, value-returning kernels that
+ * allocate every temporary, and per-head O(N*W) row-norm recomputes in
+ * content addressing. Both paths implement identical math — the bench
+ * cross-checks them bit-for-bit before timing.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "dnc/dncd.h"
+#include "dnc/memory_unit.h"
+
+namespace hima {
+namespace {
+
+// --------------------------------------------------------------------
+// Legacy replica of the seed memory unit (pre-refactor kernels).
+// --------------------------------------------------------------------
+namespace legacy {
+
+Vector
+matVec(const Matrix &m, const Vector &x)
+{
+    Vector y(m.rows());
+    for (Index r = 0; r < m.rows(); ++r) {
+        Real acc = 0.0;
+        for (Index c = 0; c < m.cols(); ++c)
+            acc += m(r, c) * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Vector
+matTVec(const Matrix &m, const Vector &x)
+{
+    Vector y(m.cols());
+    for (Index r = 0; r < m.rows(); ++r) {
+        const Real xv = x[r];
+        for (Index c = 0; c < m.cols(); ++c)
+            y[c] += m(r, c) * xv;
+    }
+    return y;
+}
+
+Vector
+contentWeighting(const Matrix &memory, const Vector &key, Real strength)
+{
+    const Index n = memory.rows();
+    const Index w = memory.cols();
+    Vector rowNorms(n);
+    for (Index i = 0; i < n; ++i) {
+        Real acc = 0.0;
+        for (Index c = 0; c < w; ++c) {
+            const Real v = memory(i, c);
+            acc += v * v;
+        }
+        rowNorms[i] = std::sqrt(acc);
+    }
+    const Real keyNorm = key.norm();
+    constexpr Real eps = 1e-6;
+    Vector scores(n);
+    for (Index i = 0; i < n; ++i) {
+        Real acc = 0.0;
+        for (Index c = 0; c < w; ++c)
+            acc += memory(i, c) * key[c];
+        scores[i] = strength * acc / (rowNorms[i] * keyNorm + eps);
+    }
+    return softmax(scores);
+}
+
+/** The seed MemoryUnit dataflow, allocation-per-kernel. */
+struct MemoryUnitSim
+{
+    explicit MemoryUnitSim(const DncConfig &config)
+        : cfg(config), memory(cfg.memoryRows, cfg.memoryWidth),
+          usage(cfg.memoryRows), linkage(cfg.memoryRows, cfg.memoryRows),
+          precedence(cfg.memoryRows), writeWeighting(cfg.memoryRows),
+          readWeightings(cfg.readHeads, Vector(cfg.memoryRows))
+    {}
+
+    MemoryReadout
+    step(const InterfaceVector &iface)
+    {
+        const Index n = cfg.memoryRows;
+        const Index w = cfg.memoryWidth;
+
+        // CW: content write weighting (norms recomputed from scratch).
+        const Vector contentW =
+            contentWeighting(memory, iface.writeKey, iface.writeStrength);
+
+        // HW: retention, usage, sort, allocation.
+        Vector psi(n, 1.0);
+        for (Index r = 0; r < readWeightings.size(); ++r) {
+            const Real gate = iface.freeGates[r];
+            for (Index i = 0; i < n; ++i)
+                psi[i] *= 1.0 - gate * readWeightings[r][i];
+        }
+        Vector newUsage(n);
+        for (Index i = 0; i < n; ++i) {
+            const Real u = usage[i];
+            const Real wv = writeWeighting[i];
+            newUsage[i] = (u + wv - u * wv) * psi[i];
+        }
+        usage = newUsage;
+
+        std::vector<SortRecord> records;
+        records.reserve(n);
+        for (Index i = 0; i < n; ++i)
+            records.push_back({usage[i], i});
+        const SortResult sorted =
+            referenceUsageSort(records, SortOrder::Ascending);
+        Vector alloc(n, 0.0);
+        Real runningProduct = 1.0;
+        for (const SortRecord &rec : sorted.records) {
+            alloc[rec.idx] = (1.0 - rec.key) * runningProduct;
+            runningProduct *= rec.key;
+        }
+
+        // WM: gate merge.
+        Vector ww(n);
+        const Real ga = iface.allocationGate;
+        const Real gw = iface.writeGate;
+        for (Index i = 0; i < n; ++i)
+            ww[i] = gw * (ga * alloc[i] + (1.0 - ga) * contentW[i]);
+
+        // MW: erase + add, row at a time.
+        for (Index i = 0; i < n; ++i) {
+            const Real wi = ww[i];
+            if (wi == 0.0)
+                continue;
+            for (Index c = 0; c < w; ++c)
+                memory(i, c) = memory(i, c) * (1.0 - wi * iface.eraseVector[c])
+                             + wi * iface.writeVector[c];
+        }
+
+        // HR.(1)-(2): linkage then precedence.
+        for (Index i = 0; i < n; ++i) {
+            const Real wi = ww[i];
+            for (Index j = 0; j < n; ++j) {
+                if (i == j) {
+                    linkage(i, j) = 0.0;
+                    continue;
+                }
+                linkage(i, j) = (1.0 - wi - ww[j]) * linkage(i, j)
+                              + wi * precedence[j];
+            }
+        }
+        const Real keep = 1.0 - ww.sum();
+        for (Index i = 0; i < n; ++i)
+            precedence[i] = keep * precedence[i] + ww[i];
+        writeWeighting = ww;
+
+        MemoryReadout out;
+        out.writeWeighting = ww;
+        for (Index head = 0; head < cfg.readHeads; ++head) {
+            const Vector fwd = legacy::matVec(linkage, readWeightings[head]);
+            const Vector bwd = legacy::matTVec(linkage, readWeightings[head]);
+            const Vector content = contentWeighting(
+                memory, iface.readKeys[head], iface.readStrengths[head]);
+            Vector weighting(n);
+            const ReadMode &mode = iface.readModes[head];
+            for (Index i = 0; i < n; ++i) {
+                weighting[i] = mode.backward * bwd[i]
+                             + mode.content * content[i]
+                             + mode.forward * fwd[i];
+            }
+            Vector readVector = legacy::matTVec(memory, weighting);
+            readWeightings[head] = weighting;
+            out.readWeightings.push_back(std::move(weighting));
+            out.readVectors.push_back(std::move(readVector));
+        }
+        return out;
+    }
+
+    DncConfig cfg;
+    Matrix memory;
+    Vector usage;
+    Matrix linkage;
+    Vector precedence;
+    Vector writeWeighting;
+    std::vector<Vector> readWeightings;
+};
+
+} // namespace legacy
+
+// --------------------------------------------------------------------
+// Harness.
+// --------------------------------------------------------------------
+
+DncConfig
+benchConfig(Index n)
+{
+    DncConfig cfg;
+    cfg.memoryRows = n;
+    cfg.memoryWidth = 64;
+    cfg.readHeads = 4;
+    return cfg;
+}
+
+InterfaceVector
+benchIface(const DncConfig &cfg, Rng &rng)
+{
+    InterfaceVector iface;
+    iface.readKeys.clear();
+    for (Index h = 0; h < cfg.readHeads; ++h)
+        iface.readKeys.push_back(rng.normalVector(cfg.memoryWidth));
+    iface.readStrengths.assign(cfg.readHeads, 5.0);
+    iface.writeKey = rng.normalVector(cfg.memoryWidth);
+    iface.writeStrength = 5.0;
+    iface.eraseVector = Vector(cfg.memoryWidth, 0.5);
+    iface.writeVector = rng.normalVector(cfg.memoryWidth);
+    iface.freeGates.assign(cfg.readHeads, 0.1);
+    iface.allocationGate = 0.9;
+    iface.writeGate = 1.0;
+    iface.readModes.assign(cfg.readHeads, ReadMode{0.1, 0.8, 0.1});
+    return iface;
+}
+
+template <typename StepFn>
+double
+stepsPerSecond(StepFn &&stepFn, double minSeconds = 0.25,
+               long maxIters = 200000)
+{
+    using Clock = std::chrono::steady_clock;
+    stepFn(); // warmup (sizes buffers, touches caches)
+    long iters = 0;
+    double elapsed = 0.0;
+    const auto start = Clock::now();
+    while (elapsed < minSeconds && iters < maxIters) {
+        stepFn();
+        ++iters;
+        elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    return static_cast<double>(iters) / elapsed;
+}
+
+/** Bit-exact cross-check of the legacy replica vs the optimized path. */
+bool
+crossCheck()
+{
+    const DncConfig cfg = benchConfig(256);
+    legacy::MemoryUnitSim legacySim(cfg);
+    MemoryUnit optimized(cfg);
+    MemoryReadout optOut;
+    Rng rng(42);
+    for (int step = 0; step < 4; ++step) {
+        const InterfaceVector iface = benchIface(cfg, rng);
+        const MemoryReadout a = legacySim.step(iface);
+        optimized.stepInto(iface, optOut);
+        for (Index h = 0; h < cfg.readHeads; ++h) {
+            if (!(a.readVectors[h] == optOut.readVectors[h]) ||
+                !(a.readWeightings[h] == optOut.readWeightings[h]))
+                return false;
+        }
+        if (!(a.writeWeighting == optOut.writeWeighting))
+            return false;
+    }
+    return true;
+}
+
+struct SingleTileResult
+{
+    Index n;
+    double legacyStepsPerSec;
+    double optimizedStepsPerSec;
+    double speedup;
+};
+
+struct DncdResult
+{
+    Index n;
+    Index tiles;
+    Index threads;
+    double stepsPerSec;
+};
+
+} // namespace
+} // namespace hima
+
+int
+main()
+{
+    using namespace hima;
+
+    if (!crossCheck()) {
+        std::fprintf(stderr,
+                     "FATAL: legacy and optimized paths diverged — "
+                     "refusing to benchmark unequal computations\n");
+        return 1;
+    }
+    std::printf("cross-check: legacy and optimized paths bit-identical\n");
+
+    const std::vector<Index> sizes = {64, 256, 1024, 4096};
+    std::vector<SingleTileResult> single;
+    for (Index n : sizes) {
+        const DncConfig cfg = benchConfig(n);
+        Rng rng(7);
+        const InterfaceVector iface = benchIface(cfg, rng);
+
+        legacy::MemoryUnitSim legacySim(cfg);
+        const double legacyRate = stepsPerSecond(
+            [&] { legacySim.step(iface); });
+
+        MemoryUnit mu(cfg);
+        MemoryReadout out;
+        const double optRate = stepsPerSecond(
+            [&] { mu.stepInto(iface, out); });
+
+        single.push_back({n, legacyRate, optRate, optRate / legacyRate});
+        std::printf("N=%5zu  legacy %10.1f steps/s   optimized %10.1f "
+                    "steps/s   speedup %.2fx\n",
+                    n, legacyRate, optRate, optRate / legacyRate);
+    }
+
+    const std::vector<Index> tileCounts = {1, 4, 16};
+    const std::vector<Index> threadCounts = {1, 4};
+    std::vector<DncdResult> dncd;
+    const Index dncdRows = 1024;
+    for (Index tiles : tileCounts) {
+        for (Index threads : threadCounts) {
+            DncConfig cfg = benchConfig(dncdRows);
+            cfg.numThreads = threads;
+            DncD model(cfg, tiles);
+            Rng rng(11);
+            const InterfaceVector iface = benchIface(cfg, rng);
+            const double rate = stepsPerSecond(
+                [&] { model.stepInterface(iface); });
+            dncd.push_back({dncdRows, tiles, threads, rate});
+            std::printf("DNC-D N=%zu tiles=%2zu threads=%zu  %10.1f "
+                        "steps/s\n",
+                        dncdRows, tiles, threads, rate);
+        }
+    }
+
+    double scaling16 = 0.0;
+    {
+        double t1 = 0.0, t4 = 0.0;
+        for (const DncdResult &r : dncd) {
+            if (r.tiles == 16 && r.threads == 1)
+                t1 = r.stepsPerSec;
+            if (r.tiles == 16 && r.threads == 4)
+                t4 = r.stepsPerSec;
+        }
+        if (t1 > 0.0)
+            scaling16 = t4 / t1;
+    }
+
+    double headline = 0.0;
+    for (const SingleTileResult &r : single)
+        if (r.n == 1024)
+            headline = r.speedup;
+
+    FILE *json = std::fopen("BENCH_hot_path.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot open BENCH_hot_path.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(json,
+                 "  \"config\": {\"memory_width\": 64, \"read_heads\": 4},\n");
+    std::fprintf(json, "  \"single_tile\": [\n");
+    for (std::size_t i = 0; i < single.size(); ++i) {
+        const SingleTileResult &r = single[i];
+        std::fprintf(json,
+                     "    {\"n\": %zu, \"legacy_steps_per_sec\": %.2f, "
+                     "\"optimized_steps_per_sec\": %.2f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.n, r.legacyStepsPerSec, r.optimizedStepsPerSec,
+                     r.speedup, i + 1 < single.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"dncd\": [\n");
+    for (std::size_t i = 0; i < dncd.size(); ++i) {
+        const DncdResult &r = dncd[i];
+        std::fprintf(json,
+                     "    {\"n\": %zu, \"tiles\": %zu, \"threads\": %zu, "
+                     "\"steps_per_sec\": %.2f}%s\n",
+                     r.n, r.tiles, r.threads, r.stepsPerSec,
+                     i + 1 < dncd.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"dncd_thread_scaling_16_tiles\": "
+                 "{\"threads4_over_threads1\": %.3f},\n",
+                 scaling16);
+    std::fprintf(json, "  \"headline\": {\"n1024_speedup\": %.3f}\n",
+                 headline);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_hot_path.json (N=1024 speedup %.2fx, "
+                "16-tile 4-thread scaling %.2fx)\n",
+                headline, scaling16);
+    return 0;
+}

@@ -80,6 +80,27 @@ BM_ContentAddressing(benchmark::State &state)
 BENCHMARK(BM_ContentAddressing)->Arg(256)->Arg(1024);
 
 void
+BM_ContentAddressingCached(benchmark::State &state)
+{
+    // The allocation-free path with the row-norm cache the MemoryUnit
+    // maintains: no per-call norm recompute, no temporaries.
+    Rng rng(4);
+    const Index n = state.range(0);
+    const Matrix mem = rng.normalMatrix(n, 64);
+    const Vector key = rng.normalVector(64);
+    Vector norms(n);
+    for (Index i = 0; i < n; ++i)
+        norms[i] = rowNorm(mem, i);
+    ContentAddressing ca;
+    Vector scores, out;
+    for (auto _ : state) {
+        ca.weightingInto(mem, key, 5.0, &norms, scores, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ContentAddressingCached)->Arg(256)->Arg(1024);
+
+void
 BM_LinkageUpdate(benchmark::State &state)
 {
     const Index n = state.range(0);
@@ -137,6 +158,38 @@ BM_MemoryUnitStep(benchmark::State &state)
         benchmark::DoNotOptimize(mu.step(iface));
 }
 BENCHMARK(BM_MemoryUnitStep)->Arg(256)->Arg(1024);
+
+void
+BM_MemoryUnitStepInto(benchmark::State &state)
+{
+    // The zero-steady-state-allocation path: the readout and every
+    // temporary are reused across steps.
+    DncConfig cfg;
+    cfg.memoryRows = state.range(0);
+    cfg.memoryWidth = 64;
+    cfg.readHeads = 4;
+    MemoryUnit mu(cfg);
+    Rng rng(7);
+
+    InterfaceVector iface;
+    iface.readKeys.assign(cfg.readHeads, rng.normalVector(64));
+    iface.readStrengths.assign(cfg.readHeads, 5.0);
+    iface.writeKey = rng.normalVector(64);
+    iface.writeStrength = 5.0;
+    iface.eraseVector = Vector(64, 0.5);
+    iface.writeVector = rng.normalVector(64);
+    iface.freeGates.assign(cfg.readHeads, 0.1);
+    iface.allocationGate = 0.9;
+    iface.writeGate = 1.0;
+    iface.readModes.assign(cfg.readHeads, ReadMode{0.1, 0.8, 0.1});
+
+    MemoryReadout out;
+    for (auto _ : state) {
+        mu.stepInto(iface, out);
+        benchmark::DoNotOptimize(out.writeWeighting.data());
+    }
+}
+BENCHMARK(BM_MemoryUnitStepInto)->Arg(256)->Arg(1024);
 
 } // namespace
 } // namespace hima

@@ -134,23 +134,39 @@ class Fixed
 /** The library-wide hardware word: Q16.16 in a 32-bit datapath. */
 using Fix32 = Fixed<16, 16>;
 
+/** Quantize a vector through the fixed-point word, in place. */
+inline void
+quantizeInPlace(Vector &v)
+{
+    Real *p = v.data();
+    for (Index i = 0, n = v.size(); i < n; ++i)
+        p[i] = Fix32::fromReal(p[i]).toReal();
+}
+
 /** Quantize a vector through the fixed-point word and back. */
 inline Vector
 quantize(const Vector &v)
 {
-    Vector out(v.size());
-    for (Index i = 0; i < v.size(); ++i)
-        out[i] = Fix32::fromReal(v[i]).toReal();
+    Vector out = v;
+    quantizeInPlace(out);
     return out;
+}
+
+/** Quantize a matrix through the fixed-point word, in place. */
+inline void
+quantizeInPlace(Matrix &m)
+{
+    Real *p = m.data();
+    for (Index i = 0, n = m.size(); i < n; ++i)
+        p[i] = Fix32::fromReal(p[i]).toReal();
 }
 
 /** Quantize a matrix through the fixed-point word and back. */
 inline Matrix
 quantize(const Matrix &m)
 {
-    Matrix out(m.rows(), m.cols());
-    for (Index i = 0; i < m.size(); ++i)
-        out.data()[i] = Fix32::fromReal(m.data()[i]).toReal();
+    Matrix out = m;
+    quantizeInPlace(out);
     return out;
 }
 

@@ -77,18 +77,26 @@ SoftmaxApprox::SoftmaxApprox(int segments, Real domainLo)
 Vector
 SoftmaxApprox::eval(const Vector &x) const
 {
+    Vector out;
+    evalInto(x, out);
+    return out;
+}
+
+void
+SoftmaxApprox::evalInto(const Vector &x, Vector &out) const
+{
     HIMA_ASSERT(!x.empty(), "softmax of empty vector");
     const Real m = x.max();
-    Vector out(x.size());
+    const Index n = x.size();
+    out.resize(n);
     Real denom = 0.0;
-    for (Index i = 0; i < x.size(); ++i) {
+    for (Index i = 0; i < n; ++i) {
         out[i] = exp_.eval(x[i] - m);
         denom += out[i];
     }
     HIMA_ASSERT(denom > 0.0, "approximate softmax denominator vanished");
-    for (Index i = 0; i < x.size(); ++i)
+    for (Index i = 0; i < n; ++i)
         out[i] /= denom;
-    return out;
 }
 
 Vector

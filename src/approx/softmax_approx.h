@@ -73,6 +73,12 @@ class SoftmaxApprox
     /** Approximate softmax of x. */
     Vector eval(const Vector &x) const;
 
+    /**
+     * Destination-passing variant: out is resized and overwritten (out
+     * may alias x). Bit-identical to eval(x).
+     */
+    void evalInto(const Vector &x, Vector &out) const;
+
     /** Approximate softmax of beta * x. */
     Vector eval(const Vector &x, Real beta) const;
 

@@ -20,17 +20,25 @@ oneplus(Real x)
 Vector
 softmax(const Vector &x)
 {
+    Vector out;
+    softmaxInto(x, out);
+    return out;
+}
+
+void
+softmaxInto(const Vector &x, Vector &out)
+{
     HIMA_ASSERT(!x.empty(), "softmax of empty vector");
     const Real m = x.max();
-    Vector out(x.size());
+    const Index n = x.size();
+    out.resize(n);
     Real denom = 0.0;
-    for (Index i = 0; i < x.size(); ++i) {
+    for (Index i = 0; i < n; ++i) {
         out[i] = std::exp(x[i] - m);
         denom += out[i];
     }
-    for (Index i = 0; i < x.size(); ++i)
+    for (Index i = 0; i < n; ++i)
         out[i] /= denom;
-    return out;
 }
 
 Vector

@@ -23,6 +23,12 @@ Real oneplus(Real x);
 /** Numerically-stable softmax over a vector (subtracts the max). */
 Vector softmax(const Vector &x);
 
+/**
+ * Destination-passing softmax: out is resized and overwritten; out may
+ * alias x. Bit-identical to softmax(x).
+ */
+void softmaxInto(const Vector &x, Vector &out);
+
 /** Softmax of x scaled by a sharpness beta. */
 Vector softmax(const Vector &x, Real beta);
 

@@ -94,42 +94,235 @@ checkSameShape(const Matrix &a, const Matrix &b, const char *op)
 
 } // namespace
 
+void
+addInto(const Vector &a, const Vector &b, Vector &out)
+{
+    checkSameSize(a, b, "addInto");
+    const Index n = a.size();
+    out.resize(n);
+    const Real *pa = a.data();
+    const Real *pb = b.data();
+    Real *po = out.data();
+    for (Index i = 0; i < n; ++i)
+        po[i] = pa[i] + pb[i];
+}
+
+void
+subInto(const Vector &a, const Vector &b, Vector &out)
+{
+    checkSameSize(a, b, "subInto");
+    const Index n = a.size();
+    out.resize(n);
+    const Real *pa = a.data();
+    const Real *pb = b.data();
+    Real *po = out.data();
+    for (Index i = 0; i < n; ++i)
+        po[i] = pa[i] - pb[i];
+}
+
+void
+mulInto(const Vector &a, const Vector &b, Vector &out)
+{
+    checkSameSize(a, b, "mulInto");
+    const Index n = a.size();
+    out.resize(n);
+    const Real *pa = a.data();
+    const Real *pb = b.data();
+    Real *po = out.data();
+    for (Index i = 0; i < n; ++i)
+        po[i] = pa[i] * pb[i];
+}
+
+void
+addInPlace(Vector &a, const Vector &b)
+{
+    checkSameSize(a, b, "addInPlace");
+    Real *pa = a.data();
+    const Real *pb = b.data();
+    for (Index i = 0, n = a.size(); i < n; ++i)
+        pa[i] += pb[i];
+}
+
+void
+scaleInPlace(Vector &a, Real s)
+{
+    Real *pa = a.data();
+    for (Index i = 0, n = a.size(); i < n; ++i)
+        pa[i] *= s;
+}
+
+void
+axpy(Real alpha, const Vector &x, Vector &y)
+{
+    checkSameSize(x, y, "axpy");
+    const Real *px = x.data();
+    Real *py = y.data();
+    for (Index i = 0, n = x.size(); i < n; ++i)
+        py[i] += alpha * px[i];
+}
+
+void
+matVecInto(const Matrix &m, const Vector &x, Vector &y)
+{
+    HIMA_ASSERT(m.cols() == x.size(), "matVecInto: cols %zu != x %zu",
+                m.cols(), x.size());
+    const Index rows = m.rows();
+    const Index cols = m.cols();
+    y.resize(rows);
+    const Real *pm = m.data();
+    const Real *px = x.data();
+    Real *py = y.data();
+    for (Index r = 0; r < rows; ++r) {
+        const Real *row = pm + r * cols;
+        Real acc = 0.0;
+        for (Index c = 0; c < cols; ++c)
+            acc += row[c] * px[c];
+        py[r] = acc;
+    }
+}
+
+void
+matVecAccumulate(const Matrix &m, const Vector &x, Vector &y)
+{
+    HIMA_ASSERT(m.cols() == x.size(), "matVecAccumulate: cols %zu != x %zu",
+                m.cols(), x.size());
+    HIMA_ASSERT(m.rows() == y.size(), "matVecAccumulate: rows %zu != y %zu",
+                m.rows(), y.size());
+    const Index rows = m.rows();
+    const Index cols = m.cols();
+    const Real *pm = m.data();
+    const Real *px = x.data();
+    Real *py = y.data();
+    for (Index r = 0; r < rows; ++r) {
+        const Real *row = pm + r * cols;
+        Real acc = 0.0;
+        for (Index c = 0; c < cols; ++c)
+            acc += row[c] * px[c];
+        py[r] += acc;
+    }
+}
+
+void
+matTVecInto(const Matrix &m, const Vector &x, Vector &y)
+{
+    HIMA_ASSERT(m.rows() == x.size(), "matTVecInto: rows %zu != x %zu",
+                m.rows(), x.size());
+    const Index rows = m.rows();
+    const Index cols = m.cols();
+    y.resize(cols);
+    const Real *pm = m.data();
+    const Real *px = x.data();
+    Real *py = y.data();
+    for (Index c = 0; c < cols; ++c)
+        py[c] = 0.0;
+    for (Index r = 0; r < rows; ++r) {
+        const Real xv = px[r];
+        const Real *row = pm + r * cols;
+        for (Index c = 0; c < cols; ++c)
+            py[c] += row[c] * xv;
+    }
+}
+
+void
+outerAccumulate(const Vector &a, const Vector &b, Real s, Matrix &m)
+{
+    HIMA_ASSERT(m.rows() == a.size() && m.cols() == b.size(),
+                "outerAccumulate: shape (%zu,%zu) != (%zu,%zu)",
+                m.rows(), m.cols(), a.size(), b.size());
+    const Index rows = a.size();
+    const Index cols = b.size();
+    const Real *pa = a.data();
+    const Real *pb = b.data();
+    Real *pm = m.data();
+    for (Index r = 0; r < rows; ++r) {
+        const Real av = s * pa[r];
+        if (av == 0.0)
+            continue;
+        Real *row = pm + r * cols;
+        for (Index c = 0; c < cols; ++c)
+            row[c] += av * pb[c];
+    }
+}
+
+void
+matMulInto(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    HIMA_ASSERT(a.cols() == b.rows(), "matMulInto: inner dims %zu vs %zu",
+                a.cols(), b.rows());
+    out.resize(a.rows(), b.cols());
+    out.fill(0.0);
+    const Index rows = a.rows();
+    const Index inner = a.cols();
+    const Index cols = b.cols();
+    const Real *pa = a.data();
+    const Real *pb = b.data();
+    Real *po = out.data();
+    for (Index r = 0; r < rows; ++r) {
+        Real *orow = po + r * cols;
+        const Real *arow = pa + r * inner;
+        for (Index k = 0; k < inner; ++k) {
+            const Real av = arow[k];
+            if (av == 0.0)
+                continue;
+            const Real *brow = pb + k * cols;
+            for (Index c = 0; c < cols; ++c)
+                orow[c] += av * brow[c];
+        }
+    }
+}
+
+Real
+dotRow(const Matrix &m, Index r, const Vector &x)
+{
+    HIMA_ASSERT(m.cols() == x.size(), "dotRow: cols %zu != x %zu",
+                m.cols(), x.size());
+    const Real *row = m.rowPtr(r);
+    const Real *px = x.data();
+    Real acc = 0.0;
+    for (Index c = 0, w = m.cols(); c < w; ++c)
+        acc += row[c] * px[c];
+    return acc;
+}
+
+Real
+rowNorm(const Matrix &m, Index r)
+{
+    const Real *row = m.rowPtr(r);
+    Real acc = 0.0;
+    for (Index c = 0, w = m.cols(); c < w; ++c)
+        acc += row[c] * row[c];
+    return std::sqrt(acc);
+}
+
 Vector
 add(const Vector &a, const Vector &b)
 {
-    checkSameSize(a, b, "add");
-    Vector out(a.size());
-    for (Index i = 0; i < a.size(); ++i)
-        out[i] = a[i] + b[i];
+    Vector out;
+    addInto(a, b, out);
     return out;
 }
 
 Vector
 sub(const Vector &a, const Vector &b)
 {
-    checkSameSize(a, b, "sub");
-    Vector out(a.size());
-    for (Index i = 0; i < a.size(); ++i)
-        out[i] = a[i] - b[i];
+    Vector out;
+    subInto(a, b, out);
     return out;
 }
 
 Vector
 mul(const Vector &a, const Vector &b)
 {
-    checkSameSize(a, b, "mul");
-    Vector out(a.size());
-    for (Index i = 0; i < a.size(); ++i)
-        out[i] = a[i] * b[i];
+    Vector out;
+    mulInto(a, b, out);
     return out;
 }
 
 Vector
 scale(const Vector &a, Real s)
 {
-    Vector out(a.size());
-    for (Index i = 0; i < a.size(); ++i)
-        out[i] = a[i] * s;
+    Vector out = a;
+    scaleInPlace(out, s);
     return out;
 }
 
@@ -137,9 +330,11 @@ Real
 dot(const Vector &a, const Vector &b)
 {
     checkSameSize(a, b, "dot");
+    const Real *pa = a.data();
+    const Real *pb = b.data();
     Real acc = 0.0;
-    for (Index i = 0; i < a.size(); ++i)
-        acc += a[i] * b[i];
+    for (Index i = 0, n = a.size(); i < n; ++i)
+        acc += pa[i] * pb[i];
     return acc;
 }
 
@@ -153,29 +348,16 @@ cosineSimilarity(const Vector &a, const Vector &b, Real eps)
 Vector
 matVec(const Matrix &m, const Vector &x)
 {
-    HIMA_ASSERT(m.cols() == x.size(), "matVec: cols %zu != x %zu",
-                m.cols(), x.size());
-    Vector y(m.rows());
-    for (Index r = 0; r < m.rows(); ++r) {
-        Real acc = 0.0;
-        for (Index c = 0; c < m.cols(); ++c)
-            acc += m(r, c) * x[c];
-        y[r] = acc;
-    }
+    Vector y;
+    matVecInto(m, x, y);
     return y;
 }
 
 Vector
 matTVec(const Matrix &m, const Vector &x)
 {
-    HIMA_ASSERT(m.rows() == x.size(), "matTVec: rows %zu != x %zu",
-                m.rows(), x.size());
-    Vector y(m.cols());
-    for (Index r = 0; r < m.rows(); ++r) {
-        const Real xv = x[r];
-        for (Index c = 0; c < m.cols(); ++c)
-            y[c] += m(r, c) * xv;
-    }
+    Vector y;
+    matTVecInto(m, x, y);
     return y;
 }
 
@@ -183,9 +365,7 @@ Matrix
 outer(const Vector &a, const Vector &b)
 {
     Matrix m(a.size(), b.size());
-    for (Index r = 0; r < a.size(); ++r)
-        for (Index c = 0; c < b.size(); ++c)
-            m(r, c) = a[r] * b[c];
+    outerAccumulate(a, b, 1.0, m);
     return m;
 }
 
@@ -241,18 +421,8 @@ scale(const Matrix &a, Real s)
 Matrix
 matMul(const Matrix &a, const Matrix &b)
 {
-    HIMA_ASSERT(a.cols() == b.rows(), "matMul: inner dims %zu vs %zu",
-                a.cols(), b.rows());
-    Matrix out(a.rows(), b.cols());
-    for (Index r = 0; r < a.rows(); ++r) {
-        for (Index k = 0; k < a.cols(); ++k) {
-            const Real av = a(r, k);
-            if (av == 0.0)
-                continue;
-            for (Index c = 0; c < b.cols(); ++c)
-                out(r, c) += av * b(k, c);
-        }
-    }
+    Matrix out;
+    matMulInto(a, b, out);
     return out;
 }
 

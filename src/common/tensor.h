@@ -59,6 +59,14 @@ class Vector
     Real *data() { return data_.data(); }
     const Real *data() const { return data_.data(); }
 
+    /**
+     * Grow or shrink to n elements (new elements zeroed). Shrinking keeps
+     * the capacity, so resize-to-previous-size never reallocates — the
+     * destination-passing kernels rely on this for their no-steady-state-
+     * allocation guarantee.
+     */
+    void resize(Index n) { data_.resize(n, 0.0); }
+
     auto begin() { return data_.begin(); }
     auto end() { return data_.end(); }
     auto begin() const { return data_.begin(); }
@@ -129,6 +137,30 @@ class Matrix
     Real *data() { return data_.data(); }
     const Real *data() const { return data_.data(); }
 
+    /** Pointer to the first element of row r (row-major contiguous). */
+    Real *
+    rowPtr(Index r)
+    {
+        HIMA_ASSERT(r < rows_, "row %zu out of range %zu", r, rows_);
+        return data_.data() + r * cols_;
+    }
+
+    const Real *
+    rowPtr(Index r) const
+    {
+        HIMA_ASSERT(r < rows_, "row %zu out of range %zu", r, rows_);
+        return data_.data() + r * cols_;
+    }
+
+    /** Reshape to rows x cols (new elements zeroed; capacity retained). */
+    void
+    resize(Index rows, Index cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols, 0.0);
+    }
+
     /** Set every element to the given value. */
     void fill(Real value);
 
@@ -144,6 +176,87 @@ class Matrix
     Index rows_ = 0;
     Index cols_ = 0;
     std::vector<Real> data_;
+};
+
+// ---------------------------------------------------------------------
+// Destination-passing kernels
+//
+// The hot path of the simulator (MemoryUnit::step and the controller)
+// runs entirely on these: the caller owns the output buffer, so a
+// steady-state timestep performs zero heap allocations. Every `*Into`
+// kernel resizes `out` to the result shape (a no-op when already sized)
+// and overwrites it. Element-wise kernels allow `out` to alias an input;
+// the mat-vec kernels require the output to be distinct from `x`.
+// The value-returning API below is a thin wrapper over these.
+// ---------------------------------------------------------------------
+
+/** out = a + b (element-wise; out may alias a or b). */
+void addInto(const Vector &a, const Vector &b, Vector &out);
+/** out = a - b (element-wise; out may alias a or b). */
+void subInto(const Vector &a, const Vector &b, Vector &out);
+/** out = a .* b (element-wise; out may alias a or b). */
+void mulInto(const Vector &a, const Vector &b, Vector &out);
+/** a += b. */
+void addInPlace(Vector &a, const Vector &b);
+/** a *= s. */
+void scaleInPlace(Vector &a, Real s);
+/** y += alpha * x (BLAS axpy). */
+void axpy(Real alpha, const Vector &x, Vector &y);
+/** y = M x; y must not alias x. */
+void matVecInto(const Matrix &m, const Vector &x, Vector &y);
+/** y += M x; y must not alias x. */
+void matVecAccumulate(const Matrix &m, const Vector &x, Vector &y);
+/** y = M^T x; y must not alias x. */
+void matTVecInto(const Matrix &m, const Vector &x, Vector &y);
+/** m += s * a b^T; m must already have shape rows(a) x rows(b). */
+void outerAccumulate(const Vector &a, const Vector &b, Real s, Matrix &m);
+/** out = A B; out must not alias A or B. */
+void matMulInto(const Matrix &a, const Matrix &b, Matrix &out);
+
+/** Inner product of row r of m with x, without materializing the row. */
+Real dotRow(const Matrix &m, Index r, const Vector &x);
+
+/** Euclidean norm of row r of m, without materializing the row. */
+Real rowNorm(const Matrix &m, Index r);
+
+/**
+ * Preallocated scratch vectors for the allocation-free memory-unit hot
+ * path. One Workspace per MemoryUnit, sized once from the DncConfig
+ * shapes (memoryRows x memoryWidth); every buffer is overwritten each
+ * timestep, so none carries state.
+ */
+struct Workspace
+{
+    Workspace() = default;
+    Workspace(Index rows, Index width, Index heads = 1)
+    {
+        resize(rows, width, heads);
+    }
+
+    /** (Re)size every scratch buffer for an N x W memory with R heads. */
+    void
+    resize(Index rows, Index width, Index heads = 1)
+    {
+        scores.resize(rows);
+        contentW.resize(rows);
+        retention.resize(rows);
+        allocW.resize(rows);
+        forwardW.resize(heads);
+        backwardW.resize(heads);
+        for (Index h = 0; h < heads; ++h) {
+            forwardW[h].resize(rows);
+            backwardW[h].resize(rows);
+        }
+        widthScratch.resize(width);
+    }
+
+    Vector scores;       ///< similarity scores (length N)
+    Vector contentW;     ///< content weighting (length N)
+    Vector retention;    ///< retention vector psi (length N)
+    Vector allocW;       ///< allocation weighting (length N)
+    std::vector<Vector> forwardW;  ///< per-head forward weightings (R x N)
+    std::vector<Vector> backwardW; ///< per-head backward weightings (R x N)
+    Vector widthScratch; ///< word-width scratch (length W)
 };
 
 // ---------------------------------------------------------------------

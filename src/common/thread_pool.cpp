@@ -1,0 +1,113 @@
+#include "common/thread_pool.h"
+
+namespace hima {
+
+ThreadPool::ThreadPool(Index threads)
+{
+    HIMA_ASSERT(threads >= 1, "thread pool needs at least one lane");
+    workers_.reserve(threads - 1);
+    for (Index i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    startCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::drain(const std::function<void(Index)> &fn)
+{
+    // Pull indices off the shared counter until the space is exhausted.
+    // Tracking completions (remaining_) separately from claims
+    // (nextIndex_) is what makes the join barrier correct: the space
+    // can be fully *claimed* while calls are still running.
+    for (;;) {
+        const Index i = nextIndex_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobCount_)
+            break;
+        fn(i);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            doneCv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+        const std::function<void(Index)> *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            startCv_.wait(lock, [&] {
+                return stop_ || generation_ != seenGeneration;
+            });
+            if (stop_)
+                return;
+            seenGeneration = generation_;
+            job = job_;
+            // The job can already be complete and cleared by the time a
+            // slow waker gets the mutex (the caller drains its own lane);
+            // job_ is then null and there is nothing to bind to.
+            if (job == nullptr)
+                continue;
+            ++drainers_;
+        }
+        drain(*job);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --drainers_;
+        }
+        doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(Index count, const std::function<void(Index)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty()) {
+        for (Index i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // A worker that finished the previous job but has not yet made
+        // its final (failing) claim would otherwise race onto the fresh
+        // index space with the old function — wait it out.
+        doneCv_.wait(lock, [&] { return drainers_ == 0; });
+        job_ = &fn;
+        jobCount_ = count;
+        nextIndex_.store(0, std::memory_order_relaxed);
+        remaining_.store(count, std::memory_order_relaxed);
+        ++generation_;
+    }
+    startCv_.notify_all();
+
+    drain(fn); // the caller is a lane too
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+    });
+    // Cleared under the mutex so late-waking workers observe null (fn
+    // dies with this frame; a dangling pointer here would be UB to
+    // dereference even without invoking it). jobCount_ is left as-is:
+    // a straggler still inside drain() reads it lock-free, and any
+    // claim it makes against the exhausted index space fails anyway.
+    job_ = nullptr;
+}
+
+} // namespace hima

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A small persistent worker pool for the embarrassingly-parallel parts
+ * of the simulator (the independent DNC-D tiles, Sec. 5.1).
+ *
+ * Design constraints, in order:
+ *   1. Determinism — parallelFor() partitions an index space; every
+ *      index runs exactly once and the call returns only after all of
+ *      them finished, so results are independent of scheduling.
+ *   2. No per-call thread spawn — workers persist across calls, because
+ *      a DNC-D timestep at small shard sizes is far cheaper than a
+ *      pthread_create.
+ *   3. The calling thread participates — a pool constructed with
+ *      `threads` total lanes spawns only threads-1 workers.
+ *
+ * parallelFor() is not reentrant and the pool must be driven from one
+ * thread at a time; that is exactly the DncD use case.
+ */
+
+#ifndef HIMA_COMMON_THREAD_POOL_H
+#define HIMA_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/** Persistent fork-join pool over an index space. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallel lanes (>= 1); the pool spawns
+     *                threads-1 workers and the caller is the last lane
+     */
+    explicit ThreadPool(Index threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run fn(0) .. fn(count-1), work-stealing off a shared atomic
+     * counter; returns after every call completed. fn must not throw.
+     */
+    void parallelFor(Index count, const std::function<void(Index)> &fn);
+
+    /** Total lanes (workers + caller). */
+    Index threads() const { return workers_.size() + 1; }
+
+  private:
+    void workerLoop();
+    void drain(const std::function<void(Index)> &fn);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable startCv_;
+    std::condition_variable doneCv_;
+    const std::function<void(Index)> *job_ = nullptr;
+    Index jobCount_ = 0;
+    std::uint64_t generation_ = 0;
+    std::atomic<Index> nextIndex_{0};
+    std::atomic<Index> remaining_{0};
+    Index drainers_ = 0; ///< workers inside the previous job's index space
+    bool stop_ = false;
+};
+
+} // namespace hima
+
+#endif // HIMA_COMMON_THREAD_POOL_H

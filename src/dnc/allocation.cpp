@@ -1,7 +1,7 @@
 #include "dnc/allocation.h"
 
 #include <algorithm>
-#include <memory>
+#include <optional>
 
 #include "approx/usage_skimming.h"
 #include "common/tensor.h"
@@ -26,56 +26,82 @@ Vector
 allocationWeighting(const Vector &usage, const UsageSortFn &sorter,
                     Index skimK, KernelProfiler *profiler)
 {
+    std::vector<SortRecord> scratch;
+    Vector wa;
+    allocationWeightingInto(usage, &sorter, skimK, scratch, wa, profiler);
+    return wa;
+}
+
+void
+allocationWeightingInto(const Vector &usage, const UsageSortFn *sorter,
+                        Index skimK,
+                        std::vector<SortRecord> &recordScratch, Vector &wa,
+                        KernelProfiler *profiler)
+{
     const Index n = usage.size();
     HIMA_ASSERT(n > 0, "allocation over empty usage");
     HIMA_ASSERT(skimK < n, "cannot skim %zu of %zu", skimK, n);
 
     // --- Skim: drop the K smallest usage entries (Sec. 5.2). ---
-    std::vector<SortRecord> records;
-    records.reserve(n - skimK);
+    recordScratch.clear();
     if (skimK == 0) {
-        records = makeRecords(usage);
+        const Real *pu = usage.data();
+        for (Index i = 0; i < n; ++i)
+            recordScratch.push_back({pu[i], i});
     } else {
         const SkimmedUsage skimmed = skimUsage(usage, skimK);
         for (Index i = 0; i < skimmed.values.size(); ++i)
-            records.push_back({skimmed.values[i], skimmed.indices[i]});
+            recordScratch.push_back({skimmed.values[i], skimmed.indices[i]});
     }
 
     // --- HW.(2) Usage sort (ascending = free list order). ---
-    SortResult sorted;
+    std::uint64_t comparisons = 0;
     {
-        std::unique_ptr<KernelScope> scope;
+        std::optional<KernelScope> scope;
         if (profiler)
-            scope = std::make_unique<KernelScope>(*profiler,
-                                                  Kernel::UsageSort);
-        sorted = sorter(records, SortOrder::Ascending);
+            scope.emplace(*profiler, Kernel::UsageSort);
+        if (sorter) {
+            SortResult sorted =
+                (*sorter)(recordScratch, SortOrder::Ascending);
+            comparisons = sorted.comparisons;
+            recordScratch.swap(sorted.records);
+        } else {
+            // Reference backend, in place: recordLess is a strict total
+            // order, so std::sort realizes the stable-sort permutation
+            // without stable_sort's temporary buffer.
+            std::sort(recordScratch.begin(), recordScratch.end(),
+                      [](const SortRecord &a, const SortRecord &b) {
+                          return recordLess(a, b, SortOrder::Ascending);
+                      });
+        }
         if (profiler) {
             auto &c = profiler->at(Kernel::UsageSort);
-            c.compareOps += sorted.comparisons;
-            c.stateMemAccesses += 2 * records.size(); // read + write back
+            c.compareOps += comparisons;
+            c.stateMemAccesses += 2 * recordScratch.size(); // read + write
         }
     }
-    HIMA_ASSERT(isSorted(sorted.records, SortOrder::Ascending),
+    HIMA_ASSERT(isSorted(recordScratch, SortOrder::Ascending),
                 "usage sort backend returned unsorted output");
 
     // --- HW.(3) Allocation: accumulate products along the free list. ---
-    std::unique_ptr<KernelScope> scope;
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Allocation);
+        scope.emplace(*profiler, Kernel::Allocation);
 
-    Vector wa(n, 0.0);
+    wa.resize(n);
+    wa.fill(0.0);
+    Real *pw = wa.data();
     Real runningProduct = 1.0;
-    for (const SortRecord &rec : sorted.records) {
-        wa[rec.idx] = (1.0 - rec.key) * runningProduct;
+    for (const SortRecord &rec : recordScratch) {
+        pw[rec.idx] = (1.0 - rec.key) * runningProduct;
         runningProduct *= rec.key;
     }
 
     if (profiler) {
         auto &c = profiler->at(Kernel::Allocation);
-        c.elementOps += 2 * sorted.records.size(); // (1-u)*prod and prod*=
-        c.stateMemAccesses += 2 * sorted.records.size();
+        c.elementOps += 2 * recordScratch.size(); // (1-u)*prod and prod*=
+        c.stateMemAccesses += 2 * recordScratch.size();
     }
-    return wa;
 }
 
 } // namespace hima

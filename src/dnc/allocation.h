@@ -53,6 +53,25 @@ Vector allocationWeighting(const Vector &usage,
                            Index skimK = 0,
                            KernelProfiler *profiler = nullptr);
 
+/**
+ * Destination-passing allocation weighting.
+ *
+ * With a null `sorter`, the reference backend (zero modeled cycles) runs
+ * as an in-place std::sort on `recordScratch`, so a steady-state call
+ * with skimK == 0 performs no heap allocation; the permutation is
+ * identical to referenceUsageSort's stable sort because recordLess is a
+ * strict total order. A non-null sorter goes through the pluggable
+ * std::function exactly as the value-returning API does.
+ *
+ * @param recordScratch reusable (key, index) buffer, grown on first use
+ * @param wa            result weighting (resized and overwritten)
+ */
+void allocationWeightingInto(const Vector &usage, const UsageSortFn *sorter,
+                             Index skimK,
+                             std::vector<SortRecord> &recordScratch,
+                             Vector &wa,
+                             KernelProfiler *profiler = nullptr);
+
 } // namespace hima
 
 #endif // HIMA_DNC_ALLOCATION_H

@@ -1,6 +1,7 @@
 #include "dnc/content_addressing.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/math_util.h"
 
@@ -16,27 +17,54 @@ Vector
 ContentAddressing::weighting(const Matrix &memory, const Vector &key,
                              Real strength, KernelProfiler *profiler) const
 {
+    Vector scores;
+    Vector out;
+    weightingInto(memory, key, strength, nullptr, scores, out, profiler);
+    return out;
+}
+
+void
+ContentAddressing::weightingInto(const Matrix &memory, const Vector &key,
+                                 Real strength,
+                                 const Vector *cachedRowNorms,
+                                 Vector &scores, Vector &out,
+                                 KernelProfiler *profiler) const
+{
     HIMA_ASSERT(memory.cols() == key.size(),
                 "key width %zu != memory width %zu",
                 key.size(), memory.cols());
     const Index n = memory.rows();
     const Index w = memory.cols();
+    scores.resize(n);
+    out.resize(n);
 
-    // CW/CR.(1) Normalize: row norms and the key norm.
-    Vector rowNorms(n);
+    // CW/CR.(1) Normalize: row norms and the key norm. With a cache the
+    // row norms are already maintained by the memory write; the hardware
+    // cost model is charged identically either way (the accelerator
+    // normalizes every row each lookup — only the simulator skips work).
+    const Real *rowNorms = nullptr;
     Real keyNorm = 0.0;
     {
-        std::unique_ptr<KernelScope> scope;
+        std::optional<KernelScope> scope;
         if (profiler)
-            scope = std::make_unique<KernelScope>(*profiler,
-                                                  Kernel::Normalize);
-        for (Index i = 0; i < n; ++i) {
-            Real acc = 0.0;
-            for (Index c = 0; c < w; ++c) {
-                const Real v = memory(i, c);
-                acc += v * v;
+            scope.emplace(*profiler, Kernel::Normalize);
+        if (cachedRowNorms) {
+            HIMA_ASSERT(cachedRowNorms->size() == n,
+                        "row-norm cache length %zu != rows %zu",
+                        cachedRowNorms->size(), n);
+            rowNorms = cachedRowNorms->data();
+        } else {
+            // No cache: compute the norms into `out`, which is free as
+            // scratch until the softmax at the end overwrites it.
+            Real *fresh = out.data();
+            for (Index i = 0; i < n; ++i) {
+                const Real *row = memory.rowPtr(i);
+                Real acc = 0.0;
+                for (Index c = 0; c < w; ++c)
+                    acc += row[c] * row[c];
+                fresh[i] = std::sqrt(acc);
             }
-            rowNorms[i] = std::sqrt(acc);
+            rowNorms = fresh;
         }
         keyNorm = key.norm();
         if (profiler) {
@@ -49,18 +77,42 @@ ContentAddressing::weighting(const Matrix &memory, const Vector &key,
     }
 
     // CW/CR.(2) Similarity: cosine scores sharpened and softmaxed.
-    Vector scores(n);
     {
-        std::unique_ptr<KernelScope> scope;
+        std::optional<KernelScope> scope;
         if (profiler)
-            scope = std::make_unique<KernelScope>(*profiler,
-                                                  Kernel::Similarity);
+            scope.emplace(*profiler, Kernel::Similarity);
         constexpr Real eps = 1e-6;
-        for (Index i = 0; i < n; ++i) {
+        const Real *pkey = key.data();
+        Real *ps = scores.data();
+        // Four rows at a time: each row keeps its own accumulator (and
+        // its own j-ascending chain, so results are bit-identical to
+        // the one-row loop); the four independent chains overlap in the
+        // FPU pipeline instead of serializing on add latency.
+        Index i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const Real *r0 = memory.rowPtr(i + 0);
+            const Real *r1 = memory.rowPtr(i + 1);
+            const Real *r2 = memory.rowPtr(i + 2);
+            const Real *r3 = memory.rowPtr(i + 3);
+            Real a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+            for (Index c = 0; c < w; ++c) {
+                const Real kc = pkey[c];
+                a0 += r0[c] * kc;
+                a1 += r1[c] * kc;
+                a2 += r2[c] * kc;
+                a3 += r3[c] * kc;
+            }
+            ps[i + 0] = strength * a0 / (rowNorms[i + 0] * keyNorm + eps);
+            ps[i + 1] = strength * a1 / (rowNorms[i + 1] * keyNorm + eps);
+            ps[i + 2] = strength * a2 / (rowNorms[i + 2] * keyNorm + eps);
+            ps[i + 3] = strength * a3 / (rowNorms[i + 3] * keyNorm + eps);
+        }
+        for (; i < n; ++i) {
+            const Real *row = memory.rowPtr(i);
             Real acc = 0.0;
             for (Index c = 0; c < w; ++c)
-                acc += memory(i, c) * key[c];
-            scores[i] = strength * acc / (rowNorms[i] * keyNorm + eps);
+                acc += row[c] * pkey[c];
+            ps[i] = strength * acc / (rowNorms[i] * keyNorm + eps);
         }
         if (profiler) {
             auto &c = profiler->at(Kernel::Similarity);
@@ -71,13 +123,15 @@ ContentAddressing::weighting(const Matrix &memory, const Vector &key,
         }
     }
 
-    Vector result = approx_ ? approx_->eval(scores) : softmax(scores);
+    if (approx_)
+        approx_->evalInto(scores, out);
+    else
+        softmaxInto(scores, out);
     if (profiler) {
         auto &c = profiler->at(Kernel::Similarity);
         c.specialOps += n;              // exponentials (exact or PLA)
         c.elementOps += n;              // normalization divides
     }
-    return result;
 }
 
 } // namespace hima

@@ -43,6 +43,27 @@ class ContentAddressing
     Vector weighting(const Matrix &memory, const Vector &key, Real strength,
                      KernelProfiler *profiler = nullptr) const;
 
+    /**
+     * Destination-passing variant of weighting(): the caller owns every
+     * buffer, so a steady-state call performs no heap allocation.
+     *
+     * When `cachedRowNorms` is non-null it must hold the L2 norm of each
+     * memory row (the MemoryUnit maintains this cache across writes) and
+     * the O(N*W) norm recompute is skipped; profiler charges still
+     * reflect the full hardware Normalize cost — the cache is a
+     * simulator-speed optimization, not a change to the modeled
+     * architecture. With a null cache the norms are recomputed exactly
+     * as the reference path does.
+     *
+     * @param cachedRowNorms length-N row-norm cache, or nullptr
+     * @param scores         length-N scratch (overwritten)
+     * @param out            result weighting (resized and overwritten)
+     */
+    void weightingInto(const Matrix &memory, const Vector &key,
+                       Real strength, const Vector *cachedRowNorms,
+                       Vector &scores, Vector &out,
+                       KernelProfiler *profiler = nullptr) const;
+
     bool approximate() const { return approx_ != nullptr; }
 
   private:

@@ -1,7 +1,7 @@
 #include "dnc/controller.h"
 
 #include <cmath>
-#include <memory>
+#include <optional>
 
 namespace hima {
 
@@ -21,16 +21,17 @@ Controller::Controller(const DncConfig &config, Rng &rng)
                                  std::sqrt(1.0 / static_cast<Real>(readWidth)));
 }
 
-Vector
+void
 Controller::concatInput(const Vector &input,
-                        const std::vector<Vector> &readVectors) const
+                        const std::vector<Vector> &readVectors,
+                        Vector &feed) const
 {
     HIMA_ASSERT(input.size() == config_.inputSize, "controller input width");
     HIMA_ASSERT(readVectors.size() == config_.readHeads,
                 "read vector arity %zu != %zu",
                 readVectors.size(), config_.readHeads);
 
-    Vector feed(config_.inputSize +
+    feed.resize(config_.inputSize +
                 config_.readHeads * config_.memoryWidth);
     Index pos = 0;
     for (Index i = 0; i < input.size(); ++i)
@@ -40,7 +41,18 @@ Controller::concatInput(const Vector &input,
         for (Index i = 0; i < rv.size(); ++i)
             feed[pos++] = rv[i];
     }
-    return feed;
+}
+
+void
+Controller::concatReads(const std::vector<Vector> &readVectors,
+                        Vector &reads) const
+{
+    HIMA_ASSERT(readVectors.size() == config_.readHeads, "read arity");
+    reads.resize(config_.readHeads * config_.memoryWidth);
+    Index pos = 0;
+    for (const Vector &rv : readVectors)
+        for (Index i = 0; i < rv.size(); ++i)
+            reads[pos++] = rv[i];
 }
 
 InterfaceVector
@@ -48,37 +60,50 @@ Controller::step(const Vector &input,
                  const std::vector<Vector> &readVectors,
                  KernelProfiler *profiler)
 {
-    const Vector hidden = lstm_.step(concatInput(input, readVectors),
-                                     profiler);
+    return stepInto(input, readVectors, profiler);
+}
 
-    std::unique_ptr<KernelScope> scope;
+const InterfaceVector &
+Controller::stepInto(const Vector &input,
+                     const std::vector<Vector> &readVectors,
+                     KernelProfiler *profiler)
+{
+    concatInput(input, readVectors, feed_);
+    const Vector &hidden = lstm_.step(feed_, profiler);
+
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Lstm);
-    const Vector raw = matVec(interfaceHead_, hidden);
+        scope.emplace(*profiler, Kernel::Lstm);
+    matVecInto(interfaceHead_, hidden, rawIface_);
     if (profiler) {
         auto &c = profiler->at(Kernel::Lstm);
         c.macOps += static_cast<std::uint64_t>(interfaceHead_.rows()) *
                     interfaceHead_.cols();
     }
-    return decodeInterface(raw, config_);
+    decodeInterfaceInto(rawIface_, config_, iface_);
+    return iface_;
 }
 
 Vector
 Controller::output(const std::vector<Vector> &readVectors,
                    KernelProfiler *profiler) const
 {
-    HIMA_ASSERT(readVectors.size() == config_.readHeads, "read arity");
-    Vector reads(config_.readHeads * config_.memoryWidth);
-    Index pos = 0;
-    for (const Vector &rv : readVectors)
-        for (Index i = 0; i < rv.size(); ++i)
-            reads[pos++] = rv[i];
+    Vector y;
+    outputInto(readVectors, y, profiler);
+    return y;
+}
 
-    std::unique_ptr<KernelScope> scope;
+void
+Controller::outputInto(const std::vector<Vector> &readVectors, Vector &y,
+                       KernelProfiler *profiler) const
+{
+    concatReads(readVectors, reads_);
+
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Lstm);
-    Vector y = add(matVec(outputHead_, lstm_.hidden()),
-                   matVec(readHead_, reads));
+        scope.emplace(*profiler, Kernel::Lstm);
+    matVecInto(outputHead_, lstm_.hidden(), y);
+    matVecAccumulate(readHead_, reads_, y);
     if (profiler) {
         auto &c = profiler->at(Kernel::Lstm);
         c.macOps += static_cast<std::uint64_t>(outputHead_.rows()) *
@@ -86,7 +111,6 @@ Controller::output(const std::vector<Vector> &readVectors,
                     static_cast<std::uint64_t>(readHead_.rows()) *
                         readHead_.cols();
     }
-    return y;
 }
 
 void

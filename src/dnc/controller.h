@@ -35,11 +35,24 @@ class Controller
                          KernelProfiler *profiler = nullptr);
 
     /**
+     * Allocation-free step: identical numerics to step(), but the
+     * decoded interface lives in member storage (valid until the next
+     * stepInto/step call) and all temporaries reuse member scratch.
+     */
+    const InterfaceVector &stepInto(const Vector &input,
+                                    const std::vector<Vector> &readVectors,
+                                    KernelProfiler *profiler = nullptr);
+
+    /**
      * Model output for the *current* step: y = W_y h + W_r [reads]. Call
      * after the memory unit has produced this step's read vectors.
      */
     Vector output(const std::vector<Vector> &readVectors,
                   KernelProfiler *profiler = nullptr) const;
+
+    /** Destination-passing output (y resized and overwritten). */
+    void outputInto(const std::vector<Vector> &readVectors, Vector &y,
+                    KernelProfiler *profiler = nullptr) const;
 
     void reset();
 
@@ -47,14 +60,24 @@ class Controller
 
   private:
     /** Concatenate input and read vectors into the LSTM feed. */
-    Vector concatInput(const Vector &input,
-                       const std::vector<Vector> &readVectors) const;
+    void concatInput(const Vector &input,
+                     const std::vector<Vector> &readVectors,
+                     Vector &feed) const;
+
+    /** Concatenate the R read vectors into one readWidth vector. */
+    void concatReads(const std::vector<Vector> &readVectors,
+                     Vector &reads) const;
 
     DncConfig config_;
     LstmCell lstm_;
     Matrix interfaceHead_; ///< hidden -> interface emission
     Matrix outputHead_;    ///< hidden -> output
     Matrix readHead_;      ///< concatenated reads -> output
+
+    Vector feed_;           ///< [input; reads] scratch
+    Vector rawIface_;       ///< pre-constraint interface emission scratch
+    mutable Vector reads_;  ///< concatenated-reads scratch for output()
+    InterfaceVector iface_; ///< decoded interface storage for stepInto()
 };
 
 } // namespace hima

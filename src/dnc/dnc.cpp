@@ -1,5 +1,7 @@
 #include "dnc/dnc.h"
 
+#include <algorithm>
+
 namespace hima {
 
 Dnc::Dnc(const DncConfig &config, std::uint64_t seed)
@@ -12,10 +14,13 @@ Vector
 Dnc::step(const Vector &input)
 {
     KernelProfiler &prof = memory_.profiler();
-    const InterfaceVector iface =
-        controller_.step(input, lastReads_, &prof);
-    MemoryReadout readout = memory_.step(iface);
-    lastReads_ = readout.readVectors;
+    const InterfaceVector &iface =
+        controller_.stepInto(input, lastReads_, &prof);
+    memory_.stepInto(iface, readout_);
+    for (Index head = 0; head < config_.readHeads; ++head)
+        std::copy(readout_.readVectors[head].begin(),
+                  readout_.readVectors[head].end(),
+                  lastReads_[head].begin());
     return controller_.output(lastReads_, &prof);
 }
 

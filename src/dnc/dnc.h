@@ -64,6 +64,7 @@ class Dnc
     Controller controller_;
     MemoryUnit memory_;
     std::vector<Vector> lastReads_;
+    MemoryReadout readout_; ///< reused across step() calls (no realloc)
 };
 
 } // namespace hima

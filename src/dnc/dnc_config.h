@@ -44,6 +44,25 @@ struct DncConfig
     /** Quantize memory and weightings through the Q16.16 datapath. */
     bool fixedPoint = false;
 
+    /**
+     * Software worker threads for the independent DNC-D tiles. The
+     * default of 1 executes tiles sequentially and is bit-identical to
+     * the reference implementation; higher values run tiles on a thread
+     * pool (the merge stays deterministic either way).
+     */
+    Index numThreads = 1;
+
+    /**
+     * Simulator-speed knob: memory-write rows whose write weight is at
+     * or below this threshold are left untouched, making the write and
+     * the row-norm maintenance O(touched * W) instead of O(N * W). Zero
+     * (default) skips only exactly-zero weights and matches the
+     * reference DNC bit-for-bit; small positive values (~1e-12..1e-9)
+     * trade exactness for speed in the spirit of the paper's usage
+     * skimming. Hardware cost charges are unaffected.
+     */
+    Real writeSkipThreshold = 0.0;
+
     /** Interface vector width for these shapes (DNC paper layout). */
     Index
     interfaceSize() const
@@ -73,6 +92,11 @@ struct DncConfig
         }
         if (skimRate < 0.0 || skimRate >= 1.0)
             HIMA_FATAL("DncConfig: skim rate %f outside [0, 1)", skimRate);
+        if (numThreads == 0)
+            HIMA_FATAL("DncConfig: numThreads must be >= 1");
+        if (writeSkipThreshold < 0.0 || writeSkipThreshold >= 1.0)
+            HIMA_FATAL("DncConfig: write skip threshold %f outside [0, 1)",
+                       writeSkipThreshold);
     }
 };
 

@@ -1,5 +1,6 @@
 #include "dnc/dncd.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/math_util.h"
@@ -18,29 +19,36 @@ DncD::DncD(const DncConfig &config, Index tiles, MergePolicy policy)
     shards_.reserve(tiles_);
     for (Index t = 0; t < tiles_; ++t)
         shards_.push_back(std::make_unique<MemoryUnit>(shardConfig_));
+    locals_.resize(tiles_);
+
+    if (config.numThreads > 1)
+        pool_ = std::make_unique<ThreadPool>(config.numThreads);
 }
 
-std::vector<Real>
-DncD::mergeWeights(const Vector &key, Real strength) const
+void
+DncD::forEachTile(const std::function<void(Index)> &fn)
 {
-    std::vector<Real> alphas(tiles_, 1.0 / static_cast<Real>(tiles_));
-    if (policy_ == MergePolicy::Uniform)
-        return alphas;
-
-    // Confidence gating: each tile scores its best cosine match against
-    // the read key; a softmax over tiles yields the alphas.
-    Vector scores(tiles_);
-    for (Index t = 0; t < tiles_; ++t) {
-        const Matrix &mem = shards_[t]->memory();
-        Real best = -1.0;
-        for (Index i = 0; i < mem.rows(); ++i)
-            best = std::max(best, cosineSimilarity(mem.row(i), key));
-        scores[t] = strength * best;
+    if (pool_) {
+        pool_->parallelFor(tiles_, fn);
+    } else {
+        for (Index t = 0; t < tiles_; ++t)
+            fn(t);
     }
-    const Vector sm = softmax(scores);
-    for (Index t = 0; t < tiles_; ++t)
-        alphas[t] = sm[t];
-    return alphas;
+}
+
+Real
+DncD::confidenceScore(Index tile, const Vector &key, Real strength) const
+{
+    const Matrix &mem = shards_[tile]->memory();
+    const Vector &norms = shards_[tile]->rowNorms();
+    const Real keyNorm = key.norm();
+    constexpr Real eps = 1e-6;
+    Real best = -1.0;
+    for (Index i = 0; i < mem.rows(); ++i) {
+        const Real cos = dotRow(mem, i, key) / (norms[i] * keyNorm + eps);
+        best = std::max(best, cos);
+    }
+    return strength * best;
 }
 
 MemoryReadout
@@ -57,39 +65,62 @@ DncD::stepInterfaces(const std::vector<InterfaceVector> &ifaces)
     const Index w = globalConfig_.memoryWidth;
     const Index r = globalConfig_.readHeads;
 
-    // Local soft write + soft read on every shard (parallel on hardware).
-    std::vector<MemoryReadout> locals;
-    locals.reserve(tiles_);
-    for (Index t = 0; t < tiles_; ++t)
-        locals.push_back(shards_[t]->step(ifaces[t]));
+    // Local soft write + soft read on every shard. Tiles share no state
+    // (Fig. 8: all state memories are sharded), so they execute on the
+    // pool; numThreads == 1 runs them sequentially, bit-identically.
+    forEachTile([&](Index t) { shards_[t]->stepInto(ifaces[t], locals_[t]); });
+
+    // Alpha selection per head. Read keys are shared across tiles
+    // (queries broadcast); use tile 0's copy for the confidence gating.
+    // For history-dominated reads (forward/backward mode) there is no
+    // content key to score — the trained gate carries the previous
+    // step's attention, so we reuse the last alphas (the tile that held
+    // the anchor keeps owning the chain).
+    prevAlphas_ = lastAlphas_;
+    lastAlphas_.assign(r, std::vector<Real>(tiles_,
+                                            1.0 / static_cast<Real>(tiles_)));
+    scoredHeads_.clear();
+    for (Index head = 0; head < r; ++head) {
+        const ReadMode &mode = ifaces[0].readModes[head];
+        if (mode.content < 0.5 && head < prevAlphas_.size() &&
+            !prevAlphas_[head].empty()) {
+            lastAlphas_[head] = prevAlphas_[head];
+        } else if (policy_ == MergePolicy::Confidence) {
+            scoredHeads_.push_back(head);
+        }
+        // Uniform policy keeps the 1/Nt initialization.
+    }
+
+    if (!scoredHeads_.empty()) {
+        // Content-confidence gating (Sec. 5.1): every (head, tile) score
+        // is independent, so the scan parallelizes over tiles.
+        scoreScratch_.assign(scoredHeads_.size() * tiles_, 0.0);
+        forEachTile([&](Index t) {
+            for (Index k = 0; k < scoredHeads_.size(); ++k) {
+                const Index head = scoredHeads_[k];
+                scoreScratch_[k * tiles_ + t] =
+                    confidenceScore(t, ifaces[0].readKeys[head],
+                                    ifaces[0].readStrengths[head]);
+            }
+        });
+        Vector scores(tiles_);
+        for (Index k = 0; k < scoredHeads_.size(); ++k) {
+            for (Index t = 0; t < tiles_; ++t)
+                scores[t] = scoreScratch_[k * tiles_ + t];
+            const Vector sm = softmax(scores);
+            for (Index t = 0; t < tiles_; ++t)
+                lastAlphas_[scoredHeads_[k]][t] = sm[t];
+        }
+    }
 
     // Read-vector merge: v_r = sum_t alpha_t v_r_t (Eq. 4).
     MemoryReadout merged;
     merged.readVectors.assign(r, Vector(w));
-    prevAlphas_ = lastAlphas_;
-    lastAlphas_.assign(r, std::vector<Real>(tiles_, 0.0));
     for (Index head = 0; head < r; ++head) {
-        // Read keys are shared across tiles (queries broadcast); use
-        // tile 0's copy for the confidence gating. For history-dominated
-        // reads (forward/backward mode) there is no content key to score
-        // — the trained gate carries the previous step's attention, so
-        // we reuse the last alphas (the tile that held the anchor keeps
-        // owning the chain).
-        std::vector<Real> alphas;
-        const ReadMode &mode = ifaces[0].readModes[head];
-        if (mode.content < 0.5 && head < prevAlphas_.size() &&
-            !prevAlphas_[head].empty()) {
-            alphas = prevAlphas_[head];
-        } else {
-            alphas = mergeWeights(ifaces[0].readKeys[head],
-                                  ifaces[0].readStrengths[head]);
-        }
-        lastAlphas_[head] = alphas;
-        for (Index t = 0; t < tiles_; ++t) {
-            const Vector &local = locals[t].readVectors[head];
-            for (Index c = 0; c < w; ++c)
-                merged.readVectors[head][c] += alphas[t] * local[c];
-        }
+        const std::vector<Real> &alphas = lastAlphas_[head];
+        for (Index t = 0; t < tiles_; ++t)
+            axpy(alphas[t], locals_[t].readVectors[head],
+                 merged.readVectors[head]);
     }
 
     // Concatenated (global-view) weightings for inspection: tile t's
@@ -101,13 +132,13 @@ DncD::stepInterfaces(const std::vector<InterfaceVector> &ifaces)
         for (Index head = 0; head < r; ++head) {
             for (Index i = 0; i < shardRows; ++i) {
                 merged.readWeightings[head][t * shardRows + i] =
-                    locals[t].readWeightings[head][i] *
+                    locals_[t].readWeightings[head][i] *
                     lastAlphas_[head][t];
             }
         }
         for (Index i = 0; i < shardRows; ++i) {
             merged.writeWeighting[t * shardRows + i] =
-                locals[t].writeWeighting[i] / static_cast<Real>(tiles_);
+                locals_[t].writeWeighting[i] / static_cast<Real>(tiles_);
         }
     }
     return merged;

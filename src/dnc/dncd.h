@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "dnc/dnc.h"
 
 namespace hima {
@@ -41,7 +42,10 @@ class DncD
 {
   public:
     /**
-     * @param config full-size DNC shapes (memoryRows is the *global* N)
+     * @param config full-size DNC shapes (memoryRows is the *global* N;
+     *               config.numThreads > 1 runs the independent tiles on
+     *               a persistent thread pool — numThreads == 1 is the
+     *               sequential reference and bit-identical to it)
      * @param tiles  shard count Nt; must divide memoryRows
      * @param policy read-vector merge policy
      */
@@ -82,8 +86,16 @@ class DncD
     KernelProfiler aggregateProfile() const;
 
   private:
-    /** Per-head tile confidences -> alphas under the merge policy. */
-    std::vector<Real> mergeWeights(const Vector &key, Real strength) const;
+    /**
+     * Tile t's content confidence for a read key: the best row cosine,
+     * sharpened by the strength. Scored through the shard's row-norm
+     * cache (no per-row Vector copies).
+     */
+    Real confidenceScore(Index tile, const Vector &key,
+                         Real strength) const;
+
+    /** Run fn(0..tiles_-1), on the pool when one is configured. */
+    void forEachTile(const std::function<void(Index)> &fn);
 
     DncConfig globalConfig_;
     DncConfig shardConfig_;
@@ -92,6 +104,11 @@ class DncD
     std::vector<std::unique_ptr<MemoryUnit>> shards_;
     std::vector<std::vector<Real>> lastAlphas_;
     std::vector<std::vector<Real>> prevAlphas_;
+
+    std::unique_ptr<ThreadPool> pool_;   ///< present when numThreads > 1
+    std::vector<MemoryReadout> locals_;  ///< per-tile readouts, reused
+    std::vector<Index> scoredHeads_;     ///< heads needing fresh alphas
+    std::vector<Real> scoreScratch_;     ///< scoredHeads x tiles scores
 };
 
 } // namespace hima

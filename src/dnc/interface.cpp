@@ -1,11 +1,23 @@
 #include "dnc/interface.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/math_util.h"
 
 namespace hima {
 
 InterfaceVector
 decodeInterface(const Vector &raw, const DncConfig &config)
+{
+    InterfaceVector iface;
+    decodeInterfaceInto(raw, config, iface);
+    return iface;
+}
+
+void
+decodeInterfaceInto(const Vector &raw, const DncConfig &config,
+                    InterfaceVector &out)
 {
     HIMA_ASSERT(raw.size() == config.interfaceSize(),
                 "interface width %zu != expected %zu",
@@ -14,47 +26,56 @@ decodeInterface(const Vector &raw, const DncConfig &config)
     const Index w = config.memoryWidth;
     const Index r = config.readHeads;
 
-    InterfaceVector iface;
     Index pos = 0;
 
-    auto takeVector = [&](Index len) {
-        Vector v(len);
+    auto takeVectorInto = [&](Index len, Vector &v) {
+        v.resize(len);
         for (Index i = 0; i < len; ++i)
             v[i] = raw[pos + i];
         pos += len;
-        return v;
     };
     auto takeScalar = [&] { return raw[pos++]; };
 
-    iface.readKeys.reserve(r);
+    out.readKeys.resize(r);
     for (Index i = 0; i < r; ++i)
-        iface.readKeys.push_back(takeVector(w));
+        takeVectorInto(w, out.readKeys[i]);
 
-    iface.readStrengths.reserve(r);
+    out.readStrengths.resize(r);
     for (Index i = 0; i < r; ++i)
-        iface.readStrengths.push_back(oneplus(takeScalar()));
+        out.readStrengths[i] = oneplus(takeScalar());
 
-    iface.writeKey = takeVector(w);
-    iface.writeStrength = oneplus(takeScalar());
-    iface.eraseVector = sigmoidVec(takeVector(w));
-    iface.writeVector = takeVector(w);
+    takeVectorInto(w, out.writeKey);
+    out.writeStrength = oneplus(takeScalar());
+    takeVectorInto(w, out.eraseVector);
+    for (Index i = 0; i < w; ++i)
+        out.eraseVector[i] = sigmoid(out.eraseVector[i]);
+    takeVectorInto(w, out.writeVector);
 
-    iface.freeGates.reserve(r);
+    out.freeGates.resize(r);
     for (Index i = 0; i < r; ++i)
-        iface.freeGates.push_back(sigmoid(takeScalar()));
+        out.freeGates[i] = sigmoid(takeScalar());
 
-    iface.allocationGate = sigmoid(takeScalar());
-    iface.writeGate = sigmoid(takeScalar());
+    out.allocationGate = sigmoid(takeScalar());
+    out.writeGate = sigmoid(takeScalar());
 
-    iface.readModes.reserve(r);
+    out.readModes.resize(r);
     for (Index i = 0; i < r; ++i) {
-        Vector mode = softmax(takeVector(3));
-        iface.readModes.push_back({mode[0], mode[1], mode[2]});
+        // Inline 3-way softmax, arithmetic-identical to softmaxInto().
+        const Real a = takeScalar();
+        const Real b = takeScalar();
+        const Real c = takeScalar();
+        const Real m = std::max(a, std::max(b, c));
+        Real ea = std::exp(a - m);
+        Real denom = ea;
+        Real eb = std::exp(b - m);
+        denom += eb;
+        Real ec = std::exp(c - m);
+        denom += ec;
+        out.readModes[i] = {ea / denom, eb / denom, ec / denom};
     }
 
     HIMA_ASSERT(pos == raw.size(), "interface decode consumed %zu of %zu",
                 pos, raw.size());
-    return iface;
 }
 
 void

@@ -47,6 +47,15 @@ struct InterfaceVector
 InterfaceVector decodeInterface(const Vector &raw, const DncConfig &config);
 
 /**
+ * Destination-passing decode: field buffers inside `out` are resized and
+ * overwritten, so decoding into the same InterfaceVector every timestep
+ * performs zero steady-state heap allocations. Bit-identical to
+ * decodeInterface().
+ */
+void decodeInterfaceInto(const Vector &raw, const DncConfig &config,
+                         InterfaceVector &out);
+
+/**
  * Re-encode an InterfaceVector into pre-constraint raw form is not
  * possible (the non-linearities are not all invertible at the edges), but
  * tests and workloads need to *construct* scripted interfaces directly;

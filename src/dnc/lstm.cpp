@@ -1,7 +1,7 @@
 #include "dnc/lstm.h"
 
 #include <cmath>
-#include <memory>
+#include <optional>
 
 #include "common/math_util.h"
 
@@ -17,34 +17,41 @@ LstmCell::LstmCell(Index inputSize, Index hiddenSize, Rng &rng)
         wx_[g] = rng.normalMatrix(hiddenSize, inputSize, 0.0, xs);
         wh_[g] = rng.normalMatrix(hiddenSize, hiddenSize, 0.0, xs);
         bias_[g] = Vector(hiddenSize);
+        gates_[g] = Vector(hiddenSize);
     }
     // Positive forget-gate bias: standard recipe for stable recurrence.
     bias_[1] = Vector(hiddenSize, 1.0);
 }
 
-Vector
+const Vector &
 LstmCell::step(const Vector &input, KernelProfiler *profiler)
 {
     HIMA_ASSERT(input.size() == inputSize_, "LSTM input width %zu != %zu",
                 input.size(), inputSize_);
 
-    std::unique_ptr<KernelScope> scope;
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Lstm);
+        scope.emplace(*profiler, Kernel::Lstm);
 
-    Vector gate[4];
-    for (int g = 0; g < 4; ++g)
-        gate[g] = add(add(matVec(wx_[g], input), matVec(wh_[g], hidden_)),
-                      bias_[g]);
+    for (int g = 0; g < 4; ++g) {
+        matVecInto(wx_[g], input, gates_[g]);
+        matVecAccumulate(wh_[g], hidden_, gates_[g]);
+        addInPlace(gates_[g], bias_[g]);
+    }
 
-    const Vector i = sigmoidVec(gate[0]);
-    const Vector f = sigmoidVec(gate[1]);
-    const Vector cand = tanhVec(gate[2]);
-    const Vector o = sigmoidVec(gate[3]);
-
+    const Real *gi = gates_[0].data();
+    const Real *gf = gates_[1].data();
+    const Real *gc = gates_[2].data();
+    const Real *go = gates_[3].data();
+    Real *cell = cell_.data();
+    Real *hidden = hidden_.data();
     for (Index k = 0; k < hiddenSize_; ++k) {
-        cell_[k] = f[k] * cell_[k] + i[k] * cand[k];
-        hidden_[k] = o[k] * std::tanh(cell_[k]);
+        const Real i = sigmoid(gi[k]);
+        const Real f = sigmoid(gf[k]);
+        const Real cand = std::tanh(gc[k]);
+        const Real o = sigmoid(go[k]);
+        cell[k] = f * cell[k] + i * cand;
+        hidden[k] = o * std::tanh(cell[k]);
     }
 
     if (profiler) {

@@ -25,8 +25,14 @@ class LstmCell
      */
     LstmCell(Index inputSize, Index hiddenSize, Rng &rng);
 
-    /** One recurrence step; returns the new hidden state. */
-    Vector step(const Vector &input, KernelProfiler *profiler = nullptr);
+    /**
+     * One recurrence step; returns the new hidden state. The reference
+     * to the internal state stays valid until the next step()/reset().
+     * Gate pre-activations live in member scratch, so a steady-state
+     * step performs zero heap allocations.
+     */
+    const Vector &step(const Vector &input,
+                       KernelProfiler *profiler = nullptr);
 
     /** Zero the recurrent state. */
     void reset();
@@ -48,6 +54,7 @@ class LstmCell
     Matrix wx_[4];
     Matrix wh_[4];
     Vector bias_[4];
+    Vector gates_[4]; ///< pre-activation scratch, one per gate
 
     Vector hidden_;
     Vector cell_;

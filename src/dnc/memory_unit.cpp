@@ -1,6 +1,8 @@
 #include "dnc/memory_unit.h"
 
-#include <memory>
+#include <algorithm>
+#include <cmath>
+#include <optional>
 
 #include "approx/fixed_point.h"
 #include "common/math_util.h"
@@ -14,12 +16,15 @@ MemoryUnit::MemoryUnit(const DncConfig &config)
       skimK_(static_cast<Index>(config.skimRate *
                                 static_cast<Real>(config.memoryRows))),
       memory_(config.memoryRows, config.memoryWidth),
+      rowNorms_(config.memoryRows),
       usage_(config.memoryRows),
       linkage_(config.memoryRows),
       writeWeighting_(config.memoryRows),
-      readWeightings_(config.readHeads, Vector(config.memoryRows))
+      readWeightings_(config.readHeads, Vector(config.memoryRows)),
+      ws_(config.memoryRows, config.memoryWidth, config.readHeads)
 {
     config_.validate();
+    sortRecords_.reserve(config.memoryRows);
 }
 
 void
@@ -27,56 +32,86 @@ MemoryUnit::setUsageSorter(UsageSortFn sorter)
 {
     HIMA_ASSERT(static_cast<bool>(sorter), "null usage sorter");
     usageSorter_ = std::move(sorter);
+    customSorter_ = true;
 }
 
 MemoryReadout
 MemoryUnit::step(const InterfaceVector &iface)
 {
-    validateInterface(iface, config_);
-
     MemoryReadout out;
-    const Vector writeWeighting = softWrite(iface);
-
-    // HR.(1)-(2): linkage must see the *previous* precedence, so the
-    // linkage update precedes the precedence update.
-    linkage_.updateLinkage(writeWeighting, &profiler_);
-    linkage_.updatePrecedence(writeWeighting, &profiler_);
-
-    writeWeighting_ = writeWeighting;
-    out.writeWeighting = writeWeighting;
-
-    softRead(iface, out);
+    stepInto(iface, out);
     return out;
 }
 
-Vector
-MemoryUnit::softWrite(const InterfaceVector &iface)
+void
+MemoryUnit::stepInto(const InterfaceVector &iface, MemoryReadout &out)
+{
+    validateInterface(iface, config_);
+
+    const Index n = config_.memoryRows;
+    const Index w = config_.memoryWidth;
+    const Index r = config_.readHeads;
+
+    // Size the readout; a no-op (and allocation-free) once `out` has
+    // been through one step with these shapes.
+    out.writeWeighting.resize(n);
+    if (out.readVectors.size() != r)
+        out.readVectors.resize(r);
+    if (out.readWeightings.size() != r)
+        out.readWeightings.resize(r);
+    for (Index head = 0; head < r; ++head) {
+        out.readVectors[head].resize(w);
+        out.readWeightings[head].resize(n);
+    }
+
+    softWrite(iface, out.writeWeighting);
+
+    // HR.(1)-(3): linkage must see the *previous* precedence, so the
+    // linkage update precedes the precedence update. The update and the
+    // per-head forward/backward weightings run as one fused traversal
+    // of L (bit-identical to the separate kernels); the soft-read loop
+    // below consumes the precomputed weightings.
+    linkage_.updateAndRead(out.writeWeighting, readWeightings_,
+                           ws_.forwardW, ws_.backwardW, &profiler_);
+    linkage_.updatePrecedence(out.writeWeighting, &profiler_);
+
+    std::copy(out.writeWeighting.begin(), out.writeWeighting.end(),
+              writeWeighting_.begin());
+
+    softRead(iface, out);
+}
+
+void
+MemoryUnit::softWrite(const InterfaceVector &iface, Vector &writeWeighting)
 {
     const Index n = config_.memoryRows;
 
-    // CW.(1)-(2): content-based write weighting.
-    const Vector contentW = addressing_.weighting(
-        memory_, iface.writeKey, iface.writeStrength, &profiler_);
+    // CW.(1)-(2): content-based write weighting, using the maintained
+    // row-norm cache instead of an O(N*W) recompute.
+    addressing_.weightingInto(memory_, iface.writeKey, iface.writeStrength,
+                              &rowNorms_, ws_.scores, ws_.contentW,
+                              &profiler_);
 
     // HW.(1)-(2): retention then usage update (uses *previous* write and
     // read weightings).
-    const Vector psi =
-        retentionVector(iface.freeGates, readWeightings_, &profiler_);
-    usage_ = updateUsage(usage_, writeWeighting_, psi, &profiler_);
+    retentionInto(iface.freeGates, readWeightings_, ws_.retention,
+                  &profiler_);
+    updateUsageInPlace(usage_, writeWeighting_, ws_.retention, &profiler_);
 
     // HW.(2)-(3): usage sort + allocation weighting (optionally skimmed).
-    const Vector alloc =
-        allocationWeighting(usage_, usageSorter_, skimK_, &profiler_);
+    allocationWeightingInto(usage_, customSorter_ ? &usageSorter_ : nullptr,
+                            skimK_, sortRecords_, ws_.allocW, &profiler_);
 
     // WM: merge content and allocation paths under the gates.
-    Vector writeWeighting(n);
     {
-        std::unique_ptr<KernelScope> scope =
-            std::make_unique<KernelScope>(profiler_, Kernel::WriteMerge);
+        KernelScope scope(profiler_, Kernel::WriteMerge);
         const Real ga = iface.allocationGate;
         const Real gw = iface.writeGate;
+        const Real *alloc = ws_.allocW.data();
+        const Real *content = ws_.contentW.data();
+        Real *ww = writeWeighting.data();
         for (Index i = 0; i < n; ++i)
-            writeWeighting[i] = gw * (ga * alloc[i] + (1.0 - ga) * contentW[i]);
+            ww[i] = gw * (ga * alloc[i] + (1.0 - ga) * content[i]);
         auto &c = profiler_.at(Kernel::WriteMerge);
         c.elementOps += 3 * n;
         c.stateMemAccesses += 3 * n;
@@ -86,32 +121,48 @@ MemoryUnit::softWrite(const InterfaceVector &iface)
     memoryWrite(writeWeighting, iface.eraseVector, iface.writeVector);
 
     if (config_.fixedPoint)
-        writeWeighting = quantize(writeWeighting);
-    return writeWeighting;
+        quantizeInPlace(writeWeighting);
 }
 
 void
 MemoryUnit::memoryWrite(const Vector &writeWeighting, const Vector &erase,
                         const Vector &write)
 {
-    std::unique_ptr<KernelScope> scope =
-        std::make_unique<KernelScope>(profiler_, Kernel::MemoryWrite);
+    KernelScope scope(profiler_, Kernel::MemoryWrite);
 
     const Index n = config_.memoryRows;
     const Index w = config_.memoryWidth;
+    const Real threshold = config_.writeSkipThreshold;
+    const bool fixed = config_.fixedPoint;
+
     // M <- M .* (E - w_w e^T) + w_w v^T, computed row-at-a-time: the
     // outer products never materialize, matching the PE-array dataflow.
+    // Each touched row's L2 norm is refreshed in the same pass, which is
+    // what keeps the content-addressing Normalize stage O(touched * W)
+    // in simulator time. Skipped rows (weight <= threshold; exactly the
+    // zero-weight rows at the default threshold of 0) are unmodified, so
+    // their cached norms stay valid by construction.
+    const Real *ww = writeWeighting.data();
+    const Real *pe = erase.data();
+    const Real *pv = write.data();
     for (Index i = 0; i < n; ++i) {
-        const Real wi = writeWeighting[i];
-        if (wi == 0.0)
+        const Real wi = ww[i];
+        if (wi <= threshold)
             continue;
-        for (Index c = 0; c < w; ++c)
-            memory_(i, c) = memory_(i, c) * (1.0 - wi * erase[c])
-                          + wi * write[c];
+        Real *row = memory_.rowPtr(i);
+        Real acc = 0.0;
+        for (Index c = 0; c < w; ++c) {
+            Real v = row[c] * (1.0 - wi * pe[c]) + wi * pv[c];
+            if (fixed)
+                v = Fix32::fromReal(v).toReal();
+            row[c] = v;
+            acc += v * v;
+        }
+        rowNorms_[i] = std::sqrt(acc);
     }
-    if (config_.fixedPoint)
-        memory_ = quantize(memory_);
 
+    // The hardware writes (and, in fixed-point mode, requantizes) every
+    // row each step; charge the full cost regardless of software skips.
     auto &counters = profiler_.at(Kernel::MemoryWrite);
     counters.elementOps += 4 * static_cast<std::uint64_t>(n) * w;
     counters.extMemAccesses += 2 * static_cast<std::uint64_t>(n) * w;
@@ -125,54 +176,48 @@ MemoryUnit::softRead(const InterfaceVector &iface, MemoryReadout &out)
     const Index w = config_.memoryWidth;
     const Index r = config_.readHeads;
 
-    out.readVectors.reserve(r);
-    out.readWeightings.reserve(r);
-
     for (Index head = 0; head < r; ++head) {
-        // HR.(3): forward/backward via the linkage matrix.
-        const Vector fwd =
-            linkage_.forwardWeighting(readWeightings_[head], &profiler_);
-        const Vector bwd =
-            linkage_.backwardWeighting(readWeightings_[head], &profiler_);
-
-        // CR.(1)-(2): content-based read weighting.
-        const Vector content = addressing_.weighting(
-            memory_, iface.readKeys[head], iface.readStrengths[head],
-            &profiler_);
+        // CR.(1)-(2): content-based read weighting. (HR.(3) forward/
+        // backward were precomputed by the fused linkage sweep.)
+        addressing_.weightingInto(memory_, iface.readKeys[head],
+                                  iface.readStrengths[head], &rowNorms_,
+                                  ws_.scores, ws_.contentW, &profiler_);
 
         // RM: mode-weighted merge onto the simplex.
-        Vector weighting(n);
+        Vector &weighting = out.readWeightings[head];
         {
             KernelScope scope(profiler_, Kernel::ReadMerge);
             const ReadMode &mode = iface.readModes[head];
+            const Real *fwd = ws_.forwardW[head].data();
+            const Real *bwd = ws_.backwardW[head].data();
+            const Real *content = ws_.contentW.data();
+            Real *pw = weighting.data();
             for (Index i = 0; i < n; ++i) {
-                weighting[i] = mode.backward * bwd[i]
-                             + mode.content * content[i]
-                             + mode.forward * fwd[i];
+                pw[i] = mode.backward * bwd[i]
+                      + mode.content * content[i]
+                      + mode.forward * fwd[i];
             }
             auto &c = profiler_.at(Kernel::ReadMerge);
             c.elementOps += 3 * n;
             c.stateMemAccesses += 4 * n;
         }
         if (config_.fixedPoint)
-            weighting = quantize(weighting);
+            quantizeInPlace(weighting);
 
         // MR: v_r = M^T w_r.
-        Vector readVector(w);
         {
             KernelScope scope(profiler_, Kernel::MemoryRead);
-            readVector = matTVec(memory_, weighting);
+            matTVecInto(memory_, weighting, out.readVectors[head]);
             auto &c = profiler_.at(Kernel::MemoryRead);
             c.macOps += static_cast<std::uint64_t>(n) * w;
             c.extMemAccesses += static_cast<std::uint64_t>(n) * w;
             c.stateMemAccesses += n;
         }
         if (config_.fixedPoint)
-            readVector = quantize(readVector);
+            quantizeInPlace(out.readVectors[head]);
 
-        readWeightings_[head] = weighting;
-        out.readWeightings.push_back(std::move(weighting));
-        out.readVectors.push_back(std::move(readVector));
+        std::copy(weighting.begin(), weighting.end(),
+                  readWeightings_[head].begin());
     }
 }
 
@@ -180,6 +225,7 @@ void
 MemoryUnit::reset()
 {
     memory_.fill(0.0);
+    rowNorms_.fill(0.0);
     usage_.fill(0.0);
     linkage_.reset();
     writeWeighting_.fill(0.0);

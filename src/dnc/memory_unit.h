@@ -13,6 +13,12 @@
  *
  * All state (M, u, p, L, previous weightings) lives here; the LSTM
  * controller is external. Every kernel charges the KernelProfiler.
+ *
+ * The hot path is allocation-free: stepInto() writes into a caller-owned
+ * MemoryReadout, every temporary lives in a preallocated Workspace, and
+ * the per-row L2 norms needed by content addressing are maintained
+ * incrementally by the memory write instead of being recomputed for
+ * every head every timestep.
  */
 
 #ifndef HIMA_DNC_MEMORY_UNIT_H
@@ -53,6 +59,14 @@ class MemoryUnit
      */
     MemoryReadout step(const InterfaceVector &iface);
 
+    /**
+     * Allocation-free step: identical numerics to step(), but the result
+     * is written into a caller-owned readout whose buffers are reused
+     * across calls. After the first call sizes `out`, a steady-state
+     * step performs zero heap allocations (asserted in tests).
+     */
+    void stepInto(const InterfaceVector &iface, MemoryReadout &out);
+
     /** Zero all state (episode boundary). */
     void reset();
 
@@ -67,6 +81,14 @@ class MemoryUnit
     }
     const DncConfig &config() const { return config_; }
 
+    /**
+     * Cached L2 norm of each memory row, maintained by the memory write.
+     * Invariant (tested): rowNorms()[i] == memory().row(i).norm() for
+     * every i, bit-for-bit, because the cache is refreshed from exactly
+     * the rows the write touches.
+     */
+    const Vector &rowNorms() const { return rowNorms_; }
+
     KernelProfiler &profiler() { return profiler_; }
     const KernelProfiler &profiler() const { return profiler_; }
 
@@ -78,26 +100,31 @@ class MemoryUnit
     void setUsageSorter(UsageSortFn sorter);
 
   private:
-    /** Soft write per Sec. 2.1.1; returns the merged write weighting. */
-    Vector softWrite(const InterfaceVector &iface);
+    /** Soft write per Sec. 2.1.1; fills the merged write weighting. */
+    void softWrite(const InterfaceVector &iface, Vector &writeWeighting);
 
     /** Soft read per Sec. 2.1.2; fills the readout. */
     void softRead(const InterfaceVector &iface, MemoryReadout &out);
 
-    /** Apply erase+add to the external memory (MW). */
+    /** Apply erase+add to the external memory (MW), refreshing norms. */
     void memoryWrite(const Vector &writeWeighting, const Vector &erase,
                      const Vector &write);
 
     DncConfig config_;
     ContentAddressing addressing_;
     UsageSortFn usageSorter_;
+    bool customSorter_ = false; ///< true once setUsageSorter() was called
     Index skimK_;
 
     Matrix memory_;                     ///< external memory, N x W
+    Vector rowNorms_;                   ///< cached row L2 norms, N
     Vector usage_;                      ///< usage state, N
     TemporalLinkage linkage_;           ///< linkage + precedence state
     Vector writeWeighting_;             ///< previous write weighting, N
     std::vector<Vector> readWeightings_; ///< previous read weightings, R x N
+
+    Workspace ws_;                      ///< hot-path scratch buffers
+    std::vector<SortRecord> sortRecords_; ///< usage-sort scratch
 
     KernelProfiler profiler_;
 };

@@ -1,8 +1,117 @@
 #include "dnc/temporal_linkage.h"
 
-#include <memory>
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 namespace hima {
+
+namespace {
+
+/**
+ * Read-stage body for one updated row of L: accumulates the row's
+ * contribution to every head's forward dot (chain order: j ascending)
+ * and to the interleaved backward lanes (chain order: i ascending at
+ * the caller). R is the compile-time head count; each head owns one
+ * lane, multiplies and adds round separately.
+ */
+template <Index R>
+inline void
+readRow(const Real *row, Index n, const Real *wInt, Real *bwInt,
+        const Real *wv, Real *accOut)
+{
+    Real acc[R] = {};
+    for (Index j = 0; j < n; ++j) {
+        const Real lij = row[j];
+        const Real *wj = wInt + j * R;
+        Real *bj = bwInt + j * R;
+        for (Index h = 0; h < R; ++h) {
+            acc[h] += lij * wj[h];
+            bj[h] += lij * wv[h];
+        }
+    }
+    for (Index h = 0; h < R; ++h)
+        accOut[h] = acc[h];
+}
+
+#if defined(__AVX2__)
+/**
+ * Four-head specialization: the four lanes live in one 256-bit vector.
+ * Explicit mul-then-add (no FMA contraction) keeps every lane's
+ * arithmetic bit-identical to the scalar chains; the auto-vectorizer
+ * misses this pattern, and the scalar version is latency-bound.
+ */
+template <>
+inline void
+readRow<4>(const Real *row, Index n, const Real *wInt, Real *bwInt,
+           const Real *wv, Real *accOut)
+{
+    __m256d acc = _mm256_setzero_pd();
+    const __m256d wvv = _mm256_loadu_pd(wv);
+    for (Index j = 0; j < n; ++j) {
+        const __m256d lij = _mm256_set1_pd(row[j]);
+        acc = _mm256_add_pd(acc,
+                            _mm256_mul_pd(lij, _mm256_loadu_pd(wInt + 4 * j)));
+        _mm256_storeu_pd(
+            bwInt + 4 * j,
+            _mm256_add_pd(_mm256_loadu_pd(bwInt + 4 * j),
+                          _mm256_mul_pd(lij, wvv)));
+    }
+    _mm256_storeu_pd(accOut, acc);
+}
+
+/**
+ * Four heads x four rows: amortizes the wInt/bwInt stream over four
+ * rows and keeps eight independent multiply-add chains in flight. The
+ * backward lanes absorb the four rows' contributions in ascending row
+ * order (four separate adds per j), and each forward accumulator keeps
+ * its own j-ascending chain — still bit-identical to the standalone
+ * kernels.
+ */
+inline void
+readQuad4(const Real *r0, Index n, const Real *wInt, Real *bwInt,
+          const Real *wv0, Real accOut[4][4])
+{
+    const Real *r1 = r0 + n;
+    const Real *r2 = r1 + n;
+    const Real *r3 = r2 + n;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    const __m256d v0 = _mm256_loadu_pd(wv0);
+    const __m256d v1 = _mm256_loadu_pd(wv0 + 4);
+    const __m256d v2 = _mm256_loadu_pd(wv0 + 8);
+    const __m256d v3 = _mm256_loadu_pd(wv0 + 12);
+    for (Index j = 0; j < n; ++j) {
+        const __m256d wj = _mm256_loadu_pd(wInt + 4 * j);
+        const __m256d l0 = _mm256_set1_pd(r0[j]);
+        const __m256d l1 = _mm256_set1_pd(r1[j]);
+        const __m256d l2 = _mm256_set1_pd(r2[j]);
+        const __m256d l3 = _mm256_set1_pd(r3[j]);
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(l0, wj));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(l1, wj));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(l2, wj));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(l3, wj));
+        __m256d b = _mm256_loadu_pd(bwInt + 4 * j);
+        b = _mm256_add_pd(b, _mm256_mul_pd(l0, v0));
+        b = _mm256_add_pd(b, _mm256_mul_pd(l1, v1));
+        b = _mm256_add_pd(b, _mm256_mul_pd(l2, v2));
+        b = _mm256_add_pd(b, _mm256_mul_pd(l3, v3));
+        _mm256_storeu_pd(bwInt + 4 * j, b);
+    }
+    _mm256_storeu_pd(accOut[0], a0);
+    _mm256_storeu_pd(accOut[1], a1);
+    _mm256_storeu_pd(accOut[2], a2);
+    _mm256_storeu_pd(accOut[3], a3);
+}
+#endif
+
+} // namespace
 
 TemporalLinkage::TemporalLinkage(Index slots)
     : slots_(slots), linkage_(slots, slots), precedence_(slots)
@@ -16,21 +125,20 @@ TemporalLinkage::updateLinkage(const Vector &writeWeighting,
 {
     HIMA_ASSERT(writeWeighting.size() == slots_, "write weighting length");
 
-    std::unique_ptr<KernelScope> scope;
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Linkage);
+        scope.emplace(*profiler, Kernel::Linkage);
 
     // L[i][j] <- (1 - w[i] - w[j]) L[i][j] + w[i] p[j], diagonal zeroed.
+    const Real *w = writeWeighting.data();
+    const Real *p = precedence_.data();
+    Real *L = linkage_.data();
     for (Index i = 0; i < slots_; ++i) {
         const Real wi = writeWeighting[i];
-        for (Index j = 0; j < slots_; ++j) {
-            if (i == j) {
-                linkage_(i, j) = 0.0;
-                continue;
-            }
-            linkage_(i, j) = (1.0 - wi - writeWeighting[j]) * linkage_(i, j)
-                           + wi * precedence_[j];
-        }
+        Real *row = L + i * slots_;
+        for (Index j = 0; j < slots_; ++j)
+            row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+        row[i] = 0.0;
     }
 
     if (profiler) {
@@ -47,14 +155,16 @@ TemporalLinkage::updatePrecedence(const Vector &writeWeighting,
 {
     HIMA_ASSERT(writeWeighting.size() == slots_, "write weighting length");
 
-    std::unique_ptr<KernelScope> scope;
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Precedence);
+        scope.emplace(*profiler, Kernel::Precedence);
 
     const Real writeSum = writeWeighting.sum();
     const Real keep = 1.0 - writeSum;
+    const Real *w = writeWeighting.data();
+    Real *p = precedence_.data();
     for (Index i = 0; i < slots_; ++i)
-        precedence_[i] = keep * precedence_[i] + writeWeighting[i];
+        p[i] = keep * p[i] + w[i];
 
     if (profiler) {
         auto &c = profiler->at(Kernel::Precedence);
@@ -67,19 +177,8 @@ Vector
 TemporalLinkage::forwardWeighting(const Vector &prevReadWeighting,
                                   KernelProfiler *profiler) const
 {
-    HIMA_ASSERT(prevReadWeighting.size() == slots_, "read weighting length");
-
-    std::unique_ptr<KernelScope> scope;
-    if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler,
-                                              Kernel::ForwardBackward);
-    Vector f = matVec(linkage_, prevReadWeighting);
-    if (profiler) {
-        auto &c = profiler->at(Kernel::ForwardBackward);
-        const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
-        c.macOps += n2;
-        c.stateMemAccesses += n2 + 2 * slots_;
-    }
+    Vector f;
+    forwardWeightingInto(prevReadWeighting, f, profiler);
     return f;
 }
 
@@ -87,22 +186,222 @@ Vector
 TemporalLinkage::backwardWeighting(const Vector &prevReadWeighting,
                                    KernelProfiler *profiler) const
 {
+    Vector b;
+    backwardWeightingInto(prevReadWeighting, b, profiler);
+    return b;
+}
+
+void
+TemporalLinkage::forwardWeightingInto(const Vector &prevReadWeighting,
+                                      Vector &f,
+                                      KernelProfiler *profiler) const
+{
     HIMA_ASSERT(prevReadWeighting.size() == slots_, "read weighting length");
 
-    std::unique_ptr<KernelScope> scope;
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler,
-                                              Kernel::ForwardBackward);
-    // The hardware path is transpose + mat-vec (Table 1); the functional
-    // path fuses them to avoid materializing L^T.
-    Vector b = matTVec(linkage_, prevReadWeighting);
+        scope.emplace(*profiler, Kernel::ForwardBackward);
+    matVecInto(linkage_, prevReadWeighting, f);
     if (profiler) {
         auto &c = profiler->at(Kernel::ForwardBackward);
         const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
         c.macOps += n2;
         c.stateMemAccesses += n2 + 2 * slots_;
     }
-    return b;
+}
+
+void
+TemporalLinkage::backwardWeightingInto(const Vector &prevReadWeighting,
+                                       Vector &b,
+                                       KernelProfiler *profiler) const
+{
+    HIMA_ASSERT(prevReadWeighting.size() == slots_, "read weighting length");
+
+    std::optional<KernelScope> scope;
+    if (profiler)
+        scope.emplace(*profiler, Kernel::ForwardBackward);
+    // The hardware path is transpose + mat-vec (Table 1); the functional
+    // path fuses them to avoid materializing L^T.
+    matTVecInto(linkage_, prevReadWeighting, b);
+    if (profiler) {
+        auto &c = profiler->at(Kernel::ForwardBackward);
+        const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
+        c.macOps += n2;
+        c.stateMemAccesses += n2 + 2 * slots_;
+    }
+}
+
+void
+TemporalLinkage::updateAndRead(const Vector &writeWeighting,
+                               const std::vector<Vector> &prevReadWeightings,
+                               std::vector<Vector> &forward,
+                               std::vector<Vector> &backward,
+                               KernelProfiler *profiler)
+{
+    HIMA_ASSERT(writeWeighting.size() == slots_, "write weighting length");
+    const Index heads = prevReadWeightings.size();
+    HIMA_ASSERT(heads > 0, "need at least one read head");
+    if (forward.size() != heads)
+        forward.resize(heads);
+    if (backward.size() != heads)
+        backward.resize(heads);
+    for (Index h = 0; h < heads; ++h) {
+        HIMA_ASSERT(prevReadWeightings[h].size() == slots_,
+                    "read weighting length");
+        forward[h].resize(slots_);
+        backward[h].resize(slots_);
+    }
+
+    // Interleave the previous read weightings (lane h of word j =
+    // head h, slot j) and zero the interleaved backward accumulators.
+    // O(RN) — negligible next to the O(RN^2) sweep it enables.
+    interleavedReads_.resize(slots_ * heads);
+    interleavedBackward_.assign(slots_ * heads, 0.0);
+    for (Index h = 0; h < heads; ++h) {
+        const Real *wr = prevReadWeightings[h].data();
+        for (Index j = 0; j < slots_; ++j)
+            interleavedReads_[j * heads + h] = wr[j];
+    }
+
+    switch (heads) {
+      case 1:
+        updateAndReadImpl<1>(writeWeighting, forward, backward, profiler);
+        break;
+      case 2:
+        updateAndReadImpl<2>(writeWeighting, forward, backward, profiler);
+        break;
+      case 4:
+        updateAndReadImpl<4>(writeWeighting, forward, backward, profiler);
+        break;
+      case 8:
+        updateAndReadImpl<8>(writeWeighting, forward, backward, profiler);
+        break;
+      default:
+        updateAndReadImpl<0>(writeWeighting, forward, backward, profiler);
+        break;
+    }
+}
+
+/**
+ * The fused sweep body. R is the compile-time head count (0 = runtime
+ * fallback): a constant trip count lets the compiler unroll the per-head
+ * lane loops and fuse them into SIMD over the interleaved buffers. Each
+ * head's accumulation chain keeps its own lane and its own order, and
+ * multiplies/adds round separately (FMA contraction is off), so the
+ * results are bit-identical to the standalone kernels at any R.
+ */
+template <Index R>
+void
+TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
+                                   std::vector<Vector> &forward,
+                                   std::vector<Vector> &backward,
+                                   KernelProfiler *profiler)
+{
+    const Index heads = R == 0 ? forward.size() : R;
+    const Real *w = writeWeighting.data();
+    const Real *p = precedence_.data();
+    const Real *wInt = interleavedReads_.data();
+    Real *bwInt = interleavedBackward_.data();
+    Real *L = linkage_.data();
+
+    // Row-blocked so the read stage re-traverses freshly-updated rows
+    // out of L1; L streams through DRAM once per step instead of once
+    // per kernel invocation. Four rows x 8 KB stays cache-resident.
+    constexpr Index kBlock = 4;
+    using Clock = std::chrono::steady_clock;
+    const bool timed = profiler != nullptr;
+    std::uint64_t updateNs = 0;
+    std::uint64_t readNs = 0;
+
+    for (Index blockStart = 0; blockStart < slots_; blockStart += kBlock) {
+        const Index blockEnd = std::min(blockStart + kBlock, slots_);
+        const auto t0 = timed ? Clock::now() : Clock::time_point{};
+
+        // HR.(1): update rows [blockStart, blockEnd) of L, exactly as
+        // updateLinkage() does.
+        for (Index i = blockStart; i < blockEnd; ++i) {
+            const Real wi = w[i];
+            Real *row = L + i * slots_;
+            for (Index j = 0; j < slots_; ++j)
+                row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+            row[i] = 0.0;
+        }
+        const auto t1 = timed ? Clock::now() : Clock::time_point{};
+
+        // HR.(3): fold the freshly-updated rows into every head's
+        // forward and backward weightings. forward[h][i] accumulates
+        // over j in ascending order (matVec's order) and the
+        // interleaved backward lanes accumulate row contributions in
+        // ascending i (matTVec's order).
+#if defined(__AVX2__)
+        if constexpr (R == 4) {
+            if (blockEnd - blockStart == 4) {
+                Real acc[4][4];
+                readQuad4(L + blockStart * slots_, slots_, wInt, bwInt,
+                          wInt + blockStart * 4, acc);
+                for (Index k = 0; k < 4; ++k)
+                    for (Index h = 0; h < 4; ++h)
+                        forward[h][blockStart + k] = acc[k][h];
+                const auto t2q =
+                    timed ? Clock::now() : Clock::time_point{};
+                updateNs +=
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        t1 - t0).count();
+                readNs +=
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        t2q - t1).count();
+                continue;
+            }
+        }
+#endif
+        for (Index i = blockStart; i < blockEnd; ++i) {
+            const Real *row = L + i * slots_;
+            if (R != 0) {
+                Real acc[R == 0 ? 1 : R];
+                readRow<R == 0 ? 1 : R>(row, slots_, wInt, bwInt,
+                                        wInt + i * heads, acc);
+                for (Index h = 0; h < heads; ++h)
+                    forward[h][i] = acc[h];
+            } else {
+                // Runtime-R fallback: same math, lane loop unbounded.
+                for (Index h = 0; h < heads; ++h) {
+                    const Real hv = wInt[i * heads + h];
+                    Real a = 0.0;
+                    for (Index j = 0; j < slots_; ++j) {
+                        a += row[j] * wInt[j * heads + h];
+                        bwInt[j * heads + h] += row[j] * hv;
+                    }
+                    forward[h][i] = a;
+                }
+            }
+        }
+        const auto t2 = timed ? Clock::now() : Clock::time_point{};
+        updateNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        t1 - t0).count();
+        readNs += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      t2 - t1).count();
+    }
+
+    // De-interleave the backward lanes.
+    for (Index h = 0; h < heads; ++h) {
+        Real *bw = backward[h].data();
+        for (Index j = 0; j < slots_; ++j)
+            bw[j] = bwInt[j * heads + h];
+    }
+
+    if (profiler) {
+        const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
+        auto &link = profiler->at(Kernel::Linkage);
+        link.invocations += 1;
+        link.nanoseconds += updateNs;
+        link.elementOps += 4 * n2;
+        link.stateMemAccesses += 2 * n2 + 2 * slots_;
+        auto &fb = profiler->at(Kernel::ForwardBackward);
+        fb.invocations += 2 * heads; // mirrors the 2R standalone calls
+        fb.nanoseconds += readNs;
+        fb.macOps += 2 * heads * n2;
+        fb.stateMemAccesses += 2 * heads * (n2 + 2 * slots_);
+    }
 }
 
 void

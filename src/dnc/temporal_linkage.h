@@ -47,6 +47,37 @@ class TemporalLinkage
     Vector backwardWeighting(const Vector &prevReadWeighting,
                              KernelProfiler *profiler = nullptr) const;
 
+    /** Destination-passing forward weighting (f resized + overwritten). */
+    void forwardWeightingInto(const Vector &prevReadWeighting, Vector &f,
+                              KernelProfiler *profiler = nullptr) const;
+
+    /** Destination-passing backward weighting (b resized + overwritten). */
+    void backwardWeightingInto(const Vector &prevReadWeighting, Vector &b,
+                               KernelProfiler *profiler = nullptr) const;
+
+    /**
+     * Fused update + read sweep: updateLinkage(writeWeighting) followed
+     * by forward[h] = L w_prev[h] and backward[h] = L^T w_prev[h] for
+     * every head, all in one blocked traversal of L.
+     *
+     * Bit-identical to the separate kernels — every per-element
+     * accumulation runs in the same order — but the N x N linkage
+     * matrix moves through DRAM once per step instead of once per
+     * kernel invocation (2 + 2R passes), which is what the O(N^2)
+     * kernels are bound by at large N. Profiler op counts and
+     * invocation counts match the separate calls; wall-clock time is
+     * split between the Linkage and ForwardBackward scopes at block
+     * granularity.
+     *
+     * Does not touch the precedence vector: call updatePrecedence()
+     * afterwards, exactly as with the separate kernels.
+     */
+    void updateAndRead(const Vector &writeWeighting,
+                       const std::vector<Vector> &prevReadWeightings,
+                       std::vector<Vector> &forward,
+                       std::vector<Vector> &backward,
+                       KernelProfiler *profiler = nullptr);
+
     const Matrix &linkage() const { return linkage_; }
     const Vector &precedence() const { return precedence_; }
     Index slots() const { return slots_; }
@@ -55,9 +86,23 @@ class TemporalLinkage
     void reset();
 
   private:
+    /** updateAndRead() body specialized on the head count R. */
+    template <Index R>
+    void updateAndReadImpl(const Vector &writeWeighting,
+                           std::vector<Vector> &forward,
+                           std::vector<Vector> &backward,
+                           KernelProfiler *profiler);
+
     Index slots_;
     Matrix linkage_;
     Vector precedence_;
+
+    // Head-interleaved scratch for the fused sweep (slots x R each,
+    // grown on first use): lane h of word j holds head h's value for
+    // slot j, which lets the per-head accumulation chains run as one
+    // SIMD lane group while keeping every chain's order intact.
+    std::vector<Real> interleavedReads_;
+    std::vector<Real> interleavedBackward_;
 };
 
 } // namespace hima

@@ -1,6 +1,6 @@
 #include "dnc/usage.h"
 
-#include <memory>
+#include <optional>
 
 #include "common/tensor.h"
 
@@ -11,22 +11,35 @@ retentionVector(const std::vector<Real> &freeGates,
                 const std::vector<Vector> &readWeights,
                 KernelProfiler *profiler)
 {
+    Vector psi;
+    retentionInto(freeGates, readWeights, psi, profiler);
+    return psi;
+}
+
+void
+retentionInto(const std::vector<Real> &freeGates,
+              const std::vector<Vector> &readWeights, Vector &psi,
+              KernelProfiler *profiler)
+{
     HIMA_ASSERT(freeGates.size() == readWeights.size(),
                 "free gates %zu != read heads %zu",
                 freeGates.size(), readWeights.size());
     HIMA_ASSERT(!readWeights.empty(), "need at least one read head");
 
     const Index n = readWeights[0].size();
-    std::unique_ptr<KernelScope> scope;
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Retention);
+        scope.emplace(*profiler, Kernel::Retention);
 
-    Vector psi(n, 1.0);
+    psi.resize(n);
+    psi.fill(1.0);
+    Real *pp = psi.data();
     for (Index r = 0; r < readWeights.size(); ++r) {
         HIMA_ASSERT(readWeights[r].size() == n, "read weighting length");
         const Real gate = freeGates[r];
+        const Real *pw = readWeights[r].data();
         for (Index i = 0; i < n; ++i)
-            psi[i] *= 1.0 - gate * readWeights[r][i];
+            pp[i] *= 1.0 - gate * pw[i];
     }
 
     if (profiler) {
@@ -34,26 +47,36 @@ retentionVector(const std::vector<Real> &freeGates,
         c.elementOps += 2 * readWeights.size() * n; // mult + accumulate-prod
         c.stateMemAccesses += readWeights.size() * n; // read weight memory
     }
-    return psi;
 }
 
 Vector
 updateUsage(const Vector &usage, const Vector &prevWriteWeighting,
             const Vector &retention, KernelProfiler *profiler)
 {
+    Vector out = usage;
+    updateUsageInPlace(out, prevWriteWeighting, retention, profiler);
+    return out;
+}
+
+void
+updateUsageInPlace(Vector &usage, const Vector &prevWriteWeighting,
+                   const Vector &retention, KernelProfiler *profiler)
+{
     const Index n = usage.size();
     HIMA_ASSERT(prevWriteWeighting.size() == n && retention.size() == n,
                 "usage update shape mismatch");
 
-    std::unique_ptr<KernelScope> scope;
+    std::optional<KernelScope> scope;
     if (profiler)
-        scope = std::make_unique<KernelScope>(*profiler, Kernel::Usage);
+        scope.emplace(*profiler, Kernel::Usage);
 
-    Vector out(n);
+    Real *pu = usage.data();
+    const Real *pw = prevWriteWeighting.data();
+    const Real *pr = retention.data();
     for (Index i = 0; i < n; ++i) {
-        const Real u = usage[i];
-        const Real w = prevWriteWeighting[i];
-        out[i] = (u + w - u * w) * retention[i];
+        const Real u = pu[i];
+        const Real w = pw[i];
+        pu[i] = (u + w - u * w) * pr[i];
     }
 
     if (profiler) {
@@ -61,7 +84,6 @@ updateUsage(const Vector &usage, const Vector &prevWriteWeighting,
         c.elementOps += 4 * n;
         c.stateMemAccesses += 3 * n; // usage read+write, write weighting
     }
-    return out;
 }
 
 } // namespace hima

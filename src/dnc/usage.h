@@ -28,6 +28,11 @@ Vector retentionVector(const std::vector<Real> &freeGates,
                        const std::vector<Vector> &readWeights,
                        KernelProfiler *profiler = nullptr);
 
+/** Destination-passing retention: psi is resized and overwritten. */
+void retentionInto(const std::vector<Real> &freeGates,
+                   const std::vector<Vector> &readWeights, Vector &psi,
+                   KernelProfiler *profiler = nullptr);
+
 /**
  * HW.(2) Usage update: u <- (u + w - u .* w) .* psi, where w is the
  * previous write weighting. Every entry stays in [0, 1] when the inputs
@@ -36,6 +41,11 @@ Vector retentionVector(const std::vector<Real> &freeGates,
 Vector updateUsage(const Vector &usage, const Vector &prevWriteWeighting,
                    const Vector &retention,
                    KernelProfiler *profiler = nullptr);
+
+/** In-place usage update (element-wise, so aliasing is trivially safe). */
+void updateUsageInPlace(Vector &usage, const Vector &prevWriteWeighting,
+                        const Vector &retention,
+                        KernelProfiler *profiler = nullptr);
 
 } // namespace hima
 

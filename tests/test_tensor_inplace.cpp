@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the allocation-free hot path: every destination-passing
+ * kernel must match its value-returning counterpart bit-for-bit, the
+ * memory unit's row-norm cache must stay equal to freshly computed
+ * norms under randomized write sequences, a steady-state
+ * MemoryUnit::stepInto() must perform zero heap allocations (checked
+ * via a global operator-new hook), and the threaded DNC-D tile path
+ * must be bit-identical to the sequential one.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <cstdint>
+#include <new>
+
+#include <gtest/gtest.h>
+
+#include "approx/fixed_point.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "dnc/dncd.h"
+#include "dnc/memory_unit.h"
+
+// --------------------------------------------------------------------
+// Global operator-new hook: counts every heap allocation in the test
+// binary. The zero-allocation assertions read the counter delta around
+// a steady-state step.
+// --------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocationCount{0};
+}
+
+void *
+operator new(std::size_t size)
+{
+    g_allocationCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace hima {
+namespace {
+
+// --------------------------------------------------------------------
+// Destination-passing kernels match the value-returning API.
+// --------------------------------------------------------------------
+
+class InplaceKernels : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng_{static_cast<std::uint64_t>(GetParam()) * 7919 + 1};
+};
+
+TEST_P(InplaceKernels, VectorKernelsMatch)
+{
+    const Index n = 1 + rng_.uniformInt(48);
+    const Vector a = rng_.normalVector(n);
+    const Vector b = rng_.normalVector(n);
+    const Real s = rng_.uniform(-3.0, 3.0);
+
+    Vector out;
+    addInto(a, b, out);
+    EXPECT_EQ(out, add(a, b));
+    subInto(a, b, out);
+    EXPECT_EQ(out, sub(a, b));
+    mulInto(a, b, out);
+    EXPECT_EQ(out, mul(a, b));
+
+    out = a;
+    scaleInPlace(out, s);
+    EXPECT_EQ(out, scale(a, s));
+
+    out = a;
+    addInPlace(out, b);
+    EXPECT_EQ(out, add(a, b));
+
+    out = b;
+    axpy(s, a, out);
+    EXPECT_EQ(out, add(b, scale(a, s)));
+
+    softmaxInto(a, out);
+    EXPECT_EQ(out, softmax(a));
+}
+
+TEST_P(InplaceKernels, ElementwiseAliasingIsAllowed)
+{
+    const Index n = 1 + rng_.uniformInt(32);
+    const Vector a = rng_.normalVector(n);
+    const Vector b = rng_.normalVector(n);
+
+    Vector alias = a;
+    addInto(alias, b, alias);
+    EXPECT_EQ(alias, add(a, b));
+
+    alias = a;
+    softmaxInto(alias, alias);
+    EXPECT_EQ(alias, softmax(a));
+}
+
+TEST_P(InplaceKernels, MatrixKernelsMatch)
+{
+    const Index rows = 1 + rng_.uniformInt(16);
+    const Index cols = 1 + rng_.uniformInt(16);
+    const Matrix m = rng_.normalMatrix(rows, cols);
+    const Vector x = rng_.normalVector(cols);
+    const Vector xr = rng_.normalVector(rows);
+
+    Vector y;
+    matVecInto(m, x, y);
+    EXPECT_EQ(y, matVec(m, x));
+
+    Vector acc = rng_.normalVector(rows);
+    const Vector expected = add(acc, matVec(m, x));
+    matVecAccumulate(m, x, acc);
+    EXPECT_EQ(acc, expected);
+
+    matTVecInto(m, xr, y);
+    EXPECT_EQ(y, matTVec(m, xr));
+
+    Matrix o(rows, cols);
+    outerAccumulate(xr, x, 1.0, o);
+    EXPECT_EQ(o, outer(xr, x));
+
+    const Index inner = 1 + rng_.uniformInt(8);
+    const Matrix a = rng_.normalMatrix(rows, inner);
+    const Matrix b = rng_.normalMatrix(inner, cols);
+    Matrix prod;
+    matMulInto(a, b, prod);
+    EXPECT_EQ(prod, matMul(a, b));
+}
+
+TEST_P(InplaceKernels, RowKernelsMatchMaterializedRows)
+{
+    const Index rows = 1 + rng_.uniformInt(12);
+    const Index cols = 1 + rng_.uniformInt(12);
+    const Matrix m = rng_.normalMatrix(rows, cols);
+    const Vector x = rng_.normalVector(cols);
+    for (Index r = 0; r < rows; ++r) {
+        EXPECT_DOUBLE_EQ(dotRow(m, r, x), dot(m.row(r), x));
+        EXPECT_DOUBLE_EQ(rowNorm(m, r), m.row(r).norm());
+    }
+}
+
+TEST_P(InplaceKernels, QuantizeInPlaceMatches)
+{
+    const Index n = 1 + rng_.uniformInt(32);
+    const Vector v = rng_.normalVector(n, 0.0, 100.0);
+    Vector q = v;
+    quantizeInPlace(q);
+    EXPECT_EQ(q, quantize(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InplaceKernels, ::testing::Range(0, 8));
+
+// --------------------------------------------------------------------
+// Memory-unit helpers shared by the cache / allocation / DNC-D tests.
+// --------------------------------------------------------------------
+
+DncConfig
+smallConfig()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 32;
+    cfg.memoryWidth = 16;
+    cfg.readHeads = 2;
+    return cfg;
+}
+
+/** A randomized but valid interface vector (mixed write/read traffic). */
+InterfaceVector
+randomIface(const DncConfig &cfg, Rng &rng)
+{
+    InterfaceVector iface;
+    iface.readKeys.clear();
+    for (Index h = 0; h < cfg.readHeads; ++h)
+        iface.readKeys.push_back(rng.normalVector(cfg.memoryWidth));
+    iface.readStrengths.assign(cfg.readHeads, 1.0 + rng.uniform(0.0, 8.0));
+    iface.writeKey = rng.normalVector(cfg.memoryWidth);
+    iface.writeStrength = 1.0 + rng.uniform(0.0, 8.0);
+    iface.eraseVector = rng.uniformVector(cfg.memoryWidth, 0.05, 0.95);
+    iface.writeVector = rng.normalVector(cfg.memoryWidth);
+    iface.freeGates.assign(cfg.readHeads, rng.uniform(0.0, 0.4));
+    iface.allocationGate = rng.uniform();
+    iface.writeGate = rng.uniform(0.2, 1.0);
+    const Real b = rng.uniform(0.0, 1.0);
+    const Real c = rng.uniform(0.0, 1.0 - b);
+    iface.readModes.assign(cfg.readHeads, ReadMode{b, c, 1.0 - b - c});
+    return iface;
+}
+
+void
+expectNormCacheFresh(const MemoryUnit &mu)
+{
+    for (Index i = 0; i < mu.memory().rows(); ++i) {
+        EXPECT_DOUBLE_EQ(mu.rowNorms()[i], mu.memory().row(i).norm())
+            << "row " << i;
+    }
+}
+
+// --------------------------------------------------------------------
+// Row-norm cache invariant.
+// --------------------------------------------------------------------
+
+TEST(RowNormCache, MatchesFreshNormsAfterRandomizedWrites)
+{
+    const DncConfig cfg = smallConfig();
+    MemoryUnit mu(cfg);
+    Rng rng(101);
+    for (int step = 0; step < 40; ++step) {
+        mu.step(randomIface(cfg, rng));
+        expectNormCacheFresh(mu);
+    }
+}
+
+TEST(RowNormCache, HoldsUnderWriteSkipThreshold)
+{
+    // With a positive skip threshold, low-weight rows are not written at
+    // all — so the cache must still match the *actual* memory exactly.
+    DncConfig cfg = smallConfig();
+    cfg.writeSkipThreshold = 1e-6;
+    MemoryUnit mu(cfg);
+    Rng rng(102);
+    for (int step = 0; step < 40; ++step) {
+        mu.step(randomIface(cfg, rng));
+        expectNormCacheFresh(mu);
+    }
+}
+
+TEST(RowNormCache, HoldsInFixedPointMode)
+{
+    DncConfig cfg = smallConfig();
+    cfg.fixedPoint = true;
+    MemoryUnit mu(cfg);
+    Rng rng(103);
+    for (int step = 0; step < 20; ++step) {
+        mu.step(randomIface(cfg, rng));
+        expectNormCacheFresh(mu);
+    }
+}
+
+TEST(RowNormCache, ResetRestoresZeroNorms)
+{
+    const DncConfig cfg = smallConfig();
+    MemoryUnit mu(cfg);
+    Rng rng(104);
+    mu.step(randomIface(cfg, rng));
+    mu.reset();
+    expectNormCacheFresh(mu);
+    EXPECT_DOUBLE_EQ(mu.rowNorms().sum(), 0.0);
+}
+
+TEST(RowNormCache, CachedWeightingMatchesUncachedReference)
+{
+    // Content addressing through the cache must equal the from-scratch
+    // reference path bit-for-bit.
+    const DncConfig cfg = smallConfig();
+    MemoryUnit mu(cfg);
+    Rng rng(105);
+    for (int step = 0; step < 10; ++step)
+        mu.step(randomIface(cfg, rng));
+
+    ContentAddressing ca;
+    const Vector key = rng.normalVector(cfg.memoryWidth);
+    Vector scores, cached;
+    ca.weightingInto(mu.memory(), key, 7.0, &mu.rowNorms(), scores, cached);
+    const Vector reference = ca.weighting(mu.memory(), key, 7.0);
+    EXPECT_EQ(cached, reference);
+}
+
+// --------------------------------------------------------------------
+// Zero steady-state allocations.
+// --------------------------------------------------------------------
+
+TEST(ZeroAllocation, SteadyStateMemoryUnitStep)
+{
+    const DncConfig cfg = smallConfig();
+    MemoryUnit mu(cfg);
+    Rng rng(201);
+
+    // Pre-build the interfaces so the measured region is pure stepInto.
+    std::vector<InterfaceVector> ifaces;
+    for (int i = 0; i < 8; ++i)
+        ifaces.push_back(randomIface(cfg, rng));
+
+    MemoryReadout out;
+    mu.stepInto(ifaces[0], out); // first call sizes every buffer
+    mu.stepInto(ifaces[1], out);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 2; i < 8; ++i)
+        mu.stepInto(ifaces[i], out);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state stepInto performed heap allocations";
+}
+
+TEST(ZeroAllocation, SteadyStateHoldsAtLargerShapes)
+{
+    DncConfig cfg;
+    cfg.memoryRows = 128;
+    cfg.memoryWidth = 32;
+    cfg.readHeads = 4;
+    MemoryUnit mu(cfg);
+    Rng rng(202);
+    const InterfaceVector iface = randomIface(cfg, rng);
+
+    MemoryReadout out;
+    mu.stepInto(iface, out);
+    mu.stepInto(iface, out);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    mu.stepInto(iface, out);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u);
+}
+
+// --------------------------------------------------------------------
+// Thread pool and threaded DNC-D determinism.
+// --------------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+
+    constexpr Index kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    for (auto &h : hits)
+        h.store(0);
+    // Repeated jobs through the same pool: the second run would expose
+    // stale workers crossing job generations.
+    for (int round = 0; round < 3; ++round) {
+        pool.parallelFor(kCount,
+                         [&](Index i) { hits[i].fetch_add(1); });
+        for (Index i = 0; i < kCount; ++i)
+            ASSERT_EQ(hits[i].load(), round + 1) << "index " << i;
+    }
+    pool.parallelFor(0, [&](Index) { FAIL(); });
+}
+
+TEST(DncdThreads, FourThreadsBitIdenticalToSequential)
+{
+    DncConfig seq = smallConfig();
+    seq.memoryRows = 64;
+    DncConfig par = seq;
+    par.numThreads = 4;
+
+    DncD a(seq, 4);
+    DncD b(par, 4);
+    Rng rng(301);
+    for (int step = 0; step < 12; ++step) {
+        const InterfaceVector iface = randomIface(seq, rng);
+        const MemoryReadout ra = a.stepInterface(iface);
+        const MemoryReadout rb = b.stepInterface(iface);
+        ASSERT_EQ(ra.readVectors.size(), rb.readVectors.size());
+        for (Index h = 0; h < ra.readVectors.size(); ++h) {
+            EXPECT_EQ(ra.readVectors[h], rb.readVectors[h]);
+            EXPECT_EQ(ra.readWeightings[h], rb.readWeightings[h]);
+        }
+        EXPECT_EQ(ra.writeWeighting, rb.writeWeighting);
+        EXPECT_EQ(a.lastAlphas(), b.lastAlphas());
+    }
+}
+
+} // namespace
+} // namespace hima
