@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Batched-serving throughput benchmark: per-lane timesteps/sec of the
+ * BatchedDnc engine vs batch size B in {1, 4, 16, 64}, against the
+ * sequential one-Dnc-at-a-time baseline. Emits BENCH_batched.json so the
+ * serving-throughput trajectory accumulates across PRs (CI uploads it as
+ * an artifact; local single-core runs only show the weight-streaming and
+ * overhead-amortization component of the win — the lane-parallel
+ * component needs hardware threads).
+ *
+ * Before timing anything the harness cross-checks the engine bit-for-bit
+ * against per-lane reference Dnc runs, the same refusal gate
+ * bench_hot_path uses: never benchmark unequal computations.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "dnc/dnc.h"
+#include "serve/batched_dnc.h"
+
+namespace hima {
+namespace {
+
+DncConfig
+serveConfig()
+{
+    // Paper-like word width and head count; N reduced from 1024 so the
+    // B=64 point (64 lanes x N^2 linkage tiles) stays laptop-friendly.
+    DncConfig cfg;
+    cfg.memoryRows = 256;
+    cfg.memoryWidth = 64;
+    cfg.readHeads = 4;
+    cfg.controllerSize = 256;
+    cfg.inputSize = 64;
+    cfg.outputSize = 64;
+    return cfg;
+}
+
+template <typename StepFn>
+double
+stepsPerSecond(StepFn &&stepFn, double minSeconds = 0.3,
+               long maxIters = 200000)
+{
+    using Clock = std::chrono::steady_clock;
+    stepFn(); // warmup (sizes buffers, touches caches)
+    long iters = 0;
+    double elapsed = 0.0;
+    const auto start = Clock::now();
+    while (elapsed < minSeconds && iters < maxIters) {
+        stepFn();
+        ++iters;
+        elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    return static_cast<double>(iters) / elapsed;
+}
+
+/** Bit-exact refusal gate: engine lanes vs sequential reference runs. */
+bool
+crossCheck()
+{
+    DncConfig cfg = serveConfig();
+    cfg.memoryRows = 64; // small: this is a correctness gate, not timing
+    cfg.batchSize = 3;
+    cfg.numThreads = 2;
+    BatchedDnc engine(cfg, 42);
+    std::vector<Dnc> refs;
+    refs.reserve(cfg.batchSize);
+    for (Index b = 0; b < cfg.batchSize; ++b)
+        refs.emplace_back(cfg, 42);
+
+    Rng rng(7);
+    std::vector<Vector> outputs;
+    for (int step = 0; step < 4; ++step) {
+        std::vector<Vector> inputs;
+        for (Index b = 0; b < cfg.batchSize; ++b)
+            inputs.push_back(rng.normalVector(cfg.inputSize));
+        engine.stepInto(inputs, outputs);
+        for (Index b = 0; b < cfg.batchSize; ++b)
+            if (!(refs[b].step(inputs[b]) == outputs[b]))
+                return false;
+    }
+    return true;
+}
+
+struct BatchedResult
+{
+    Index batch;
+    Index threads;
+    double stepsPerSec;        ///< whole-batch steps/sec
+    double perLaneStepsPerSec; ///< batch * stepsPerSec
+    double speedup;            ///< per-lane vs sequential baseline
+};
+
+} // namespace
+} // namespace hima
+
+int
+main()
+{
+    using namespace hima;
+
+    if (!crossCheck()) {
+        std::fprintf(stderr,
+                     "FATAL: batched engine diverged from the reference "
+                     "lanes — refusing to benchmark unequal computations\n");
+        return 1;
+    }
+    std::printf("cross-check: batched lanes bit-identical to reference\n");
+
+    const DncConfig base = serveConfig();
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    // Rotating input batches keep the engine off a fixed point without
+    // timing the generator.
+    constexpr int kInputSets = 4;
+    Rng rng(11);
+
+    // Sequential baseline: one Dnc stepped the way a naive server would.
+    double baseline = 0.0;
+    {
+        Dnc model(base, 1);
+        std::vector<Vector> tokens;
+        for (int i = 0; i < kInputSets; ++i)
+            tokens.push_back(rng.normalVector(base.inputSize));
+        long i = 0;
+        baseline = stepsPerSecond(
+            [&] { model.step(tokens[static_cast<std::size_t>(i++) %
+                                    kInputSets]); });
+        std::printf("sequential baseline: %10.1f steps/s (N=%zu)\n",
+                    baseline, base.memoryRows);
+    }
+
+    std::vector<Index> threadSet = {1};
+    const Index pooled = std::min<Index>(4, hw > 0 ? hw : 1);
+    if (pooled > 1)
+        threadSet.push_back(pooled);
+
+    const std::vector<Index> batchSizes = {1, 4, 16, 64};
+    std::vector<BatchedResult> results;
+    for (Index threads : threadSet) {
+        for (Index batch : batchSizes) {
+            DncConfig cfg = base;
+            cfg.batchSize = batch;
+            cfg.numThreads = threads;
+            BatchedDnc engine(cfg, 1);
+
+            std::vector<std::vector<Vector>> batches;
+            for (int s = 0; s < kInputSets; ++s) {
+                std::vector<Vector> inputs;
+                for (Index b = 0; b < batch; ++b)
+                    inputs.push_back(rng.normalVector(cfg.inputSize));
+                batches.push_back(std::move(inputs));
+            }
+
+            std::vector<Vector> outputs;
+            long i = 0;
+            const double rate = stepsPerSecond([&] {
+                engine.stepInto(batches[static_cast<std::size_t>(i++) %
+                                        kInputSets],
+                                outputs);
+            });
+            const double perLane = rate * static_cast<double>(batch);
+            results.push_back(
+                {batch, threads, rate, perLane, perLane / baseline});
+            std::printf("B=%3zu threads=%zu  %10.1f batch-steps/s  "
+                        "%10.1f lane-steps/s  %5.2fx vs sequential\n",
+                        batch, threads, rate, perLane, perLane / baseline);
+        }
+    }
+
+    double headline = 0.0;
+    for (const BatchedResult &r : results)
+        if (r.batch == 16 && r.speedup > headline)
+            headline = r.speedup;
+
+    FILE *json = std::fopen("BENCH_batched.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot open BENCH_batched.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(json,
+                 "  \"config\": {\"memory_rows\": %zu, \"memory_width\": "
+                 "%zu, \"read_heads\": %zu, \"controller_size\": %zu},\n",
+                 base.memoryRows, base.memoryWidth, base.readHeads,
+                 base.controllerSize);
+    std::fprintf(json, "  \"sequential_baseline_steps_per_sec\": %.2f,\n",
+                 baseline);
+    std::fprintf(json, "  \"batched\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BatchedResult &r = results[i];
+        std::fprintf(json,
+                     "    {\"batch\": %zu, \"threads\": %zu, "
+                     "\"steps_per_sec\": %.2f, "
+                     "\"per_lane_steps_per_sec\": %.2f, "
+                     "\"speedup_vs_sequential\": %.3f}%s\n",
+                     r.batch, r.threads, r.stepsPerSec,
+                     r.perLaneStepsPerSec, r.speedup,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"headline\": {\"b16_speedup\": %.3f}\n", headline);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_batched.json (best B=16 per-lane speedup "
+                "%.2fx)\n",
+                headline);
+    return 0;
+}

@@ -271,6 +271,149 @@ matMulInto(const Matrix &a, const Matrix &b, Matrix &out)
     }
 }
 
+namespace {
+
+/**
+ * Shared body of the batched mat-vec kernels. Lanes are processed in
+ * stack-resident chunks so every lane owns a private c-ascending
+ * accumulator (the bit-exactness requirement) without any heap scratch;
+ * the weight row is streamed once per chunk of up to kLaneChunk lanes.
+ */
+template <bool Accumulate>
+void
+batchedMatVecBody(const Matrix &m, const Vector &x, Index lanes, Vector &y)
+{
+    HIMA_ASSERT(lanes >= 1, "batchedMatVec: zero lanes");
+    HIMA_ASSERT(m.cols() * lanes == x.size(),
+                "batchedMatVec: cols %zu * lanes %zu != x %zu",
+                m.cols(), lanes, x.size());
+    const Index rows = m.rows();
+    const Index cols = m.cols();
+    if (Accumulate)
+        HIMA_ASSERT(y.size() == rows * lanes,
+                    "batchedMatVecAccumulate: y %zu != rows %zu * lanes %zu",
+                    y.size(), rows, lanes);
+    else
+        y.resize(rows * lanes);
+
+    const Real *pm = m.data();
+    const Real *px = x.data();
+    Real *py = y.data();
+
+    // Single-lane degenerate case: keep the accumulator in a register
+    // (the chunk array below defeats register allocation at nb == 1 and
+    // costs ~2x on the dot-product chain). Same c-ascending chain.
+    if (lanes == 1) {
+        for (Index r = 0; r < rows; ++r) {
+            const Real *row = pm + r * cols;
+            Real acc = 0.0;
+            for (Index c = 0; c < cols; ++c)
+                acc += row[c] * px[c];
+            if (Accumulate)
+                py[r] += acc;
+            else
+                py[r] = acc;
+        }
+        return;
+    }
+
+    Real acc[kBatchLaneChunk];
+    for (Index b0 = 0; b0 < lanes; b0 += kBatchLaneChunk) {
+        const Index nb = std::min(kBatchLaneChunk, lanes - b0);
+        for (Index r = 0; r < rows; ++r) {
+            const Real *row = pm + r * cols;
+            for (Index b = 0; b < nb; ++b)
+                acc[b] = 0.0;
+            for (Index c = 0; c < cols; ++c) {
+                const Real w = row[c];
+                const Real *xl = px + c * lanes + b0;
+                for (Index b = 0; b < nb; ++b)
+                    acc[b] += w * xl[b];
+            }
+            Real *yl = py + r * lanes + b0;
+            for (Index b = 0; b < nb; ++b) {
+                if (Accumulate)
+                    yl[b] += acc[b];
+                else
+                    yl[b] = acc[b];
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+batchedMatVecInto(const Matrix &m, const Vector &x, Index lanes, Vector &y)
+{
+    batchedMatVecBody<false>(m, x, lanes, y);
+}
+
+void
+batchedMatVecAccumulate(const Matrix &m, const Vector &x, Index lanes,
+                        Vector &y)
+{
+    batchedMatVecBody<true>(m, x, lanes, y);
+}
+
+void
+laneBroadcastAdd(const Vector &bias, Index lanes, Vector &y)
+{
+    HIMA_ASSERT(bias.size() * lanes == y.size(),
+                "laneBroadcastAdd: bias %zu * lanes %zu != y %zu",
+                bias.size(), lanes, y.size());
+    const Real *pb = bias.data();
+    Real *py = y.data();
+    for (Index r = 0, n = bias.size(); r < n; ++r) {
+        const Real bv = pb[r];
+        Real *yl = py + r * lanes;
+        for (Index b = 0; b < lanes; ++b)
+            yl[b] += bv;
+    }
+}
+
+void
+laneGatherInto(const Vector &soa, Index lanes, Index lane, Index count,
+               Vector &out)
+{
+    HIMA_ASSERT(lane < lanes, "laneGatherInto: lane %zu >= %zu", lane, lanes);
+    HIMA_ASSERT(count * lanes <= soa.size(),
+                "laneGatherInto: count %zu * lanes %zu > soa %zu",
+                count, lanes, soa.size());
+    out.resize(count);
+    const Real *ps = soa.data() + lane;
+    Real *po = out.data();
+    for (Index k = 0; k < count; ++k)
+        po[k] = ps[k * lanes];
+}
+
+void
+laneScatterInto(const Vector &v, Index lanes, Index lane, Vector &soa,
+                Index rowOffset)
+{
+    HIMA_ASSERT(lane < lanes, "laneScatterInto: lane %zu >= %zu", lane, lanes);
+    HIMA_ASSERT((rowOffset + v.size()) * lanes <= soa.size(),
+                "laneScatterInto: (%zu + %zu) * lanes %zu > soa %zu",
+                rowOffset, v.size(), lanes, soa.size());
+    const Real *pv = v.data();
+    Real *ps = soa.data() + rowOffset * lanes + lane;
+    for (Index k = 0, n = v.size(); k < n; ++k)
+        ps[k * lanes] = pv[k];
+}
+
+void
+laneAxpy(Real alpha, const Vector &x, Index lanes, Index lane, Vector &y)
+{
+    HIMA_ASSERT(lane < lanes, "laneAxpy: lane %zu >= %zu", lane, lanes);
+    HIMA_ASSERT(x.size() * lanes <= y.size(),
+                "laneAxpy: x %zu * lanes %zu > y %zu",
+                x.size(), lanes, y.size());
+    const Real *px = x.data();
+    Real *py = y.data() + lane;
+    for (Index k = 0, n = x.size(); k < n; ++k)
+        py[k * lanes] += alpha * px[k];
+}
+
 Real
 dotRow(const Matrix &m, Index r, const Vector &x)
 {

@@ -213,6 +213,80 @@ void outerAccumulate(const Vector &a, const Vector &b, Real s, Matrix &m);
 /** out = A B; out must not alias A or B. */
 void matMulInto(const Matrix &a, const Matrix &b, Matrix &out);
 
+// ---------------------------------------------------------------------
+// Batched (struct-of-arrays) kernels
+//
+// The serving engine (src/serve) runs B independent DNC lanes with
+// lane-interleaved activations: element k of lane b lives at
+// buf[k * lanes + b], so one sweep over k touches all B lanes per row
+// block and a shared weight row is streamed once for the whole batch.
+// Per-lane numerics are bit-identical to the single-lane kernels above:
+// every lane keeps its own k-ascending accumulator chain, exactly as
+// matVecInto() does — batching changes operand reuse, never the math.
+//
+// laneBroadcastAdd/laneAxpy have no engine callers yet (BatchedDnc
+// fuses its bias adds); they complete the kernel API for batched heads
+// with biases and are pinned by the same per-lane unit tests.
+// ---------------------------------------------------------------------
+
+/**
+ * Lanes per stack-resident accumulator chunk in every batched sweep —
+ * shared by the kernels here and the row-blocked sweeps in src/serve so
+ * the chunk boundary the bit-exactness tests cross is one constant.
+ */
+inline constexpr Index kBatchLaneChunk = 64;
+
+/**
+ * Batched y = M x over lane-interleaved operands:
+ *   y[r * lanes + b] = sum_c M(r, c) * x[c * lanes + b]
+ * for every lane b. x must hold cols(M) * lanes values; y is resized to
+ * rows(M) * lanes and overwritten; y must not alias x. Each lane's
+ * accumulation runs c-ascending, bit-identical to matVecInto per lane.
+ */
+void batchedMatVecInto(const Matrix &m, const Vector &x, Index lanes,
+                       Vector &y);
+
+/**
+ * Batched y += M x (lane-interleaved, shapes as batchedMatVecInto, y
+ * pre-sized). Matches matVecAccumulate per lane bit-for-bit: the row
+ * sum is completed in a private accumulator before the single += into y.
+ */
+void batchedMatVecAccumulate(const Matrix &m, const Vector &x, Index lanes,
+                             Vector &y);
+
+/**
+ * Broadcast-add a per-row bias across lanes:
+ *   y[r * lanes + b] += bias[r].
+ * Equivalent to addInPlace(y_b, bias) on every lane.
+ */
+void laneBroadcastAdd(const Vector &bias, Index lanes, Vector &y);
+
+/**
+ * Gather one lane out of a lane-interleaved buffer:
+ *   out[k] = soa[k * lanes + lane], k in [0, count).
+ * out is resized to count.
+ */
+void laneGatherInto(const Vector &soa, Index lanes, Index lane, Index count,
+                    Vector &out);
+
+/**
+ * Scatter a contiguous per-lane vector into a lane-interleaved buffer:
+ *   soa[(rowOffset + k) * lanes + lane] = v[k].
+ * soa must already hold (rowOffset + v.size()) * lanes values; rowOffset
+ * places the vector at a row offset inside a larger SoA tile (e.g. read
+ * head h at offset h * W of the concatenated-reads buffer).
+ */
+void laneScatterInto(const Vector &v, Index lanes, Index lane, Vector &soa,
+                     Index rowOffset = 0);
+
+/**
+ * Lane-strided axpy: y_lane += alpha * x over a lane-interleaved y:
+ *   y[k * lanes + lane] += alpha * x[k].
+ * Bit-identical to axpy(alpha, x, y_lane) on the gathered lane.
+ */
+void laneAxpy(Real alpha, const Vector &x, Index lanes, Index lane,
+              Vector &y);
+
 /** Inner product of row r of m with x, without materializing the row. */
 Real dotRow(const Matrix &m, Index r, const Vector &x);
 

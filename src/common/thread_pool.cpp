@@ -32,7 +32,15 @@ ThreadPool::drain(const std::function<void(Index)> &fn)
         const Index i = nextIndex_.fetch_add(1, std::memory_order_relaxed);
         if (i >= jobCount_)
             break;
-        fn(i);
+        try {
+            fn(i);
+        } catch (...) {
+            // Keep the first exception; the rest of the index space still
+            // runs so the join barrier and every-index guarantee hold.
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
         if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             std::lock_guard<std::mutex> lock(mutex_);
             doneCv_.notify_all();
@@ -77,8 +85,19 @@ ThreadPool::parallelFor(Index count, const std::function<void(Index)> &fn)
     if (count == 0)
         return;
     if (workers_.empty()) {
-        for (Index i = 0; i < count; ++i)
-            fn(i);
+        // Same contract as the threaded path: every index runs, the
+        // first exception is rethrown after the space is exhausted.
+        std::exception_ptr error;
+        for (Index i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
         return;
     }
 
@@ -89,6 +108,7 @@ ThreadPool::parallelFor(Index count, const std::function<void(Index)> &fn)
         // index space with the old function — wait it out.
         doneCv_.wait(lock, [&] { return drainers_ == 0; });
         job_ = &fn;
+        firstError_ = nullptr;
         jobCount_ = count;
         nextIndex_.store(0, std::memory_order_relaxed);
         remaining_.store(count, std::memory_order_relaxed);
@@ -108,6 +128,12 @@ ThreadPool::parallelFor(Index count, const std::function<void(Index)> &fn)
     // a straggler still inside drain() reads it lock-free, and any
     // claim it makes against the exhausted index space fails anyway.
     job_ = nullptr;
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 } // namespace hima

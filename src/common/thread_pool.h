@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -48,7 +49,11 @@ class ThreadPool
 
     /**
      * Run fn(0) .. fn(count-1), work-stealing off a shared atomic
-     * counter; returns after every call completed. fn must not throw.
+     * counter; returns after every call completed. If any call throws,
+     * the first exception (in completion order) is captured and rethrown
+     * on the calling thread after the join barrier — the remaining
+     * indices still execute, so the index-space guarantee holds and the
+     * pool stays usable for subsequent jobs.
      */
     void parallelFor(Index count, const std::function<void(Index)> &fn);
 
@@ -67,6 +72,7 @@ class ThreadPool
     const std::function<void(Index)> *job_ = nullptr;
     Index jobCount_ = 0;
     std::uint64_t generation_ = 0;
+    std::exception_ptr firstError_; ///< first throw from the current job
     std::atomic<Index> nextIndex_{0};
     std::atomic<Index> remaining_{0};
     Index drainers_ = 0; ///< workers inside the previous job's index space

@@ -58,6 +58,13 @@ class Controller
 
     const LstmCell &lstm() const { return lstm_; }
 
+    // Projection-head weights, exposed so the batched serving engine can
+    // stream one weight set across all lanes (weights are shared in a
+    // serving deployment; only the recurrent state is per lane).
+    const Matrix &interfaceHead() const { return interfaceHead_; }
+    const Matrix &outputHead() const { return outputHead_; }
+    const Matrix &readHead() const { return readHead_; }
+
   private:
     /** Concatenate input and read vectors into the LSTM feed. */
     void concatInput(const Vector &input,

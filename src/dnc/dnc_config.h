@@ -53,6 +53,15 @@ struct DncConfig
     Index numThreads = 1;
 
     /**
+     * Lanes of the batched serving engine (src/serve/BatchedDnc): the
+     * number of independent DNC instances stepped together per process,
+     * sharing controller weights but owning per-lane state. 1 means
+     * unbatched; the engine is bit-identical per lane to batchSize
+     * sequential Dnc runs at any value.
+     */
+    Index batchSize = 1;
+
+    /**
      * Simulator-speed knob: memory-write rows whose write weight is at
      * or below this threshold are left untouched, making the write and
      * the row-norm maintenance O(touched * W) instead of O(N * W). Zero
@@ -94,6 +103,8 @@ struct DncConfig
             HIMA_FATAL("DncConfig: skim rate %f outside [0, 1)", skimRate);
         if (numThreads == 0)
             HIMA_FATAL("DncConfig: numThreads must be >= 1");
+        if (batchSize == 0)
+            HIMA_FATAL("DncConfig: batchSize must be >= 1");
         if (writeSkipThreshold < 0.0 || writeSkipThreshold >= 1.0)
             HIMA_FATAL("DncConfig: write skip threshold %f outside [0, 1)",
                        writeSkipThreshold);

@@ -45,6 +45,13 @@ class LstmCell
     /** MACs per step: 4 gates of (in + hidden + 1) x hidden. */
     std::uint64_t macsPerStep() const;
 
+    // Weight inspection for engines that share one cell's weights across
+    // many state lanes (the batched serving engine). Gate order: input,
+    // forget, candidate, output.
+    const Matrix &inputWeights(int gate) const { return wx_[gate]; }
+    const Matrix &recurrentWeights(int gate) const { return wh_[gate]; }
+    const Vector &gateBias(int gate) const { return bias_[gate]; }
+
   private:
     Index inputSize_;
     Index hiddenSize_;

@@ -1,0 +1,329 @@
+#include "serve/batched_dnc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "dnc/interface.h"
+
+namespace hima {
+
+namespace {
+
+/** Rows per pool task in the controller sweeps. */
+constexpr Index kRowBlock = 32;
+
+
+Index
+blockCount(Index rows)
+{
+    return (rows + kRowBlock - 1) / kRowBlock;
+}
+
+/** Register-resident c-ascending dot product (the matVecInto chain). */
+inline Real
+dotContiguous(const Real *w, const Real *x, Index n)
+{
+    Real acc = 0.0;
+    for (Index k = 0; k < n; ++k)
+        acc += w[k] * x[k];
+    return acc;
+}
+
+} // namespace
+
+BatchedDnc::BatchedDnc(const DncConfig &config, std::uint64_t seed)
+    : config_(config), batch_(config.batchSize),
+      feedWidth_(config.inputSize + config.readHeads * config.memoryWidth),
+      readWidth_(config.readHeads * config.memoryWidth), rng_(seed),
+      proto_(config_, rng_)
+{
+    config_.validate();
+
+    const Index n = config_.memoryRows;
+    const Index w = config_.memoryWidth;
+    const Index r = config_.readHeads;
+    const Index h = config_.controllerSize;
+    const Index ifaceSize = config_.interfaceSize();
+
+    lanes_.reserve(batch_);
+    for (Index b = 0; b < batch_; ++b)
+        lanes_.emplace_back(config_);
+
+    // Pre-size every per-lane buffer so the first step is already in
+    // steady state: MemoryUnit::stepInto's resizes become no-ops and the
+    // feed concat reads zeroed previous-step read vectors, exactly like
+    // a fresh Dnc.
+    readouts_.resize(batch_);
+    for (MemoryReadout &ro : readouts_) {
+        ro.readVectors.assign(r, Vector(w));
+        ro.readWeightings.assign(r, Vector(n));
+        ro.writeWeighting.resize(n);
+    }
+    ifaces_.resize(batch_);
+    rawLane_.assign(batch_, Vector(ifaceSize));
+
+    feed_.resize(feedWidth_ * batch_);
+    hidden_.resize(h * batch_);
+    hiddenPrev_.resize(h * batch_);
+    cell_.resize(h * batch_);
+    for (auto &g : gatePre_)
+        g.resize(h * batch_);
+    rawIface_.resize(ifaceSize * batch_);
+    readsFlat_.resize(readWidth_ * batch_);
+    outSoA_.resize(config_.outputSize * batch_);
+
+    if (config_.numThreads > 1)
+        pool_ = std::make_unique<ThreadPool>(config_.numThreads);
+    lstmBlocks_ = blockCount(h);
+    ifaceBlocks_ = blockCount(ifaceSize);
+
+    // Prebuilt tasks: a [this] capture fits std::function's small-object
+    // buffer, and reusing the members keeps steady-state steps free of
+    // even transient allocations.
+    lstmTask_ = [this](Index blk) {
+        const Index row0 = blk * kRowBlock;
+        lstmRows(row0, std::min(row0 + kRowBlock, config_.controllerSize));
+    };
+    ifaceTask_ = [this](Index blk) {
+        const Index row0 = blk * kRowBlock;
+        ifaceRows(row0, std::min(row0 + kRowBlock, config_.interfaceSize()));
+    };
+    laneTask_ = [this](Index lane) { laneStep(lane); };
+}
+
+void
+BatchedDnc::dispatch(Index count, const std::function<void(Index)> &fn)
+{
+    if (pool_) {
+        pool_->parallelFor(count, fn);
+    } else {
+        for (Index i = 0; i < count; ++i)
+            fn(i);
+    }
+}
+
+void
+BatchedDnc::lstmRows(Index row0, Index row1)
+{
+    const Index lanes = batch_;
+    const Index h = config_.controllerSize;
+    const LstmCell &lstm = proto_.lstm();
+
+    const Real *pf = feed_.data();
+    const Real *php = hiddenPrev_.data();
+    Real *ph = hidden_.data();
+    Real *pc = cell_.data();
+
+    // Single-lane batches degenerate to contiguous dot products; keep
+    // the accumulators in registers (identical chains, ~2x faster).
+    if (lanes == 1) {
+        for (Index j = row0; j < row1; ++j) {
+            for (int g = 0; g < 4; ++g) {
+                const Real accx = dotContiguous(
+                    lstm.inputWeights(g).rowPtr(j), pf, feedWidth_);
+                const Real acch = dotContiguous(
+                    lstm.recurrentWeights(g).rowPtr(j), php, h);
+                gatePre_[g][j] = (accx + acch) + lstm.gateBias(g)[j];
+            }
+            const Real i = sigmoid(gatePre_[0][j]);
+            const Real f = sigmoid(gatePre_[1][j]);
+            const Real cand = std::tanh(gatePre_[2][j]);
+            const Real o = sigmoid(gatePre_[3][j]);
+            pc[j] = f * pc[j] + i * cand;
+            ph[j] = o * std::tanh(pc[j]);
+        }
+        return;
+    }
+
+    Real accx[kBatchLaneChunk];
+    Real acch[kBatchLaneChunk];
+    for (Index b0 = 0; b0 < lanes; b0 += kBatchLaneChunk) {
+        const Index nb = std::min(kBatchLaneChunk, lanes - b0);
+        for (Index j = row0; j < row1; ++j) {
+            // Gate pre-activations: per lane, the exact LstmCell::step
+            // chain (Wx x complete, then + Wh h complete, then + bias).
+            for (int g = 0; g < 4; ++g) {
+                const Real *wx = lstm.inputWeights(g).rowPtr(j);
+                const Real *wh = lstm.recurrentWeights(g).rowPtr(j);
+                const Real bias = lstm.gateBias(g)[j];
+                for (Index b = 0; b < nb; ++b) {
+                    accx[b] = 0.0;
+                    acch[b] = 0.0;
+                }
+                for (Index k = 0; k < feedWidth_; ++k) {
+                    const Real wv = wx[k];
+                    const Real *xl = pf + k * lanes + b0;
+                    for (Index b = 0; b < nb; ++b)
+                        accx[b] += wv * xl[b];
+                }
+                for (Index k = 0; k < h; ++k) {
+                    const Real wv = wh[k];
+                    const Real *hl = php + k * lanes + b0;
+                    for (Index b = 0; b < nb; ++b)
+                        acch[b] += wv * hl[b];
+                }
+                Real *gp = gatePre_[g].data() + j * lanes + b0;
+                for (Index b = 0; b < nb; ++b)
+                    gp[b] = (accx[b] + acch[b]) + bias;
+            }
+
+            // Cell/hidden update, scalar-for-scalar LstmCell::step.
+            const Real *gi = gatePre_[0].data() + j * lanes + b0;
+            const Real *gf = gatePre_[1].data() + j * lanes + b0;
+            const Real *gc = gatePre_[2].data() + j * lanes + b0;
+            const Real *go = gatePre_[3].data() + j * lanes + b0;
+            Real *cl = pc + j * lanes + b0;
+            Real *hl = ph + j * lanes + b0;
+            for (Index b = 0; b < nb; ++b) {
+                const Real i = sigmoid(gi[b]);
+                const Real f = sigmoid(gf[b]);
+                const Real cand = std::tanh(gc[b]);
+                const Real o = sigmoid(go[b]);
+                cl[b] = f * cl[b] + i * cand;
+                hl[b] = o * std::tanh(cl[b]);
+            }
+        }
+    }
+}
+
+void
+BatchedDnc::ifaceRows(Index row0, Index row1)
+{
+    const Index lanes = batch_;
+    const Index h = config_.controllerSize;
+    const Matrix &head = proto_.interfaceHead();
+    const Real *ph = hidden_.data();
+    Real *py = rawIface_.data();
+
+    if (lanes == 1) {
+        for (Index q = row0; q < row1; ++q)
+            py[q] = dotContiguous(head.rowPtr(q), ph, h);
+        return;
+    }
+
+    Real acc[kBatchLaneChunk];
+    for (Index b0 = 0; b0 < lanes; b0 += kBatchLaneChunk) {
+        const Index nb = std::min(kBatchLaneChunk, lanes - b0);
+        for (Index q = row0; q < row1; ++q) {
+            const Real *row = head.rowPtr(q);
+            for (Index b = 0; b < nb; ++b)
+                acc[b] = 0.0;
+            for (Index k = 0; k < h; ++k) {
+                const Real wv = row[k];
+                const Real *hl = ph + k * lanes + b0;
+                for (Index b = 0; b < nb; ++b)
+                    acc[b] += wv * hl[b];
+            }
+            Real *yl = py + q * lanes + b0;
+            for (Index b = 0; b < nb; ++b)
+                yl[b] = acc[b];
+        }
+    }
+}
+
+void
+BatchedDnc::laneStep(Index lane)
+{
+    const Index w = config_.memoryWidth;
+
+    // Decode this lane's interface emission and run its memory tile —
+    // the unchanged allocation-free MemoryUnit hot path.
+    laneGatherInto(rawIface_, batch_, lane, config_.interfaceSize(),
+                   rawLane_[lane]);
+    decodeInterfaceInto(rawLane_[lane], config_, ifaces_[lane]);
+    lanes_[lane].stepInto(ifaces_[lane], readouts_[lane]);
+
+    // Scatter this step's read vectors into the SoA feed for the output
+    // head (and next step's controller input).
+    for (Index head = 0; head < config_.readHeads; ++head)
+        laneScatterInto(readouts_[lane].readVectors[head], batch_, lane,
+                        readsFlat_, head * w);
+}
+
+void
+BatchedDnc::outputSweep()
+{
+    // y = (W_y h) + (W_r reads), the Controller::outputInto chain: each
+    // lane's two row sums are completed before the single +=.
+    batchedMatVecInto(proto_.outputHead(), hidden_, batch_, outSoA_);
+    batchedMatVecAccumulate(proto_.readHead(), readsFlat_, batch_, outSoA_);
+}
+
+void
+BatchedDnc::stepInto(const std::vector<Vector> &inputs,
+                     std::vector<Vector> &outputs)
+{
+    HIMA_ASSERT(inputs.size() == batch_, "batch input arity %zu != %zu",
+                inputs.size(), batch_);
+
+    // Feed concat [input; previous reads] into the SoA tile. The reads
+    // block of the feed has exactly readsFlat_'s layout (row r*W+c, lane
+    // b), and laneStep left last step's reads there — one contiguous
+    // copy instead of B*R*W strided writes.
+    Real *pf = feed_.data();
+    for (Index b = 0; b < batch_; ++b) {
+        HIMA_ASSERT(inputs[b].size() == config_.inputSize,
+                    "lane %zu input width %zu != %zu", b, inputs[b].size(),
+                    config_.inputSize);
+        const Real *pi = inputs[b].data();
+        for (Index k = 0; k < config_.inputSize; ++k)
+            pf[k * batch_ + b] = pi[k];
+    }
+    std::copy(readsFlat_.begin(), readsFlat_.end(),
+              pf + config_.inputSize * batch_);
+
+    // Recurrence reads the pre-step hidden state; the row blocks write
+    // hidden_ in place, so snapshot it once per step.
+    std::copy(hidden_.begin(), hidden_.end(), hiddenPrev_.begin());
+
+    dispatch(lstmBlocks_, lstmTask_);
+    dispatch(ifaceBlocks_, ifaceTask_);
+    dispatch(batch_, laneTask_);
+    outputSweep();
+
+    outputs.resize(batch_);
+    for (Index b = 0; b < batch_; ++b)
+        laneGatherInto(outSoA_, batch_, b, config_.outputSize, outputs[b]);
+}
+
+std::vector<Vector>
+BatchedDnc::step(const std::vector<Vector> &inputs)
+{
+    std::vector<Vector> outputs;
+    stepInto(inputs, outputs);
+    return outputs;
+}
+
+void
+BatchedDnc::reset()
+{
+    for (MemoryUnit &lane : lanes_)
+        lane.reset();
+    hidden_.fill(0.0);
+    cell_.fill(0.0);
+    // readsFlat_ feeds the next step's controller input directly, so it
+    // must drop the pre-reset reads along with the per-lane copies.
+    readsFlat_.fill(0.0);
+    for (MemoryReadout &ro : readouts_)
+        for (Vector &rv : ro.readVectors)
+            rv.fill(0.0);
+}
+
+Vector
+BatchedDnc::laneHidden(Index lane) const
+{
+    Vector v;
+    laneGatherInto(hidden_, batch_, lane, config_.controllerSize, v);
+    return v;
+}
+
+Vector
+BatchedDnc::laneCell(Index lane) const
+{
+    Vector v;
+    laneGatherInto(cell_, batch_, lane, config_.controllerSize, v);
+    return v;
+}
+
+} // namespace hima

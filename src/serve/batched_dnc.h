@@ -1,0 +1,159 @@
+/**
+ * @file
+ * BatchedDnc: the batched inference serving engine.
+ *
+ * Serving the paper's workloads (DNC-D tiles behind a query front-end,
+ * HiMA-style throughput targets) means stepping many independent DNC
+ * instances per process. One Dnc at a time wastes the two things batch
+ * execution amortizes:
+ *
+ *   1. Controller weights. Every lane of a serving deployment runs the
+ *      same trained model, so the LSTM and projection-head matrices are
+ *      shared — but a sequential loop re-streams every weight row from
+ *      cache/DRAM once per lane per step. BatchedDnc keeps controller
+ *      activations lane-interleaved (struct-of-arrays: element j of lane
+ *      b lives at buf[j * B + b]) and sweeps each weight row across all
+ *      B lanes at once, cutting per-lane weight traffic by B.
+ *   2. Per-step overhead. Interface decode, kernel dispatch and the
+ *      fork/join of the DNC-D-style thread pool are paid once per batch
+ *      instead of once per lane.
+ *
+ * Memory-side state (external memory, usage, linkage, weightings) is
+ * per-lane by nature — no operand is shared across lanes — so each lane
+ * owns a MemoryUnit tile: the batch-major tile array reuses the
+ * allocation-free stepInto() hot path, the row-norm cache and the fused
+ * AVX2 linkage sweep unchanged, and lanes are scheduled across the
+ * existing ThreadPool (config.numThreads lanes run concurrently).
+ *
+ * Bit-exactness contract (tested in tests/test_batched_dnc.cpp): lane b
+ * of BatchedDnc(config, seed) produces exactly the outputs and state of
+ * an independent Dnc(config, seed) fed lane b's input stream — for any
+ * batch size, any thread count, fixed-point on or off, and any
+ * writeSkipThreshold. The batched controller sweeps keep one c-ascending
+ * accumulator per lane (see batchedMatVecInto), so batching never
+ * changes per-lane arithmetic, only operand reuse. Reductions are never
+ * split across threads — parallelism is over LSTM row blocks and over
+ * lanes, both of which own their outputs exclusively — so any thread
+ * count is bit-identical too.
+ *
+ * Steady state performs zero heap allocations (asserted in
+ * tests/test_tensor_inplace.cpp): all struct-of-arrays buffers, per-lane
+ * scratch and the pool tasks are preallocated at construction.
+ */
+
+#ifndef HIMA_SERVE_BATCHED_DNC_H
+#define HIMA_SERVE_BATCHED_DNC_H
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dnc/controller.h"
+#include "dnc/memory_unit.h"
+
+namespace hima {
+
+/** B independent DNC lanes stepped together. */
+class BatchedDnc
+{
+  public:
+    /**
+     * @param config shapes and feature flags; config.batchSize lanes are
+     *               created and config.numThreads pool lanes drive them
+     * @param seed   weight-initialization seed — the same seed a
+     *               reference Dnc would be constructed with
+     */
+    explicit BatchedDnc(const DncConfig &config, std::uint64_t seed = 1);
+
+    /**
+     * One inference step for every lane.
+     *
+     * @param inputs  batchSize() task tokens, each of width inputSize
+     * @param outputs resized to batchSize() vectors of width outputSize
+     *                and overwritten; buffers are reused across calls, so
+     *                a steady-state step allocates nothing
+     */
+    void stepInto(const std::vector<Vector> &inputs,
+                  std::vector<Vector> &outputs);
+
+    /** Allocating convenience wrapper over stepInto(). */
+    std::vector<Vector> step(const std::vector<Vector> &inputs);
+
+    /** Reset every lane's controller and memory state. */
+    void reset();
+
+    Index batchSize() const { return batch_; }
+    const DncConfig &config() const { return config_; }
+
+    /** Lane b's memory tile (state inspection for tests/monitoring). */
+    const MemoryUnit &laneMemory(Index lane) const { return lanes_[lane]; }
+
+    /** Lane b's LSTM hidden state, gathered out of the SoA tile. */
+    Vector laneHidden(Index lane) const;
+
+    /** Lane b's LSTM cell state, gathered out of the SoA tile. */
+    Vector laneCell(Index lane) const;
+
+    /** Lane b's read vectors from the previous step. */
+    const std::vector<Vector> &laneReads(Index lane) const
+    {
+        return readouts_[lane].readVectors;
+    }
+
+  private:
+    // The output head uses the public batched kernels directly
+    // (batchedMatVecInto / batchedMatVecAccumulate); the LSTM and
+    // interface sweeps below are row-range versions of the same chunked
+    // per-lane-accumulator scheme — they can't call the whole-matrix
+    // kernels because pool tasks own row blocks and the LSTM fuses four
+    // gates plus the cell update into one pass. Their per-lane chains
+    // are pinned to the reference order by tests/test_batched_dnc.cpp.
+
+    /** Batched LSTM recurrence for rows [row0, row1). */
+    void lstmRows(Index row0, Index row1);
+
+    /** Batched interface-head projection for rows [row0, row1). */
+    void ifaceRows(Index row0, Index row1);
+
+    /** Decode + memory-unit step + reads scatter for one lane. */
+    void laneStep(Index lane);
+
+    /** Batched output head: y = W_y h + W_r [reads], all lanes. */
+    void outputSweep();
+
+    /** Run fn over count indices, on the pool when one is configured. */
+    void dispatch(Index count, const std::function<void(Index)> &fn);
+
+    DncConfig config_;
+    Index batch_;
+    Index feedWidth_;  ///< inputSize + R * W
+    Index readWidth_;  ///< R * W
+    Rng rng_;          ///< weight-init stream, identical to Dnc's
+    Controller proto_; ///< shared weights (its own h/c state is unused)
+    std::vector<MemoryUnit> lanes_;       ///< batch-major memory tiles
+    std::vector<MemoryReadout> readouts_; ///< per-lane readouts, reused
+    std::vector<InterfaceVector> ifaces_; ///< per-lane decoded interfaces
+    std::vector<Vector> rawLane_;         ///< per-lane decode gather
+
+    // Struct-of-arrays controller activations: element j of lane b lives
+    // at buf[j * batch_ + b].
+    Vector feed_;      ///< [input; prev reads], feedWidth x B
+    Vector hidden_;    ///< LSTM hidden state, H x B
+    Vector hiddenPrev_; ///< pre-step hidden snapshot (recurrence input)
+    Vector cell_;      ///< LSTM cell state, H x B
+    Vector gatePre_[4]; ///< gate pre-activations, H x B each
+    Vector rawIface_;  ///< interface emission, interfaceSize x B
+    Vector readsFlat_; ///< concatenated read vectors, (R*W) x B
+    Vector outSoA_;    ///< model outputs, outputSize x B
+
+    std::unique_ptr<ThreadPool> pool_; ///< present when numThreads > 1
+    Index lstmBlocks_;
+    Index ifaceBlocks_;
+    std::function<void(Index)> lstmTask_;  ///< prebuilt: no per-step alloc
+    std::function<void(Index)> ifaceTask_;
+    std::function<void(Index)> laneTask_;
+};
+
+} // namespace hima
+
+#endif // HIMA_SERVE_BATCHED_DNC_H

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Reusable golden-model harness: lockstep reference-vs-optimized
+ * comparisons for the DNC engines.
+ *
+ * The pattern every fast path in this repo must satisfy is "bit-identical
+ * to the reference model" — not approximately equal, identical. This
+ * header centralizes the machinery: deterministic input-stream
+ * generation, a randomized-but-valid scripted interface builder (shared
+ * by the memory-unit, DNC-D and determinism suites), and a lockstep
+ * runner that steps a BatchedDnc next to batchSize independent reference
+ * Dnc instances and asserts bit-equality of every output and every piece
+ * of per-lane state at every step.
+ */
+
+#ifndef HIMA_TESTS_GOLDEN_UTIL_H
+#define HIMA_TESTS_GOLDEN_UTIL_H
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "dnc/dnc.h"
+#include "serve/batched_dnc.h"
+
+namespace hima {
+namespace golden {
+
+/** A randomized but valid interface vector (mixed write/read traffic). */
+inline InterfaceVector
+randomIface(const DncConfig &cfg, Rng &rng)
+{
+    InterfaceVector iface;
+    iface.readKeys.clear();
+    for (Index h = 0; h < cfg.readHeads; ++h)
+        iface.readKeys.push_back(rng.normalVector(cfg.memoryWidth));
+    iface.readStrengths.assign(cfg.readHeads, 1.0 + rng.uniform(0.0, 8.0));
+    iface.writeKey = rng.normalVector(cfg.memoryWidth);
+    iface.writeStrength = 1.0 + rng.uniform(0.0, 8.0);
+    iface.eraseVector = rng.uniformVector(cfg.memoryWidth, 0.05, 0.95);
+    iface.writeVector = rng.normalVector(cfg.memoryWidth);
+    iface.freeGates.assign(cfg.readHeads, rng.uniform(0.0, 0.4));
+    iface.allocationGate = rng.uniform();
+    iface.writeGate = rng.uniform(0.2, 1.0);
+    const Real b = rng.uniform(0.0, 1.0);
+    const Real c = rng.uniform(0.0, 1.0 - b);
+    iface.readModes.assign(cfg.readHeads, ReadMode{b, c, 1.0 - b - c});
+    return iface;
+}
+
+/** One random task token per lane. */
+inline std::vector<Vector>
+randomBatchInputs(const DncConfig &cfg, Index batch, Rng &rng)
+{
+    std::vector<Vector> inputs;
+    inputs.reserve(batch);
+    for (Index b = 0; b < batch; ++b)
+        inputs.push_back(rng.normalVector(cfg.inputSize));
+    return inputs;
+}
+
+/**
+ * Assert bit-equality of lane `lane` of the batched engine against its
+ * reference Dnc: controller state, memory tile, weightings, linkage and
+ * previous reads. Uses the defaulted operator== on Vector/Matrix, i.e.
+ * exact double equality — no tolerances anywhere.
+ */
+inline void
+expectLaneStateIdentical(Dnc &ref, const BatchedDnc &engine, Index lane,
+                         int step)
+{
+    SCOPED_TRACE(::testing::Message() << "lane " << lane << " step " << step);
+    const MemoryUnit &rm = ref.memory();
+    const MemoryUnit &bm = engine.laneMemory(lane);
+    EXPECT_TRUE(rm.memory() == bm.memory()) << "memory matrix diverged";
+    EXPECT_TRUE(rm.usage() == bm.usage()) << "usage diverged";
+    EXPECT_TRUE(rm.rowNorms() == bm.rowNorms()) << "row-norm cache diverged";
+    EXPECT_TRUE(rm.writeWeighting() == bm.writeWeighting())
+        << "write weighting diverged";
+    ASSERT_EQ(rm.readWeightings().size(), bm.readWeightings().size());
+    for (Index h = 0; h < rm.readWeightings().size(); ++h)
+        EXPECT_TRUE(rm.readWeightings()[h] == bm.readWeightings()[h])
+            << "read weighting head " << h << " diverged";
+    EXPECT_TRUE(rm.linkage().linkage() == bm.linkage().linkage())
+        << "linkage matrix diverged";
+    EXPECT_TRUE(rm.linkage().precedence() == bm.linkage().precedence())
+        << "precedence diverged";
+    EXPECT_TRUE(ref.controller().lstm().hidden() == engine.laneHidden(lane))
+        << "LSTM hidden diverged";
+    EXPECT_TRUE(ref.controller().lstm().cell() == engine.laneCell(lane))
+        << "LSTM cell diverged";
+    ASSERT_EQ(ref.lastReads().size(), engine.laneReads(lane).size());
+    for (Index h = 0; h < ref.lastReads().size(); ++h)
+        EXPECT_TRUE(ref.lastReads()[h] == engine.laneReads(lane)[h])
+            << "read vector head " << h << " diverged";
+}
+
+/**
+ * Step a BatchedDnc in lockstep with batch independent reference Dnc
+ * runs over a deterministic random input stream, asserting per-lane
+ * bit-identity of outputs every step and of the full state at every
+ * `stateEvery`-th step (and the last).
+ *
+ * cfg.batchSize/cfg.numThreads are overwritten from the arguments so
+ * call sites read naturally.
+ */
+inline void
+runLockstep(DncConfig cfg, Index batch, Index threads, int steps,
+            std::uint64_t weightSeed = 1, std::uint64_t inputSeed = 99,
+            int stateEvery = 1)
+{
+    cfg.batchSize = batch;
+    cfg.numThreads = threads;
+    BatchedDnc engine(cfg, weightSeed);
+
+    DncConfig refCfg = cfg;
+    refCfg.batchSize = 1;
+    refCfg.numThreads = 1;
+    std::vector<std::unique_ptr<Dnc>> refs;
+    for (Index b = 0; b < batch; ++b)
+        refs.push_back(std::make_unique<Dnc>(refCfg, weightSeed));
+
+    Rng inputRng(inputSeed);
+    std::vector<Vector> outputs;
+    for (int step = 0; step < steps; ++step) {
+        const std::vector<Vector> inputs =
+            randomBatchInputs(cfg, batch, inputRng);
+        engine.stepInto(inputs, outputs);
+        ASSERT_EQ(outputs.size(), batch);
+        for (Index b = 0; b < batch; ++b) {
+            const Vector refOut = refs[b]->step(inputs[b]);
+            ASSERT_TRUE(refOut == outputs[b])
+                << "output diverged at lane " << b << " step " << step;
+            if (stateEvery > 0 &&
+                (step % stateEvery == 0 || step == steps - 1))
+                expectLaneStateIdentical(*refs[b], engine, b, step);
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+} // namespace golden
+} // namespace hima
+
+#endif // HIMA_TESTS_GOLDEN_UTIL_H

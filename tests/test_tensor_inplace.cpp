@@ -22,15 +22,21 @@
 #include "common/thread_pool.h"
 #include "dnc/dncd.h"
 #include "dnc/memory_unit.h"
+#include "golden_util.h"
 
 // --------------------------------------------------------------------
 // Global operator-new hook: counts every heap allocation in the test
 // binary. The zero-allocation assertions read the counter delta around
-// a steady-state step.
+// a steady-state step. All four allocating forms are hooked — scalar,
+// array, and their over-aligned C++17 variants — so an allocation
+// cannot dodge the counter by coming in through `new[]` or through a
+// type with extended alignment; the array forms additionally bump their
+// own counter so the hook itself is testable.
 // --------------------------------------------------------------------
 
 namespace {
 std::atomic<std::uint64_t> g_allocationCount{0};
+std::atomic<std::uint64_t> g_arrayAllocationCount{0};
 }
 
 void *
@@ -45,7 +51,26 @@ operator new(std::size_t size)
 void *
 operator new[](std::size_t size)
 {
-    return ::operator new(size);
+    g_arrayAllocationCount.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(size); // bumps the total counter
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocationCount.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(align);
+    const std::size_t rounded = (size + a - 1) / a * a;
+    if (void *p = std::aligned_alloc(a, rounded ? rounded : a))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    g_arrayAllocationCount.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(size, align); // bumps the total counter
 }
 
 void
@@ -68,6 +93,30 @@ operator delete[](void *p) noexcept
 
 void
 operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
 {
     std::free(p);
 }
@@ -187,6 +236,127 @@ TEST_P(InplaceKernels, QuantizeInPlaceMatches)
 INSTANTIATE_TEST_SUITE_P(Seeds, InplaceKernels, ::testing::Range(0, 8));
 
 // --------------------------------------------------------------------
+// Batched (struct-of-arrays) kernels: per-lane results must equal the
+// single-lane kernels bit-for-bit, including across the 64-lane chunk
+// boundary of the stack accumulators.
+// --------------------------------------------------------------------
+
+class BatchedKernels : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng rng_{static_cast<std::uint64_t>(GetParam()) * 104729 + 3};
+};
+
+TEST_P(BatchedKernels, MatVecMatchesPerLane)
+{
+    const Index rows = 1 + rng_.uniformInt(12);
+    const Index cols = 1 + rng_.uniformInt(12);
+    const Index lanes = 1 + rng_.uniformInt(90); // crosses the 64 chunk
+    const Matrix m = rng_.normalMatrix(rows, cols);
+
+    std::vector<Vector> xs;
+    Vector soaX(cols * lanes);
+    for (Index b = 0; b < lanes; ++b) {
+        xs.push_back(rng_.normalVector(cols));
+        laneScatterInto(xs[b], lanes, b, soaX);
+    }
+
+    Vector soaY;
+    batchedMatVecInto(m, soaX, lanes, soaY);
+    Vector lane, ref;
+    for (Index b = 0; b < lanes; ++b) {
+        laneGatherInto(soaY, lanes, b, rows, lane);
+        matVecInto(m, xs[b], ref);
+        ASSERT_EQ(lane, ref) << "lane " << b;
+    }
+
+    // Accumulate on top of randomized destinations.
+    std::vector<Vector> ys;
+    Vector soaAcc(rows * lanes);
+    for (Index b = 0; b < lanes; ++b) {
+        ys.push_back(rng_.normalVector(rows));
+        laneScatterInto(ys[b], lanes, b, soaAcc);
+    }
+    batchedMatVecAccumulate(m, soaX, lanes, soaAcc);
+    for (Index b = 0; b < lanes; ++b) {
+        laneGatherInto(soaAcc, lanes, b, rows, lane);
+        ref = ys[b];
+        matVecAccumulate(m, xs[b], ref);
+        ASSERT_EQ(lane, ref) << "lane " << b;
+    }
+}
+
+TEST_P(BatchedKernels, LaneHelpersMatchSingleLaneKernels)
+{
+    const Index n = 1 + rng_.uniformInt(24);
+    const Index lanes = 1 + rng_.uniformInt(70);
+    const Vector bias = rng_.normalVector(n);
+    const Real alpha = rng_.uniform(-3.0, 3.0);
+
+    std::vector<Vector> ys;
+    Vector soa(n * lanes);
+    for (Index b = 0; b < lanes; ++b) {
+        ys.push_back(rng_.normalVector(n));
+        laneScatterInto(ys[b], lanes, b, soa);
+    }
+
+    // Round-trip: gather(scatter(v)) == v.
+    Vector lane;
+    for (Index b = 0; b < lanes; ++b) {
+        laneGatherInto(soa, lanes, b, n, lane);
+        ASSERT_EQ(lane, ys[b]) << "lane " << b;
+    }
+
+    laneBroadcastAdd(bias, lanes, soa);
+    for (Index b = 0; b < lanes; ++b) {
+        laneGatherInto(soa, lanes, b, n, lane);
+        Vector ref = ys[b];
+        addInPlace(ref, bias);
+        ASSERT_EQ(lane, ref) << "lane " << b;
+        ys[b] = ref;
+    }
+
+    const Vector x = rng_.normalVector(n);
+    const Index target = rng_.uniformInt(lanes);
+    laneAxpy(alpha, x, lanes, target, soa);
+    for (Index b = 0; b < lanes; ++b) {
+        laneGatherInto(soa, lanes, b, n, lane);
+        Vector ref = ys[b];
+        if (b == target)
+            axpy(alpha, x, ref);
+        ASSERT_EQ(lane, ref) << "lane " << b;
+    }
+}
+
+TEST_P(BatchedKernels, ScatterRowOffsetPlacesSegments)
+{
+    // Concatenated segments per lane (the reads-flat layout): scatter
+    // each segment at its row offset, gather the whole lane back.
+    const Index segments = 1 + rng_.uniformInt(4);
+    const Index width = 1 + rng_.uniformInt(8);
+    const Index lanes = 1 + rng_.uniformInt(20);
+    Vector soa(segments * width * lanes);
+
+    std::vector<std::vector<Vector>> parts(lanes);
+    for (Index b = 0; b < lanes; ++b)
+        for (Index s = 0; s < segments; ++s) {
+            parts[b].push_back(rng_.normalVector(width));
+            laneScatterInto(parts[b][s], lanes, b, soa, s * width);
+        }
+
+    Vector lane;
+    for (Index b = 0; b < lanes; ++b) {
+        laneGatherInto(soa, lanes, b, segments * width, lane);
+        for (Index s = 0; s < segments; ++s)
+            for (Index c = 0; c < width; ++c)
+                ASSERT_EQ(lane[s * width + c], parts[b][s][c])
+                    << "lane " << b << " segment " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedKernels, ::testing::Range(0, 8));
+
+// --------------------------------------------------------------------
 // Memory-unit helpers shared by the cache / allocation / DNC-D tests.
 // --------------------------------------------------------------------
 
@@ -200,26 +370,11 @@ smallConfig()
     return cfg;
 }
 
-/** A randomized but valid interface vector (mixed write/read traffic). */
+/** A randomized but valid interface vector (shared golden helper). */
 InterfaceVector
 randomIface(const DncConfig &cfg, Rng &rng)
 {
-    InterfaceVector iface;
-    iface.readKeys.clear();
-    for (Index h = 0; h < cfg.readHeads; ++h)
-        iface.readKeys.push_back(rng.normalVector(cfg.memoryWidth));
-    iface.readStrengths.assign(cfg.readHeads, 1.0 + rng.uniform(0.0, 8.0));
-    iface.writeKey = rng.normalVector(cfg.memoryWidth);
-    iface.writeStrength = 1.0 + rng.uniform(0.0, 8.0);
-    iface.eraseVector = rng.uniformVector(cfg.memoryWidth, 0.05, 0.95);
-    iface.writeVector = rng.normalVector(cfg.memoryWidth);
-    iface.freeGates.assign(cfg.readHeads, rng.uniform(0.0, 0.4));
-    iface.allocationGate = rng.uniform();
-    iface.writeGate = rng.uniform(0.2, 1.0);
-    const Real b = rng.uniform(0.0, 1.0);
-    const Real c = rng.uniform(0.0, 1.0 - b);
-    iface.readModes.assign(cfg.readHeads, ReadMode{b, c, 1.0 - b - c});
-    return iface;
+    return golden::randomIface(cfg, rng);
 }
 
 void
@@ -351,6 +506,79 @@ TEST(ZeroAllocation, SteadyStateHoldsAtLargerShapes)
         g_allocationCount.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0u);
 }
+
+namespace {
+// Opaque escape: forces the new-expressions in the hook self-test to
+// materialize ([expr.new] lets the compiler elide calls to replaceable
+// allocation functions for non-escaping pairs, which would unhook them).
+volatile void *g_escapeSink = nullptr;
+} // namespace
+
+TEST(ZeroAllocation, HookTripsOnScalarAndArrayNew)
+{
+    // The hook itself must be trustworthy: both allocation forms bump
+    // the total counter, and new[] additionally bumps the array counter
+    // (it historically only counted via forwarding, which an
+    // implementation-provided new[] would silently bypass).
+    const std::uint64_t total0 =
+        g_allocationCount.load(std::memory_order_relaxed);
+    const std::uint64_t array0 =
+        g_arrayAllocationCount.load(std::memory_order_relaxed);
+
+    double *scalar = new double(1.5);
+    g_escapeSink = scalar;
+    EXPECT_GT(g_allocationCount.load(std::memory_order_relaxed), total0);
+    delete scalar;
+
+    double *array = new double[32];
+    g_escapeSink = array;
+    array[0] = 2.5;
+    EXPECT_GT(g_arrayAllocationCount.load(std::memory_order_relaxed), array0);
+    EXPECT_GT(g_allocationCount.load(std::memory_order_relaxed), total0 + 1);
+    EXPECT_EQ(array[0], 2.5);
+    delete[] array;
+}
+
+/**
+ * BatchedDnc steady-state steps: zero heap allocations for the whole
+ * engine — SoA controller sweeps, per-lane decode, every memory tile
+ * and the thread-pool dispatch — at 1 worker and at 4.
+ */
+class BatchedZeroAlloc : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BatchedZeroAlloc, SteadyStateBatchedStep)
+{
+    DncConfig cfg = smallConfig();
+    cfg.controllerSize = 32;
+    cfg.inputSize = 16;
+    cfg.outputSize = 16;
+    cfg.batchSize = 4;
+    cfg.numThreads = static_cast<Index>(GetParam());
+    BatchedDnc engine(cfg, 9);
+    Rng rng(203);
+
+    // Pre-build every input batch so the measured region is pure
+    // stepInto.
+    std::vector<std::vector<Vector>> batches;
+    for (int i = 0; i < 8; ++i)
+        batches.push_back(golden::randomBatchInputs(cfg, cfg.batchSize, rng));
+
+    std::vector<Vector> outputs;
+    engine.stepInto(batches[0], outputs); // sizes every buffer
+    engine.stepInto(batches[1], outputs);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 2; i < 8; ++i)
+        engine.stepInto(batches[i], outputs);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state batched step performed heap allocations";
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchedZeroAlloc, ::testing::Values(1, 4));
 
 // --------------------------------------------------------------------
 // Thread pool and threaded DNC-D determinism.

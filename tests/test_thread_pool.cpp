@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ThreadPool edge cases: empty index spaces, exception propagation from
+ * tasks (including the caller's own lane), pool reuse after a throwing
+ * job, and prompt construction/destruction — the lifecycle paths the
+ * batched serving engine leans on every step.
+ */
+
+#include <atomic>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace hima {
+namespace {
+
+TEST(ThreadPoolEdge, ZeroTasksIsANoOp)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](Index) { FAIL() << "no index should run"; });
+    // And the pool is still usable afterwards.
+    std::atomic<int> ran{0};
+    pool.parallelFor(5, [&](Index) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPoolEdge, ZeroTasksOnSingleLanePool)
+{
+    ThreadPool pool(1);
+    pool.parallelFor(0, [](Index) { FAIL() << "no index should run"; });
+}
+
+TEST(ThreadPoolEdge, CountSmallerThanThreads)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(3);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(3, [&](Index i) { hits[i].fetch_add(1); });
+    for (Index i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolEdge, TaskExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](Index i) {
+                                      ran.fetch_add(1);
+                                      if (i == 57)
+                                          throw std::runtime_error("task 57");
+                                  }),
+                 std::runtime_error);
+    // The every-index guarantee holds even when one task throws.
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolEdge, TaskExceptionOnSequentialPath)
+{
+    // A 1-lane pool runs tasks inline on the caller; the contract must
+    // be the same: all indices execute, then the first exception
+    // rethrows.
+    ThreadPool pool(1);
+    int ran = 0;
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [&](Index i) {
+                                      ++ran;
+                                      if (i == 3)
+                                          throw std::runtime_error("task 3");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(ran, 10);
+}
+
+TEST(ThreadPoolEdge, PoolIsReusableAfterAThrowingJob)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.parallelFor(50,
+                                      [&](Index i) {
+                                          if (i % 7 == 0)
+                                              throw std::runtime_error("x");
+                                      }),
+                     std::runtime_error);
+        std::atomic<int> ran{0};
+        pool.parallelFor(50, [&](Index) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 50) << "round " << round;
+    }
+}
+
+TEST(ThreadPoolEdge, ExceptionMessageIsFromATask)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(8, [](Index i) {
+            throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u) << e.what();
+    }
+}
+
+TEST(ThreadPoolEdge, DestructionWithIdleWorkers)
+{
+    // Workers are parked on the start condition when the pool dies; the
+    // destructor must wake and join them without a job ever running.
+    for (int round = 0; round < 8; ++round) {
+        ThreadPool pool(4);
+        (void)pool;
+    }
+}
+
+TEST(ThreadPoolEdge, DestructionImmediatelyAfterWork)
+{
+    // The teardown race this covers: workers can still be inside their
+    // final failing claim of the last job when stop_ is raised.
+    for (int round = 0; round < 8; ++round) {
+        ThreadPool pool(4);
+        std::atomic<int> ran{0};
+        pool.parallelFor(64, [&](Index) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), 64);
+    }
+}
+
+TEST(ThreadPoolEdge, ManyBackToBackJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 200; ++round)
+        pool.parallelFor(16, [&](Index i) {
+            total.fetch_add(static_cast<long>(i));
+        });
+    EXPECT_EQ(total.load(), 200L * (15 * 16 / 2));
+}
+
+} // namespace
+} // namespace hima
