@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Dynamic-batching router benchmark: request latency percentiles and
+ * per-lane throughput vs offered load.
+ *
+ * An open-loop Poisson arrival process (episodes drawn from the 20-task
+ * suite) is replayed through the Router at several utilization levels of
+ * the lane pool, and for each level the bench records end-to-end request
+ * latency (p50/p95/p99, in router steps and milliseconds), queueing
+ * delay, mean lane occupancy, and throughput (requests/s and
+ * lane-steps/s). Results accumulate in BENCH_router.json (CI artifact),
+ * alongside BENCH_hot_path.json and BENCH_batched.json.
+ *
+ * Before timing anything the harness serves a small trace and checks
+ * every completed request bit-for-bit against a dedicated sequential
+ * Dnc run — the same refusal gate the other benches use: never
+ * benchmark unequal computations. `--smoke` runs the gate plus one tiny
+ * load point (the ASan/UBSan CI configuration, where full horizons
+ * would be needlessly slow).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "dnc/dnc.h"
+#include "serve/router.h"
+#include "workload/arrival.h"
+
+namespace hima {
+namespace {
+
+constexpr std::uint64_t kWeightSeed = 1;
+constexpr std::uint64_t kTokenSeed = 77;
+
+DncConfig
+serveConfig()
+{
+    // Paper-like word width and head count; N reduced so the saturated
+    // load points stay laptop-friendly at capacity-16 lane pools.
+    DncConfig cfg;
+    cfg.memoryRows = 128;
+    cfg.memoryWidth = 64;
+    cfg.readHeads = 4;
+    cfg.controllerSize = 128;
+    cfg.inputSize = 64;
+    cfg.outputSize = 64;
+    cfg.batchSize = 16;
+    cfg.routerQueueCapacity = 4096; // open loop: observe queueing, don't drop
+    return cfg;
+}
+
+/** Mean service demand of the task suite, in engine steps. */
+double
+meanEpisodeSteps()
+{
+    const auto suite = taskSuite();
+    double total = 0.0;
+    for (const TaskSpec &spec : suite)
+        total += static_cast<double>(episodeSteps(spec));
+    return total / static_cast<double>(suite.size());
+}
+
+/**
+ * Serve one trace through a fresh router, submitting each arrival at
+ * its step boundary and draining at the end.
+ *
+ * @return wall-clock seconds of the serve loop
+ */
+double
+serveTrace(Router &router, const std::vector<ArrivalEvent> &trace,
+           Index inputSize, Index *laneStepsOut)
+{
+    using Clock = std::chrono::steady_clock;
+    Index laneSteps = 0;
+    std::size_t next = 0;
+    const auto start = Clock::now();
+    while (next < trace.size() || !router.idle()) {
+        while (next < trace.size() && trace[next].step <= router.now()) {
+            ServeRequest request;
+            request.id = trace[next].ordinal;
+            request.tokens =
+                requestTokens(trace[next], inputSize, kTokenSeed);
+            router.submit(std::move(request));
+            ++next;
+        }
+        router.step();
+        // Lanes stepped this round: still-Active lanes plus the ones
+        // that just finished (Draining until the next boundary).
+        laneSteps += router.engine().activeLanes() +
+                     router.engine().drainingLanes();
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (laneStepsOut)
+        *laneStepsOut = laneSteps;
+    return seconds;
+}
+
+/** Bit-exact refusal gate: routed requests vs dedicated reference runs. */
+bool
+crossCheck(bool fixedPoint)
+{
+    DncConfig cfg = serveConfig();
+    cfg.memoryRows = 72; // small: this is a correctness gate, not timing
+    cfg.controllerSize = 48;
+    cfg.batchSize = 4;
+    cfg.numThreads = 2;
+    cfg.fixedPoint = fixedPoint;
+
+    Router router(cfg, kWeightSeed);
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Bursty; // bursts force queueing + churn
+    spec.rate = 0.1;
+    spec.burstProbability = 0.2;
+    spec.burstSize = 6;
+    Rng traceRng(101);
+    const auto trace = makeArrivalTrace(spec, 24, traceRng);
+    if (trace.empty())
+        return false;
+    serveTrace(router, trace, cfg.inputSize, nullptr);
+
+    // The gate must cover the whole trace: a queue overflow here means
+    // the gate config is wrong (capacity 4096 vs a 24-step trace), not
+    // that the engine diverged.
+    if (router.rejectedRequests() != 0) {
+        std::fprintf(stderr,
+                     "cross-check: %zu submissions hit back-pressure — "
+                     "widen routerQueueCapacity for the gate\n",
+                     router.rejectedRequests());
+        return false;
+    }
+    if (router.completed().size() != trace.size())
+        return false;
+    DncConfig refCfg = cfg;
+    refCfg.batchSize = 1;
+    refCfg.numThreads = 1;
+    Dnc ref(refCfg, kWeightSeed);
+    for (const ServeResult &result : router.completed()) {
+        const ArrivalEvent &event = trace[result.id];
+        const auto tokens = requestTokens(event, cfg.inputSize, kTokenSeed);
+        if (result.outputs.size() != tokens.size())
+            return false;
+        ref.reset();
+        for (Index t = 0; t < tokens.size(); ++t)
+            if (!(ref.step(tokens[t]) == result.outputs[t]))
+                return false;
+    }
+    return true;
+}
+
+struct LoadResult
+{
+    double utilization;     ///< offered lane-steps / lane capacity
+    double arrivalsPerStep; ///< Poisson rate
+    Index requests;
+    Index rejected;         ///< queue-overflow drops (skew the tail!)
+    Index laneSteps;
+    double seconds;
+    double meanOccupancy;   ///< mean active lanes during the run
+    double p50Steps, p95Steps, p99Steps; ///< latency in router steps
+    double p50Ms, p95Ms, p99Ms;          ///< latency in wall milliseconds
+    double p95QueueSteps;                ///< queueing component
+    double requestsPerSec;
+    double laneStepsPerSec;
+};
+
+LoadResult
+runLoadPoint(const DncConfig &cfg, double utilization, Index horizon,
+             std::uint64_t traceSeed)
+{
+    const double meanLen = meanEpisodeSteps();
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Poisson;
+    spec.rate = utilization * static_cast<double>(cfg.batchSize) / meanLen;
+
+    Rng traceRng(traceSeed);
+    const auto trace = makeArrivalTrace(spec, horizon, traceRng);
+
+    Router router(cfg, kWeightSeed);
+    Index laneSteps = 0;
+    const double seconds =
+        serveTrace(router, trace, cfg.inputSize, &laneSteps);
+
+    LoadResult r{};
+    r.utilization = utilization;
+    r.arrivalsPerStep = spec.rate;
+    r.requests = router.completed().size();
+    r.rejected = router.rejectedRequests();
+    r.laneSteps = laneSteps;
+    r.seconds = seconds;
+    r.meanOccupancy = router.now()
+                          ? static_cast<double>(laneSteps) /
+                                static_cast<double>(router.now())
+                          : 0.0;
+
+    const double msPerStep =
+        router.now() ? 1e3 * seconds / static_cast<double>(router.now())
+                     : 0.0;
+    std::vector<double> latency, queueing;
+    latency.reserve(router.completed().size());
+    for (const ServeResult &result : router.completed()) {
+        latency.push_back(static_cast<double>(result.latencySteps()));
+        queueing.push_back(static_cast<double>(result.queueSteps()));
+    }
+    const std::vector<double> lat =
+        percentiles(std::move(latency), {0.50, 0.95, 0.99});
+    r.p50Steps = lat[0];
+    r.p95Steps = lat[1];
+    r.p99Steps = lat[2];
+    r.p50Ms = r.p50Steps * msPerStep;
+    r.p95Ms = r.p95Steps * msPerStep;
+    r.p99Ms = r.p99Steps * msPerStep;
+    r.p95QueueSteps = percentile(std::move(queueing), 0.95);
+    r.requestsPerSec =
+        seconds > 0.0 ? static_cast<double>(r.requests) / seconds : 0.0;
+    r.laneStepsPerSec =
+        seconds > 0.0 ? static_cast<double>(laneSteps) / seconds : 0.0;
+    return r;
+}
+
+} // namespace
+} // namespace hima
+
+int
+main(int argc, char **argv)
+{
+    using namespace hima;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    if (!crossCheck(false) || !crossCheck(true)) {
+        std::fprintf(stderr,
+                     "FATAL: routed requests diverged from the reference "
+                     "runs — refusing to benchmark unequal computations\n");
+        return 1;
+    }
+    std::printf("cross-check: routed requests bit-identical to dedicated "
+                "sequential runs (float and fixed-point)\n");
+
+    DncConfig cfg = serveConfig();
+    const unsigned hw = std::thread::hardware_concurrency();
+    cfg.numThreads = std::min<Index>(4, hw > 0 ? hw : 1);
+
+    const Index horizon = smoke ? 64 : 2000;
+    const std::vector<double> loads =
+        smoke ? std::vector<double>{0.5}
+              : std::vector<double>{0.25, 0.5, 0.75, 0.95};
+
+    std::printf("router bench: capacity %zu lanes, %zu pool threads, "
+                "mean episode %.1f steps, horizon %zu%s\n",
+                cfg.batchSize, cfg.numThreads, meanEpisodeSteps(), horizon,
+                smoke ? " (smoke)" : "");
+
+    std::vector<LoadResult> results;
+    for (double load : loads) {
+        const LoadResult r = runLoadPoint(cfg, load, horizon, 31);
+        results.push_back(r);
+        std::printf("load %.2f (%.3f req/step)  %5zu reqs  occ %5.2f  "
+                    "p50 %5.0f  p95 %5.0f  p99 %5.0f steps  "
+                    "(p50 %.2f ms)  %8.1f lane-steps/s\n",
+                    r.utilization, r.arrivalsPerStep, r.requests,
+                    r.meanOccupancy, r.p50Steps, r.p95Steps, r.p99Steps,
+                    r.p50Ms, r.laneStepsPerSec);
+        if (r.rejected)
+            std::printf("  WARNING: %zu submissions rejected by queue "
+                        "back-pressure; tail percentiles cover survivors "
+                        "only\n",
+                        r.rejected);
+    }
+
+    FILE *json = std::fopen("BENCH_router.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot open BENCH_router.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(json,
+                 "  \"config\": {\"memory_rows\": %zu, \"memory_width\": "
+                 "%zu, \"read_heads\": %zu, \"controller_size\": %zu, "
+                 "\"capacity\": %zu, \"threads\": %zu},\n",
+                 cfg.memoryRows, cfg.memoryWidth, cfg.readHeads,
+                 cfg.controllerSize, cfg.batchSize, cfg.numThreads);
+    std::fprintf(json, "  \"mean_episode_steps\": %.2f,\n",
+                 meanEpisodeSteps());
+    std::fprintf(json, "  \"horizon_steps\": %zu,\n", horizon);
+    std::fprintf(json, "  \"loads\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const LoadResult &r = results[i];
+        std::fprintf(
+            json,
+            "    {\"utilization\": %.2f, \"arrivals_per_step\": %.4f, "
+            "\"requests\": %zu, \"rejected\": %zu, "
+            "\"mean_occupancy\": %.3f, "
+            "\"latency_steps\": {\"p50\": %.1f, \"p95\": %.1f, "
+            "\"p99\": %.1f}, "
+            "\"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+            "\"p99\": %.3f}, "
+            "\"queue_steps_p95\": %.1f, "
+            "\"requests_per_sec\": %.2f, "
+            "\"lane_steps_per_sec\": %.2f}%s\n",
+            r.utilization, r.arrivalsPerStep, r.requests, r.rejected,
+            r.meanOccupancy,
+            r.p50Steps, r.p95Steps, r.p99Steps, r.p50Ms, r.p95Ms, r.p99Ms,
+            r.p95QueueSteps, r.requestsPerSec, r.laneStepsPerSec,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_router.json (%zu load points)\n",
+                results.size());
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Tiny argv helpers shared by the example binaries.
+ */
+
+#ifndef HIMA_EXAMPLES_DEMO_UTIL_H
+#define HIMA_EXAMPLES_DEMO_UTIL_H
+
+#include <cstdlib>
+
+#include "common/tensor.h"
+
+namespace hima {
+
+/**
+ * Parse a strictly positive integer argv value; returns 0 on any bad
+ * input — including negatives, which an unchecked strtoull would
+ * silently wrap to a huge count.
+ */
+inline Index
+parsePositive(const char *arg)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(arg, &end, 10);
+    if (end == arg || *end != '\0' || v < 1)
+        return 0;
+    return static_cast<Index>(v);
+}
+
+} // namespace hima
+
+#endif // HIMA_EXAMPLES_DEMO_UTIL_H

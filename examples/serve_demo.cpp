@@ -10,17 +10,25 @@
  * token sequence into every lane, then shows that (a) lanes evolve
  * independently and (b) the whole batch steps at a per-lane rate a
  * sequential serve loop cannot match.
+ *
+ *   usage: serve_demo [batch] [threads] [steps]
+ *     batch    concurrent sessions (default 8)
+ *     threads  pool threads        (default 2)
+ *     steps    batch steps to run  (default 200)
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/random.h"
 #include "serve/batched_dnc.h"
 
+#include "demo_util.h"
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hima;
 
@@ -31,8 +39,18 @@ main()
     cfg.controllerSize = 64;
     cfg.inputSize = 32;
     cfg.outputSize = 32;
-    cfg.batchSize = 8;  // 8 concurrent sessions
-    cfg.numThreads = 2; // lanes scheduled across the pool
+    // 8 concurrent sessions across 2 pool threads by default; argv
+    // overrides for quick occupancy/thread sweeps.
+    cfg.batchSize = argc > 1 ? parsePositive(argv[1]) : 8;
+    cfg.numThreads = argc > 2 ? parsePositive(argv[2]) : 2;
+    const int kSteps =
+        argc > 3 ? static_cast<int>(parsePositive(argv[3])) : 200;
+    if (cfg.batchSize == 0 || cfg.numThreads == 0 || kSteps <= 0) {
+        std::fprintf(stderr,
+                     "usage: serve_demo [batch >= 1] [threads >= 1] "
+                     "[steps >= 1]\n");
+        return 1;
+    }
 
     BatchedDnc engine(cfg);
     std::printf("BatchedDnc: %zu lanes, %zu pool threads, memory %zux%zu\n",
@@ -46,7 +64,6 @@ main()
     for (Index b = 0; b < cfg.batchSize; ++b)
         laneTokens.push_back(rng.normalVector(cfg.inputSize));
 
-    constexpr int kSteps = 200;
     std::vector<Vector> inputs(cfg.batchSize);
     std::vector<Vector> outputs;
     const auto start = std::chrono::steady_clock::now();

@@ -115,4 +115,30 @@ StatRegistry::clear()
     counters_.clear();
 }
 
+std::vector<Real>
+percentiles(std::vector<Real> sample, const std::vector<Real> &qs)
+{
+    std::vector<Real> out;
+    out.reserve(qs.size());
+    std::sort(sample.begin(), sample.end());
+    for (Real q : qs) {
+        HIMA_ASSERT(q > 0.0 && q <= 1.0, "percentile: q %f outside (0, 1]",
+                    q);
+        if (sample.empty()) {
+            out.push_back(0.0);
+            continue;
+        }
+        const std::size_t rank = static_cast<std::size_t>(std::max(
+            1.0, std::ceil(q * static_cast<Real>(sample.size()))));
+        out.push_back(sample[rank - 1]);
+    }
+    return out;
+}
+
+Real
+percentile(std::vector<Real> sample, Real q)
+{
+    return percentiles(std::move(sample), {q})[0];
+}
+
 } // namespace hima

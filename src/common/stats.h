@@ -90,6 +90,19 @@ class StatRegistry
     std::map<std::string, std::uint64_t> counters_;
 };
 
+/**
+ * Nearest-rank percentiles of one sample: for each q, the smallest
+ * element such that at least ceil(q * n) elements are <= it. Every q
+ * must be in (0, 1]; an empty sample yields zeros. The sample is taken
+ * by value and sorted once for all quantiles (callers' latency logs are
+ * still needed in arrival order).
+ */
+std::vector<Real> percentiles(std::vector<Real> sample,
+                              const std::vector<Real> &qs);
+
+/** Single-quantile convenience over percentiles(). */
+Real percentile(std::vector<Real> sample, Real q);
+
 } // namespace hima
 
 #endif // HIMA_COMMON_STATS_H

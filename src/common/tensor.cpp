@@ -278,32 +278,40 @@ namespace {
  * stack-resident chunks so every lane owns a private c-ascending
  * accumulator (the bit-exactness requirement) without any heap scratch;
  * the weight row is streamed once per chunk of up to kLaneChunk lanes.
+ * Only the `active` leading columns of the stride-`stride` SoA tile are
+ * swept — a partially occupied batch never pays flops for padding.
  */
 template <bool Accumulate>
 void
-batchedMatVecBody(const Matrix &m, const Vector &x, Index lanes, Vector &y)
+batchedMatVecBody(const Matrix &m, const Vector &x, Index stride,
+                  Index active, Vector &y)
 {
-    HIMA_ASSERT(lanes >= 1, "batchedMatVec: zero lanes");
-    HIMA_ASSERT(m.cols() * lanes == x.size(),
-                "batchedMatVec: cols %zu * lanes %zu != x %zu",
-                m.cols(), lanes, x.size());
+    HIMA_ASSERT(stride >= 1, "batchedMatVec: zero lane stride");
+    HIMA_ASSERT(active >= 1 && active <= stride,
+                "batchedMatVec: active lanes %zu outside [1, %zu]",
+                active, stride);
+    HIMA_ASSERT(m.cols() * stride == x.size(),
+                "batchedMatVec: cols %zu * stride %zu != x %zu",
+                m.cols(), stride, x.size());
     const Index rows = m.rows();
     const Index cols = m.cols();
     if (Accumulate)
-        HIMA_ASSERT(y.size() == rows * lanes,
-                    "batchedMatVecAccumulate: y %zu != rows %zu * lanes %zu",
-                    y.size(), rows, lanes);
+        HIMA_ASSERT(y.size() == rows * stride,
+                    "batchedMatVecAccumulate: y %zu != rows %zu * stride %zu",
+                    y.size(), rows, stride);
     else
-        y.resize(rows * lanes);
+        y.resize(rows * stride);
 
     const Real *pm = m.data();
     const Real *px = x.data();
     Real *py = y.data();
 
-    // Single-lane degenerate case: keep the accumulator in a register
-    // (the chunk array below defeats register allocation at nb == 1 and
-    // costs ~2x on the dot-product chain). Same c-ascending chain.
-    if (lanes == 1) {
+    // Single-lane degenerate case (contiguous operands): keep the
+    // accumulator in a register (the chunk array below defeats register
+    // allocation at nb == 1 and costs ~2x on the dot-product chain).
+    // Same c-ascending chain. Only valid at stride 1 — a lone active
+    // lane inside a wider tile still needs the strided walk below.
+    if (stride == 1) {
         for (Index r = 0; r < rows; ++r) {
             const Real *row = pm + r * cols;
             Real acc = 0.0;
@@ -318,19 +326,19 @@ batchedMatVecBody(const Matrix &m, const Vector &x, Index lanes, Vector &y)
     }
 
     Real acc[kBatchLaneChunk];
-    for (Index b0 = 0; b0 < lanes; b0 += kBatchLaneChunk) {
-        const Index nb = std::min(kBatchLaneChunk, lanes - b0);
+    for (Index b0 = 0; b0 < active; b0 += kBatchLaneChunk) {
+        const Index nb = std::min(kBatchLaneChunk, active - b0);
         for (Index r = 0; r < rows; ++r) {
             const Real *row = pm + r * cols;
             for (Index b = 0; b < nb; ++b)
                 acc[b] = 0.0;
             for (Index c = 0; c < cols; ++c) {
                 const Real w = row[c];
-                const Real *xl = px + c * lanes + b0;
+                const Real *xl = px + c * stride + b0;
                 for (Index b = 0; b < nb; ++b)
                     acc[b] += w * xl[b];
             }
-            Real *yl = py + r * lanes + b0;
+            Real *yl = py + r * stride + b0;
             for (Index b = 0; b < nb; ++b) {
                 if (Accumulate)
                     yl[b] += acc[b];
@@ -344,32 +352,56 @@ batchedMatVecBody(const Matrix &m, const Vector &x, Index lanes, Vector &y)
 } // namespace
 
 void
+batchedMatVecInto(const Matrix &m, const Vector &x, Index laneStride,
+                  Index activeLanes, Vector &y)
+{
+    batchedMatVecBody<false>(m, x, laneStride, activeLanes, y);
+}
+
+void
 batchedMatVecInto(const Matrix &m, const Vector &x, Index lanes, Vector &y)
 {
-    batchedMatVecBody<false>(m, x, lanes, y);
+    batchedMatVecBody<false>(m, x, lanes, lanes, y);
+}
+
+void
+batchedMatVecAccumulate(const Matrix &m, const Vector &x, Index laneStride,
+                        Index activeLanes, Vector &y)
+{
+    batchedMatVecBody<true>(m, x, laneStride, activeLanes, y);
 }
 
 void
 batchedMatVecAccumulate(const Matrix &m, const Vector &x, Index lanes,
                         Vector &y)
 {
-    batchedMatVecBody<true>(m, x, lanes, y);
+    batchedMatVecBody<true>(m, x, lanes, lanes, y);
+}
+
+void
+laneBroadcastAdd(const Vector &bias, Index laneStride, Index activeLanes,
+                 Vector &y)
+{
+    HIMA_ASSERT(bias.size() * laneStride == y.size(),
+                "laneBroadcastAdd: bias %zu * stride %zu != y %zu",
+                bias.size(), laneStride, y.size());
+    HIMA_ASSERT(activeLanes >= 1 && activeLanes <= laneStride,
+                "laneBroadcastAdd: active lanes %zu outside [1, %zu]",
+                activeLanes, laneStride);
+    const Real *pb = bias.data();
+    Real *py = y.data();
+    for (Index r = 0, n = bias.size(); r < n; ++r) {
+        const Real bv = pb[r];
+        Real *yl = py + r * laneStride;
+        for (Index b = 0; b < activeLanes; ++b)
+            yl[b] += bv;
+    }
 }
 
 void
 laneBroadcastAdd(const Vector &bias, Index lanes, Vector &y)
 {
-    HIMA_ASSERT(bias.size() * lanes == y.size(),
-                "laneBroadcastAdd: bias %zu * lanes %zu != y %zu",
-                bias.size(), lanes, y.size());
-    const Real *pb = bias.data();
-    Real *py = y.data();
-    for (Index r = 0, n = bias.size(); r < n; ++r) {
-        const Real bv = pb[r];
-        Real *yl = py + r * lanes;
-        for (Index b = 0; b < lanes; ++b)
-            yl[b] += bv;
-    }
+    laneBroadcastAdd(bias, lanes, lanes, y);
 }
 
 void

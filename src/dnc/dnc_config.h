@@ -62,6 +62,21 @@ struct DncConfig
     Index batchSize = 1;
 
     /**
+     * Pending-request queue bound of the dynamic-batching router
+     * (src/serve/router.h): submissions beyond this many queued-but-
+     * unadmitted requests are rejected (back-pressure). Must be >= 1.
+     */
+    Index routerQueueCapacity = 256;
+
+    /**
+     * Cap on concurrently active router lanes. 0 (default) means "use
+     * batchSize" — the router may fill every engine slot; a smaller
+     * value reserves headroom (e.g. for latency isolation experiments).
+     * Must not exceed batchSize.
+     */
+    Index routerMaxActiveLanes = 0;
+
+    /**
      * Simulator-speed knob: memory-write rows whose write weight is at
      * or below this threshold are left untouched, making the write and
      * the row-norm maintenance O(touched * W) instead of O(N * W). Zero
@@ -105,6 +120,12 @@ struct DncConfig
             HIMA_FATAL("DncConfig: numThreads must be >= 1");
         if (batchSize == 0)
             HIMA_FATAL("DncConfig: batchSize must be >= 1");
+        if (routerQueueCapacity == 0)
+            HIMA_FATAL("DncConfig: routerQueueCapacity must be >= 1");
+        if (routerMaxActiveLanes > batchSize)
+            HIMA_FATAL("DncConfig: routerMaxActiveLanes %zu exceeds "
+                       "batchSize %zu (0 means \"use batchSize\")",
+                       routerMaxActiveLanes, batchSize);
         if (writeSkipThreshold < 0.0 || writeSkipThreshold >= 1.0)
             HIMA_FATAL("DncConfig: write skip threshold %f outside [0, 1)",
                        writeSkipThreshold);

@@ -63,6 +63,18 @@ BatchedDnc::BatchedDnc(const DncConfig &config, std::uint64_t seed)
     ifaces_.resize(batch_);
     rawLane_.assign(batch_, Vector(ifaceSize));
 
+    // All slots start Active in their home columns (slot i == column i):
+    // the fixed-B lockstep behavior, unchanged for churn-free callers.
+    slots_.resize(batch_);
+    colToSlot_.resize(batch_);
+    for (Index b = 0; b < batch_; ++b) {
+        slots_[b] = LaneSlot{LaneState::Active, b};
+        colToSlot_[b] = b;
+    }
+    freeSlots_.reserve(batch_);
+    active_ = batch_;
+    occupied_ = batch_;
+
     feed_.resize(feedWidth_ * batch_);
     hidden_.resize(h * batch_);
     hiddenPrev_.resize(h * batch_);
@@ -89,7 +101,7 @@ BatchedDnc::BatchedDnc(const DncConfig &config, std::uint64_t seed)
         const Index row0 = blk * kRowBlock;
         ifaceRows(row0, std::min(row0 + kRowBlock, config_.interfaceSize()));
     };
-    laneTask_ = [this](Index lane) { laneStep(lane); };
+    laneTask_ = [this](Index column) { columnStep(column); };
 }
 
 void
@@ -103,10 +115,136 @@ BatchedDnc::dispatch(Index count, const std::function<void(Index)> &fn)
     }
 }
 
+// ---------------------------------------------------------------------
+// Lane lifecycle.
+//
+// Persistent per-lane controller state is three SoA columns (hidden,
+// cell, previous reads); everything else is recomputed every step. The
+// compaction invariant — Active columns form the prefix [0, active_),
+// Draining columns sit in [active_, occupied_) — is maintained by
+// swapping/moving single columns on each transition, so a transition
+// costs O(H + R*W) strided copies and never allocates.
+// ---------------------------------------------------------------------
+
+void
+BatchedDnc::swapColumns(Index a, Index b)
+{
+    if (a == b)
+        return;
+    const Index h = config_.controllerSize;
+    Real *ph = hidden_.data();
+    Real *pc = cell_.data();
+    Real *pr = readsFlat_.data();
+    for (Index j = 0; j < h; ++j) {
+        std::swap(ph[j * batch_ + a], ph[j * batch_ + b]);
+        std::swap(pc[j * batch_ + a], pc[j * batch_ + b]);
+    }
+    for (Index k = 0; k < readWidth_; ++k)
+        std::swap(pr[k * batch_ + a], pr[k * batch_ + b]);
+    std::swap(colToSlot_[a], colToSlot_[b]);
+    slots_[colToSlot_[a]].column = a;
+    slots_[colToSlot_[b]].column = b;
+}
+
+void
+BatchedDnc::moveColumn(Index from, Index to)
+{
+    if (from == to)
+        return;
+    const Index h = config_.controllerSize;
+    Real *ph = hidden_.data();
+    Real *pc = cell_.data();
+    Real *pr = readsFlat_.data();
+    for (Index j = 0; j < h; ++j) {
+        ph[j * batch_ + to] = ph[j * batch_ + from];
+        pc[j * batch_ + to] = pc[j * batch_ + from];
+    }
+    for (Index k = 0; k < readWidth_; ++k)
+        pr[k * batch_ + to] = pr[k * batch_ + from];
+    colToSlot_[to] = colToSlot_[from];
+    slots_[colToSlot_[to]].column = to;
+}
+
+void
+BatchedDnc::zeroColumn(Index column)
+{
+    const Index h = config_.controllerSize;
+    Real *ph = hidden_.data();
+    Real *pc = cell_.data();
+    Real *pr = readsFlat_.data();
+    for (Index j = 0; j < h; ++j) {
+        ph[j * batch_ + column] = 0.0;
+        pc[j * batch_ + column] = 0.0;
+    }
+    for (Index k = 0; k < readWidth_; ++k)
+        pr[k * batch_ + column] = 0.0;
+}
+
+Index
+BatchedDnc::admit()
+{
+    HIMA_ASSERT(!freeSlots_.empty(), "admit: no free lanes (capacity %zu)",
+                batch_);
+
+    // The new Active column goes at active_, which may currently back a
+    // Draining lane — relocate that lane to the end of the occupied
+    // region first.
+    if (occupied_ > active_)
+        moveColumn(active_, occupied_);
+
+    const Index slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    slots_[slot] = LaneSlot{LaneState::Active, active_};
+    colToSlot_[active_] = slot;
+
+    // In-place episode reset: the admitted lane must be bit-identical to
+    // a freshly constructed Dnc. Nothing here reallocates.
+    zeroColumn(active_);
+    lanes_[slot].reset();
+    for (Vector &rv : readouts_[slot].readVectors)
+        rv.fill(0.0);
+    for (Vector &rw : readouts_[slot].readWeightings)
+        rw.fill(0.0);
+    readouts_[slot].writeWeighting.fill(0.0);
+
+    ++active_;
+    ++occupied_;
+    return slot;
+}
+
+void
+BatchedDnc::markDraining(Index slot)
+{
+    HIMA_ASSERT(slot < batch_, "markDraining: slot %zu >= %zu", slot, batch_);
+    HIMA_ASSERT(slots_[slot].state == LaneState::Active,
+                "markDraining: slot %zu is not Active", slot);
+    // Swap the lane to the end of the active prefix; the column there
+    // belongs to another Active lane whose state must survive the swap.
+    swapColumns(slots_[slot].column, active_ - 1);
+    slots_[slot].state = LaneState::Draining;
+    --active_;
+}
+
+void
+BatchedDnc::release(Index slot)
+{
+    HIMA_ASSERT(slot < batch_, "release: slot %zu >= %zu", slot, batch_);
+    HIMA_ASSERT(slots_[slot].state != LaneState::Free,
+                "release: slot %zu is already Free", slot);
+    if (slots_[slot].state == LaneState::Active)
+        markDraining(slot);
+    // Swap the lane to the end of the occupied region and drop it.
+    swapColumns(slots_[slot].column, occupied_ - 1);
+    slots_[slot].state = LaneState::Free;
+    --occupied_;
+    freeSlots_.push_back(slot);
+}
+
 void
 BatchedDnc::lstmRows(Index row0, Index row1)
 {
-    const Index lanes = batch_;
+    const Index active = active_;
+    const Index stride = batch_;
     const Index h = config_.controllerSize;
     const LstmCell &lstm = proto_.lstm();
 
@@ -115,9 +253,10 @@ BatchedDnc::lstmRows(Index row0, Index row1)
     Real *ph = hidden_.data();
     Real *pc = cell_.data();
 
-    // Single-lane batches degenerate to contiguous dot products; keep
-    // the accumulators in registers (identical chains, ~2x faster).
-    if (lanes == 1) {
+    // Single-slot engines degenerate to contiguous dot products; keep
+    // the accumulators in registers (identical chains, ~2x faster). Only
+    // valid at stride 1 — a lone active lane in a wider tile is strided.
+    if (stride == 1) {
         for (Index j = row0; j < row1; ++j) {
             for (int g = 0; g < 4; ++g) {
                 const Real accx = dotContiguous(
@@ -138,8 +277,8 @@ BatchedDnc::lstmRows(Index row0, Index row1)
 
     Real accx[kBatchLaneChunk];
     Real acch[kBatchLaneChunk];
-    for (Index b0 = 0; b0 < lanes; b0 += kBatchLaneChunk) {
-        const Index nb = std::min(kBatchLaneChunk, lanes - b0);
+    for (Index b0 = 0; b0 < active; b0 += kBatchLaneChunk) {
+        const Index nb = std::min(kBatchLaneChunk, active - b0);
         for (Index j = row0; j < row1; ++j) {
             // Gate pre-activations: per lane, the exact LstmCell::step
             // chain (Wx x complete, then + Wh h complete, then + bias).
@@ -153,28 +292,28 @@ BatchedDnc::lstmRows(Index row0, Index row1)
                 }
                 for (Index k = 0; k < feedWidth_; ++k) {
                     const Real wv = wx[k];
-                    const Real *xl = pf + k * lanes + b0;
+                    const Real *xl = pf + k * stride + b0;
                     for (Index b = 0; b < nb; ++b)
                         accx[b] += wv * xl[b];
                 }
                 for (Index k = 0; k < h; ++k) {
                     const Real wv = wh[k];
-                    const Real *hl = php + k * lanes + b0;
+                    const Real *hl = php + k * stride + b0;
                     for (Index b = 0; b < nb; ++b)
                         acch[b] += wv * hl[b];
                 }
-                Real *gp = gatePre_[g].data() + j * lanes + b0;
+                Real *gp = gatePre_[g].data() + j * stride + b0;
                 for (Index b = 0; b < nb; ++b)
                     gp[b] = (accx[b] + acch[b]) + bias;
             }
 
             // Cell/hidden update, scalar-for-scalar LstmCell::step.
-            const Real *gi = gatePre_[0].data() + j * lanes + b0;
-            const Real *gf = gatePre_[1].data() + j * lanes + b0;
-            const Real *gc = gatePre_[2].data() + j * lanes + b0;
-            const Real *go = gatePre_[3].data() + j * lanes + b0;
-            Real *cl = pc + j * lanes + b0;
-            Real *hl = ph + j * lanes + b0;
+            const Real *gi = gatePre_[0].data() + j * stride + b0;
+            const Real *gf = gatePre_[1].data() + j * stride + b0;
+            const Real *gc = gatePre_[2].data() + j * stride + b0;
+            const Real *go = gatePre_[3].data() + j * stride + b0;
+            Real *cl = pc + j * stride + b0;
+            Real *hl = ph + j * stride + b0;
             for (Index b = 0; b < nb; ++b) {
                 const Real i = sigmoid(gi[b]);
                 const Real f = sigmoid(gf[b]);
@@ -190,32 +329,33 @@ BatchedDnc::lstmRows(Index row0, Index row1)
 void
 BatchedDnc::ifaceRows(Index row0, Index row1)
 {
-    const Index lanes = batch_;
+    const Index active = active_;
+    const Index stride = batch_;
     const Index h = config_.controllerSize;
     const Matrix &head = proto_.interfaceHead();
     const Real *ph = hidden_.data();
     Real *py = rawIface_.data();
 
-    if (lanes == 1) {
+    if (stride == 1) {
         for (Index q = row0; q < row1; ++q)
             py[q] = dotContiguous(head.rowPtr(q), ph, h);
         return;
     }
 
     Real acc[kBatchLaneChunk];
-    for (Index b0 = 0; b0 < lanes; b0 += kBatchLaneChunk) {
-        const Index nb = std::min(kBatchLaneChunk, lanes - b0);
+    for (Index b0 = 0; b0 < active; b0 += kBatchLaneChunk) {
+        const Index nb = std::min(kBatchLaneChunk, active - b0);
         for (Index q = row0; q < row1; ++q) {
             const Real *row = head.rowPtr(q);
             for (Index b = 0; b < nb; ++b)
                 acc[b] = 0.0;
             for (Index k = 0; k < h; ++k) {
                 const Real wv = row[k];
-                const Real *hl = ph + k * lanes + b0;
+                const Real *hl = ph + k * stride + b0;
                 for (Index b = 0; b < nb; ++b)
                     acc[b] += wv * hl[b];
             }
-            Real *yl = py + q * lanes + b0;
+            Real *yl = py + q * stride + b0;
             for (Index b = 0; b < nb; ++b)
                 yl[b] = acc[b];
         }
@@ -223,21 +363,22 @@ BatchedDnc::ifaceRows(Index row0, Index row1)
 }
 
 void
-BatchedDnc::laneStep(Index lane)
+BatchedDnc::columnStep(Index column)
 {
     const Index w = config_.memoryWidth;
+    const Index slot = colToSlot_[column];
 
     // Decode this lane's interface emission and run its memory tile —
     // the unchanged allocation-free MemoryUnit hot path.
-    laneGatherInto(rawIface_, batch_, lane, config_.interfaceSize(),
-                   rawLane_[lane]);
-    decodeInterfaceInto(rawLane_[lane], config_, ifaces_[lane]);
-    lanes_[lane].stepInto(ifaces_[lane], readouts_[lane]);
+    laneGatherInto(rawIface_, batch_, column, config_.interfaceSize(),
+                   rawLane_[slot]);
+    decodeInterfaceInto(rawLane_[slot], config_, ifaces_[slot]);
+    lanes_[slot].stepInto(ifaces_[slot], readouts_[slot]);
 
     // Scatter this step's read vectors into the SoA feed for the output
     // head (and next step's controller input).
     for (Index head = 0; head < config_.readHeads; ++head)
-        laneScatterInto(readouts_[lane].readVectors[head], batch_, lane,
+        laneScatterInto(readouts_[slot].readVectors[head], batch_, column,
                         readsFlat_, head * w);
 }
 
@@ -246,8 +387,9 @@ BatchedDnc::outputSweep()
 {
     // y = (W_y h) + (W_r reads), the Controller::outputInto chain: each
     // lane's two row sums are completed before the single +=.
-    batchedMatVecInto(proto_.outputHead(), hidden_, batch_, outSoA_);
-    batchedMatVecAccumulate(proto_.readHead(), readsFlat_, batch_, outSoA_);
+    batchedMatVecInto(proto_.outputHead(), hidden_, batch_, active_, outSoA_);
+    batchedMatVecAccumulate(proto_.readHead(), readsFlat_, batch_, active_,
+                            outSoA_);
 }
 
 void
@@ -257,34 +399,48 @@ BatchedDnc::stepInto(const std::vector<Vector> &inputs,
     HIMA_ASSERT(inputs.size() == batch_, "batch input arity %zu != %zu",
                 inputs.size(), batch_);
 
-    // Feed concat [input; previous reads] into the SoA tile. The reads
-    // block of the feed has exactly readsFlat_'s layout (row r*W+c, lane
-    // b), and laneStep left last step's reads there — one contiguous
-    // copy instead of B*R*W strided writes.
+    outputs.resize(batch_);
+    if (active_ == 0)
+        return;
+
+    // Feed concat [input; previous reads] into the SoA tile. inputs is
+    // slot-indexed; the active prefix walk routes each Active slot's
+    // token to its current column. The reads block of the feed has
+    // exactly readsFlat_'s layout (row r*W+c, column b) and columnStep
+    // left last step's reads there — copy only the active prefix of each
+    // row, so occupancy bounds the work.
     Real *pf = feed_.data();
-    for (Index b = 0; b < batch_; ++b) {
-        HIMA_ASSERT(inputs[b].size() == config_.inputSize,
-                    "lane %zu input width %zu != %zu", b, inputs[b].size(),
-                    config_.inputSize);
-        const Real *pi = inputs[b].data();
+    for (Index c = 0; c < active_; ++c) {
+        const Index slot = colToSlot_[c];
+        HIMA_ASSERT(inputs[slot].size() == config_.inputSize,
+                    "slot %zu input width %zu != %zu", slot,
+                    inputs[slot].size(), config_.inputSize);
+        const Real *pi = inputs[slot].data();
         for (Index k = 0; k < config_.inputSize; ++k)
-            pf[k * batch_ + b] = pi[k];
+            pf[k * batch_ + c] = pi[k];
     }
-    std::copy(readsFlat_.begin(), readsFlat_.end(),
-              pf + config_.inputSize * batch_);
+    const Real *prf = readsFlat_.data();
+    Real *pfr = pf + config_.inputSize * batch_;
+    for (Index k = 0; k < readWidth_; ++k)
+        std::copy(prf + k * batch_, prf + k * batch_ + active_,
+                  pfr + k * batch_);
 
     // Recurrence reads the pre-step hidden state; the row blocks write
-    // hidden_ in place, so snapshot it once per step.
-    std::copy(hidden_.begin(), hidden_.end(), hiddenPrev_.begin());
+    // hidden_ in place, so snapshot the active columns once per step.
+    const Real *ph = hidden_.data();
+    Real *php = hiddenPrev_.data();
+    for (Index j = 0; j < config_.controllerSize; ++j)
+        std::copy(ph + j * batch_, ph + j * batch_ + active_,
+                  php + j * batch_);
 
     dispatch(lstmBlocks_, lstmTask_);
     dispatch(ifaceBlocks_, ifaceTask_);
-    dispatch(batch_, laneTask_);
+    dispatch(active_, laneTask_);
     outputSweep();
 
-    outputs.resize(batch_);
-    for (Index b = 0; b < batch_; ++b)
-        laneGatherInto(outSoA_, batch_, b, config_.outputSize, outputs[b]);
+    for (Index c = 0; c < active_; ++c)
+        laneGatherInto(outSoA_, batch_, c, config_.outputSize,
+                       outputs[colToSlot_[c]]);
 }
 
 std::vector<Vector>
@@ -308,21 +464,37 @@ BatchedDnc::reset()
     for (MemoryReadout &ro : readouts_)
         for (Vector &rv : ro.readVectors)
             rv.fill(0.0);
+
+    // Restore the construction-time lifecycle: every slot Active in its
+    // home column.
+    for (Index b = 0; b < batch_; ++b) {
+        slots_[b] = LaneSlot{LaneState::Active, b};
+        colToSlot_[b] = b;
+    }
+    freeSlots_.clear();
+    active_ = batch_;
+    occupied_ = batch_;
 }
 
 Vector
-BatchedDnc::laneHidden(Index lane) const
+BatchedDnc::laneHidden(Index slot) const
 {
+    HIMA_ASSERT(slots_[slot].state != LaneState::Free,
+                "laneHidden: slot %zu is Free", slot);
     Vector v;
-    laneGatherInto(hidden_, batch_, lane, config_.controllerSize, v);
+    laneGatherInto(hidden_, batch_, slots_[slot].column,
+                   config_.controllerSize, v);
     return v;
 }
 
 Vector
-BatchedDnc::laneCell(Index lane) const
+BatchedDnc::laneCell(Index slot) const
 {
+    HIMA_ASSERT(slots_[slot].state != LaneState::Free,
+                "laneCell: slot %zu is Free", slot);
     Vector v;
-    laneGatherInto(cell_, batch_, lane, config_.controllerSize, v);
+    laneGatherInto(cell_, batch_, slots_[slot].column,
+                   config_.controllerSize, v);
     return v;
 }
 

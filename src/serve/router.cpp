@@ -1,0 +1,147 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hima {
+
+AdmissionPolicy
+greedyAdmission()
+{
+    return [](Index queued, Index freeLanes, Index) {
+        return std::min(queued, freeLanes);
+    };
+}
+
+AdmissionPolicy
+batchFillAdmission(Index minFill, Index maxWaitSteps)
+{
+    HIMA_ASSERT(minFill >= 1, "batchFillAdmission: minFill must be >= 1");
+    return [minFill, maxWaitSteps](Index queued, Index freeLanes,
+                                   Index oldestWait) {
+        const Index bindable = std::min(queued, freeLanes);
+        if (bindable >= minFill || oldestWait >= maxWaitSteps)
+            return bindable;
+        return Index{0};
+    };
+}
+
+Router::Router(const DncConfig &config, std::uint64_t seed,
+               AdmissionPolicy policy)
+    : engine_(config, seed), policy_(std::move(policy)),
+      maxActive_(config.routerMaxActiveLanes == 0
+                     ? engine_.capacity()
+                     : config.routerMaxActiveLanes),
+      queueCapacity_(config.routerQueueCapacity)
+{
+    HIMA_ASSERT(static_cast<bool>(policy_), "Router: null admission policy");
+
+    // The engine constructs fully occupied (lockstep back-compat); a
+    // router starts from an empty house and admits on demand.
+    for (Index slot = 0; slot < engine_.capacity(); ++slot)
+        engine_.release(slot);
+
+    bindings_.resize(engine_.capacity());
+    drainingSlots_.reserve(engine_.capacity());
+    inputs_.resize(engine_.capacity());
+    outputs_.resize(engine_.capacity());
+}
+
+bool
+Router::submit(ServeRequest request)
+{
+    HIMA_ASSERT(!request.tokens.empty(), "submit: empty episode (id %llu)",
+                static_cast<unsigned long long>(request.id));
+    for (const Vector &token : request.tokens)
+        HIMA_ASSERT(token.size() == config().inputSize,
+                    "submit: token width %zu != inputSize %zu (id %llu)",
+                    token.size(), config().inputSize,
+                    static_cast<unsigned long long>(request.id));
+    if (queue_.size() >= queueCapacity_) {
+        ++rejected_;
+        return false;
+    }
+    queue_.push_back(std::move(request));
+    arrivalSteps_.push_back(now_);
+    return true;
+}
+
+void
+Router::step()
+{
+    // 1. Evict lanes that finished on the previous step. Their results
+    //    were harvested when they finished; only the slot is reclaimed.
+    for (Index slot : drainingSlots_)
+        engine_.release(slot);
+    drainingSlots_.clear();
+
+    // 2. Admission: policy decides how many queued requests to bind now.
+    const Index headroom =
+        maxActive_ - std::min(maxActive_, engine_.activeLanes());
+    const Index bindable = std::min(engine_.freeLanes(), headroom);
+    if (!queue_.empty() && bindable > 0) {
+        const Index oldestWait = now_ - arrivalSteps_.front();
+        Index admitCount = policy_(queue_.size(), bindable, oldestWait);
+        admitCount = std::min({admitCount, Index(queue_.size()), bindable});
+        for (Index i = 0; i < admitCount; ++i) {
+            const Index slot = engine_.admit();
+            Binding &binding = bindings_[slot];
+            binding.bound = true;
+            binding.request = std::move(queue_.front());
+            queue_.pop_front();
+            binding.cursor = 0;
+            binding.result = ServeResult{};
+            binding.result.id = binding.request.id;
+            binding.result.arrivalStep = arrivalSteps_.front();
+            arrivalSteps_.pop_front();
+            binding.result.admitStep = now_;
+            binding.result.outputs.reserve(binding.request.tokens.size());
+            ++inFlight_;
+        }
+    }
+
+    // 3. One engine step over the active lanes. inputs_ entries for
+    //    inactive slots are ignored by the engine; bound slots reuse
+    //    their Vector storage (same-size copy assignment: no realloc).
+    for (Index slot = 0; slot < bindings_.size(); ++slot) {
+        Binding &binding = bindings_[slot];
+        if (binding.bound)
+            inputs_[slot] = binding.request.tokens[binding.cursor];
+    }
+    engine_.stepInto(inputs_, outputs_);
+
+    // Harvest this step's outputs; finished lanes start draining and are
+    // evicted at the next boundary.
+    for (Index slot = 0; slot < bindings_.size(); ++slot) {
+        Binding &binding = bindings_[slot];
+        if (!binding.bound)
+            continue;
+        binding.result.outputs.push_back(outputs_[slot]);
+        ++binding.cursor;
+        if (binding.cursor == binding.request.tokens.size()) {
+            binding.result.finishStep = now_;
+            engine_.markDraining(slot);
+            drainingSlots_.push_back(slot);
+            completed_.push_back(std::move(binding.result));
+            binding = Binding{};
+            --inFlight_;
+        }
+    }
+
+    ++now_;
+}
+
+void
+Router::drain()
+{
+    while (!idle())
+        step();
+    // Requests that finished on the final step left their lanes in
+    // Draining (normally reclaimed at the next boundary); flush them so
+    // an idle router reports a fully free engine.
+    for (Index slot : drainingSlots_)
+        engine_.release(slot);
+    drainingSlots_.clear();
+}
+
+} // namespace hima

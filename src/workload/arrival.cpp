@@ -1,0 +1,101 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+namespace hima {
+
+namespace {
+
+/**
+ * Poisson(lambda) sample via Knuth's product-of-uniforms inversion —
+ * exact, allocation-free, and fine for the per-step rates the serving
+ * benches use (lambda well under ~20).
+ */
+Index
+poissonSample(Real lambda, Rng &rng)
+{
+    if (lambda <= 0.0)
+        return 0;
+    const Real limit = std::exp(-lambda);
+    Index count = 0;
+    Real product = rng.uniform();
+    while (product > limit) {
+        ++count;
+        product *= rng.uniform();
+    }
+    return count;
+}
+
+/** One arrival at `step` with a suite-drawn episode. */
+ArrivalEvent
+drawEvent(Index step, Index ordinal, const std::vector<TaskSpec> &suite,
+          Rng &rng)
+{
+    const TaskSpec &spec = suite[rng.uniformInt(suite.size())];
+    return ArrivalEvent{step, ordinal, spec.id, episodeSteps(spec)};
+}
+
+} // namespace
+
+Index
+episodeSteps(const TaskSpec &spec)
+{
+    // Writes (facts + distractors) cost one step each; a temporal
+    // question costs two (anchor + linkage read), a content question
+    // one — exactly the step count makeEpisode() scripts, including its
+    // fallback to content questions when there are too few items for a
+    // forward-linkage hop.
+    const Index temporal =
+        spec.items >= 2 ? static_cast<Index>(spec.temporalFraction *
+                                             static_cast<Real>(spec.queries))
+                        : 0;
+    return spec.items + spec.distractors + spec.queries + temporal;
+}
+
+std::vector<ArrivalEvent>
+makeArrivalTrace(const ArrivalSpec &spec, Index horizon, Rng &rng)
+{
+    HIMA_ASSERT(spec.rate >= 0.0, "arrival rate %f < 0", spec.rate);
+    HIMA_ASSERT(spec.burstProbability >= 0.0 && spec.burstProbability <= 1.0,
+                "burst probability %f outside [0, 1]", spec.burstProbability);
+
+    const std::vector<TaskSpec> suite = taskSuite();
+    std::vector<ArrivalEvent> trace;
+    for (Index step = 0; step < horizon; ++step) {
+        Index count = poissonSample(spec.rate, rng);
+        if (spec.kind == ArrivalKind::Bursty &&
+            rng.uniform() < spec.burstProbability)
+            count += spec.burstSize;
+        for (Index i = 0; i < count; ++i)
+            trace.push_back(drawEvent(step, trace.size(), suite, rng));
+    }
+    return trace;
+}
+
+std::vector<Vector>
+requestTokens(const ArrivalEvent &event, Index inputSize, std::uint64_t seed)
+{
+    // Per-event stream: the token sequence depends only on (seed,
+    // ordinal, step, taskId), never on other requests in the trace — so
+    // the golden harness can regenerate a single request's stream for
+    // its dedicated reference run.
+    Rng rng(seed ^ (static_cast<std::uint64_t>(event.ordinal) << 40) ^
+            (static_cast<std::uint64_t>(event.step) << 20) ^
+            static_cast<std::uint64_t>(event.taskId));
+    std::vector<Vector> tokens;
+    tokens.reserve(event.episodeLen);
+    for (Index t = 0; t < event.episodeLen; ++t)
+        tokens.push_back(rng.normalVector(inputSize));
+    return tokens;
+}
+
+Index
+offeredLaneSteps(const std::vector<ArrivalEvent> &trace)
+{
+    Index total = 0;
+    for (const ArrivalEvent &event : trace)
+        total += event.episodeLen;
+    return total;
+}
+
+} // namespace hima

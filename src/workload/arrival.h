@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Query arrival-process generators for the serving stack.
+ *
+ * The router (src/serve/router.h) is exercised against *arrival
+ * processes*, not fixed batches: requests land on a discrete step
+ * timeline, each carrying an episode drawn from the existing 20-task
+ * suite (so request lengths and mixes follow the workload the paper's
+ * accuracy study uses, rather than an arbitrary constant).
+ *
+ * Two processes cover the interesting regimes:
+ *
+ *   - Poisson: independent arrivals at a mean rate of `rate` requests
+ *     per engine step — the classic open-loop model; offered load in
+ *     lane-steps/step is rate x mean episode length.
+ *   - Bursty: an on/off process — with probability `burstProbability`
+ *     per step, `burstSize` requests arrive at once (plus an optional
+ *     Poisson background). This is the queue-stressing regime where
+ *     admission policy and queue capacity earn their keep.
+ *
+ * Everything is deterministic given the Rng, like every other stochastic
+ * choice in the library, so traces replay bit-for-bit across runs and
+ * thread counts.
+ */
+
+#ifndef HIMA_WORKLOAD_ARRIVAL_H
+#define HIMA_WORKLOAD_ARRIVAL_H
+
+#include <vector>
+
+#include "common/random.h"
+#include "workload/task_suite.h"
+
+namespace hima {
+
+/** Which arrival process to generate. */
+enum class ArrivalKind
+{
+    Poisson,
+    Bursty,
+};
+
+/** Parameters of an arrival trace. */
+struct ArrivalSpec
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    /** Mean independent arrivals per step (Poisson; Bursty background). */
+    Real rate = 0.25;
+    /** Bursty: probability per step that a burst fires. */
+    Real burstProbability = 0.02;
+    /** Bursty: arrivals per burst. */
+    Index burstSize = 8;
+};
+
+/** One request arrival: when it lands and what episode it runs. */
+struct ArrivalEvent
+{
+    Index step;       ///< arrival step on the router clock
+    Index ordinal;    ///< position in the trace (unique per event)
+    Index taskId;     ///< 1-based task-suite archetype id
+    Index episodeLen; ///< request service demand in engine steps
+};
+
+/**
+ * Service demand of one task archetype in engine steps: every write,
+ * scored query and distractor of an episode costs one controller+memory
+ * step, which is how the scripted retrieval harness replays them.
+ */
+Index episodeSteps(const TaskSpec &spec);
+
+/**
+ * Generate a deterministic arrival trace over [0, horizon) steps.
+ * Events are returned sorted by step; each event's episode archetype is
+ * drawn uniformly from taskSuite() and its length from episodeSteps().
+ */
+std::vector<ArrivalEvent> makeArrivalTrace(const ArrivalSpec &spec,
+                                           Index horizon, Rng &rng);
+
+/**
+ * Deterministic token stream for one arrival: episodeLen unit-variance
+ * normal tokens of the given width, seeded per event so a request's
+ * tokens do not depend on trace position or co-arrivals.
+ */
+std::vector<Vector> requestTokens(const ArrivalEvent &event, Index inputSize,
+                                  std::uint64_t seed);
+
+/** Sum of episodeLen over a trace: total offered lane-steps. */
+Index offeredLaneSteps(const std::vector<ArrivalEvent> &trace);
+
+} // namespace hima
+
+#endif // HIMA_WORKLOAD_ARRIVAL_H

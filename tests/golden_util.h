@@ -142,6 +142,91 @@ runLockstep(DncConfig cfg, Index batch, Index threads, int steps,
     }
 }
 
+/**
+ * Randomized admit/evict churn lockstep: the lane-lifecycle analogue of
+ * runLockstep(). The engine starts empty; every step boundary randomly
+ * releases occupied slots (sometimes via a Draining dwell, so all three
+ * lifecycle states are crossed) and admits fresh lanes, each with its
+ * own deterministic input stream and a dedicated reference Dnc that is
+ * reset at the same boundary. Outputs and full per-lane state must stay
+ * bit-identical through arbitrary co-tenant churn.
+ *
+ * cfg.batchSize/cfg.numThreads are overwritten from the arguments.
+ */
+inline void
+runChurnLockstep(DncConfig cfg, Index capacity, Index threads, int steps,
+                 std::uint64_t weightSeed = 1, std::uint64_t churnSeed = 7,
+                 std::uint64_t inputSeed = 99)
+{
+    cfg.batchSize = capacity;
+    cfg.numThreads = threads;
+    BatchedDnc engine(cfg, weightSeed);
+    for (Index slot = 0; slot < capacity; ++slot)
+        engine.release(slot); // start from an empty house
+
+    DncConfig refCfg = cfg;
+    refCfg.batchSize = 1;
+    refCfg.numThreads = 1;
+    std::vector<std::unique_ptr<Dnc>> refs;
+    std::vector<Rng> laneRngs(capacity, Rng(0));
+    for (Index slot = 0; slot < capacity; ++slot)
+        refs.push_back(std::make_unique<Dnc>(refCfg, weightSeed));
+
+    Rng churnRng(churnSeed);
+    std::uint64_t admissions = 0;
+    std::vector<Vector> inputs(capacity);
+    std::vector<Vector> outputs;
+
+    for (int step = 0; step < steps; ++step) {
+        // Release/drain schedule: every occupied lane flips a coin; a
+        // third of the evictions dwell in Draining for this step (state
+        // must stay frozen and readable) instead of releasing outright.
+        for (Index slot = 0; slot < capacity; ++slot) {
+            if (engine.laneState(slot) == LaneState::Draining) {
+                engine.release(slot);
+            } else if (engine.laneState(slot) == LaneState::Active &&
+                       churnRng.uniform() < 0.25) {
+                if (churnRng.uniform() < 0.33)
+                    engine.markDraining(slot);
+                else
+                    engine.release(slot);
+            }
+        }
+        // Admission schedule: refill with fresh episodes, each pinned to
+        // a per-admission input stream so its reference run can never
+        // depend on co-tenants.
+        while (engine.freeLanes() > 0 && churnRng.uniform() < 0.7) {
+            const Index slot = engine.admit();
+            refs[slot]->reset();
+            laneRngs[slot] = Rng(inputSeed + 7919 * ++admissions);
+        }
+
+        for (Index slot = 0; slot < capacity; ++slot)
+            if (engine.laneState(slot) == LaneState::Active)
+                inputs[slot] = laneRngs[slot].normalVector(cfg.inputSize);
+
+        engine.stepInto(inputs, outputs);
+        ASSERT_EQ(outputs.size(), capacity);
+
+        for (Index slot = 0; slot < capacity; ++slot) {
+            if (engine.laneState(slot) != LaneState::Active)
+                continue;
+            const Vector refOut = refs[slot]->step(inputs[slot]);
+            ASSERT_TRUE(refOut == outputs[slot])
+                << "output diverged at slot " << slot << " step " << step;
+            expectLaneStateIdentical(*refs[slot], engine, slot, step);
+        }
+        // Draining lanes were not stepped — their frozen state must
+        // still match their reference exactly.
+        for (Index slot = 0; slot < capacity; ++slot)
+            if (engine.laneState(slot) == LaneState::Draining)
+                expectLaneStateIdentical(*refs[slot], engine, slot, step);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    EXPECT_GT(admissions, 0u) << "churn schedule never admitted a lane";
+}
+
 } // namespace golden
 } // namespace hima
 

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Arrival-process generator tests: traces must be deterministic given
+ * the seed, hit their configured rates, draw episodes from the task
+ * suite, and regenerate any single request's token stream independently
+ * of its position in the trace (the property the router golden harness
+ * leans on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/arrival.h"
+
+namespace hima {
+namespace {
+
+TEST(Arrival, TraceIsDeterministic)
+{
+    ArrivalSpec spec;
+    spec.rate = 0.5;
+    Rng a(11), b(11);
+    const auto ta = makeArrivalTrace(spec, 200, a);
+    const auto tb = makeArrivalTrace(spec, 200, b);
+    ASSERT_EQ(ta.size(), tb.size());
+    ASSERT_FALSE(ta.empty());
+    for (Index i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].step, tb[i].step);
+        EXPECT_EQ(ta[i].ordinal, tb[i].ordinal);
+        EXPECT_EQ(ta[i].taskId, tb[i].taskId);
+        EXPECT_EQ(ta[i].episodeLen, tb[i].episodeLen);
+    }
+}
+
+TEST(Arrival, PoissonRateIsApproximatelyHonored)
+{
+    ArrivalSpec spec;
+    spec.rate = 0.5;
+    Rng rng(13);
+    const Index horizon = 4000;
+    const auto trace = makeArrivalTrace(spec, horizon, rng);
+    const Real empirical =
+        static_cast<Real>(trace.size()) / static_cast<Real>(horizon);
+    EXPECT_NEAR(empirical, spec.rate, 0.05);
+    // Sorted by step, ordinals sequential, steps within horizon.
+    for (Index i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace[i].ordinal, i);
+        EXPECT_LT(trace[i].step, horizon);
+        if (i > 0)
+            EXPECT_GE(trace[i].step, trace[i - 1].step);
+    }
+}
+
+TEST(Arrival, BurstyTraceClustersArrivals)
+{
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Bursty;
+    spec.rate = 0.0; // bursts only
+    spec.burstProbability = 0.05;
+    spec.burstSize = 6;
+    Rng rng(17);
+    const auto trace = makeArrivalTrace(spec, 1000, rng);
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace.size() % spec.burstSize, 0u)
+        << "pure-burst trace must arrive in whole bursts";
+    // Every burst lands on one step.
+    for (Index i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace[i].step, trace[i - i % spec.burstSize].step);
+}
+
+TEST(Arrival, EpisodeLengthsComeFromTheTaskSuite)
+{
+    const auto suite = taskSuite();
+    std::vector<bool> seen(suite.size() + 1, false);
+    ArrivalSpec spec;
+    spec.rate = 1.0;
+    Rng rng(19);
+    const auto trace = makeArrivalTrace(spec, 500, rng);
+    for (const ArrivalEvent &event : trace) {
+        ASSERT_GE(event.taskId, 1u);
+        ASSERT_LE(event.taskId, suite.size());
+        EXPECT_EQ(event.episodeLen, episodeSteps(suite[event.taskId - 1]))
+            << "event length must match its archetype";
+        seen[event.taskId] = true;
+    }
+    // A 500-step rate-1 trace should draw nearly every archetype.
+    Index distinct = 0;
+    for (Index id = 1; id <= suite.size(); ++id)
+        distinct += seen[id] ? 1 : 0;
+    EXPECT_GE(distinct, suite.size() - 2);
+}
+
+TEST(Arrival, EpisodeStepsCountsTheScriptedEpisode)
+{
+    // episodeSteps() must equal the step count makeEpisode() scripts.
+    Rng rng(23);
+    for (const TaskSpec &spec : taskSuite()) {
+        const Episode ep = makeEpisode(spec, 256, rng);
+        EXPECT_EQ(episodeSteps(spec), ep.steps.size())
+            << "task " << spec.id << " (" << spec.name << ")";
+    }
+
+    // Including the one-item fallback, where makeEpisode() scripts
+    // content questions instead of 2-step temporal hops.
+    TaskSpec tiny;
+    tiny.id = 99;
+    tiny.name = "tiny-temporal";
+    tiny.items = 1;
+    tiny.queries = 4;
+    tiny.temporalFraction = 0.5;
+    tiny.distractors = 0;
+    const Episode ep = makeEpisode(tiny, 16, rng);
+    EXPECT_EQ(episodeSteps(tiny), ep.steps.size());
+}
+
+TEST(Arrival, RequestTokensAreSelfContained)
+{
+    ArrivalSpec spec;
+    spec.rate = 0.8;
+    Rng rng(29);
+    const auto trace = makeArrivalTrace(spec, 50, rng);
+    ASSERT_GE(trace.size(), 3u);
+
+    // Regenerating a mid-trace event's tokens must not depend on any
+    // other event — only on the event fields and the seed.
+    const ArrivalEvent copy = trace[2];
+    const auto direct = requestTokens(trace[2], 16, 99);
+    const auto replay = requestTokens(copy, 16, 99);
+    ASSERT_EQ(direct.size(), replay.size());
+    ASSERT_EQ(direct.size(), trace[2].episodeLen);
+    for (Index t = 0; t < direct.size(); ++t)
+        EXPECT_TRUE(direct[t] == replay[t]);
+
+    // Distinct events get distinct streams.
+    const auto other = requestTokens(trace[1], 16, 99);
+    EXPECT_FALSE(direct[0] == other[0]);
+
+    EXPECT_EQ(offeredLaneSteps(trace) > 0, true);
+}
+
+} // namespace
+} // namespace hima

@@ -95,5 +95,36 @@ TEST(StatRegistry, PrefixQueries)
     EXPECT_EQ(reg.sumPrefix(""), 0u);
 }
 
+TEST(Percentile, NearestRankOnKnownSamples)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 0.5), 42.0);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 1.0), 42.0);
+
+    // Unsorted input; nearest rank: ceil(q * n) over n = 4.
+    const std::vector<Real> sample = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(sample, 0.25), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 0.5), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 0.51), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(sample, 1.0), 4.0);
+
+    // p99 of 1..200 is element ceil(0.99 * 200) = 198.
+    std::vector<Real> big;
+    for (int i = 200; i >= 1; --i)
+        big.push_back(static_cast<Real>(i));
+    EXPECT_DOUBLE_EQ(percentile(big, 0.99), 198.0);
+    EXPECT_DOUBLE_EQ(percentile(big, 0.005), 1.0);
+
+    // The multi-quantile form sorts once and must agree with the
+    // one-at-a-time calls.
+    const std::vector<Real> multi = percentiles(big, {0.005, 0.5, 0.99});
+    ASSERT_EQ(multi.size(), 3u);
+    EXPECT_DOUBLE_EQ(multi[0], 1.0);
+    EXPECT_DOUBLE_EQ(multi[1], percentile(big, 0.5));
+    EXPECT_DOUBLE_EQ(multi[2], 198.0);
+    EXPECT_TRUE(percentiles({}, {0.5, 0.9}) ==
+                (std::vector<Real>{0.0, 0.0}));
+}
+
 } // namespace
 } // namespace hima

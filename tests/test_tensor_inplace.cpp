@@ -328,6 +328,69 @@ TEST_P(BatchedKernels, LaneHelpersMatchSingleLaneKernels)
     }
 }
 
+TEST_P(BatchedKernels, PartialOccupancyMatchesPerLane)
+{
+    // The compacted-active-lane forms: only the leading `active` columns
+    // of a stride-`stride` tile are swept; they must match the
+    // single-lane kernels bit-for-bit and leave the stale columns alone.
+    const Index rows = 1 + rng_.uniformInt(10);
+    const Index cols = 1 + rng_.uniformInt(10);
+    const Index stride = 2 + rng_.uniformInt(80); // may cross the chunk
+    const Index active = 1 + rng_.uniformInt(stride);
+    const Matrix m = rng_.normalMatrix(rows, cols);
+
+    std::vector<Vector> xs;
+    Vector soaX = rng_.normalVector(cols * stride); // stale noise beyond
+    for (Index b = 0; b < active; ++b) {
+        xs.push_back(rng_.normalVector(cols));
+        laneScatterInto(xs[b], stride, b, soaX);
+    }
+
+    Vector soaY = rng_.normalVector(rows * stride);
+    const Vector before = soaY;
+    batchedMatVecInto(m, soaX, stride, active, soaY);
+    Vector lane, ref;
+    for (Index b = 0; b < active; ++b) {
+        laneGatherInto(soaY, stride, b, rows, lane);
+        matVecInto(m, xs[b], ref);
+        ASSERT_EQ(lane, ref) << "lane " << b;
+    }
+    for (Index b = active; b < stride; ++b)
+        for (Index r = 0; r < rows; ++r)
+            ASSERT_EQ(soaY[r * stride + b], before[r * stride + b])
+                << "inactive column " << b << " was touched";
+
+    // Accumulate form on randomized destinations.
+    std::vector<Vector> ys;
+    Vector soaAcc(rows * stride);
+    for (Index b = 0; b < active; ++b) {
+        ys.push_back(rng_.normalVector(rows));
+        laneScatterInto(ys[b], stride, b, soaAcc);
+    }
+    batchedMatVecAccumulate(m, soaX, stride, active, soaAcc);
+    for (Index b = 0; b < active; ++b) {
+        laneGatherInto(soaAcc, stride, b, rows, lane);
+        ref = ys[b];
+        matVecAccumulate(m, xs[b], ref);
+        ASSERT_EQ(lane, ref) << "lane " << b;
+    }
+
+    // Broadcast-add over the active prefix only.
+    const Vector bias = rng_.normalVector(rows);
+    Vector soaBias = soaAcc;
+    laneBroadcastAdd(bias, stride, active, soaBias);
+    for (Index b = 0; b < active; ++b) {
+        laneGatherInto(soaBias, stride, b, rows, lane);
+        laneGatherInto(soaAcc, stride, b, rows, ref);
+        addInPlace(ref, bias);
+        ASSERT_EQ(lane, ref) << "lane " << b;
+    }
+    for (Index b = active; b < stride; ++b)
+        for (Index r = 0; r < rows; ++r)
+            ASSERT_EQ(soaBias[r * stride + b], soaAcc[r * stride + b])
+                << "inactive column " << b << " was biased";
+}
+
 TEST_P(BatchedKernels, ScatterRowOffsetPlacesSegments)
 {
     // Concatenated segments per lane (the reads-flat layout): scatter
@@ -579,6 +642,49 @@ TEST_P(BatchedZeroAlloc, SteadyStateBatchedStep)
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, BatchedZeroAlloc, ::testing::Values(1, 4));
+
+/**
+ * Lane churn must preserve the zero-allocation guarantee: admit(),
+ * markDraining() and release() only reuse preallocated slots (column
+ * copies + free-list pushes within reserved capacity), so a steady-state
+ * serving loop with request turnover still never touches the heap.
+ */
+TEST_P(BatchedZeroAlloc, SteadyStateStepWithLaneChurn)
+{
+    DncConfig cfg = smallConfig();
+    cfg.controllerSize = 32;
+    cfg.inputSize = 16;
+    cfg.outputSize = 16;
+    cfg.batchSize = 4;
+    cfg.numThreads = static_cast<Index>(GetParam());
+    BatchedDnc engine(cfg, 9);
+    Rng rng(205);
+
+    std::vector<std::vector<Vector>> batches;
+    for (int i = 0; i < 10; ++i)
+        batches.push_back(golden::randomBatchInputs(cfg, cfg.batchSize, rng));
+
+    std::vector<Vector> outputs;
+    engine.stepInto(batches[0], outputs); // sizes every buffer
+    engine.stepInto(batches[1], outputs);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 2; i < 10; ++i) {
+        // Full lifecycle every step: one lane drains, is released, and a
+        // fresh episode is admitted into the recycled slot.
+        const Index victim = static_cast<Index>(i) % cfg.batchSize;
+        engine.markDraining(victim);
+        engine.release(victim);
+        const Index slot = engine.admit();
+        engine.stepInto(batches[i], outputs);
+        HIMA_ASSERT(slot == victim, "free list must recycle the slot");
+    }
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "lane churn performed heap allocations in steady state";
+}
 
 // --------------------------------------------------------------------
 // Thread pool and threaded DNC-D determinism.
