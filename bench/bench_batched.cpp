@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bench_env.h"
 #include "common/random.h"
 #include "dnc/dnc.h"
 #include "serve/batched_dnc.h"
@@ -39,24 +40,6 @@ serveConfig()
     cfg.inputSize = 64;
     cfg.outputSize = 64;
     return cfg;
-}
-
-template <typename StepFn>
-double
-stepsPerSecond(StepFn &&stepFn, double minSeconds = 0.3,
-               long maxIters = 200000)
-{
-    using Clock = std::chrono::steady_clock;
-    stepFn(); // warmup (sizes buffers, touches caches)
-    long iters = 0;
-    double elapsed = 0.0;
-    const auto start = Clock::now();
-    while (elapsed < minSeconds && iters < maxIters) {
-        stepFn();
-        ++iters;
-        elapsed = std::chrono::duration<double>(Clock::now() - start).count();
-    }
-    return static_cast<double>(iters) / elapsed;
 }
 
 /** Bit-exact refusal gate: engine lanes vs sequential reference runs. */
@@ -128,9 +111,10 @@ main()
         for (int i = 0; i < kInputSets; ++i)
             tokens.push_back(rng.normalVector(base.inputSize));
         long i = 0;
-        baseline = stepsPerSecond(
+        baseline = benchStepsPerSecond(
             [&] { model.step(tokens[static_cast<std::size_t>(i++) %
-                                    kInputSets]); });
+                                    kInputSets]); },
+            /*minSeconds=*/0.3);
         std::printf("sequential baseline: %10.1f steps/s (N=%zu)\n",
                     baseline, base.memoryRows);
     }
@@ -159,11 +143,13 @@ main()
 
             std::vector<Vector> outputs;
             long i = 0;
-            const double rate = stepsPerSecond([&] {
-                engine.stepInto(batches[static_cast<std::size_t>(i++) %
-                                        kInputSets],
-                                outputs);
-            });
+            const double rate = benchStepsPerSecond(
+                [&] {
+                    engine.stepInto(batches[static_cast<std::size_t>(i++) %
+                                            kInputSets],
+                                    outputs);
+                },
+                /*minSeconds=*/0.3);
             const double perLane = rate * static_cast<double>(batch);
             results.push_back(
                 {batch, threads, rate, perLane, perLane / baseline});
@@ -184,7 +170,7 @@ main()
         return 1;
     }
     std::fprintf(json, "{\n");
-    std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+    writeBenchContext(json);
     std::fprintf(json,
                  "  \"config\": {\"memory_rows\": %zu, \"memory_width\": "
                  "%zu, \"read_heads\": %zu, \"controller_size\": %zu},\n",

@@ -17,13 +17,15 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "common/bench_env.h"
 #include "common/math_util.h"
 #include "common/random.h"
 #include "dnc/dncd.h"
 #include "dnc/memory_unit.h"
+#include "workload/retrieval.h"
+#include "workload/task_suite.h"
 
 namespace hima {
 namespace {
@@ -232,24 +234,6 @@ benchIface(const DncConfig &cfg, Rng &rng)
     return iface;
 }
 
-template <typename StepFn>
-double
-stepsPerSecond(StepFn &&stepFn, double minSeconds = 0.25,
-               long maxIters = 200000)
-{
-    using Clock = std::chrono::steady_clock;
-    stepFn(); // warmup (sizes buffers, touches caches)
-    long iters = 0;
-    double elapsed = 0.0;
-    const auto start = Clock::now();
-    while (elapsed < minSeconds && iters < maxIters) {
-        stepFn();
-        ++iters;
-        elapsed = std::chrono::duration<double>(Clock::now() - start).count();
-    }
-    return static_cast<double>(iters) / elapsed;
-}
-
 /** Bit-exact cross-check of the legacy replica vs the optimized path. */
 bool
 crossCheck()
@@ -290,6 +274,115 @@ struct DncdResult
     double stepsPerSec;
 };
 
+// --------------------------------------------------------------------
+// Exactness-vs-speed knob (Fig. 10-style): sweep writeSkipThreshold,
+// reporting memory-unit timesteps/s at the paper's N alongside the
+// retrieval-task error-rate delta vs the exact (threshold 0) run.
+// --------------------------------------------------------------------
+
+struct SkipResult
+{
+    Real threshold;
+    double stepsPerSec;  ///< MemoryUnit stepInto at N=1024
+    double errorRate;    ///< mean over the retrieval task subset
+    double errorDelta;   ///< errorRate - exact baseline
+    double cosineMargin; ///< mean correct-answer margin (continuous)
+    double marginDelta;  ///< cosineMargin - exact baseline
+    double readRms;      ///< read-vector RMS divergence on soft traffic
+};
+
+/**
+ * State-level exactness loss: lockstep a skipping MemoryUnit against an
+ * exact one on randomized *soft* traffic (mixed content/allocation
+ * writes, spread weightings — where sub-threshold rows actually carry
+ * mass) and report the RMS divergence of the read vectors. This is the
+ * knob's true error signal; the scripted retrieval tasks above sit in
+ * the one-hot regime where it never surfaces as task error.
+ */
+double
+readDivergence(Real threshold)
+{
+    DncConfig exactCfg = benchConfig(256);
+    DncConfig skipCfg = exactCfg;
+    skipCfg.writeSkipThreshold = threshold;
+    MemoryUnit exact(exactCfg);
+    MemoryUnit skip(skipCfg);
+    MemoryReadout outA, outB;
+    Rng rng(77);
+    double sumSq = 0.0;
+    std::uint64_t count = 0;
+    for (int step = 0; step < 50; ++step) {
+        InterfaceVector iface = benchIface(exactCfg, rng);
+        iface.allocationGate = rng.uniform(); // mix content-heavy writes
+        iface.writeGate = rng.uniform(0.3, 1.0);
+        exact.stepInto(iface, outA);
+        skip.stepInto(iface, outB);
+        for (Index h = 0; h < exactCfg.readHeads; ++h) {
+            for (Index i = 0; i < exactCfg.memoryWidth; ++i) {
+                const double d =
+                    outA.readVectors[h][i] - outB.readVectors[h][i];
+                sumSq += d * d;
+                ++count;
+            }
+        }
+    }
+    return std::sqrt(sumSq / static_cast<double>(count));
+}
+
+std::vector<SkipResult>
+writeSkipSweep()
+{
+    const std::vector<Real> thresholds = {0.0,  1e-12, 1e-9, 1e-6,
+                                          1e-4, 1e-2,  0.2};
+    std::vector<SkipResult> results;
+    double baseErr = 0.0;
+    double baseMargin = 0.0;
+    for (Real th : thresholds) {
+        // Throughput leg: the same N=1024 hot loop the headline uses.
+        DncConfig cfg = benchConfig(1024);
+        cfg.writeSkipThreshold = th;
+        Rng rng(7);
+        const InterfaceVector iface = benchIface(cfg, rng);
+        MemoryUnit mu(cfg);
+        MemoryReadout out;
+        const double rate =
+            benchStepsPerSecond([&] { mu.stepInto(iface, out); });
+
+        // Accuracy leg: scripted retrieval episodes from the task suite
+        // through a full Dnc with the same knob.
+        DncConfig acc = benchConfig(256);
+        acc.writeSkipThreshold = th;
+        Dnc model(acc, 3);
+        TokenCodebook keys(64, acc.memoryWidth / 2, 1);
+        TokenCodebook values(64, acc.memoryWidth / 2, 2);
+        InterfaceScripter scripter(acc, keys, values);
+        Rng episodeRng(11);
+        const auto suite = taskSuite();
+        const Index tasks = 8;
+        double err = 0.0;
+        double margin = 0.0;
+        for (Index t = 0; t < tasks; ++t) {
+            const Episode ep = makeEpisode(suite[t], 64, episodeRng);
+            const EpisodeResult res = runEpisode(model, scripter, ep);
+            err += res.errorRate();
+            margin += res.meanScore;
+        }
+        err /= static_cast<double>(tasks);
+        margin /= static_cast<double>(tasks);
+        if (th == 0.0) {
+            baseErr = err;
+            baseMargin = margin;
+        }
+        const double rms = readDivergence(th);
+        results.push_back({th, rate, err, err - baseErr, margin,
+                           margin - baseMargin, rms});
+        std::printf("writeSkip %.0e  %10.1f steps/s  error %.4f "
+                    "(delta %+.4f)  margin %.5f  read RMS div %.2e\n",
+                    th, rate, err, err - baseErr, margin, rms);
+    }
+    return results;
+}
+
 } // namespace
 } // namespace hima
 
@@ -314,12 +407,12 @@ main()
         const InterfaceVector iface = benchIface(cfg, rng);
 
         legacy::MemoryUnitSim legacySim(cfg);
-        const double legacyRate = stepsPerSecond(
+        const double legacyRate = benchStepsPerSecond(
             [&] { legacySim.step(iface); });
 
         MemoryUnit mu(cfg);
         MemoryReadout out;
-        const double optRate = stepsPerSecond(
+        const double optRate = benchStepsPerSecond(
             [&] { mu.stepInto(iface, out); });
 
         single.push_back({n, legacyRate, optRate, optRate / legacyRate});
@@ -339,7 +432,7 @@ main()
             DncD model(cfg, tiles);
             Rng rng(11);
             const InterfaceVector iface = benchIface(cfg, rng);
-            const double rate = stepsPerSecond(
+            const double rate = benchStepsPerSecond(
                 [&] { model.stepInterface(iface); });
             dncd.push_back({dncdRows, tiles, threads, rate});
             std::printf("DNC-D N=%zu tiles=%2zu threads=%zu  %10.1f "
@@ -361,6 +454,10 @@ main()
             scaling16 = t4 / t1;
     }
 
+    std::printf("\nwriteSkipThreshold exactness-vs-speed sweep "
+                "(Fig. 10-style):\n");
+    const std::vector<SkipResult> skips = writeSkipSweep();
+
     double headline = 0.0;
     for (const SingleTileResult &r : single)
         if (r.n == 1024)
@@ -372,8 +469,7 @@ main()
         return 1;
     }
     std::fprintf(json, "{\n");
-    std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
+    writeBenchContext(json);
     std::fprintf(json,
                  "  \"config\": {\"memory_width\": 64, \"read_heads\": 4},\n");
     std::fprintf(json, "  \"single_tile\": [\n");
@@ -401,6 +497,22 @@ main()
                  "  \"dncd_thread_scaling_16_tiles\": "
                  "{\"threads4_over_threads1\": %.3f},\n",
                  scaling16);
+    std::fprintf(json, "  \"write_skip_sweep\": [\n");
+    for (std::size_t i = 0; i < skips.size(); ++i) {
+        const SkipResult &r = skips[i];
+        std::fprintf(json,
+                     "    {\"threshold\": %.0e, "
+                     "\"steps_per_sec_n1024\": %.2f, "
+                     "\"retrieval_error_rate\": %.5f, "
+                     "\"error_delta_vs_exact\": %.5f, "
+                     "\"mean_cosine_margin\": %.6f, "
+                     "\"margin_delta_vs_exact\": %.6f, "
+                     "\"read_rms_divergence\": %.3e}%s\n",
+                     r.threshold, r.stepsPerSec, r.errorRate, r.errorDelta,
+                     r.cosineMargin, r.marginDelta, r.readRms,
+                     i + 1 < skips.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"headline\": {\"n1024_speedup\": %.3f}\n",
                  headline);
     std::fprintf(json, "}\n");

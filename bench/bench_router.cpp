@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/bench_env.h"
 #include "common/stats.h"
 #include "dnc/dnc.h"
 #include "serve/router.h"
@@ -284,7 +285,7 @@ main(int argc, char **argv)
         return 1;
     }
     std::fprintf(json, "{\n");
-    std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+    writeBenchContext(json);
     std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(json,
                  "  \"config\": {\"memory_rows\": %zu, \"memory_width\": "

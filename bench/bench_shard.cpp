@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Sharded-serving benchmark: confidence-merge round-trip cost vs tile
+ * count and transport. For each (transport, tiles) point the harness
+ * drives broadcast query steps through a ShardCoordinator — workers
+ * in-process for loopback, on threads behind real Unix-domain/TCP
+ * sockets otherwise — and records steps/s plus wire bytes per step,
+ * against the in-process DncD baseline (no serialization at all).
+ * Results land in BENCH_shard.json (CI artifact) next to the other
+ * bench JSONs.
+ *
+ * Like every bench here, a bit-exactness gate runs first: the sharded
+ * stack must reproduce the in-process model exactly (float and fixed
+ * point) or the bench refuses to time it. `--smoke` runs the gate plus
+ * two tiny points (the ASan/UBSan CI configuration).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_env.h"
+#include "common/random.h"
+#include "shard/local_cluster.h"
+
+namespace hima {
+namespace {
+
+DncConfig
+benchConfig(Index tiles)
+{
+    DncConfig cfg;
+    cfg.memoryRows = 1024; // the paper's evaluation N
+    cfg.memoryWidth = 64;
+    cfg.readHeads = 4;
+    (void)tiles;
+    return cfg;
+}
+
+/** Randomized but valid mixed read/write interface traffic. */
+InterfaceVector
+randomIface(const DncConfig &cfg, Rng &rng)
+{
+    InterfaceVector iface;
+    for (Index h = 0; h < cfg.readHeads; ++h)
+        iface.readKeys.push_back(rng.normalVector(cfg.memoryWidth));
+    iface.readStrengths.assign(cfg.readHeads, 1.0 + rng.uniform(0.0, 8.0));
+    iface.writeKey = rng.normalVector(cfg.memoryWidth);
+    iface.writeStrength = 1.0 + rng.uniform(0.0, 8.0);
+    iface.eraseVector = rng.uniformVector(cfg.memoryWidth, 0.05, 0.95);
+    iface.writeVector = rng.normalVector(cfg.memoryWidth);
+    iface.freeGates.assign(cfg.readHeads, rng.uniform(0.0, 0.4));
+    iface.allocationGate = rng.uniform();
+    iface.writeGate = rng.uniform(0.2, 1.0);
+    const Real b = rng.uniform(0.0, 1.0);
+    const Real c = rng.uniform(0.0, 1.0 - b);
+    iface.readModes.assign(cfg.readHeads, ReadMode{b, c, 1.0 - b - c});
+    return iface;
+}
+
+/** Bench rows cover the wire transports plus the no-wire baseline. */
+enum class Transport
+{
+    InProcess, ///< DncD baseline: no wire at all
+    Loopback,
+    Unix,
+    Tcp,
+};
+
+const char *
+transportName(Transport t)
+{
+    switch (t) {
+    case Transport::InProcess:
+        return "in_process";
+    case Transport::Loopback:
+        return "loopback";
+    case Transport::Unix:
+        return "unix";
+    default:
+        return "tcp";
+    }
+}
+
+ClusterTransport
+toCluster(Transport t)
+{
+    switch (t) {
+    case Transport::Loopback:
+        return ClusterTransport::Loopback;
+    case Transport::Unix:
+        return ClusterTransport::UnixSocket;
+    default:
+        return ClusterTransport::Tcp;
+    }
+}
+
+/** Bit-exact refusal gate: wire stack vs in-process DncD. */
+bool
+crossCheck(bool fixedPoint)
+{
+    DncConfig cfg = benchConfig(4);
+    cfg.memoryRows = 64; // small: correctness, not timing
+    cfg.fixedPoint = fixedPoint;
+    const Index tiles = 4;
+    // Full weightings on: the gate compares the whole readout.
+    LoopbackShard stack = makeLoopbackShard(cfg, tiles, 2);
+    DncD ref(cfg, tiles);
+    Rng rng(23);
+    std::vector<InterfaceVector> perTile(tiles);
+    for (int step = 0; step < 6; ++step) {
+        const InterfaceVector iface = randomIface(cfg, rng);
+        MemoryReadout a, b;
+        if (step % 2 == 0) {
+            a = ref.stepInterface(iface);
+            b = stack.coordinator->stepInterface(iface);
+        } else {
+            for (Index t = 0; t < tiles; ++t) {
+                perTile[t] = iface;
+                if (t != static_cast<Index>(step) % tiles)
+                    perTile[t].writeGate = 0.0;
+            }
+            a = ref.stepInterfaces(perTile);
+            b = stack.coordinator->stepInterfaces(perTile);
+        }
+        for (Index h = 0; h < cfg.readHeads; ++h) {
+            if (!(a.readVectors[h] == b.readVectors[h]) ||
+                !(a.readWeightings[h] == b.readWeightings[h]))
+                return false;
+        }
+        if (!(a.writeWeighting == b.writeWeighting))
+            return false;
+    }
+    return true;
+}
+
+struct Point
+{
+    Transport transport;
+    Index tiles;
+    Index workers;
+    double stepsPerSec;
+    double bytesPerStep; ///< total wire traffic, both directions
+};
+
+Point
+runPoint(Transport transport, Index tiles, Index workers)
+{
+    const DncConfig cfg = benchConfig(tiles);
+    Rng rng(7);
+    const InterfaceVector iface = randomIface(cfg, rng);
+
+    Point p{};
+    p.transport = transport;
+    p.tiles = tiles;
+    p.workers = workers;
+
+    if (transport == Transport::InProcess) {
+        DncD model(cfg, tiles);
+        p.stepsPerSec =
+            benchStepsPerSecond([&] { model.stepInterface(iface); });
+        p.bytesPerStep = 0.0;
+        return p;
+    }
+
+    LocalShardCluster stack = makeLocalCluster(
+        toCluster(transport), cfg, tiles, workers, MergePolicy::Confidence,
+        /*wantWeightings=*/false);
+    MemoryReadout out;
+    std::uint64_t steps = 0;
+    std::uint64_t bytes0 = 0;
+    for (Index k = 0; k < stack.coordinator->channelCount(); ++k)
+        bytes0 += stack.coordinator->channel(k).bytesSent() +
+                  stack.coordinator->channel(k).bytesReceived();
+    p.stepsPerSec = benchStepsPerSecond([&] {
+        stack.coordinator->stepInterfaceInto(iface, out);
+        ++steps;
+    });
+    std::uint64_t bytes1 = 0;
+    for (Index k = 0; k < stack.coordinator->channelCount(); ++k)
+        bytes1 += stack.coordinator->channel(k).bytesSent() +
+                  stack.coordinator->channel(k).bytesReceived();
+    p.bytesPerStep = steps ? static_cast<double>(bytes1 - bytes0) /
+                                 static_cast<double>(steps)
+                           : 0.0;
+    return p;
+}
+
+} // namespace
+} // namespace hima
+
+int
+main(int argc, char **argv)
+{
+    using namespace hima;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    if (!crossCheck(false) || !crossCheck(true)) {
+        std::fprintf(stderr,
+                     "FATAL: sharded stack diverged from the in-process "
+                     "DncD — refusing to benchmark unequal computations\n");
+        return 1;
+    }
+    std::printf("cross-check: sharded merge bit-identical to in-process "
+                "DncD (float and fixed-point)\n");
+
+    struct Case
+    {
+        Transport transport;
+        Index tiles;
+        Index workers;
+    };
+    std::vector<Case> cases;
+    if (smoke) {
+        cases = {{Transport::Loopback, 4, 2}, {Transport::Unix, 4, 2}};
+    } else {
+        for (Index tiles : {Index(2), Index(4), Index(8), Index(16)}) {
+            const Index workers = tiles >= 4 ? 4 : tiles;
+            cases.push_back({Transport::InProcess, tiles, 0});
+            cases.push_back({Transport::Loopback, tiles, workers});
+            cases.push_back({Transport::Unix, tiles, workers});
+            cases.push_back({Transport::Tcp, tiles, workers});
+        }
+    }
+
+    std::printf("bench_shard: N=1024, W=64, R=4; merge round trips "
+                "(lean frames: read vectors + confidence logits)%s\n",
+                smoke ? " (smoke)" : "");
+    std::vector<Point> points;
+    for (const Case &c : cases) {
+        const Point p = runPoint(c.transport, c.tiles, c.workers);
+        points.push_back(p);
+        std::printf("%-10s tiles=%2zu workers=%zu  %9.1f steps/s  %8.1f "
+                    "wire B/step\n",
+                    transportName(p.transport), p.tiles, p.workers,
+                    p.stepsPerSec, p.bytesPerStep);
+    }
+
+    FILE *json = std::fopen("BENCH_shard.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot open BENCH_shard.json\n");
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    writeBenchContext(json);
+    std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(json,
+                 "  \"config\": {\"memory_rows\": 1024, \"memory_width\": "
+                 "64, \"read_heads\": 4, \"want_weightings\": false},\n");
+    std::fprintf(json, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        std::fprintf(json,
+                     "    {\"transport\": \"%s\", \"tiles\": %zu, "
+                     "\"workers\": %zu, \"steps_per_sec\": %.2f, "
+                     "\"wire_bytes_per_step\": %.1f}%s\n",
+                     transportName(p.transport), p.tiles, p.workers,
+                     p.stepsPerSec, p.bytesPerStep,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_shard.json (%zu points)\n", points.size());
+    return 0;
+}

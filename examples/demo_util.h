@@ -1,6 +1,9 @@
 /**
  * @file
- * Tiny argv helpers shared by the example binaries.
+ * Shared argv parsing and config boilerplate for the example binaries
+ * (serve_demo, router_demo, shard_demo, shard_worker): one copy of the
+ * small-serving-config block and the positive-integer/real parsers
+ * instead of per-file duplicates.
  */
 
 #ifndef HIMA_EXAMPLES_DEMO_UTIL_H
@@ -8,7 +11,7 @@
 
 #include <cstdlib>
 
-#include "common/tensor.h"
+#include "dnc/dnc_config.h"
 
 namespace hima {
 
@@ -25,6 +28,43 @@ parsePositive(const char *arg)
     if (end == arg || *end != '\0' || v < 1)
         return 0;
     return static_cast<Index>(v);
+}
+
+/** argv[index] as a positive integer, `fallback` when absent, 0 on bad. */
+inline Index
+positiveArg(int argc, char **argv, int index, Index fallback)
+{
+    return index < argc ? parsePositive(argv[index]) : fallback;
+}
+
+/** argv[index] as a strictly positive real, `fallback` when absent. */
+inline double
+positiveRealArg(int argc, char **argv, int index, double fallback)
+{
+    if (index >= argc)
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(argv[index], &end);
+    if (end == argv[index] || *end != '\0' || v <= 0.0)
+        return 0.0;
+    return v;
+}
+
+/**
+ * The small serving config every demo runs: laptop-friendly shapes with
+ * the full feature surface (allocation, linkage, batched lanes).
+ */
+inline DncConfig
+demoServeConfig()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 128;
+    cfg.memoryWidth = 32;
+    cfg.readHeads = 2;
+    cfg.controllerSize = 64;
+    cfg.inputSize = 32;
+    cfg.outputSize = 32;
+    return cfg;
 }
 
 } // namespace hima

@@ -34,19 +34,13 @@ main(int argc, char **argv)
 {
     using namespace hima;
 
-    DncConfig cfg;
-    cfg.memoryRows = 128;
-    cfg.memoryWidth = 32;
-    cfg.readHeads = 2;
-    cfg.controllerSize = 64;
-    cfg.inputSize = 32;
-    cfg.outputSize = 32;
-    cfg.batchSize = argc > 1 ? parsePositive(argv[1]) : 8;
-    cfg.numThreads = argc > 2 ? parsePositive(argv[2]) : 2;
+    DncConfig cfg = demoServeConfig();
+    cfg.batchSize = positiveArg(argc, argv, 1, 8);
+    cfg.numThreads = positiveArg(argc, argv, 2, 2);
 
     ArrivalSpec spec;
-    spec.rate = argc > 3 ? std::atof(argv[3]) : 0.20;
-    const Index horizon = argc > 4 ? parsePositive(argv[4]) : 400;
+    spec.rate = positiveRealArg(argc, argv, 3, 0.20);
+    const Index horizon = positiveArg(argc, argv, 4, 400);
     if (cfg.batchSize == 0 || cfg.numThreads == 0 || spec.rate <= 0.0 ||
         horizon == 0) {
         std::fprintf(stderr,

@@ -32,19 +32,12 @@ main(int argc, char **argv)
 {
     using namespace hima;
 
-    DncConfig cfg;
-    cfg.memoryRows = 128;
-    cfg.memoryWidth = 32;
-    cfg.readHeads = 2;
-    cfg.controllerSize = 64;
-    cfg.inputSize = 32;
-    cfg.outputSize = 32;
+    DncConfig cfg = demoServeConfig();
     // 8 concurrent sessions across 2 pool threads by default; argv
     // overrides for quick occupancy/thread sweeps.
-    cfg.batchSize = argc > 1 ? parsePositive(argv[1]) : 8;
-    cfg.numThreads = argc > 2 ? parsePositive(argv[2]) : 2;
-    const int kSteps =
-        argc > 3 ? static_cast<int>(parsePositive(argv[3])) : 200;
+    cfg.batchSize = positiveArg(argc, argv, 1, 8);
+    cfg.numThreads = positiveArg(argc, argv, 2, 2);
+    const int kSteps = static_cast<int>(positiveArg(argc, argv, 3, 200));
     if (cfg.batchSize == 0 || cfg.numThreads == 0 || kSteps <= 0) {
         std::fprintf(stderr,
                      "usage: serve_demo [batch >= 1] [threads >= 1] "

@@ -1,0 +1,33 @@
+#include "common/bench_env.h"
+
+#include <thread>
+
+#if __has_include("hima_build_info.h")
+#include "hima_build_info.h"
+#else
+#define HIMA_GIT_SHA "unknown"
+#endif
+
+namespace hima {
+
+unsigned
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+const char *
+buildGitSha()
+{
+    return HIMA_GIT_SHA;
+}
+
+void
+writeBenchContext(std::FILE *json)
+{
+    std::fprintf(json, "  \"hardware_threads\": %u,\n", hardwareThreads());
+    std::fprintf(json, "  \"git_sha\": \"%s\",\n", buildGitSha());
+}
+
+} // namespace hima

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared context stamped into every BENCH_*.json emitter, so a checked-
+ * in result is self-describing: the ROADMAP's "this was a 1-hardware-
+ * thread container" caveat is machine-readable (`hardware_threads`),
+ * and `git_sha` pins the result to the code that produced it — the CI
+ * artifact (multi-core) is distinguishable from a laptop run by its
+ * fields alone.
+ */
+
+#ifndef HIMA_COMMON_BENCH_ENV_H
+#define HIMA_COMMON_BENCH_ENV_H
+
+#include <chrono>
+#include <cstdio>
+
+namespace hima {
+
+/** Hardware threads visible to this process (always >= 1). */
+unsigned hardwareThreads();
+
+/**
+ * Abbreviated git SHA captured at CMake configure time; "unknown" when
+ * the build tree was configured outside a git checkout.
+ */
+const char *buildGitSha();
+
+/**
+ * Write the shared context fields ("hardware_threads", "git_sha") into
+ * an open JSON object, trailing comma included — call it right after
+ * the opening brace.
+ */
+void writeBenchContext(std::FILE *json);
+
+/**
+ * Shared timing loop of the bench harnesses: run `stepFn` once to warm
+ * caches/size buffers, then repeat until `minSeconds` elapse (or
+ * `maxIters` as a runaway bound) and return iterations per second.
+ * One copy here so every bench measures with the same methodology.
+ */
+template <typename StepFn>
+double
+benchStepsPerSecond(StepFn &&stepFn, double minSeconds = 0.25,
+                    long maxIters = 200000)
+{
+    using Clock = std::chrono::steady_clock;
+    stepFn(); // warmup
+    long iters = 0;
+    double elapsed = 0.0;
+    const auto start = Clock::now();
+    while (elapsed < minSeconds && iters < maxIters) {
+        stepFn();
+        ++iters;
+        elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    }
+    return static_cast<double>(iters) / elapsed;
+}
+
+} // namespace hima
+
+#endif // HIMA_COMMON_BENCH_ENV_H

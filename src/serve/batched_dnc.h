@@ -80,16 +80,9 @@
 #include "common/thread_pool.h"
 #include "dnc/controller.h"
 #include "dnc/memory_unit.h"
+#include "serve/engine.h"
 
 namespace hima {
-
-/** Lifecycle state of one serving lane slot. */
-enum class LaneState
-{
-    Free,     ///< unoccupied; admit() may bind a request here
-    Active,   ///< stepping; owns a column in the active SoA prefix
-    Draining, ///< episode finished; state readable, excluded from sweeps
-};
 
 /**
  * One serving lane slot: lifecycle state plus the SoA column currently
@@ -103,7 +96,7 @@ struct LaneSlot
 };
 
 /** Up to capacity() independent DNC lanes stepped together. */
-class BatchedDnc
+class BatchedDnc final : public LaneEngine
 {
   public:
     /**
@@ -131,7 +124,7 @@ class BatchedDnc
      *                nothing. A step with zero Active lanes is a no-op.
      */
     void stepInto(const std::vector<Vector> &inputs,
-                  std::vector<Vector> &outputs);
+                  std::vector<Vector> &outputs) override;
 
     /** Allocating convenience wrapper over stepInto(). */
     std::vector<Vector> step(const std::vector<Vector> &inputs);
@@ -146,34 +139,37 @@ class BatchedDnc
      *
      * @return the admitted slot id
      */
-    Index admit();
+    Index admit() override;
 
     /**
      * Move an Active lane out of the stepping set while keeping its
      * state readable (laneMemory/laneHidden/laneCell/laneReads stay
      * valid) until release().
      */
-    void markDraining(Index slot);
+    void markDraining(Index slot) override;
 
     /** Return an Active or Draining slot to the free pool. */
-    void release(Index slot);
+    void release(Index slot) override;
 
-    LaneState laneState(Index slot) const { return slots_[slot].state; }
-    Index activeLanes() const { return active_; }
-    Index drainingLanes() const { return occupied_ - active_; }
-    Index freeLanes() const { return batch_ - occupied_; }
+    LaneState laneState(Index slot) const override
+    {
+        return slots_[slot].state;
+    }
+    Index activeLanes() const override { return active_; }
+    Index drainingLanes() const override { return occupied_ - active_; }
+    Index freeLanes() const override { return batch_ - occupied_; }
 
     /** Total slots (== config.batchSize). */
-    Index capacity() const { return batch_; }
+    Index capacity() const override { return batch_; }
 
     /**
      * Reset every slot to the construction state: all lanes Active in
      * their home columns with zeroed controller and memory state.
      */
-    void reset();
+    void reset() override;
 
     Index batchSize() const { return batch_; }
-    const DncConfig &config() const { return config_; }
+    const DncConfig &config() const override { return config_; }
 
     /** Slot s's memory tile (state inspection for tests/monitoring). */
     const MemoryUnit &laneMemory(Index slot) const { return lanes_[slot]; }

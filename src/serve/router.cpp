@@ -28,23 +28,28 @@ batchFillAdmission(Index minFill, Index maxWaitSteps)
 
 Router::Router(const DncConfig &config, std::uint64_t seed,
                AdmissionPolicy policy)
-    : engine_(config, seed), policy_(std::move(policy)),
-      maxActive_(config.routerMaxActiveLanes == 0
-                     ? engine_.capacity()
-                     : config.routerMaxActiveLanes),
-      queueCapacity_(config.routerQueueCapacity)
+    : Router(std::make_unique<BatchedDnc>(config, seed), std::move(policy))
+{}
+
+Router::Router(std::unique_ptr<LaneEngine> engine, AdmissionPolicy policy)
+    : engine_(std::move(engine)), policy_(std::move(policy))
 {
+    HIMA_ASSERT(engine_ != nullptr, "Router: null engine");
     HIMA_ASSERT(static_cast<bool>(policy_), "Router: null admission policy");
+    maxActive_ = engine_->config().routerMaxActiveLanes == 0
+                     ? engine_->capacity()
+                     : engine_->config().routerMaxActiveLanes;
+    queueCapacity_ = engine_->config().routerQueueCapacity;
 
-    // The engine constructs fully occupied (lockstep back-compat); a
+    // Engines construct fully occupied (lockstep back-compat); a
     // router starts from an empty house and admits on demand.
-    for (Index slot = 0; slot < engine_.capacity(); ++slot)
-        engine_.release(slot);
+    for (Index slot = 0; slot < engine_->capacity(); ++slot)
+        engine_->release(slot);
 
-    bindings_.resize(engine_.capacity());
-    drainingSlots_.reserve(engine_.capacity());
-    inputs_.resize(engine_.capacity());
-    outputs_.resize(engine_.capacity());
+    bindings_.resize(engine_->capacity());
+    drainingSlots_.reserve(engine_->capacity());
+    inputs_.resize(engine_->capacity());
+    outputs_.resize(engine_->capacity());
 }
 
 bool
@@ -72,19 +77,19 @@ Router::step()
     // 1. Evict lanes that finished on the previous step. Their results
     //    were harvested when they finished; only the slot is reclaimed.
     for (Index slot : drainingSlots_)
-        engine_.release(slot);
+        engine_->release(slot);
     drainingSlots_.clear();
 
     // 2. Admission: policy decides how many queued requests to bind now.
     const Index headroom =
-        maxActive_ - std::min(maxActive_, engine_.activeLanes());
-    const Index bindable = std::min(engine_.freeLanes(), headroom);
+        maxActive_ - std::min(maxActive_, engine_->activeLanes());
+    const Index bindable = std::min(engine_->freeLanes(), headroom);
     if (!queue_.empty() && bindable > 0) {
         const Index oldestWait = now_ - arrivalSteps_.front();
         Index admitCount = policy_(queue_.size(), bindable, oldestWait);
         admitCount = std::min({admitCount, Index(queue_.size()), bindable});
         for (Index i = 0; i < admitCount; ++i) {
-            const Index slot = engine_.admit();
+            const Index slot = engine_->admit();
             Binding &binding = bindings_[slot];
             binding.bound = true;
             binding.request = std::move(queue_.front());
@@ -95,7 +100,11 @@ Router::step()
             binding.result.arrivalStep = arrivalSteps_.front();
             arrivalSteps_.pop_front();
             binding.result.admitStep = now_;
-            binding.result.outputs.reserve(binding.request.tokens.size());
+            // Pre-size the whole result at admission so the per-step
+            // harvest is a same-size Vector copy — serving steps stay
+            // zero-alloc even while the queue is overflowing.
+            binding.result.outputs.assign(binding.request.tokens.size(),
+                                          Vector(config().outputSize));
             ++inFlight_;
         }
     }
@@ -108,7 +117,7 @@ Router::step()
         if (binding.bound)
             inputs_[slot] = binding.request.tokens[binding.cursor];
     }
-    engine_.stepInto(inputs_, outputs_);
+    engine_->stepInto(inputs_, outputs_);
 
     // Harvest this step's outputs; finished lanes start draining and are
     // evicted at the next boundary.
@@ -116,11 +125,11 @@ Router::step()
         Binding &binding = bindings_[slot];
         if (!binding.bound)
             continue;
-        binding.result.outputs.push_back(outputs_[slot]);
+        binding.result.outputs[binding.cursor] = outputs_[slot];
         ++binding.cursor;
         if (binding.cursor == binding.request.tokens.size()) {
             binding.result.finishStep = now_;
-            engine_.markDraining(slot);
+            engine_->markDraining(slot);
             drainingSlots_.push_back(slot);
             completed_.push_back(std::move(binding.result));
             binding = Binding{};
@@ -140,7 +149,7 @@ Router::drain()
     // Draining (normally reclaimed at the next boundary); flush them so
     // an idle router reports a fully free engine.
     for (Index slot : drainingSlots_)
-        engine_.release(slot);
+        engine_->release(slot);
     drainingSlots_.clear();
 }
 

@@ -50,6 +50,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "serve/batched_dnc.h"
@@ -123,6 +124,14 @@ class Router
                     AdmissionPolicy policy = greedyAdmission());
 
     /**
+     * Route onto a caller-built engine (e.g. the sharded backend in
+     * src/shard/sharded_dnc.h). The engine's DncConfig supplies the
+     * router knobs; its lanes are released to an empty house first.
+     */
+    explicit Router(std::unique_ptr<LaneEngine> engine,
+                    AdmissionPolicy policy = greedyAdmission());
+
+    /**
      * Enqueue a request (tokens must be non-empty, inputSize-wide).
      * Stamps the request's arrival at the current step count.
      *
@@ -156,9 +165,9 @@ class Router
     std::vector<ServeResult> &completed() { return completed_; }
     const std::vector<ServeResult> &completed() const { return completed_; }
 
-    BatchedDnc &engine() { return engine_; }
-    const BatchedDnc &engine() const { return engine_; }
-    const DncConfig &config() const { return engine_.config(); }
+    LaneEngine &engine() { return *engine_; }
+    const LaneEngine &engine() const { return *engine_; }
+    const DncConfig &config() const { return engine_->config(); }
 
   private:
     /** Per-slot binding of an admitted request. */
@@ -170,10 +179,10 @@ class Router
         ServeResult result;
     };
 
-    BatchedDnc engine_;
+    std::unique_ptr<LaneEngine> engine_;
     AdmissionPolicy policy_;
-    Index maxActive_;      ///< min(routerMaxActiveLanes or capacity, capacity)
-    Index queueCapacity_;
+    Index maxActive_ = 0; ///< min(routerMaxActiveLanes or capacity, capacity)
+    Index queueCapacity_ = 0;
 
     std::deque<ServeRequest> queue_;
     std::deque<Index> arrivalSteps_; ///< parallel to queue_

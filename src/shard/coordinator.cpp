@@ -1,0 +1,259 @@
+#include "shard/coordinator.h"
+
+#include <utility>
+
+#include "shard/worker.h"
+
+namespace hima {
+
+namespace {
+
+std::uint32_t
+maskOf(const std::vector<Index> &heads)
+{
+    std::uint32_t mask = 0;
+    for (Index head : heads)
+        mask |= 1u << head;
+    return mask;
+}
+
+} // namespace
+
+ShardCoordinator::ShardCoordinator(
+    const DncConfig &config, Index tiles, MergePolicy policy,
+    std::vector<std::unique_ptr<Channel>> channels, bool wantWeightings)
+    : globalConfig_(config), shardConfig_(shardConfigFor(config, tiles)),
+      tiles_(tiles), policy_(policy), wantWeightings_(wantWeightings),
+      channels_(std::move(channels))
+{
+    HIMA_ASSERT(!channels_.empty() && channels_.size() <= tiles_,
+                "need 1..Nt worker channels (got %zu for %zu tiles)",
+                channels_.size(), tiles_);
+    HIMA_ASSERT(config.readHeads <= 32,
+                "scored-head mask supports up to 32 read heads");
+
+    // Deal tiles contiguously and as evenly as possible.
+    const Index chans = channels_.size();
+    Index next = 0;
+    for (Index k = 0; k < chans; ++k) {
+        const Index count = tiles_ / chans + (k < tiles_ % chans ? 1 : 0);
+        firstTile_.push_back(next);
+        tileCount_.push_back(count);
+        next += count;
+    }
+
+    // Config handshake: every worker validates shapes and datapath mode
+    // before any step traffic.
+    for (Index k = 0; k < chans; ++k) {
+        encodeHello(WireConfig::fromShard(shardConfig_, tileCount_[k]),
+                    writer_);
+        channels_[k]->sendFrame(writer_.buffer().data(),
+                                writer_.buffer().size());
+    }
+    for (Index k = 0; k < chans; ++k) {
+        HelloAckMsg ack;
+        if (!channels_[k]->recvFrame(frame_) ||
+            !decodeHelloAck(frame_.data(), frame_.size(), ack))
+            HIMA_FATAL("shard handshake: worker %zu sent no valid ack", k);
+        if (!ack.ok)
+            HIMA_FATAL("shard handshake: worker %zu rejected config: %s", k,
+                       ack.message.c_str());
+        if (ack.hostedTiles != tileCount_[k])
+            HIMA_FATAL("shard handshake: worker %zu hosts %llu tiles, "
+                       "expected %zu",
+                       k, static_cast<unsigned long long>(ack.hostedTiles),
+                       tileCount_[k]);
+    }
+
+    replies_.resize(chans);
+    localPtrs_.resize(tiles_);
+}
+
+ShardCoordinator::~ShardCoordinator()
+{
+    for (auto &channel : channels_) {
+        encodeShutdown(writer_);
+        channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    }
+}
+
+void
+ShardCoordinator::stepInterfaceInto(const InterfaceVector &iface,
+                                    MemoryReadout &out)
+{
+    const std::uint32_t mask = maskOf(gate_.selectHeads(
+        iface, policy_, globalConfig_.readHeads, tiles_));
+    ++seq_;
+    for (Index k = 0; k < channels_.size(); ++k) {
+        encodeStepBroadcast(seq_, wantWeightings_, mask, iface,
+                            tileCount_[k], writer_);
+        channels_[k]->sendFrame(writer_.buffer().data(),
+                                writer_.buffer().size());
+    }
+    exchange(out);
+}
+
+void
+ShardCoordinator::stepInterfacesInto(
+    const std::vector<InterfaceVector> &ifaces, MemoryReadout &out)
+{
+    HIMA_ASSERT(ifaces.size() == tiles_, "need one interface per tile");
+    // The merge contract (Fig. 8) is that *queries broadcast*: per-tile
+    // sub-interfaces may differ in write-side fields (learned write
+    // sharding), but the read keys/strengths/modes every tile scores
+    // with must be identical — each worker computes confidence logits
+    // from its local first hosted tile's interface, and DncD from
+    // ifaces[0], so divergent read fields would silently break
+    // bit-exactness. Enforce the convention instead.
+    for (Index t = 1; t < tiles_; ++t) {
+        HIMA_ASSERT(ifaces[t].readStrengths == ifaces[0].readStrengths,
+                    "tile %zu read strengths diverge from the broadcast",
+                    t);
+        for (Index h = 0; h < globalConfig_.readHeads; ++h)
+            HIMA_ASSERT(ifaces[t].readKeys[h] == ifaces[0].readKeys[h],
+                        "tile %zu read key %zu diverges from the "
+                        "broadcast",
+                        t, h);
+    }
+    const std::uint32_t mask = maskOf(gate_.selectHeads(
+        ifaces[0], policy_, globalConfig_.readHeads, tiles_));
+    ++seq_;
+    for (Index k = 0; k < channels_.size(); ++k) {
+        encodeStepSpan(seq_, wantWeightings_, mask, &ifaces[firstTile_[k]],
+                       tileCount_[k], writer_);
+        channels_[k]->sendFrame(writer_.buffer().data(),
+                                writer_.buffer().size());
+    }
+    exchange(out);
+}
+
+void
+ShardCoordinator::exchange(MemoryReadout &out)
+{
+    // Gather replies in channel order; remote workers overlap compute.
+    const Index r = globalConfig_.readHeads;
+    for (Index k = 0; k < channels_.size(); ++k) {
+        if (!channels_[k]->recvFrame(frame_))
+            HIMA_FATAL("shard step %llu: worker %zu closed the channel",
+                       static_cast<unsigned long long>(seq_), k);
+        MsgType type;
+        if (!peekType(frame_.data(), frame_.size(), type))
+            HIMA_FATAL("shard step %llu: worker %zu sent a malformed frame",
+                       static_cast<unsigned long long>(seq_), k);
+        if (type == MsgType::Error) {
+            ErrorMsg err;
+            decodeError(frame_.data(), frame_.size(), err);
+            HIMA_FATAL("shard step %llu: worker %zu error: %s",
+                       static_cast<unsigned long long>(seq_), k,
+                       err.message.c_str());
+        }
+        if (!decodeStepReply(frame_.data(), frame_.size(), shardConfig_,
+                             tileCount_[k], replies_[k]))
+            HIMA_FATAL("shard step %llu: worker %zu sent a malformed reply",
+                       static_cast<unsigned long long>(seq_), k);
+        if (replies_[k].seq != seq_)
+            HIMA_FATAL("shard step %llu: worker %zu replied out of sequence "
+                       "(%llu)",
+                       static_cast<unsigned long long>(seq_), k,
+                       static_cast<unsigned long long>(replies_[k].seq));
+        if (replies_[k].hasWeightings != wantWeightings_)
+            HIMA_FATAL("shard step %llu: worker %zu weighting flag mismatch",
+                       static_cast<unsigned long long>(seq_), k);
+        for (Index i = 0; i < tileCount_[k]; ++i)
+            localPtrs_[firstTile_[k] + i] = &replies_[k].tiles[i];
+    }
+
+    // The distributed confidence merge: softmax over the gathered
+    // (head x tile) logits, then the Eq. 4 weighted sum — the same gate
+    // and merge code the in-process DncD runs.
+    const std::vector<Index> &scored = gate_.scoredHeads();
+    if (!scored.empty()) {
+        scoreScratch_.assign(scored.size() * tiles_, 0.0);
+        for (Index k = 0; k < channels_.size(); ++k) {
+            for (Index i = 0; i < tileCount_[k]; ++i) {
+                const Index tile = firstTile_[k] + i;
+                for (Index s = 0; s < scored.size(); ++s)
+                    scoreScratch_[s * tiles_ + tile] =
+                        replies_[k].confidence[i * r + scored[s]];
+            }
+        }
+        gate_.applyScores(scoreScratch_, tiles_);
+    }
+
+    mergeTileReadouts(localPtrs_, gate_.alphas(), globalConfig_,
+                      shardConfig_.memoryRows, out);
+}
+
+MemoryReadout
+ShardCoordinator::stepInterface(const InterfaceVector &iface)
+{
+    MemoryReadout out;
+    stepInterfaceInto(iface, out);
+    return out;
+}
+
+MemoryReadout
+ShardCoordinator::stepInterfaces(const std::vector<InterfaceVector> &ifaces)
+{
+    MemoryReadout out;
+    stepInterfacesInto(ifaces, out);
+    return out;
+}
+
+void
+ShardCoordinator::sendControl(ControlKind kind)
+{
+    ControlMsg msg;
+    msg.kind = kind;
+    msg.seq = ++controlSeq_;
+    for (auto &channel : channels_) {
+        encodeControl(msg, writer_);
+        channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    }
+    for (Index k = 0; k < channels_.size(); ++k) {
+        std::uint64_t seq = 0;
+        if (!channels_[k]->recvFrame(frame_) ||
+            !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+            seq != msg.seq)
+            HIMA_FATAL("shard control: worker %zu did not acknowledge", k);
+    }
+    gate_.reset();
+}
+
+void
+ShardCoordinator::reset()
+{
+    sendControl(ControlKind::EpisodeReset);
+}
+
+void
+ShardCoordinator::beginEpisode()
+{
+    sendControl(ControlKind::Admit);
+}
+
+// --------------------------------------------------------------------
+// Loopback stack
+// --------------------------------------------------------------------
+
+LoopbackShard
+makeLoopbackShard(const DncConfig &config, Index tiles, Index workerCount,
+                  MergePolicy policy, bool wantWeightings)
+{
+    LoopbackShard stack;
+    std::vector<std::unique_ptr<Channel>> channels;
+    for (Index k = 0; k < workerCount; ++k) {
+        auto worker = std::make_shared<ShardWorker>();
+        stack.workers.push_back(worker);
+        channels.push_back(std::make_unique<LoopbackChannel>(
+            [worker](const std::uint8_t *data, std::size_t size,
+                     FrameSink &reply) {
+                worker->handleFrame(data, size, reply);
+            }));
+    }
+    stack.coordinator = std::make_unique<ShardCoordinator>(
+        config, tiles, policy, std::move(channels), wantWeightings);
+    return stack;
+}
+
+} // namespace hima

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Shard coordinator: the client side of multi-process DNC-D.
+ *
+ * Implements the same TileMemory stepping surface as the in-process
+ * DncD, but over worker channels: each step it scatters per-tile
+ * interface vectors (scored-head mask included, so workers only compute
+ * the confidence logits the merge will use), gathers every tile's read
+ * vectors + logits, and performs the exact confidence-softmax merge —
+ * through the *same* ConfidenceGate and mergeTileReadouts code DncD
+ * runs, so a sharded deployment is bit-identical per step to the
+ * in-process model by construction (proven over loopback and real
+ * sockets in tests/test_shard.cpp).
+ *
+ * Scatter/gather is synchronous fan-out: send to every channel first,
+ * then collect replies in channel order — workers on distinct processes
+ * overlap their compute while the coordinator is still draining
+ * earlier replies. Sequence numbers pair requests with replies; any
+ * protocol violation (bad frame, seq mismatch, worker Error) is fatal:
+ * a serving stack must never continue on a diverged shard.
+ */
+
+#ifndef HIMA_SHARD_COORDINATOR_H
+#define HIMA_SHARD_COORDINATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "dnc/dncd.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace hima {
+
+class ShardWorker;
+
+/** Drives remote DNC-D tiles behind the TileMemory surface. */
+class ShardCoordinator final : public TileMemory
+{
+  public:
+    /**
+     * Connect and handshake. Tiles are dealt contiguously over the
+     * channels as evenly as possible (channel k hosts
+     * tiles/channels +- 1); every worker validates shapes and the
+     * fixed-point mode before the first step.
+     *
+     * @param config   global DNC shapes (memoryRows = global N)
+     * @param tiles    total tile count Nt; must divide memoryRows
+     * @param policy   read-vector merge policy
+     * @param channels one connected channel per worker (1..tiles)
+     * @param wantWeightings ship per-tile read/write weightings back so
+     *        readouts carry the concatenated global view (DncD parity —
+     *        the golden harness needs it); serving paths turn it off to
+     *        keep step frames at R*W + R reals per tile
+     */
+    ShardCoordinator(const DncConfig &config, Index tiles,
+                     MergePolicy policy,
+                     std::vector<std::unique_ptr<Channel>> channels,
+                     bool wantWeightings = true);
+
+    /** Sends Shutdown to every worker. */
+    ~ShardCoordinator() override;
+
+    // --- TileMemory surface --------------------------------------------
+    MemoryReadout stepInterface(const InterfaceVector &iface) override;
+    MemoryReadout
+    stepInterfaces(const std::vector<InterfaceVector> &ifaces) override;
+    void reset() override;
+    void beginEpisode() override;
+    Index tiles() const override { return tiles_; }
+    const DncConfig &globalConfig() const override { return globalConfig_; }
+    const DncConfig &shardConfig() const override { return shardConfig_; }
+    const std::vector<std::vector<Real>> &lastAlphas() const override
+    {
+        return gate_.alphas();
+    }
+
+    // --- allocation-lean variants (buffers reused across steps) --------
+
+    /** Broadcast one interface to every tile (queries broadcast). */
+    void stepInterfaceInto(const InterfaceVector &iface,
+                           MemoryReadout &out) override;
+
+    /** Per-tile interfaces (learned write sharding). */
+    void stepInterfacesInto(const std::vector<InterfaceVector> &ifaces,
+                            MemoryReadout &out);
+
+    Index channelCount() const { return channels_.size(); }
+    const Channel &channel(Index k) const { return *channels_[k]; }
+
+    /** Steps completed since construction. */
+    std::uint64_t steps() const { return seq_; }
+
+  private:
+    /** Gather replies after a scatter, then score + merge into `out`. */
+    void exchange(MemoryReadout &out);
+
+    void sendControl(ControlKind kind);
+
+    DncConfig globalConfig_;
+    DncConfig shardConfig_;
+    Index tiles_;
+    MergePolicy policy_;
+    bool wantWeightings_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<Index> firstTile_; ///< per channel
+    std::vector<Index> tileCount_; ///< per channel
+
+    ConfidenceGate gate_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t controlSeq_ = 0;
+
+    // Reused per-step state.
+    WireWriter writer_;
+    std::vector<std::uint8_t> frame_;
+    std::vector<StepReplyMsg> replies_;          ///< per channel
+    std::vector<const MemoryReadout *> localPtrs_; ///< per global tile
+    std::vector<Real> scoreScratch_; ///< scoredHeads x tiles, row-major
+};
+
+/**
+ * An in-process sharded stack: `workerCount` loopback workers hosting
+ * `tiles` tiles behind one coordinator. The workers outlive the
+ * coordinator (the channels' service closures own them); handles are
+ * returned so tests can inspect hosted tile state directly.
+ */
+struct LoopbackShard
+{
+    std::unique_ptr<ShardCoordinator> coordinator;
+    std::vector<std::shared_ptr<ShardWorker>> workers;
+};
+
+LoopbackShard makeLoopbackShard(const DncConfig &config, Index tiles,
+                                Index workerCount,
+                                MergePolicy policy = MergePolicy::Confidence,
+                                bool wantWeightings = true);
+
+} // namespace hima
+
+#endif // HIMA_SHARD_COORDINATOR_H

@@ -1,0 +1,75 @@
+#include "shard/local_cluster.h"
+
+#include <atomic>
+#include <string>
+
+#include <unistd.h>
+
+namespace hima {
+
+namespace {
+std::atomic<int> g_endpointOrdinal{0};
+}
+
+LocalShardCluster
+makeLocalCluster(ClusterTransport transport, const DncConfig &config,
+                 Index tiles, Index workerCount, MergePolicy policy,
+                 bool wantWeightings)
+{
+    LocalShardCluster cluster;
+    if (transport == ClusterTransport::Loopback) {
+        LoopbackShard loop = makeLoopbackShard(config, tiles, workerCount,
+                                               policy, wantWeightings);
+        cluster.coordinator = std::move(loop.coordinator);
+        cluster.workers = std::move(loop.workers);
+        return cluster;
+    }
+
+    std::vector<std::unique_ptr<Channel>> channels;
+    for (Index k = 0; k < workerCount; ++k) {
+        auto worker = std::make_shared<ShardWorker>();
+        cluster.workers.push_back(worker);
+        std::unique_ptr<SocketChannel> client;
+        if (transport == ClusterTransport::UnixSocket) {
+            const std::string path =
+                "/tmp/hima_shard_" + std::to_string(::getpid()) + "_" +
+                std::to_string(
+                    g_endpointOrdinal.fetch_add(1,
+                                                std::memory_order_relaxed)) +
+                ".sock";
+            auto listener = SocketListener::listenUnix(path);
+            if (!listener)
+                HIMA_FATAL("local cluster: cannot listen on %s",
+                           path.c_str());
+            auto shared =
+                std::shared_ptr<SocketListener>(std::move(listener));
+            cluster.threads.emplace_back([worker, shared] {
+                auto chan = shared->accept();
+                if (chan)
+                    worker->serve(*chan);
+            });
+            client = SocketChannel::connectUnix(path);
+        } else {
+            auto listener = SocketListener::listenTcp(0);
+            if (!listener)
+                HIMA_FATAL("local cluster: cannot listen on a tcp port");
+            const std::uint16_t port = listener->port();
+            auto shared =
+                std::shared_ptr<SocketListener>(std::move(listener));
+            cluster.threads.emplace_back([worker, shared] {
+                auto chan = shared->accept();
+                if (chan)
+                    worker->serve(*chan);
+            });
+            client = SocketChannel::connectTcp("127.0.0.1", port);
+        }
+        if (!client) // fail fast: the accept thread would hang forever
+            HIMA_FATAL("local cluster: connect failed");
+        channels.push_back(std::move(client));
+    }
+    cluster.coordinator = std::make_unique<ShardCoordinator>(
+        config, tiles, policy, std::move(channels), wantWeightings);
+    return cluster;
+}
+
+} // namespace hima

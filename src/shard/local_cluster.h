@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Single-host shard cluster: a coordinator plus `workerCount` workers
+ * living in this process — either behind synchronous loopback channels
+ * (deterministic, no threads) or each serving a real Unix-domain/TCP
+ * socket from its own thread. The socket modes exercise the identical
+ * codec + framing a multi-process deployment uses (shard_worker
+ * processes), so they double as the test/bench harness for the wire
+ * and as a real deployment shape for one multi-core box.
+ *
+ * Destruction is ordered: the coordinator's Shutdown frames end every
+ * worker's serve() loop before the threads are joined.
+ */
+
+#ifndef HIMA_SHARD_LOCAL_CLUSTER_H
+#define HIMA_SHARD_LOCAL_CLUSTER_H
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "shard/coordinator.h"
+#include "shard/worker.h"
+
+namespace hima {
+
+/** How a local cluster's frames travel. */
+enum class ClusterTransport
+{
+    Loopback,   ///< synchronous in-process calls (no threads)
+    UnixSocket, ///< AF_UNIX stream to worker threads
+    Tcp,        ///< 127.0.0.1 stream to worker threads
+};
+
+/** A coordinator and the in-process workers that serve it. */
+struct LocalShardCluster
+{
+    std::unique_ptr<ShardCoordinator> coordinator;
+    std::vector<std::shared_ptr<ShardWorker>> workers;
+    std::vector<std::thread> threads; ///< socket serve loops (may be empty)
+
+    LocalShardCluster() = default;
+    LocalShardCluster(LocalShardCluster &&) = default;
+
+    /**
+     * Move-assignment shuts the current cluster down first — a plain
+     * defaulted member-wise move would destroy still-joinable serve
+     * threads (std::terminate).
+     */
+    LocalShardCluster &
+    operator=(LocalShardCluster &&other)
+    {
+        if (this != &other) {
+            shutdown();
+            coordinator = std::move(other.coordinator);
+            workers = std::move(other.workers);
+            threads = std::move(other.threads);
+        }
+        return *this;
+    }
+
+    ~LocalShardCluster() { shutdown(); }
+
+  private:
+    void
+    shutdown()
+    {
+        coordinator.reset(); // sends Shutdown; serve() loops return
+        for (std::thread &t : threads)
+            t.join();
+        threads.clear();
+        workers.clear();
+    }
+};
+
+/**
+ * Build a cluster of `workerCount` workers hosting `tiles` tiles.
+ * Socket endpoints are freshly allocated per call (unique /tmp paths,
+ * ephemeral TCP ports), so concurrent clusters never collide; any
+ * listen/connect failure is fatal (a hung accept thread would be
+ * worse).
+ */
+LocalShardCluster
+makeLocalCluster(ClusterTransport transport, const DncConfig &config,
+                 Index tiles, Index workerCount,
+                 MergePolicy policy = MergePolicy::Confidence,
+                 bool wantWeightings = true);
+
+} // namespace hima
+
+#endif // HIMA_SHARD_LOCAL_CLUSTER_H

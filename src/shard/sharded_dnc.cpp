@@ -1,0 +1,142 @@
+#include "shard/sharded_dnc.h"
+
+#include <algorithm>
+
+namespace hima {
+
+// --------------------------------------------------------------------
+// ShardedDnc
+// --------------------------------------------------------------------
+
+ShardedDnc::ShardedDnc(const DncConfig &config, std::uint64_t seed,
+                       std::unique_ptr<TileMemory> memory)
+    : config_(config), rng_(seed), controller_(config, rng_),
+      memory_(std::move(memory)),
+      lastReads_(config.readHeads, Vector(config.memoryWidth))
+{
+    HIMA_ASSERT(memory_ != nullptr, "ShardedDnc: null tile backend");
+    const DncConfig &mem = memory_->globalConfig();
+    HIMA_ASSERT(mem.memoryRows == config_.memoryRows &&
+                    mem.memoryWidth == config_.memoryWidth &&
+                    mem.readHeads == config_.readHeads &&
+                    mem.fixedPoint == config_.fixedPoint,
+                "ShardedDnc: tile backend shapes diverge from config");
+}
+
+void
+ShardedDnc::stepInto(const Vector &input, Vector &out)
+{
+    const InterfaceVector &iface = controller_.stepInto(input, lastReads_);
+    memory_->stepInterfaceInto(iface, readout_);
+    for (Index head = 0; head < config_.readHeads; ++head)
+        std::copy(readout_.readVectors[head].begin(),
+                  readout_.readVectors[head].end(),
+                  lastReads_[head].begin());
+    controller_.outputInto(lastReads_, out);
+}
+
+Vector
+ShardedDnc::step(const Vector &input)
+{
+    Vector out;
+    stepInto(input, out);
+    return out;
+}
+
+void
+ShardedDnc::reset()
+{
+    controller_.reset();
+    memory_->reset();
+    for (auto &rv : lastReads_)
+        rv.fill(0.0);
+}
+
+void
+ShardedDnc::beginEpisode()
+{
+    controller_.reset();
+    memory_->beginEpisode();
+    for (auto &rv : lastReads_)
+        rv.fill(0.0);
+}
+
+// --------------------------------------------------------------------
+// ShardedLaneEngine
+// --------------------------------------------------------------------
+
+ShardedLaneEngine::ShardedLaneEngine(const DncConfig &config,
+                                     std::uint64_t seed,
+                                     const BackendFactory &factory)
+    : config_(config)
+{
+    HIMA_ASSERT(static_cast<bool>(factory),
+                "ShardedLaneEngine: null backend factory");
+    lanes_.reserve(config_.batchSize);
+    for (Index lane = 0; lane < config_.batchSize; ++lane)
+        lanes_.push_back(
+            std::make_unique<ShardedDnc>(config_, seed, factory(lane)));
+    states_.assign(config_.batchSize, LaneState::Active);
+    active_ = config_.batchSize;
+    freeSlots_.reserve(config_.batchSize);
+}
+
+void
+ShardedLaneEngine::stepInto(const std::vector<Vector> &inputs,
+                            std::vector<Vector> &outputs)
+{
+    HIMA_ASSERT(inputs.size() == states_.size(),
+                "stepInto: need one input slot per lane");
+    outputs.resize(states_.size());
+    for (Index slot = 0; slot < states_.size(); ++slot)
+        if (states_[slot] == LaneState::Active)
+            lanes_[slot]->stepInto(inputs[slot], outputs[slot]);
+}
+
+Index
+ShardedLaneEngine::admit()
+{
+    HIMA_ASSERT(!freeSlots_.empty(), "admit: no free lanes");
+    const Index slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    lanes_[slot]->beginEpisode();
+    states_[slot] = LaneState::Active;
+    ++active_;
+    return slot;
+}
+
+void
+ShardedLaneEngine::markDraining(Index slot)
+{
+    HIMA_ASSERT(states_[slot] == LaneState::Active,
+                "markDraining: slot %zu is not Active", slot);
+    states_[slot] = LaneState::Draining;
+    --active_;
+    ++draining_;
+}
+
+void
+ShardedLaneEngine::release(Index slot)
+{
+    HIMA_ASSERT(states_[slot] != LaneState::Free,
+                "release: slot %zu is already Free", slot);
+    if (states_[slot] == LaneState::Active)
+        --active_;
+    else
+        --draining_;
+    states_[slot] = LaneState::Free;
+    freeSlots_.push_back(slot);
+}
+
+void
+ShardedLaneEngine::reset()
+{
+    for (auto &lane : lanes_)
+        lane->reset();
+    states_.assign(states_.size(), LaneState::Active);
+    freeSlots_.clear();
+    active_ = states_.size();
+    draining_ = 0;
+}
+
+} // namespace hima

@@ -1,0 +1,290 @@
+#include "shard/transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "shard/wire.h"
+
+namespace hima {
+
+// --------------------------------------------------------------------
+// LoopbackChannel
+// --------------------------------------------------------------------
+
+LoopbackChannel::LoopbackChannel(Service service)
+    : service_(std::move(service)), inbox_(*this)
+{
+    HIMA_ASSERT(static_cast<bool>(service_),
+                "LoopbackChannel: null service");
+}
+
+void
+LoopbackChannel::Inbox::sendFrame(const std::uint8_t *data, std::size_t size)
+{
+    owner_.push(data, size);
+}
+
+void
+LoopbackChannel::push(const std::uint8_t *data, std::size_t size)
+{
+    if (count_ == ring_.size()) {
+        // Depth record: grow the ring (the only allocating path).
+        ring_.emplace_back();
+        // Keep the pending window contiguous after the growth point.
+        if (head_ != 0) {
+            std::rotate(ring_.begin(), ring_.begin() + head_,
+                        ring_.end() - 1);
+            head_ = 0;
+        }
+    }
+    std::vector<std::uint8_t> &slot = ring_[(head_ + count_) % ring_.size()];
+    slot.assign(data, data + size); // reuses capacity
+    ++count_;
+    bytesReceived_ += size;
+}
+
+void
+LoopbackChannel::sendFrame(const std::uint8_t *data, std::size_t size)
+{
+    bytesSent_ += size;
+    service_(data, size, inbox_);
+}
+
+bool
+LoopbackChannel::recvFrame(std::vector<std::uint8_t> &frame)
+{
+    if (count_ == 0)
+        return false;
+    frame.assign(ring_[head_].begin(), ring_[head_].end());
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Socket plumbing
+// --------------------------------------------------------------------
+
+namespace {
+
+bool
+writeFully(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        // MSG_NOSIGNAL: a peer that died must surface as a recv/send
+        // error the caller can report, not as a SIGPIPE process kill.
+        const ssize_t n =
+            ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readFully(int fd, std::uint8_t *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::read(fd, data + done, size - done);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false; // EOF or hard error
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+SocketChannel::SocketChannel(int fd) : fd_(fd)
+{
+    HIMA_ASSERT(fd_ >= 0, "SocketChannel: bad fd");
+}
+
+SocketChannel::~SocketChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+SocketChannel::sendFrame(const std::uint8_t *data, std::size_t size)
+{
+    HIMA_ASSERT(size <= kWireMaxFrameBytes, "frame too large: %zu", size);
+    if (broken_)
+        return;
+    std::uint8_t len[4];
+    for (int b = 0; b < 4; ++b)
+        len[b] = static_cast<std::uint8_t>(size >> (8 * b));
+    if (!writeFully(fd_, len, 4) || !writeFully(fd_, data, size)) {
+        // Dead peer: drop the frame and let the next recvFrame() report
+        // the failure in context (the coordinator turns it into a fatal
+        // protocol error; a best-effort Shutdown in a destructor is
+        // allowed to fail silently).
+        broken_ = true;
+        return;
+    }
+    bytesSent_ += size + 4;
+}
+
+bool
+SocketChannel::recvFrame(std::vector<std::uint8_t> &frame)
+{
+    if (broken_)
+        return false;
+    std::uint8_t len[4];
+    if (!readFully(fd_, len, 4))
+        return false;
+    std::uint32_t size = 0;
+    for (int b = 0; b < 4; ++b)
+        size |= static_cast<std::uint32_t>(len[b]) << (8 * b);
+    if (size > kWireMaxFrameBytes)
+        return false; // garbage length: refuse to allocate
+    frame.resize(size);
+    if (size > 0 && !readFully(fd_, frame.data(), size))
+        return false;
+    bytesReceived_ += size + 4u;
+    return true;
+}
+
+std::unique_ptr<SocketChannel>
+SocketChannel::connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return nullptr;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return nullptr;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::make_unique<SocketChannel>(fd);
+}
+
+std::unique_ptr<SocketChannel>
+SocketChannel::connectTcp(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return nullptr;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return nullptr;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        return nullptr;
+    }
+    // The protocol is strict request/response with small frames; Nagle
+    // only adds latency to the gather.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::make_unique<SocketChannel>(fd);
+}
+
+// --------------------------------------------------------------------
+// SocketListener
+// --------------------------------------------------------------------
+
+SocketListener::~SocketListener()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    if (!path_.empty())
+        ::unlink(path_.c_str());
+}
+
+std::unique_ptr<SocketListener>
+SocketListener::listenUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return nullptr;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return nullptr;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str()); // stale socket file from a crashed worker
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<SocketListener>(
+        new SocketListener(fd, 0, path));
+}
+
+std::unique_ptr<SocketListener>
+SocketListener::listenTcp(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return nullptr;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 8) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) != 0) {
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<SocketListener>(
+        new SocketListener(fd, ntohs(addr.sin_port), ""));
+}
+
+std::unique_ptr<SocketChannel>
+SocketListener::accept()
+{
+    while (true) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return std::make_unique<SocketChannel>(fd);
+        }
+        if (errno != EINTR)
+            return nullptr;
+    }
+}
+
+} // namespace hima

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Transport abstraction for the sharded DNC-D wire protocol: how framed
+ * messages move between the coordinator and its tile workers.
+ *
+ * Two implementations cover the deployment spectrum:
+ *
+ *   - LoopbackChannel: in-process, synchronous. sendFrame() delivers the
+ *     frame straight into a registered service (the worker's frame
+ *     handler); the service's replies land in a reusable inbox ring that
+ *     recvFrame() pops. Fully deterministic, no threads, no kernel —
+ *     this is the test and golden-harness transport, and it still
+ *     serializes every byte through the same codec the sockets use, so
+ *     "bit-identical over loopback" implies "bit-identical over TCP".
+ *
+ *   - SocketChannel: a connected stream socket (Unix-domain or TCP),
+ *     with [u32 length]-framed payloads, full-write/full-read loops and
+ *     EINTR handling. SocketListener binds/accepts (TCP port 0 picks an
+ *     ephemeral port, so tests never collide).
+ *
+ * Channels count bytes in both directions; bench_shard reports wire
+ * bytes per step from these counters.
+ */
+
+#ifndef HIMA_SHARD_TRANSPORT_H
+#define HIMA_SHARD_TRANSPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hima {
+
+/** Anything that accepts outbound frames (channels, loopback inboxes). */
+class FrameSink
+{
+  public:
+    virtual ~FrameSink() = default;
+
+    /** Queue/transmit one framed payload. */
+    virtual void sendFrame(const std::uint8_t *data, std::size_t size) = 0;
+};
+
+/** A bidirectional framed message channel. */
+class Channel : public FrameSink
+{
+  public:
+    /**
+     * Receive the next frame into `frame` (resized in place; capacity is
+     * reused, so a steady-state receive allocates nothing).
+     *
+     * @return false on orderly close / nothing pending (loopback) or on
+     *         a malformed length prefix
+     */
+    virtual bool recvFrame(std::vector<std::uint8_t> &frame) = 0;
+
+    std::uint64_t bytesSent() const { return bytesSent_; }
+    std::uint64_t bytesReceived() const { return bytesReceived_; }
+
+  protected:
+    std::uint64_t bytesSent_ = 0;
+    std::uint64_t bytesReceived_ = 0;
+};
+
+/**
+ * In-process synchronous channel: the coordinator-side endpoint of a
+ * worker served by direct function call.
+ */
+class LoopbackChannel final : public Channel
+{
+  public:
+    /**
+     * The served peer: receives one frame, emits any number of reply
+     * frames into the sink (which is this channel's inbox).
+     */
+    using Service = std::function<void(const std::uint8_t *data,
+                                       std::size_t size, FrameSink &reply)>;
+
+    explicit LoopbackChannel(Service service);
+
+    void sendFrame(const std::uint8_t *data, std::size_t size) override;
+    bool recvFrame(std::vector<std::uint8_t> &frame) override;
+
+  private:
+    /** Reply sink: appends into the ring without exposing sendFrame. */
+    class Inbox final : public FrameSink
+    {
+      public:
+        explicit Inbox(LoopbackChannel &owner) : owner_(owner) {}
+        void sendFrame(const std::uint8_t *data, std::size_t size) override;
+
+      private:
+        LoopbackChannel &owner_;
+    };
+
+    void push(const std::uint8_t *data, std::size_t size);
+
+    Service service_;
+    Inbox inbox_;
+    // Ring of reusable frame buffers: grows only when depth exceeds the
+    // historical maximum, so steady-state round trips never allocate.
+    std::vector<std::vector<std::uint8_t>> ring_;
+    std::size_t head_ = 0;  ///< next frame to pop
+    std::size_t count_ = 0; ///< frames pending
+};
+
+/** A connected stream socket carrying length-prefixed frames. */
+class SocketChannel final : public Channel
+{
+  public:
+    /** Adopt a connected socket fd (takes ownership). */
+    explicit SocketChannel(int fd);
+    ~SocketChannel() override;
+
+    SocketChannel(const SocketChannel &) = delete;
+    SocketChannel &operator=(const SocketChannel &) = delete;
+
+    void sendFrame(const std::uint8_t *data, std::size_t size) override;
+    bool recvFrame(std::vector<std::uint8_t> &frame) override;
+
+    /** Connect to a Unix-domain socket path; null on failure. */
+    static std::unique_ptr<SocketChannel>
+    connectUnix(const std::string &path);
+
+    /** Connect to a TCP endpoint (IPv4 dotted quad); null on failure. */
+    static std::unique_ptr<SocketChannel> connectTcp(const std::string &host,
+                                                     std::uint16_t port);
+
+  private:
+    int fd_;
+    bool broken_ = false; ///< peer died mid-send; reads report failure
+};
+
+/** Bound+listening server socket that accepts SocketChannels. */
+class SocketListener
+{
+  public:
+    ~SocketListener();
+
+    SocketListener(const SocketListener &) = delete;
+    SocketListener &operator=(const SocketListener &) = delete;
+
+    /** Listen on a Unix-domain path (unlinks a stale file); null on error. */
+    static std::unique_ptr<SocketListener>
+    listenUnix(const std::string &path);
+
+    /** Listen on 127.0.0.1:port (0 = ephemeral); null on error. */
+    static std::unique_ptr<SocketListener> listenTcp(std::uint16_t port);
+
+    /** Block until one peer connects; null on error. */
+    std::unique_ptr<SocketChannel> accept();
+
+    /** Actual bound TCP port (after port-0 resolution); 0 for Unix. */
+    std::uint16_t port() const { return port_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    SocketListener(int fd, std::uint16_t port, std::string path)
+        : fd_(fd), port_(port), path_(std::move(path))
+    {}
+
+    int fd_;
+    std::uint16_t port_;
+    std::string path_; ///< unlinked on destruction (Unix only)
+};
+
+} // namespace hima
+
+#endif // HIMA_SHARD_TRANSPORT_H

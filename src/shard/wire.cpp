@@ -1,0 +1,534 @@
+#include "shard/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace hima {
+
+// --------------------------------------------------------------------
+// WireConfig <-> DncConfig
+// --------------------------------------------------------------------
+
+WireConfig
+WireConfig::fromShard(const DncConfig &shard, Index hostedTiles)
+{
+    WireConfig wc;
+    wc.memoryRows = shard.memoryRows;
+    wc.memoryWidth = shard.memoryWidth;
+    wc.readHeads = shard.readHeads;
+    wc.numThreads = shard.numThreads;
+    wc.hostedTiles = hostedTiles;
+    wc.approximateSoftmax = shard.approximateSoftmax ? 1 : 0;
+    wc.softmaxSegments = static_cast<std::uint32_t>(shard.softmaxSegments);
+    wc.fixedPoint = shard.fixedPoint ? 1 : 0;
+    wc.skimRate = shard.skimRate;
+    wc.writeSkipThreshold = shard.writeSkipThreshold;
+    return wc;
+}
+
+DncConfig
+WireConfig::toShardConfig() const
+{
+    DncConfig cfg;
+    cfg.memoryRows = static_cast<Index>(memoryRows);
+    cfg.memoryWidth = static_cast<Index>(memoryWidth);
+    cfg.readHeads = static_cast<Index>(readHeads);
+    cfg.numThreads = static_cast<Index>(numThreads);
+    cfg.approximateSoftmax = approximateSoftmax != 0;
+    cfg.softmaxSegments = static_cast<int>(softmaxSegments);
+    cfg.fixedPoint = fixedPoint != 0;
+    cfg.skimRate = skimRate;
+    cfg.writeSkipThreshold = writeSkipThreshold;
+    return cfg;
+}
+
+// --------------------------------------------------------------------
+// WireWriter
+// --------------------------------------------------------------------
+
+void
+WireWriter::putU16(std::uint16_t v)
+{
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+WireWriter::putU32(std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+WireWriter::putU64(std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+WireWriter::putReal(Real v)
+{
+    putU64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+WireWriter::putVector(const Vector &v)
+{
+    putU32(static_cast<std::uint32_t>(v.size()));
+    for (Index i = 0; i < v.size(); ++i)
+        putReal(v[i]);
+}
+
+void
+WireWriter::putString(const std::string &s)
+{
+    putU32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void
+WireWriter::header(MsgType type)
+{
+    putU16(kWireMagic);
+    putU8(kWireVersion);
+    putU8(static_cast<std::uint8_t>(type));
+}
+
+// --------------------------------------------------------------------
+// WireReader
+// --------------------------------------------------------------------
+
+std::uint8_t
+WireReader::u8()
+{
+    if (!ok_ || size_ - pos_ < 1) {
+        ok_ = false;
+        return 0;
+    }
+    return data_[pos_++];
+}
+
+std::uint16_t
+WireReader::u16()
+{
+    if (!ok_ || size_ - pos_ < 2) {
+        ok_ = false;
+        return 0;
+    }
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    if (!ok_ || size_ - pos_ < 4) {
+        ok_ = false;
+        return 0;
+    }
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b)
+        v |= static_cast<std::uint32_t>(data_[pos_ + b]) << (8 * b);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    if (!ok_ || size_ - pos_ < 8) {
+        ok_ = false;
+        return 0;
+    }
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b)
+        v |= static_cast<std::uint64_t>(data_[pos_ + b]) << (8 * b);
+    pos_ += 8;
+    return v;
+}
+
+Real
+WireReader::real()
+{
+    return std::bit_cast<Real>(u64());
+}
+
+void
+WireReader::vector(Vector &out, Index expected)
+{
+    const std::uint32_t count = u32();
+    // Validate the declared count against the handshake shape *before*
+    // resizing: a corrupt frame must never drive an allocation.
+    if (!ok_ || count != expected || size_ - pos_ < 8ull * count) {
+        ok_ = false;
+        return;
+    }
+    out.resize(expected);
+    for (Index i = 0; i < expected; ++i)
+        out[i] = real();
+}
+
+void
+WireReader::string(std::string &out)
+{
+    const std::uint32_t count = u32();
+    if (!ok_ || size_ - pos_ < count) {
+        ok_ = false;
+        return;
+    }
+    out.assign(reinterpret_cast<const char *>(data_ + pos_), count);
+    pos_ += count;
+}
+
+void
+WireReader::header(MsgType expected)
+{
+    const std::uint16_t magic = u16();
+    const std::uint8_t version = u8();
+    const std::uint8_t type = u8();
+    if (!ok_ || magic != kWireMagic || version != kWireVersion ||
+        type != static_cast<std::uint8_t>(expected))
+        ok_ = false;
+}
+
+bool
+peekType(const std::uint8_t *data, std::size_t size, MsgType &type)
+{
+    WireReader r(data, size);
+    const std::uint16_t magic = r.u16();
+    const std::uint8_t version = r.u8();
+    const std::uint8_t raw = r.u8();
+    if (!r.ok() || magic != kWireMagic || version != kWireVersion)
+        return false;
+    if (raw < static_cast<std::uint8_t>(MsgType::Hello) ||
+        raw > static_cast<std::uint8_t>(MsgType::Error))
+        return false;
+    type = static_cast<MsgType>(raw);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Interface-vector codec (shapes pinned by the handshake config).
+// --------------------------------------------------------------------
+
+namespace {
+
+void
+putInterface(const InterfaceVector &iface, WireWriter &out)
+{
+    out.putU32(static_cast<std::uint32_t>(iface.readKeys.size()));
+    for (const Vector &key : iface.readKeys)
+        out.putVector(key);
+    for (Real s : iface.readStrengths)
+        out.putReal(s);
+    out.putVector(iface.writeKey);
+    out.putReal(iface.writeStrength);
+    out.putVector(iface.eraseVector);
+    out.putVector(iface.writeVector);
+    for (Real g : iface.freeGates)
+        out.putReal(g);
+    out.putReal(iface.allocationGate);
+    out.putReal(iface.writeGate);
+    for (const ReadMode &mode : iface.readModes) {
+        out.putReal(mode.backward);
+        out.putReal(mode.content);
+        out.putReal(mode.forward);
+    }
+}
+
+void
+readInterface(WireReader &in, const DncConfig &shard, InterfaceVector &iface)
+{
+    const Index r = shard.readHeads;
+    const Index w = shard.memoryWidth;
+    const std::uint32_t heads = in.u32();
+    if (heads != r) {
+        in.fail();
+        return;
+    }
+    iface.readKeys.resize(r);
+    for (Index h = 0; h < r; ++h)
+        in.vector(iface.readKeys[h], w);
+    iface.readStrengths.resize(r);
+    for (Index h = 0; h < r; ++h)
+        iface.readStrengths[h] = in.real();
+    in.vector(iface.writeKey, w);
+    iface.writeStrength = in.real();
+    in.vector(iface.eraseVector, w);
+    in.vector(iface.writeVector, w);
+    iface.freeGates.resize(r);
+    for (Index h = 0; h < r; ++h)
+        iface.freeGates[h] = in.real();
+    iface.allocationGate = in.real();
+    iface.writeGate = in.real();
+    iface.readModes.resize(r);
+    for (Index h = 0; h < r; ++h) {
+        iface.readModes[h].backward = in.real();
+        iface.readModes[h].content = in.real();
+        iface.readModes[h].forward = in.real();
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Message encoders.
+// --------------------------------------------------------------------
+
+void
+encodeHello(const WireConfig &config, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Hello);
+    out.putU64(config.memoryRows);
+    out.putU64(config.memoryWidth);
+    out.putU64(config.readHeads);
+    out.putU64(config.numThreads);
+    out.putU64(config.hostedTiles);
+    out.putU8(config.approximateSoftmax);
+    out.putU32(config.softmaxSegments);
+    out.putU8(config.fixedPoint);
+    out.putReal(config.skimRate);
+    out.putReal(config.writeSkipThreshold);
+}
+
+void
+encodeHelloAck(const HelloAckMsg &msg, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::HelloAck);
+    out.putU8(msg.ok ? 1 : 0);
+    out.putU64(msg.hostedTiles);
+    out.putString(msg.message);
+}
+
+void
+encodeStepSpan(std::uint64_t seq, bool wantWeightings,
+               std::uint32_t scoredMask, const InterfaceVector *ifaces,
+               Index count, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Step);
+    out.putU64(seq);
+    out.putU8(wantWeightings ? 1 : 0);
+    out.putU32(scoredMask);
+    out.putU8(0); // per-tile interfaces follow
+    out.putU32(static_cast<std::uint32_t>(count));
+    for (Index t = 0; t < count; ++t)
+        putInterface(ifaces[t], out);
+}
+
+void
+encodeStepBroadcast(std::uint64_t seq, bool wantWeightings,
+                    std::uint32_t scoredMask, const InterfaceVector &iface,
+                    Index count, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Step);
+    out.putU64(seq);
+    out.putU8(wantWeightings ? 1 : 0);
+    out.putU32(scoredMask);
+    out.putU8(1); // broadcast: one interface on the wire, count logical
+    out.putU32(static_cast<std::uint32_t>(count));
+    putInterface(iface, out);
+}
+
+void
+encodeStep(const StepMsg &msg, const DncConfig &shard, WireWriter &out)
+{
+    (void)shard; // shapes are implied by the handshake config
+    encodeStepSpan(msg.seq, msg.wantWeightings, msg.scoredMask,
+                   msg.ifaces.data(), msg.ifaces.size(), out);
+}
+
+void
+encodeStepReply(std::uint64_t seq, bool withWeightings,
+                const std::vector<MemoryReadout> &tiles,
+                const std::vector<Real> &confidence, const DncConfig &shard,
+                WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::StepReply);
+    out.putU64(seq);
+    out.putU8(withWeightings ? 1 : 0);
+    out.putU32(static_cast<std::uint32_t>(tiles.size()));
+    const Index r = shard.readHeads;
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+        const MemoryReadout &readout = tiles[t];
+        for (Index h = 0; h < r; ++h)
+            out.putVector(readout.readVectors[h]);
+        for (Index h = 0; h < r; ++h)
+            out.putReal(confidence[t * r + h]);
+        if (withWeightings) {
+            for (Index h = 0; h < r; ++h)
+                out.putVector(readout.readWeightings[h]);
+            out.putVector(readout.writeWeighting);
+        }
+    }
+}
+
+void
+encodeControl(const ControlMsg &msg, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Control);
+    out.putU8(static_cast<std::uint8_t>(msg.kind));
+    out.putU64(msg.seq);
+}
+
+void
+encodeControlAck(std::uint64_t seq, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::ControlAck);
+    out.putU64(seq);
+}
+
+void
+encodeShutdown(WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Shutdown);
+}
+
+void
+encodeError(const std::string &message, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Error);
+    out.putString(message);
+}
+
+// --------------------------------------------------------------------
+// Message decoders.
+// --------------------------------------------------------------------
+
+bool
+decodeHello(const std::uint8_t *data, std::size_t size, WireConfig &config)
+{
+    WireReader in(data, size);
+    in.header(MsgType::Hello);
+    config.memoryRows = in.u64();
+    config.memoryWidth = in.u64();
+    config.readHeads = in.u64();
+    config.numThreads = in.u64();
+    config.hostedTiles = in.u64();
+    config.approximateSoftmax = in.u8();
+    config.softmaxSegments = in.u32();
+    config.fixedPoint = in.u8();
+    config.skimRate = in.real();
+    config.writeSkipThreshold = in.real();
+    return in.atEnd();
+}
+
+bool
+decodeHelloAck(const std::uint8_t *data, std::size_t size, HelloAckMsg &msg)
+{
+    WireReader in(data, size);
+    in.header(MsgType::HelloAck);
+    msg.ok = in.u8() != 0;
+    msg.hostedTiles = in.u64();
+    in.string(msg.message);
+    return in.atEnd();
+}
+
+bool
+decodeStep(const std::uint8_t *data, std::size_t size, const DncConfig &shard,
+           Index hostedTiles, StepMsg &msg)
+{
+    WireReader in(data, size);
+    in.header(MsgType::Step);
+    msg.seq = in.u64();
+    msg.wantWeightings = in.u8() != 0;
+    msg.scoredMask = in.u32();
+    const std::uint8_t broadcast = in.u8();
+    const std::uint32_t count = in.u32();
+    if (!in.ok() || broadcast > 1 || count != hostedTiles)
+        return false;
+    msg.ifaces.resize(hostedTiles);
+    if (broadcast) {
+        // One interface on the wire; expand to every hosted tile
+        // (same-shape copy assignments — no steady-state allocation).
+        readInterface(in, shard, msg.ifaces[0]);
+        for (Index t = 1; t < hostedTiles; ++t)
+            msg.ifaces[t] = msg.ifaces[0];
+    } else {
+        for (Index t = 0; t < hostedTiles; ++t)
+            readInterface(in, shard, msg.ifaces[t]);
+    }
+    return in.atEnd();
+}
+
+bool
+decodeStepReply(const std::uint8_t *data, std::size_t size,
+                const DncConfig &shard, Index hostedTiles, StepReplyMsg &msg)
+{
+    WireReader in(data, size);
+    in.header(MsgType::StepReply);
+    msg.seq = in.u64();
+    msg.hasWeightings = in.u8() != 0;
+    const std::uint32_t count = in.u32();
+    if (!in.ok() || count != hostedTiles)
+        return false;
+    const Index r = shard.readHeads;
+    const Index w = shard.memoryWidth;
+    const Index n = shard.memoryRows;
+    msg.tiles.resize(hostedTiles);
+    msg.confidence.resize(hostedTiles * r);
+    for (Index t = 0; t < hostedTiles; ++t) {
+        MemoryReadout &readout = msg.tiles[t];
+        readout.readVectors.resize(r);
+        for (Index h = 0; h < r; ++h)
+            in.vector(readout.readVectors[h], w);
+        for (Index h = 0; h < r; ++h)
+            msg.confidence[t * r + h] = in.real();
+        if (msg.hasWeightings) {
+            readout.readWeightings.resize(r);
+            for (Index h = 0; h < r; ++h)
+                in.vector(readout.readWeightings[h], n);
+            in.vector(readout.writeWeighting, n);
+        } else {
+            readout.readWeightings.clear();
+            readout.writeWeighting.resize(0);
+        }
+    }
+    return in.atEnd();
+}
+
+bool
+decodeControl(const std::uint8_t *data, std::size_t size, ControlMsg &msg)
+{
+    WireReader in(data, size);
+    in.header(MsgType::Control);
+    const std::uint8_t kind = in.u8();
+    msg.seq = in.u64();
+    if (!in.atEnd() || kind > static_cast<std::uint8_t>(ControlKind::Admit))
+        return false;
+    msg.kind = static_cast<ControlKind>(kind);
+    return true;
+}
+
+bool
+decodeControlAck(const std::uint8_t *data, std::size_t size,
+                 std::uint64_t &seq)
+{
+    WireReader in(data, size);
+    in.header(MsgType::ControlAck);
+    seq = in.u64();
+    return in.atEnd();
+}
+
+bool
+decodeError(const std::uint8_t *data, std::size_t size, ErrorMsg &msg)
+{
+    WireReader in(data, size);
+    in.header(MsgType::Error);
+    in.string(msg.message);
+    return in.atEnd();
+}
+
+} // namespace hima

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Wire protocol for multi-process sharded DNC-D (the scale-out axis of
+ * Sec. 5.1 / Fig. 8): a versioned, endian-safe binary codec with
+ * length-prefixed framing.
+ *
+ * The protocol carries exactly the traffic the paper's tile arrangement
+ * implies. Per step the coordinator scatters one interface vector per
+ * tile and gathers each tile's R read vectors plus R confidence logits
+ * (strength x best row cosine, computed tile-locally against the tile's
+ * own memory) — so the *distributed* confidence merge needs only a
+ * softmax over Nt gathered scalars per scored head, never the remote
+ * memory contents. Control frames cover episode reset / admit; a config
+ * handshake validates shapes and the fixed-point mode at connect time.
+ *
+ * Layout rules (all multi-byte values little-endian on the wire,
+ * regardless of host order):
+ *
+ *   frame   := [u32 payload length] [payload]        (Channel framing)
+ *   payload := [u16 magic] [u8 version] [u8 type] [body...]
+ *   Real    := IEEE-754 binary64, bit-cast to u64    (lossless: the
+ *              bit-exactness contract survives serialization)
+ *   vector  := [u32 count] [Real x count]
+ *
+ * Decoders are destination-passing (buffers resize in place, so a
+ * steady-state worker round trip performs zero heap allocations) and
+ * fail-closed: every read is bounds-checked, declared counts are
+ * validated against the handshake config *before* any resize, and any
+ * malformed frame yields `false` from decode — never UB, never an
+ * attacker-sized allocation (tests/test_wire.cpp truncates and corrupts
+ * frames byte by byte).
+ */
+
+#ifndef HIMA_SHARD_WIRE_H
+#define HIMA_SHARD_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnc/interface.h"
+#include "dnc/memory_unit.h"
+
+namespace hima {
+
+/** Protocol magic ("HM") — first two payload bytes of every message. */
+constexpr std::uint16_t kWireMagic = 0x484D;
+
+/** Protocol version; bumped on any layout change. */
+constexpr std::uint8_t kWireVersion = 1;
+
+/** Largest legal payload (guards framing against garbage lengths). */
+constexpr std::uint32_t kWireMaxFrameBytes = 64u << 20;
+
+/** Message types. */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,      ///< coordinator -> worker: config handshake
+    HelloAck = 2,   ///< worker -> coordinator: accept/reject + detail
+    Step = 3,       ///< coordinator -> worker: per-tile interface vectors
+    StepReply = 4,  ///< worker -> coordinator: reads + confidence logits
+    Control = 5,    ///< coordinator -> worker: episode reset / admit
+    ControlAck = 6, ///< worker -> coordinator: control completed
+    Shutdown = 7,   ///< coordinator -> worker: stop serving
+    Error = 8,      ///< worker -> coordinator: protocol failure detail
+};
+
+/** Control message kinds. */
+enum class ControlKind : std::uint8_t
+{
+    EpisodeReset = 0, ///< zero all hosted tile state (episode boundary)
+    Admit = 1,        ///< same reset, marking the start of a new episode
+};
+
+/**
+ * The shard-relevant configuration the coordinator sends at connect.
+ * memoryRows here is the *local* (per-tile) row count; the worker
+ * validates every field against what it can serve and constructs its
+ * tiles from them, so coordinator and worker can never silently run
+ * different shapes or datapaths (fixed point, skimming, softmax mode).
+ */
+struct WireConfig
+{
+    std::uint64_t memoryRows = 0;  ///< per-tile N
+    std::uint64_t memoryWidth = 0; ///< W
+    std::uint64_t readHeads = 0;   ///< R
+    std::uint64_t numThreads = 1;  ///< worker tile-pool threads
+    std::uint64_t hostedTiles = 0; ///< tiles this worker hosts
+    std::uint8_t approximateSoftmax = 0;
+    std::uint32_t softmaxSegments = 8;
+    std::uint8_t fixedPoint = 0;
+    Real skimRate = 0.0;
+    Real writeSkipThreshold = 0.0;
+
+    /** Build from a per-shard DncConfig plus the hosted-tile count. */
+    static WireConfig fromShard(const DncConfig &shard, Index hostedTiles);
+
+    /** Reconstruct the per-shard DncConfig a worker should run. */
+    DncConfig toShardConfig() const;
+
+    bool operator==(const WireConfig &other) const = default;
+};
+
+/** Handshake reply. */
+struct HelloAckMsg
+{
+    bool ok = false;
+    std::uint64_t hostedTiles = 0; ///< echo of the accepted assignment
+    std::string message;           ///< failure detail when !ok
+};
+
+/** One scatter: interface vectors for every hosted tile. */
+struct StepMsg
+{
+    std::uint64_t seq = 0;
+    bool wantWeightings = false; ///< ship read/write weightings back too
+    std::uint32_t scoredMask = 0; ///< heads needing confidence logits
+    std::vector<InterfaceVector> ifaces; ///< one per hosted tile
+};
+
+/**
+ * One gather: per hosted tile, the local MemoryReadout (read vectors
+ * always; weightings only when requested) and R confidence logits
+ * (zero for heads outside the request's scoredMask).
+ */
+struct StepReplyMsg
+{
+    std::uint64_t seq = 0;
+    bool hasWeightings = false;
+    std::vector<MemoryReadout> tiles;
+    std::vector<Real> confidence; ///< hostedTiles x R, row-major
+};
+
+/** Episode control. */
+struct ControlMsg
+{
+    ControlKind kind = ControlKind::EpisodeReset;
+    std::uint64_t seq = 0;
+};
+
+/** Protocol failure detail. */
+struct ErrorMsg
+{
+    std::string message;
+};
+
+/**
+ * Append-only little-endian serializer over a reusable byte buffer.
+ * clear() keeps capacity, so steady-state encoding never allocates.
+ */
+class WireWriter
+{
+  public:
+    void clear() { buf_.clear(); }
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+    void putU16(std::uint16_t v);
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putReal(Real v);
+    void putVector(const Vector &v);
+    void putString(const std::string &s);
+
+    /** Start a message: magic, version, type. */
+    void header(MsgType type);
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked little-endian reader with a sticky failure flag: any
+ * out-of-range read (or failed validation recorded via fail()) makes
+ * every subsequent read return zero and ok() return false, so decoders
+ * can run straight-line and check once at the end.
+ */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    bool ok() const { return ok_; }
+    void fail() { ok_ = false; }
+    bool atEnd() const { return ok_ && pos_ == size_; }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    Real real();
+
+    /** Read a vector whose count must equal `expected`. */
+    void vector(Vector &out, Index expected);
+
+    /** Read a length-prefixed string (capped at the remaining bytes). */
+    void string(std::string &out);
+
+    /** Consume and validate the message header against `expected`. */
+    void header(MsgType expected);
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Peek a payload's message type; false on short/invalid header. */
+bool peekType(const std::uint8_t *data, std::size_t size, MsgType &type);
+
+// --- encoders (writer is cleared first; result is writer.buffer()) ---
+
+void encodeHello(const WireConfig &config, WireWriter &out);
+void encodeHelloAck(const HelloAckMsg &msg, WireWriter &out);
+void encodeStep(const StepMsg &msg, const DncConfig &shard, WireWriter &out);
+
+/** Encode a Step from a contiguous span of per-tile interfaces. */
+void encodeStepSpan(std::uint64_t seq, bool wantWeightings,
+                    std::uint32_t scoredMask, const InterfaceVector *ifaces,
+                    Index count, WireWriter &out);
+
+/**
+ * Encode a Step whose one interface broadcasts to `count` tiles: the
+ * interface goes over the wire once (a broadcast flag in the frame) and
+ * the worker expands it locally, so the serving scatter costs one
+ * interface payload per worker instead of one per tile.
+ */
+void encodeStepBroadcast(std::uint64_t seq, bool wantWeightings,
+                         std::uint32_t scoredMask,
+                         const InterfaceVector &iface, Index count,
+                         WireWriter &out);
+
+/**
+ * Encode a StepReply straight from the worker's per-tile readouts and
+ * its confidence scratch (hostedTiles x R, row-major) — no intermediate
+ * message object, no copies.
+ */
+void encodeStepReply(std::uint64_t seq, bool withWeightings,
+                     const std::vector<MemoryReadout> &tiles,
+                     const std::vector<Real> &confidence,
+                     const DncConfig &shard, WireWriter &out);
+void encodeControl(const ControlMsg &msg, WireWriter &out);
+void encodeControlAck(std::uint64_t seq, WireWriter &out);
+void encodeShutdown(WireWriter &out);
+void encodeError(const std::string &message, WireWriter &out);
+
+// --- decoders (false on any malformed input; outputs resize in place) ---
+
+bool decodeHello(const std::uint8_t *data, std::size_t size,
+                 WireConfig &config);
+bool decodeHelloAck(const std::uint8_t *data, std::size_t size,
+                    HelloAckMsg &msg);
+bool decodeStep(const std::uint8_t *data, std::size_t size,
+                const DncConfig &shard, Index hostedTiles, StepMsg &msg);
+bool decodeStepReply(const std::uint8_t *data, std::size_t size,
+                     const DncConfig &shard, Index hostedTiles,
+                     StepReplyMsg &msg);
+bool decodeControl(const std::uint8_t *data, std::size_t size,
+                   ControlMsg &msg);
+bool decodeControlAck(const std::uint8_t *data, std::size_t size,
+                      std::uint64_t &seq);
+bool decodeError(const std::uint8_t *data, std::size_t size, ErrorMsg &msg);
+
+} // namespace hima
+
+#endif // HIMA_SHARD_WIRE_H

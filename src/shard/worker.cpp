@@ -1,0 +1,174 @@
+#include "shard/worker.h"
+
+namespace hima {
+
+bool
+ShardWorker::handleFrame(const std::uint8_t *data, std::size_t size,
+                         FrameSink &sink)
+{
+    MsgType type;
+    if (!peekType(data, size, type)) {
+        sendError("malformed frame header", sink);
+        return true;
+    }
+    switch (type) {
+    case MsgType::Hello:
+        handleHello(data, size, sink);
+        return true;
+    case MsgType::Step:
+        handleStep(data, size, sink);
+        return true;
+    case MsgType::Control:
+        handleControl(data, size, sink);
+        return true;
+    case MsgType::Shutdown:
+        return false;
+    default:
+        sendError("unexpected message type", sink);
+        return true;
+    }
+}
+
+void
+ShardWorker::sendError(const std::string &message, FrameSink &sink)
+{
+    encodeError(message, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::handleHello(const std::uint8_t *data, std::size_t size,
+                         FrameSink &sink)
+{
+    WireConfig wire;
+    HelloAckMsg ack;
+    if (!decodeHello(data, size, wire)) {
+        ack.ok = false;
+        ack.message = "malformed Hello";
+    } else if (wire.hostedTiles == 0) {
+        ack.ok = false;
+        ack.message = "zero hosted tiles";
+    } else if (wire.memoryRows == 0 || wire.memoryWidth == 0 ||
+               wire.readHeads == 0 || wire.readHeads > 32 ||
+               wire.numThreads == 0 ||
+               // Fail-closed sizing: the handshake dimensions every
+               // allocation downstream (per-tile linkage alone is
+               // rows^2 doubles), so a corrupt or hostile Hello must
+               // bounce in the ack rather than OOM the worker. The
+               // caps are generous for the paper's shapes (N=1024
+               // *global*, shards smaller).
+               wire.memoryRows > (1u << 14) ||
+               wire.memoryWidth > (1u << 12) ||
+               wire.hostedTiles > 1024 || wire.numThreads > 256 ||
+               (wire.approximateSoftmax != 0 &&
+                (wire.softmaxSegments < 2 ||
+                 wire.softmaxSegments > (1u << 16))) ||
+               // Negated-conjunction form so NaN (which a bit-cast wire
+               // Real can smuggle in) also fails validation.
+               !(wire.skimRate >= 0.0 && wire.skimRate < 1.0) ||
+               !(wire.writeSkipThreshold >= 0.0 &&
+                 wire.writeSkipThreshold < 1.0)) {
+        // Shape/datapath validation at connect: mirror DncConfig's
+        // rules without tripping its fatal path inside a server.
+        ack.ok = false;
+        ack.message = "invalid shard config";
+    } else {
+        shardConfig_ = wire.toShardConfig();
+        tiles_.clear();
+        for (Index t = 0; t < wire.hostedTiles; ++t)
+            tiles_.push_back(std::make_unique<MemoryUnit>(shardConfig_));
+        readouts_.clear();
+        readouts_.resize(tiles_.size());
+        confidence_.assign(tiles_.size() * shardConfig_.readHeads, 0.0);
+        pool_.reset();
+        if (shardConfig_.numThreads > 1 && tiles_.size() > 1)
+            pool_ = std::make_unique<ThreadPool>(shardConfig_.numThreads);
+        stepsServed_ = 0;
+        episodesServed_ = 0;
+        ack.ok = true;
+        ack.hostedTiles = tiles_.size();
+    }
+    encodeHelloAck(ack, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::forEachTile(const std::function<void(Index)> &fn)
+{
+    if (pool_) {
+        pool_->parallelFor(tiles_.size(), fn);
+    } else {
+        for (Index t = 0; t < tiles_.size(); ++t)
+            fn(t);
+    }
+}
+
+void
+ShardWorker::handleStep(const std::uint8_t *data, std::size_t size,
+                        FrameSink &sink)
+{
+    if (!configured()) {
+        sendError("Step before Hello", sink);
+        return;
+    }
+    if (!decodeStep(data, size, shardConfig_, tiles_.size(), step_)) {
+        sendError("malformed Step", sink);
+        return;
+    }
+
+    // The full local pipeline per tile, plus the confidence logits the
+    // coordinator flagged. Keys broadcast, so the first hosted tile's
+    // interface carries the scoring keys (same convention as DncD).
+    if (!stepTask_) {
+        stepTask_ = [this](Index t) {
+            tiles_[t]->stepInto(step_.ifaces[t], readouts_[t]);
+            const Index heads = shardConfig_.readHeads;
+            for (Index h = 0; h < heads; ++h) {
+                confidence_[t * heads + h] =
+                    (step_.scoredMask >> h & 1u)
+                        ? tileConfidenceScore(*tiles_[t],
+                                              step_.ifaces[0].readKeys[h],
+                                              step_.ifaces[0].readStrengths[h])
+                        : 0.0;
+            }
+        };
+    }
+    forEachTile(stepTask_);
+    ++stepsServed_;
+
+    encodeStepReply(step_.seq, step_.wantWeightings, readouts_, confidence_,
+                    shardConfig_, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::handleControl(const std::uint8_t *data, std::size_t size,
+                           FrameSink &sink)
+{
+    if (!configured()) {
+        sendError("Control before Hello", sink);
+        return;
+    }
+    ControlMsg msg;
+    if (!decodeControl(data, size, msg)) {
+        sendError("malformed Control", sink);
+        return;
+    }
+    for (auto &tile : tiles_)
+        tile->reset();
+    if (msg.kind == ControlKind::Admit)
+        ++episodesServed_;
+    encodeControlAck(msg.seq, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::serve(Channel &channel)
+{
+    while (channel.recvFrame(frame_)) {
+        if (!handleFrame(frame_.data(), frame_.size(), channel))
+            return;
+    }
+}
+
+} // namespace hima

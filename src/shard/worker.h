@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shard worker: the process-side host of one or more DNC-D memory
+ * tiles, driven entirely by wire frames.
+ *
+ * A worker is passive until a Hello configures it (shapes + datapath
+ * validated, tiles constructed). Each Step frame then runs the full
+ * local soft write + soft read pipeline on every hosted tile — the
+ * exact MemoryUnit::stepInto() hot path the in-process engines use,
+ * zero-allocation in steady state — and computes the confidence logits
+ * for the heads the coordinator flagged, so the reply carries R read
+ * vectors + R logits per tile and the merge never needs remote memory
+ * contents. Multiple hosted tiles step on a local thread pool when the
+ * handshake config asks for one (numThreads > 1), bit-identically to
+ * sequential execution because tiles share no state.
+ *
+ * The same handleFrame() core serves both transports: LoopbackChannel
+ * calls it synchronously (deterministic tests), serve() wraps it in a
+ * blocking event loop over a socket channel (examples/
+ * shard_worker_main.cpp runs that loop as a standalone process).
+ */
+
+#ifndef HIMA_SHARD_WORKER_H
+#define HIMA_SHARD_WORKER_H
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dnc/dncd.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace hima {
+
+/** Hosts memory tiles and serves the shard wire protocol. */
+class ShardWorker
+{
+  public:
+    ShardWorker() = default;
+
+    /**
+     * Process one frame, emitting any replies into `sink`.
+     *
+     * @return false when the frame was Shutdown (stop serving)
+     */
+    bool handleFrame(const std::uint8_t *data, std::size_t size,
+                     FrameSink &sink);
+
+    /**
+     * Blocking event loop: serve frames from `channel` until a Shutdown
+     * frame or the peer closes the connection.
+     */
+    void serve(Channel &channel);
+
+    bool configured() const { return !tiles_.empty(); }
+    Index hostedTiles() const { return tiles_.size(); }
+    const DncConfig &shardConfig() const { return shardConfig_; }
+
+    /** Hosted tile state (tests compare against the in-process model). */
+    const MemoryUnit &tile(Index i) const { return *tiles_[i]; }
+
+    /** Steps served since configuration. */
+    std::uint64_t stepsServed() const { return stepsServed_; }
+
+    /** Admit controls received (episodes started on this worker). */
+    std::uint64_t episodesServed() const { return episodesServed_; }
+
+  private:
+    void handleHello(const std::uint8_t *data, std::size_t size,
+                     FrameSink &sink);
+    void handleStep(const std::uint8_t *data, std::size_t size,
+                    FrameSink &sink);
+    void handleControl(const std::uint8_t *data, std::size_t size,
+                       FrameSink &sink);
+    void sendError(const std::string &message, FrameSink &sink);
+
+    /** Run fn over the hosted tiles, on the pool when configured. */
+    void forEachTile(const std::function<void(Index)> &fn);
+
+    DncConfig shardConfig_;
+    std::vector<std::unique_ptr<MemoryUnit>> tiles_;
+    std::unique_ptr<ThreadPool> pool_; ///< when numThreads > 1, tiles > 1
+
+    // Reused per-frame state: the steady-state serve loop touches no
+    // heap (decode resizes into warm buffers, encode reuses writer_).
+    StepMsg step_;
+    std::vector<MemoryReadout> readouts_;
+    std::vector<Real> confidence_; ///< hostedTiles x R, row-major
+    WireWriter writer_;
+    std::function<void(Index)> stepTask_; ///< prebuilt pool task
+    std::vector<std::uint8_t> frame_;     ///< serve() recv buffer
+
+    std::uint64_t stepsServed_ = 0;
+    std::uint64_t episodesServed_ = 0;
+};
+
+} // namespace hima
+
+#endif // HIMA_SHARD_WORKER_H

@@ -158,7 +158,7 @@ runEpisode(Dnc &model, const InterfaceScripter &scripter,
 }
 
 EpisodeResult
-runEpisodeDistributed(DncD &model, const InterfaceScripter &scripter,
+runEpisodeDistributed(TileMemory &model, const InterfaceScripter &scripter,
                       const Episode &episode)
 {
     model.reset();

@@ -239,6 +239,8 @@ routerGolden(DncConfig cfg, const ArrivalSpec &spec, Index horizon,
     router.drain();
 
     ASSERT_EQ(router.completed().size(), accepted.size());
+    EXPECT_EQ(router.rejectedRequests(), trace.size() - accepted.size())
+        << "rejection counter out of sync with refused submissions";
     EXPECT_EQ(router.activeRequests(), 0u);
     EXPECT_EQ(router.queuedRequests(), 0u);
 
@@ -315,6 +317,72 @@ TEST(Router, BatchFillAdmissionStaysBitExact)
     routerGolden(cfg, spec, /*horizon=*/30,
                  batchFillAdmission(/*minFill=*/3, /*maxWaitSteps=*/6),
                  /*weightSeed=*/5, /*traceSeed=*/59, /*tokenSeed=*/61);
+}
+
+// --------------------------------------------------------------------
+// Overload: bursty traffic overflowing routerQueueCapacity. Rejected
+// submissions must be counted deterministically, and every *accepted*
+// request must still come back bit-exact (routerGolden only tracks
+// requests submit() accepted, so it proves exactly that).
+// --------------------------------------------------------------------
+
+TEST(RouterOverload, BurstyOverflowRejectsAndAcceptedStayBitExact)
+{
+    DncConfig cfg = tinyConfig();
+    cfg.batchSize = 2;
+    cfg.routerQueueCapacity = 3; // bursts of 7 must overflow
+    cfg.numThreads = 2;
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Bursty;
+    spec.rate = 0.05;
+    spec.burstProbability = 0.3;
+    spec.burstSize = 7;
+    routerGolden(cfg, spec, /*horizon=*/30, greedyAdmission(),
+                 /*weightSeed=*/7, /*traceSeed=*/101, /*tokenSeed=*/103);
+}
+
+TEST(RouterOverload, RejectionCountIsDeterministicAndNonZero)
+{
+    DncConfig cfg = tinyConfig();
+    cfg.batchSize = 2;
+    cfg.routerQueueCapacity = 2;
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Bursty;
+    spec.rate = 0.05;
+    spec.burstProbability = 0.4;
+    spec.burstSize = 8;
+
+    auto serveOnce = [&]() -> std::pair<Index, Index> {
+        Router router(cfg, 1);
+        Rng traceRng(107);
+        const auto trace = makeArrivalTrace(spec, 24, traceRng);
+        std::size_t next = 0;
+        Index refused = 0;
+        while (next < trace.size() || !router.idle()) {
+            while (next < trace.size() &&
+                   trace[next].step <= router.now()) {
+                ServeRequest request;
+                request.id = trace[next].ordinal;
+                request.tokens =
+                    requestTokens(trace[next], cfg.inputSize, 109);
+                if (!router.submit(std::move(request)))
+                    ++refused;
+                ++next;
+            }
+            router.step();
+        }
+        router.drain();
+        EXPECT_EQ(router.rejectedRequests(), refused);
+        EXPECT_EQ(router.completed().size(), trace.size() - refused);
+        return {router.rejectedRequests(), router.completed().size()};
+    };
+
+    const auto [rejectedA, completedA] = serveOnce();
+    const auto [rejectedB, completedB] = serveOnce();
+    EXPECT_GT(rejectedA, 0u) << "trace must actually overflow the queue";
+    EXPECT_GT(completedA, 0u);
+    EXPECT_EQ(rejectedA, rejectedB) << "back-pressure must be deterministic";
+    EXPECT_EQ(completedA, completedB);
 }
 
 // --------------------------------------------------------------------

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Sharded DNC-D golden proof: a coordinator driving worker-hosted tiles
+ * over a real wire protocol is bit-identical *per step* to the
+ * in-process DncD with the same config — read vectors, global-view
+ * weightings, and the confidence-merge alphas — across
+ * transports {loopback, unix socket, tcp} x tiles {2, 4} x
+ * worker threads {1, 4} x {float, fixed}, through per-tile write
+ * gating, history-mode reads, and mid-stream episode resets.
+ *
+ * Also here: worker protocol edge cases (reject-before-hello, config
+ * validation, malformed frames answered with Error), the serving stack
+ * (ShardedDnc over a coordinator == ShardedDnc over DncD; Router on a
+ * ShardedLaneEngine == dedicated reference runs), the retrieval
+ * workload through the wire, and the zero-allocation steady state of a
+ * loopback worker round trip (operator-new hook).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <tuple>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "golden_util.h"
+#include "serve/router.h"
+#include "shard/local_cluster.h"
+#include "shard/sharded_dnc.h"
+#include "workload/arrival.h"
+#include "workload/retrieval.h"
+#include "workload/task_suite.h"
+
+// --------------------------------------------------------------------
+// Operator-new hook (same pattern as test_tensor_inplace.cpp): counts
+// every allocation so the steady-state loopback round trip can be
+// asserted allocation-free.
+// --------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocationCount{0};
+}
+
+void *
+operator new(std::size_t size)
+{
+    g_allocationCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocationCount.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(align);
+    const std::size_t rounded = (size + a - 1) / a * a;
+    if (void *p = std::aligned_alloc(a, rounded ? rounded : a))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace hima {
+namespace {
+
+DncConfig
+gridConfig(Index tiles, Index threads, bool fixedPoint)
+{
+    DncConfig cfg;
+    cfg.memoryRows = tiles * 8; // small per-tile shards keep the grid fast
+    cfg.memoryWidth = 12;
+    cfg.readHeads = 2;
+    cfg.numThreads = threads;
+    cfg.fixedPoint = fixedPoint;
+    return cfg;
+}
+
+const char *
+transportName(ClusterTransport kind)
+{
+    switch (kind) {
+    case ClusterTransport::Loopback:
+        return "Loopback";
+    case ClusterTransport::UnixSocket:
+        return "Unix";
+    default:
+        return "Tcp";
+    }
+}
+
+void
+expectReadoutIdentical(const MemoryReadout &ref, const MemoryReadout &got,
+                       int step)
+{
+    SCOPED_TRACE(::testing::Message() << "step " << step);
+    ASSERT_EQ(ref.readVectors.size(), got.readVectors.size());
+    for (Index h = 0; h < ref.readVectors.size(); ++h)
+        EXPECT_TRUE(ref.readVectors[h] == got.readVectors[h])
+            << "merged read vector head " << h << " diverged";
+    ASSERT_EQ(ref.readWeightings.size(), got.readWeightings.size());
+    for (Index h = 0; h < ref.readWeightings.size(); ++h)
+        EXPECT_TRUE(ref.readWeightings[h] == got.readWeightings[h])
+            << "global-view read weighting head " << h << " diverged";
+    EXPECT_TRUE(ref.writeWeighting == got.writeWeighting)
+        << "global-view write weighting diverged";
+}
+
+void
+expectAlphasIdentical(const DncD &ref, const ShardCoordinator &got,
+                      int step)
+{
+    SCOPED_TRACE(::testing::Message() << "step " << step);
+    ASSERT_EQ(ref.lastAlphas().size(), got.lastAlphas().size());
+    for (Index h = 0; h < ref.lastAlphas().size(); ++h) {
+        ASSERT_EQ(ref.lastAlphas()[h].size(), got.lastAlphas()[h].size());
+        for (Index t = 0; t < ref.lastAlphas()[h].size(); ++t)
+            EXPECT_EQ(ref.lastAlphas()[h][t], got.lastAlphas()[h][t])
+                << "alpha head " << h << " tile " << t << " diverged";
+    }
+}
+
+// --------------------------------------------------------------------
+// The golden grid.
+// --------------------------------------------------------------------
+
+class ShardGolden
+    : public ::testing::TestWithParam<
+          std::tuple<ClusterTransport, int, int, bool>>
+{};
+
+TEST_P(ShardGolden, BitIdenticalToInProcessDncD)
+{
+    const auto [transport, tiles, threads, fixedPoint] = GetParam();
+    const DncConfig cfg = gridConfig(tiles, threads, fixedPoint);
+    const Index workerCount = 2; // exercises multi-tile workers at Nt=4
+
+    LocalShardCluster stack =
+        makeLocalCluster(transport, cfg, tiles, workerCount);
+    ASSERT_TRUE(stack.coordinator != nullptr);
+    DncD ref(cfg, tiles);
+
+    Rng rng(305 + tiles);
+    std::vector<InterfaceVector> perTile(tiles);
+    constexpr int kSteps = 18;
+    for (int step = 0; step < kSteps; ++step) {
+        if (step == 12) {
+            // Mid-stream episode boundary crosses the control path.
+            ref.reset();
+            stack.coordinator->reset();
+        }
+        const InterfaceVector iface = golden::randomIface(cfg, rng);
+        if (step % 3 == 2) {
+            // Learned write sharding: one tile's gate open, the rest
+            // closed — the per-tile interface path.
+            for (Index t = 0; t < tiles; ++t) {
+                perTile[t] = iface;
+                if (t != static_cast<Index>(step) % tiles)
+                    perTile[t].writeGate = 0.0;
+            }
+            const MemoryReadout a = ref.stepInterfaces(perTile);
+            const MemoryReadout b =
+                stack.coordinator->stepInterfaces(perTile);
+            expectReadoutIdentical(a, b, step);
+        } else {
+            const MemoryReadout a = ref.stepInterface(iface);
+            const MemoryReadout b = stack.coordinator->stepInterface(iface);
+            expectReadoutIdentical(a, b, step);
+        }
+        expectAlphasIdentical(ref, *stack.coordinator, step);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+
+    // Loopback keeps worker handles: the hosted tile state itself must
+    // equal the in-process shards, not just the merged outputs.
+    if (transport == ClusterTransport::Loopback) {
+        Index global = 0;
+        for (const auto &worker : stack.workers) {
+            for (Index i = 0; i < worker->hostedTiles(); ++i, ++global) {
+                SCOPED_TRACE(::testing::Message() << "tile " << global);
+                EXPECT_TRUE(worker->tile(i).memory() ==
+                            ref.shard(global).memory());
+                EXPECT_TRUE(worker->tile(i).usage() ==
+                            ref.shard(global).usage());
+                EXPECT_TRUE(worker->tile(i).rowNorms() ==
+                            ref.shard(global).rowNorms());
+            }
+        }
+        EXPECT_EQ(global, static_cast<Index>(tiles));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardGolden,
+    ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
+                                         ClusterTransport::UnixSocket,
+                                         ClusterTransport::Tcp),
+                       ::testing::Values(2, 4), ::testing::Values(1, 4),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(transportName(std::get<0>(info.param))) +
+               "Nt" + std::to_string(std::get<1>(info.param)) + "T" +
+               std::to_string(std::get<2>(info.param)) +
+               (std::get<3>(info.param) ? "Fixed" : "Float");
+    });
+
+// --------------------------------------------------------------------
+// Retrieval workload through the wire.
+// --------------------------------------------------------------------
+
+TEST(ShardWorkload, RetrievalEpisodeMatchesInProcessExactly)
+{
+    DncConfig cfg = gridConfig(4, 1, false);
+    cfg.memoryWidth = 16; // even split into key/value halves
+    DncD ref(cfg, 4);
+    LocalShardCluster stack =
+        makeLocalCluster(ClusterTransport::Loopback, cfg, 4, 2);
+
+    TokenCodebook keys(32, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(32, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+
+    Rng rng(77);
+    const auto suite = taskSuite();
+    for (Index t = 0; t < 3; ++t) {
+        const Episode ep = makeEpisode(suite[t], 32, rng);
+        const EpisodeResult a = runEpisodeDistributed(ref, scripter, ep);
+        const EpisodeResult b =
+            runEpisodeDistributed(*stack.coordinator, scripter, ep);
+        EXPECT_EQ(a.scored, b.scored);
+        EXPECT_EQ(a.correct, b.correct) << "wire run answered differently";
+        EXPECT_EQ(a.meanScore, b.meanScore);
+    }
+}
+
+// --------------------------------------------------------------------
+// Serving stack: ShardedDnc and the Router on a sharded backend.
+// --------------------------------------------------------------------
+
+DncConfig
+serveCfg()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 32;
+    cfg.memoryWidth = 12;
+    cfg.readHeads = 2;
+    cfg.controllerSize = 24;
+    cfg.inputSize = 10;
+    cfg.outputSize = 8;
+    return cfg;
+}
+
+std::unique_ptr<TileMemory>
+loopbackBackend(const DncConfig &cfg, Index tiles, Index workers)
+{
+    LoopbackShard stack =
+        makeLoopbackShard(cfg, tiles, workers, MergePolicy::Confidence,
+                          /*wantWeightings=*/false);
+    // The workers live in the channel closures; only the coordinator
+    // handle needs to escape.
+    return std::move(stack.coordinator);
+}
+
+TEST(ShardedDnc, WireBackendMatchesInProcessBackend)
+{
+    const DncConfig cfg = serveCfg();
+    const Index tiles = 4;
+    ShardedDnc wire(cfg, 3, loopbackBackend(cfg, tiles, 2));
+    ShardedDnc local(cfg, 3, std::make_unique<DncD>(cfg, tiles));
+
+    Rng rng(505);
+    for (int step = 0; step < 20; ++step) {
+        if (step == 13) {
+            wire.reset();
+            local.reset();
+        }
+        const Vector input = rng.normalVector(cfg.inputSize);
+        const Vector a = local.step(input);
+        const Vector b = wire.step(input);
+        ASSERT_TRUE(a == b) << "controller outputs diverged at step "
+                            << step;
+    }
+}
+
+TEST(ShardedRouter, RoutedRequestsMatchDedicatedShardedRuns)
+{
+    DncConfig cfg = serveCfg();
+    cfg.batchSize = 3;
+    const Index tiles = 2;
+    constexpr std::uint64_t kSeed = 11;
+
+    auto engine = std::make_unique<ShardedLaneEngine>(
+        cfg, kSeed, [&cfg](Index) {
+            return loopbackBackend(cfg, tiles, 1);
+        });
+    Router router(std::move(engine));
+
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Bursty;
+    spec.rate = 0.1;
+    spec.burstProbability = 0.2;
+    spec.burstSize = 4; // bursts exceed 3 lanes: queueing + admit churn
+    Rng traceRng(61);
+    const auto trace = makeArrivalTrace(spec, 20, traceRng);
+    ASSERT_FALSE(trace.empty());
+
+    std::size_t next = 0;
+    while (next < trace.size()) {
+        while (next < trace.size() && trace[next].step <= router.now()) {
+            ServeRequest request;
+            request.id = trace[next].ordinal;
+            request.tokens = requestTokens(trace[next], cfg.inputSize, 67);
+            ASSERT_TRUE(router.submit(std::move(request)));
+            ++next;
+        }
+        router.step();
+    }
+    router.drain();
+    ASSERT_EQ(router.completed().size(), trace.size());
+
+    // Reference: a dedicated sharded model (in-process backend — already
+    // proven equal to the wire backend above) per request.
+    ShardedDnc ref(cfg, kSeed, std::make_unique<DncD>(cfg, tiles));
+    for (const ServeResult &result : router.completed()) {
+        SCOPED_TRACE(::testing::Message() << "request " << result.id);
+        const auto tokens =
+            requestTokens(trace[result.id], cfg.inputSize, 67);
+        ASSERT_EQ(result.outputs.size(), tokens.size());
+        ref.reset();
+        for (Index t = 0; t < tokens.size(); ++t)
+            ASSERT_TRUE(ref.step(tokens[t]) == result.outputs[t])
+                << "output " << t << " diverged";
+    }
+}
+
+// --------------------------------------------------------------------
+// Worker protocol edge cases.
+// --------------------------------------------------------------------
+
+/** Collects reply frames for direct handleFrame() calls. */
+struct CollectSink final : FrameSink
+{
+    std::vector<std::vector<std::uint8_t>> frames;
+    void
+    sendFrame(const std::uint8_t *data, std::size_t size) override
+    {
+        frames.emplace_back(data, data + size);
+    }
+};
+
+TEST(ShardWorkerProtocol, StepBeforeHelloIsAnError)
+{
+    ShardWorker worker;
+    CollectSink sink;
+    WireWriter w;
+    Rng rng(1);
+    const InterfaceVector iface =
+        golden::randomIface(gridConfig(2, 1, false), rng);
+    encodeStepBroadcast(1, false, 0, iface, 1, w);
+    worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+    ASSERT_EQ(sink.frames.size(), 1u);
+    MsgType type;
+    ASSERT_TRUE(peekType(sink.frames[0].data(), sink.frames[0].size(),
+                         type));
+    EXPECT_EQ(type, MsgType::Error);
+}
+
+TEST(ShardWorkerProtocol, InvalidConfigIsRejectedInTheAck)
+{
+    ShardWorker worker;
+    CollectSink sink;
+    WireConfig bad; // zero shapes
+    WireWriter w;
+    encodeHello(bad, w);
+    worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+    ASSERT_EQ(sink.frames.size(), 1u);
+    HelloAckMsg ack;
+    ASSERT_TRUE(decodeHelloAck(sink.frames[0].data(),
+                               sink.frames[0].size(), ack));
+    EXPECT_FALSE(ack.ok);
+    EXPECT_FALSE(worker.configured());
+}
+
+TEST(ShardWorkerProtocol, MalformedFrameIsAnsweredWithError)
+{
+    ShardWorker worker;
+    CollectSink sink;
+    const std::uint8_t garbage[] = {0x00, 0x01, 0x02};
+    EXPECT_TRUE(worker.handleFrame(garbage, sizeof(garbage), sink));
+    ASSERT_EQ(sink.frames.size(), 1u);
+    ErrorMsg err;
+    EXPECT_TRUE(decodeError(sink.frames[0].data(), sink.frames[0].size(),
+                            err));
+}
+
+TEST(ShardWorkerProtocol, AdmitControlCountsEpisodes)
+{
+    const DncConfig cfg = gridConfig(2, 1, false);
+    LoopbackShard stack = makeLoopbackShard(cfg, 2, 1);
+    EXPECT_EQ(stack.workers[0]->episodesServed(), 0u);
+    stack.coordinator->beginEpisode();
+    stack.coordinator->beginEpisode();
+    stack.coordinator->reset(); // EpisodeReset does not count
+    EXPECT_EQ(stack.workers[0]->episodesServed(), 2u);
+}
+
+// --------------------------------------------------------------------
+// Zero-allocation steady state over loopback.
+// --------------------------------------------------------------------
+
+TEST(ShardZeroAlloc, SteadyStateLoopbackRoundTrip)
+{
+    const DncConfig cfg = serveCfg();
+    ShardedDnc model(cfg, 9,
+                     loopbackBackend(cfg, /*tiles=*/4, /*workers=*/2));
+    Rng rng(606);
+    std::vector<Vector> inputs;
+    for (int i = 0; i < 8; ++i)
+        inputs.push_back(rng.normalVector(cfg.inputSize));
+
+    Vector out;
+    model.stepInto(inputs[0], out); // sizes every buffer on both ends
+    model.stepInto(inputs[1], out);
+    model.stepInto(inputs[2], out);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 3; i < 8; ++i)
+        model.stepInto(inputs[i], out);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state sharded step performed heap allocations "
+           "(encode, decode, worker step, or merge path regressed)";
+}
+
+} // namespace
+} // namespace hima

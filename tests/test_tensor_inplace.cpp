@@ -23,6 +23,7 @@
 #include "dnc/dncd.h"
 #include "dnc/memory_unit.h"
 #include "golden_util.h"
+#include "serve/router.h"
 
 // --------------------------------------------------------------------
 // Global operator-new hook: counts every heap allocation in the test
@@ -642,6 +643,66 @@ TEST_P(BatchedZeroAlloc, SteadyStateBatchedStep)
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, BatchedZeroAlloc, ::testing::Values(1, 4));
+
+/**
+ * Router serving steps under queue overload: once requests are bound
+ * and every lane is mid-episode, a router step — engine sweep, harvest
+ * into the pre-sized result buffers, and rejected submissions bouncing
+ * off the full queue — must not touch the heap. Admission boundaries
+ * allocate (queueing, result sizing); the steady serving window, which
+ * is where an overloaded deployment actually lives, must not.
+ */
+TEST(ZeroAllocation, RouterOverloadServingWindow)
+{
+    DncConfig cfg = smallConfig();
+    cfg.controllerSize = 32;
+    cfg.inputSize = 16;
+    cfg.outputSize = 16;
+    cfg.batchSize = 2;
+    cfg.routerQueueCapacity = 2;
+    Router router(cfg, 9);
+    Rng rng(211);
+
+    constexpr Index kTokens = 16;
+    auto makeRequest = [&](std::uint64_t id) {
+        ServeRequest request;
+        request.id = id;
+        for (Index t = 0; t < kTokens; ++t)
+            request.tokens.push_back(rng.normalVector(cfg.inputSize));
+        return request;
+    };
+
+    // Saturate: two bound lanes plus a full queue.
+    ASSERT_TRUE(router.submit(makeRequest(0)));
+    ASSERT_TRUE(router.submit(makeRequest(1)));
+    router.step(); // binds both lanes
+    ASSERT_TRUE(router.submit(makeRequest(2)));
+    ASSERT_TRUE(router.submit(makeRequest(3)));
+    ASSERT_EQ(router.activeRequests(), 2u);
+    ASSERT_EQ(router.queuedRequests(), 2u);
+    router.step();
+    router.step(); // engine + harvest buffers all sized
+
+    // Overflow submissions are pre-built so the measured region holds
+    // only router work: step + rejected submit.
+    ServeRequest overflowA = makeRequest(4);
+    ServeRequest overflowB = makeRequest(5);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_FALSE(router.submit(std::move(overflowA)));
+    for (int i = 0; i < 8; ++i)
+        router.step(); // all mid-episode: no admissions, no completions
+    EXPECT_FALSE(router.submit(std::move(overflowB)));
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "overloaded serving steps performed heap allocations";
+    EXPECT_EQ(router.rejectedRequests(), 2u);
+
+    router.drain();
+    EXPECT_EQ(router.completed().size(), 4u);
+}
 
 /**
  * Lane churn must preserve the zero-allocation guarantee: admit(),

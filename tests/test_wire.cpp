@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Wire-codec tests: every message type round-trips bit-exactly, and
+ * every malformed input — truncated at any byte, corrupted header,
+ * mismatched counts, trailing garbage, adversarial lengths — is
+ * rejected by returning false, never by crashing or allocating from
+ * attacker-controlled sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "golden_util.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace hima {
+namespace {
+
+DncConfig
+shardCfg()
+{
+    DncConfig cfg;
+    cfg.memoryRows = 16; // per-tile
+    cfg.memoryWidth = 12;
+    cfg.readHeads = 3;
+    return cfg;
+}
+
+InterfaceVector
+sampleIface(const DncConfig &cfg, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return golden::randomIface(cfg, rng);
+}
+
+void
+expectIfaceEqual(const InterfaceVector &a, const InterfaceVector &b)
+{
+    ASSERT_EQ(a.readKeys.size(), b.readKeys.size());
+    for (Index h = 0; h < a.readKeys.size(); ++h)
+        EXPECT_TRUE(a.readKeys[h] == b.readKeys[h]);
+    EXPECT_EQ(a.readStrengths, b.readStrengths);
+    EXPECT_TRUE(a.writeKey == b.writeKey);
+    EXPECT_EQ(a.writeStrength, b.writeStrength);
+    EXPECT_TRUE(a.eraseVector == b.eraseVector);
+    EXPECT_TRUE(a.writeVector == b.writeVector);
+    EXPECT_EQ(a.freeGates, b.freeGates);
+    EXPECT_EQ(a.allocationGate, b.allocationGate);
+    EXPECT_EQ(a.writeGate, b.writeGate);
+    ASSERT_EQ(a.readModes.size(), b.readModes.size());
+    for (Index h = 0; h < a.readModes.size(); ++h) {
+        EXPECT_EQ(a.readModes[h].backward, b.readModes[h].backward);
+        EXPECT_EQ(a.readModes[h].content, b.readModes[h].content);
+        EXPECT_EQ(a.readModes[h].forward, b.readModes[h].forward);
+    }
+}
+
+// --------------------------------------------------------------------
+// Round trips.
+// --------------------------------------------------------------------
+
+TEST(Wire, HelloRoundTrip)
+{
+    DncConfig cfg = shardCfg();
+    cfg.fixedPoint = true;
+    cfg.skimRate = 0.25;
+    cfg.writeSkipThreshold = 1e-9;
+    cfg.approximateSoftmax = true;
+    cfg.softmaxSegments = 12;
+    cfg.numThreads = 4;
+    const WireConfig sent = WireConfig::fromShard(cfg, 3);
+
+    WireWriter w;
+    encodeHello(sent, w);
+    WireConfig got;
+    ASSERT_TRUE(decodeHello(w.buffer().data(), w.buffer().size(), got));
+    EXPECT_EQ(sent, got);
+
+    // The reconstructed DncConfig preserves shapes and datapath mode.
+    const DncConfig back = got.toShardConfig();
+    EXPECT_EQ(back.memoryRows, cfg.memoryRows);
+    EXPECT_EQ(back.memoryWidth, cfg.memoryWidth);
+    EXPECT_EQ(back.readHeads, cfg.readHeads);
+    EXPECT_EQ(back.fixedPoint, cfg.fixedPoint);
+    EXPECT_EQ(back.approximateSoftmax, cfg.approximateSoftmax);
+    EXPECT_EQ(back.softmaxSegments, cfg.softmaxSegments);
+    EXPECT_EQ(back.skimRate, cfg.skimRate);
+    EXPECT_EQ(back.writeSkipThreshold, cfg.writeSkipThreshold);
+    EXPECT_EQ(back.numThreads, cfg.numThreads);
+}
+
+TEST(Wire, HelloAckRoundTrip)
+{
+    HelloAckMsg sent;
+    sent.ok = false;
+    sent.hostedTiles = 7;
+    sent.message = "shape mismatch: W=12 vs 16";
+    WireWriter w;
+    encodeHelloAck(sent, w);
+    HelloAckMsg got;
+    ASSERT_TRUE(decodeHelloAck(w.buffer().data(), w.buffer().size(), got));
+    EXPECT_EQ(got.ok, sent.ok);
+    EXPECT_EQ(got.hostedTiles, sent.hostedTiles);
+    EXPECT_EQ(got.message, sent.message);
+}
+
+TEST(Wire, StepRoundTripPreservesEveryRealBitExactly)
+{
+    const DncConfig cfg = shardCfg();
+    StepMsg sent;
+    sent.seq = 0xDEADBEEFCAFEull;
+    sent.wantWeightings = true;
+    sent.scoredMask = 0b101;
+    sent.ifaces = {sampleIface(cfg, 1), sampleIface(cfg, 2)};
+
+    WireWriter w;
+    encodeStep(sent, cfg, w);
+    StepMsg got;
+    ASSERT_TRUE(
+        decodeStep(w.buffer().data(), w.buffer().size(), cfg, 2, got));
+    EXPECT_EQ(got.seq, sent.seq);
+    EXPECT_EQ(got.wantWeightings, sent.wantWeightings);
+    EXPECT_EQ(got.scoredMask, sent.scoredMask);
+    ASSERT_EQ(got.ifaces.size(), 2u);
+    for (Index t = 0; t < 2; ++t)
+        expectIfaceEqual(sent.ifaces[t], got.ifaces[t]);
+}
+
+TEST(Wire, StepBroadcastDecodesLikeSpanOfCopiesButShipsOneInterface)
+{
+    const DncConfig cfg = shardCfg();
+    const InterfaceVector iface = sampleIface(cfg, 5);
+    const std::vector<InterfaceVector> copies(3, iface);
+
+    WireWriter a, b;
+    encodeStepBroadcast(9, false, 0b11, iface, 3, a);
+    encodeStepSpan(9, false, 0b11, copies.data(), 3, b);
+    // The broadcast frame carries the interface once...
+    EXPECT_LT(a.buffer().size(), b.buffer().size() / 2);
+
+    // ...but decodes to the identical expanded message.
+    StepMsg fromBroadcast, fromSpan;
+    ASSERT_TRUE(decodeStep(a.buffer().data(), a.buffer().size(), cfg, 3,
+                           fromBroadcast));
+    ASSERT_TRUE(decodeStep(b.buffer().data(), b.buffer().size(), cfg, 3,
+                           fromSpan));
+    EXPECT_EQ(fromBroadcast.seq, fromSpan.seq);
+    EXPECT_EQ(fromBroadcast.scoredMask, fromSpan.scoredMask);
+    ASSERT_EQ(fromBroadcast.ifaces.size(), 3u);
+    for (Index t = 0; t < 3; ++t)
+        expectIfaceEqual(fromBroadcast.ifaces[t], fromSpan.ifaces[t]);
+}
+
+TEST(Wire, StepReplyRoundTrip)
+{
+    const DncConfig cfg = shardCfg();
+    const Index r = cfg.readHeads;
+    Rng rng(11);
+    std::vector<MemoryReadout> tiles(2);
+    std::vector<Real> confidence;
+    for (MemoryReadout &t : tiles) {
+        for (Index h = 0; h < r; ++h) {
+            t.readVectors.push_back(rng.normalVector(cfg.memoryWidth));
+            t.readWeightings.push_back(rng.uniformVector(cfg.memoryRows));
+        }
+        t.writeWeighting = rng.uniformVector(cfg.memoryRows);
+    }
+    for (Index i = 0; i < 2 * r; ++i)
+        confidence.push_back(rng.normal());
+
+    WireWriter w;
+    encodeStepReply(42, true, tiles, confidence, cfg, w);
+    StepReplyMsg got;
+    ASSERT_TRUE(decodeStepReply(w.buffer().data(), w.buffer().size(), cfg,
+                                2, got));
+    EXPECT_EQ(got.seq, 42u);
+    EXPECT_TRUE(got.hasWeightings);
+    ASSERT_EQ(got.tiles.size(), 2u);
+    EXPECT_EQ(got.confidence, confidence);
+    for (Index t = 0; t < 2; ++t) {
+        for (Index h = 0; h < r; ++h) {
+            EXPECT_TRUE(got.tiles[t].readVectors[h] ==
+                        tiles[t].readVectors[h]);
+            EXPECT_TRUE(got.tiles[t].readWeightings[h] ==
+                        tiles[t].readWeightings[h]);
+        }
+        EXPECT_TRUE(got.tiles[t].writeWeighting ==
+                    tiles[t].writeWeighting);
+    }
+}
+
+TEST(Wire, StepReplyWithoutWeightingsOmitsThem)
+{
+    const DncConfig cfg = shardCfg();
+    const Index r = cfg.readHeads;
+    Rng rng(13);
+    std::vector<MemoryReadout> tiles(1);
+    for (Index h = 0; h < r; ++h) {
+        tiles[0].readVectors.push_back(rng.normalVector(cfg.memoryWidth));
+        tiles[0].readWeightings.push_back(rng.uniformVector(cfg.memoryRows));
+    }
+    tiles[0].writeWeighting = rng.uniformVector(cfg.memoryRows);
+    const std::vector<Real> confidence(r, 0.5);
+
+    WireWriter lean, full;
+    encodeStepReply(1, false, tiles, confidence, cfg, lean);
+    encodeStepReply(1, true, tiles, confidence, cfg, full);
+    EXPECT_LT(lean.buffer().size(), full.buffer().size());
+
+    StepReplyMsg got;
+    ASSERT_TRUE(decodeStepReply(lean.buffer().data(), lean.buffer().size(),
+                                cfg, 1, got));
+    EXPECT_FALSE(got.hasWeightings);
+    EXPECT_TRUE(got.tiles[0].readWeightings.empty());
+}
+
+TEST(Wire, ControlAndAckRoundTrip)
+{
+    WireWriter w;
+    ControlMsg sent;
+    sent.kind = ControlKind::Admit;
+    sent.seq = 17;
+    encodeControl(sent, w);
+    ControlMsg got;
+    ASSERT_TRUE(decodeControl(w.buffer().data(), w.buffer().size(), got));
+    EXPECT_EQ(got.kind, ControlKind::Admit);
+    EXPECT_EQ(got.seq, 17u);
+
+    encodeControlAck(17, w);
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(decodeControlAck(w.buffer().data(), w.buffer().size(), seq));
+    EXPECT_EQ(seq, 17u);
+}
+
+TEST(Wire, ErrorRoundTripAndPeek)
+{
+    WireWriter w;
+    encodeError("tile exploded", w);
+    MsgType type;
+    ASSERT_TRUE(peekType(w.buffer().data(), w.buffer().size(), type));
+    EXPECT_EQ(type, MsgType::Error);
+    ErrorMsg msg;
+    ASSERT_TRUE(decodeError(w.buffer().data(), w.buffer().size(), msg));
+    EXPECT_EQ(msg.message, "tile exploded");
+
+    encodeShutdown(w);
+    ASSERT_TRUE(peekType(w.buffer().data(), w.buffer().size(), type));
+    EXPECT_EQ(type, MsgType::Shutdown);
+}
+
+// --------------------------------------------------------------------
+// Malformed frames.
+// --------------------------------------------------------------------
+
+TEST(WireMalformed, TruncationAtEveryByteIsRejected)
+{
+    const DncConfig cfg = shardCfg();
+    StepMsg sent;
+    sent.seq = 3;
+    sent.ifaces = {sampleIface(cfg, 7), sampleIface(cfg, 8)};
+    WireWriter w;
+    encodeStep(sent, cfg, w);
+
+    StepMsg out;
+    for (std::size_t len = 0; len < w.buffer().size(); ++len)
+        EXPECT_FALSE(decodeStep(w.buffer().data(), len, cfg, 2, out))
+            << "truncated frame of " << len << " bytes decoded";
+}
+
+TEST(WireMalformed, HeaderCorruptionIsRejected)
+{
+    WireWriter w;
+    encodeControlAck(5, w);
+    std::vector<std::uint8_t> frame = w.buffer();
+    std::uint64_t seq;
+
+    frame[0] ^= 0xFF; // magic
+    EXPECT_FALSE(decodeControlAck(frame.data(), frame.size(), seq));
+    frame[0] ^= 0xFF;
+
+    frame[2] += 1; // version
+    EXPECT_FALSE(decodeControlAck(frame.data(), frame.size(), seq));
+    frame[2] -= 1;
+
+    frame[3] = static_cast<std::uint8_t>(MsgType::Error); // type
+    EXPECT_FALSE(decodeControlAck(frame.data(), frame.size(), seq));
+
+    MsgType type;
+    frame[3] = 200; // unknown type
+    EXPECT_FALSE(peekType(frame.data(), frame.size(), type));
+}
+
+TEST(WireMalformed, WrongShapesAreRejected)
+{
+    const DncConfig cfg = shardCfg();
+    StepMsg sent;
+    sent.ifaces = {sampleIface(cfg, 9)};
+    WireWriter w;
+    encodeStep(sent, cfg, w);
+
+    StepMsg out;
+    // Tile-count mismatch.
+    EXPECT_FALSE(decodeStep(w.buffer().data(), w.buffer().size(), cfg, 2,
+                            out));
+    // Shape mismatch: the receiver expects a wider W.
+    DncConfig wide = cfg;
+    wide.memoryWidth = cfg.memoryWidth + 4;
+    EXPECT_FALSE(decodeStep(w.buffer().data(), w.buffer().size(), wide, 1,
+                            out));
+    // Head-count mismatch.
+    DncConfig heads = cfg;
+    heads.readHeads = cfg.readHeads + 1;
+    EXPECT_FALSE(decodeStep(w.buffer().data(), w.buffer().size(), heads, 1,
+                            out));
+}
+
+TEST(WireMalformed, TrailingGarbageIsRejected)
+{
+    WireWriter w;
+    encodeControlAck(5, w);
+    std::vector<std::uint8_t> frame = w.buffer();
+    frame.push_back(0x00);
+    std::uint64_t seq;
+    EXPECT_FALSE(decodeControlAck(frame.data(), frame.size(), seq));
+}
+
+TEST(WireMalformed, AdversarialCountsDoNotAllocate)
+{
+    // A hand-built Step frame declaring 4 billion read keys: the
+    // decoder must reject on the count check, not resize first.
+    WireWriter w;
+    w.header(MsgType::Step);
+    w.putU64(1);          // seq
+    w.putU8(0);           // wantWeightings
+    w.putU32(0);          // scoredMask
+    w.putU8(0);           // per-tile interfaces
+    w.putU32(1);          // one tile
+    w.putU32(0xFFFFFFFF); // readKeys count — absurd
+    StepMsg out;
+    EXPECT_FALSE(decodeStep(w.buffer().data(), w.buffer().size(), shardCfg(),
+                            1, out));
+
+    // Same for a vector length beyond the remaining bytes.
+    WireWriter v;
+    v.header(MsgType::StepReply);
+    v.putU64(1);
+    v.putU8(0);
+    v.putU32(1);          // one tile
+    v.putU32(0x40000000); // first read vector claims 2^30 reals
+    StepReplyMsg reply;
+    EXPECT_FALSE(decodeStepReply(v.buffer().data(), v.buffer().size(),
+                                 shardCfg(), 1, reply));
+}
+
+// --------------------------------------------------------------------
+// Loopback framing.
+// --------------------------------------------------------------------
+
+TEST(Transport, LoopbackDeliversInOrderAndCountsBytes)
+{
+    // Echo service: every frame comes straight back.
+    LoopbackChannel chan(
+        [](const std::uint8_t *data, std::size_t size, FrameSink &reply) {
+            reply.sendFrame(data, size);
+        });
+
+    const std::vector<std::uint8_t> a = {1, 2, 3};
+    const std::vector<std::uint8_t> b = {9, 8};
+    chan.sendFrame(a.data(), a.size());
+    chan.sendFrame(b.data(), b.size());
+    EXPECT_EQ(chan.bytesSent(), 5u);
+    EXPECT_EQ(chan.bytesReceived(), 5u);
+
+    std::vector<std::uint8_t> frame;
+    ASSERT_TRUE(chan.recvFrame(frame));
+    EXPECT_EQ(frame, a);
+    ASSERT_TRUE(chan.recvFrame(frame));
+    EXPECT_EQ(frame, b);
+    EXPECT_FALSE(chan.recvFrame(frame)) << "empty inbox must report false";
+}
+
+} // namespace
+} // namespace hima
