@@ -1,18 +1,29 @@
 /**
  * @file
  * Sharded-serving benchmark: confidence-merge round-trip cost vs tile
- * count and transport. For each (transport, tiles) point the harness
- * drives broadcast query steps through a ShardCoordinator — workers
- * in-process for loopback, on threads behind real Unix-domain/TCP
- * sockets otherwise — and records steps/s plus wire bytes per step,
- * against the in-process DncD baseline (no serialization at all).
- * Results land in BENCH_shard.json (CI artifact) next to the other
- * bench JSONs.
+ * count and transport. Two modes per (transport, tiles) point:
+ *
+ *   - sync: the single-lane ShardCoordinator, one full round trip per
+ *     step (the PR-4 baseline rows, retained for comparison);
+ *   - pipelined: a ShardLaneGroup fleet serving `kBenchLanes` lanes,
+ *     swept over lanes-per-batch — k lanes ride one LaneStep frame per
+ *     worker and consecutive batches overlap in the double-buffered
+ *     window, so syscalls/wakeups amortize k-fold. Reported steps/s are
+ *     aggregate *lane*-steps/s (each lane-step does the same tile work
+ *     as one sync step), i.e. serving throughput on the same fleet.
+ *
+ * Workers run in-process for loopback and on threads behind real
+ * Unix-domain/TCP sockets otherwise; the in-process DncD baseline (no
+ * serialization at all) bounds both modes from above on one box. Every
+ * point stamps per-message-type frame/byte counts per (lane-)step from
+ * the channels' WireTrafficStats. Results land in BENCH_shard.json (CI
+ * artifact) next to the other bench JSONs.
  *
  * Like every bench here, a bit-exactness gate runs first: the sharded
- * stack must reproduce the in-process model exactly (float and fixed
- * point) or the bench refuses to time it. `--smoke` runs the gate plus
- * two tiny points (the ASan/UBSan CI configuration).
+ * stack — sync *and* pipelined — must reproduce the in-process model
+ * exactly (float and fixed point) or the bench refuses to time it.
+ * `--smoke` runs the gate plus a few tiny points (the sanitizer CI
+ * configuration).
  */
 
 #include <chrono>
@@ -98,6 +109,9 @@ toCluster(Transport t)
     }
 }
 
+/** Lanes served by every pipelined bench point. */
+constexpr Index kBenchLanes = 8;
+
 /** Bit-exact refusal gate: wire stack vs in-process DncD. */
 bool
 crossCheck(bool fixedPoint)
@@ -137,14 +151,88 @@ crossCheck(bool fixedPoint)
     return true;
 }
 
+/**
+ * Pipelined gate: every lane of an overlapped, lane-batched group must
+ * match its own in-process DncD reference — including through a
+ * per-lane admit — or the bench refuses to time the pipelined points.
+ */
+bool
+crossCheckPipelined(bool fixedPoint)
+{
+    DncConfig cfg = benchConfig(4);
+    cfg.memoryRows = 64;
+    cfg.fixedPoint = fixedPoint;
+    const Index tiles = 4;
+    const Index lanes = 3;
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        ClusterTransport::Loopback, cfg, tiles, lanes, /*workerCount=*/2,
+        MergePolicy::Confidence, /*wantWeightings=*/true);
+    std::vector<std::unique_ptr<DncD>> refs;
+    for (Index lane = 0; lane < lanes; ++lane)
+        refs.push_back(std::make_unique<DncD>(cfg, tiles));
+
+    Rng rng(29);
+    std::vector<InterfaceVector> ifaces(lanes);
+    std::vector<MemoryReadout> outs(lanes);
+    const std::vector<Index> batchA = {0, 1};
+    const std::vector<Index> batchB = {2};
+    for (int step = 0; step < 6; ++step) {
+        if (step == 3) { // recycle lane 1 mid-stream
+            cluster.group->admitLane(1);
+            refs[1]->reset();
+        }
+        for (Index lane = 0; lane < lanes; ++lane)
+            ifaces[lane] = randomIface(cfg, rng);
+        cluster.group->scatter(batchA, {&ifaces[0], &ifaces[1]});
+        cluster.group->scatter(batchB, {&ifaces[2]});
+        cluster.group->gather({&outs[0], &outs[1]});
+        cluster.group->gather({&outs[2]});
+        for (Index lane = 0; lane < lanes; ++lane) {
+            const MemoryReadout want =
+                refs[lane]->stepInterface(ifaces[lane]);
+            for (Index h = 0; h < cfg.readHeads; ++h) {
+                if (!(want.readVectors[h] == outs[lane].readVectors[h]) ||
+                    !(want.readWeightings[h] ==
+                      outs[lane].readWeightings[h]))
+                    return false;
+            }
+            if (!(want.writeWeighting == outs[lane].writeWeighting))
+                return false;
+        }
+    }
+    return true;
+}
+
 struct Point
 {
     Transport transport;
     Index tiles;
     Index workers;
-    double stepsPerSec;
-    double bytesPerStep; ///< total wire traffic, both directions
+    Index lanes;        ///< 1 for sync rows
+    Index lanesPerBatch; ///< 0 for sync rows
+    double stepsPerSec; ///< lane-steps/s for pipelined rows
+    // Per-type wire traffic per (lane-)step, both directions.
+    WireTrafficStats sent;
+    WireTrafficStats received;
+    double statSteps = 0.0; ///< divisor for the per-step stats
+
+    bool pipelined() const { return lanesPerBatch > 0; }
 };
+
+/** Accumulate (channel stats - baseline) into the point's counters. */
+void
+diffStats(const Channel &chan, const WireTrafficStats &sentBase,
+          const WireTrafficStats &recvBase, Point &p)
+{
+    for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
+        p.sent.frames[t] += chan.sentStats().frames[t] - sentBase.frames[t];
+        p.sent.bytes[t] += chan.sentStats().bytes[t] - sentBase.bytes[t];
+        p.received.frames[t] +=
+            chan.receivedStats().frames[t] - recvBase.frames[t];
+        p.received.bytes[t] +=
+            chan.receivedStats().bytes[t] - recvBase.bytes[t];
+    }
+}
 
 Point
 runPoint(Transport transport, Index tiles, Index workers)
@@ -157,12 +245,14 @@ runPoint(Transport transport, Index tiles, Index workers)
     p.transport = transport;
     p.tiles = tiles;
     p.workers = workers;
+    p.lanes = 1;
+    p.lanesPerBatch = 0;
 
     if (transport == Transport::InProcess) {
         DncD model(cfg, tiles);
         p.stepsPerSec =
             benchStepsPerSecond([&] { model.stepInterface(iface); });
-        p.bytesPerStep = 0.0;
+        p.statSteps = 1.0; // no wire: stats stay zero
         return p;
     }
 
@@ -171,22 +261,122 @@ runPoint(Transport transport, Index tiles, Index workers)
         /*wantWeightings=*/false);
     MemoryReadout out;
     std::uint64_t steps = 0;
-    std::uint64_t bytes0 = 0;
-    for (Index k = 0; k < stack.coordinator->channelCount(); ++k)
-        bytes0 += stack.coordinator->channel(k).bytesSent() +
-                  stack.coordinator->channel(k).bytesReceived();
+    // Stats are differenced around the timed loop so handshake and
+    // warmup traffic is excluded; one warm step sizes every buffer.
+    stack.coordinator->stepInterfaceInto(iface, out);
+    std::vector<WireTrafficStats> sentBase, recvBase;
+    for (Index k = 0; k < stack.coordinator->channelCount(); ++k) {
+        sentBase.push_back(stack.coordinator->channel(k).sentStats());
+        recvBase.push_back(stack.coordinator->channel(k).receivedStats());
+    }
     p.stepsPerSec = benchStepsPerSecond([&] {
         stack.coordinator->stepInterfaceInto(iface, out);
         ++steps;
     });
-    std::uint64_t bytes1 = 0;
     for (Index k = 0; k < stack.coordinator->channelCount(); ++k)
-        bytes1 += stack.coordinator->channel(k).bytesSent() +
-                  stack.coordinator->channel(k).bytesReceived();
-    p.bytesPerStep = steps ? static_cast<double>(bytes1 - bytes0) /
-                                 static_cast<double>(steps)
-                           : 0.0;
+        diffStats(stack.coordinator->channel(k), sentBase[k], recvBase[k],
+                  p);
+    p.statSteps = static_cast<double>(steps);
     return p;
+}
+
+/**
+ * Pipelined point: kBenchLanes lanes stepped in batches of
+ * `lanesPerBatch` with the engine's overlapped schedule (scatter batch
+ * b, then gather batch b-1), no controller in the loop — the same
+ * per-lane-step tile work as a sync step, so the sync rows are the
+ * apples-to-apples baseline.
+ */
+Point
+runPipelinedPoint(Transport transport, Index tiles, Index workers,
+                  Index lanesPerBatch)
+{
+    const DncConfig cfg = benchConfig(tiles);
+    Rng rng(7);
+    const InterfaceVector iface = randomIface(cfg, rng);
+
+    Point p{};
+    p.transport = transport;
+    p.tiles = tiles;
+    p.workers = workers;
+    p.lanes = kBenchLanes;
+    p.lanesPerBatch = lanesPerBatch;
+
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        toCluster(transport), cfg, tiles, kBenchLanes, workers);
+    ShardLaneGroup &group = *cluster.group;
+
+    // Precompute the batch schedule (lane lists, iface and out views).
+    std::vector<std::vector<Index>> batches;
+    std::vector<std::vector<const InterfaceVector *>> batchIfaces;
+    std::vector<MemoryReadout> outs(kBenchLanes);
+    std::vector<std::vector<MemoryReadout *>> batchOuts;
+    for (Index first = 0; first < kBenchLanes; first += lanesPerBatch) {
+        const Index count = std::min(lanesPerBatch, kBenchLanes - first);
+        batches.emplace_back();
+        batchIfaces.emplace_back();
+        batchOuts.emplace_back();
+        for (Index j = 0; j < count; ++j) {
+            batches.back().push_back(first + j);
+            batchIfaces.back().push_back(&iface);
+            batchOuts.back().push_back(&outs[first + j]);
+        }
+    }
+
+    auto engineStep = [&] {
+        // The overlapped schedule: batch b's scatter rides while batch
+        // b-1's round trip drains.
+        Index prev = batches.size(); // sentinel
+        for (Index b = 0; b < batches.size(); ++b) {
+            group.scatter(batches[b], batchIfaces[b]);
+            if (prev < batches.size())
+                group.gather(batchOuts[prev]);
+            prev = b;
+        }
+        group.gather(batchOuts[prev]);
+    };
+
+    engineStep(); // warm every buffer on both ends
+    std::vector<WireTrafficStats> sentBase, recvBase;
+    for (Index k = 0; k < group.channelCount(); ++k) {
+        sentBase.push_back(group.channel(k).sentStats());
+        recvBase.push_back(group.channel(k).receivedStats());
+    }
+    std::uint64_t engineSteps = 0;
+    const double engineStepsPerSec = benchStepsPerSecond([&] {
+        engineStep();
+        ++engineSteps;
+    });
+    p.stepsPerSec = engineStepsPerSec * static_cast<double>(kBenchLanes);
+    for (Index k = 0; k < group.channelCount(); ++k)
+        diffStats(group.channel(k), sentBase[k], recvBase[k], p);
+    p.statSteps =
+        static_cast<double>(engineSteps) * static_cast<double>(kBenchLanes);
+    return p;
+}
+
+/** Emit one point's per-type wire stats as a JSON object. */
+void
+writeWireStats(FILE *json, const Point &p)
+{
+    std::fprintf(json, "\"wire_per_step\": {");
+    bool firstType = true;
+    for (std::size_t t = 1; t < kMsgTypeCount; ++t) {
+        const std::uint64_t frames =
+            p.sent.frames[t] + p.received.frames[t];
+        if (frames == 0)
+            continue;
+        std::fprintf(json,
+                     "%s\"%s\": {\"frames\": %.3f, \"bytes_out\": %.1f, "
+                     "\"bytes_in\": %.1f}",
+                     firstType ? "" : ", ",
+                     msgTypeName(static_cast<MsgType>(t)),
+                     static_cast<double>(frames) / p.statSteps,
+                     static_cast<double>(p.sent.bytes[t]) / p.statSteps,
+                     static_cast<double>(p.received.bytes[t]) / p.statSteps);
+        firstType = false;
+    }
+    std::fprintf(json, "}");
 }
 
 } // namespace
@@ -202,45 +392,78 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
 
-    if (!crossCheck(false) || !crossCheck(true)) {
+    if (!crossCheck(false) || !crossCheck(true) ||
+        !crossCheckPipelined(false) || !crossCheckPipelined(true)) {
         std::fprintf(stderr,
                      "FATAL: sharded stack diverged from the in-process "
                      "DncD — refusing to benchmark unequal computations\n");
         return 1;
     }
-    std::printf("cross-check: sharded merge bit-identical to in-process "
-                "DncD (float and fixed-point)\n");
+    std::printf("cross-check: sync and pipelined sharded merges "
+                "bit-identical to in-process DncD (float and "
+                "fixed-point)\n");
 
     struct Case
     {
         Transport transport;
         Index tiles;
         Index workers;
+        Index lanesPerBatch; ///< 0 = sync coordinator
     };
     std::vector<Case> cases;
     if (smoke) {
-        cases = {{Transport::Loopback, 4, 2}, {Transport::Unix, 4, 2}};
+        cases = {{Transport::Loopback, 4, 2, 0},
+                 {Transport::Unix, 4, 2, 0},
+                 {Transport::Loopback, 4, 2, 2},
+                 {Transport::Unix, 4, 2, 4}};
     } else {
         for (Index tiles : {Index(2), Index(4), Index(8), Index(16)}) {
             const Index workers = tiles >= 4 ? 4 : tiles;
-            cases.push_back({Transport::InProcess, tiles, 0});
-            cases.push_back({Transport::Loopback, tiles, workers});
-            cases.push_back({Transport::Unix, tiles, workers});
-            cases.push_back({Transport::Tcp, tiles, workers});
+            cases.push_back({Transport::InProcess, tiles, 0, 0});
+            cases.push_back({Transport::Loopback, tiles, workers, 0});
+            cases.push_back({Transport::Unix, tiles, workers, 0});
+            cases.push_back({Transport::Tcp, tiles, workers, 0});
+        }
+        // The pipelined sweep at the tile counts where the sync
+        // round-trip gap is widest (see the sync rows).
+        for (Index tiles : {Index(8), Index(16)}) {
+            const Index workers = 4;
+            for (Index k : {Index(1), Index(2), Index(4), Index(8)}) {
+                cases.push_back({Transport::Loopback, tiles, workers, k});
+                cases.push_back({Transport::Unix, tiles, workers, k});
+                cases.push_back({Transport::Tcp, tiles, workers, k});
+            }
         }
     }
 
     std::printf("bench_shard: N=1024, W=64, R=4; merge round trips "
-                "(lean frames: read vectors + confidence logits)%s\n",
-                smoke ? " (smoke)" : "");
+                "(lean frames: read vectors + confidence logits); "
+                "pipelined rows serve %zu lanes (aggregate "
+                "lane-steps/s)%s\n",
+                kBenchLanes, smoke ? " (smoke)" : "");
     std::vector<Point> points;
     for (const Case &c : cases) {
-        const Point p = runPoint(c.transport, c.tiles, c.workers);
+        const Point p =
+            c.lanesPerBatch == 0
+                ? runPoint(c.transport, c.tiles, c.workers)
+                : runPipelinedPoint(c.transport, c.tiles, c.workers,
+                                    c.lanesPerBatch);
         points.push_back(p);
-        std::printf("%-10s tiles=%2zu workers=%zu  %9.1f steps/s  %8.1f "
-                    "wire B/step\n",
-                    transportName(p.transport), p.tiles, p.workers,
-                    p.stepsPerSec, p.bytesPerStep);
+        double wireBytes = 0.0;
+        for (std::size_t t = 0; t < kMsgTypeCount; ++t)
+            wireBytes += static_cast<double>(p.sent.bytes[t] +
+                                             p.received.bytes[t]);
+        if (p.pipelined())
+            std::printf("%-10s tiles=%2zu workers=%zu pipelined k=%zu  "
+                        "%9.1f lane-steps/s  %8.1f wire B/step\n",
+                        transportName(p.transport), p.tiles, p.workers,
+                        p.lanesPerBatch, p.stepsPerSec,
+                        wireBytes / p.statSteps);
+        else
+            std::printf("%-10s tiles=%2zu workers=%zu sync         "
+                        "%9.1f steps/s       %8.1f wire B/step\n",
+                        transportName(p.transport), p.tiles, p.workers,
+                        p.stepsPerSec, wireBytes / p.statSteps);
     }
 
     FILE *json = std::fopen("BENCH_shard.json", "w");
@@ -253,17 +476,21 @@ main(int argc, char **argv)
     std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(json,
                  "  \"config\": {\"memory_rows\": 1024, \"memory_width\": "
-                 "64, \"read_heads\": 4, \"want_weightings\": false},\n");
+                 "64, \"read_heads\": 4, \"want_weightings\": false, "
+                 "\"pipelined_lanes\": %zu},\n",
+                 kBenchLanes);
     std::fprintf(json, "  \"points\": [\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Point &p = points[i];
         std::fprintf(json,
-                     "    {\"transport\": \"%s\", \"tiles\": %zu, "
-                     "\"workers\": %zu, \"steps_per_sec\": %.2f, "
-                     "\"wire_bytes_per_step\": %.1f}%s\n",
-                     transportName(p.transport), p.tiles, p.workers,
-                     p.stepsPerSec, p.bytesPerStep,
-                     i + 1 < points.size() ? "," : "");
+                     "    {\"transport\": \"%s\", \"mode\": \"%s\", "
+                     "\"tiles\": %zu, \"workers\": %zu, \"lanes\": %zu, "
+                     "\"lanes_per_batch\": %zu, \"steps_per_sec\": %.2f, ",
+                     transportName(p.transport),
+                     p.pipelined() ? "pipelined" : "sync", p.tiles,
+                     p.workers, p.lanes, p.lanesPerBatch, p.stepsPerSec);
+        writeWireStats(json, p);
+        std::fprintf(json, "}%s\n", i + 1 < points.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n");
     std::fprintf(json, "}\n");

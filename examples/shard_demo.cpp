@@ -33,7 +33,7 @@
 namespace hima {
 namespace {
 
-std::unique_ptr<Channel>
+std::unique_ptr<SocketChannel>
 connectAddr(const std::string &addr)
 {
     if (addr.rfind("unix:", 0) == 0)
@@ -124,6 +124,9 @@ main(int argc, char **argv)
                              addr.c_str());
                 return 1;
             }
+            // Bounded recv: a worker that dies fails the step with a
+            // diagnosis instead of hanging this demo forever.
+            chan->setRecvTimeout(30000);
             channels.push_back(std::move(chan));
         }
         coordinator = std::make_unique<ShardCoordinator>(
@@ -180,12 +183,13 @@ main(int argc, char **argv)
                 steps, mismatches,
                 mismatches == 0 ? "(bit-identical)" : "(BUG!)");
 
-    // 3. Merge round-trip throughput + wire cost.
+    // 3. Merge round-trip throughput + per-message-type wire cost.
     const InterfaceVector query = scripter.queryInterface(3);
-    std::uint64_t bytesBefore = 0;
-    for (Index k = 0; k < coordinator->channelCount(); ++k)
-        bytesBefore += coordinator->channel(k).bytesSent() +
-                       coordinator->channel(k).bytesReceived();
+    std::vector<WireTrafficStats> sentBase, recvBase;
+    for (Index k = 0; k < coordinator->channelCount(); ++k) {
+        sentBase.push_back(coordinator->channel(k).sentStats());
+        recvBase.push_back(coordinator->channel(k).receivedStats());
+    }
     const auto start = std::chrono::steady_clock::now();
     for (Index s = 0; s < steps; ++s)
         coordinator->stepInterface(query);
@@ -193,14 +197,30 @@ main(int argc, char **argv)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
-    std::uint64_t bytesAfter = 0;
-    for (Index k = 0; k < coordinator->channelCount(); ++k)
-        bytesAfter += coordinator->channel(k).bytesSent() +
-                      coordinator->channel(k).bytesReceived();
-    std::printf("\n%zu merge round trips in %.3f s = %.1f steps/s, %.1f "
-                "wire KiB/step\n",
-                steps, seconds, static_cast<double>(steps) / seconds,
-                static_cast<double>(bytesAfter - bytesBefore) /
-                    static_cast<double>(steps) / 1024.0);
+    std::printf("\n%zu merge round trips in %.3f s = %.1f steps/s\n",
+                steps, seconds, static_cast<double>(steps) / seconds);
+    std::printf("wire traffic per step, by message type:\n");
+    for (std::size_t t = 1; t < kMsgTypeCount; ++t) {
+        std::uint64_t frames = 0, bytesOut = 0, bytesIn = 0;
+        for (Index k = 0; k < coordinator->channelCount(); ++k) {
+            const Channel &chan = coordinator->channel(k);
+            frames += chan.sentStats().frames[t] - sentBase[k].frames[t] +
+                      chan.receivedStats().frames[t] -
+                      recvBase[k].frames[t];
+            bytesOut += chan.sentStats().bytes[t] - sentBase[k].bytes[t];
+            bytesIn +=
+                chan.receivedStats().bytes[t] - recvBase[k].bytes[t];
+        }
+        if (frames == 0)
+            continue;
+        std::printf("  %-13s %5.1f frames  %8.1f B out  %8.1f B in\n",
+                    msgTypeName(static_cast<MsgType>(t)),
+                    static_cast<double>(frames) /
+                        static_cast<double>(steps),
+                    static_cast<double>(bytesOut) /
+                        static_cast<double>(steps),
+                    static_cast<double>(bytesIn) /
+                        static_cast<double>(steps));
+    }
     return mismatches == 0 ? 0 : 1;
 }

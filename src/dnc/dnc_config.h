@@ -62,6 +62,17 @@ struct DncConfig
     Index batchSize = 1;
 
     /**
+     * Lanes per worker round trip of the pipelined sharded serving
+     * engine (src/shard/sharded_dnc.h PipelinedShardedLaneEngine): the
+     * active lanes are stepped in batches of this many per LaneStep
+     * frame, and batch b's controller compute overlaps batch b-1's
+     * in-flight tile round trips. 0 (default) sends all active lanes in
+     * one frame — maximal syscall amortization, no overlap. Results are
+     * bit-identical per lane at any value.
+     */
+    Index shardLanesPerBatch = 0;
+
+    /**
      * Pending-request queue bound of the dynamic-batching router
      * (src/serve/router.h): submissions beyond this many queued-but-
      * unadmitted requests are rejected (back-pressure). Must be >= 1.

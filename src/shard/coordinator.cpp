@@ -134,8 +134,7 @@ ShardCoordinator::exchange(MemoryReadout &out)
     const Index r = globalConfig_.readHeads;
     for (Index k = 0; k < channels_.size(); ++k) {
         if (!channels_[k]->recvFrame(frame_))
-            HIMA_FATAL("shard step %llu: worker %zu closed the channel",
-                       static_cast<unsigned long long>(seq_), k);
+            shardRecvFailure(*channels_[k], "step", seq_, k);
         MsgType type;
         if (!peekType(frame_.data(), frame_.size(), type))
             HIMA_FATAL("shard step %llu: worker %zu sent a malformed frame",

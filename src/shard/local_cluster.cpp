@@ -8,27 +8,31 @@
 namespace hima {
 
 namespace {
+
 std::atomic<int> g_endpointOrdinal{0};
-}
 
-LocalShardCluster
-makeLocalCluster(ClusterTransport transport, const DncConfig &config,
-                 Index tiles, Index workerCount, MergePolicy policy,
-                 bool wantWeightings)
+/**
+ * Spawn `workerCount` workers and return one connected channel per
+ * worker: loopback services in-process, socket transports get a serve
+ * thread per worker and a bounded recv timeout on the client side.
+ */
+std::vector<std::unique_ptr<Channel>>
+buildChannels(ClusterTransport transport, Index workerCount,
+              std::vector<std::shared_ptr<ShardWorker>> &workers,
+              std::vector<std::thread> &threads)
 {
-    LocalShardCluster cluster;
-    if (transport == ClusterTransport::Loopback) {
-        LoopbackShard loop = makeLoopbackShard(config, tiles, workerCount,
-                                               policy, wantWeightings);
-        cluster.coordinator = std::move(loop.coordinator);
-        cluster.workers = std::move(loop.workers);
-        return cluster;
-    }
-
     std::vector<std::unique_ptr<Channel>> channels;
     for (Index k = 0; k < workerCount; ++k) {
         auto worker = std::make_shared<ShardWorker>();
-        cluster.workers.push_back(worker);
+        workers.push_back(worker);
+        if (transport == ClusterTransport::Loopback) {
+            channels.push_back(std::make_unique<LoopbackChannel>(
+                [worker](const std::uint8_t *data, std::size_t size,
+                         FrameSink &reply) {
+                    worker->handleFrame(data, size, reply);
+                }));
+            continue;
+        }
         std::unique_ptr<SocketChannel> client;
         if (transport == ClusterTransport::UnixSocket) {
             const std::string path =
@@ -43,7 +47,7 @@ makeLocalCluster(ClusterTransport transport, const DncConfig &config,
                            path.c_str());
             auto shared =
                 std::shared_ptr<SocketListener>(std::move(listener));
-            cluster.threads.emplace_back([worker, shared] {
+            threads.emplace_back([worker, shared] {
                 auto chan = shared->accept();
                 if (chan)
                     worker->serve(*chan);
@@ -56,7 +60,7 @@ makeLocalCluster(ClusterTransport transport, const DncConfig &config,
             const std::uint16_t port = listener->port();
             auto shared =
                 std::shared_ptr<SocketListener>(std::move(listener));
-            cluster.threads.emplace_back([worker, shared] {
+            threads.emplace_back([worker, shared] {
                 auto chan = shared->accept();
                 if (chan)
                     worker->serve(*chan);
@@ -65,10 +69,41 @@ makeLocalCluster(ClusterTransport transport, const DncConfig &config,
         }
         if (!client) // fail fast: the accept thread would hang forever
             HIMA_FATAL("local cluster: connect failed");
+        // Bounded recv: a worker that dies mid-step fails the step with
+        // a diagnosis instead of blocking the coordinator forever.
+        client->setRecvTimeout(kShardRecvTimeoutMs);
         channels.push_back(std::move(client));
     }
+    return channels;
+}
+
+} // namespace
+
+LocalShardCluster
+makeLocalCluster(ClusterTransport transport, const DncConfig &config,
+                 Index tiles, Index workerCount, MergePolicy policy,
+                 bool wantWeightings)
+{
+    LocalShardCluster cluster;
+    std::vector<std::unique_ptr<Channel>> channels =
+        buildChannels(transport, workerCount, cluster.workers,
+                      cluster.threads);
     cluster.coordinator = std::make_unique<ShardCoordinator>(
         config, tiles, policy, std::move(channels), wantWeightings);
+    return cluster;
+}
+
+LocalLaneCluster
+makeLocalLaneCluster(ClusterTransport transport, const DncConfig &config,
+                     Index tiles, Index lanes, Index workerCount,
+                     MergePolicy policy, bool wantWeightings)
+{
+    LocalLaneCluster cluster;
+    std::vector<std::unique_ptr<Channel>> channels =
+        buildChannels(transport, workerCount, cluster.workers,
+                      cluster.threads);
+    cluster.group = std::make_shared<ShardLaneGroup>(
+        config, tiles, lanes, policy, std::move(channels), wantWeightings);
     return cluster;
 }
 

@@ -20,9 +20,18 @@
 #include <vector>
 
 #include "shard/coordinator.h"
+#include "shard/pipeline.h"
 #include "shard/worker.h"
 
 namespace hima {
+
+/**
+ * Default bounded recv timeout applied to coordinator-side socket
+ * channels: generous next to a worker's per-frame compute, small next
+ * to "hangs forever". Worker-side channels stay unbounded (idle gaps
+ * between requests are normal).
+ */
+constexpr int kShardRecvTimeoutMs = 30000;
 
 /** How a local cluster's frames travel. */
 enum class ClusterTransport
@@ -85,6 +94,69 @@ makeLocalCluster(ClusterTransport transport, const DncConfig &config,
                  Index tiles, Index workerCount,
                  MergePolicy policy = MergePolicy::Confidence,
                  bool wantWeightings = true);
+
+/**
+ * A pipelined lane group and the in-process workers that serve it
+ * (multi-lane sibling of LocalShardCluster). The group is shared so a
+ * PipelinedShardedLaneEngine can co-own it while this struct keeps the
+ * worker threads alive; destruction is ordered the same way — the
+ * group's Shutdown frames end every serve() loop before the join.
+ */
+struct LocalLaneCluster
+{
+    std::shared_ptr<ShardLaneGroup> group;
+    std::vector<std::shared_ptr<ShardWorker>> workers;
+    std::vector<std::thread> threads; ///< socket serve loops (may be empty)
+
+    LocalLaneCluster() = default;
+    LocalLaneCluster(LocalLaneCluster &&) = default;
+
+    LocalLaneCluster &
+    operator=(LocalLaneCluster &&other)
+    {
+        if (this != &other) {
+            shutdown();
+            group = std::move(other.group);
+            workers = std::move(other.workers);
+            threads = std::move(other.threads);
+        }
+        return *this;
+    }
+
+    ~LocalLaneCluster() { shutdown(); }
+
+  private:
+    void
+    shutdown()
+    {
+        // Shutdown frames go out only when the group's last reference
+        // drops, and the join below needs them to have gone out — so a
+        // co-owning engine must be destroyed before the cluster. Fail
+        // loudly instead of joining serve() loops that will never end.
+        if (group && group.use_count() > 1)
+            HIMA_FATAL("LocalLaneCluster destroyed while an engine still "
+                       "co-owns its lane group (%ld refs); destroy the "
+                       "engine first",
+                       static_cast<long>(group.use_count()));
+        group.reset();
+        for (std::thread &t : threads)
+            t.join();
+        threads.clear();
+        workers.clear();
+    }
+};
+
+/**
+ * Build a pipelined cluster: `workerCount` workers hosting
+ * `lanes` x `tiles` tile sets behind one ShardLaneGroup. Socket
+ * channels get a bounded recv timeout (kShardRecvTimeoutMs) so dead
+ * workers fail the step instead of hanging the coordinator.
+ */
+LocalLaneCluster
+makeLocalLaneCluster(ClusterTransport transport, const DncConfig &config,
+                     Index tiles, Index lanes, Index workerCount,
+                     MergePolicy policy = MergePolicy::Confidence,
+                     bool wantWeightings = false);
 
 } // namespace hima
 

@@ -1,0 +1,356 @@
+#include "shard/pipeline.h"
+
+#include <utility>
+
+namespace hima {
+
+namespace {
+
+std::uint32_t
+maskOf(const std::vector<Index> &heads)
+{
+    std::uint32_t mask = 0;
+    for (Index head : heads)
+        mask |= 1u << head;
+    return mask;
+}
+
+} // namespace
+
+ShardLaneGroup::ShardLaneGroup(
+    const DncConfig &config, Index tiles, Index lanes, MergePolicy policy,
+    std::vector<std::unique_ptr<Channel>> channels, bool wantWeightings)
+    : globalConfig_(config), shardConfig_(shardConfigFor(config, tiles)),
+      tiles_(tiles), policy_(policy), wantWeightings_(wantWeightings),
+      channels_(std::move(channels))
+{
+    HIMA_ASSERT(!channels_.empty() && channels_.size() <= tiles_,
+                "need 1..Nt worker channels (got %zu for %zu tiles)",
+                channels_.size(), tiles_);
+    HIMA_ASSERT(lanes >= 1, "need at least one lane");
+    HIMA_ASSERT(config.readHeads <= 32,
+                "scored-head mask supports up to 32 read heads");
+    gates_.resize(lanes);
+
+    // Deal tiles contiguously and as evenly as possible (the same
+    // layout as ShardCoordinator, repeated per lane on each worker).
+    const Index chans = channels_.size();
+    Index next = 0;
+    for (Index k = 0; k < chans; ++k) {
+        const Index count = tiles_ / chans + (k < tiles_ % chans ? 1 : 0);
+        firstTile_.push_back(next);
+        tileCount_.push_back(count);
+        next += count;
+    }
+
+    for (Index k = 0; k < chans; ++k) {
+        encodeHello(WireConfig::fromShard(shardConfig_, tileCount_[k],
+                                          lanes),
+                    writer_);
+        channels_[k]->sendFrame(writer_.buffer().data(),
+                                writer_.buffer().size());
+    }
+    for (Index k = 0; k < chans; ++k) {
+        HelloAckMsg ack;
+        if (!channels_[k]->recvFrame(frame_) ||
+            !decodeHelloAck(frame_.data(), frame_.size(), ack))
+            HIMA_FATAL("lane-group handshake: worker %zu sent no valid "
+                       "ack",
+                       k);
+        if (!ack.ok)
+            HIMA_FATAL("lane-group handshake: worker %zu rejected config: "
+                       "%s",
+                       k, ack.message.c_str());
+        if (ack.hostedTiles != tileCount_[k])
+            HIMA_FATAL("lane-group handshake: worker %zu hosts %llu "
+                       "tiles, expected %zu",
+                       k, static_cast<unsigned long long>(ack.hostedTiles),
+                       tileCount_[k]);
+    }
+
+    replies_.resize(chans);
+    localPtrs_.resize(tiles_);
+}
+
+ShardLaneGroup::~ShardLaneGroup()
+{
+    for (auto &channel : channels_) {
+        encodeShutdown(writer_);
+        channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    }
+}
+
+void
+ShardLaneGroup::scatter(const std::vector<Index> &lanes,
+                        const std::vector<const InterfaceVector *> &ifaces)
+{
+    HIMA_ASSERT(pendingCount_ < kMaxInFlight,
+                "scatter window full (%zu in flight)", pendingCount_);
+    HIMA_ASSERT(!lanes.empty() && lanes.size() == ifaces.size(),
+                "scatter needs one interface per lane");
+    // A lane in two outstanding batches would race on its tiles and
+    // its gate; both lane lists are ascending, so a two-pointer sweep
+    // catches the overlap cheaply.
+    for (Index b = 0; b < pendingCount_; ++b) {
+        const std::vector<Index> &prev =
+            pending_[(pendingHead_ + b) % kMaxInFlight].lanes;
+        Index i = 0, j = 0;
+        while (i < prev.size() && j < lanes.size()) {
+            HIMA_ASSERT(prev[i] != lanes[j],
+                        "lane %zu is already in an outstanding batch",
+                        lanes[j]);
+            if (prev[i] < lanes[j])
+                ++i;
+            else
+                ++j;
+        }
+    }
+
+    // Select the scored heads per lane *now* (alpha history is
+    // per-lane, so batches touching disjoint lanes commute), and build
+    // the shared frame: lane-addressed, so every worker receives the
+    // identical bytes — one encode per batch.
+    entryScratch_.resize(lanes.size());
+    for (Index j = 0; j < lanes.size(); ++j) {
+        const Index lane = lanes[j];
+        HIMA_ASSERT(lane < gates_.size(), "lane %zu out of range", lane);
+        HIMA_ASSERT(j == 0 || lanes[j] > lanes[j - 1],
+                    "scatter lanes must be strictly increasing");
+        entryScratch_[j].lane = static_cast<std::uint32_t>(lane);
+        entryScratch_[j].scoredMask = maskOf(gates_[lane].selectHeads(
+            *ifaces[j], policy_, globalConfig_.readHeads, tiles_));
+        entryScratch_[j].iface = ifaces[j];
+    }
+
+    const std::uint64_t seq = ++seq_;
+    encodeLaneStep(seq, wantWeightings_, entryScratch_.data(),
+                   entryScratch_.size(), writer_);
+    for (auto &channel : channels_)
+        channel->queueFrame(writer_.buffer().data(),
+                            writer_.buffer().size());
+    for (auto &channel : channels_)
+        channel->flush();
+
+    Pending &slot =
+        pending_[(pendingHead_ + pendingCount_) % kMaxInFlight];
+    slot.seq = seq;
+    slot.lanes.assign(lanes.begin(), lanes.end());
+    ++pendingCount_;
+}
+
+void
+ShardLaneGroup::gather(const std::vector<MemoryReadout *> &outs)
+{
+    HIMA_ASSERT(pendingCount_ > 0, "gather with no scatter in flight");
+    Pending &p = pending_[pendingHead_];
+    HIMA_ASSERT(outs.size() == p.lanes.size(),
+                "gather needs one readout per scattered lane");
+
+    const Index r = globalConfig_.readHeads;
+    for (Index k = 0; k < channels_.size(); ++k) {
+        if (!channels_[k]->recvFrame(frame_))
+            shardRecvFailure(*channels_[k], "batch", p.seq, k);
+        MsgType type;
+        if (!peekType(frame_.data(), frame_.size(), type))
+            HIMA_FATAL("shard batch %llu: worker %zu sent a malformed "
+                       "frame",
+                       static_cast<unsigned long long>(p.seq), k);
+        if (type == MsgType::Error) {
+            ErrorMsg err;
+            decodeError(frame_.data(), frame_.size(), err);
+            HIMA_FATAL("shard batch %llu: worker %zu error: %s",
+                       static_cast<unsigned long long>(p.seq), k,
+                       err.message.c_str());
+        }
+        LaneStepReplyMsg &reply = replies_[k];
+        if (!decodeLaneStepReply(frame_.data(), frame_.size(), shardConfig_,
+                                 tileCount_[k], p.lanes.size(), reply))
+            HIMA_FATAL("shard batch %llu: worker %zu sent a malformed "
+                       "reply",
+                       static_cast<unsigned long long>(p.seq), k);
+        if (reply.seq != p.seq)
+            HIMA_FATAL("shard batch %llu: worker %zu replied out of "
+                       "sequence (%llu)",
+                       static_cast<unsigned long long>(p.seq), k,
+                       static_cast<unsigned long long>(reply.seq));
+        if (reply.hasWeightings != wantWeightings_)
+            HIMA_FATAL("shard batch %llu: worker %zu weighting flag "
+                       "mismatch",
+                       static_cast<unsigned long long>(p.seq), k);
+        if (reply.lanes.size() != p.lanes.size())
+            HIMA_FATAL("shard batch %llu: worker %zu answered %zu lanes, "
+                       "expected %zu",
+                       static_cast<unsigned long long>(p.seq), k,
+                       reply.lanes.size(), p.lanes.size());
+        for (Index j = 0; j < p.lanes.size(); ++j)
+            if (reply.lanes[j] != p.lanes[j])
+                HIMA_FATAL("shard batch %llu: worker %zu echoed lane %u "
+                           "at slot %zu, expected %zu",
+                           static_cast<unsigned long long>(p.seq), k,
+                           reply.lanes[j], j, p.lanes[j]);
+    }
+
+    // Per-lane confidence merge — the same gate + mergeTileReadouts the
+    // in-process DncD runs, so a lane of a group cannot drift from it.
+    for (Index j = 0; j < p.lanes.size(); ++j) {
+        const Index lane = p.lanes[j];
+        ConfidenceGate &gate = gates_[lane];
+        for (Index k = 0; k < channels_.size(); ++k)
+            for (Index i = 0; i < tileCount_[k]; ++i)
+                localPtrs_[firstTile_[k] + i] =
+                    &replies_[k].tiles[j * tileCount_[k] + i];
+        const std::vector<Index> &scored = gate.scoredHeads();
+        if (!scored.empty()) {
+            scoreScratch_.assign(scored.size() * tiles_, 0.0);
+            for (Index k = 0; k < channels_.size(); ++k) {
+                for (Index i = 0; i < tileCount_[k]; ++i) {
+                    const Index tile = firstTile_[k] + i;
+                    const Real *logits =
+                        replies_[k].confidence.data() +
+                        (j * tileCount_[k] + i) * r;
+                    for (Index s = 0; s < scored.size(); ++s)
+                        scoreScratch_[s * tiles_ + tile] =
+                            logits[scored[s]];
+                }
+            }
+            gate.applyScores(scoreScratch_, tiles_);
+        }
+        mergeTileReadouts(localPtrs_, gate.alphas(), globalConfig_,
+                          shardConfig_.memoryRows, *outs[j]);
+    }
+
+    laneSteps_ += p.lanes.size();
+    pendingHead_ = (pendingHead_ + 1) % kMaxInFlight;
+    --pendingCount_;
+}
+
+void
+ShardLaneGroup::stepLaneInto(Index lane, const InterfaceVector &iface,
+                             MemoryReadout &out)
+{
+    HIMA_ASSERT(pendingCount_ == 0,
+                "stepLaneInto while %zu batches are in flight",
+                pendingCount_);
+    laneScratch_.assign(1, lane);
+    ifaceScratch_.assign(1, &iface);
+    outScratch_.assign(1, &out);
+    scatter(laneScratch_, ifaceScratch_);
+    gather(outScratch_);
+}
+
+void
+ShardLaneGroup::sendControl(ControlKind kind, std::uint32_t lane)
+{
+    HIMA_ASSERT(pendingCount_ == 0,
+                "shard control while %zu batches are in flight",
+                pendingCount_);
+    ControlMsg msg;
+    msg.kind = kind;
+    msg.seq = ++controlSeq_;
+    msg.lane = lane;
+    for (auto &channel : channels_) {
+        encodeControl(msg, writer_);
+        channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    }
+    for (Index k = 0; k < channels_.size(); ++k) {
+        std::uint64_t seq = 0;
+        if (!channels_[k]->recvFrame(frame_) ||
+            !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+            seq != msg.seq)
+            HIMA_FATAL("shard control: worker %zu did not acknowledge", k);
+    }
+    if (lane == kAllLanes) {
+        for (ConfidenceGate &gate : gates_)
+            gate.reset();
+    } else {
+        gates_[lane].reset();
+    }
+}
+
+void
+ShardLaneGroup::admitLane(Index lane)
+{
+    HIMA_ASSERT(lane < gates_.size(), "lane %zu out of range", lane);
+    sendControl(ControlKind::Admit, static_cast<std::uint32_t>(lane));
+}
+
+void
+ShardLaneGroup::resetLane(Index lane)
+{
+    HIMA_ASSERT(lane < gates_.size(), "lane %zu out of range", lane);
+    sendControl(ControlKind::EpisodeReset,
+                static_cast<std::uint32_t>(lane));
+}
+
+void
+ShardLaneGroup::resetAll()
+{
+    sendControl(ControlKind::EpisodeReset, kAllLanes);
+}
+
+// --------------------------------------------------------------------
+// LaneMemoryView: one lane behind the TileMemory surface.
+// --------------------------------------------------------------------
+
+namespace {
+
+class LaneMemoryView final : public TileMemory
+{
+  public:
+    LaneMemoryView(ShardLaneGroup &group, Index lane)
+        : group_(group), lane_(lane)
+    {}
+
+    MemoryReadout
+    stepInterface(const InterfaceVector &iface) override
+    {
+        MemoryReadout out;
+        group_.stepLaneInto(lane_, iface, out);
+        return out;
+    }
+
+    MemoryReadout
+    stepInterfaces(const std::vector<InterfaceVector> &) override
+    {
+        HIMA_FATAL("lane views carry broadcast steps only; per-tile "
+                   "write sharding runs on ShardCoordinator");
+    }
+
+    void
+    stepInterfaceInto(const InterfaceVector &iface,
+                      MemoryReadout &out) override
+    {
+        group_.stepLaneInto(lane_, iface, out);
+    }
+
+    void reset() override { group_.resetLane(lane_); }
+    void beginEpisode() override { group_.admitLane(lane_); }
+    Index tiles() const override { return group_.tiles(); }
+    const DncConfig &globalConfig() const override
+    {
+        return group_.globalConfig();
+    }
+    const DncConfig &shardConfig() const override
+    {
+        return group_.shardConfig();
+    }
+    const std::vector<std::vector<Real>> &lastAlphas() const override
+    {
+        return group_.laneAlphas(lane_);
+    }
+
+  private:
+    ShardLaneGroup &group_;
+    Index lane_;
+};
+
+} // namespace
+
+std::unique_ptr<TileMemory>
+ShardLaneGroup::laneMemory(Index lane)
+{
+    HIMA_ASSERT(lane < gates_.size(), "lane %zu out of range", lane);
+    return std::make_unique<LaneMemoryView>(*this, lane);
+}
+
+} // namespace hima

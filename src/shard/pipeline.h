@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Pipelined multi-lane shard serving: the coordinator side of the
+ * lane-batched wire protocol (wire.h, version 2).
+ *
+ * The synchronous ShardCoordinator owns one lane and pays one full
+ * round trip per step; at high tile counts the socket latency of that
+ * round trip is the throughput ceiling (see the in_process-vs-tcp gap
+ * in BENCH_shard.json). ShardLaneGroup buys the gap back with the two
+ * overlap tricks throughput-oriented serving systems use:
+ *
+ *   - lane batching: one LaneStep frame per worker carries k lanes'
+ *     broadcast interfaces, so syscalls, wakeups and framing amortize
+ *     k-fold — and because the frame is lane-addressed (not
+ *     tile-addressed), the *same* encoded bytes go to every worker:
+ *     one encode per batch, not per channel;
+ *
+ *   - a double-buffered step window: up to kMaxInFlight batches may be
+ *     outstanding per channel (scatter B before gathering A), so the
+ *     caller can run lane set B's controller compute while lane set
+ *     A's tile round trip is still in flight.
+ *
+ * Lanes are independent tile sets on the workers, so any interleaving
+ * of batches is bit-identical per lane to the synchronous schedule —
+ * each lane still sees the strict controller -> tiles -> merge order.
+ * Per-lane state here is exactly the sync coordinator's (a
+ * ConfidenceGate per lane; the same mergeTileReadouts), so a lane of a
+ * group must match the in-process DncD bit for bit, proven in
+ * tests/test_shard.cpp across transports x tiles x threads x datapath.
+ *
+ * laneMemory() exposes one lane behind the TileMemory surface, so a
+ * plain ShardedDnc (or the golden harness) can drive a single lane of
+ * a shared fleet synchronously; PipelinedShardedLaneEngine
+ * (sharded_dnc.h) drives all lanes with the overlapped schedule behind
+ * the LaneEngine surface the Router consumes.
+ */
+
+#ifndef HIMA_SHARD_PIPELINE_H
+#define HIMA_SHARD_PIPELINE_H
+
+#include <memory>
+#include <vector>
+
+#include "dnc/dncd.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace hima {
+
+/** Multi-lane scatter/gather coordinator with an in-flight window. */
+class ShardLaneGroup
+{
+  public:
+    /** Deepest scatter window (double buffer: compute overlaps wire). */
+    static constexpr Index kMaxInFlight = 2;
+
+    /**
+     * Connect and handshake: every worker hosts `lanes` independent
+     * tile sets of its contiguous tile range (the same even deal as
+     * ShardCoordinator), validated before any step traffic.
+     *
+     * @param config   global DNC shapes (memoryRows = global N)
+     * @param tiles    tile count Nt per lane; must divide memoryRows
+     * @param lanes    serving lanes hosted by the fleet
+     * @param policy   read-vector merge policy
+     * @param channels one connected channel per worker (1..tiles)
+     * @param wantWeightings ship per-tile weightings back (golden
+     *        harness); serving paths leave it off
+     */
+    ShardLaneGroup(const DncConfig &config, Index tiles, Index lanes,
+                   MergePolicy policy,
+                   std::vector<std::unique_ptr<Channel>> channels,
+                   bool wantWeightings = false);
+
+    /** Sends Shutdown to every worker. */
+    ~ShardLaneGroup();
+
+    ShardLaneGroup(const ShardLaneGroup &) = delete;
+    ShardLaneGroup &operator=(const ShardLaneGroup &) = delete;
+
+    // --- pipelined batch surface ---------------------------------------
+
+    /**
+     * Begin one batch step: lane ids (strictly increasing) with one
+     * broadcast interface each. Encodes a single LaneStep frame, queues
+     * it on every channel and flushes — then returns immediately; the
+     * batch is outstanding until the matching gather(). At most
+     * kMaxInFlight batches may be outstanding, and a lane must not
+     * appear in two outstanding batches (its tiles would race).
+     */
+    void scatter(const std::vector<Index> &lanes,
+                 const std::vector<const InterfaceVector *> &ifaces);
+
+    /**
+     * Gather the *oldest* outstanding batch: receives one reply frame
+     * per channel, verifies the sequence/lane correlation, applies each
+     * lane's confidence merge and writes lane j's merged readout into
+     * *outs[j] (indexed like the scatter's lane list). Any protocol
+     * violation, worker error, channel close or recv-timeout expiry is
+     * fatal — a serving stack must never continue on a diverged shard.
+     */
+    void gather(const std::vector<MemoryReadout *> &outs);
+
+    /** Outstanding scatters (0..kMaxInFlight). */
+    Index inFlight() const { return pendingCount_; }
+
+    // --- synchronous per-lane surface ----------------------------------
+
+    /** One lane's step as a single scatter+gather round trip. */
+    void stepLaneInto(Index lane, const InterfaceVector &iface,
+                      MemoryReadout &out);
+
+    /**
+     * One lane behind the TileMemory surface (broadcast steps only; the
+     * per-tile write-sharding path stays on ShardCoordinator). The view
+     * borrows this group — it must not outlive it — and must not be
+     * stepped while batches are in flight.
+     */
+    std::unique_ptr<TileMemory> laneMemory(Index lane);
+
+    /** Admit control for one lane: resets its tiles and gate. */
+    void admitLane(Index lane);
+
+    /** Episode-reset one lane (no admit accounting). */
+    void resetLane(Index lane);
+
+    /** Episode-reset every lane. */
+    void resetAll();
+
+    // --- inspection -----------------------------------------------------
+
+    const std::vector<std::vector<Real>> &
+    laneAlphas(Index lane) const
+    {
+        return gates_[lane].alphas();
+    }
+
+    Index tiles() const { return tiles_; }
+    Index lanes() const { return gates_.size(); }
+    const DncConfig &globalConfig() const { return globalConfig_; }
+    const DncConfig &shardConfig() const { return shardConfig_; }
+    Index channelCount() const { return channels_.size(); }
+    const Channel &channel(Index k) const { return *channels_[k]; }
+
+    /** Lane-steps completed (gathered) since construction. */
+    std::uint64_t laneSteps() const { return laneSteps_; }
+
+  private:
+    void sendControl(ControlKind kind, std::uint32_t lane);
+
+    DncConfig globalConfig_;
+    DncConfig shardConfig_;
+    Index tiles_;
+    MergePolicy policy_;
+    bool wantWeightings_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<Index> firstTile_; ///< per channel
+    std::vector<Index> tileCount_; ///< per channel
+
+    std::vector<ConfidenceGate> gates_; ///< one per lane
+    std::uint64_t seq_ = 0;
+    std::uint64_t controlSeq_ = 0;
+    std::uint64_t laneSteps_ = 0;
+
+    /** One outstanding scatter (reused; steady state allocates nothing). */
+    struct Pending
+    {
+        std::uint64_t seq = 0;
+        std::vector<Index> lanes;
+    };
+    Pending pending_[kMaxInFlight];
+    Index pendingHead_ = 0;
+    Index pendingCount_ = 0;
+
+    // Reused per-step scratch.
+    WireWriter writer_;
+    std::vector<std::uint8_t> frame_;
+    std::vector<LaneStepEntry> entryScratch_;
+    std::vector<LaneStepReplyMsg> replies_;        ///< per channel
+    std::vector<const MemoryReadout *> localPtrs_; ///< per global tile
+    std::vector<Real> scoreScratch_; ///< scoredHeads x tiles, row-major
+    std::vector<Index> laneScratch_; ///< stepLaneInto's one-lane batch
+    std::vector<const InterfaceVector *> ifaceScratch_;
+    std::vector<MemoryReadout *> outScratch_;
+};
+
+} // namespace hima
+
+#endif // HIMA_SHARD_PIPELINE_H

@@ -139,4 +139,158 @@ ShardedLaneEngine::reset()
     draining_ = 0;
 }
 
+// --------------------------------------------------------------------
+// PipelinedShardedLaneEngine
+// --------------------------------------------------------------------
+
+PipelinedShardedLaneEngine::PipelinedShardedLaneEngine(
+    const DncConfig &config, std::uint64_t seed,
+    std::shared_ptr<ShardLaneGroup> group, Index lanesPerBatch)
+    : config_(config), group_(std::move(group)),
+      lanesPerBatch_(lanesPerBatch != 0 ? lanesPerBatch
+                                        : config.shardLanesPerBatch)
+{
+    HIMA_ASSERT(group_ != nullptr, "null shard lane group");
+    HIMA_ASSERT(group_->lanes() == config_.batchSize,
+                "group hosts %zu lanes but batchSize is %zu",
+                group_->lanes(), config_.batchSize);
+    const DncConfig &mem = group_->globalConfig();
+    HIMA_ASSERT(mem.memoryRows == config_.memoryRows &&
+                    mem.memoryWidth == config_.memoryWidth &&
+                    mem.readHeads == config_.readHeads &&
+                    mem.fixedPoint == config_.fixedPoint,
+                "shard fleet shapes diverge from config");
+
+    // One controller per lane, each drawn exactly like
+    // ShardedDnc(config, seed)'s so dedicated reference runs share the
+    // weights bit for bit.
+    for (Index lane = 0; lane < config_.batchSize; ++lane) {
+        Rng rng(seed);
+        controllers_.push_back(std::make_unique<Controller>(config_, rng));
+        lastReads_.emplace_back(config_.readHeads,
+                                Vector(config_.memoryWidth));
+    }
+    readouts_.resize(config_.batchSize);
+    states_.assign(config_.batchSize, LaneState::Active);
+    active_ = config_.batchSize;
+    freeSlots_.reserve(config_.batchSize);
+}
+
+void
+PipelinedShardedLaneEngine::finishBatch(Index first, Index count,
+                                        std::vector<Vector> &outputs)
+{
+    batchOuts_.clear();
+    for (Index j = 0; j < count; ++j)
+        batchOuts_.push_back(&readouts_[activeScratch_[first + j]]);
+    group_->gather(batchOuts_);
+    for (Index j = 0; j < count; ++j) {
+        const Index slot = activeScratch_[first + j];
+        for (Index head = 0; head < config_.readHeads; ++head)
+            std::copy(readouts_[slot].readVectors[head].begin(),
+                      readouts_[slot].readVectors[head].end(),
+                      lastReads_[slot][head].begin());
+        controllers_[slot]->outputInto(lastReads_[slot], outputs[slot]);
+    }
+}
+
+void
+PipelinedShardedLaneEngine::stepInto(const std::vector<Vector> &inputs,
+                                     std::vector<Vector> &outputs)
+{
+    HIMA_ASSERT(inputs.size() == states_.size(),
+                "stepInto: need one input slot per lane");
+    outputs.resize(states_.size());
+    activeScratch_.clear();
+    for (Index slot = 0; slot < states_.size(); ++slot)
+        if (states_[slot] == LaneState::Active)
+            activeScratch_.push_back(slot);
+    const Index total = activeScratch_.size();
+    if (total == 0)
+        return;
+    const Index k =
+        lanesPerBatch_ == 0 ? total : std::min(lanesPerBatch_, total);
+
+    // The software pipeline: scatter batch b, then — while its round
+    // trip is in flight — gather batch b-1 and emit its outputs. Each
+    // lane's own controller -> tiles -> merge -> output order is
+    // untouched, so per-lane results cannot depend on the overlap.
+    Index prevFirst = 0;
+    Index prevCount = 0;
+    for (Index first = 0; first < total; first += k) {
+        const Index count = std::min(k, total - first);
+        batchLanes_.clear();
+        batchIfaces_.clear();
+        for (Index j = 0; j < count; ++j) {
+            const Index slot = activeScratch_[first + j];
+            // stepInto returns a reference into controller-owned
+            // storage; distinct slots use distinct controllers, so all
+            // of a batch's interfaces stay live until the scatter.
+            const InterfaceVector &iface = controllers_[slot]->stepInto(
+                inputs[slot], lastReads_[slot]);
+            batchLanes_.push_back(slot);
+            batchIfaces_.push_back(&iface);
+        }
+        group_->scatter(batchLanes_, batchIfaces_);
+        if (prevCount > 0)
+            finishBatch(prevFirst, prevCount, outputs);
+        prevFirst = first;
+        prevCount = count;
+    }
+    finishBatch(prevFirst, prevCount, outputs);
+}
+
+Index
+PipelinedShardedLaneEngine::admit()
+{
+    HIMA_ASSERT(!freeSlots_.empty(), "admit: no free lanes");
+    const Index slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    controllers_[slot]->reset();
+    for (auto &rv : lastReads_[slot])
+        rv.fill(0.0);
+    group_->admitLane(slot);
+    states_[slot] = LaneState::Active;
+    ++active_;
+    return slot;
+}
+
+void
+PipelinedShardedLaneEngine::markDraining(Index slot)
+{
+    HIMA_ASSERT(states_[slot] == LaneState::Active,
+                "markDraining: slot %zu is not Active", slot);
+    states_[slot] = LaneState::Draining;
+    --active_;
+    ++draining_;
+}
+
+void
+PipelinedShardedLaneEngine::release(Index slot)
+{
+    HIMA_ASSERT(states_[slot] != LaneState::Free,
+                "release: slot %zu is already Free", slot);
+    if (states_[slot] == LaneState::Active)
+        --active_;
+    else
+        --draining_;
+    states_[slot] = LaneState::Free;
+    freeSlots_.push_back(slot);
+}
+
+void
+PipelinedShardedLaneEngine::reset()
+{
+    group_->resetAll();
+    for (Index slot = 0; slot < states_.size(); ++slot) {
+        controllers_[slot]->reset();
+        for (auto &rv : lastReads_[slot])
+            rv.fill(0.0);
+    }
+    states_.assign(states_.size(), LaneState::Active);
+    freeSlots_.clear();
+    active_ = states_.size();
+    draining_ = 0;
+}
+
 } // namespace hima

@@ -14,6 +14,17 @@
  * owns its backend (its own tile set on the workers); admit() maps to
  * the wire's Admit control, which episode-resets the lane's remote
  * tiles in place.
+ *
+ * PipelinedShardedLaneEngine is the overlapped variant: every lane
+ * lives on one shared ShardLaneGroup fleet (shard/pipeline.h), steps
+ * travel as lane-batched frames (DncConfig::shardLanesPerBatch lanes
+ * per worker round trip), and the engine runs a double-buffered step
+ * window — batch B's controllers compute while batch A's tile round
+ * trip is in flight. Lanes are independent, so each lane's
+ * controller -> tiles -> merge -> output chain is untouched and the
+ * engine stays bit-identical per lane to dedicated ShardedDnc runs
+ * (proven in tests/test_shard.cpp). The Router drives it through the
+ * same LaneEngine surface, unchanged.
  */
 
 #ifndef HIMA_SHARD_SHARDED_DNC_H
@@ -25,6 +36,7 @@
 
 #include "dnc/dncd.h"
 #include "serve/engine.h"
+#include "shard/pipeline.h"
 
 namespace hima {
 
@@ -125,6 +137,80 @@ class ShardedLaneEngine final : public LaneEngine
     std::vector<Index> freeSlots_;
     Index active_ = 0;
     Index draining_ = 0;
+};
+
+/**
+ * The software-pipelined sharded serving engine: config.batchSize lanes
+ * on one shared ShardLaneGroup fleet. stepInto() partitions the active
+ * lanes into batches of `lanesPerBatch` and overlaps batch b's
+ * controller compute with batch b-1's in-flight tile round trips
+ * (ShardLaneGroup's double-buffered window); admit() maps to the
+ * wire's per-lane Admit control, so recycling one lane never disturbs
+ * its fleet neighbours. Zero steady-state allocations, like every
+ * serving loop here.
+ */
+class PipelinedShardedLaneEngine final : public LaneEngine
+{
+  public:
+    /**
+     * @param config shapes + serving knobs; batchSize = lane count and
+     *               must equal group->lanes()
+     * @param seed   controller weight seed (same draw as
+     *               ShardedDnc(config, seed), shared by every lane)
+     * @param group  the shared fleet; the engine co-owns it so worker
+     *               harness structs can hold the other reference
+     * @param lanesPerBatch lanes per worker round trip; 0 defers to
+     *               config.shardLanesPerBatch (whose own 0 means "all
+     *               active lanes in one frame" — maximal syscall
+     *               amortization, no compute/wire overlap)
+     */
+    PipelinedShardedLaneEngine(const DncConfig &config, std::uint64_t seed,
+                               std::shared_ptr<ShardLaneGroup> group,
+                               Index lanesPerBatch = 0);
+
+    void stepInto(const std::vector<Vector> &inputs,
+                  std::vector<Vector> &outputs) override;
+    Index admit() override;
+    void markDraining(Index slot) override;
+    void release(Index slot) override;
+    LaneState laneState(Index slot) const override
+    {
+        return states_[slot];
+    }
+    Index activeLanes() const override { return active_; }
+    Index drainingLanes() const override { return draining_; }
+    Index freeLanes() const override
+    {
+        return states_.size() - active_ - draining_;
+    }
+    Index capacity() const override { return states_.size(); }
+    void reset() override;
+    const DncConfig &config() const override { return config_; }
+
+    ShardLaneGroup &group() { return *group_; }
+    Index lanesPerBatch() const { return lanesPerBatch_; }
+
+  private:
+    /** Gather one scattered batch and finish its lanes' outputs. */
+    void finishBatch(Index first, Index count,
+                     std::vector<Vector> &outputs);
+
+    DncConfig config_;
+    std::shared_ptr<ShardLaneGroup> group_;
+    Index lanesPerBatch_; ///< 0 = all active lanes in one frame
+    std::vector<std::unique_ptr<Controller>> controllers_; ///< per slot
+    std::vector<std::vector<Vector>> lastReads_;           ///< per slot
+    std::vector<MemoryReadout> readouts_;                  ///< per slot
+    std::vector<LaneState> states_;
+    std::vector<Index> freeSlots_;
+    Index active_ = 0;
+    Index draining_ = 0;
+
+    // Reused step scratch.
+    std::vector<Index> activeScratch_; ///< active slots, ascending
+    std::vector<Index> batchLanes_;
+    std::vector<const InterfaceVector *> batchIfaces_;
+    std::vector<MemoryReadout *> batchOuts_;
 };
 
 } // namespace hima

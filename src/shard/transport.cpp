@@ -9,6 +9,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -37,6 +38,7 @@ LoopbackChannel::Inbox::sendFrame(const std::uint8_t *data, std::size_t size)
 void
 LoopbackChannel::push(const std::uint8_t *data, std::size_t size)
 {
+    receivedStats_.note(data, size);
     if (count_ == ring_.size()) {
         // Depth record: grow the ring (the only allocating path).
         ring_.emplace_back();
@@ -57,6 +59,7 @@ void
 LoopbackChannel::sendFrame(const std::uint8_t *data, std::size_t size)
 {
     bytesSent_ += size;
+    sentStats_.note(data, size);
     service_(data, size, inbox_);
 }
 
@@ -96,8 +99,9 @@ writeFully(int fd, const std::uint8_t *data, std::size_t size)
     return true;
 }
 
+/** Like readFully, but reports an SO_RCVTIMEO expiry via `timedOut`. */
 bool
-readFully(int fd, std::uint8_t *data, std::size_t size)
+readFully(int fd, std::uint8_t *data, std::size_t size, bool &timedOut)
 {
     std::size_t done = 0;
     while (done < size) {
@@ -105,11 +109,22 @@ readFully(int fd, std::uint8_t *data, std::size_t size)
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
-            return false; // EOF or hard error
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                timedOut = true; // bounded-recv expiry, not peer death
+            return false; // timeout, EOF or hard error
         }
         done += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+void
+setNoDelay(int fd)
+{
+    // The protocol is strict request/response with small frames; Nagle
+    // only adds latency to the gather. Harmlessly fails on AF_UNIX.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 } // namespace
@@ -126,42 +141,86 @@ SocketChannel::~SocketChannel()
 }
 
 void
-SocketChannel::sendFrame(const std::uint8_t *data, std::size_t size)
+SocketChannel::queueFrame(const std::uint8_t *data, std::size_t size)
 {
     HIMA_ASSERT(size <= kWireMaxFrameBytes, "frame too large: %zu", size);
-    if (broken_)
-        return;
+    sentStats_.note(data, size);
     std::uint8_t len[4];
     for (int b = 0; b < 4; ++b)
         len[b] = static_cast<std::uint8_t>(size >> (8 * b));
-    if (!writeFully(fd_, len, 4) || !writeFully(fd_, data, size)) {
-        // Dead peer: drop the frame and let the next recvFrame() report
+    sendBuf_.insert(sendBuf_.end(), len, len + 4);
+    sendBuf_.insert(sendBuf_.end(), data, data + size);
+}
+
+void
+SocketChannel::flush()
+{
+    if (sendBuf_.empty())
+        return;
+    if (!broken_ &&
+        !writeFully(fd_, sendBuf_.data(), sendBuf_.size())) {
+        // Dead peer: drop the batch and let the next recvFrame() report
         // the failure in context (the coordinator turns it into a fatal
         // protocol error; a best-effort Shutdown in a destructor is
         // allowed to fail silently).
         broken_ = true;
-        return;
     }
-    bytesSent_ += size + 4;
+    if (!broken_)
+        bytesSent_ += sendBuf_.size();
+    sendBuf_.clear(); // keeps capacity: steady-state sends allocate nothing
+}
+
+void
+SocketChannel::sendFrame(const std::uint8_t *data, std::size_t size)
+{
+    // One buffered [len][payload] write per frame — a single syscall
+    // instead of two even in the unbatched path.
+    queueFrame(data, size);
+    flush();
+}
+
+void
+SocketChannel::setRecvTimeout(int ms)
+{
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Bound sends with the same budget: with frames in flight on both
+    // directions, mutually full kernel buffers would otherwise turn
+    // into an unbounded write-write deadlock. writeFully treats the
+    // expiry (EAGAIN) as a failure, which flush() makes sticky.
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 bool
 SocketChannel::recvFrame(std::vector<std::uint8_t> &frame)
 {
+    timedOut_ = false;
     if (broken_)
         return false;
+    // Every failure is sticky: a partial read leaves the stream
+    // position unknown, so a later retry would misparse payload bytes
+    // as a length prefix. The protocol has no mid-stream resync.
     std::uint8_t len[4];
-    if (!readFully(fd_, len, 4))
+    if (!readFully(fd_, len, 4, timedOut_)) {
+        broken_ = true;
         return false;
+    }
     std::uint32_t size = 0;
     for (int b = 0; b < 4; ++b)
         size |= static_cast<std::uint32_t>(len[b]) << (8 * b);
-    if (size > kWireMaxFrameBytes)
-        return false; // garbage length: refuse to allocate
-    frame.resize(size);
-    if (size > 0 && !readFully(fd_, frame.data(), size))
+    if (size > kWireMaxFrameBytes) {
+        broken_ = true; // garbage length: refuse to allocate
         return false;
+    }
+    frame.resize(size);
+    if (size > 0 && !readFully(fd_, frame.data(), size, timedOut_)) {
+        broken_ = true;
+        return false;
+    }
     bytesReceived_ += size + 4u;
+    receivedStats_.note(frame.data(), frame.size());
     return true;
 }
 
@@ -204,11 +263,21 @@ SocketChannel::connectTcp(const std::string &host, std::uint16_t port)
         ::close(fd);
         return nullptr;
     }
-    // The protocol is strict request/response with small frames; Nagle
-    // only adds latency to the gather.
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    setNoDelay(fd);
     return std::make_unique<SocketChannel>(fd);
+}
+
+void
+shardRecvFailure(const Channel &channel, const char *what,
+                 std::uint64_t seq, Index worker)
+{
+    const auto *socket = dynamic_cast<const SocketChannel *>(&channel);
+    if (socket != nullptr && socket->timedOut())
+        HIMA_FATAL("shard %s %llu: worker %zu exceeded the recv timeout "
+                   "(dead or wedged worker)",
+                   what, static_cast<unsigned long long>(seq), worker);
+    HIMA_FATAL("shard %s %llu: worker %zu closed the channel", what,
+               static_cast<unsigned long long>(seq), worker);
 }
 
 // --------------------------------------------------------------------
@@ -278,8 +347,8 @@ SocketListener::accept()
     while (true) {
         const int fd = ::accept(fd_, nullptr, nullptr);
         if (fd >= 0) {
-            const int one = 1;
-            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            if (path_.empty()) // TCP listener: disable Nagle both ends
+                setNoDelay(fd);
             return std::make_unique<SocketChannel>(fd);
         }
         if (errno != EINTR)

@@ -13,25 +13,71 @@
  *     serializes every byte through the same codec the sockets use, so
  *     "bit-identical over loopback" implies "bit-identical over TCP".
  *
- *   - SocketChannel: a connected stream socket (Unix-domain or TCP),
- *     with [u32 length]-framed payloads, full-write/full-read loops and
- *     EINTR handling. SocketListener binds/accepts (TCP port 0 picks an
- *     ephemeral port, so tests never collide).
+ *   - SocketChannel: a connected stream socket (Unix-domain or TCP,
+ *     TCP_NODELAY on both ends), with [u32 length]-framed payloads,
+ *     full-write/full-read loops and EINTR handling. SocketListener
+ *     binds/accepts (TCP port 0 picks an ephemeral port, so tests never
+ *     collide). setRecvTimeout() bounds every recvFrame() so a dead or
+ *     wedged peer surfaces as a step error instead of hanging the
+ *     coordinator forever.
  *
- * Channels count bytes in both directions; bench_shard reports wire
- * bytes per step from these counters.
+ * Channels support multiple outstanding frames: sendFrame()/queueFrame()
+ * never wait for a reply, so a pipelined coordinator can keep a window
+ * of step frames in flight per channel. queueFrame() + flush() is the
+ * batched form — SocketChannel coalesces queued frames into a single
+ * send() (writev-style: one syscall flushes the whole window),
+ * LoopbackChannel services frames immediately in queue order, keeping
+ * in-process runs deterministic.
+ *
+ * Channels count frames and bytes per message type in both directions
+ * (WireTrafficStats); bench_shard and shard_demo report wire cost per
+ * step from these counters.
  */
 
 #ifndef HIMA_SHARD_TRANSPORT_H
 #define HIMA_SHARD_TRANSPORT_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "shard/wire.h"
+
 namespace hima {
+
+/**
+ * Per-message-type frame/byte counters for one direction of a channel.
+ * Indexed by the raw MsgType value; slot 0 aggregates frames whose
+ * header did not parse (never expected in a healthy deployment).
+ * Byte counts are payload bytes (framing overhead excluded).
+ */
+struct WireTrafficStats
+{
+    std::array<std::uint64_t, kMsgTypeCount> frames{};
+    std::array<std::uint64_t, kMsgTypeCount> bytes{};
+
+    void
+    note(const std::uint8_t *data, std::size_t size)
+    {
+        MsgType type;
+        const std::size_t slot =
+            peekType(data, size, type) ? static_cast<std::size_t>(type) : 0;
+        ++frames[slot];
+        bytes[slot] += size;
+    }
+
+    std::uint64_t
+    totalFrames() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t f : frames)
+            sum += f;
+        return sum;
+    }
+};
 
 /** Anything that accepts outbound frames (channels, loopback inboxes). */
 class FrameSink
@@ -51,17 +97,40 @@ class Channel : public FrameSink
      * Receive the next frame into `frame` (resized in place; capacity is
      * reused, so a steady-state receive allocates nothing).
      *
-     * @return false on orderly close / nothing pending (loopback) or on
-     *         a malformed length prefix
+     * @return false on orderly close / nothing pending (loopback) /
+     *         recv-timeout expiry, or on a malformed length prefix
      */
     virtual bool recvFrame(std::vector<std::uint8_t> &frame) = 0;
+
+    /**
+     * Queue one frame for a later flush(). The default transmits
+     * immediately (loopback service order stays deterministic);
+     * SocketChannel buffers so a flush() moves the whole batch in one
+     * syscall.
+     */
+    virtual void
+    queueFrame(const std::uint8_t *data, std::size_t size)
+    {
+        sendFrame(data, size);
+    }
+
+    /** Transmit every queued frame (no-op when nothing is buffered). */
+    virtual void flush() {}
 
     std::uint64_t bytesSent() const { return bytesSent_; }
     std::uint64_t bytesReceived() const { return bytesReceived_; }
 
+    /** Per-message-type counters for frames handed to sendFrame/queue. */
+    const WireTrafficStats &sentStats() const { return sentStats_; }
+
+    /** Per-message-type counters for frames recvFrame() delivered. */
+    const WireTrafficStats &receivedStats() const { return receivedStats_; }
+
   protected:
     std::uint64_t bytesSent_ = 0;
     std::uint64_t bytesReceived_ = 0;
+    WireTrafficStats sentStats_;
+    WireTrafficStats receivedStats_;
 };
 
 /**
@@ -120,6 +189,30 @@ class SocketChannel final : public Channel
     void sendFrame(const std::uint8_t *data, std::size_t size) override;
     bool recvFrame(std::vector<std::uint8_t> &frame) override;
 
+    /** Buffer a frame; flush() sends the whole batch with one send(). */
+    void queueFrame(const std::uint8_t *data, std::size_t size) override;
+    void flush() override;
+
+    /**
+     * Bound every subsequent recvFrame() to `ms` milliseconds
+     * (SO_RCVTIMEO); 0 restores blocking forever. On expiry recvFrame()
+     * returns false and timedOut() reports true, so the caller can fail
+     * the step with a worker-death diagnosis instead of hanging. Any
+     * recv failure (timeout, close, garbage length) is sticky: the
+     * stream position is unknown afterwards, so the channel reports
+     * broken from then on rather than misparsing payload as framing.
+     *
+     * Also bounds blocking sends (SO_SNDTIMEO): with multiple frames in
+     * flight both peers can be mid-write at once, and if the kernel
+     * buffers ever filled up on both sides a write-write deadlock would
+     * otherwise hang forever. A send that cannot complete within the
+     * bound marks the channel broken and surfaces on the next receive.
+     */
+    void setRecvTimeout(int ms);
+
+    /** True when the last recvFrame() failure was a timeout expiry. */
+    bool timedOut() const { return timedOut_; }
+
     /** Connect to a Unix-domain socket path; null on failure. */
     static std::unique_ptr<SocketChannel>
     connectUnix(const std::string &path);
@@ -130,8 +223,19 @@ class SocketChannel final : public Channel
 
   private:
     int fd_;
-    bool broken_ = false; ///< peer died mid-send; reads report failure
+    bool broken_ = false;   ///< peer died mid-send; reads report failure
+    bool timedOut_ = false; ///< last recv failure was SO_RCVTIMEO expiry
+    std::vector<std::uint8_t> sendBuf_; ///< queued [len][payload] frames
 };
+
+/**
+ * Fatal diagnosis for a coordinator-side receive failure: names the
+ * worker and distinguishes a recv-timeout expiry (dead or wedged
+ * worker) from a closed channel. `what` is the protocol unit being
+ * gathered ("step", "batch").
+ */
+[[noreturn]] void shardRecvFailure(const Channel &channel, const char *what,
+                                   std::uint64_t seq, Index worker);
 
 /** Bound+listening server socket that accepts SocketChannels. */
 class SocketListener

@@ -9,8 +9,36 @@ namespace hima {
 // WireConfig <-> DncConfig
 // --------------------------------------------------------------------
 
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+    case MsgType::Hello:
+        return "Hello";
+    case MsgType::HelloAck:
+        return "HelloAck";
+    case MsgType::Step:
+        return "Step";
+    case MsgType::StepReply:
+        return "StepReply";
+    case MsgType::Control:
+        return "Control";
+    case MsgType::ControlAck:
+        return "ControlAck";
+    case MsgType::Shutdown:
+        return "Shutdown";
+    case MsgType::Error:
+        return "Error";
+    case MsgType::LaneStep:
+        return "LaneStep";
+    case MsgType::LaneStepReply:
+        return "LaneStepReply";
+    }
+    return "?";
+}
+
 WireConfig
-WireConfig::fromShard(const DncConfig &shard, Index hostedTiles)
+WireConfig::fromShard(const DncConfig &shard, Index hostedTiles, Index lanes)
 {
     WireConfig wc;
     wc.memoryRows = shard.memoryRows;
@@ -18,6 +46,7 @@ WireConfig::fromShard(const DncConfig &shard, Index hostedTiles)
     wc.readHeads = shard.readHeads;
     wc.numThreads = shard.numThreads;
     wc.hostedTiles = hostedTiles;
+    wc.lanes = lanes;
     wc.approximateSoftmax = shard.approximateSoftmax ? 1 : 0;
     wc.softmaxSegments = static_cast<std::uint32_t>(shard.softmaxSegments);
     wc.fixedPoint = shard.fixedPoint ? 1 : 0;
@@ -74,11 +103,25 @@ WireWriter::putReal(Real v)
 }
 
 void
+WireWriter::putRealArray(const Real *values, Index count)
+{
+    static_assert(sizeof(Real) == 8, "wire Reals are binary64");
+    if constexpr (std::endian::native == std::endian::little) {
+        // The host representation already matches the wire layout:
+        // append the whole array in one shot.
+        const auto *bytes = reinterpret_cast<const std::uint8_t *>(values);
+        buf_.insert(buf_.end(), bytes, bytes + 8 * count);
+    } else {
+        for (Index i = 0; i < count; ++i)
+            putReal(values[i]);
+    }
+}
+
+void
 WireWriter::putVector(const Vector &v)
 {
     putU32(static_cast<std::uint32_t>(v.size()));
-    for (Index i = 0; i < v.size(); ++i)
-        putReal(v[i]);
+    putRealArray(v.data(), v.size());
 }
 
 void
@@ -158,6 +201,22 @@ WireReader::real()
 }
 
 void
+WireReader::realArray(Real *out, Index count)
+{
+    if (!ok_ || size_ - pos_ < 8ull * count) {
+        ok_ = false;
+        return;
+    }
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(out, data_ + pos_, 8 * count);
+        pos_ += 8 * count;
+    } else {
+        for (Index i = 0; i < count; ++i)
+            out[i] = real();
+    }
+}
+
+void
 WireReader::vector(Vector &out, Index expected)
 {
     const std::uint32_t count = u32();
@@ -168,8 +227,7 @@ WireReader::vector(Vector &out, Index expected)
         return;
     }
     out.resize(expected);
-    for (Index i = 0; i < expected; ++i)
-        out[i] = real();
+    realArray(out.data(), expected);
 }
 
 void
@@ -205,7 +263,7 @@ peekType(const std::uint8_t *data, std::size_t size, MsgType &type)
     if (!r.ok() || magic != kWireMagic || version != kWireVersion)
         return false;
     if (raw < static_cast<std::uint8_t>(MsgType::Hello) ||
-        raw > static_cast<std::uint8_t>(MsgType::Error))
+        raw > static_cast<std::uint8_t>(MsgType::LaneStepReply))
         return false;
     type = static_cast<MsgType>(raw);
     return true;
@@ -289,6 +347,7 @@ encodeHello(const WireConfig &config, WireWriter &out)
     out.putU64(config.readHeads);
     out.putU64(config.numThreads);
     out.putU64(config.hostedTiles);
+    out.putU64(config.lanes);
     out.putU8(config.approximateSoftmax);
     out.putU32(config.softmaxSegments);
     out.putU8(config.fixedPoint);
@@ -347,7 +406,7 @@ encodeStep(const StepMsg &msg, const DncConfig &shard, WireWriter &out)
 
 void
 encodeStepReply(std::uint64_t seq, bool withWeightings,
-                const std::vector<MemoryReadout> &tiles,
+                const MemoryReadout *tiles, Index count,
                 const std::vector<Real> &confidence, const DncConfig &shard,
                 WireWriter &out)
 {
@@ -355,9 +414,9 @@ encodeStepReply(std::uint64_t seq, bool withWeightings,
     out.header(MsgType::StepReply);
     out.putU64(seq);
     out.putU8(withWeightings ? 1 : 0);
-    out.putU32(static_cast<std::uint32_t>(tiles.size()));
+    out.putU32(static_cast<std::uint32_t>(count));
     const Index r = shard.readHeads;
-    for (std::size_t t = 0; t < tiles.size(); ++t) {
+    for (Index t = 0; t < count; ++t) {
         const MemoryReadout &readout = tiles[t];
         for (Index h = 0; h < r; ++h)
             out.putVector(readout.readVectors[h]);
@@ -372,12 +431,60 @@ encodeStepReply(std::uint64_t seq, bool withWeightings,
 }
 
 void
+encodeLaneStep(std::uint64_t seq, bool wantWeightings,
+               const LaneStepEntry *entries, Index count, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::LaneStep);
+    out.putU64(seq);
+    out.putU8(wantWeightings ? 1 : 0);
+    out.putU32(static_cast<std::uint32_t>(count));
+    for (Index j = 0; j < count; ++j) {
+        out.putU32(entries[j].lane);
+        out.putU32(entries[j].scoredMask);
+        putInterface(*entries[j].iface, out);
+    }
+}
+
+void
+encodeLaneStepReply(std::uint64_t seq, bool withWeightings,
+                    const std::uint32_t *lanes, Index laneCount,
+                    Index hostedTiles,
+                    const std::vector<MemoryReadout> &readouts,
+                    const std::vector<Real> &confidence,
+                    const DncConfig &shard, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::LaneStepReply);
+    out.putU64(seq);
+    out.putU8(withWeightings ? 1 : 0);
+    out.putU32(static_cast<std::uint32_t>(laneCount));
+    const Index r = shard.readHeads;
+    for (Index j = 0; j < laneCount; ++j) {
+        out.putU32(lanes[j]);
+        for (Index i = 0; i < hostedTiles; ++i) {
+            const Index slot = j * hostedTiles + i;
+            const MemoryReadout &readout = readouts[slot];
+            for (Index h = 0; h < r; ++h)
+                out.putVector(readout.readVectors[h]);
+            out.putRealArray(confidence.data() + slot * r, r);
+            if (withWeightings) {
+                for (Index h = 0; h < r; ++h)
+                    out.putVector(readout.readWeightings[h]);
+                out.putVector(readout.writeWeighting);
+            }
+        }
+    }
+}
+
+void
 encodeControl(const ControlMsg &msg, WireWriter &out)
 {
     out.clear();
     out.header(MsgType::Control);
     out.putU8(static_cast<std::uint8_t>(msg.kind));
     out.putU64(msg.seq);
+    out.putU32(msg.lane);
 }
 
 void
@@ -417,6 +524,7 @@ decodeHello(const std::uint8_t *data, std::size_t size, WireConfig &config)
     config.readHeads = in.u64();
     config.numThreads = in.u64();
     config.hostedTiles = in.u64();
+    config.lanes = in.u64();
     config.approximateSoftmax = in.u8();
     config.softmaxSegments = in.u32();
     config.fixedPoint = in.u8();
@@ -500,12 +608,84 @@ decodeStepReply(const std::uint8_t *data, std::size_t size,
 }
 
 bool
+decodeLaneStep(const std::uint8_t *data, std::size_t size,
+               const DncConfig &shard, Index lanes, LaneStepMsg &msg)
+{
+    WireReader in(data, size);
+    in.header(MsgType::LaneStep);
+    msg.seq = in.u64();
+    msg.wantWeightings = in.u8() != 0;
+    const std::uint32_t count = in.u32();
+    if (!in.ok() || count == 0 || count > lanes)
+        return false;
+    msg.lanes.resize(count);
+    msg.masks.resize(count);
+    msg.ifaces.resize(count);
+    for (Index j = 0; j < count; ++j) {
+        msg.lanes[j] = in.u32();
+        msg.masks[j] = in.u32();
+        // Strictly increasing lane ids < lanes: no duplicates (a frame
+        // stepping one lane twice would race on its tiles), no
+        // out-of-range tile-set access.
+        if (!in.ok() || msg.lanes[j] >= lanes ||
+            (j > 0 && msg.lanes[j] <= msg.lanes[j - 1]))
+            return false;
+        readInterface(in, shard, msg.ifaces[j]);
+    }
+    return in.atEnd();
+}
+
+bool
+decodeLaneStepReply(const std::uint8_t *data, std::size_t size,
+                    const DncConfig &shard, Index hostedTiles,
+                    Index maxLanes, LaneStepReplyMsg &msg)
+{
+    WireReader in(data, size);
+    in.header(MsgType::LaneStepReply);
+    msg.seq = in.u64();
+    msg.hasWeightings = in.u8() != 0;
+    const std::uint32_t count = in.u32();
+    if (!in.ok() || count == 0 || count > maxLanes)
+        return false;
+    const Index r = shard.readHeads;
+    const Index w = shard.memoryWidth;
+    const Index n = shard.memoryRows;
+    msg.lanes.resize(count);
+    msg.tiles.resize(count * hostedTiles);
+    msg.confidence.resize(count * hostedTiles * r);
+    for (Index j = 0; j < count; ++j) {
+        msg.lanes[j] = in.u32();
+        if (!in.ok() || (j > 0 && msg.lanes[j] <= msg.lanes[j - 1]))
+            return false;
+        for (Index i = 0; i < hostedTiles; ++i) {
+            const Index slot = j * hostedTiles + i;
+            MemoryReadout &readout = msg.tiles[slot];
+            readout.readVectors.resize(r);
+            for (Index h = 0; h < r; ++h)
+                in.vector(readout.readVectors[h], w);
+            in.realArray(msg.confidence.data() + slot * r, r);
+            if (msg.hasWeightings) {
+                readout.readWeightings.resize(r);
+                for (Index h = 0; h < r; ++h)
+                    in.vector(readout.readWeightings[h], n);
+                in.vector(readout.writeWeighting, n);
+            } else {
+                readout.readWeightings.clear();
+                readout.writeWeighting.resize(0);
+            }
+        }
+    }
+    return in.atEnd();
+}
+
+bool
 decodeControl(const std::uint8_t *data, std::size_t size, ControlMsg &msg)
 {
     WireReader in(data, size);
     in.header(MsgType::Control);
     const std::uint8_t kind = in.u8();
     msg.seq = in.u64();
+    msg.lane = in.u32();
     if (!in.atEnd() || kind > static_cast<std::uint8_t>(ControlKind::Admit))
         return false;
     msg.kind = static_cast<ControlKind>(kind);

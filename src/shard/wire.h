@@ -22,6 +22,11 @@
  *              bit-exactness contract survives serialization)
  *   vector  := [u32 count] [Real x count]
  *
+ * Real arrays move through a bulk little-endian path (one memcpy on LE
+ * hosts, byte-assembled elsewhere) so serialization cost does not
+ * dominate lane-batched frames; the bit pattern on the wire is
+ * identical either way.
+ *
  * Decoders are destination-passing (buffers resize in place, so a
  * steady-state worker round trip performs zero heap allocations) and
  * fail-closed: every read is bounds-checked, declared counts are
@@ -29,6 +34,15 @@
  * malformed frame yields `false` from decode — never UB, never an
  * attacker-sized allocation (tests/test_wire.cpp truncates and corrupts
  * frames byte by byte).
+ *
+ * Version 2 adds the pipelined serving surface: a `lanes` field in the
+ * handshake (a worker hosts `lanes x hostedTiles` independent tile
+ * sets), a lane id on Control frames (admit/reset one lane without
+ * touching the rest), and the lane-batched LaneStep/LaneStepReply pair
+ * — one frame carries k lanes' broadcast interfaces per worker, the
+ * reply carries k lanes' readouts + confidence logits, and sequence ids
+ * correlate replies with requests so multiple frames can be in flight
+ * per channel.
  */
 
 #ifndef HIMA_SHARD_WIRE_H
@@ -47,7 +61,7 @@ namespace hima {
 constexpr std::uint16_t kWireMagic = 0x484D;
 
 /** Protocol version; bumped on any layout change. */
-constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kWireVersion = 2;
 
 /** Largest legal payload (guards framing against garbage lengths). */
 constexpr std::uint32_t kWireMaxFrameBytes = 64u << 20;
@@ -63,7 +77,19 @@ enum class MsgType : std::uint8_t
     ControlAck = 6, ///< worker -> coordinator: control completed
     Shutdown = 7,   ///< coordinator -> worker: stop serving
     Error = 8,      ///< worker -> coordinator: protocol failure detail
+    LaneStep = 9,   ///< coordinator -> worker: k lanes' broadcast ifaces
+    LaneStepReply = 10, ///< worker -> coordinator: k lanes' readouts
 };
+
+/** Number of distinct message-type slots (for per-type counters). */
+constexpr std::size_t kMsgTypeCount =
+    static_cast<std::size_t>(MsgType::LaneStepReply) + 1;
+
+/** Human-readable message-type name ("?" for out-of-range values). */
+const char *msgTypeName(MsgType type);
+
+/** Control-frame lane id meaning "every hosted lane". */
+constexpr std::uint32_t kAllLanes = 0xFFFFFFFFu;
 
 /** Control message kinds. */
 enum class ControlKind : std::uint8_t
@@ -85,7 +111,8 @@ struct WireConfig
     std::uint64_t memoryWidth = 0; ///< W
     std::uint64_t readHeads = 0;   ///< R
     std::uint64_t numThreads = 1;  ///< worker tile-pool threads
-    std::uint64_t hostedTiles = 0; ///< tiles this worker hosts
+    std::uint64_t hostedTiles = 0; ///< tiles this worker hosts, per lane
+    std::uint64_t lanes = 1;       ///< independent lane tile sets hosted
     std::uint8_t approximateSoftmax = 0;
     std::uint32_t softmaxSegments = 8;
     std::uint8_t fixedPoint = 0;
@@ -93,7 +120,8 @@ struct WireConfig
     Real writeSkipThreshold = 0.0;
 
     /** Build from a per-shard DncConfig plus the hosted-tile count. */
-    static WireConfig fromShard(const DncConfig &shard, Index hostedTiles);
+    static WireConfig fromShard(const DncConfig &shard, Index hostedTiles,
+                                Index lanes = 1);
 
     /** Reconstruct the per-shard DncConfig a worker should run. */
     DncConfig toShardConfig() const;
@@ -136,6 +164,52 @@ struct ControlMsg
 {
     ControlKind kind = ControlKind::EpisodeReset;
     std::uint64_t seq = 0;
+    std::uint32_t lane = kAllLanes; ///< target lane (kAllLanes = every)
+};
+
+/**
+ * One lane's slice of a lane-batched scatter: the lane id, the heads
+ * needing fresh confidence logits, and the broadcast interface every
+ * hosted tile of that lane steps with. Lane batching is broadcast-only
+ * (the serving path's query pattern); learned per-tile write sharding
+ * stays on the single-lane Step frame.
+ */
+struct LaneStepEntry
+{
+    std::uint32_t lane = 0;
+    std::uint32_t scoredMask = 0;
+    const InterfaceVector *iface = nullptr;
+};
+
+/**
+ * Decoded lane-batched scatter: `laneCount` parallel arrays. Buffers
+ * resize in place, so a steady-state worker decode allocates nothing.
+ * Lane ids are validated strictly increasing (and < the handshake's
+ * lane count), which rules out duplicates — a frame stepping the same
+ * lane twice would race on that lane's tiles.
+ */
+struct LaneStepMsg
+{
+    std::uint64_t seq = 0;
+    bool wantWeightings = false;
+    std::vector<std::uint32_t> lanes;
+    std::vector<std::uint32_t> masks;
+    std::vector<InterfaceVector> ifaces; ///< one broadcast iface per lane
+};
+
+/**
+ * Decoded lane-batched gather: per frame lane j and hosted tile i, the
+ * readout lives at tiles[j * hostedTiles + i] and its R confidence
+ * logits at confidence[(j * hostedTiles + i) * R ...]. Lane ids echo
+ * the request's.
+ */
+struct LaneStepReplyMsg
+{
+    std::uint64_t seq = 0;
+    bool hasWeightings = false;
+    std::vector<std::uint32_t> lanes;
+    std::vector<MemoryReadout> tiles;
+    std::vector<Real> confidence;
 };
 
 /** Protocol failure detail. */
@@ -161,6 +235,13 @@ class WireWriter
     void putReal(Real v);
     void putVector(const Vector &v);
     void putString(const std::string &s);
+
+    /**
+     * Append `count` Reals as little-endian u64 bit patterns — one
+     * memcpy on little-endian hosts, byte-assembled elsewhere. The wire
+     * bytes are identical to `count` putReal() calls.
+     */
+    void putRealArray(const Real *values, Index count);
 
     /** Start a message: magic, version, type. */
     void header(MsgType type);
@@ -194,6 +275,9 @@ class WireReader
 
     /** Read a vector whose count must equal `expected`. */
     void vector(Vector &out, Index expected);
+
+    /** Read `count` Reals into `out` (bulk form of real()). */
+    void realArray(Real *out, Index count);
 
     /** Read a length-prefixed string (capped at the remaining bytes). */
     void string(std::string &out);
@@ -234,14 +318,37 @@ void encodeStepBroadcast(std::uint64_t seq, bool wantWeightings,
                          WireWriter &out);
 
 /**
- * Encode a StepReply straight from the worker's per-tile readouts and
- * its confidence scratch (hostedTiles x R, row-major) — no intermediate
- * message object, no copies.
+ * Encode a StepReply straight from the first `count` entries of the
+ * worker's per-tile readout scratch and its confidence scratch
+ * (count x R, row-major) — no intermediate message object, no copies.
+ * (The scratch may be larger than `count` on multi-lane workers, whose
+ * legacy Step frames cover lane 0 only.)
  */
 void encodeStepReply(std::uint64_t seq, bool withWeightings,
-                     const std::vector<MemoryReadout> &tiles,
+                     const MemoryReadout *tiles, Index count,
                      const std::vector<Real> &confidence,
                      const DncConfig &shard, WireWriter &out);
+/**
+ * Encode a lane-batched Step: one frame carries `count` lanes'
+ * broadcast interfaces (ordered by strictly increasing lane id). Each
+ * hosted tile of entry j's lane steps with *entries[j].iface.
+ */
+void encodeLaneStep(std::uint64_t seq, bool wantWeightings,
+                    const LaneStepEntry *entries, Index count,
+                    WireWriter &out);
+
+/**
+ * Encode a lane-batched reply straight from the worker's lane-major
+ * scratch: readout (j, i) at readouts[j * hostedTiles + i], logits at
+ * confidence[(j * hostedTiles + i) * R ...].
+ */
+void encodeLaneStepReply(std::uint64_t seq, bool withWeightings,
+                         const std::uint32_t *lanes, Index laneCount,
+                         Index hostedTiles,
+                         const std::vector<MemoryReadout> &readouts,
+                         const std::vector<Real> &confidence,
+                         const DncConfig &shard, WireWriter &out);
+
 void encodeControl(const ControlMsg &msg, WireWriter &out);
 void encodeControlAck(std::uint64_t seq, WireWriter &out);
 void encodeShutdown(WireWriter &out);
@@ -258,6 +365,22 @@ bool decodeStep(const std::uint8_t *data, std::size_t size,
 bool decodeStepReply(const std::uint8_t *data, std::size_t size,
                      const DncConfig &shard, Index hostedTiles,
                      StepReplyMsg &msg);
+/**
+ * Decode a lane-batched Step. `lanes` is the worker's hosted lane
+ * count from the handshake: frames naming more lanes than that, lane
+ * ids out of range, or lane ids not strictly increasing are rejected.
+ */
+bool decodeLaneStep(const std::uint8_t *data, std::size_t size,
+                    const DncConfig &shard, Index lanes, LaneStepMsg &msg);
+
+/**
+ * Decode a lane-batched reply. `maxLanes` bounds the declared lane
+ * count (the coordinator knows how many lanes it scattered).
+ */
+bool decodeLaneStepReply(const std::uint8_t *data, std::size_t size,
+                         const DncConfig &shard, Index hostedTiles,
+                         Index maxLanes, LaneStepReplyMsg &msg);
+
 bool decodeControl(const std::uint8_t *data, std::size_t size,
                    ControlMsg &msg);
 bool decodeControlAck(const std::uint8_t *data, std::size_t size,

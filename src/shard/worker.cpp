@@ -18,6 +18,9 @@ ShardWorker::handleFrame(const std::uint8_t *data, std::size_t size,
     case MsgType::Step:
         handleStep(data, size, sink);
         return true;
+    case MsgType::LaneStep:
+        handleLaneStep(data, size, sink);
+        return true;
     case MsgType::Control:
         handleControl(data, size, sink);
         return true;
@@ -60,6 +63,11 @@ ShardWorker::handleHello(const std::uint8_t *data, std::size_t size,
                wire.memoryRows > (1u << 14) ||
                wire.memoryWidth > (1u << 12) ||
                wire.hostedTiles > 1024 || wire.numThreads > 256 ||
+               // Lane cap bounds total tile construction to
+               // lanes x hostedTiles (each tile's linkage alone is
+               // rows^2 doubles), same fail-closed sizing discipline.
+               wire.lanes == 0 || wire.lanes > 4096 ||
+               wire.lanes * wire.hostedTiles > (1u << 16) ||
                (wire.approximateSoftmax != 0 &&
                 (wire.softmaxSegments < 2 ||
                  wire.softmaxSegments > (1u << 16))) ||
@@ -74,8 +82,10 @@ ShardWorker::handleHello(const std::uint8_t *data, std::size_t size,
         ack.message = "invalid shard config";
     } else {
         shardConfig_ = wire.toShardConfig();
+        hostedTiles_ = static_cast<Index>(wire.hostedTiles);
+        lanes_ = static_cast<Index>(wire.lanes);
         tiles_.clear();
-        for (Index t = 0; t < wire.hostedTiles; ++t)
+        for (Index t = 0; t < lanes_ * hostedTiles_; ++t)
             tiles_.push_back(std::make_unique<MemoryUnit>(shardConfig_));
         readouts_.clear();
         readouts_.resize(tiles_.size());
@@ -83,22 +93,24 @@ ShardWorker::handleHello(const std::uint8_t *data, std::size_t size,
         pool_.reset();
         if (shardConfig_.numThreads > 1 && tiles_.size() > 1)
             pool_ = std::make_unique<ThreadPool>(shardConfig_.numThreads);
+        stepTask_ = nullptr;
+        laneStepTask_ = nullptr;
         stepsServed_ = 0;
         episodesServed_ = 0;
         ack.ok = true;
-        ack.hostedTiles = tiles_.size();
+        ack.hostedTiles = hostedTiles_;
     }
     encodeHelloAck(ack, writer_);
     sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
 }
 
 void
-ShardWorker::forEachTile(const std::function<void(Index)> &fn)
+ShardWorker::forEach(Index count, const std::function<void(Index)> &fn)
 {
-    if (pool_) {
-        pool_->parallelFor(tiles_.size(), fn);
+    if (pool_ && count > 1) {
+        pool_->parallelFor(count, fn);
     } else {
-        for (Index t = 0; t < tiles_.size(); ++t)
+        for (Index t = 0; t < count; ++t)
             fn(t);
     }
 }
@@ -111,14 +123,15 @@ ShardWorker::handleStep(const std::uint8_t *data, std::size_t size,
         sendError("Step before Hello", sink);
         return;
     }
-    if (!decodeStep(data, size, shardConfig_, tiles_.size(), step_)) {
+    if (!decodeStep(data, size, shardConfig_, hostedTiles_, step_)) {
         sendError("malformed Step", sink);
         return;
     }
 
-    // The full local pipeline per tile, plus the confidence logits the
-    // coordinator flagged. Keys broadcast, so the first hosted tile's
-    // interface carries the scoring keys (same convention as DncD).
+    // The full local pipeline per tile (lane 0's tile set), plus the
+    // confidence logits the coordinator flagged. Keys broadcast, so the
+    // first hosted tile's interface carries the scoring keys (same
+    // convention as DncD).
     if (!stepTask_) {
         stepTask_ = [this](Index t) {
             tiles_[t]->stepInto(step_.ifaces[t], readouts_[t]);
@@ -133,11 +146,59 @@ ShardWorker::handleStep(const std::uint8_t *data, std::size_t size,
             }
         };
     }
-    forEachTile(stepTask_);
+    forEach(hostedTiles_, stepTask_);
     ++stepsServed_;
 
-    encodeStepReply(step_.seq, step_.wantWeightings, readouts_, confidence_,
-                    shardConfig_, writer_);
+    // Only lane 0's hostedTiles_ scratch slots were stepped; the
+    // scratch itself is sized for full lane-batched frames.
+    encodeStepReply(step_.seq, step_.wantWeightings, readouts_.data(),
+                    hostedTiles_, confidence_, shardConfig_, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::handleLaneStep(const std::uint8_t *data, std::size_t size,
+                            FrameSink &sink)
+{
+    if (!configured()) {
+        sendError("LaneStep before Hello", sink);
+        return;
+    }
+    if (!decodeLaneStep(data, size, shardConfig_, lanes_, laneStep_)) {
+        sendError("malformed LaneStep", sink);
+        return;
+    }
+
+    // All named lanes' hosted tiles in one dispatch: frame slot
+    // j * hostedTiles + i maps to tile i of lane lanes[j]. Lanes are
+    // independent tile sets, so any pool schedule is bit-identical to
+    // sequential execution.
+    const Index frameLanes = laneStep_.lanes.size();
+    const Index slots = frameLanes * hostedTiles_; // <= readouts_.size()
+    if (!laneStepTask_) {
+        laneStepTask_ = [this](Index slot) {
+            const Index j = slot / hostedTiles_;
+            const Index lane = laneStep_.lanes[j];
+            MemoryUnit &tile =
+                *tiles_[lane * hostedTiles_ + slot % hostedTiles_];
+            const InterfaceVector &iface = laneStep_.ifaces[j];
+            tile.stepInto(iface, readouts_[slot]);
+            const Index heads = shardConfig_.readHeads;
+            for (Index h = 0; h < heads; ++h) {
+                confidence_[slot * heads + h] =
+                    (laneStep_.masks[j] >> h & 1u)
+                        ? tileConfidenceScore(tile, iface.readKeys[h],
+                                              iface.readStrengths[h])
+                        : 0.0;
+            }
+        };
+    }
+    forEach(slots, laneStepTask_);
+    stepsServed_ += frameLanes; // lane-steps served
+
+    encodeLaneStepReply(laneStep_.seq, laneStep_.wantWeightings,
+                        laneStep_.lanes.data(), frameLanes, hostedTiles_,
+                        readouts_, confidence_, shardConfig_, writer_);
     sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
 }
 
@@ -154,8 +215,18 @@ ShardWorker::handleControl(const std::uint8_t *data, std::size_t size,
         sendError("malformed Control", sink);
         return;
     }
-    for (auto &tile : tiles_)
-        tile->reset();
+    if (msg.lane == kAllLanes) {
+        for (auto &tile : tiles_)
+            tile->reset();
+    } else if (msg.lane < lanes_) {
+        // Per-lane admit/reset: only the named lane's tile set resets,
+        // so recycling one serving lane never disturbs its neighbours.
+        for (Index t = 0; t < hostedTiles_; ++t)
+            tiles_[msg.lane * hostedTiles_ + t]->reset();
+    } else {
+        sendError("Control names an unhosted lane", sink);
+        return;
+    }
     if (msg.kind == ControlKind::Admit)
         ++episodesServed_;
     encodeControlAck(msg.seq, writer_);

@@ -14,6 +14,14 @@
  * handshake config asks for one (numThreads > 1), bit-identically to
  * sequential execution because tiles share no state.
  *
+ * Serving fleets host multiple *lanes*: the handshake's `lanes` field
+ * makes the worker construct lanes x hostedTiles independent tile sets
+ * (lane-major). A LaneStep frame steps any subset of lanes in one round
+ * trip — each named lane's hosted tiles run with that lane's broadcast
+ * interface, all (lane, tile) pairs sharing one pool dispatch — and a
+ * per-lane Control admits/resets one lane without touching the rest.
+ * The legacy single-lane Step frame operates on lane 0.
+ *
  * The same handleFrame() core serves both transports: LoopbackChannel
  * calls it synchronously (deterministic tests), serve() wraps it in a
  * blocking event loop over a socket channel (examples/
@@ -54,11 +62,19 @@ class ShardWorker
     void serve(Channel &channel);
 
     bool configured() const { return !tiles_.empty(); }
-    Index hostedTiles() const { return tiles_.size(); }
+    Index hostedTiles() const { return hostedTiles_; }
+    Index lanes() const { return lanes_; }
     const DncConfig &shardConfig() const { return shardConfig_; }
 
-    /** Hosted tile state (tests compare against the in-process model). */
+    /** Lane 0's hosted tile state (single-lane deployments/tests). */
     const MemoryUnit &tile(Index i) const { return *tiles_[i]; }
+
+    /** Hosted tile i of `lane` (tests compare against in-process). */
+    const MemoryUnit &
+    laneTile(Index lane, Index i) const
+    {
+        return *tiles_[lane * hostedTiles_ + i];
+    }
 
     /** Steps served since configuration. */
     std::uint64_t stepsServed() const { return stepsServed_; }
@@ -71,25 +87,31 @@ class ShardWorker
                      FrameSink &sink);
     void handleStep(const std::uint8_t *data, std::size_t size,
                     FrameSink &sink);
+    void handleLaneStep(const std::uint8_t *data, std::size_t size,
+                        FrameSink &sink);
     void handleControl(const std::uint8_t *data, std::size_t size,
                        FrameSink &sink);
     void sendError(const std::string &message, FrameSink &sink);
 
-    /** Run fn over the hosted tiles, on the pool when configured. */
-    void forEachTile(const std::function<void(Index)> &fn);
+    /** Run fn(0..count-1), on the pool when configured. */
+    void forEach(Index count, const std::function<void(Index)> &fn);
 
     DncConfig shardConfig_;
-    std::vector<std::unique_ptr<MemoryUnit>> tiles_;
+    Index hostedTiles_ = 0; ///< tiles per lane
+    Index lanes_ = 1;
+    std::vector<std::unique_ptr<MemoryUnit>> tiles_; ///< lane-major
     std::unique_ptr<ThreadPool> pool_; ///< when numThreads > 1, tiles > 1
 
     // Reused per-frame state: the steady-state serve loop touches no
     // heap (decode resizes into warm buffers, encode reuses writer_).
     StepMsg step_;
-    std::vector<MemoryReadout> readouts_;
-    std::vector<Real> confidence_; ///< hostedTiles x R, row-major
+    LaneStepMsg laneStep_;
+    std::vector<MemoryReadout> readouts_; ///< frame slots, lane-major
+    std::vector<Real> confidence_; ///< frame slots x R, row-major
     WireWriter writer_;
-    std::function<void(Index)> stepTask_; ///< prebuilt pool task
-    std::vector<std::uint8_t> frame_;     ///< serve() recv buffer
+    std::function<void(Index)> stepTask_;     ///< prebuilt pool task
+    std::function<void(Index)> laneStepTask_; ///< lane-batched pool task
+    std::vector<std::uint8_t> frame_;         ///< serve() recv buffer
 
     std::uint64_t stepsServed_ = 0;
     std::uint64_t episodesServed_ = 0;

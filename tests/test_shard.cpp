@@ -17,6 +17,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -253,6 +254,186 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // --------------------------------------------------------------------
+// Pipelined (lane-batched) serving: every lane of a shared fleet must
+// match the in-process DncD bit for bit, per lane and per step.
+// --------------------------------------------------------------------
+
+class PipelinedShardGolden
+    : public ::testing::TestWithParam<
+          std::tuple<ClusterTransport, int, int, bool>>
+{};
+
+TEST_P(PipelinedShardGolden, EveryLaneBitIdenticalToDedicatedRuns)
+{
+    const auto [transport, tiles, threads, fixedPoint] = GetParam();
+    DncConfig cfg = gridConfig(tiles, threads, fixedPoint);
+    cfg.controllerSize = 20;
+    cfg.inputSize = 9;
+    cfg.outputSize = 7;
+    cfg.batchSize = 3;        // three lanes on one fleet
+    const Index lanesPerBatch = 2; // uneven split: batches of 2 + 1
+    constexpr std::uint64_t kSeed = 77;
+    const Index workerCount = 2;
+
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        transport, cfg, tiles, cfg.batchSize, workerCount);
+    ASSERT_TRUE(cluster.group != nullptr);
+    PipelinedShardedLaneEngine engine(cfg, kSeed, cluster.group,
+                                      lanesPerBatch);
+
+    // Dedicated references: one ShardedDnc over in-process DncD per
+    // slot (already proven equal to the wire backend).
+    std::vector<std::unique_ptr<ShardedDnc>> refs;
+    for (Index slot = 0; slot < cfg.batchSize; ++slot)
+        refs.push_back(std::make_unique<ShardedDnc>(
+            cfg, kSeed, std::make_unique<DncD>(cfg, tiles)));
+
+    Rng rng(411 + tiles);
+    std::vector<Vector> inputs(cfg.batchSize);
+    std::vector<Vector> outputs;
+    constexpr int kSteps = 16;
+    for (int step = 0; step < kSteps; ++step) {
+        // Lane churn mid-stream: slot 1 drains and is recycled through
+        // the per-lane Admit control; its neighbours must not notice.
+        if (step == 6) {
+            engine.markDraining(1);
+            engine.release(1);
+        }
+        if (step == 9) {
+            const Index slot = engine.admit();
+            ASSERT_EQ(slot, 1u);
+            refs[1]->beginEpisode();
+        }
+        for (Index slot = 0; slot < cfg.batchSize; ++slot)
+            inputs[slot] = rng.normalVector(cfg.inputSize);
+        engine.stepInto(inputs, outputs);
+        for (Index slot = 0; slot < cfg.batchSize; ++slot) {
+            if (engine.laneState(slot) != LaneState::Active)
+                continue;
+            const Vector want = refs[slot]->step(inputs[slot]);
+            ASSERT_TRUE(want == outputs[slot])
+                << "lane " << slot << " diverged at step " << step;
+        }
+    }
+    EXPECT_EQ(engine.group().inFlight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelinedShardGolden,
+    ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
+                                         ClusterTransport::UnixSocket,
+                                         ClusterTransport::Tcp),
+                       ::testing::Values(2, 4), ::testing::Values(1, 4),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(transportName(std::get<0>(info.param))) +
+               "Nt" + std::to_string(std::get<1>(info.param)) + "T" +
+               std::to_string(std::get<2>(info.param)) +
+               (std::get<3>(info.param) ? "Fixed" : "Float");
+    });
+
+// A lane of a shared fleet behind the TileMemory view: merged
+// readouts, alphas and the raw hosted tile state all equal the
+// in-process DncD, for every lane independently.
+TEST(ShardLaneGroupGolden, LaneViewsMatchInProcessDncDIncludingTileState)
+{
+    const Index tiles = 4;
+    const Index lanes = 2;
+    const DncConfig cfg = gridConfig(tiles, 1, false);
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        ClusterTransport::Loopback, cfg, tiles, lanes, /*workerCount=*/2,
+        MergePolicy::Confidence, /*wantWeightings=*/true);
+
+    std::vector<std::unique_ptr<TileMemory>> views;
+    std::vector<std::unique_ptr<DncD>> refs;
+    for (Index lane = 0; lane < lanes; ++lane) {
+        views.push_back(cluster.group->laneMemory(lane));
+        refs.push_back(std::make_unique<DncD>(cfg, tiles));
+    }
+
+    Rng rng(902);
+    for (int step = 0; step < 12; ++step) {
+        if (step == 7) {
+            // Per-lane reset: lane 0 restarts, lane 1 keeps its state.
+            views[0]->reset();
+            refs[0]->reset();
+        }
+        for (Index lane = 0; lane < lanes; ++lane) {
+            SCOPED_TRACE(::testing::Message()
+                         << "lane " << lane << " step " << step);
+            // Distinct traffic per lane: divergence would surface as a
+            // cross-lane mixup.
+            const InterfaceVector iface = golden::randomIface(cfg, rng);
+            const MemoryReadout a = refs[lane]->stepInterface(iface);
+            const MemoryReadout b = views[lane]->stepInterface(iface);
+            expectReadoutIdentical(a, b, step);
+            ASSERT_EQ(refs[lane]->lastAlphas().size(),
+                      views[lane]->lastAlphas().size());
+            for (Index h = 0; h < refs[lane]->lastAlphas().size(); ++h)
+                EXPECT_EQ(refs[lane]->lastAlphas()[h],
+                          views[lane]->lastAlphas()[h]);
+        }
+    }
+
+    // The hosted per-lane tile state itself equals the references'.
+    for (Index lane = 0; lane < lanes; ++lane) {
+        Index global = 0;
+        for (const auto &worker : cluster.workers) {
+            for (Index i = 0; i < worker->hostedTiles(); ++i, ++global) {
+                SCOPED_TRACE(::testing::Message()
+                             << "lane " << lane << " tile " << global);
+                EXPECT_TRUE(worker->laneTile(lane, i).memory() ==
+                            refs[lane]->shard(global).memory());
+                EXPECT_TRUE(worker->laneTile(lane, i).usage() ==
+                            refs[lane]->shard(global).usage());
+            }
+        }
+        EXPECT_EQ(global, tiles);
+    }
+}
+
+// The double-buffered window itself: two disjoint batches in flight at
+// once, gathered oldest-first, still bit-identical per lane.
+TEST(ShardLaneGroupGolden, OverlappedBatchesMatchSequentialExecution)
+{
+    const Index tiles = 2;
+    const Index lanes = 4;
+    const DncConfig cfg = gridConfig(tiles, 1, false);
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        ClusterTransport::UnixSocket, cfg, tiles, lanes, /*workerCount=*/2,
+        MergePolicy::Confidence, /*wantWeightings=*/true);
+
+    std::vector<std::unique_ptr<DncD>> refs;
+    for (Index lane = 0; lane < lanes; ++lane)
+        refs.push_back(std::make_unique<DncD>(cfg, tiles));
+
+    Rng rng(515);
+    std::vector<InterfaceVector> ifaces(lanes);
+    const std::vector<Index> batchA = {0, 1};
+    const std::vector<Index> batchB = {2, 3};
+    std::vector<MemoryReadout> outs(lanes);
+    for (int step = 0; step < 8; ++step) {
+        for (Index lane = 0; lane < lanes; ++lane)
+            ifaces[lane] = golden::randomIface(cfg, rng);
+        // Scatter both batches before gathering either.
+        cluster.group->scatter(batchA, {&ifaces[0], &ifaces[1]});
+        cluster.group->scatter(batchB, {&ifaces[2], &ifaces[3]});
+        EXPECT_EQ(cluster.group->inFlight(), 2u);
+        cluster.group->gather({&outs[0], &outs[1]});
+        cluster.group->gather({&outs[2], &outs[3]});
+        EXPECT_EQ(cluster.group->inFlight(), 0u);
+        for (Index lane = 0; lane < lanes; ++lane) {
+            SCOPED_TRACE(::testing::Message()
+                         << "lane " << lane << " step " << step);
+            const MemoryReadout want =
+                refs[lane]->stepInterface(ifaces[lane]);
+            expectReadoutIdentical(want, outs[lane], step);
+        }
+    }
+    EXPECT_EQ(cluster.group->laneSteps(), 8u * lanes);
+}
+
+// --------------------------------------------------------------------
 // Retrieval workload through the wire.
 // --------------------------------------------------------------------
 
@@ -382,6 +563,128 @@ TEST(ShardedRouter, RoutedRequestsMatchDedicatedShardedRuns)
 }
 
 // --------------------------------------------------------------------
+// Router traffic on the pipelined fleet: identical to dedicated
+// sharded runs, so the pipelined engine drops into serving unchanged.
+// --------------------------------------------------------------------
+
+TEST(ShardedRouter, PipelinedEngineMatchesDedicatedShardedRuns)
+{
+    DncConfig cfg = serveCfg();
+    cfg.batchSize = 3;
+    cfg.shardLanesPerBatch = 2; // overlapped batches under churn
+    const Index tiles = 2;
+    constexpr std::uint64_t kSeed = 11;
+
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        ClusterTransport::Loopback, cfg, tiles, cfg.batchSize,
+        /*workerCount=*/1);
+    Router router(std::make_unique<PipelinedShardedLaneEngine>(
+        cfg, kSeed, cluster.group));
+
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::Bursty;
+    spec.rate = 0.1;
+    spec.burstProbability = 0.2;
+    spec.burstSize = 4; // bursts exceed 3 lanes: queueing + admit churn
+    Rng traceRng(61);
+    const auto trace = makeArrivalTrace(spec, 20, traceRng);
+    ASSERT_FALSE(trace.empty());
+
+    std::size_t next = 0;
+    while (next < trace.size()) {
+        while (next < trace.size() && trace[next].step <= router.now()) {
+            ServeRequest request;
+            request.id = trace[next].ordinal;
+            request.tokens = requestTokens(trace[next], cfg.inputSize, 67);
+            ASSERT_TRUE(router.submit(std::move(request)));
+            ++next;
+        }
+        router.step();
+    }
+    router.drain();
+    ASSERT_EQ(router.completed().size(), trace.size());
+
+    ShardedDnc ref(cfg, kSeed, std::make_unique<DncD>(cfg, tiles));
+    for (const ServeResult &result : router.completed()) {
+        SCOPED_TRACE(::testing::Message() << "request " << result.id);
+        const auto tokens =
+            requestTokens(trace[result.id], cfg.inputSize, 67);
+        ASSERT_EQ(result.outputs.size(), tokens.size());
+        ref.reset();
+        for (Index t = 0; t < tokens.size(); ++t)
+            ASSERT_TRUE(ref.step(tokens[t]) == result.outputs[t])
+                << "output " << t << " diverged";
+    }
+}
+
+// --------------------------------------------------------------------
+// Bounded recv: a dead or wedged worker fails the step instead of
+// hanging the coordinator forever.
+// --------------------------------------------------------------------
+
+TEST(ShardRecvTimeout, SilentPeerBoundsRecvFrame)
+{
+    auto listener = SocketListener::listenTcp(0);
+    ASSERT_TRUE(listener != nullptr);
+    std::unique_ptr<SocketChannel> server;
+    std::thread accepter([&] { server = listener->accept(); });
+    auto client = SocketChannel::connectTcp("127.0.0.1", listener->port());
+    accepter.join();
+    ASSERT_TRUE(client != nullptr);
+    ASSERT_TRUE(server != nullptr);
+
+    client->setRecvTimeout(50);
+    std::vector<std::uint8_t> frame;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(client->recvFrame(frame)) << "no peer data: must fail";
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    EXPECT_TRUE(client->timedOut()) << "failure must be diagnosed as a "
+                                       "timeout, not a close";
+    EXPECT_LT(elapsed, 5.0) << "recv did not respect the bound";
+
+    // A real close is *not* reported as a timeout.
+    server.reset();
+    EXPECT_FALSE(client->recvFrame(frame));
+    EXPECT_FALSE(client->timedOut());
+}
+
+TEST(ShardRecvTimeoutDeath, DeadWorkerFailsTheStepWithADiagnosis)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const DncConfig cfg = gridConfig(2, 1, false);
+    EXPECT_DEATH(
+        {
+            // A worker that completes the handshake, then wedges: it
+            // reads frames but never answers another one.
+            auto listener = SocketListener::listenTcp(0);
+            std::thread wedged([&] {
+                auto chan = listener->accept();
+                std::vector<std::uint8_t> frame;
+                ShardWorker worker;
+                if (chan && chan->recvFrame(frame)) // Hello
+                    worker.handleFrame(frame.data(), frame.size(), *chan);
+                while (chan && chan->recvFrame(frame)) {
+                    // swallow Steps silently, forever
+                }
+            });
+            wedged.detach();
+            auto client =
+                SocketChannel::connectTcp("127.0.0.1", listener->port());
+            client->setRecvTimeout(100);
+            std::vector<std::unique_ptr<Channel>> channels;
+            channels.push_back(std::move(client));
+            ShardCoordinator coordinator(cfg, 2, MergePolicy::Confidence,
+                                         std::move(channels));
+            Rng rng(5);
+            coordinator.stepInterface(golden::randomIface(cfg, rng));
+        },
+        "exceeded the recv timeout");
+}
+
+// --------------------------------------------------------------------
 // Worker protocol edge cases.
 // --------------------------------------------------------------------
 
@@ -441,6 +744,40 @@ TEST(ShardWorkerProtocol, MalformedFrameIsAnsweredWithError)
                             err));
 }
 
+TEST(ShardWorkerProtocol, LegacyStepOnAMultiLaneWorkerAnswersLaneZero)
+{
+    // A lanes>1 handshake followed by a legacy single-lane Step: the
+    // reply must carry exactly hostedTiles readouts (lane 0), not the
+    // whole lanes x hostedTiles scratch.
+    const DncConfig cfg = gridConfig(2, 1, false);
+    const DncConfig shard = shardConfigFor(cfg, 2);
+    ShardWorker worker;
+    CollectSink sink;
+    WireWriter w;
+    encodeHello(WireConfig::fromShard(shard, /*hostedTiles=*/2,
+                                      /*lanes=*/3),
+                w);
+    worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+    ASSERT_EQ(sink.frames.size(), 1u);
+    HelloAckMsg ack;
+    ASSERT_TRUE(decodeHelloAck(sink.frames[0].data(),
+                               sink.frames[0].size(), ack));
+    ASSERT_TRUE(ack.ok);
+    EXPECT_EQ(worker.lanes(), 3u);
+
+    Rng rng(9);
+    const InterfaceVector iface = golden::randomIface(shard, rng);
+    encodeStepBroadcast(1, false, 0b1, iface, 2, w);
+    worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+    ASSERT_EQ(sink.frames.size(), 2u);
+    StepReplyMsg reply;
+    ASSERT_TRUE(decodeStepReply(sink.frames[1].data(),
+                                sink.frames[1].size(), shard,
+                                /*hostedTiles=*/2, reply));
+    EXPECT_EQ(reply.seq, 1u);
+    EXPECT_EQ(reply.tiles.size(), 2u);
+}
+
 TEST(ShardWorkerProtocol, AdmitControlCountsEpisodes)
 {
     const DncConfig cfg = gridConfig(2, 1, false);
@@ -480,6 +817,41 @@ TEST(ShardZeroAlloc, SteadyStateLoopbackRoundTrip)
     EXPECT_EQ(after - before, 0u)
         << "steady-state sharded step performed heap allocations "
            "(encode, decode, worker step, or merge path regressed)";
+}
+
+TEST(ShardZeroAlloc, SteadyStatePipelinedEngineStep)
+{
+    DncConfig cfg = serveCfg();
+    cfg.batchSize = 4;
+    cfg.shardLanesPerBatch = 2; // two overlapped batches per step
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        ClusterTransport::Loopback, cfg, /*tiles=*/4, cfg.batchSize,
+        /*workerCount=*/2);
+    PipelinedShardedLaneEngine engine(cfg, 9, cluster.group);
+
+    Rng rng(707);
+    std::vector<std::vector<Vector>> inputs;
+    for (int i = 0; i < 8; ++i) {
+        inputs.emplace_back();
+        for (Index lane = 0; lane < cfg.batchSize; ++lane)
+            inputs.back().push_back(rng.normalVector(cfg.inputSize));
+    }
+
+    std::vector<Vector> outputs;
+    engine.stepInto(inputs[0], outputs); // sizes every buffer, both ends
+    engine.stepInto(inputs[1], outputs);
+    engine.stepInto(inputs[2], outputs);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 3; i < 8; ++i)
+        engine.stepInto(inputs[i], outputs);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state pipelined engine step performed heap "
+           "allocations (lane-batched encode/decode, scatter window, "
+           "worker lane step, or merge path regressed)";
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include "golden_util.h"
 #include "shard/transport.h"
 #include "shard/wire.h"
+#include "shard/worker.h"
 
 namespace hima {
 namespace {
@@ -169,7 +170,8 @@ TEST(Wire, StepReplyRoundTrip)
         confidence.push_back(rng.normal());
 
     WireWriter w;
-    encodeStepReply(42, true, tiles, confidence, cfg, w);
+    encodeStepReply(42, true, tiles.data(), tiles.size(), confidence, cfg,
+                    w);
     StepReplyMsg got;
     ASSERT_TRUE(decodeStepReply(w.buffer().data(), w.buffer().size(), cfg,
                                 2, got));
@@ -203,8 +205,10 @@ TEST(Wire, StepReplyWithoutWeightingsOmitsThem)
     const std::vector<Real> confidence(r, 0.5);
 
     WireWriter lean, full;
-    encodeStepReply(1, false, tiles, confidence, cfg, lean);
-    encodeStepReply(1, true, tiles, confidence, cfg, full);
+    encodeStepReply(1, false, tiles.data(), tiles.size(), confidence, cfg,
+                    lean);
+    encodeStepReply(1, true, tiles.data(), tiles.size(), confidence, cfg,
+                    full);
     EXPECT_LT(lean.buffer().size(), full.buffer().size());
 
     StepReplyMsg got;
@@ -222,14 +226,181 @@ TEST(Wire, ControlAndAckRoundTrip)
     sent.seq = 17;
     encodeControl(sent, w);
     ControlMsg got;
+    got.lane = 0;
     ASSERT_TRUE(decodeControl(w.buffer().data(), w.buffer().size(), got));
     EXPECT_EQ(got.kind, ControlKind::Admit);
     EXPECT_EQ(got.seq, 17u);
+    EXPECT_EQ(got.lane, kAllLanes) << "default control targets every lane";
+
+    sent.lane = 5; // per-lane admit (pipelined serving)
+    encodeControl(sent, w);
+    ASSERT_TRUE(decodeControl(w.buffer().data(), w.buffer().size(), got));
+    EXPECT_EQ(got.lane, 5u);
 
     encodeControlAck(17, w);
     std::uint64_t seq = 0;
     ASSERT_TRUE(decodeControlAck(w.buffer().data(), w.buffer().size(), seq));
     EXPECT_EQ(seq, 17u);
+}
+
+// --------------------------------------------------------------------
+// Lane-batched frames (the pipelined serving path).
+// --------------------------------------------------------------------
+
+TEST(Wire, LaneStepRoundTripPreservesEveryLane)
+{
+    const DncConfig cfg = shardCfg();
+    const InterfaceVector a = sampleIface(cfg, 21);
+    const InterfaceVector b = sampleIface(cfg, 22);
+    const InterfaceVector c = sampleIface(cfg, 23);
+    const LaneStepEntry entries[] = {
+        {0, 0b001, &a}, {2, 0b111, &b}, {5, 0b000, &c}};
+
+    WireWriter w;
+    encodeLaneStep(0xFEEDu, true, entries, 3, w);
+    LaneStepMsg got;
+    ASSERT_TRUE(decodeLaneStep(w.buffer().data(), w.buffer().size(), cfg,
+                               /*lanes=*/6, got));
+    EXPECT_EQ(got.seq, 0xFEEDu);
+    EXPECT_TRUE(got.wantWeightings);
+    ASSERT_EQ(got.lanes.size(), 3u);
+    EXPECT_EQ(got.lanes, (std::vector<std::uint32_t>{0, 2, 5}));
+    EXPECT_EQ(got.masks, (std::vector<std::uint32_t>{0b001, 0b111, 0b000}));
+    expectIfaceEqual(a, got.ifaces[0]);
+    expectIfaceEqual(b, got.ifaces[1]);
+    expectIfaceEqual(c, got.ifaces[2]);
+}
+
+TEST(Wire, LaneStepRejectsBadLaneLists)
+{
+    const DncConfig cfg = shardCfg();
+    const InterfaceVector iface = sampleIface(cfg, 31);
+    LaneStepMsg out;
+
+    // Lane id beyond the handshake's lane count.
+    const LaneStepEntry outOfRange[] = {{7, 0, &iface}};
+    WireWriter w;
+    encodeLaneStep(1, false, outOfRange, 1, w);
+    EXPECT_FALSE(decodeLaneStep(w.buffer().data(), w.buffer().size(), cfg,
+                                /*lanes=*/4, out));
+
+    // Duplicate lane (would race on that lane's tiles).
+    const LaneStepEntry dup[] = {{1, 0, &iface}, {1, 0, &iface}};
+    encodeLaneStep(2, false, dup, 2, w);
+    EXPECT_FALSE(decodeLaneStep(w.buffer().data(), w.buffer().size(), cfg,
+                                4, out));
+
+    // Descending order.
+    const LaneStepEntry desc[] = {{3, 0, &iface}, {1, 0, &iface}};
+    encodeLaneStep(3, false, desc, 2, w);
+    EXPECT_FALSE(decodeLaneStep(w.buffer().data(), w.buffer().size(), cfg,
+                                4, out));
+
+    // More lanes than hosted.
+    const LaneStepEntry wide[] = {
+        {0, 0, &iface}, {1, 0, &iface}, {2, 0, &iface}};
+    encodeLaneStep(4, false, wide, 3, w);
+    EXPECT_FALSE(decodeLaneStep(w.buffer().data(), w.buffer().size(), cfg,
+                                2, out));
+
+    // Zero lanes.
+    encodeLaneStep(5, false, wide, 0, w);
+    EXPECT_FALSE(decodeLaneStep(w.buffer().data(), w.buffer().size(), cfg,
+                                4, out));
+}
+
+TEST(Wire, LaneStepReplyRoundTrip)
+{
+    const DncConfig cfg = shardCfg();
+    const Index r = cfg.readHeads;
+    const Index hosted = 2;
+    const std::uint32_t lanes[] = {1, 4};
+    Rng rng(17);
+    std::vector<MemoryReadout> readouts(2 * hosted);
+    std::vector<Real> confidence;
+    for (MemoryReadout &t : readouts)
+        for (Index h = 0; h < r; ++h)
+            t.readVectors.push_back(rng.normalVector(cfg.memoryWidth));
+    for (Index i = 0; i < 2 * hosted * r; ++i)
+        confidence.push_back(rng.normal());
+
+    WireWriter w;
+    encodeLaneStepReply(99, false, lanes, 2, hosted, readouts, confidence,
+                        cfg, w);
+    LaneStepReplyMsg got;
+    ASSERT_TRUE(decodeLaneStepReply(w.buffer().data(), w.buffer().size(),
+                                    cfg, hosted, /*maxLanes=*/2, got));
+    EXPECT_EQ(got.seq, 99u);
+    EXPECT_FALSE(got.hasWeightings);
+    EXPECT_EQ(got.lanes, (std::vector<std::uint32_t>{1, 4}));
+    EXPECT_EQ(got.confidence, confidence);
+    ASSERT_EQ(got.tiles.size(), readouts.size());
+    for (Index s = 0; s < readouts.size(); ++s)
+        for (Index h = 0; h < r; ++h)
+            EXPECT_TRUE(got.tiles[s].readVectors[h] ==
+                        readouts[s].readVectors[h]);
+
+    // A reply naming more lanes than the coordinator scattered fails.
+    EXPECT_FALSE(decodeLaneStepReply(w.buffer().data(), w.buffer().size(),
+                                     cfg, hosted, /*maxLanes=*/1, got));
+}
+
+TEST(WireMalformed, LaneStepTruncationAtEveryByteIsRejected)
+{
+    const DncConfig cfg = shardCfg();
+    const InterfaceVector a = sampleIface(cfg, 41);
+    const InterfaceVector b = sampleIface(cfg, 42);
+    const LaneStepEntry entries[] = {{0, 0b11, &a}, {3, 0b01, &b}};
+    WireWriter w;
+    encodeLaneStep(12, false, entries, 2, w);
+
+    LaneStepMsg out;
+    for (std::size_t len = 0; len < w.buffer().size(); ++len)
+        EXPECT_FALSE(decodeLaneStep(w.buffer().data(), len, cfg, 4, out))
+            << "truncated LaneStep of " << len << " bytes decoded";
+
+    // Trailing garbage after a well-formed frame is rejected too.
+    std::vector<std::uint8_t> frame = w.buffer();
+    frame.push_back(0xAB);
+    EXPECT_FALSE(decodeLaneStep(frame.data(), frame.size(), cfg, 4, out));
+}
+
+TEST(WireMalformed, LaneStepReplyTruncationAtEveryByteIsRejected)
+{
+    const DncConfig cfg = shardCfg();
+    const Index r = cfg.readHeads;
+    const Index hosted = 1;
+    const std::uint32_t lanes[] = {0, 2};
+    Rng rng(43);
+    std::vector<MemoryReadout> readouts(2);
+    for (MemoryReadout &t : readouts)
+        for (Index h = 0; h < r; ++h)
+            t.readVectors.push_back(rng.normalVector(cfg.memoryWidth));
+    const std::vector<Real> confidence(2 * r, 0.25);
+    WireWriter w;
+    encodeLaneStepReply(13, false, lanes, 2, hosted, readouts, confidence,
+                        cfg, w);
+
+    LaneStepReplyMsg out;
+    for (std::size_t len = 0; len < w.buffer().size(); ++len)
+        EXPECT_FALSE(decodeLaneStepReply(w.buffer().data(), len, cfg,
+                                         hosted, 2, out))
+            << "truncated LaneStepReply of " << len << " bytes decoded";
+}
+
+TEST(WireMalformed, LaneStepAdversarialCountsDoNotAllocate)
+{
+    // A hand-built LaneStep declaring 4 billion lanes must bounce on
+    // the lane-count check before any resize.
+    WireWriter w;
+    w.clear();
+    w.header(MsgType::LaneStep);
+    w.putU64(1);          // seq
+    w.putU8(0);           // wantWeightings
+    w.putU32(0xFFFFFFFF); // laneCount — absurd
+    LaneStepMsg out;
+    EXPECT_FALSE(decodeLaneStep(w.buffer().data(), w.buffer().size(),
+                                shardCfg(), 8, out));
 }
 
 TEST(Wire, ErrorRoundTripAndPeek)
@@ -377,6 +548,87 @@ TEST(Transport, LoopbackDeliversInOrderAndCountsBytes)
     ASSERT_TRUE(chan.recvFrame(frame));
     EXPECT_EQ(frame, b);
     EXPECT_FALSE(chan.recvFrame(frame)) << "empty inbox must report false";
+
+    // Per-type stats classified the garbage as slot 0 (unparseable).
+    EXPECT_EQ(chan.sentStats().totalFrames(), 2u);
+    EXPECT_EQ(chan.sentStats().frames[0], 2u);
+    EXPECT_EQ(chan.receivedStats().bytes[0], 5u);
+}
+
+// --------------------------------------------------------------------
+// LoopbackChannel inbox-ring reuse across a worker's serving life:
+// multiple outstanding Steps, Admit controls mid-stream, back-to-back
+// episodes on the same channel — the reply ring must hand frames back
+// in order through every transition.
+// --------------------------------------------------------------------
+
+TEST(Transport, LoopbackInboxRingSurvivesEpisodesAndOutstandingSteps)
+{
+    DncConfig cfg = shardCfg();
+    auto worker = std::make_shared<ShardWorker>();
+    LoopbackChannel chan(
+        [worker](const std::uint8_t *data, std::size_t size,
+                 FrameSink &reply) { worker->handleFrame(data, size, reply); });
+
+    const Index hosted = 2;
+    WireWriter w;
+    encodeHello(WireConfig::fromShard(cfg, hosted, /*lanes=*/1), w);
+    chan.sendFrame(w.buffer().data(), w.buffer().size());
+    std::vector<std::uint8_t> frame;
+    ASSERT_TRUE(chan.recvFrame(frame));
+    HelloAckMsg ack;
+    ASSERT_TRUE(decodeHelloAck(frame.data(), frame.size(), ack));
+    ASSERT_TRUE(ack.ok);
+
+    Rng rng(3);
+    const InterfaceVector iface = golden::randomIface(cfg, rng);
+    std::uint64_t seq = 0;
+    std::uint64_t controlSeq = 0;
+
+    for (int episode = 0; episode < 3; ++episode) {
+        // Admit mid-stream: episodes ride the same channel back to
+        // back, exercising ring reuse across control frames.
+        ControlMsg admit;
+        admit.kind = ControlKind::Admit;
+        admit.seq = ++controlSeq;
+        encodeControl(admit, w);
+        chan.sendFrame(w.buffer().data(), w.buffer().size());
+        ASSERT_TRUE(chan.recvFrame(frame));
+        std::uint64_t ackSeq = 0;
+        ASSERT_TRUE(decodeControlAck(frame.data(), frame.size(), ackSeq));
+        EXPECT_EQ(ackSeq, admit.seq);
+
+        // Three Steps queued before any reply is popped: the inbox ring
+        // must hold multiple outstanding replies and deliver them in
+        // send order with the matching sequence ids.
+        const std::uint64_t firstSeq = seq + 1;
+        for (int burst = 0; burst < 3; ++burst) {
+            encodeStepBroadcast(++seq, false, 0b1, iface, hosted, w);
+            chan.sendFrame(w.buffer().data(), w.buffer().size());
+        }
+        for (int burst = 0; burst < 3; ++burst) {
+            ASSERT_TRUE(chan.recvFrame(frame));
+            StepReplyMsg reply;
+            ASSERT_TRUE(decodeStepReply(frame.data(), frame.size(), cfg,
+                                        hosted, reply));
+            EXPECT_EQ(reply.seq, firstSeq + burst)
+                << "episode " << episode << " reply out of order";
+        }
+        EXPECT_FALSE(chan.recvFrame(frame)) << "ring drained";
+    }
+    EXPECT_EQ(worker->episodesServed(), 3u);
+    EXPECT_EQ(worker->stepsServed(), 9u);
+
+    // The channel classified traffic per message type.
+    EXPECT_EQ(chan.sentStats()
+                  .frames[static_cast<std::size_t>(MsgType::Step)],
+              9u);
+    EXPECT_EQ(chan.receivedStats()
+                  .frames[static_cast<std::size_t>(MsgType::StepReply)],
+              9u);
+    EXPECT_EQ(chan.sentStats()
+                  .frames[static_cast<std::size_t>(MsgType::Control)],
+              3u);
 }
 
 } // namespace
