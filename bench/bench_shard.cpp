@@ -19,11 +19,20 @@
  * the channels' WireTrafficStats. Results land in BENCH_shard.json (CI
  * artifact) next to the other bench JSONs.
  *
+ * The fault-tolerance sweep (wire v3) rides the same harness: sync
+ * rows re-run with periodic checkpointing armed (interval in steps; 0
+ * = the untracked baseline) so the steady-state cost of the checkpoint
+ * pulls and the replay log shows up in steps/s and in the per-type
+ * wire stats, and dedicated recovery rows kill a worker mid-run half a
+ * checkpoint interval past the last pull and report the wall time of
+ * the recovering step (detect + respawn + Rejoin + Restore + replay)
+ * next to a normal step.
+ *
  * Like every bench here, a bit-exactness gate runs first: the sharded
  * stack — sync *and* pipelined — must reproduce the in-process model
  * exactly (float and fixed point) or the bench refuses to time it.
- * `--smoke` runs the gate plus a few tiny points (the sanitizer CI
- * configuration).
+ * `--smoke` runs the gate plus a few tiny points, including one
+ * injected kill + recovery (the sanitizer CI configuration).
  */
 
 #include <chrono>
@@ -210,6 +219,7 @@ struct Point
     Index workers;
     Index lanes;        ///< 1 for sync rows
     Index lanesPerBatch; ///< 0 for sync rows
+    Index checkpointInterval; ///< 0 = fault tolerance unarmed
     double stepsPerSec; ///< lane-steps/s for pipelined rows
     // Per-type wire traffic per (lane-)step, both directions.
     WireTrafficStats sent;
@@ -235,9 +245,11 @@ diffStats(const Channel &chan, const WireTrafficStats &sentBase,
 }
 
 Point
-runPoint(Transport transport, Index tiles, Index workers)
+runPoint(Transport transport, Index tiles, Index workers,
+         Index checkpointInterval = 0)
 {
-    const DncConfig cfg = benchConfig(tiles);
+    DncConfig cfg = benchConfig(tiles);
+    cfg.shardCheckpointIntervalSteps = checkpointInterval;
     Rng rng(7);
     const InterfaceVector iface = randomIface(cfg, rng);
 
@@ -247,6 +259,7 @@ runPoint(Transport transport, Index tiles, Index workers)
     p.workers = workers;
     p.lanes = 1;
     p.lanesPerBatch = 0;
+    p.checkpointInterval = checkpointInterval;
 
     if (transport == Transport::InProcess) {
         DncD model(cfg, tiles);
@@ -259,6 +272,12 @@ runPoint(Transport transport, Index tiles, Index workers)
     LocalShardCluster stack = makeLocalCluster(
         toCluster(transport), cfg, tiles, workers, MergePolicy::Confidence,
         /*wantWeightings=*/false);
+    // A nonzero interval arms the full fault-tolerance path — frame
+    // tracking, the replay log, periodic CheckpointState pulls — so
+    // these rows price exactly what a recoverable deployment pays.
+    std::shared_ptr<RespawnHarness> harness;
+    if (checkpointInterval > 0)
+        harness = armClusterRecovery(stack, toCluster(transport));
     MemoryReadout out;
     std::uint64_t steps = 0;
     // Stats are differenced around the timed loop so handshake and
@@ -355,6 +374,68 @@ runPipelinedPoint(Transport transport, Index tiles, Index workers,
     return p;
 }
 
+/** One measured kill + recovery on the sync coordinator. */
+struct RecoveryRow
+{
+    Transport transport;
+    Index tiles;
+    Index workers;
+    Index interval;    ///< checkpoint cadence (steps)
+    double stepMs;     ///< fastest normal step just before the kill
+    double recoveryMs; ///< the killed step: detect + respawn + restore + replay
+};
+
+/**
+ * Measure recovery latency: run past one checkpoint pull, kill worker 0
+ * half an interval later (so the replay log holds interval/2 steps),
+ * and time the step that detects the loss and recovers through it.
+ */
+RecoveryRow
+runRecoveryRow(Transport transport, Index tiles, Index workers,
+               Index interval)
+{
+    DncConfig cfg = benchConfig(tiles);
+    cfg.shardCheckpointIntervalSteps = interval;
+    Rng rng(7);
+    const InterfaceVector iface = randomIface(cfg, rng);
+
+    RecoveryRow row{};
+    row.transport = transport;
+    row.tiles = tiles;
+    row.workers = workers;
+    row.interval = interval;
+
+    LocalShardCluster stack = makeLocalCluster(
+        toCluster(transport), cfg, tiles, workers, MergePolicy::Confidence,
+        /*wantWeightings=*/false);
+    auto harness = armClusterRecovery(stack, toCluster(transport));
+
+    using Clock = std::chrono::steady_clock;
+    const auto stepMs = [&](MemoryReadout &out) {
+        const auto t0 = Clock::now();
+        stack.coordinator->stepInterfaceInto(iface, out);
+        return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    };
+
+    MemoryReadout out;
+    Index sent = 0; // Step frames every worker has received
+    for (Index i = 0; i < interval + 2; ++i, ++sent)
+        stack.coordinator->stepInterfaceInto(iface, out);
+    row.stepMs = 1e9;
+    for (Index i = 0; i < 5; ++i, ++sent)
+        row.stepMs = std::min(row.stepMs, stepMs(out));
+
+    FaultSpec kill;
+    kill.killAtStepFrame = sent + interval / 2;
+    stack.workers[0]->injectFault(kill);
+    while (stack.coordinator->recoveries() == 0) {
+        row.recoveryMs = stepMs(out);
+        ++sent;
+    }
+    return row;
+}
+
 /** Emit one point's per-type wire stats as a JSON object. */
 void
 writeWireStats(FILE *json, const Point &p)
@@ -408,31 +489,56 @@ main(int argc, char **argv)
         Transport transport;
         Index tiles;
         Index workers;
-        Index lanesPerBatch; ///< 0 = sync coordinator
+        Index lanesPerBatch;      ///< 0 = sync coordinator
+        Index checkpointInterval; ///< 0 = fault tolerance unarmed
+    };
+    struct RecoveryCase
+    {
+        Transport transport;
+        Index tiles;
+        Index workers;
+        Index interval;
     };
     std::vector<Case> cases;
+    std::vector<RecoveryCase> recoveryCases;
     if (smoke) {
-        cases = {{Transport::Loopback, 4, 2, 0},
-                 {Transport::Unix, 4, 2, 0},
-                 {Transport::Loopback, 4, 2, 2},
-                 {Transport::Unix, 4, 2, 4}};
+        cases = {{Transport::Loopback, 4, 2, 0, 0},
+                 {Transport::Unix, 4, 2, 0, 0},
+                 {Transport::Loopback, 4, 2, 2, 0},
+                 {Transport::Unix, 4, 2, 4, 0},
+                 // Fault tolerance armed: checkpoint pulls in the loop.
+                 {Transport::Unix, 4, 2, 0, 16}};
+        // One injected kill + recovery under the sanitizers.
+        recoveryCases = {{Transport::Unix, 4, 2, 16}};
     } else {
         for (Index tiles : {Index(2), Index(4), Index(8), Index(16)}) {
             const Index workers = tiles >= 4 ? 4 : tiles;
-            cases.push_back({Transport::InProcess, tiles, 0, 0});
-            cases.push_back({Transport::Loopback, tiles, workers, 0});
-            cases.push_back({Transport::Unix, tiles, workers, 0});
-            cases.push_back({Transport::Tcp, tiles, workers, 0});
+            cases.push_back({Transport::InProcess, tiles, 0, 0, 0});
+            cases.push_back({Transport::Loopback, tiles, workers, 0, 0});
+            cases.push_back({Transport::Unix, tiles, workers, 0, 0});
+            cases.push_back({Transport::Tcp, tiles, workers, 0, 0});
         }
         // The pipelined sweep at the tile counts where the sync
         // round-trip gap is widest (see the sync rows).
         for (Index tiles : {Index(8), Index(16)}) {
             const Index workers = 4;
             for (Index k : {Index(1), Index(2), Index(4), Index(8)}) {
-                cases.push_back({Transport::Loopback, tiles, workers, k});
-                cases.push_back({Transport::Unix, tiles, workers, k});
-                cases.push_back({Transport::Tcp, tiles, workers, k});
+                cases.push_back({Transport::Loopback, tiles, workers, k, 0});
+                cases.push_back({Transport::Unix, tiles, workers, k, 0});
+                cases.push_back({Transport::Tcp, tiles, workers, k, 0});
             }
+        }
+        // Checkpoint-overhead sweep: the interval-0 baseline is the
+        // plain sync row above; 64 and 256 price the recoverable
+        // configurations.
+        for (Index interval : {Index(64), Index(256)}) {
+            cases.push_back({Transport::Loopback, 8, 4, 0, interval});
+            cases.push_back({Transport::Unix, 8, 4, 0, interval});
+        }
+        // Recovery latency per injected kill.
+        for (Index interval : {Index(64), Index(256)}) {
+            recoveryCases.push_back({Transport::Unix, 8, 4, interval});
+            recoveryCases.push_back({Transport::Tcp, 8, 4, interval});
         }
     }
 
@@ -445,7 +551,8 @@ main(int argc, char **argv)
     for (const Case &c : cases) {
         const Point p =
             c.lanesPerBatch == 0
-                ? runPoint(c.transport, c.tiles, c.workers)
+                ? runPoint(c.transport, c.tiles, c.workers,
+                           c.checkpointInterval)
                 : runPipelinedPoint(c.transport, c.tiles, c.workers,
                                     c.lanesPerBatch);
         points.push_back(p);
@@ -459,11 +566,29 @@ main(int argc, char **argv)
                         transportName(p.transport), p.tiles, p.workers,
                         p.lanesPerBatch, p.stepsPerSec,
                         wireBytes / p.statSteps);
+        else if (p.checkpointInterval > 0)
+            std::printf("%-10s tiles=%2zu workers=%zu sync ckpt=%-4zu"
+                        "%9.1f steps/s       %8.1f wire B/step\n",
+                        transportName(p.transport), p.tiles, p.workers,
+                        p.checkpointInterval, p.stepsPerSec,
+                        wireBytes / p.statSteps);
         else
             std::printf("%-10s tiles=%2zu workers=%zu sync         "
                         "%9.1f steps/s       %8.1f wire B/step\n",
                         transportName(p.transport), p.tiles, p.workers,
                         p.stepsPerSec, wireBytes / p.statSteps);
+    }
+
+    std::vector<RecoveryRow> recoveries;
+    for (const RecoveryCase &c : recoveryCases) {
+        const RecoveryRow r =
+            runRecoveryRow(c.transport, c.tiles, c.workers, c.interval);
+        recoveries.push_back(r);
+        std::printf("%-10s tiles=%2zu workers=%zu recovery ckpt=%-4zu "
+                    "killed worker recovered in %.2f ms (normal step "
+                    "%.3f ms)\n",
+                    transportName(r.transport), r.tiles, r.workers,
+                    r.interval, r.recoveryMs, r.stepMs);
     }
 
     FILE *json = std::fopen("BENCH_shard.json", "w");
@@ -485,12 +610,27 @@ main(int argc, char **argv)
         std::fprintf(json,
                      "    {\"transport\": \"%s\", \"mode\": \"%s\", "
                      "\"tiles\": %zu, \"workers\": %zu, \"lanes\": %zu, "
-                     "\"lanes_per_batch\": %zu, \"steps_per_sec\": %.2f, ",
+                     "\"lanes_per_batch\": %zu, "
+                     "\"checkpoint_interval\": %zu, "
+                     "\"steps_per_sec\": %.2f, ",
                      transportName(p.transport),
                      p.pipelined() ? "pipelined" : "sync", p.tiles,
-                     p.workers, p.lanes, p.lanesPerBatch, p.stepsPerSec);
+                     p.workers, p.lanes, p.lanesPerBatch,
+                     p.checkpointInterval, p.stepsPerSec);
         writeWireStats(json, p);
         std::fprintf(json, "}%s\n", i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"recovery\": [\n");
+    for (std::size_t i = 0; i < recoveries.size(); ++i) {
+        const RecoveryRow &r = recoveries[i];
+        std::fprintf(json,
+                     "    {\"transport\": \"%s\", \"tiles\": %zu, "
+                     "\"workers\": %zu, \"checkpoint_interval\": %zu, "
+                     "\"step_ms\": %.4f, \"recovery_ms\": %.4f}%s\n",
+                     transportName(r.transport), r.tiles, r.workers,
+                     r.interval, r.stepMs, r.recoveryMs,
+                     i + 1 < recoveries.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n");
     std::fprintf(json, "}\n");

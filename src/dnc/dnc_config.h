@@ -73,6 +73,18 @@ struct DncConfig
     Index shardLanesPerBatch = 0;
 
     /**
+     * Checkpoint cadence of the sharded serving stack: every this many
+     * coordinator steps (per lane for the pipelined group), the
+     * coordinator pulls a CheckpointState snapshot of every worker's
+     * tiles and trims its replay log to the window since that snapshot.
+     * On a worker death it then respawns a replacement, restores the
+     * snapshot, and replays the logged window — bit-identical to an
+     * undisturbed run. 0 (default) disables checkpointing: a lost
+     * worker stays fatal, exactly the pre-v3 behavior.
+     */
+    Index shardCheckpointIntervalSteps = 0;
+
+    /**
      * Pending-request queue bound of the dynamic-batching router
      * (src/serve/router.h): submissions beyond this many queued-but-
      * unadmitted requests are rejected (back-pressure). Must be >= 1.

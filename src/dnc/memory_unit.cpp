@@ -233,4 +233,66 @@ MemoryUnit::reset()
         rw.fill(0.0);
 }
 
+void
+MemoryTileState::sizeFor(const DncConfig &config)
+{
+    const Index n = config.memoryRows;
+    memory.resize(n * config.memoryWidth);
+    rowNorms.resize(n);
+    usage.resize(n);
+    linkage.resize(n * n);
+    precedence.resize(n);
+    writeWeighting.resize(n);
+    if (readWeightings.size() != config.readHeads)
+        readWeightings.resize(config.readHeads);
+    for (auto &rw : readWeightings)
+        rw.resize(n);
+}
+
+void
+MemoryUnit::captureState(MemoryTileState &out) const
+{
+    out.sizeFor(config_);
+    std::copy(memory_.data(), memory_.data() + memory_.size(),
+              out.memory.begin());
+    std::copy(rowNorms_.begin(), rowNorms_.end(), out.rowNorms.begin());
+    std::copy(usage_.begin(), usage_.end(), out.usage.begin());
+    const Matrix &link = linkage_.linkage();
+    std::copy(link.data(), link.data() + link.size(), out.linkage.begin());
+    std::copy(linkage_.precedence().begin(), linkage_.precedence().end(),
+              out.precedence.begin());
+    std::copy(writeWeighting_.begin(), writeWeighting_.end(),
+              out.writeWeighting.begin());
+    for (Index h = 0; h < config_.readHeads; ++h)
+        std::copy(readWeightings_[h].begin(), readWeightings_[h].end(),
+                  out.readWeightings[h].begin());
+}
+
+void
+MemoryUnit::restoreState(const MemoryTileState &state)
+{
+    const Index n = config_.memoryRows;
+    const Index w = config_.memoryWidth;
+    HIMA_ASSERT(state.memory.size() == n * w &&
+                    state.rowNorms.size() == n && state.usage.size() == n &&
+                    state.writeWeighting.size() == n &&
+                    state.readWeightings.size() == config_.readHeads,
+                "tile restore: snapshot shapes do not match N=%zu W=%zu "
+                "R=%zu",
+                n, w, config_.readHeads);
+    for (const Vector &rw : state.readWeightings)
+        HIMA_ASSERT(rw.size() == n, "tile restore: read weighting %zu != %zu",
+                    rw.size(), n);
+    std::copy(state.memory.begin(), state.memory.end(), memory_.data());
+    std::copy(state.rowNorms.begin(), state.rowNorms.end(),
+              rowNorms_.begin());
+    std::copy(state.usage.begin(), state.usage.end(), usage_.begin());
+    linkage_.restoreState(state.linkage, state.precedence);
+    std::copy(state.writeWeighting.begin(), state.writeWeighting.end(),
+              writeWeighting_.begin());
+    for (Index h = 0; h < config_.readHeads; ++h)
+        std::copy(state.readWeightings[h].begin(),
+                  state.readWeightings[h].end(), readWeightings_[h].begin());
+}
+
 } // namespace hima

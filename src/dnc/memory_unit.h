@@ -46,6 +46,32 @@ struct MemoryReadout
     Vector writeWeighting;
 };
 
+/**
+ * The complete recurrent state of one MemoryUnit, flattened for
+ * checkpoint/restore. Everything a step depends on is here — the
+ * Workspace, profiler and sort scratch are derived per step, so a
+ * restore of this snapshot followed by the same interface stream
+ * reproduces the original run bit-for-bit (tested).
+ *
+ * Matrices are stored row-major in flat Vectors so the shard wire codec
+ * can move them with the bulk Real-array path; `sizeFor()` pre-sizes
+ * every buffer (capacity-reusing) so steady-state checkpointing stays
+ * allocation-free.
+ */
+struct MemoryTileState
+{
+    Vector memory;         ///< N x W, row-major
+    Vector rowNorms;       ///< N
+    Vector usage;          ///< N
+    Vector linkage;        ///< N x N, row-major
+    Vector precedence;     ///< N
+    Vector writeWeighting; ///< N
+    std::vector<Vector> readWeightings; ///< R x N
+
+    /** Resize every buffer for `config`'s shapes (keeps capacity). */
+    void sizeFor(const DncConfig &config);
+};
+
 /** The stateful DNC memory unit. */
 class MemoryUnit
 {
@@ -69,6 +95,16 @@ class MemoryUnit
 
     /** Zero all state (episode boundary). */
     void reset();
+
+    /** Snapshot all recurrent state into `out` (sized, then copied). */
+    void captureState(MemoryTileState &out) const;
+
+    /**
+     * Overwrite all recurrent state from a snapshot with matching
+     * shapes (fatal on mismatch). Allocation-free: every destination
+     * buffer was sized at construction.
+     */
+    void restoreState(const MemoryTileState &state);
 
     // --- state inspection (tests, workloads, the DNC-D merge) ---
     const Matrix &memory() const { return memory_; }

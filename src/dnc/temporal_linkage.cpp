@@ -411,4 +411,18 @@ TemporalLinkage::reset()
     precedence_.fill(0.0);
 }
 
+void
+TemporalLinkage::restoreState(const Vector &linkageFlat,
+                              const Vector &precedence)
+{
+    HIMA_ASSERT(linkageFlat.size() == slots_ * slots_,
+                "linkage restore: %zu reals for %zu slots",
+                linkageFlat.size(), slots_);
+    HIMA_ASSERT(precedence.size() == slots_,
+                "precedence restore: %zu reals for %zu slots",
+                precedence.size(), slots_);
+    std::copy(linkageFlat.begin(), linkageFlat.end(), linkage_.data());
+    std::copy(precedence.begin(), precedence.end(), precedence_.begin());
+}
+
 } // namespace hima

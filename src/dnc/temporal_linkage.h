@@ -85,6 +85,12 @@ class TemporalLinkage
     /** Reset all state to zero (episode boundary). */
     void reset();
 
+    /**
+     * Overwrite linkage + precedence from a flat row-major snapshot
+     * (checkpoint restore; fatal on size mismatch).
+     */
+    void restoreState(const Vector &linkageFlat, const Vector &precedence);
+
   private:
     /** updateAndRead() body specialized on the head count R. */
     template <Index R>

@@ -32,15 +32,8 @@ ShardCoordinator::ShardCoordinator(
     HIMA_ASSERT(config.readHeads <= 32,
                 "scored-head mask supports up to 32 read heads");
 
-    // Deal tiles contiguously and as evenly as possible.
+    dealTiles();
     const Index chans = channels_.size();
-    Index next = 0;
-    for (Index k = 0; k < chans; ++k) {
-        const Index count = tiles_ / chans + (k < tiles_ % chans ? 1 : 0);
-        firstTile_.push_back(next);
-        tileCount_.push_back(count);
-        next += count;
-    }
 
     // Config handshake: every worker validates shapes and datapath mode
     // before any step traffic.
@@ -65,8 +58,25 @@ ShardCoordinator::ShardCoordinator(
                        tileCount_[k]);
     }
 
-    replies_.resize(chans);
     localPtrs_.resize(tiles_);
+}
+
+void
+ShardCoordinator::dealTiles()
+{
+    // Deal tiles contiguously and as evenly as possible.
+    const Index chans = channels_.size();
+    firstTile_.clear();
+    tileCount_.clear();
+    Index next = 0;
+    for (Index k = 0; k < chans; ++k) {
+        const Index count = tiles_ / chans + (k < tiles_ % chans ? 1 : 0);
+        firstTile_.push_back(next);
+        tileCount_.push_back(count);
+        next += count;
+    }
+    replies_.resize(chans);
+    pendingFrames_.resize(chans);
 }
 
 ShardCoordinator::~ShardCoordinator()
@@ -87,10 +97,10 @@ ShardCoordinator::stepInterfaceInto(const InterfaceVector &iface,
     for (Index k = 0; k < channels_.size(); ++k) {
         encodeStepBroadcast(seq_, wantWeightings_, mask, iface,
                             tileCount_[k], writer_);
-        channels_[k]->sendFrame(writer_.buffer().data(),
-                                writer_.buffer().size());
+        sendTracked(k);
     }
     exchange(out);
+    maybeCheckpoint();
 }
 
 void
@@ -121,10 +131,10 @@ ShardCoordinator::stepInterfacesInto(
     for (Index k = 0; k < channels_.size(); ++k) {
         encodeStepSpan(seq_, wantWeightings_, mask, &ifaces[firstTile_[k]],
                        tileCount_[k], writer_);
-        channels_[k]->sendFrame(writer_.buffer().data(),
-                                writer_.buffer().size());
+        sendTracked(k);
     }
     exchange(out);
+    maybeCheckpoint();
 }
 
 void
@@ -133,8 +143,7 @@ ShardCoordinator::exchange(MemoryReadout &out)
     // Gather replies in channel order; remote workers overlap compute.
     const Index r = globalConfig_.readHeads;
     for (Index k = 0; k < channels_.size(); ++k) {
-        if (!channels_[k]->recvFrame(frame_))
-            shardRecvFailure(*channels_[k], "step", seq_, k);
+        recvOrRecover(k, "step");
         MsgType type;
         if (!peekType(frame_.data(), frame_.size(), type))
             HIMA_FATAL("shard step %llu: worker %zu sent a malformed frame",
@@ -205,18 +214,248 @@ ShardCoordinator::sendControl(ControlKind kind)
     ControlMsg msg;
     msg.kind = kind;
     msg.seq = ++controlSeq_;
-    for (auto &channel : channels_) {
+    for (Index k = 0; k < channels_.size(); ++k) {
         encodeControl(msg, writer_);
-        channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+        sendTracked(k);
     }
     for (Index k = 0; k < channels_.size(); ++k) {
         std::uint64_t seq = 0;
-        if (!channels_[k]->recvFrame(frame_) ||
-            !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+        recvOrRecover(k, "control");
+        if (!decodeControlAck(frame_.data(), frame_.size(), seq) ||
             seq != msg.seq)
             HIMA_FATAL("shard control: worker %zu did not acknowledge", k);
     }
+    // Controls mutate worker state (tile resets), so a replacement
+    // worker must replay them in order with the steps.
+    commitLog();
     gate_.reset();
+}
+
+// --------------------------------------------------------------------
+// Fault tolerance: checkpoint pulls, replay log, respawn + restore
+// --------------------------------------------------------------------
+
+void
+ShardCoordinator::sendTracked(Index k)
+{
+    const std::vector<std::uint8_t> &buf = writer_.buffer();
+    // assign() reuses capacity, so tracking costs one memcpy and no
+    // allocation once frame sizes plateau.
+    if (recoveryArmed())
+        pendingFrames_[k].assign(buf.begin(), buf.end());
+    channels_[k]->sendFrame(buf.data(), buf.size());
+}
+
+void
+ShardCoordinator::commitLog()
+{
+    if (!recoveryArmed())
+        return;
+    if (logCount_ == log_.size())
+        log_.emplace_back();
+    std::vector<std::vector<std::uint8_t>> &entry = log_[logCount_++];
+    entry.resize(channels_.size());
+    for (Index k = 0; k < channels_.size(); ++k)
+        entry[k].assign(pendingFrames_[k].begin(), pendingFrames_[k].end());
+}
+
+void
+ShardCoordinator::maybeCheckpoint()
+{
+    if (!recoveryArmed())
+        return;
+    commitLog();
+    if (++stepsSinceCheckpoint_ >=
+        globalConfig_.shardCheckpointIntervalSteps)
+        pullCheckpoints();
+}
+
+MemoryTileState *const *
+ShardCoordinator::snapshotSlice(Index k)
+{
+    snapshotPtrs_.resize(tileCount_[k]);
+    for (Index i = 0; i < tileCount_[k]; ++i)
+        snapshotPtrs_[i] = &checkpoints_[firstTile_[k] + i];
+    return snapshotPtrs_.data();
+}
+
+void
+ShardCoordinator::pullCheckpoints()
+{
+    const Index chans = channels_.size();
+    checkpoints_.resize(tiles_);
+    ++checkpointSeq_;
+    for (Index k = 0; k < chans; ++k) {
+        encodeCheckpointRequest(checkpointSeq_, writer_);
+        sendTracked(k);
+    }
+    for (Index k = 0; k < chans; ++k) {
+        // A loss mid-pull recovers from the *previous* checkpoint plus
+        // the still-uncleared log; slices already written for earlier
+        // workers are irrelevant to recovering this one.
+        recvOrRecover(k, "checkpoint");
+        MsgType type;
+        if (peekType(frame_.data(), frame_.size(), type) &&
+            type == MsgType::Error) {
+            ErrorMsg err;
+            decodeError(frame_.data(), frame_.size(), err);
+            HIMA_FATAL("shard checkpoint %llu: worker %zu error: %s",
+                       static_cast<unsigned long long>(checkpointSeq_), k,
+                       err.message.c_str());
+        }
+        std::uint64_t seq = 0;
+        if (!decodeCheckpointState(frame_.data(), frame_.size(),
+                                   shardConfig_, snapshotSlice(k),
+                                   tileCount_[k], seq) ||
+            seq != checkpointSeq_)
+            HIMA_FATAL("shard checkpoint %llu: worker %zu sent a "
+                       "malformed snapshot",
+                       static_cast<unsigned long long>(checkpointSeq_), k);
+    }
+    checkpointValid_ = true;
+    ++checkpointsTaken_;
+    stepsSinceCheckpoint_ = 0;
+    logCount_ = 0; // ring buffers kept: the next window reuses them
+}
+
+void
+ShardCoordinator::checkpointNow()
+{
+    pullCheckpoints();
+}
+
+void
+ShardCoordinator::recvOrRecover(Index k, const char *what)
+{
+    if (channels_[k]->recvFrame(frame_))
+        return;
+    recoverWorker(k, what); // fatal unless recovery is armed
+    // Re-issue the in-flight frame the loss swallowed and take the
+    // replacement's answer instead. A second loss on the same exchange
+    // is fatal: recovery is not a retry loop.
+    channels_[k]->sendFrame(pendingFrames_[k].data(),
+                            pendingFrames_[k].size());
+    if (!channels_[k]->recvFrame(frame_))
+        shardRecvFailure(*channels_[k], what, seq_, k);
+}
+
+void
+ShardCoordinator::rejoinWorker(Index k, const char *who)
+{
+    encodeRejoin(WireConfig::fromShard(shardConfig_, tileCount_[k]),
+                 firstTile_[k], writer_);
+    channels_[k]->sendFrame(writer_.buffer().data(),
+                            writer_.buffer().size());
+    HelloAckMsg ack;
+    if (!channels_[k]->recvFrame(frame_) ||
+        !decodeHelloAck(frame_.data(), frame_.size(), ack) || !ack.ok ||
+        ack.hostedTiles != tileCount_[k])
+        HIMA_FATAL("%s: worker %zu failed the Rejoin handshake%s%s", who, k,
+                   ack.message.empty() ? "" : ": ", ack.message.c_str());
+}
+
+void
+ShardCoordinator::restoreWorker(Index k, const char *who)
+{
+    encodeRestore(checkpointSeq_, snapshotSlice(k), tileCount_[k],
+                  shardConfig_, writer_);
+    channels_[k]->sendFrame(writer_.buffer().data(),
+                            writer_.buffer().size());
+    std::uint64_t seq = 0;
+    if (!channels_[k]->recvFrame(frame_) ||
+        !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+        seq != checkpointSeq_)
+        HIMA_FATAL("%s: worker %zu did not acknowledge the Restore", who,
+                   k);
+}
+
+void
+ShardCoordinator::recoverWorker(Index k, const char *what)
+{
+    const ShardError err = shardRecvError(*channels_[k], what, seq_, k);
+    if (!recoveryArmed())
+        HIMA_FATAL("%s", err.describe().c_str());
+    ++recoveries_;
+    HIMA_WARN("%s; respawning and replaying %zu logged frames",
+              err.describe().c_str(), logCount_);
+    std::unique_ptr<Channel> fresh = respawner_(k);
+    if (!fresh)
+        HIMA_FATAL("shard recovery: no replacement channel for worker %zu",
+                   k);
+    channels_[k] = std::move(fresh);
+
+    // The replacement validates shapes and builds zeroed tiles (the
+    // t=0 state) exactly like Hello, then takes the lost assignment.
+    rejoinWorker(k, "shard recovery");
+
+    // Restore the last checkpoint slice. Before the first pull there is
+    // nothing to restore — freshly built tiles already hold the state
+    // the log replays from.
+    if (checkpointValid_)
+        restoreWorker(k, "shard recovery");
+
+    // Replay the logged window since that checkpoint; replies are
+    // drained and discarded (the coordinator-side gate state already
+    // advanced through these frames the first time around).
+    for (std::size_t e = 0; e < logCount_; ++e) {
+        const std::vector<std::uint8_t> &replay = log_[e][k];
+        channels_[k]->sendFrame(replay.data(), replay.size());
+        MsgType type;
+        if (!channels_[k]->recvFrame(frame_) ||
+            !peekType(frame_.data(), frame_.size(), type) ||
+            type == MsgType::Error)
+            HIMA_FATAL("shard recovery: worker %zu failed replay frame "
+                       "%zu/%zu",
+                       k, e + 1, static_cast<std::size_t>(logCount_));
+    }
+}
+
+void
+ShardCoordinator::migrateWorker(Index k,
+                                std::unique_ptr<Channel> replacement)
+{
+    HIMA_ASSERT(k < channels_.size(), "migrate: no worker %zu", k);
+    HIMA_ASSERT(replacement != nullptr, "migrate: null replacement");
+    // Nothing is in flight between steps, so a fresh pull captures the
+    // exact current state (and empties the replay log — the snapshot IS
+    // the present, there is nothing to replay onto the replacement).
+    pullCheckpoints();
+
+    std::unique_ptr<Channel> old = std::move(channels_[k]);
+    channels_[k] = std::move(replacement);
+    rejoinWorker(k, "shard migration");
+    restoreWorker(k, "shard migration");
+
+    // Retire the old worker only after the replacement holds the state.
+    encodeShutdown(writer_);
+    old->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardCoordinator::rescale(std::vector<std::unique_ptr<Channel>> channels)
+{
+    HIMA_ASSERT(!channels.empty() && channels.size() <= tiles_,
+                "rescale: need 1..Nt worker channels (got %zu for %zu "
+                "tiles)",
+                channels.size(), tiles_);
+    // Snapshot the whole fleet at the current step, then retire it.
+    pullCheckpoints();
+    for (auto &channel : channels_) {
+        encodeShutdown(writer_);
+        channel->sendFrame(writer_.buffer().data(),
+                           writer_.buffer().size());
+    }
+
+    channels_ = std::move(channels);
+    dealTiles();
+
+    // Rejoin + Restore the new fleet onto the re-dealt slices. The gate
+    // (alpha history) lives coordinator-side and is untouched, so the
+    // grown or shrunk fleet resumes bit-identically mid-run.
+    for (Index k = 0; k < channels_.size(); ++k) {
+        rejoinWorker(k, "shard rescale");
+        restoreWorker(k, "shard rescale");
+    }
 }
 
 void

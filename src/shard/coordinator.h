@@ -18,6 +18,21 @@
  * earlier replies. Sequence numbers pair requests with replies; any
  * protocol violation (bad frame, seq mismatch, worker Error) is fatal:
  * a serving stack must never continue on a diverged shard.
+ *
+ * Wire v3 fault tolerance: with a respawner installed (setRespawner)
+ * and a nonzero DncConfig::shardCheckpointIntervalSteps, the
+ * coordinator periodically pulls a CheckpointState snapshot of every
+ * worker's tiles and keeps a replay log of every frame sent since that
+ * snapshot. A worker loss (recv timeout or closed channel) then
+ * recovers instead of dying: respawn a replacement, Rejoin it onto the
+ * lost assignment, Restore the checkpoint slice, replay the logged
+ * window (replies discarded — the coordinator-side gate already
+ * advanced through those steps), and re-issue the in-flight frame. The
+ * recovered run is bit-identical to an undisturbed one because all
+ * merge state (ConfidenceGate alphas) lives coordinator-side and tile
+ * state is restored exactly. The same checkpoint frames also implement
+ * live migration (migrateWorker) and fleet re-dealing (rescale), both
+ * usable without a respawner.
  */
 
 #ifndef HIMA_SHARD_COORDINATOR_H
@@ -91,11 +106,91 @@ class ShardCoordinator final : public TileMemory
     /** Steps completed since construction. */
     std::uint64_t steps() const { return seq_; }
 
+    // --- fault tolerance (wire v3) -------------------------------------
+
+    /**
+     * Install the replacement-channel factory. Recovery is armed when a
+     * respawner is set AND shardCheckpointIntervalSteps > 0 AND
+     * failHard is off; otherwise a worker loss stays fatal (the pre-v3
+     * behavior).
+     */
+    void setRespawner(ShardRespawnFn respawner)
+    {
+        respawner_ = std::move(respawner);
+    }
+
+    /** Keep every worker loss fatal even when recovery is armed. */
+    void setFailHard(bool on) { failHard_ = on; }
+
+    /**
+     * Pull a checkpoint of every worker's tiles right now (also trims
+     * the replay log to empty). Callable between steps regardless of
+     * the configured cadence.
+     */
+    void checkpointNow();
+
+    /**
+     * Live migration: move worker k's tile slice onto `replacement`
+     * (a connected, unconfigured worker) and shut the old worker down.
+     * Quiesces via a fresh checkpoint pull, so the move is bit-exact
+     * and needs no replay. Works without a respawner.
+     */
+    void migrateWorker(Index k, std::unique_ptr<Channel> replacement);
+
+    /**
+     * Re-deal all tiles over a new fleet (scale-out or scale-in, e.g.
+     * 8 -> 16 workers mid-run): checkpoint, retire the old fleet,
+     * Rejoin + Restore the new one. Merge state is coordinator-side,
+     * so the re-dealt fleet resumes bit-identically.
+     */
+    void rescale(std::vector<std::unique_ptr<Channel>> channels);
+
+    /** Worker losses recovered (respawn + restore + replay). */
+    std::uint64_t recoveries() const { return recoveries_; }
+
+    /** Checkpoint pulls completed (periodic + forced). */
+    std::uint64_t checkpointsTaken() const { return checkpointsTaken_; }
+
   private:
     /** Gather replies after a scatter, then score + merge into `out`. */
     void exchange(MemoryReadout &out);
 
     void sendControl(ControlKind kind);
+
+    /** Deal tiles contiguously/evenly over channels_; size per-channel state. */
+    void dealTiles();
+
+    bool recoveryArmed() const
+    {
+        return static_cast<bool>(respawner_) && !failHard_ &&
+               globalConfig_.shardCheckpointIntervalSteps > 0;
+    }
+
+    /** Send writer_'s frame to channel k, keeping a resendable copy. */
+    void sendTracked(Index k);
+
+    /** recvFrame into frame_, recovering worker k on the first loss. */
+    void recvOrRecover(Index k, const char *what);
+
+    /** Respawn + Rejoin + Restore + replay; fatal when not armed. */
+    void recoverWorker(Index k, const char *what);
+
+    /** Rejoin handshake for worker k's assignment on channels_[k]. */
+    void rejoinWorker(Index k, const char *who);
+
+    /** Restore worker k's checkpoint slice; await the ControlAck. */
+    void restoreWorker(Index k, const char *who);
+
+    /** Append the in-flight per-channel frames to the replay log. */
+    void commitLog();
+
+    /** Commit the step's frames; pull a checkpoint when the cadence is due. */
+    void maybeCheckpoint();
+
+    void pullCheckpoints();
+
+    /** Pointer slice of checkpoints_ covering worker k's tiles. */
+    MemoryTileState *const *snapshotSlice(Index k);
 
     DncConfig globalConfig_;
     DncConfig shardConfig_;
@@ -116,6 +211,24 @@ class ShardCoordinator final : public TileMemory
     std::vector<StepReplyMsg> replies_;          ///< per channel
     std::vector<const MemoryReadout *> localPtrs_; ///< per global tile
     std::vector<Real> scoreScratch_; ///< scoredHeads x tiles, row-major
+
+    // Fault tolerance: checkpoint store + replay log (wire v3). All
+    // ring/buffer reuse below is deliberate — a steady state that
+    // includes checkpointing allocates nothing once warm.
+    ShardRespawnFn respawner_;
+    bool failHard_ = false;
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t checkpointsTaken_ = 0;
+    std::uint64_t checkpointSeq_ = 0;
+    std::uint64_t stepsSinceCheckpoint_ = 0;
+    bool checkpointValid_ = false; ///< checkpoints_ holds a real pull
+    std::vector<MemoryTileState> checkpoints_;    ///< per global tile
+    std::vector<MemoryTileState *> snapshotPtrs_; ///< slice scratch
+    /** In-flight frame per channel (resent after a recovery). */
+    std::vector<std::vector<std::uint8_t>> pendingFrames_;
+    /** Replay ring: log_[entry][channel], first logCount_ entries live. */
+    std::vector<std::vector<std::vector<std::uint8_t>>> log_;
+    std::size_t logCount_ = 0;
 };
 
 /**

@@ -22,62 +22,67 @@ buildChannels(ClusterTransport transport, Index workerCount,
               std::vector<std::thread> &threads)
 {
     std::vector<std::unique_ptr<Channel>> channels;
-    for (Index k = 0; k < workerCount; ++k) {
-        auto worker = std::make_shared<ShardWorker>();
-        workers.push_back(worker);
-        if (transport == ClusterTransport::Loopback) {
-            channels.push_back(std::make_unique<LoopbackChannel>(
-                [worker](const std::uint8_t *data, std::size_t size,
-                         FrameSink &reply) {
-                    worker->handleFrame(data, size, reply);
-                }));
-            continue;
-        }
-        std::unique_ptr<SocketChannel> client;
-        if (transport == ClusterTransport::UnixSocket) {
-            const std::string path =
-                "/tmp/hima_shard_" + std::to_string(::getpid()) + "_" +
-                std::to_string(
-                    g_endpointOrdinal.fetch_add(1,
-                                                std::memory_order_relaxed)) +
-                ".sock";
-            auto listener = SocketListener::listenUnix(path);
-            if (!listener)
-                HIMA_FATAL("local cluster: cannot listen on %s",
-                           path.c_str());
-            auto shared =
-                std::shared_ptr<SocketListener>(std::move(listener));
-            threads.emplace_back([worker, shared] {
-                auto chan = shared->accept();
-                if (chan)
-                    worker->serve(*chan);
-            });
-            client = SocketChannel::connectUnix(path);
-        } else {
-            auto listener = SocketListener::listenTcp(0);
-            if (!listener)
-                HIMA_FATAL("local cluster: cannot listen on a tcp port");
-            const std::uint16_t port = listener->port();
-            auto shared =
-                std::shared_ptr<SocketListener>(std::move(listener));
-            threads.emplace_back([worker, shared] {
-                auto chan = shared->accept();
-                if (chan)
-                    worker->serve(*chan);
-            });
-            client = SocketChannel::connectTcp("127.0.0.1", port);
-        }
-        if (!client) // fail fast: the accept thread would hang forever
-            HIMA_FATAL("local cluster: connect failed");
-        // Bounded recv: a worker that dies mid-step fails the step with
-        // a diagnosis instead of blocking the coordinator forever.
-        client->setRecvTimeout(kShardRecvTimeoutMs);
-        channels.push_back(std::move(client));
-    }
+    for (Index k = 0; k < workerCount; ++k)
+        channels.push_back(makeClusterWorker(transport, workers, threads));
     return channels;
 }
 
 } // namespace
+
+std::unique_ptr<Channel>
+makeClusterWorker(ClusterTransport transport,
+                  std::vector<std::shared_ptr<ShardWorker>> &workers,
+                  std::vector<std::thread> &threads)
+{
+    auto worker = std::make_shared<ShardWorker>();
+    workers.push_back(worker);
+    if (transport == ClusterTransport::Loopback)
+        return std::make_unique<LoopbackChannel>(
+            [worker](const std::uint8_t *data, std::size_t size,
+                     FrameSink &reply) {
+                worker->handleFrame(data, size, reply);
+            });
+    std::unique_ptr<SocketChannel> client;
+    // The serve threads accept with a bounded wait: if the connect
+    // below ever failed, the thread ends instead of blocking a join
+    // forever — the same bound that keeps a respawned replacement that
+    // never dials back from wedging a recovery.
+    if (transport == ClusterTransport::UnixSocket) {
+        const std::string path =
+            "/tmp/hima_shard_" + std::to_string(::getpid()) + "_" +
+            std::to_string(g_endpointOrdinal.fetch_add(
+                1, std::memory_order_relaxed)) +
+            ".sock";
+        auto listener = SocketListener::listenUnix(path);
+        if (!listener)
+            HIMA_FATAL("local cluster: cannot listen on %s", path.c_str());
+        auto shared = std::shared_ptr<SocketListener>(std::move(listener));
+        threads.emplace_back([worker, shared] {
+            auto chan = shared->acceptWithTimeout(kShardRecvTimeoutMs);
+            if (chan)
+                worker->serve(*chan);
+        });
+        client = SocketChannel::connectUnix(path);
+    } else {
+        auto listener = SocketListener::listenTcp(0);
+        if (!listener)
+            HIMA_FATAL("local cluster: cannot listen on a tcp port");
+        const std::uint16_t port = listener->port();
+        auto shared = std::shared_ptr<SocketListener>(std::move(listener));
+        threads.emplace_back([worker, shared] {
+            auto chan = shared->acceptWithTimeout(kShardRecvTimeoutMs);
+            if (chan)
+                worker->serve(*chan);
+        });
+        client = SocketChannel::connectTcp("127.0.0.1", port);
+    }
+    if (!client) // fail fast: the accept thread would end, but loudly
+        HIMA_FATAL("local cluster: connect failed");
+    // Bounded recv: a worker that dies mid-step fails the step with
+    // a diagnosis instead of blocking the coordinator forever.
+    client->setRecvTimeout(kShardRecvTimeoutMs);
+    return client;
+}
 
 LocalShardCluster
 makeLocalCluster(ClusterTransport transport, const DncConfig &config,
@@ -105,6 +110,30 @@ makeLocalLaneCluster(ClusterTransport transport, const DncConfig &config,
     cluster.group = std::make_shared<ShardLaneGroup>(
         config, tiles, lanes, policy, std::move(channels), wantWeightings);
     return cluster;
+}
+
+std::shared_ptr<RespawnHarness>
+armClusterRecovery(LocalShardCluster &cluster, ClusterTransport transport)
+{
+    auto harness = std::make_shared<RespawnHarness>();
+    harness->transport = transport;
+    cluster.coordinator->setRespawner([harness](Index) {
+        return makeClusterWorker(harness->transport, harness->workers,
+                                 harness->threads);
+    });
+    return harness;
+}
+
+std::shared_ptr<RespawnHarness>
+armClusterRecovery(LocalLaneCluster &cluster, ClusterTransport transport)
+{
+    auto harness = std::make_shared<RespawnHarness>();
+    harness->transport = transport;
+    cluster.group->setRespawner([harness](Index) {
+        return makeClusterWorker(harness->transport, harness->workers,
+                                 harness->threads);
+    });
+    return harness;
 }
 
 } // namespace hima

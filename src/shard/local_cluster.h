@@ -158,6 +158,53 @@ makeLocalLaneCluster(ClusterTransport transport, const DncConfig &config,
                      MergePolicy policy = MergePolicy::Confidence,
                      bool wantWeightings = false);
 
+/**
+ * Spawn one fresh, unconfigured worker on `transport` and return a
+ * connected channel to it (socket transports add a serve thread and the
+ * bounded recv timeout, exactly like makeLocalCluster's fleet). The
+ * worker and any thread are appended to the caller's vectors — hand it
+ * a cluster's own `workers`/`threads` to grow that fleet, e.g. as the
+ * replacement endpoint for migrateWorker() or a rescale().
+ */
+std::unique_ptr<Channel>
+makeClusterWorker(ClusterTransport transport,
+                  std::vector<std::shared_ptr<ShardWorker>> &workers,
+                  std::vector<std::thread> &threads);
+
+/**
+ * Replacement workers and serve threads created by an armed respawner.
+ * Co-owned by the respawner closure (so it stays valid however the
+ * cluster struct is moved) and by the caller for inspection; serve
+ * threads are joined on destruction (they exit once the coordinator's
+ * Shutdown frames land, before the closure's reference drops).
+ */
+struct RespawnHarness
+{
+    ClusterTransport transport = ClusterTransport::Loopback;
+    std::vector<std::shared_ptr<ShardWorker>> workers; ///< replacements
+    std::vector<std::thread> threads;
+
+    ~RespawnHarness()
+    {
+        for (std::thread &t : threads)
+            t.join();
+    }
+};
+
+/**
+ * Arm worker recovery on a cluster: install a respawner that spawns
+ * replacement workers on `transport`. Recovery actually engages only
+ * when the cluster's config also set shardCheckpointIntervalSteps > 0.
+ *
+ * @return the harness owning replacements, for inspection/lifetime
+ */
+std::shared_ptr<RespawnHarness>
+armClusterRecovery(LocalShardCluster &cluster, ClusterTransport transport);
+
+/** Lane-cluster form of armClusterRecovery(). */
+std::shared_ptr<RespawnHarness>
+armClusterRecovery(LocalLaneCluster &cluster, ClusterTransport transport);
+
 } // namespace hima
 
 #endif // HIMA_SHARD_LOCAL_CLUSTER_H

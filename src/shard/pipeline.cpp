@@ -32,16 +32,8 @@ ShardLaneGroup::ShardLaneGroup(
                 "scored-head mask supports up to 32 read heads");
     gates_.resize(lanes);
 
-    // Deal tiles contiguously and as evenly as possible (the same
-    // layout as ShardCoordinator, repeated per lane on each worker).
+    dealTiles();
     const Index chans = channels_.size();
-    Index next = 0;
-    for (Index k = 0; k < chans; ++k) {
-        const Index count = tiles_ / chans + (k < tiles_ % chans ? 1 : 0);
-        firstTile_.push_back(next);
-        tileCount_.push_back(count);
-        next += count;
-    }
 
     for (Index k = 0; k < chans; ++k) {
         encodeHello(WireConfig::fromShard(shardConfig_, tileCount_[k],
@@ -68,8 +60,25 @@ ShardLaneGroup::ShardLaneGroup(
                        tileCount_[k]);
     }
 
-    replies_.resize(chans);
     localPtrs_.resize(tiles_);
+}
+
+void
+ShardLaneGroup::dealTiles()
+{
+    // Deal tiles contiguously and as evenly as possible (the same
+    // layout as ShardCoordinator, repeated per lane on each worker).
+    const Index chans = channels_.size();
+    firstTile_.clear();
+    tileCount_.clear();
+    Index next = 0;
+    for (Index k = 0; k < chans; ++k) {
+        const Index count = tiles_ / chans + (k < tiles_ % chans ? 1 : 0);
+        firstTile_.push_back(next);
+        tileCount_.push_back(count);
+        next += count;
+    }
+    replies_.resize(chans);
 }
 
 ShardLaneGroup::~ShardLaneGroup()
@@ -135,6 +144,8 @@ ShardLaneGroup::scatter(const std::vector<Index> &lanes,
         pending_[(pendingHead_ + pendingCount_) % kMaxInFlight];
     slot.seq = seq;
     slot.lanes.assign(lanes.begin(), lanes.end());
+    if (recoveryArmed())
+        slot.bytes.assign(writer_.buffer().begin(), writer_.buffer().end());
     ++pendingCount_;
 }
 
@@ -148,8 +159,21 @@ ShardLaneGroup::gather(const std::vector<MemoryReadout *> &outs)
 
     const Index r = globalConfig_.readHeads;
     for (Index k = 0; k < channels_.size(); ++k) {
-        if (!channels_[k]->recvFrame(frame_))
-            shardRecvFailure(*channels_[k], "batch", p.seq, k);
+        if (!channels_[k]->recvFrame(frame_)) {
+            recoverWorker(k, "batch", p.seq); // fatal unless armed
+            // The replacement holds the checkpoint + replayed log;
+            // resend the whole outstanding window oldest-first. Only
+            // the oldest reply is consumed here — the rest queue up
+            // for their own gathers, draining the double buffer
+            // deterministically. A second loss is fatal.
+            for (Index b = 0; b < pendingCount_; ++b) {
+                const Pending &q =
+                    pending_[(pendingHead_ + b) % kMaxInFlight];
+                channels_[k]->sendFrame(q.bytes.data(), q.bytes.size());
+            }
+            if (!channels_[k]->recvFrame(frame_))
+                shardRecvFailure(*channels_[k], "batch", p.seq, k);
+        }
         MsgType type;
         if (!peekType(frame_.data(), frame_.size(), type))
             HIMA_FATAL("shard batch %llu: worker %zu sent a malformed "
@@ -222,6 +246,17 @@ ShardLaneGroup::gather(const std::vector<MemoryReadout *> &outs)
     laneSteps_ += p.lanes.size();
     pendingHead_ = (pendingHead_ + 1) % kMaxInFlight;
     --pendingCount_;
+
+    if (recoveryArmed()) {
+        commitLog(p.bytes);
+        laneStepsSinceCheckpoint_ += p.lanes.size();
+        // Checkpoint only at a gather that empties the window, so the
+        // pull never interleaves with an outstanding batch.
+        if (pendingCount_ == 0 &&
+            laneStepsSinceCheckpoint_ >=
+                globalConfig_.shardCheckpointIntervalSteps)
+            pullCheckpoints();
+    }
 }
 
 void
@@ -248,17 +283,31 @@ ShardLaneGroup::sendControl(ControlKind kind, std::uint32_t lane)
     msg.kind = kind;
     msg.seq = ++controlSeq_;
     msg.lane = lane;
-    for (auto &channel : channels_) {
-        encodeControl(msg, writer_);
+    encodeControl(msg, writer_);
+    for (auto &channel : channels_)
         channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    if (recoveryArmed()) {
+        // Controls mutate worker state (tile resets), so a replacement
+        // must replay them in order with the lane steps. The scratch
+        // copy also survives recoverWorker() reusing writer_.
+        resendScratch_.assign(writer_.buffer().begin(),
+                              writer_.buffer().end());
     }
     for (Index k = 0; k < channels_.size(); ++k) {
         std::uint64_t seq = 0;
-        if (!channels_[k]->recvFrame(frame_) ||
-            !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+        if (!channels_[k]->recvFrame(frame_)) {
+            recoverWorker(k, "control", msg.seq);
+            channels_[k]->sendFrame(resendScratch_.data(),
+                                    resendScratch_.size());
+            if (!channels_[k]->recvFrame(frame_))
+                shardRecvFailure(*channels_[k], "control", msg.seq, k);
+        }
+        if (!decodeControlAck(frame_.data(), frame_.size(), seq) ||
             seq != msg.seq)
             HIMA_FATAL("shard control: worker %zu did not acknowledge", k);
     }
+    if (recoveryArmed())
+        commitLog(resendScratch_);
     if (lane == kAllLanes) {
         for (ConfidenceGate &gate : gates_)
             gate.reset();
@@ -286,6 +335,204 @@ void
 ShardLaneGroup::resetAll()
 {
     sendControl(ControlKind::EpisodeReset, kAllLanes);
+}
+
+// --------------------------------------------------------------------
+// Fault tolerance: checkpoint pulls, replay log, respawn + restore
+// --------------------------------------------------------------------
+
+void
+ShardLaneGroup::commitLog(const std::vector<std::uint8_t> &bytes)
+{
+    if (logCount_ == log_.size())
+        log_.emplace_back();
+    log_[logCount_++].assign(bytes.begin(), bytes.end());
+}
+
+MemoryTileState *const *
+ShardLaneGroup::snapshotSlice(Index k)
+{
+    // Worker k encodes its tiles lane-major (lane * hostedTiles + i);
+    // point the slice at the matching rows of the lanes x Nt store.
+    const Index laneCount = gates_.size();
+    snapshotPtrs_.resize(laneCount * tileCount_[k]);
+    for (Index l = 0; l < laneCount; ++l)
+        for (Index i = 0; i < tileCount_[k]; ++i)
+            snapshotPtrs_[l * tileCount_[k] + i] =
+                &checkpoints_[l * tiles_ + firstTile_[k] + i];
+    return snapshotPtrs_.data();
+}
+
+void
+ShardLaneGroup::pullCheckpoints()
+{
+    HIMA_ASSERT(pendingCount_ == 0,
+                "shard checkpoint while %zu batches are in flight",
+                pendingCount_);
+    const Index chans = channels_.size();
+    checkpoints_.resize(gates_.size() * tiles_);
+    ++checkpointSeq_;
+    encodeCheckpointRequest(checkpointSeq_, writer_);
+    for (auto &channel : channels_)
+        channel->sendFrame(writer_.buffer().data(),
+                           writer_.buffer().size());
+    if (recoveryArmed())
+        resendScratch_.assign(writer_.buffer().begin(),
+                              writer_.buffer().end());
+    for (Index k = 0; k < chans; ++k) {
+        if (!channels_[k]->recvFrame(frame_)) {
+            // Mid-pull loss: recover from the *previous* checkpoint
+            // plus the still-uncleared log, then re-ask for this one.
+            recoverWorker(k, "checkpoint", checkpointSeq_);
+            channels_[k]->sendFrame(resendScratch_.data(),
+                                    resendScratch_.size());
+            if (!channels_[k]->recvFrame(frame_))
+                shardRecvFailure(*channels_[k], "checkpoint",
+                                 checkpointSeq_, k);
+        }
+        MsgType type;
+        if (peekType(frame_.data(), frame_.size(), type) &&
+            type == MsgType::Error) {
+            ErrorMsg err;
+            decodeError(frame_.data(), frame_.size(), err);
+            HIMA_FATAL("shard checkpoint %llu: worker %zu error: %s",
+                       static_cast<unsigned long long>(checkpointSeq_), k,
+                       err.message.c_str());
+        }
+        std::uint64_t seq = 0;
+        if (!decodeCheckpointState(frame_.data(), frame_.size(),
+                                   shardConfig_, snapshotSlice(k),
+                                   gates_.size() * tileCount_[k], seq) ||
+            seq != checkpointSeq_)
+            HIMA_FATAL("shard checkpoint %llu: worker %zu sent a "
+                       "malformed snapshot",
+                       static_cast<unsigned long long>(checkpointSeq_), k);
+    }
+    checkpointValid_ = true;
+    ++checkpointsTaken_;
+    laneStepsSinceCheckpoint_ = 0;
+    logCount_ = 0; // ring buffers kept: the next window reuses them
+}
+
+void
+ShardLaneGroup::checkpointNow()
+{
+    pullCheckpoints();
+}
+
+void
+ShardLaneGroup::rejoinWorker(Index k, const char *who)
+{
+    encodeRejoin(WireConfig::fromShard(shardConfig_, tileCount_[k],
+                                       gates_.size()),
+                 firstTile_[k], writer_);
+    channels_[k]->sendFrame(writer_.buffer().data(),
+                            writer_.buffer().size());
+    HelloAckMsg ack;
+    if (!channels_[k]->recvFrame(frame_) ||
+        !decodeHelloAck(frame_.data(), frame_.size(), ack) || !ack.ok ||
+        ack.hostedTiles != tileCount_[k])
+        HIMA_FATAL("%s: worker %zu failed the Rejoin handshake%s%s", who, k,
+                   ack.message.empty() ? "" : ": ", ack.message.c_str());
+}
+
+void
+ShardLaneGroup::restoreWorker(Index k, const char *who)
+{
+    encodeRestore(checkpointSeq_, snapshotSlice(k),
+                  gates_.size() * tileCount_[k], shardConfig_, writer_);
+    channels_[k]->sendFrame(writer_.buffer().data(),
+                            writer_.buffer().size());
+    std::uint64_t seq = 0;
+    if (!channels_[k]->recvFrame(frame_) ||
+        !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+        seq != checkpointSeq_)
+        HIMA_FATAL("%s: worker %zu did not acknowledge the Restore", who,
+                   k);
+}
+
+void
+ShardLaneGroup::recoverWorker(Index k, const char *what, std::uint64_t seq)
+{
+    const ShardError err = shardRecvError(*channels_[k], what, seq, k);
+    if (!recoveryArmed())
+        HIMA_FATAL("%s", err.describe().c_str());
+    ++recoveries_;
+    HIMA_WARN("%s; respawning and replaying %zu logged frames",
+              err.describe().c_str(), logCount_);
+    std::unique_ptr<Channel> fresh = respawner_(k);
+    if (!fresh)
+        HIMA_FATAL("shard recovery: no replacement channel for worker %zu",
+                   k);
+    channels_[k] = std::move(fresh);
+
+    rejoinWorker(k, "shard recovery");
+    // Before the first pull there is nothing to restore: freshly built
+    // tiles already hold the t=0 state the log replays from.
+    if (checkpointValid_)
+        restoreWorker(k, "shard recovery");
+
+    // Replay the logged window; replies are drained and discarded (the
+    // per-lane gates already advanced through these frames).
+    for (std::size_t e = 0; e < logCount_; ++e) {
+        channels_[k]->sendFrame(log_[e].data(), log_[e].size());
+        MsgType type;
+        if (!channels_[k]->recvFrame(frame_) ||
+            !peekType(frame_.data(), frame_.size(), type) ||
+            type == MsgType::Error)
+            HIMA_FATAL("shard recovery: worker %zu failed replay frame "
+                       "%zu/%zu",
+                       k, e + 1, static_cast<std::size_t>(logCount_));
+    }
+}
+
+void
+ShardLaneGroup::migrateWorker(Index k, std::unique_ptr<Channel> replacement)
+{
+    HIMA_ASSERT(k < channels_.size(), "migrate: no worker %zu", k);
+    HIMA_ASSERT(replacement != nullptr, "migrate: null replacement");
+    HIMA_ASSERT(pendingCount_ == 0,
+                "migrate while %zu batches are in flight", pendingCount_);
+    // A fresh pull captures the exact current state of every lane (and
+    // empties the replay log), so the move needs no replay.
+    pullCheckpoints();
+
+    std::unique_ptr<Channel> old = std::move(channels_[k]);
+    channels_[k] = std::move(replacement);
+    rejoinWorker(k, "shard migration");
+    restoreWorker(k, "shard migration");
+
+    // Retire the old worker only after the replacement holds the state.
+    encodeShutdown(writer_);
+    old->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardLaneGroup::rescale(std::vector<std::unique_ptr<Channel>> channels)
+{
+    HIMA_ASSERT(!channels.empty() && channels.size() <= tiles_,
+                "rescale: need 1..Nt worker channels (got %zu for %zu "
+                "tiles)",
+                channels.size(), tiles_);
+    HIMA_ASSERT(pendingCount_ == 0,
+                "rescale while %zu batches are in flight", pendingCount_);
+    pullCheckpoints();
+    for (auto &channel : channels_) {
+        encodeShutdown(writer_);
+        channel->sendFrame(writer_.buffer().data(),
+                           writer_.buffer().size());
+    }
+
+    channels_ = std::move(channels);
+    dealTiles();
+
+    // Rejoin + Restore the new fleet onto the re-dealt slices. Lane
+    // gates live coordinator-side and are untouched, so every serving
+    // lane survives the scale-out bit-identically — zero drops.
+    for (Index k = 0; k < channels_.size(); ++k) {
+        rejoinWorker(k, "shard rescale");
+        restoreWorker(k, "shard rescale");
+    }
 }
 
 // --------------------------------------------------------------------

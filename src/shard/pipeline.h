@@ -33,6 +33,20 @@
  * a shared fleet synchronously; PipelinedShardedLaneEngine
  * (sharded_dnc.h) drives all lanes with the overlapped schedule behind
  * the LaneEngine surface the Router consumes.
+ *
+ * Wire v3 fault tolerance mirrors ShardCoordinator's: setRespawner()
+ * plus a nonzero DncConfig::shardCheckpointIntervalSteps arm periodic
+ * checkpoint pulls (taken at a gather that empties the in-flight
+ * window) and a replay log of every frame since the last pull. Because
+ * LaneStep frames are lane-addressed, the *same* bytes go to every
+ * worker, so the log stores one buffer per entry, not per channel. On
+ * a worker loss mid-gather the group respawns, Rejoins, Restores the
+ * worker's lane-major checkpoint slice, replays the log, then resends
+ * the up-to-kMaxInFlight outstanding batch frames oldest-first — the
+ * double-buffered window drains deterministically and every later step
+ * is bit-identical to an undisturbed run. migrateWorker()/rescale()
+ * reuse the same frames to move tile slices between live workers or
+ * re-deal them over a grown fleet with zero dropped lanes.
  */
 
 #ifndef HIMA_SHARD_PIPELINE_H
@@ -145,8 +159,77 @@ class ShardLaneGroup
     /** Lane-steps completed (gathered) since construction. */
     std::uint64_t laneSteps() const { return laneSteps_; }
 
+    // --- fault tolerance (wire v3) -------------------------------------
+
+    /**
+     * Install the replacement-channel factory. Recovery is armed when a
+     * respawner is set AND shardCheckpointIntervalSteps > 0 AND
+     * failHard is off; otherwise a worker loss stays fatal.
+     */
+    void setRespawner(ShardRespawnFn respawner)
+    {
+        respawner_ = std::move(respawner);
+    }
+
+    /** Keep every worker loss fatal even when recovery is armed. */
+    void setFailHard(bool on) { failHard_ = on; }
+
+    /**
+     * Pull a checkpoint of every worker's lane-major tile state right
+     * now. Requires an empty in-flight window.
+     */
+    void checkpointNow();
+
+    /**
+     * Live migration: move worker k's tile slice (all lanes) onto
+     * `replacement` and shut the old worker down. Quiesces via a fresh
+     * checkpoint pull; requires an empty in-flight window. Works
+     * without a respawner.
+     */
+    void migrateWorker(Index k, std::unique_ptr<Channel> replacement);
+
+    /**
+     * Re-deal all tiles over a new fleet mid-run (e.g. 8 -> 16
+     * workers) with zero dropped lanes: checkpoint, retire the old
+     * fleet, Rejoin + Restore the new one. Per-lane gates live
+     * coordinator-side, so every lane resumes bit-identically.
+     */
+    void rescale(std::vector<std::unique_ptr<Channel>> channels);
+
+    /** Worker losses recovered (respawn + restore + replay). */
+    std::uint64_t recoveries() const { return recoveries_; }
+
+    /** Checkpoint pulls completed (periodic + forced). */
+    std::uint64_t checkpointsTaken() const { return checkpointsTaken_; }
+
   private:
     void sendControl(ControlKind kind, std::uint32_t lane);
+
+    /** Deal tiles contiguously/evenly over channels_. */
+    void dealTiles();
+
+    bool recoveryArmed() const
+    {
+        return static_cast<bool>(respawner_) && !failHard_ &&
+               globalConfig_.shardCheckpointIntervalSteps > 0;
+    }
+
+    /** Respawn + Rejoin + Restore + replay; fatal when not armed. */
+    void recoverWorker(Index k, const char *what, std::uint64_t seq);
+
+    /** Rejoin handshake for worker k's assignment on channels_[k]. */
+    void rejoinWorker(Index k, const char *who);
+
+    /** Restore worker k's checkpoint slice; await the ControlAck. */
+    void restoreWorker(Index k, const char *who);
+
+    /** Append one shared frame to the replay log. */
+    void commitLog(const std::vector<std::uint8_t> &bytes);
+
+    void pullCheckpoints();
+
+    /** Pointer slice of checkpoints_ covering worker k (lane-major). */
+    MemoryTileState *const *snapshotSlice(Index k);
 
     DncConfig globalConfig_;
     DncConfig shardConfig_;
@@ -167,6 +250,10 @@ class ShardLaneGroup
     {
         std::uint64_t seq = 0;
         std::vector<Index> lanes;
+        /** The encoded LaneStep frame (shared by every channel), kept
+         *  while outstanding so a recovery can resend the window. Only
+         *  filled when recovery is armed. */
+        std::vector<std::uint8_t> bytes;
     };
     Pending pending_[kMaxInFlight];
     Index pendingHead_ = 0;
@@ -182,6 +269,23 @@ class ShardLaneGroup
     std::vector<Index> laneScratch_; ///< stepLaneInto's one-lane batch
     std::vector<const InterfaceVector *> ifaceScratch_;
     std::vector<MemoryReadout *> outScratch_;
+
+    // Fault tolerance: checkpoint store + replay log (wire v3). Frames
+    // are identical on every channel, so log entries and the control
+    // resend scratch hold one buffer each; all rings reuse capacity so
+    // a steady state that includes checkpointing allocates nothing.
+    ShardRespawnFn respawner_;
+    bool failHard_ = false;
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t checkpointsTaken_ = 0;
+    std::uint64_t checkpointSeq_ = 0;
+    std::uint64_t laneStepsSinceCheckpoint_ = 0;
+    bool checkpointValid_ = false; ///< checkpoints_ holds a real pull
+    std::vector<MemoryTileState> checkpoints_; ///< lane-major, lanes x Nt
+    std::vector<MemoryTileState *> snapshotPtrs_; ///< slice scratch
+    std::vector<std::uint8_t> resendScratch_; ///< in-flight control/pull
+    std::vector<std::vector<std::uint8_t>> log_; ///< ring, shared frames
+    std::size_t logCount_ = 0;
 };
 
 } // namespace hima

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -267,17 +270,43 @@ SocketChannel::connectTcp(const std::string &host, std::uint16_t port)
     return std::make_unique<SocketChannel>(fd);
 }
 
+std::string
+ShardError::describe() const
+{
+    char buf[160];
+    if (kind == Kind::RecvTimeout)
+        std::snprintf(buf, sizeof(buf),
+                      "shard %s %llu: worker %zu exceeded the recv timeout "
+                      "(dead or wedged worker)",
+                      what, static_cast<unsigned long long>(seq), worker);
+    else
+        std::snprintf(buf, sizeof(buf),
+                      "shard %s %llu: worker %zu closed the channel", what,
+                      static_cast<unsigned long long>(seq), worker);
+    return buf;
+}
+
+ShardError
+shardRecvError(const Channel &channel, const char *what, std::uint64_t seq,
+               Index worker)
+{
+    ShardError err;
+    const auto *socket = dynamic_cast<const SocketChannel *>(&channel);
+    err.kind = (socket != nullptr && socket->timedOut())
+                   ? ShardError::Kind::RecvTimeout
+                   : ShardError::Kind::ChannelClosed;
+    err.worker = worker;
+    err.seq = seq;
+    err.what = what;
+    return err;
+}
+
 void
 shardRecvFailure(const Channel &channel, const char *what,
                  std::uint64_t seq, Index worker)
 {
-    const auto *socket = dynamic_cast<const SocketChannel *>(&channel);
-    if (socket != nullptr && socket->timedOut())
-        HIMA_FATAL("shard %s %llu: worker %zu exceeded the recv timeout "
-                   "(dead or wedged worker)",
-                   what, static_cast<unsigned long long>(seq), worker);
-    HIMA_FATAL("shard %s %llu: worker %zu closed the channel", what,
-               static_cast<unsigned long long>(seq), worker);
+    HIMA_FATAL("%s",
+               shardRecvError(channel, what, seq, worker).describe().c_str());
 }
 
 // --------------------------------------------------------------------
@@ -351,6 +380,31 @@ SocketListener::accept()
                 setNoDelay(fd);
             return std::make_unique<SocketChannel>(fd);
         }
+        if (errno != EINTR)
+            return nullptr;
+    }
+}
+
+std::unique_ptr<SocketChannel>
+SocketListener::acceptWithTimeout(int ms)
+{
+    // A signal mid-wait must not shrink-or-reset the budget: re-poll
+    // with whatever time remains against a fixed deadline.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    while (true) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        const int budget = static_cast<int>(std::max<long long>(
+            0, static_cast<long long>(left.count())));
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, budget);
+        if (rc > 0)
+            return accept(); // a pending connection: accept won't block
+        if (rc == 0)
+            return nullptr; // bounded wait expired
         if (errno != EINTR)
             return nullptr;
     }

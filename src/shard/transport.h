@@ -229,10 +229,48 @@ class SocketChannel final : public Channel
 };
 
 /**
- * Fatal diagnosis for a coordinator-side receive failure: names the
- * worker and distinguishes a recv-timeout expiry (dead or wedged
- * worker) from a closed channel. `what` is the protocol unit being
- * gathered ("step", "batch").
+ * Recoverable diagnosis of a coordinator-side receive failure: names
+ * the worker and distinguishes a recv-timeout expiry (dead or wedged
+ * worker) from a closed channel. The recovery path acts on this status
+ * (respawn + restore + replay) instead of dying; shardRecvFailure() is
+ * the fatal form kept for fail-hard deployments and no-recovery
+ * configurations.
+ */
+struct ShardError
+{
+    enum class Kind
+    {
+        RecvTimeout,   ///< SO_RCVTIMEO expired: dead or wedged worker
+        ChannelClosed, ///< orderly close / broken stream / empty loopback
+    };
+
+    Kind kind = Kind::ChannelClosed;
+    Index worker = 0;
+    std::uint64_t seq = 0;
+    const char *what = "step"; ///< protocol unit being gathered
+
+    /** The human-readable diagnosis shardRecvFailure() would print. */
+    std::string describe() const;
+};
+
+/** Classify a receive failure without dying (the recovery path). */
+ShardError shardRecvError(const Channel &channel, const char *what,
+                          std::uint64_t seq, Index worker);
+
+/**
+ * Replacement-channel factory installed by the cluster harness: spawn
+ * (or accept) a fresh worker process for slot `worker` and return a
+ * connected channel to it, or null when no replacement can be produced
+ * (which makes the loss fatal after all). The returned worker must be
+ * unconfigured — the coordinator drives the Rejoin/Restore/replay
+ * sequence itself.
+ */
+using ShardRespawnFn = std::function<std::unique_ptr<Channel>(Index worker)>;
+
+/**
+ * Fatal form of shardRecvError(): prints the same diagnosis and dies.
+ * Used when no recovery is configured (no respawner, checkpointing
+ * off) or when the caller explicitly asked to fail hard.
  */
 [[noreturn]] void shardRecvFailure(const Channel &channel, const char *what,
                                    std::uint64_t seq, Index worker);
@@ -255,6 +293,15 @@ class SocketListener
 
     /** Block until one peer connects; null on error. */
     std::unique_ptr<SocketChannel> accept();
+
+    /**
+     * Accept with a bounded wait: null when no peer connects within
+     * `ms` milliseconds (EINTR-safe — signal interruptions re-wait with
+     * the remaining budget). Bounds the coordinator's respawn/rejoin
+     * wait so a replacement worker that never comes back surfaces as a
+     * recovery failure instead of a hang.
+     */
+    std::unique_ptr<SocketChannel> acceptWithTimeout(int ms);
 
     /** Actual bound TCP port (after port-0 resolution); 0 for Unix. */
     std::uint16_t port() const { return port_; }

@@ -33,6 +33,14 @@ msgTypeName(MsgType type)
         return "LaneStep";
     case MsgType::LaneStepReply:
         return "LaneStepReply";
+    case MsgType::CheckpointRequest:
+        return "CheckpointRequest";
+    case MsgType::CheckpointState:
+        return "CheckpointState";
+    case MsgType::Restore:
+        return "Restore";
+    case MsgType::Rejoin:
+        return "Rejoin";
     }
     return "?";
 }
@@ -263,7 +271,7 @@ peekType(const std::uint8_t *data, std::size_t size, MsgType &type)
     if (!r.ok() || magic != kWireMagic || version != kWireVersion)
         return false;
     if (raw < static_cast<std::uint8_t>(MsgType::Hello) ||
-        raw > static_cast<std::uint8_t>(MsgType::LaneStepReply))
+        raw > static_cast<std::uint8_t>(MsgType::Rejoin))
         return false;
     type = static_cast<MsgType>(raw);
     return true;
@@ -331,17 +339,10 @@ readInterface(WireReader &in, const DncConfig &shard, InterfaceVector &iface)
     }
 }
 
-} // namespace
-
-// --------------------------------------------------------------------
-// Message encoders.
-// --------------------------------------------------------------------
-
+/** Hello/Rejoin shared handshake body. */
 void
-encodeHello(const WireConfig &config, WireWriter &out)
+putConfigBody(const WireConfig &config, WireWriter &out)
 {
-    out.clear();
-    out.header(MsgType::Hello);
     out.putU64(config.memoryRows);
     out.putU64(config.memoryWidth);
     out.putU64(config.readHeads);
@@ -353,6 +354,110 @@ encodeHello(const WireConfig &config, WireWriter &out)
     out.putU8(config.fixedPoint);
     out.putReal(config.skimRate);
     out.putReal(config.writeSkipThreshold);
+}
+
+void
+readConfigBody(WireReader &in, WireConfig &config)
+{
+    config.memoryRows = in.u64();
+    config.memoryWidth = in.u64();
+    config.readHeads = in.u64();
+    config.numThreads = in.u64();
+    config.hostedTiles = in.u64();
+    config.lanes = in.u64();
+    config.approximateSoftmax = in.u8();
+    config.softmaxSegments = in.u32();
+    config.fixedPoint = in.u8();
+    config.skimRate = in.real();
+    config.writeSkipThreshold = in.real();
+}
+
+/**
+ * Tile-state body: a fixed field sequence whose shapes all come from
+ * the handshake config, so the wire carries no per-field counts and
+ * each field moves as one bulk Real array. CheckpointState encodes
+ * straight from a live MemoryUnit, Restore from a MemoryTileState
+ * snapshot — byte-identical layouts.
+ */
+void
+putTileStateBody(const MemoryUnit &tile, WireWriter &out)
+{
+    const Matrix &mem = tile.memory();
+    out.putRealArray(mem.data(), mem.size());
+    out.putRealArray(tile.rowNorms().data(), tile.rowNorms().size());
+    out.putRealArray(tile.usage().data(), tile.usage().size());
+    const Matrix &link = tile.linkage().linkage();
+    out.putRealArray(link.data(), link.size());
+    out.putRealArray(tile.linkage().precedence().data(),
+                     tile.linkage().precedence().size());
+    out.putRealArray(tile.writeWeighting().data(),
+                     tile.writeWeighting().size());
+    for (const Vector &rw : tile.readWeightings())
+        out.putRealArray(rw.data(), rw.size());
+}
+
+void
+putSnapshotBody(const MemoryTileState &s, WireWriter &out)
+{
+    out.putRealArray(s.memory.data(), s.memory.size());
+    out.putRealArray(s.rowNorms.data(), s.rowNorms.size());
+    out.putRealArray(s.usage.data(), s.usage.size());
+    out.putRealArray(s.linkage.data(), s.linkage.size());
+    out.putRealArray(s.precedence.data(), s.precedence.size());
+    out.putRealArray(s.writeWeighting.data(), s.writeWeighting.size());
+    for (const Vector &rw : s.readWeightings)
+        out.putRealArray(rw.data(), rw.size());
+}
+
+void
+readSnapshotBody(WireReader &in, const DncConfig &shard, MemoryTileState &s)
+{
+    const Index n = shard.memoryRows;
+    const Index w = shard.memoryWidth;
+    const Index r = shard.readHeads;
+    // Destinations are sized by the trusted handshake config, never by
+    // frame contents; resize reuses capacity in steady state.
+    s.sizeFor(shard);
+    in.realArray(s.memory.data(), n * w);
+    in.realArray(s.rowNorms.data(), n);
+    in.realArray(s.usage.data(), n);
+    in.realArray(s.linkage.data(), n * n);
+    in.realArray(s.precedence.data(), n);
+    in.realArray(s.writeWeighting.data(), n);
+    for (Index h = 0; h < r; ++h)
+        in.realArray(s.readWeightings[h].data(), n);
+}
+
+/** Shared CheckpointState/Restore decoder (identical bodies). */
+bool
+decodeSnapshotFrame(MsgType type, const std::uint8_t *data,
+                    std::size_t size, const DncConfig &shard,
+                    MemoryTileState *const *snapshots, Index count,
+                    std::uint64_t &seq)
+{
+    WireReader in(data, size);
+    in.header(type);
+    seq = in.u64();
+    const std::uint32_t declared = in.u32();
+    if (!in.ok() || declared != count)
+        return false;
+    for (Index i = 0; i < count; ++i)
+        readSnapshotBody(in, shard, *snapshots[i]);
+    return in.atEnd();
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Message encoders.
+// --------------------------------------------------------------------
+
+void
+encodeHello(const WireConfig &config, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Hello);
+    putConfigBody(config, out);
 }
 
 void
@@ -510,6 +615,51 @@ encodeError(const std::string &message, WireWriter &out)
     out.putString(message);
 }
 
+void
+encodeCheckpointRequest(std::uint64_t seq, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::CheckpointRequest);
+    out.putU64(seq);
+}
+
+void
+encodeCheckpointState(std::uint64_t seq,
+                      const std::vector<std::unique_ptr<MemoryUnit>> &tiles,
+                      const DncConfig &shard, WireWriter &out)
+{
+    (void)shard; // shapes are implied by the handshake config
+    out.clear();
+    out.header(MsgType::CheckpointState);
+    out.putU64(seq);
+    out.putU32(static_cast<std::uint32_t>(tiles.size()));
+    for (const auto &tile : tiles)
+        putTileStateBody(*tile, out);
+}
+
+void
+encodeRestore(std::uint64_t seq, const MemoryTileState *const *snapshots,
+              Index count, const DncConfig &shard, WireWriter &out)
+{
+    (void)shard;
+    out.clear();
+    out.header(MsgType::Restore);
+    out.putU64(seq);
+    out.putU32(static_cast<std::uint32_t>(count));
+    for (Index i = 0; i < count; ++i)
+        putSnapshotBody(*snapshots[i], out);
+}
+
+void
+encodeRejoin(const WireConfig &config, std::uint64_t firstTile,
+             WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::Rejoin);
+    putConfigBody(config, out);
+    out.putU64(firstTile);
+}
+
 // --------------------------------------------------------------------
 // Message decoders.
 // --------------------------------------------------------------------
@@ -519,17 +669,7 @@ decodeHello(const std::uint8_t *data, std::size_t size, WireConfig &config)
 {
     WireReader in(data, size);
     in.header(MsgType::Hello);
-    config.memoryRows = in.u64();
-    config.memoryWidth = in.u64();
-    config.readHeads = in.u64();
-    config.numThreads = in.u64();
-    config.hostedTiles = in.u64();
-    config.lanes = in.u64();
-    config.approximateSoftmax = in.u8();
-    config.softmaxSegments = in.u32();
-    config.fixedPoint = in.u8();
-    config.skimRate = in.real();
-    config.writeSkipThreshold = in.real();
+    readConfigBody(in, config);
     return in.atEnd();
 }
 
@@ -708,6 +848,46 @@ decodeError(const std::uint8_t *data, std::size_t size, ErrorMsg &msg)
     WireReader in(data, size);
     in.header(MsgType::Error);
     in.string(msg.message);
+    return in.atEnd();
+}
+
+bool
+decodeCheckpointRequest(const std::uint8_t *data, std::size_t size,
+                        std::uint64_t &seq)
+{
+    WireReader in(data, size);
+    in.header(MsgType::CheckpointRequest);
+    seq = in.u64();
+    return in.atEnd();
+}
+
+bool
+decodeCheckpointState(const std::uint8_t *data, std::size_t size,
+                      const DncConfig &shard,
+                      MemoryTileState *const *snapshots, Index count,
+                      std::uint64_t &seq)
+{
+    return decodeSnapshotFrame(MsgType::CheckpointState, data, size, shard,
+                               snapshots, count, seq);
+}
+
+bool
+decodeRestore(const std::uint8_t *data, std::size_t size,
+              const DncConfig &shard, MemoryTileState *const *snapshots,
+              Index count, std::uint64_t &seq)
+{
+    return decodeSnapshotFrame(MsgType::Restore, data, size, shard,
+                               snapshots, count, seq);
+}
+
+bool
+decodeRejoin(const std::uint8_t *data, std::size_t size, WireConfig &config,
+             std::uint64_t &firstTile)
+{
+    WireReader in(data, size);
+    in.header(MsgType::Rejoin);
+    readConfigBody(in, config);
+    firstTile = in.u64();
     return in.atEnd();
 }
 

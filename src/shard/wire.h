@@ -43,12 +43,26 @@
  * reply carries k lanes' readouts + confidence logits, and sequence ids
  * correlate replies with requests so multiple frames can be in flight
  * per channel.
+ *
+ * Version 3 adds the fault-tolerance surface: CheckpointRequest pulls a
+ * CheckpointState frame carrying the complete recurrent state of every
+ * hosted (lane, tile) pair — memory rows, the row-norm cache, usage,
+ * linkage, precedence, and the previous write/read weightings, i.e.
+ * exactly a MemoryTileState per tile — Restore pushes such a snapshot
+ * back into a worker, and Rejoin is a Hello variant that re-attaches a
+ * fresh worker process to an existing session with its tile assignment.
+ * Shapes ride the handshake, not the frame, so checkpoint bodies are
+ * raw Real arrays (one memcpy per field on LE hosts) and every decoder
+ * stays fail-closed: a v2 peer is rejected at the header check, counts
+ * are validated before any resize, truncation at any byte returns
+ * false.
  */
 
 #ifndef HIMA_SHARD_WIRE_H
 #define HIMA_SHARD_WIRE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,7 +75,7 @@ namespace hima {
 constexpr std::uint16_t kWireMagic = 0x484D;
 
 /** Protocol version; bumped on any layout change. */
-constexpr std::uint8_t kWireVersion = 2;
+constexpr std::uint8_t kWireVersion = 3;
 
 /** Largest legal payload (guards framing against garbage lengths). */
 constexpr std::uint32_t kWireMaxFrameBytes = 64u << 20;
@@ -79,11 +93,15 @@ enum class MsgType : std::uint8_t
     Error = 8,      ///< worker -> coordinator: protocol failure detail
     LaneStep = 9,   ///< coordinator -> worker: k lanes' broadcast ifaces
     LaneStepReply = 10, ///< worker -> coordinator: k lanes' readouts
+    CheckpointRequest = 11, ///< coordinator -> worker: pull all tile state
+    CheckpointState = 12,   ///< worker -> coordinator: lane-major snapshots
+    Restore = 13,           ///< coordinator -> worker: push tile snapshots
+    Rejoin = 14, ///< coordinator -> replacement worker: re-attach handshake
 };
 
 /** Number of distinct message-type slots (for per-type counters). */
 constexpr std::size_t kMsgTypeCount =
-    static_cast<std::size_t>(MsgType::LaneStepReply) + 1;
+    static_cast<std::size_t>(MsgType::Rejoin) + 1;
 
 /** Human-readable message-type name ("?" for out-of-range values). */
 const char *msgTypeName(MsgType type);
@@ -354,6 +372,38 @@ void encodeControlAck(std::uint64_t seq, WireWriter &out);
 void encodeShutdown(WireWriter &out);
 void encodeError(const std::string &message, WireWriter &out);
 
+/** Pull every hosted (lane, tile) snapshot; answered by CheckpointState. */
+void encodeCheckpointRequest(std::uint64_t seq, WireWriter &out);
+
+/**
+ * Encode all hosted tile state straight from the worker's lane-major
+ * tile array — no intermediate snapshot object, one bulk Real-array
+ * append per field. Body layout per tile (shapes from the handshake, so
+ * no per-field counts): memory N*W, rowNorms N, usage N, linkage N*N,
+ * precedence N, writeWeighting N, readWeightings R*N.
+ */
+void encodeCheckpointState(std::uint64_t seq,
+                           const std::vector<std::unique_ptr<MemoryUnit>>
+                               &tiles,
+                           const DncConfig &shard, WireWriter &out);
+
+/**
+ * Encode a Restore carrying `count` tile snapshots (lane-major slice of
+ * the coordinator's checkpoint store). The body layout matches
+ * CheckpointState exactly; the worker acks with ControlAck(seq).
+ */
+void encodeRestore(std::uint64_t seq,
+                   const MemoryTileState *const *snapshots, Index count,
+                   const DncConfig &shard, WireWriter &out);
+
+/**
+ * Re-attach handshake for a replacement worker: the Hello body plus the
+ * first global tile index of its assignment (so operators can identify
+ * the slice a worker serves). Answered by HelloAck like Hello.
+ */
+void encodeRejoin(const WireConfig &config, std::uint64_t firstTile,
+                  WireWriter &out);
+
 // --- decoders (false on any malformed input; outputs resize in place) ---
 
 bool decodeHello(const std::uint8_t *data, std::size_t size,
@@ -386,6 +436,31 @@ bool decodeControl(const std::uint8_t *data, std::size_t size,
 bool decodeControlAck(const std::uint8_t *data, std::size_t size,
                       std::uint64_t &seq);
 bool decodeError(const std::uint8_t *data, std::size_t size, ErrorMsg &msg);
+
+bool decodeCheckpointRequest(const std::uint8_t *data, std::size_t size,
+                             std::uint64_t &seq);
+
+/**
+ * Decode a CheckpointState into `count` caller-owned snapshot slots
+ * (destination-passing: the coordinator points the slots straight at
+ * its lane-major checkpoint store, so the state lands where migration
+ * and restore re-slice it). The declared tile count must equal `count`
+ * and every buffer resize reuses capacity — a steady-state checkpoint
+ * pull allocates nothing.
+ */
+bool decodeCheckpointState(const std::uint8_t *data, std::size_t size,
+                           const DncConfig &shard,
+                           MemoryTileState *const *snapshots, Index count,
+                           std::uint64_t &seq);
+
+/** Decode a Restore into `count` caller-owned snapshot slots. */
+bool decodeRestore(const std::uint8_t *data, std::size_t size,
+                   const DncConfig &shard,
+                   MemoryTileState *const *snapshots, Index count,
+                   std::uint64_t &seq);
+
+bool decodeRejoin(const std::uint8_t *data, std::size_t size,
+                  WireConfig &config, std::uint64_t &firstTile);
 
 } // namespace hima
 

@@ -11,9 +11,19 @@ ShardWorker::handleFrame(const std::uint8_t *data, std::size_t size,
         sendError("malformed frame header", sink);
         return true;
     }
+    // Scripted fault: a dead worker never replies again, and serve()
+    // exits so its socket closes — the coordinator observes exactly
+    // what a crashed process would produce (silence, then EOF).
+    const bool isStepFrame =
+        type == MsgType::Step || type == MsgType::LaneStep;
+    if (fault_.dead() || fault_.onFrame(isStepFrame))
+        return false;
     switch (type) {
     case MsgType::Hello:
         handleHello(data, size, sink);
+        return true;
+    case MsgType::Rejoin:
+        handleRejoin(data, size, sink);
         return true;
     case MsgType::Step:
         handleStep(data, size, sink);
@@ -23,6 +33,12 @@ ShardWorker::handleFrame(const std::uint8_t *data, std::size_t size,
         return true;
     case MsgType::Control:
         handleControl(data, size, sink);
+        return true;
+    case MsgType::CheckpointRequest:
+        handleCheckpointRequest(data, size, sink);
+        return true;
+    case MsgType::Restore:
+        handleRestore(data, size, sink);
         return true;
     case MsgType::Shutdown:
         return false;
@@ -48,7 +64,40 @@ ShardWorker::handleHello(const std::uint8_t *data, std::size_t size,
     if (!decodeHello(data, size, wire)) {
         ack.ok = false;
         ack.message = "malformed Hello";
-    } else if (wire.hostedTiles == 0) {
+    } else {
+        firstGlobalTile_ = 0;
+        applyConfig(wire, ack);
+    }
+    encodeHelloAck(ack, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::handleRejoin(const std::uint8_t *data, std::size_t size,
+                          FrameSink &sink)
+{
+    // Identical to Hello except for the tile-assignment record: the
+    // replacement worker starts from zeroed tiles (the t=0 state) and
+    // the coordinator follows up with Restore + replay as needed.
+    WireConfig wire;
+    std::uint64_t firstTile = 0;
+    HelloAckMsg ack;
+    if (!decodeRejoin(data, size, wire, firstTile)) {
+        ack.ok = false;
+        ack.message = "malformed Rejoin";
+    } else {
+        applyConfig(wire, ack);
+        if (ack.ok)
+            firstGlobalTile_ = firstTile;
+    }
+    encodeHelloAck(ack, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::applyConfig(const WireConfig &wire, HelloAckMsg &ack)
+{
+    if (wire.hostedTiles == 0) {
         ack.ok = false;
         ack.message = "zero hosted tiles";
     } else if (wire.memoryRows == 0 || wire.memoryWidth == 0 ||
@@ -100,7 +149,51 @@ ShardWorker::handleHello(const std::uint8_t *data, std::size_t size,
         ack.ok = true;
         ack.hostedTiles = hostedTiles_;
     }
-    encodeHelloAck(ack, writer_);
+}
+
+void
+ShardWorker::handleCheckpointRequest(const std::uint8_t *data,
+                                     std::size_t size, FrameSink &sink)
+{
+    if (!configured()) {
+        sendError("CheckpointRequest before Hello", sink);
+        return;
+    }
+    std::uint64_t seq = 0;
+    if (!decodeCheckpointRequest(data, size, seq)) {
+        sendError("malformed CheckpointRequest", sink);
+        return;
+    }
+    // Encoded straight from the live tiles: no snapshot copy, and
+    // writer_ keeps its capacity, so a steady-state checkpoint pull
+    // allocates nothing after the first.
+    encodeCheckpointState(seq, tiles_, shardConfig_, writer_);
+    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+}
+
+void
+ShardWorker::handleRestore(const std::uint8_t *data, std::size_t size,
+                           FrameSink &sink)
+{
+    if (!configured()) {
+        sendError("Restore before Hello", sink);
+        return;
+    }
+    if (restoreScratch_.size() != tiles_.size()) {
+        restoreScratch_.resize(tiles_.size());
+        restorePtrs_.clear();
+        for (auto &snapshot : restoreScratch_)
+            restorePtrs_.push_back(&snapshot);
+    }
+    std::uint64_t seq = 0;
+    if (!decodeRestore(data, size, shardConfig_, restorePtrs_.data(),
+                       tiles_.size(), seq)) {
+        sendError("malformed Restore", sink);
+        return;
+    }
+    for (Index t = 0; t < tiles_.size(); ++t)
+        tiles_[t]->restoreState(restoreScratch_[t]);
+    encodeControlAck(seq, writer_);
     sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
 }
 

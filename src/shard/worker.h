@@ -26,6 +26,18 @@
  * calls it synchronously (deterministic tests), serve() wraps it in a
  * blocking event loop over a socket channel (examples/
  * shard_worker_main.cpp runs that loop as a standalone process).
+ *
+ * Wire v3 adds the fault-tolerance surface: CheckpointRequest streams
+ * every hosted tile's complete recurrent state back (encoded straight
+ * from the live MemoryUnits — no snapshot copy, no steady-state
+ * allocation), Restore overwrites all hosted tile state from a
+ * coordinator-held snapshot (acked with ControlAck), and Rejoin lets a
+ * *fresh* worker process take over a lost worker's assignment: it
+ * carries the Hello body plus the first global tile index, and the
+ * worker builds zeroed tiles exactly like Hello — the coordinator then
+ * Restores and replays. injectFault() arms the deterministic
+ * kill/drop/delay harness tests and the bench use to script worker
+ * death.
  */
 
 #ifndef HIMA_SHARD_WORKER_H
@@ -36,6 +48,7 @@
 
 #include "common/thread_pool.h"
 #include "dnc/dncd.h"
+#include "shard/fault.h"
 #include "shard/transport.h"
 #include "shard/wire.h"
 
@@ -82,9 +95,30 @@ class ShardWorker
     /** Admit controls received (episodes started on this worker). */
     std::uint64_t episodesServed() const { return episodesServed_; }
 
+    /** First global tile of a Rejoin assignment (0 for plain Hello). */
+    std::uint64_t firstGlobalTile() const { return firstGlobalTile_; }
+
+    /**
+     * Arm the deterministic fault harness: the worker stops responding
+     * (and serve() exits, closing its channel) at the scripted frame.
+     */
+    void injectFault(const FaultSpec &spec) { fault_.arm(spec); }
+
+    /** True once an armed fault has fired (the worker plays dead). */
+    bool faultFired() const { return fault_.dead(); }
+
   private:
     void handleHello(const std::uint8_t *data, std::size_t size,
                      FrameSink &sink);
+    void handleRejoin(const std::uint8_t *data, std::size_t size,
+                      FrameSink &sink);
+    void handleCheckpointRequest(const std::uint8_t *data, std::size_t size,
+                                 FrameSink &sink);
+    void handleRestore(const std::uint8_t *data, std::size_t size,
+                       FrameSink &sink);
+
+    /** Shared Hello/Rejoin body: validate + build tiles, fill the ack. */
+    void applyConfig(const WireConfig &wire, HelloAckMsg &ack);
     void handleStep(const std::uint8_t *data, std::size_t size,
                     FrameSink &sink);
     void handleLaneStep(const std::uint8_t *data, std::size_t size,
@@ -112,6 +146,15 @@ class ShardWorker
     std::function<void(Index)> stepTask_;     ///< prebuilt pool task
     std::function<void(Index)> laneStepTask_; ///< lane-batched pool task
     std::vector<std::uint8_t> frame_;         ///< serve() recv buffer
+
+    // Restore decodes into these scratch snapshots, then commits into
+    // the tiles only after the whole frame validated (fail-closed: a
+    // truncated Restore never leaves tiles half-overwritten).
+    std::vector<MemoryTileState> restoreScratch_;
+    std::vector<MemoryTileState *> restorePtrs_;
+
+    FaultInjector fault_;
+    std::uint64_t firstGlobalTile_ = 0;
 
     std::uint64_t stepsServed_ = 0;
     std::uint64_t episodesServed_ = 0;

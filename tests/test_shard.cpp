@@ -685,6 +685,330 @@ TEST(ShardRecvTimeoutDeath, DeadWorkerFailsTheStepWithADiagnosis)
 }
 
 // --------------------------------------------------------------------
+// Fault tolerance: scripted worker kills must recover (respawn +
+// checkpoint restore + replay) bit-identically to an undisturbed run,
+// across transports, tile counts and datapaths; the same checkpoint
+// frames must carry live migration and mid-run rescale.
+// --------------------------------------------------------------------
+
+class ShardRecoveryGolden
+    : public ::testing::TestWithParam<
+          std::tuple<ClusterTransport, int, bool>>
+{};
+
+TEST_P(ShardRecoveryGolden, KilledWorkersRestoreBitIdenticalToUndisturbed)
+{
+    const auto [transport, tiles, fixedPoint] = GetParam();
+    DncConfig cfg = gridConfig(tiles, 1, fixedPoint);
+    cfg.shardCheckpointIntervalSteps = 4;
+
+    LocalShardCluster stack = makeLocalCluster(transport, cfg, tiles, 2);
+    ASSERT_TRUE(stack.coordinator != nullptr);
+    auto harness = armClusterRecovery(stack, transport);
+    DncD ref(cfg, tiles); // the undisturbed run
+
+    // Scripted kills: worker 0 dies just before serving step 6 (replay
+    // window = one step past the step-4 checkpoint, on the per-tile
+    // write-sharding frame), worker 1 just before step 14 (its window
+    // then spans the step-12 episode reset, so control replay is
+    // exercised too).
+    FaultSpec killA;
+    killA.killAtStepFrame = 6;
+    stack.workers[0]->injectFault(killA);
+    FaultSpec killB;
+    killB.killAtStepFrame = 14;
+    stack.workers[1]->injectFault(killB);
+
+    Rng rng(305 + tiles);
+    std::vector<InterfaceVector> perTile(tiles);
+    constexpr int kSteps = 18;
+    for (int step = 0; step < kSteps; ++step) {
+        if (step == 12) {
+            ref.reset();
+            stack.coordinator->reset();
+        }
+        const InterfaceVector iface = golden::randomIface(cfg, rng);
+        if (step % 3 == 2) {
+            for (Index t = 0; t < tiles; ++t) {
+                perTile[t] = iface;
+                if (t != static_cast<Index>(step) % tiles)
+                    perTile[t].writeGate = 0.0;
+            }
+            const MemoryReadout a = ref.stepInterfaces(perTile);
+            const MemoryReadout b =
+                stack.coordinator->stepInterfaces(perTile);
+            expectReadoutIdentical(a, b, step);
+        } else {
+            const MemoryReadout a = ref.stepInterface(iface);
+            const MemoryReadout b = stack.coordinator->stepInterface(iface);
+            expectReadoutIdentical(a, b, step);
+        }
+        expectAlphasIdentical(ref, *stack.coordinator, step);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+
+    EXPECT_TRUE(stack.workers[0]->faultFired());
+    EXPECT_TRUE(stack.workers[1]->faultFired());
+    EXPECT_EQ(stack.coordinator->recoveries(), 2u);
+    EXPECT_EQ(harness->workers.size(), 2u); // one replacement per kill
+    // Checkpoints land at steps 4, 8, 12 and 16.
+    EXPECT_EQ(stack.coordinator->checkpointsTaken(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardRecoveryGolden,
+    ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
+                                         ClusterTransport::UnixSocket,
+                                         ClusterTransport::Tcp),
+                       ::testing::Values(2, 4), ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(transportName(std::get<0>(info.param))) +
+               "Nt" + std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "Fixed" : "Float");
+    });
+
+class PipelinedShardRecoveryGolden
+    : public ::testing::TestWithParam<
+          std::tuple<ClusterTransport, int, bool>>
+{};
+
+TEST_P(PipelinedShardRecoveryGolden,
+       KillsInsideTheInFlightWindowDrainDeterministically)
+{
+    const auto [transport, tiles, fixedPoint] = GetParam();
+    const Index lanes = 4;
+    DncConfig cfg = gridConfig(tiles, 1, fixedPoint);
+    cfg.shardCheckpointIntervalSteps = 8; // lane-steps: every 2 rounds
+
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        transport, cfg, tiles, lanes, /*workerCount=*/2,
+        MergePolicy::Confidence, /*wantWeightings=*/true);
+    ASSERT_TRUE(cluster.group != nullptr);
+    auto harness = armClusterRecovery(cluster, transport);
+
+    std::vector<std::unique_ptr<DncD>> refs;
+    for (Index lane = 0; lane < lanes; ++lane)
+        refs.push_back(std::make_unique<DncD>(cfg, tiles));
+
+    // Each round scatters two LaneStep frames per worker. Worker 1 dies
+    // just before serving frame 7 (round 3's *first* batch — both
+    // batches are then outstanding, so recovery must resend the whole
+    // window); worker 0 dies before frame 12 (round 5's second batch,
+    // after already answering the first — a mid-window kill).
+    FaultSpec killA;
+    killA.killAtStepFrame = 7;
+    cluster.workers[1]->injectFault(killA);
+    FaultSpec killB;
+    killB.killAtStepFrame = 12;
+    cluster.workers[0]->injectFault(killB);
+
+    Rng rng(515 + tiles);
+    std::vector<InterfaceVector> ifaces(lanes);
+    const std::vector<Index> batchA = {0, 1};
+    const std::vector<Index> batchB = {2, 3};
+    std::vector<MemoryReadout> outs(lanes);
+    for (int round = 0; round < 8; ++round) {
+        if (round == 4) {
+            // Mid-stream lane churn right between the kills: lane 1
+            // recycles; its control frame joins the replay log.
+            cluster.group->resetLane(1);
+            refs[1]->reset();
+        }
+        for (Index lane = 0; lane < lanes; ++lane)
+            ifaces[lane] = golden::randomIface(cfg, rng);
+        cluster.group->scatter(batchA, {&ifaces[0], &ifaces[1]});
+        cluster.group->scatter(batchB, {&ifaces[2], &ifaces[3]});
+        cluster.group->gather({&outs[0], &outs[1]});
+        cluster.group->gather({&outs[2], &outs[3]});
+        for (Index lane = 0; lane < lanes; ++lane) {
+            SCOPED_TRACE(::testing::Message()
+                         << "lane " << lane << " round " << round);
+            const MemoryReadout want =
+                refs[lane]->stepInterface(ifaces[lane]);
+            expectReadoutIdentical(want, outs[lane], round);
+            ASSERT_EQ(refs[lane]->lastAlphas().size(),
+                      cluster.group->laneAlphas(lane).size());
+            for (Index h = 0; h < refs[lane]->lastAlphas().size(); ++h)
+                EXPECT_EQ(refs[lane]->lastAlphas()[h],
+                          cluster.group->laneAlphas(lane)[h]);
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+
+    EXPECT_TRUE(cluster.workers[0]->faultFired());
+    EXPECT_TRUE(cluster.workers[1]->faultFired());
+    EXPECT_EQ(cluster.group->recoveries(), 2u);
+    EXPECT_EQ(harness->workers.size(), 2u);
+    EXPECT_GE(cluster.group->checkpointsTaken(), 3u);
+    EXPECT_EQ(cluster.group->inFlight(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelinedShardRecoveryGolden,
+    ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
+                                         ClusterTransport::UnixSocket,
+                                         ClusterTransport::Tcp),
+                       ::testing::Values(2, 4), ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(transportName(std::get<0>(info.param))) +
+               "Nt" + std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "Fixed" : "Float");
+    });
+
+// The full serving engine on a recovering fleet: a worker kill lands
+// amid markDraining/release/admit lane churn and the pipelined
+// double-buffered schedule, and every surviving lane still matches its
+// dedicated reference bit for bit.
+TEST(PipelinedEngineRecovery, KillSurvivesLaneChurnBitExactly)
+{
+    const Index tiles = 2;
+    DncConfig cfg = gridConfig(tiles, 1, false);
+    cfg.controllerSize = 20;
+    cfg.inputSize = 9;
+    cfg.outputSize = 7;
+    cfg.batchSize = 3;
+    cfg.shardCheckpointIntervalSteps = 6;
+    const Index lanesPerBatch = 2;
+    constexpr std::uint64_t kSeed = 77;
+
+    LocalLaneCluster cluster =
+        makeLocalLaneCluster(ClusterTransport::UnixSocket, cfg, tiles,
+                             cfg.batchSize, /*workerCount=*/2);
+    auto harness = armClusterRecovery(cluster,
+                                      ClusterTransport::UnixSocket);
+    PipelinedShardedLaneEngine engine(cfg, kSeed, cluster.group,
+                                      lanesPerBatch);
+
+    std::vector<std::unique_ptr<ShardedDnc>> refs;
+    for (Index slot = 0; slot < cfg.batchSize; ++slot)
+        refs.push_back(std::make_unique<ShardedDnc>(
+            cfg, kSeed, std::make_unique<DncD>(cfg, tiles)));
+
+    // Steps 0-5 send two LaneStep frames each (12), the churn window
+    // 6-8 one each (15), step 9 two again — frame 17 kills worker 1 in
+    // the second batch of the first post-readmit step.
+    FaultSpec kill;
+    kill.killAtStepFrame = 17;
+    cluster.workers[1]->injectFault(kill);
+
+    Rng rng(411 + tiles);
+    std::vector<Vector> inputs(cfg.batchSize);
+    std::vector<Vector> outputs;
+    constexpr int kSteps = 16;
+    for (int step = 0; step < kSteps; ++step) {
+        if (step == 6) {
+            engine.markDraining(1);
+            engine.release(1);
+        }
+        if (step == 9) {
+            const Index slot = engine.admit();
+            ASSERT_EQ(slot, 1u);
+            refs[1]->beginEpisode();
+        }
+        for (Index slot = 0; slot < cfg.batchSize; ++slot)
+            inputs[slot] = rng.normalVector(cfg.inputSize);
+        engine.stepInto(inputs, outputs);
+        for (Index slot = 0; slot < cfg.batchSize; ++slot) {
+            if (engine.laneState(slot) != LaneState::Active)
+                continue;
+            const Vector want = refs[slot]->step(inputs[slot]);
+            ASSERT_TRUE(want == outputs[slot])
+                << "lane " << slot << " diverged at step " << step;
+        }
+    }
+    EXPECT_TRUE(cluster.workers[1]->faultFired());
+    EXPECT_EQ(cluster.group->recoveries(), 1u);
+    EXPECT_EQ(engine.group().inFlight(), 0u);
+}
+
+// Live migration on the synchronous coordinator: a tile slice moves to
+// a fresh worker (even one on a *different* transport) between steps,
+// with no respawner and no checkpoint cadence configured, and the run
+// stays bit-identical throughout.
+TEST(ShardMigration, CoordinatorMovesTileSlicesBetweenLiveWorkers)
+{
+    const Index tiles = 4;
+    const DncConfig cfg = gridConfig(tiles, 1, false);
+    LocalShardCluster stack =
+        makeLocalCluster(ClusterTransport::UnixSocket, cfg, tiles, 2);
+    DncD ref(cfg, tiles);
+
+    Rng rng(808);
+    MemoryReadout a, b;
+    for (int step = 0; step < 12; ++step) {
+        if (step == 5)
+            stack.coordinator->migrateWorker(
+                1, makeClusterWorker(ClusterTransport::UnixSocket,
+                                     stack.workers, stack.threads));
+        if (step == 8) // channels are transport-agnostic: move to TCP
+            stack.coordinator->migrateWorker(
+                0, makeClusterWorker(ClusterTransport::Tcp, stack.workers,
+                                     stack.threads));
+        const InterfaceVector iface = golden::randomIface(cfg, rng);
+        ref.stepInterfaceInto(iface, a);
+        stack.coordinator->stepInterfaceInto(iface, b);
+        expectReadoutIdentical(a, b, step);
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    EXPECT_EQ(stack.coordinator->checkpointsTaken(), 2u);
+    EXPECT_EQ(stack.coordinator->recoveries(), 0u);
+}
+
+// Mid-run scale-out and scale-in on the lane group: the fleet grows
+// from 2 to 4 workers and later shrinks back, and every serving lane
+// keeps matching its dedicated reference — zero dropped lanes.
+TEST(ShardRescale, LaneGroupRedealsTilesMidRunWithZeroDroppedLanes)
+{
+    const Index tiles = 4;
+    const Index lanes = 3;
+    const DncConfig cfg = gridConfig(tiles, 1, false);
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        ClusterTransport::UnixSocket, cfg, tiles, lanes, /*workerCount=*/2,
+        MergePolicy::Confidence, /*wantWeightings=*/true);
+
+    std::vector<std::unique_ptr<DncD>> refs;
+    for (Index lane = 0; lane < lanes; ++lane)
+        refs.push_back(std::make_unique<DncD>(cfg, tiles));
+
+    Rng rng(910);
+    MemoryReadout got;
+    for (int step = 0; step < 12; ++step) {
+        if (step == 4) { // scale out: 2 -> 4 workers, one tile each
+            std::vector<std::unique_ptr<Channel>> grown;
+            for (int k = 0; k < 4; ++k)
+                grown.push_back(
+                    makeClusterWorker(ClusterTransport::UnixSocket,
+                                      cluster.workers, cluster.threads));
+            cluster.group->rescale(std::move(grown));
+            EXPECT_EQ(cluster.group->channelCount(), 4u);
+        }
+        if (step == 9) { // scale back in: 4 -> 2 workers
+            std::vector<std::unique_ptr<Channel>> shrunk;
+            for (int k = 0; k < 2; ++k)
+                shrunk.push_back(
+                    makeClusterWorker(ClusterTransport::UnixSocket,
+                                      cluster.workers, cluster.threads));
+            cluster.group->rescale(std::move(shrunk));
+            EXPECT_EQ(cluster.group->channelCount(), 2u);
+        }
+        for (Index lane = 0; lane < lanes; ++lane) {
+            SCOPED_TRACE(::testing::Message()
+                         << "lane " << lane << " step " << step);
+            const InterfaceVector iface = golden::randomIface(cfg, rng);
+            cluster.group->stepLaneInto(lane, iface, got);
+            const MemoryReadout want = refs[lane]->stepInterface(iface);
+            expectReadoutIdentical(want, got, step);
+        }
+        if (::testing::Test::HasFatalFailure())
+            return;
+    }
+    EXPECT_EQ(cluster.group->checkpointsTaken(), 2u);
+}
+
+// --------------------------------------------------------------------
 // Worker protocol edge cases.
 // --------------------------------------------------------------------
 
@@ -789,6 +1113,77 @@ TEST(ShardWorkerProtocol, AdmitControlCountsEpisodes)
     EXPECT_EQ(stack.workers[0]->episodesServed(), 2u);
 }
 
+TEST(ShardWorkerProtocol, RejoinRecordsTheTileAssignment)
+{
+    const DncConfig cfg = gridConfig(4, 1, false);
+    const DncConfig shard = shardConfigFor(cfg, 4);
+    ShardWorker worker;
+    CollectSink sink;
+    WireWriter w;
+    encodeRejoin(WireConfig::fromShard(shard, /*hostedTiles=*/2,
+                                       /*lanes=*/3),
+                 /*firstTile=*/2, w);
+    worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+    ASSERT_EQ(sink.frames.size(), 1u);
+    HelloAckMsg ack;
+    ASSERT_TRUE(decodeHelloAck(sink.frames[0].data(),
+                               sink.frames[0].size(), ack));
+    ASSERT_TRUE(ack.ok);
+    EXPECT_EQ(ack.hostedTiles, 2u);
+    EXPECT_TRUE(worker.configured());
+    EXPECT_EQ(worker.lanes(), 3u);
+    EXPECT_EQ(worker.firstGlobalTile(), 2u);
+}
+
+TEST(ShardWorkerProtocol, CheckpointAndRestoreBeforeHelloAreErrors)
+{
+    ShardWorker worker;
+    CollectSink sink;
+    WireWriter w;
+    encodeCheckpointRequest(1, w);
+    worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+    encodeRestore(1, nullptr, 0, gridConfig(2, 1, false), w);
+    worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+    ASSERT_EQ(sink.frames.size(), 2u);
+    for (const auto &frame : sink.frames) {
+        MsgType type;
+        ASSERT_TRUE(peekType(frame.data(), frame.size(), type));
+        EXPECT_EQ(type, MsgType::Error);
+    }
+    EXPECT_FALSE(worker.configured());
+}
+
+TEST(ShardFault, ScriptedKillSilencesTheWorkerAtTheExactFrame)
+{
+    // Protocol-level view of a kill: the worker answers step frames
+    // normally until the scripted one, then plays dead — no reply, no
+    // Error — exactly what a crashed process looks like to the
+    // coordinator.
+    const DncConfig cfg = gridConfig(2, 1, false);
+    const DncConfig shard = shardConfigFor(cfg, 2);
+    ShardWorker worker;
+    CollectSink sink;
+    WireWriter w;
+    encodeHello(WireConfig::fromShard(shard, 2), w);
+    ASSERT_TRUE(worker.handleFrame(w.buffer().data(), w.buffer().size(),
+                                   sink));
+    FaultSpec kill;
+    kill.killAtStepFrame = 3;
+    worker.injectFault(kill);
+
+    Rng rng(13);
+    for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+        const InterfaceVector iface = golden::randomIface(shard, rng);
+        encodeStepBroadcast(seq, false, 0, iface, 2, w);
+        const bool alive =
+            worker.handleFrame(w.buffer().data(), w.buffer().size(), sink);
+        EXPECT_EQ(alive, seq < 3) << "seq " << seq;
+    }
+    // Hello ack + the two steps served before the kill; nothing after.
+    EXPECT_EQ(sink.frames.size(), 3u);
+    EXPECT_TRUE(worker.faultFired());
+}
+
 // --------------------------------------------------------------------
 // Zero-allocation steady state over loopback.
 // --------------------------------------------------------------------
@@ -852,6 +1247,79 @@ TEST(ShardZeroAlloc, SteadyStatePipelinedEngineStep)
         << "steady-state pipelined engine step performed heap "
            "allocations (lane-batched encode/decode, scatter window, "
            "worker lane step, or merge path regressed)";
+}
+
+TEST(ShardZeroAlloc, SteadyStateWithCheckpointingAndReplayLog)
+{
+    // Recovery armed with the tightest cadence: every counted window
+    // spans multiple checkpoint pulls (CheckpointState frames, snapshot
+    // decode, replay-log ring) and must still allocate nothing once the
+    // rings are warm.
+    DncConfig cfg = serveCfg();
+    cfg.shardCheckpointIntervalSteps = 2;
+    LocalShardCluster stack =
+        makeLocalCluster(ClusterTransport::Loopback, cfg, /*tiles=*/4,
+                         /*workerCount=*/2, MergePolicy::Confidence,
+                         /*wantWeightings=*/false);
+    auto harness = armClusterRecovery(stack, ClusterTransport::Loopback);
+
+    Rng rng(606);
+    std::vector<InterfaceVector> ifaces;
+    for (int i = 0; i < 11; ++i)
+        ifaces.push_back(golden::randomIface(cfg, rng));
+
+    MemoryReadout out;
+    for (int i = 0; i < 5; ++i) // warm: two full checkpoint intervals
+        stack.coordinator->stepInterfaceInto(ifaces[i], out);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 5; i < 11; ++i)
+        stack.coordinator->stepInterfaceInto(ifaces[i], out);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state step with checkpointing performed heap "
+           "allocations (checkpoint encode/decode, snapshot store, "
+           "pending-frame tracking, or replay-log ring regressed)";
+    EXPECT_EQ(stack.coordinator->checkpointsTaken(), 5u);
+}
+
+TEST(ShardZeroAlloc, SteadyStatePipelinedEngineWithCheckpointing)
+{
+    DncConfig cfg = serveCfg();
+    cfg.batchSize = 4;
+    cfg.shardLanesPerBatch = 2;         // two overlapped batches per step
+    cfg.shardCheckpointIntervalSteps = 8; // lane-steps: pull every 2 steps
+    LocalLaneCluster cluster = makeLocalLaneCluster(
+        ClusterTransport::Loopback, cfg, /*tiles=*/4, cfg.batchSize,
+        /*workerCount=*/2);
+    auto harness = armClusterRecovery(cluster, ClusterTransport::Loopback);
+    PipelinedShardedLaneEngine engine(cfg, 9, cluster.group);
+
+    Rng rng(707);
+    std::vector<std::vector<Vector>> inputs;
+    for (int i = 0; i < 9; ++i) {
+        inputs.emplace_back();
+        for (Index lane = 0; lane < cfg.batchSize; ++lane)
+            inputs.back().push_back(rng.normalVector(cfg.inputSize));
+    }
+
+    std::vector<Vector> outputs;
+    for (int i = 0; i < 4; ++i) // warm: two checkpoint pulls
+        engine.stepInto(inputs[i], outputs);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 4; i < 9; ++i)
+        engine.stepInto(inputs[i], outputs);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state pipelined step with checkpointing performed "
+           "heap allocations (lane-major checkpoint store, shared-frame "
+           "replay log, or in-flight window tracking regressed)";
+    EXPECT_GE(cluster.group->checkpointsTaken(), 4u);
 }
 
 } // namespace

@@ -524,6 +524,235 @@ TEST(WireMalformed, AdversarialCountsDoNotAllocate)
 }
 
 // --------------------------------------------------------------------
+// Fault-tolerance frames (wire v3): checkpoint pull/push, Rejoin.
+// --------------------------------------------------------------------
+
+TEST(Wire, CheckpointRequestAndRejoinRoundTrip)
+{
+    WireWriter w;
+    encodeCheckpointRequest(77, w);
+    MsgType type;
+    ASSERT_TRUE(peekType(w.buffer().data(), w.buffer().size(), type));
+    EXPECT_EQ(type, MsgType::CheckpointRequest);
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(decodeCheckpointRequest(w.buffer().data(),
+                                        w.buffer().size(), seq));
+    EXPECT_EQ(seq, 77u);
+
+    DncConfig cfg = shardCfg();
+    cfg.fixedPoint = true;
+    const WireConfig sent = WireConfig::fromShard(cfg, 3, /*lanes=*/2);
+    encodeRejoin(sent, /*firstTile=*/5, w);
+    WireConfig got;
+    std::uint64_t firstTile = 0;
+    ASSERT_TRUE(
+        decodeRejoin(w.buffer().data(), w.buffer().size(), got, firstTile));
+    EXPECT_EQ(got, sent);
+    EXPECT_EQ(firstTile, 5u);
+}
+
+TEST(Wire, CheckpointStateRestoresABitExactReplica)
+{
+    // The full cycle a recovery performs: run live tiles, pull their
+    // state over the wire, push it into fresh units, then drive both
+    // with the same interface stream — every subsequent readout must
+    // match bit for bit.
+    const DncConfig cfg = shardCfg();
+    const Index count = 2;
+    std::vector<std::unique_ptr<MemoryUnit>> tiles;
+    std::vector<std::unique_ptr<MemoryUnit>> replicas;
+    for (Index t = 0; t < count; ++t) {
+        tiles.push_back(std::make_unique<MemoryUnit>(cfg));
+        replicas.push_back(std::make_unique<MemoryUnit>(cfg));
+    }
+    Rng rng(51);
+    MemoryReadout scratch;
+    for (int step = 0; step < 5; ++step)
+        for (auto &tile : tiles)
+            tile->stepInto(golden::randomIface(cfg, rng), scratch);
+
+    WireWriter w;
+    encodeCheckpointState(33, tiles, cfg, w);
+    std::vector<MemoryTileState> snapshots(count);
+    std::vector<MemoryTileState *> slots = {&snapshots[0], &snapshots[1]};
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(decodeCheckpointState(w.buffer().data(), w.buffer().size(),
+                                      cfg, slots.data(), count, seq));
+    EXPECT_EQ(seq, 33u);
+
+    MemoryTileState want, got;
+    for (Index t = 0; t < count; ++t) {
+        replicas[t]->restoreState(snapshots[t]);
+        tiles[t]->captureState(want);
+        replicas[t]->captureState(got);
+        EXPECT_TRUE(want.memory == got.memory);
+        EXPECT_TRUE(want.rowNorms == got.rowNorms);
+        EXPECT_TRUE(want.usage == got.usage);
+        EXPECT_TRUE(want.linkage == got.linkage);
+        EXPECT_TRUE(want.precedence == got.precedence);
+        EXPECT_TRUE(want.writeWeighting == got.writeWeighting);
+        ASSERT_EQ(want.readWeightings.size(), got.readWeightings.size());
+        for (Index h = 0; h < want.readWeightings.size(); ++h)
+            EXPECT_TRUE(want.readWeightings[h] == got.readWeightings[h]);
+    }
+
+    MemoryReadout a, b;
+    for (int step = 0; step < 4; ++step)
+        for (Index t = 0; t < count; ++t) {
+            const InterfaceVector iface = golden::randomIface(cfg, rng);
+            tiles[t]->stepInto(iface, a);
+            replicas[t]->stepInto(iface, b);
+            ASSERT_EQ(a.readVectors.size(), b.readVectors.size());
+            for (Index h = 0; h < a.readVectors.size(); ++h)
+                EXPECT_TRUE(a.readVectors[h] == b.readVectors[h])
+                    << "tile " << t << " head " << h << " diverged after "
+                       "restore at step "
+                    << step;
+        }
+}
+
+TEST(Wire, RestoreRoundTripCarriesSnapshotsBitExactly)
+{
+    const DncConfig cfg = shardCfg();
+    std::vector<std::unique_ptr<MemoryUnit>> tiles;
+    tiles.push_back(std::make_unique<MemoryUnit>(cfg));
+    Rng rng(52);
+    MemoryReadout scratch;
+    for (int step = 0; step < 3; ++step)
+        tiles[0]->stepInto(golden::randomIface(cfg, rng), scratch);
+    MemoryTileState sent;
+    tiles[0]->captureState(sent);
+    const MemoryTileState *sendSlots[] = {&sent};
+
+    WireWriter w;
+    encodeRestore(21, sendSlots, 1, cfg, w);
+    MsgType type;
+    ASSERT_TRUE(peekType(w.buffer().data(), w.buffer().size(), type));
+    EXPECT_EQ(type, MsgType::Restore);
+
+    MemoryTileState got;
+    MemoryTileState *recvSlots[] = {&got};
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(decodeRestore(w.buffer().data(), w.buffer().size(), cfg,
+                              recvSlots, 1, seq));
+    EXPECT_EQ(seq, 21u);
+    EXPECT_TRUE(got.memory == sent.memory);
+    EXPECT_TRUE(got.rowNorms == sent.rowNorms);
+    EXPECT_TRUE(got.usage == sent.usage);
+    EXPECT_TRUE(got.linkage == sent.linkage);
+    EXPECT_TRUE(got.precedence == sent.precedence);
+    EXPECT_TRUE(got.writeWeighting == sent.writeWeighting);
+    ASSERT_EQ(got.readWeightings.size(), sent.readWeightings.size());
+    for (Index h = 0; h < sent.readWeightings.size(); ++h)
+        EXPECT_TRUE(got.readWeightings[h] == sent.readWeightings[h]);
+}
+
+TEST(WireMalformed, CheckpointFrameTruncationAtEveryByteIsRejected)
+{
+    const DncConfig cfg = shardCfg();
+    std::uint64_t seq = 0;
+
+    WireWriter req;
+    encodeCheckpointRequest(3, req);
+    for (std::size_t len = 0; len < req.buffer().size(); ++len)
+        EXPECT_FALSE(decodeCheckpointRequest(req.buffer().data(), len, seq))
+            << "truncated CheckpointRequest of " << len << " bytes decoded";
+
+    WireWriter rejoin;
+    encodeRejoin(WireConfig::fromShard(cfg, 2), 1, rejoin);
+    WireConfig outCfg;
+    std::uint64_t firstTile = 0;
+    for (std::size_t len = 0; len < rejoin.buffer().size(); ++len)
+        EXPECT_FALSE(decodeRejoin(rejoin.buffer().data(), len, outCfg,
+                                  firstTile))
+            << "truncated Rejoin of " << len << " bytes decoded";
+
+    std::vector<std::unique_ptr<MemoryUnit>> tiles;
+    tiles.push_back(std::make_unique<MemoryUnit>(cfg));
+    MemoryTileState snapshot;
+    MemoryTileState *slots[] = {&snapshot};
+    WireWriter state;
+    encodeCheckpointState(4, tiles, cfg, state);
+    for (std::size_t len = 0; len < state.buffer().size(); ++len)
+        EXPECT_FALSE(decodeCheckpointState(state.buffer().data(), len, cfg,
+                                           slots, 1, seq))
+            << "truncated CheckpointState of " << len << " bytes decoded";
+
+    tiles[0]->captureState(snapshot);
+    const MemoryTileState *sendSlots[] = {&snapshot};
+    MemoryTileState back;
+    MemoryTileState *recvSlots[] = {&back};
+    WireWriter restore;
+    encodeRestore(5, sendSlots, 1, cfg, restore);
+    for (std::size_t len = 0; len < restore.buffer().size(); ++len)
+        EXPECT_FALSE(decodeRestore(restore.buffer().data(), len, cfg,
+                                   recvSlots, 1, seq))
+            << "truncated Restore of " << len << " bytes decoded";
+
+    // Trailing garbage after well-formed frames is rejected too.
+    std::vector<std::uint8_t> frame = state.buffer();
+    frame.push_back(0xCD);
+    EXPECT_FALSE(decodeCheckpointState(frame.data(), frame.size(), cfg,
+                                       slots, 1, seq));
+    frame = restore.buffer();
+    frame.push_back(0xCD);
+    EXPECT_FALSE(
+        decodeRestore(frame.data(), frame.size(), cfg, recvSlots, 1, seq));
+}
+
+TEST(WireMalformed, CheckpointCountAndShapeMismatchesAreRejected)
+{
+    const DncConfig cfg = shardCfg();
+    std::vector<std::unique_ptr<MemoryUnit>> tiles;
+    tiles.push_back(std::make_unique<MemoryUnit>(cfg));
+    tiles.push_back(std::make_unique<MemoryUnit>(cfg));
+    WireWriter w;
+    encodeCheckpointState(6, tiles, cfg, w);
+
+    std::vector<MemoryTileState> snapshots(2);
+    std::vector<MemoryTileState *> slots = {&snapshots[0], &snapshots[1]};
+    std::uint64_t seq = 0;
+    // Tile-count mismatch: the frame carries 2 snapshots, not 1.
+    EXPECT_FALSE(decodeCheckpointState(w.buffer().data(), w.buffer().size(),
+                                       cfg, slots.data(), 1, seq));
+    // Shape mismatch: a wider W changes every field length.
+    DncConfig wide = cfg;
+    wide.memoryWidth = cfg.memoryWidth + 4;
+    EXPECT_FALSE(decodeCheckpointState(w.buffer().data(), w.buffer().size(),
+                                       wide, slots.data(), 2, seq));
+}
+
+TEST(WireVersionSkew, V2PeerIsRejectedAtEveryDecoder)
+{
+    // A v2 peer's frames carry version byte 2 at offset 2: every v3
+    // decoder (and peekType itself) must fail closed, so a mixed-version
+    // fleet dies at the handshake instead of misreading state frames.
+    const DncConfig cfg = shardCfg();
+    WireWriter w;
+    encodeHello(WireConfig::fromShard(cfg, 2), w);
+    std::vector<std::uint8_t> frame = w.buffer();
+    ASSERT_EQ(frame[2], kWireVersion);
+    frame[2] = 2;
+
+    MsgType type;
+    EXPECT_FALSE(peekType(frame.data(), frame.size(), type));
+    WireConfig got;
+    EXPECT_FALSE(decodeHello(frame.data(), frame.size(), got));
+
+    std::uint64_t firstTile = 0;
+    encodeRejoin(WireConfig::fromShard(cfg, 2), 0, w);
+    frame = w.buffer();
+    frame[2] = 2;
+    EXPECT_FALSE(decodeRejoin(frame.data(), frame.size(), got, firstTile));
+
+    std::uint64_t seq = 0;
+    encodeCheckpointRequest(9, w);
+    frame = w.buffer();
+    frame[2] = 2;
+    EXPECT_FALSE(decodeCheckpointRequest(frame.data(), frame.size(), seq));
+}
+
+// --------------------------------------------------------------------
 // Loopback framing.
 // --------------------------------------------------------------------
 
