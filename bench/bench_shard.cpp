@@ -13,8 +13,9 @@
  *     as one sync step), i.e. serving throughput on the same fleet.
  *
  * Workers run in-process for loopback and on threads behind real
- * Unix-domain/TCP sockets otherwise; the in-process DncD baseline (no
- * serialization at all) bounds both modes from above on one box. Every
+ * Unix-domain/TCP sockets or zero-copy shared-memory rings otherwise;
+ * the in-process DncD baseline (no serialization at all) bounds both
+ * modes from above on one box. Every
  * point stamps per-message-type frame/byte counts per (lane-)step from
  * the channels' WireTrafficStats. Results land in BENCH_shard.json (CI
  * artifact) next to the other bench JSONs.
@@ -49,11 +50,14 @@
 namespace hima {
 namespace {
 
+/** The paper's evaluation N; wire-bound rows shrink it (see below). */
+constexpr Index kBenchRows = 1024;
+
 DncConfig
-benchConfig(Index tiles)
+benchConfig(Index tiles, Index rows = kBenchRows)
 {
     DncConfig cfg;
-    cfg.memoryRows = 1024; // the paper's evaluation N
+    cfg.memoryRows = rows;
     cfg.memoryWidth = 64;
     cfg.readHeads = 4;
     (void)tiles;
@@ -88,6 +92,7 @@ enum class Transport
     Loopback,
     Unix,
     Tcp,
+    Shm, ///< zero-copy shared-memory rings
 };
 
 const char *
@@ -100,6 +105,8 @@ transportName(Transport t)
         return "loopback";
     case Transport::Unix:
         return "unix";
+    case Transport::Shm:
+        return "shm";
     default:
         return "tcp";
     }
@@ -113,6 +120,8 @@ toCluster(Transport t)
         return ClusterTransport::Loopback;
     case Transport::Unix:
         return ClusterTransport::UnixSocket;
+    case Transport::Shm:
+        return ClusterTransport::Shm;
     default:
         return ClusterTransport::Tcp;
     }
@@ -220,6 +229,7 @@ struct Point
     Index lanes;        ///< 1 for sync rows
     Index lanesPerBatch; ///< 0 for sync rows
     Index checkpointInterval; ///< 0 = fault tolerance unarmed
+    Index rows = kBenchRows;  ///< memory rows (wire-bound rows shrink it)
     double stepsPerSec; ///< lane-steps/s for pipelined rows
     // Per-type wire traffic per (lane-)step, both directions.
     WireTrafficStats sent;
@@ -246,9 +256,9 @@ diffStats(const Channel &chan, const WireTrafficStats &sentBase,
 
 Point
 runPoint(Transport transport, Index tiles, Index workers,
-         Index checkpointInterval = 0)
+         Index checkpointInterval = 0, Index rows = kBenchRows)
 {
-    DncConfig cfg = benchConfig(tiles);
+    DncConfig cfg = benchConfig(tiles, rows);
     cfg.shardCheckpointIntervalSteps = checkpointInterval;
     Rng rng(7);
     const InterfaceVector iface = randomIface(cfg, rng);
@@ -260,6 +270,7 @@ runPoint(Transport transport, Index tiles, Index workers,
     p.lanes = 1;
     p.lanesPerBatch = 0;
     p.checkpointInterval = checkpointInterval;
+    p.rows = rows;
 
     if (transport == Transport::InProcess) {
         DncD model(cfg, tiles);
@@ -491,6 +502,7 @@ main(int argc, char **argv)
         Index workers;
         Index lanesPerBatch;      ///< 0 = sync coordinator
         Index checkpointInterval; ///< 0 = fault tolerance unarmed
+        Index rows = kBenchRows;  ///< memory rows (wire-bound rows shrink)
     };
     struct RecoveryCase
     {
@@ -504,12 +516,17 @@ main(int argc, char **argv)
     if (smoke) {
         cases = {{Transport::Loopback, 4, 2, 0, 0},
                  {Transport::Unix, 4, 2, 0, 0},
+                 {Transport::Shm, 4, 2, 0, 0},
                  {Transport::Loopback, 4, 2, 2, 0},
                  {Transport::Unix, 4, 2, 4, 0},
+                 {Transport::Shm, 4, 2, 4, 0},
                  // Fault tolerance armed: checkpoint pulls in the loop.
-                 {Transport::Unix, 4, 2, 0, 16}};
-        // One injected kill + recovery under the sanitizers.
-        recoveryCases = {{Transport::Unix, 4, 2, 16}};
+                 {Transport::Unix, 4, 2, 0, 16},
+                 {Transport::Shm, 4, 2, 0, 16}};
+        // Injected kill + recovery under the sanitizers — the shm row
+        // drives ring re-rendezvous + replay through TSan/ASan too.
+        recoveryCases = {{Transport::Unix, 4, 2, 16},
+                         {Transport::Shm, 4, 2, 16}};
     } else {
         for (Index tiles : {Index(2), Index(4), Index(8), Index(16)}) {
             const Index workers = tiles >= 4 ? 4 : tiles;
@@ -517,6 +534,7 @@ main(int argc, char **argv)
             cases.push_back({Transport::Loopback, tiles, workers, 0, 0});
             cases.push_back({Transport::Unix, tiles, workers, 0, 0});
             cases.push_back({Transport::Tcp, tiles, workers, 0, 0});
+            cases.push_back({Transport::Shm, tiles, workers, 0, 0});
         }
         // The pipelined sweep at the tile counts where the sync
         // round-trip gap is widest (see the sync rows).
@@ -526,19 +544,30 @@ main(int argc, char **argv)
                 cases.push_back({Transport::Loopback, tiles, workers, k, 0});
                 cases.push_back({Transport::Unix, tiles, workers, k, 0});
                 cases.push_back({Transport::Tcp, tiles, workers, k, 0});
+                cases.push_back({Transport::Shm, tiles, workers, k, 0});
             }
         }
+        // Wire-bound rows: N small enough that the transport, not the
+        // tile datapath, is the bottleneck — this is where the
+        // zero-copy shm rings separate from the socket transports
+        // (at the paper's N the per-step compute masks the wire).
+        for (Transport t : {Transport::InProcess, Transport::Loopback,
+                            Transport::Unix, Transport::Tcp,
+                            Transport::Shm})
+            cases.push_back({t, 16, 4, 0, 0, 128});
         // Checkpoint-overhead sweep: the interval-0 baseline is the
         // plain sync row above; 64 and 256 price the recoverable
         // configurations.
         for (Index interval : {Index(64), Index(256)}) {
             cases.push_back({Transport::Loopback, 8, 4, 0, interval});
             cases.push_back({Transport::Unix, 8, 4, 0, interval});
+            cases.push_back({Transport::Shm, 8, 4, 0, interval});
         }
         // Recovery latency per injected kill.
         for (Index interval : {Index(64), Index(256)}) {
             recoveryCases.push_back({Transport::Unix, 8, 4, interval});
             recoveryCases.push_back({Transport::Tcp, 8, 4, interval});
+            recoveryCases.push_back({Transport::Shm, 8, 4, interval});
         }
     }
 
@@ -552,7 +581,7 @@ main(int argc, char **argv)
         const Point p =
             c.lanesPerBatch == 0
                 ? runPoint(c.transport, c.tiles, c.workers,
-                           c.checkpointInterval)
+                           c.checkpointInterval, c.rows)
                 : runPipelinedPoint(c.transport, c.tiles, c.workers,
                                     c.lanesPerBatch);
         points.push_back(p);
@@ -572,6 +601,11 @@ main(int argc, char **argv)
                         transportName(p.transport), p.tiles, p.workers,
                         p.checkpointInterval, p.stepsPerSec,
                         wireBytes / p.statSteps);
+        else if (p.rows != kBenchRows)
+            std::printf("%-10s tiles=%2zu workers=%zu sync N=%-5zu "
+                        "%9.1f steps/s       %8.1f wire B/step\n",
+                        transportName(p.transport), p.tiles, p.workers,
+                        p.rows, p.stepsPerSec, wireBytes / p.statSteps);
         else
             std::printf("%-10s tiles=%2zu workers=%zu sync         "
                         "%9.1f steps/s       %8.1f wire B/step\n",
@@ -612,11 +646,12 @@ main(int argc, char **argv)
                      "\"tiles\": %zu, \"workers\": %zu, \"lanes\": %zu, "
                      "\"lanes_per_batch\": %zu, "
                      "\"checkpoint_interval\": %zu, "
+                     "\"memory_rows\": %zu, "
                      "\"steps_per_sec\": %.2f, ",
                      transportName(p.transport),
                      p.pipelined() ? "pipelined" : "sync", p.tiles,
                      p.workers, p.lanes, p.lanesPerBatch,
-                     p.checkpointInterval, p.stepsPerSec);
+                     p.checkpointInterval, p.rows, p.stepsPerSec);
         writeWireStats(json, p);
         std::fprintf(json, "}%s\n", i + 1 < points.size() ? "," : "");
     }

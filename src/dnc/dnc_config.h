@@ -85,6 +85,16 @@ struct DncConfig
     Index shardCheckpointIntervalSteps = 0;
 
     /**
+     * Receive/send bound (milliseconds) on every shard channel the
+     * cluster harness builds: a dead or wedged worker surfaces as a
+     * recoverable timeout after this long instead of hanging the
+     * coordinator. Must be >= 1 — a zero timeout would reach the
+     * transports as "block forever" (the POSIX zero-timeval meaning),
+     * which is never what a serving deployment wants.
+     */
+    Index shardRecvTimeoutMs = 30000;
+
+    /**
      * Pending-request queue bound of the dynamic-batching router
      * (src/serve/router.h): submissions beyond this many queued-but-
      * unadmitted requests are rejected (back-pressure). Must be >= 1.
@@ -143,6 +153,9 @@ struct DncConfig
             HIMA_FATAL("DncConfig: numThreads must be >= 1");
         if (batchSize == 0)
             HIMA_FATAL("DncConfig: batchSize must be >= 1");
+        if (shardRecvTimeoutMs == 0)
+            HIMA_FATAL("DncConfig: shardRecvTimeoutMs must be >= 1 (a "
+                       "zero timeout means \"block forever\" to POSIX)");
         if (routerQueueCapacity == 0)
             HIMA_FATAL("DncConfig: routerQueueCapacity must be >= 1");
         if (routerMaxActiveLanes > batchSize)

@@ -38,15 +38,14 @@ ShardCoordinator::ShardCoordinator(
     // Config handshake: every worker validates shapes and datapath mode
     // before any step traffic.
     for (Index k = 0; k < chans; ++k) {
+        FrameScope frame(*channels_[k], writer_);
         encodeHello(WireConfig::fromShard(shardConfig_, tileCount_[k]),
-                    writer_);
-        channels_[k]->sendFrame(writer_.buffer().data(),
-                                writer_.buffer().size());
+                    frame.writer());
+        frame.commit();
     }
     for (Index k = 0; k < chans; ++k) {
         HelloAckMsg ack;
-        if (!channels_[k]->recvFrame(frame_) ||
-            !decodeHelloAck(frame_.data(), frame_.size(), ack))
+        if (!recvFrom(k) || !decodeHelloAck(frameData_, frameSize_, ack))
             HIMA_FATAL("shard handshake: worker %zu sent no valid ack", k);
         if (!ack.ok)
             HIMA_FATAL("shard handshake: worker %zu rejected config: %s", k,
@@ -82,8 +81,9 @@ ShardCoordinator::dealTiles()
 ShardCoordinator::~ShardCoordinator()
 {
     for (auto &channel : channels_) {
-        encodeShutdown(writer_);
-        channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+        FrameScope frame(*channel, writer_);
+        encodeShutdown(frame.writer());
+        frame.commit();
     }
 }
 
@@ -95,9 +95,11 @@ ShardCoordinator::stepInterfaceInto(const InterfaceVector &iface,
         iface, policy_, globalConfig_.readHeads, tiles_));
     ++seq_;
     for (Index k = 0; k < channels_.size(); ++k) {
+        FrameScope frame(*channels_[k], writer_);
         encodeStepBroadcast(seq_, wantWeightings_, mask, iface,
-                            tileCount_[k], writer_);
-        sendTracked(k);
+                            tileCount_[k], frame.writer());
+        trackPending(k, frame.writer());
+        frame.commit();
     }
     exchange(out);
     maybeCheckpoint();
@@ -129,9 +131,11 @@ ShardCoordinator::stepInterfacesInto(
         ifaces[0], policy_, globalConfig_.readHeads, tiles_));
     ++seq_;
     for (Index k = 0; k < channels_.size(); ++k) {
+        FrameScope frame(*channels_[k], writer_);
         encodeStepSpan(seq_, wantWeightings_, mask, &ifaces[firstTile_[k]],
-                       tileCount_[k], writer_);
-        sendTracked(k);
+                       tileCount_[k], frame.writer());
+        trackPending(k, frame.writer());
+        frame.commit();
     }
     exchange(out);
     maybeCheckpoint();
@@ -145,17 +149,17 @@ ShardCoordinator::exchange(MemoryReadout &out)
     for (Index k = 0; k < channels_.size(); ++k) {
         recvOrRecover(k, "step");
         MsgType type;
-        if (!peekType(frame_.data(), frame_.size(), type))
+        if (!peekType(frameData_, frameSize_, type))
             HIMA_FATAL("shard step %llu: worker %zu sent a malformed frame",
                        static_cast<unsigned long long>(seq_), k);
         if (type == MsgType::Error) {
             ErrorMsg err;
-            decodeError(frame_.data(), frame_.size(), err);
+            decodeError(frameData_, frameSize_, err);
             HIMA_FATAL("shard step %llu: worker %zu error: %s",
                        static_cast<unsigned long long>(seq_), k,
                        err.message.c_str());
         }
-        if (!decodeStepReply(frame_.data(), frame_.size(), shardConfig_,
+        if (!decodeStepReply(frameData_, frameSize_, shardConfig_,
                              tileCount_[k], replies_[k]))
             HIMA_FATAL("shard step %llu: worker %zu sent a malformed reply",
                        static_cast<unsigned long long>(seq_), k);
@@ -215,13 +219,15 @@ ShardCoordinator::sendControl(ControlKind kind)
     msg.kind = kind;
     msg.seq = ++controlSeq_;
     for (Index k = 0; k < channels_.size(); ++k) {
-        encodeControl(msg, writer_);
-        sendTracked(k);
+        FrameScope frame(*channels_[k], writer_);
+        encodeControl(msg, frame.writer());
+        trackPending(k, frame.writer());
+        frame.commit();
     }
     for (Index k = 0; k < channels_.size(); ++k) {
         std::uint64_t seq = 0;
         recvOrRecover(k, "control");
-        if (!decodeControlAck(frame_.data(), frame_.size(), seq) ||
+        if (!decodeControlAck(frameData_, frameSize_, seq) ||
             seq != msg.seq)
             HIMA_FATAL("shard control: worker %zu did not acknowledge", k);
     }
@@ -236,14 +242,19 @@ ShardCoordinator::sendControl(ControlKind kind)
 // --------------------------------------------------------------------
 
 void
-ShardCoordinator::sendTracked(Index k)
+ShardCoordinator::trackPending(Index k, const WireWriter &writer)
 {
-    const std::vector<std::uint8_t> &buf = writer_.buffer();
     // assign() reuses capacity, so tracking costs one memcpy and no
     // allocation once frame sizes plateau.
     if (recoveryArmed())
-        pendingFrames_[k].assign(buf.begin(), buf.end());
-    channels_[k]->sendFrame(buf.data(), buf.size());
+        pendingFrames_[k].assign(writer.data(),
+                                 writer.data() + writer.size());
+}
+
+bool
+ShardCoordinator::recvFrom(Index k)
+{
+    return channels_[k]->recvFrameView(frameData_, frameSize_, frame_);
 }
 
 void
@@ -286,8 +297,10 @@ ShardCoordinator::pullCheckpoints()
     checkpoints_.resize(tiles_);
     ++checkpointSeq_;
     for (Index k = 0; k < chans; ++k) {
-        encodeCheckpointRequest(checkpointSeq_, writer_);
-        sendTracked(k);
+        FrameScope frame(*channels_[k], writer_);
+        encodeCheckpointRequest(checkpointSeq_, frame.writer());
+        trackPending(k, frame.writer());
+        frame.commit();
     }
     for (Index k = 0; k < chans; ++k) {
         // A loss mid-pull recovers from the *previous* checkpoint plus
@@ -295,16 +308,16 @@ ShardCoordinator::pullCheckpoints()
         // workers are irrelevant to recovering this one.
         recvOrRecover(k, "checkpoint");
         MsgType type;
-        if (peekType(frame_.data(), frame_.size(), type) &&
+        if (peekType(frameData_, frameSize_, type) &&
             type == MsgType::Error) {
             ErrorMsg err;
-            decodeError(frame_.data(), frame_.size(), err);
+            decodeError(frameData_, frameSize_, err);
             HIMA_FATAL("shard checkpoint %llu: worker %zu error: %s",
                        static_cast<unsigned long long>(checkpointSeq_), k,
                        err.message.c_str());
         }
         std::uint64_t seq = 0;
-        if (!decodeCheckpointState(frame_.data(), frame_.size(),
+        if (!decodeCheckpointState(frameData_, frameSize_,
                                    shardConfig_, snapshotSlice(k),
                                    tileCount_[k], seq) ||
             seq != checkpointSeq_)
@@ -327,7 +340,7 @@ ShardCoordinator::checkpointNow()
 void
 ShardCoordinator::recvOrRecover(Index k, const char *what)
 {
-    if (channels_[k]->recvFrame(frame_))
+    if (recvFrom(k))
         return;
     recoverWorker(k, what); // fatal unless recovery is armed
     // Re-issue the in-flight frame the loss swallowed and take the
@@ -335,20 +348,22 @@ ShardCoordinator::recvOrRecover(Index k, const char *what)
     // is fatal: recovery is not a retry loop.
     channels_[k]->sendFrame(pendingFrames_[k].data(),
                             pendingFrames_[k].size());
-    if (!channels_[k]->recvFrame(frame_))
+    if (!recvFrom(k))
         shardRecvFailure(*channels_[k], what, seq_, k);
 }
 
 void
 ShardCoordinator::rejoinWorker(Index k, const char *who)
 {
-    encodeRejoin(WireConfig::fromShard(shardConfig_, tileCount_[k]),
-                 firstTile_[k], writer_);
-    channels_[k]->sendFrame(writer_.buffer().data(),
-                            writer_.buffer().size());
+    {
+        FrameScope frame(*channels_[k], writer_);
+        encodeRejoin(WireConfig::fromShard(shardConfig_, tileCount_[k]),
+                     firstTile_[k], frame.writer());
+        frame.commit();
+    }
     HelloAckMsg ack;
-    if (!channels_[k]->recvFrame(frame_) ||
-        !decodeHelloAck(frame_.data(), frame_.size(), ack) || !ack.ok ||
+    if (!recvFrom(k) ||
+        !decodeHelloAck(frameData_, frameSize_, ack) || !ack.ok ||
         ack.hostedTiles != tileCount_[k])
         HIMA_FATAL("%s: worker %zu failed the Rejoin handshake%s%s", who, k,
                    ack.message.empty() ? "" : ": ", ack.message.c_str());
@@ -357,13 +372,15 @@ ShardCoordinator::rejoinWorker(Index k, const char *who)
 void
 ShardCoordinator::restoreWorker(Index k, const char *who)
 {
-    encodeRestore(checkpointSeq_, snapshotSlice(k), tileCount_[k],
-                  shardConfig_, writer_);
-    channels_[k]->sendFrame(writer_.buffer().data(),
-                            writer_.buffer().size());
+    {
+        FrameScope frame(*channels_[k], writer_);
+        encodeRestore(checkpointSeq_, snapshotSlice(k), tileCount_[k],
+                      shardConfig_, frame.writer());
+        frame.commit();
+    }
     std::uint64_t seq = 0;
-    if (!channels_[k]->recvFrame(frame_) ||
-        !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+    if (!recvFrom(k) ||
+        !decodeControlAck(frameData_, frameSize_, seq) ||
         seq != checkpointSeq_)
         HIMA_FATAL("%s: worker %zu did not acknowledge the Restore", who,
                    k);
@@ -397,12 +414,15 @@ ShardCoordinator::recoverWorker(Index k, const char *what)
     // Replay the logged window since that checkpoint; replies are
     // drained and discarded (the coordinator-side gate state already
     // advanced through these frames the first time around).
+    // Each replayed frame's reply is drained before the next send, so
+    // the window can exceed an shm reply ring's slot count without
+    // deadlock.
     for (std::size_t e = 0; e < logCount_; ++e) {
         const std::vector<std::uint8_t> &replay = log_[e][k];
         channels_[k]->sendFrame(replay.data(), replay.size());
         MsgType type;
-        if (!channels_[k]->recvFrame(frame_) ||
-            !peekType(frame_.data(), frame_.size(), type) ||
+        if (!recvFrom(k) ||
+            !peekType(frameData_, frameSize_, type) ||
             type == MsgType::Error)
             HIMA_FATAL("shard recovery: worker %zu failed replay frame "
                        "%zu/%zu",
@@ -427,8 +447,9 @@ ShardCoordinator::migrateWorker(Index k,
     restoreWorker(k, "shard migration");
 
     // Retire the old worker only after the replacement holds the state.
-    encodeShutdown(writer_);
-    old->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    FrameScope frame(*old, writer_);
+    encodeShutdown(frame.writer());
+    frame.commit();
 }
 
 void
@@ -441,9 +462,9 @@ ShardCoordinator::rescale(std::vector<std::unique_ptr<Channel>> channels)
     // Snapshot the whole fleet at the current step, then retire it.
     pullCheckpoints();
     for (auto &channel : channels_) {
-        encodeShutdown(writer_);
-        channel->sendFrame(writer_.buffer().data(),
-                           writer_.buffer().size());
+        FrameScope frame(*channel, writer_);
+        encodeShutdown(frame.writer());
+        frame.commit();
     }
 
     channels_ = std::move(channels);

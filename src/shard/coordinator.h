@@ -166,10 +166,21 @@ class ShardCoordinator final : public TileMemory
                globalConfig_.shardCheckpointIntervalSteps > 0;
     }
 
-    /** Send writer_'s frame to channel k, keeping a resendable copy. */
-    void sendTracked(Index k);
+    /**
+     * Keep a resendable copy of the frame about to go to channel k
+     * (call between encode and commit — the writer may be targeting
+     * transport memory that commit() hands back to the ring).
+     */
+    void trackPending(Index k, const WireWriter &writer);
 
-    /** recvFrame into frame_, recovering worker k on the first loss. */
+    /**
+     * Receive channel k's next frame as a view (frameData_/frameSize_).
+     * Zero-copy on shm; elsewhere the bytes land in frame_ and the view
+     * points at it.
+     */
+    bool recvFrom(Index k);
+
+    /** recvFrom(k), recovering worker k on the first loss. */
     void recvOrRecover(Index k, const char *what);
 
     /** Respawn + Rejoin + Restore + replay; fatal when not armed. */
@@ -205,9 +216,13 @@ class ShardCoordinator final : public TileMemory
     std::uint64_t seq_ = 0;
     std::uint64_t controlSeq_ = 0;
 
-    // Reused per-step state.
+    // Reused per-step state. frame_ is recv scratch; frameData_/
+    // frameSize_ view the last received frame (a borrowed shm slot or
+    // frame_ itself).
     WireWriter writer_;
     std::vector<std::uint8_t> frame_;
+    const std::uint8_t *frameData_ = nullptr;
+    std::size_t frameSize_ = 0;
     std::vector<StepReplyMsg> replies_;          ///< per channel
     std::vector<const MemoryReadout *> localPtrs_; ///< per global tile
     std::vector<Real> scoreScratch_; ///< scoredHeads x tiles, row-major

@@ -5,6 +5,8 @@
 
 #include <unistd.h>
 
+#include "dnc/dncd.h"
+
 namespace hima {
 
 namespace {
@@ -12,18 +14,39 @@ namespace {
 std::atomic<int> g_endpointOrdinal{0};
 
 /**
+ * Ring slot capacity for one shm worker of this cluster shape: sized
+ * for the largest hosted-tile share so every protocol frame (including
+ * checkpoint snapshots) fits one slot.
+ */
+std::size_t
+clusterShmSlotBytes(const DncConfig &config, Index tiles, Index lanes,
+                    Index workerCount)
+{
+    const Index hosted = (tiles + workerCount - 1) / workerCount;
+    return shmSlotBytesFor(shardConfigFor(config, tiles), hosted, lanes);
+}
+
+/**
  * Spawn `workerCount` workers and return one connected channel per
- * worker: loopback services in-process, socket transports get a serve
- * thread per worker and a bounded recv timeout on the client side.
+ * worker: loopback services in-process; socket and shm transports get a
+ * serve thread per worker and a bounded recv timeout on the client
+ * side.
  */
 std::vector<std::unique_ptr<Channel>>
-buildChannels(ClusterTransport transport, Index workerCount,
+buildChannels(ClusterTransport transport, const DncConfig &config,
+              Index tiles, Index lanes, Index workerCount,
               std::vector<std::shared_ptr<ShardWorker>> &workers,
               std::vector<std::thread> &threads)
 {
+    const std::size_t slotBytes =
+        transport == ClusterTransport::Shm
+            ? clusterShmSlotBytes(config, tiles, lanes, workerCount)
+            : kShmDefaultSlotBytes;
+    const int timeoutMs = static_cast<int>(config.shardRecvTimeoutMs);
     std::vector<std::unique_ptr<Channel>> channels;
     for (Index k = 0; k < workerCount; ++k)
-        channels.push_back(makeClusterWorker(transport, workers, threads));
+        channels.push_back(makeClusterWorker(transport, workers, threads,
+                                             slotBytes, timeoutMs));
     return channels;
 }
 
@@ -32,7 +55,8 @@ buildChannels(ClusterTransport transport, Index workerCount,
 std::unique_ptr<Channel>
 makeClusterWorker(ClusterTransport transport,
                   std::vector<std::shared_ptr<ShardWorker>> &workers,
-                  std::vector<std::thread> &threads)
+                  std::vector<std::thread> &threads,
+                  std::size_t shmSlotBytes, int recvTimeoutMs)
 {
     auto worker = std::make_shared<ShardWorker>();
     workers.push_back(worker);
@@ -42,6 +66,26 @@ makeClusterWorker(ClusterTransport transport,
                      FrameSink &reply) {
                 worker->handleFrame(data, size, reply);
             });
+    if (transport == ClusterTransport::Shm) {
+        // Fresh name per worker incarnation: a respawned replacement
+        // maps a brand-new ring, never a dead worker's leftovers.
+        const std::string name =
+            "/hima_shm_" + std::to_string(::getpid()) + "_" +
+            std::to_string(g_endpointOrdinal.fetch_add(
+                1, std::memory_order_relaxed));
+        auto chan = ShmChannel::create(name, shmSlotBytes);
+        if (!chan)
+            HIMA_FATAL("local cluster: cannot create shm region %s",
+                       name.c_str());
+        const int attachBudget = recvTimeoutMs;
+        threads.emplace_back([worker, name, attachBudget] {
+            auto served = ShmChannel::attach(name, attachBudget);
+            if (served)
+                worker->serve(*served);
+        });
+        chan->setRecvTimeout(recvTimeoutMs);
+        return chan;
+    }
     std::unique_ptr<SocketChannel> client;
     // The serve threads accept with a bounded wait: if the connect
     // below ever failed, the thread ends instead of blocking a join
@@ -57,8 +101,8 @@ makeClusterWorker(ClusterTransport transport,
         if (!listener)
             HIMA_FATAL("local cluster: cannot listen on %s", path.c_str());
         auto shared = std::shared_ptr<SocketListener>(std::move(listener));
-        threads.emplace_back([worker, shared] {
-            auto chan = shared->acceptWithTimeout(kShardRecvTimeoutMs);
+        threads.emplace_back([worker, shared, recvTimeoutMs] {
+            auto chan = shared->acceptWithTimeout(recvTimeoutMs);
             if (chan)
                 worker->serve(*chan);
         });
@@ -69,8 +113,8 @@ makeClusterWorker(ClusterTransport transport,
             HIMA_FATAL("local cluster: cannot listen on a tcp port");
         const std::uint16_t port = listener->port();
         auto shared = std::shared_ptr<SocketListener>(std::move(listener));
-        threads.emplace_back([worker, shared] {
-            auto chan = shared->acceptWithTimeout(kShardRecvTimeoutMs);
+        threads.emplace_back([worker, shared, recvTimeoutMs] {
+            auto chan = shared->acceptWithTimeout(recvTimeoutMs);
             if (chan)
                 worker->serve(*chan);
         });
@@ -80,7 +124,7 @@ makeClusterWorker(ClusterTransport transport,
         HIMA_FATAL("local cluster: connect failed");
     // Bounded recv: a worker that dies mid-step fails the step with
     // a diagnosis instead of blocking the coordinator forever.
-    client->setRecvTimeout(kShardRecvTimeoutMs);
+    client->setRecvTimeout(recvTimeoutMs);
     return client;
 }
 
@@ -91,8 +135,8 @@ makeLocalCluster(ClusterTransport transport, const DncConfig &config,
 {
     LocalShardCluster cluster;
     std::vector<std::unique_ptr<Channel>> channels =
-        buildChannels(transport, workerCount, cluster.workers,
-                      cluster.threads);
+        buildChannels(transport, config, tiles, /*lanes=*/1, workerCount,
+                      cluster.workers, cluster.threads);
     cluster.coordinator = std::make_unique<ShardCoordinator>(
         config, tiles, policy, std::move(channels), wantWeightings);
     return cluster;
@@ -105,8 +149,8 @@ makeLocalLaneCluster(ClusterTransport transport, const DncConfig &config,
 {
     LocalLaneCluster cluster;
     std::vector<std::unique_ptr<Channel>> channels =
-        buildChannels(transport, workerCount, cluster.workers,
-                      cluster.threads);
+        buildChannels(transport, config, tiles, lanes, workerCount,
+                      cluster.workers, cluster.threads);
     cluster.group = std::make_shared<ShardLaneGroup>(
         config, tiles, lanes, policy, std::move(channels), wantWeightings);
     return cluster;
@@ -117,9 +161,19 @@ armClusterRecovery(LocalShardCluster &cluster, ClusterTransport transport)
 {
     auto harness = std::make_shared<RespawnHarness>();
     harness->transport = transport;
+    // Replacement channels must host the same frames the fleet does —
+    // size their rings from the coordinator's own shard shape.
+    harness->shmSlotBytes = shmSlotBytesFor(
+        cluster.coordinator->shardConfig(),
+        (cluster.coordinator->tiles() +
+         cluster.coordinator->channelCount() - 1) /
+            cluster.coordinator->channelCount());
+    harness->recvTimeoutMs = static_cast<int>(
+        cluster.coordinator->globalConfig().shardRecvTimeoutMs);
     cluster.coordinator->setRespawner([harness](Index) {
         return makeClusterWorker(harness->transport, harness->workers,
-                                 harness->threads);
+                                 harness->threads, harness->shmSlotBytes,
+                                 harness->recvTimeoutMs);
     });
     return harness;
 }
@@ -129,9 +183,17 @@ armClusterRecovery(LocalLaneCluster &cluster, ClusterTransport transport)
 {
     auto harness = std::make_shared<RespawnHarness>();
     harness->transport = transport;
+    harness->shmSlotBytes = shmSlotBytesFor(
+        cluster.group->shardConfig(),
+        (cluster.group->tiles() + cluster.group->channelCount() - 1) /
+            cluster.group->channelCount(),
+        cluster.group->lanes());
+    harness->recvTimeoutMs =
+        static_cast<int>(cluster.group->globalConfig().shardRecvTimeoutMs);
     cluster.group->setRespawner([harness](Index) {
         return makeClusterWorker(harness->transport, harness->workers,
-                                 harness->threads);
+                                 harness->threads, harness->shmSlotBytes,
+                                 harness->recvTimeoutMs);
     });
     return harness;
 }

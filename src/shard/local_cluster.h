@@ -39,6 +39,7 @@ enum class ClusterTransport
     Loopback,   ///< synchronous in-process calls (no threads)
     UnixSocket, ///< AF_UNIX stream to worker threads
     Tcp,        ///< 127.0.0.1 stream to worker threads
+    Shm,        ///< zero-copy shared-memory rings to worker threads
 };
 
 /** A coordinator and the in-process workers that serve it. */
@@ -160,16 +161,22 @@ makeLocalLaneCluster(ClusterTransport transport, const DncConfig &config,
 
 /**
  * Spawn one fresh, unconfigured worker on `transport` and return a
- * connected channel to it (socket transports add a serve thread and the
- * bounded recv timeout, exactly like makeLocalCluster's fleet). The
- * worker and any thread are appended to the caller's vectors — hand it
- * a cluster's own `workers`/`threads` to grow that fleet, e.g. as the
- * replacement endpoint for migrateWorker() or a rescale().
+ * connected channel to it (socket and shm transports add a serve thread
+ * and the bounded recv timeout, exactly like makeLocalCluster's fleet).
+ * The worker and any thread are appended to the caller's vectors — hand
+ * it a cluster's own `workers`/`threads` to grow that fleet, e.g. as
+ * the replacement endpoint for migrateWorker() or a rescale().
+ *
+ * `shmSlotBytes` sizes the ring slots of an shm channel (use
+ * shmSlotBytesFor so checkpoint frames fit; ignored by the other
+ * transports); `recvTimeoutMs` bounds the coordinator-side receives.
  */
 std::unique_ptr<Channel>
 makeClusterWorker(ClusterTransport transport,
                   std::vector<std::shared_ptr<ShardWorker>> &workers,
-                  std::vector<std::thread> &threads);
+                  std::vector<std::thread> &threads,
+                  std::size_t shmSlotBytes = kShmDefaultSlotBytes,
+                  int recvTimeoutMs = kShardRecvTimeoutMs);
 
 /**
  * Replacement workers and serve threads created by an armed respawner.
@@ -181,6 +188,8 @@ makeClusterWorker(ClusterTransport transport,
 struct RespawnHarness
 {
     ClusterTransport transport = ClusterTransport::Loopback;
+    std::size_t shmSlotBytes = kShmDefaultSlotBytes; ///< ring slot size
+    int recvTimeoutMs = kShardRecvTimeoutMs;
     std::vector<std::shared_ptr<ShardWorker>> workers; ///< replacements
     std::vector<std::thread> threads;
 

@@ -36,16 +36,15 @@ ShardLaneGroup::ShardLaneGroup(
     const Index chans = channels_.size();
 
     for (Index k = 0; k < chans; ++k) {
+        FrameScope frame(*channels_[k], writer_);
         encodeHello(WireConfig::fromShard(shardConfig_, tileCount_[k],
                                           lanes),
-                    writer_);
-        channels_[k]->sendFrame(writer_.buffer().data(),
-                                writer_.buffer().size());
+                    frame.writer());
+        frame.commit();
     }
     for (Index k = 0; k < chans; ++k) {
         HelloAckMsg ack;
-        if (!channels_[k]->recvFrame(frame_) ||
-            !decodeHelloAck(frame_.data(), frame_.size(), ack))
+        if (!recvFrom(k) || !decodeHelloAck(frameData_, frameSize_, ack))
             HIMA_FATAL("lane-group handshake: worker %zu sent no valid "
                        "ack",
                        k);
@@ -84,9 +83,16 @@ ShardLaneGroup::dealTiles()
 ShardLaneGroup::~ShardLaneGroup()
 {
     for (auto &channel : channels_) {
-        encodeShutdown(writer_);
-        channel->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+        FrameScope frame(*channel, writer_);
+        encodeShutdown(frame.writer());
+        frame.commit();
     }
+}
+
+bool
+ShardLaneGroup::recvFrom(Index k)
+{
+    return channels_[k]->recvFrameView(frameData_, frameSize_, frame_);
 }
 
 void
@@ -132,20 +138,27 @@ ShardLaneGroup::scatter(const std::vector<Index> &lanes,
     }
 
     const std::uint64_t seq = ++seq_;
-    encodeLaneStep(seq, wantWeightings_, entryScratch_.data(),
-                   entryScratch_.size(), writer_);
-    for (auto &channel : channels_)
-        channel->queueFrame(writer_.buffer().data(),
-                            writer_.buffer().size());
-    for (auto &channel : channels_)
-        channel->flush();
-
     Pending &slot =
         pending_[(pendingHead_ + pendingCount_) % kMaxInFlight];
     slot.seq = seq;
     slot.lanes.assign(lanes.begin(), lanes.end());
-    if (recoveryArmed())
-        slot.bytes.assign(writer_.buffer().begin(), writer_.buffer().end());
+    // The frame is identical on every channel, but zero-copy channels
+    // encode straight into their own ring slot, so encode per channel:
+    // the encoder's array stores cost exactly what the old
+    // encode-once-then-memcpy-per-channel scheme cost, and the shm hot
+    // path moves no extra copy of the Real arrays. SocketChannel's
+    // sendFrame is its queueFrame + flush, so syscall counts are
+    // unchanged (one frame per channel per scatter).
+    for (Index k = 0; k < channels_.size(); ++k) {
+        FrameScope frame(*channels_[k], writer_);
+        encodeLaneStep(seq, wantWeightings_, entryScratch_.data(),
+                       entryScratch_.size(), frame.writer());
+        if (k == 0 && recoveryArmed())
+            slot.bytes.assign(frame.writer().data(),
+                              frame.writer().data() +
+                                  frame.writer().size());
+        frame.commit();
+    }
     ++pendingCount_;
 }
 
@@ -159,35 +172,36 @@ ShardLaneGroup::gather(const std::vector<MemoryReadout *> &outs)
 
     const Index r = globalConfig_.readHeads;
     for (Index k = 0; k < channels_.size(); ++k) {
-        if (!channels_[k]->recvFrame(frame_)) {
+        if (!recvFrom(k)) {
             recoverWorker(k, "batch", p.seq); // fatal unless armed
             // The replacement holds the checkpoint + replayed log;
             // resend the whole outstanding window oldest-first. Only
             // the oldest reply is consumed here — the rest queue up
             // for their own gathers, draining the double buffer
-            // deterministically. A second loss is fatal.
+            // deterministically (the window never exceeds an shm reply
+            // ring's depth). A second loss is fatal.
             for (Index b = 0; b < pendingCount_; ++b) {
                 const Pending &q =
                     pending_[(pendingHead_ + b) % kMaxInFlight];
                 channels_[k]->sendFrame(q.bytes.data(), q.bytes.size());
             }
-            if (!channels_[k]->recvFrame(frame_))
+            if (!recvFrom(k))
                 shardRecvFailure(*channels_[k], "batch", p.seq, k);
         }
         MsgType type;
-        if (!peekType(frame_.data(), frame_.size(), type))
+        if (!peekType(frameData_, frameSize_, type))
             HIMA_FATAL("shard batch %llu: worker %zu sent a malformed "
                        "frame",
                        static_cast<unsigned long long>(p.seq), k);
         if (type == MsgType::Error) {
             ErrorMsg err;
-            decodeError(frame_.data(), frame_.size(), err);
+            decodeError(frameData_, frameSize_, err);
             HIMA_FATAL("shard batch %llu: worker %zu error: %s",
                        static_cast<unsigned long long>(p.seq), k,
                        err.message.c_str());
         }
         LaneStepReplyMsg &reply = replies_[k];
-        if (!decodeLaneStepReply(frame_.data(), frame_.size(), shardConfig_,
+        if (!decodeLaneStepReply(frameData_, frameSize_, shardConfig_,
                                  tileCount_[k], p.lanes.size(), reply))
             HIMA_FATAL("shard batch %llu: worker %zu sent a malformed "
                        "reply",
@@ -295,14 +309,14 @@ ShardLaneGroup::sendControl(ControlKind kind, std::uint32_t lane)
     }
     for (Index k = 0; k < channels_.size(); ++k) {
         std::uint64_t seq = 0;
-        if (!channels_[k]->recvFrame(frame_)) {
+        if (!recvFrom(k)) {
             recoverWorker(k, "control", msg.seq);
             channels_[k]->sendFrame(resendScratch_.data(),
                                     resendScratch_.size());
-            if (!channels_[k]->recvFrame(frame_))
+            if (!recvFrom(k))
                 shardRecvFailure(*channels_[k], "control", msg.seq, k);
         }
-        if (!decodeControlAck(frame_.data(), frame_.size(), seq) ||
+        if (!decodeControlAck(frameData_, frameSize_, seq) ||
             seq != msg.seq)
             HIMA_FATAL("shard control: worker %zu did not acknowledge", k);
     }
@@ -380,27 +394,27 @@ ShardLaneGroup::pullCheckpoints()
         resendScratch_.assign(writer_.buffer().begin(),
                               writer_.buffer().end());
     for (Index k = 0; k < chans; ++k) {
-        if (!channels_[k]->recvFrame(frame_)) {
+        if (!recvFrom(k)) {
             // Mid-pull loss: recover from the *previous* checkpoint
             // plus the still-uncleared log, then re-ask for this one.
             recoverWorker(k, "checkpoint", checkpointSeq_);
             channels_[k]->sendFrame(resendScratch_.data(),
                                     resendScratch_.size());
-            if (!channels_[k]->recvFrame(frame_))
+            if (!recvFrom(k))
                 shardRecvFailure(*channels_[k], "checkpoint",
                                  checkpointSeq_, k);
         }
         MsgType type;
-        if (peekType(frame_.data(), frame_.size(), type) &&
+        if (peekType(frameData_, frameSize_, type) &&
             type == MsgType::Error) {
             ErrorMsg err;
-            decodeError(frame_.data(), frame_.size(), err);
+            decodeError(frameData_, frameSize_, err);
             HIMA_FATAL("shard checkpoint %llu: worker %zu error: %s",
                        static_cast<unsigned long long>(checkpointSeq_), k,
                        err.message.c_str());
         }
         std::uint64_t seq = 0;
-        if (!decodeCheckpointState(frame_.data(), frame_.size(),
+        if (!decodeCheckpointState(frameData_, frameSize_,
                                    shardConfig_, snapshotSlice(k),
                                    gates_.size() * tileCount_[k], seq) ||
             seq != checkpointSeq_)
@@ -423,14 +437,16 @@ ShardLaneGroup::checkpointNow()
 void
 ShardLaneGroup::rejoinWorker(Index k, const char *who)
 {
-    encodeRejoin(WireConfig::fromShard(shardConfig_, tileCount_[k],
-                                       gates_.size()),
-                 firstTile_[k], writer_);
-    channels_[k]->sendFrame(writer_.buffer().data(),
-                            writer_.buffer().size());
+    {
+        FrameScope frame(*channels_[k], writer_);
+        encodeRejoin(WireConfig::fromShard(shardConfig_, tileCount_[k],
+                                           gates_.size()),
+                     firstTile_[k], frame.writer());
+        frame.commit();
+    }
     HelloAckMsg ack;
-    if (!channels_[k]->recvFrame(frame_) ||
-        !decodeHelloAck(frame_.data(), frame_.size(), ack) || !ack.ok ||
+    if (!recvFrom(k) ||
+        !decodeHelloAck(frameData_, frameSize_, ack) || !ack.ok ||
         ack.hostedTiles != tileCount_[k])
         HIMA_FATAL("%s: worker %zu failed the Rejoin handshake%s%s", who, k,
                    ack.message.empty() ? "" : ": ", ack.message.c_str());
@@ -439,13 +455,16 @@ ShardLaneGroup::rejoinWorker(Index k, const char *who)
 void
 ShardLaneGroup::restoreWorker(Index k, const char *who)
 {
-    encodeRestore(checkpointSeq_, snapshotSlice(k),
-                  gates_.size() * tileCount_[k], shardConfig_, writer_);
-    channels_[k]->sendFrame(writer_.buffer().data(),
-                            writer_.buffer().size());
+    {
+        FrameScope frame(*channels_[k], writer_);
+        encodeRestore(checkpointSeq_, snapshotSlice(k),
+                      gates_.size() * tileCount_[k], shardConfig_,
+                      frame.writer());
+        frame.commit();
+    }
     std::uint64_t seq = 0;
-    if (!channels_[k]->recvFrame(frame_) ||
-        !decodeControlAck(frame_.data(), frame_.size(), seq) ||
+    if (!recvFrom(k) ||
+        !decodeControlAck(frameData_, frameSize_, seq) ||
         seq != checkpointSeq_)
         HIMA_FATAL("%s: worker %zu did not acknowledge the Restore", who,
                    k);
@@ -474,11 +493,14 @@ ShardLaneGroup::recoverWorker(Index k, const char *what, std::uint64_t seq)
 
     // Replay the logged window; replies are drained and discarded (the
     // per-lane gates already advanced through these frames).
+    // Each replayed frame's reply is drained before the next send, so
+    // the window can exceed an shm reply ring's slot count without
+    // deadlock.
     for (std::size_t e = 0; e < logCount_; ++e) {
         channels_[k]->sendFrame(log_[e].data(), log_[e].size());
         MsgType type;
-        if (!channels_[k]->recvFrame(frame_) ||
-            !peekType(frame_.data(), frame_.size(), type) ||
+        if (!recvFrom(k) ||
+            !peekType(frameData_, frameSize_, type) ||
             type == MsgType::Error)
             HIMA_FATAL("shard recovery: worker %zu failed replay frame "
                        "%zu/%zu",
@@ -503,8 +525,9 @@ ShardLaneGroup::migrateWorker(Index k, std::unique_ptr<Channel> replacement)
     restoreWorker(k, "shard migration");
 
     // Retire the old worker only after the replacement holds the state.
-    encodeShutdown(writer_);
-    old->sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    FrameScope frame(*old, writer_);
+    encodeShutdown(frame.writer());
+    frame.commit();
 }
 
 void
@@ -518,9 +541,9 @@ ShardLaneGroup::rescale(std::vector<std::unique_ptr<Channel>> channels)
                 "rescale while %zu batches are in flight", pendingCount_);
     pullCheckpoints();
     for (auto &channel : channels_) {
-        encodeShutdown(writer_);
-        channel->sendFrame(writer_.buffer().data(),
-                           writer_.buffer().size());
+        FrameScope frame(*channel, writer_);
+        encodeShutdown(frame.writer());
+        frame.commit();
     }
 
     channels_ = std::move(channels);

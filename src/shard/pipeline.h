@@ -226,6 +226,13 @@ class ShardLaneGroup
     /** Append one shared frame to the replay log. */
     void commitLog(const std::vector<std::uint8_t> &bytes);
 
+    /**
+     * Receive channel k's next frame as a view (frameData_/frameSize_).
+     * Zero-copy on shm; elsewhere the bytes land in frame_ and the view
+     * points at it.
+     */
+    bool recvFrom(Index k);
+
     void pullCheckpoints();
 
     /** Pointer slice of checkpoints_ covering worker k (lane-major). */
@@ -259,9 +266,13 @@ class ShardLaneGroup
     Index pendingHead_ = 0;
     Index pendingCount_ = 0;
 
-    // Reused per-step scratch.
+    // Reused per-step scratch. frame_ is recv scratch; frameData_/
+    // frameSize_ view the last received frame (a borrowed shm slot or
+    // frame_ itself).
     WireWriter writer_;
     std::vector<std::uint8_t> frame_;
+    const std::uint8_t *frameData_ = nullptr;
+    std::size_t frameSize_ = 0;
     std::vector<LaneStepEntry> entryScratch_;
     std::vector<LaneStepReplyMsg> replies_;        ///< per channel
     std::vector<const MemoryReadout *> localPtrs_; ///< per global tile

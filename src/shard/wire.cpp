@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace hima {
 
 // --------------------------------------------------------------------
@@ -84,24 +86,77 @@ WireConfig::toShardConfig() const
 // --------------------------------------------------------------------
 
 void
+WireWriter::attachExternal(std::uint8_t *slot, std::size_t capacity)
+{
+    HIMA_ASSERT(slot != nullptr, "WireWriter: null external slot");
+    ext_ = slot;
+    extCap_ = capacity;
+    extSize_ = 0;
+}
+
+void
+WireWriter::detachExternal()
+{
+    ext_ = nullptr;
+    extCap_ = 0;
+    extSize_ = 0;
+    buf_.clear();
+}
+
+void
+WireWriter::push(std::uint8_t b)
+{
+    if (ext_ != nullptr) {
+        HIMA_ASSERT(extSize_ < extCap_,
+                    "WireWriter: frame exceeds the %zu-byte external slot "
+                    "(slot sizing bug — see shmSlotBytesFor)",
+                    extCap_);
+        ext_[extSize_++] = b;
+    } else {
+        buf_.push_back(b);
+    }
+}
+
+void
+WireWriter::append(const void *src, std::size_t n)
+{
+    if (ext_ != nullptr) {
+        HIMA_ASSERT(extSize_ + n <= extCap_,
+                    "WireWriter: frame exceeds the %zu-byte external slot "
+                    "(slot sizing bug — see shmSlotBytesFor)",
+                    extCap_);
+        std::memcpy(ext_ + extSize_, src, n);
+        extSize_ += n;
+    } else {
+        const auto *bytes = static_cast<const std::uint8_t *>(src);
+        buf_.insert(buf_.end(), bytes, bytes + n);
+    }
+}
+
+void
 WireWriter::putU16(std::uint16_t v)
 {
-    buf_.push_back(static_cast<std::uint8_t>(v));
-    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                               static_cast<std::uint8_t>(v >> 8)};
+    append(b, sizeof(b));
 }
 
 void
 WireWriter::putU32(std::uint32_t v)
 {
-    for (int shift = 0; shift < 32; shift += 8)
-        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    std::uint8_t b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    append(b, sizeof(b));
 }
 
 void
 WireWriter::putU64(std::uint64_t v)
 {
-    for (int shift = 0; shift < 64; shift += 8)
-        buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    append(b, sizeof(b));
 }
 
 void
@@ -117,8 +172,7 @@ WireWriter::putRealArray(const Real *values, Index count)
     if constexpr (std::endian::native == std::endian::little) {
         // The host representation already matches the wire layout:
         // append the whole array in one shot.
-        const auto *bytes = reinterpret_cast<const std::uint8_t *>(values);
-        buf_.insert(buf_.end(), bytes, bytes + 8 * count);
+        append(values, 8 * static_cast<std::size_t>(count));
     } else {
         for (Index i = 0; i < count; ++i)
             putReal(values[i]);
@@ -136,7 +190,7 @@ void
 WireWriter::putString(const std::string &s)
 {
     putU32(static_cast<std::uint32_t>(s.size()));
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    append(s.data(), s.size());
 }
 
 void

@@ -166,9 +166,12 @@ ShardWorker::handleCheckpointRequest(const std::uint8_t *data,
     }
     // Encoded straight from the live tiles: no snapshot copy, and
     // writer_ keeps its capacity, so a steady-state checkpoint pull
-    // allocates nothing after the first.
-    encodeCheckpointState(seq, tiles_, shardConfig_, writer_);
-    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+    // allocates nothing after the first. On an shm channel the scope's
+    // writer is the ring slot itself — the snapshot lands in shared
+    // memory with no staging copy at all.
+    FrameScope reply(sink, writer_);
+    encodeCheckpointState(seq, tiles_, shardConfig_, reply.writer());
+    reply.commit();
 }
 
 void
@@ -243,10 +246,13 @@ ShardWorker::handleStep(const std::uint8_t *data, std::size_t size,
     ++stepsServed_;
 
     // Only lane 0's hostedTiles_ scratch slots were stepped; the
-    // scratch itself is sized for full lane-batched frames.
+    // scratch itself is sized for full lane-batched frames. The scope
+    // writes the readouts in place on zero-copy transports.
+    FrameScope reply(sink, writer_);
     encodeStepReply(step_.seq, step_.wantWeightings, readouts_.data(),
-                    hostedTiles_, confidence_, shardConfig_, writer_);
-    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+                    hostedTiles_, confidence_, shardConfig_,
+                    reply.writer());
+    reply.commit();
 }
 
 void
@@ -289,10 +295,12 @@ ShardWorker::handleLaneStep(const std::uint8_t *data, std::size_t size,
     forEach(slots, laneStepTask_);
     stepsServed_ += frameLanes; // lane-steps served
 
+    FrameScope reply(sink, writer_);
     encodeLaneStepReply(laneStep_.seq, laneStep_.wantWeightings,
                         laneStep_.lanes.data(), frameLanes, hostedTiles_,
-                        readouts_, confidence_, shardConfig_, writer_);
-    sink.sendFrame(writer_.buffer().data(), writer_.buffer().size());
+                        readouts_, confidence_, shardConfig_,
+                        reply.writer());
+    reply.commit();
 }
 
 void
@@ -329,8 +337,15 @@ ShardWorker::handleControl(const std::uint8_t *data, std::size_t size,
 void
 ShardWorker::serve(Channel &channel)
 {
-    while (channel.recvFrame(frame_)) {
-        if (!handleFrame(frame_.data(), frame_.size(), channel))
+    // Borrowed-view receive: zero-copy transports hand back a pointer
+    // into their ring slot (valid until the next receive — exactly one
+    // frame is in hand at a time here), so decoders read the broadcast
+    // interface straight out of shared memory; copying transports fill
+    // frame_ as before.
+    const std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+    while (channel.recvFrameView(data, size, frame_)) {
+        if (!handleFrame(data, size, channel))
             return;
     }
 }

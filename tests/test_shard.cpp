@@ -4,7 +4,7 @@
  * over a real wire protocol is bit-identical *per step* to the
  * in-process DncD with the same config — read vectors, global-view
  * weightings, and the confidence-merge alphas — across
- * transports {loopback, unix socket, tcp} x tiles {2, 4} x
+ * transports {loopback, unix socket, tcp, shm} x tiles {2, 4} x
  * worker threads {1, 4} x {float, fixed}, through per-tile write
  * gating, history-mode reads, and mid-stream episode resets.
  *
@@ -132,6 +132,8 @@ transportName(ClusterTransport kind)
         return "Loopback";
     case ClusterTransport::UnixSocket:
         return "Unix";
+    case ClusterTransport::Shm:
+        return "Shm";
     default:
         return "Tcp";
     }
@@ -243,7 +245,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ShardGolden,
     ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
                                          ClusterTransport::UnixSocket,
-                                         ClusterTransport::Tcp),
+                                         ClusterTransport::Tcp,
+                                         ClusterTransport::Shm),
                        ::testing::Values(2, 4), ::testing::Values(1, 4),
                        ::testing::Bool()),
     [](const auto &info) {
@@ -322,7 +325,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, PipelinedShardGolden,
     ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
                                          ClusterTransport::UnixSocket,
-                                         ClusterTransport::Tcp),
+                                         ClusterTransport::Tcp,
+                                         ClusterTransport::Shm),
                        ::testing::Values(2, 4), ::testing::Values(1, 4),
                        ::testing::Bool()),
     [](const auto &info) {
@@ -760,7 +764,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, ShardRecoveryGolden,
     ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
                                          ClusterTransport::UnixSocket,
-                                         ClusterTransport::Tcp),
+                                         ClusterTransport::Tcp,
+                                         ClusterTransport::Shm),
                        ::testing::Values(2, 4), ::testing::Bool()),
     [](const auto &info) {
         return std::string(transportName(std::get<0>(info.param))) +
@@ -849,7 +854,8 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, PipelinedShardRecoveryGolden,
     ::testing::Combine(::testing::Values(ClusterTransport::Loopback,
                                          ClusterTransport::UnixSocket,
-                                         ClusterTransport::Tcp),
+                                         ClusterTransport::Tcp,
+                                         ClusterTransport::Shm),
                        ::testing::Values(2, 4), ::testing::Bool()),
     [](const auto &info) {
         return std::string(transportName(std::get<0>(info.param))) +
@@ -1212,6 +1218,39 @@ TEST(ShardZeroAlloc, SteadyStateLoopbackRoundTrip)
     EXPECT_EQ(after - before, 0u)
         << "steady-state sharded step performed heap allocations "
            "(encode, decode, worker step, or merge path regressed)";
+}
+
+TEST(ShardZeroAlloc, SteadyStateShmRoundTrip)
+{
+    // The zero-copy transport must hold the same bar as loopback: once
+    // ring slots and decode buffers are warm, a full scatter/gather
+    // step over shared memory allocates nothing on either side of the
+    // rings (the worker thread's allocations land in the same
+    // process-wide counter).
+    const DncConfig cfg = serveCfg();
+    LocalShardCluster stack = makeLocalCluster(
+        ClusterTransport::Shm, cfg, /*tiles=*/4, /*workerCount=*/2,
+        MergePolicy::Confidence, /*wantWeightings=*/false);
+
+    Rng rng(606);
+    std::vector<InterfaceVector> ifaces;
+    for (int i = 0; i < 8; ++i)
+        ifaces.push_back(golden::randomIface(cfg, rng));
+
+    MemoryReadout out;
+    for (int i = 0; i < 3; ++i) // sizes every buffer on both ends
+        stack.coordinator->stepInterfaceInto(ifaces[i], out);
+
+    const std::uint64_t before =
+        g_allocationCount.load(std::memory_order_relaxed);
+    for (int i = 3; i < 8; ++i)
+        stack.coordinator->stepInterfaceInto(ifaces[i], out);
+    const std::uint64_t after =
+        g_allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state shm step performed heap allocations (in-place "
+           "encode, slot borrow/release, worker step, or merge path "
+           "regressed)";
 }
 
 TEST(ShardZeroAlloc, SteadyStatePipelinedEngineStep)
