@@ -10,13 +10,20 @@
  * bounds-checked element accessors, value-returning kernels that
  * allocate every temporary, and per-head O(N*W) row-norm recomputes in
  * content addressing. Both paths implement identical math — the bench
- * cross-checks them bit-for-bit before timing.
+ * cross-checks them bit-for-bit before timing, and likewise gates the
+ * active-row sparse linkage sweep against a forced-dense sweep before
+ * timing the linkageSkipThreshold sections.
+ *
+ * `--smoke` runs both cross-check gates plus a reduced grid (small N,
+ * short sweeps) — the sanitizer CI job's configuration.
  */
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bench_env.h"
@@ -258,6 +265,55 @@ crossCheck()
     return true;
 }
 
+/**
+ * Bit-exact cross-check of the active-row sparse linkage sweep at
+ * threshold 0 against a forced dense sweep, over both regimes: the
+ * early-episode allocation traffic the sparse path is built for (one-
+ * hot writes, most rows never touched) and mixed soft traffic with
+ * episode resets. Compares readouts and the full linkage state every
+ * step; the bench refuses to time if a single bit differs.
+ */
+bool
+sparseDenseGate()
+{
+    const DncConfig sparseCfg = benchConfig(256);
+    DncConfig denseCfg = sparseCfg;
+    denseCfg.linkageDenseSweep = true;
+    MemoryUnit sparse(sparseCfg);
+    MemoryUnit dense(denseCfg);
+    MemoryReadout a, b;
+    Rng rng(99);
+    for (int episode = 0; episode < 3; ++episode) {
+        sparse.reset();
+        dense.reset();
+        for (int t = 0; t < 40; ++t) {
+            InterfaceVector iface = benchIface(sparseCfg, rng);
+            if (episode == 0) {
+                // Early-episode regime: pure allocation-gated writes.
+                iface.allocationGate = 1.0;
+                iface.writeGate = 1.0;
+            } else {
+                iface.allocationGate = rng.uniform();
+                iface.writeGate = rng.uniform(0.3, 1.0);
+            }
+            sparse.stepInto(iface, a);
+            dense.stepInto(iface, b);
+            for (Index h = 0; h < sparseCfg.readHeads; ++h) {
+                if (!(a.readVectors[h] == b.readVectors[h]) ||
+                    !(a.readWeightings[h] == b.readWeightings[h]))
+                    return false;
+            }
+            if (!(a.writeWeighting == b.writeWeighting))
+                return false;
+            if (!(sparse.linkage().linkage() == dense.linkage().linkage()) ||
+                !(sparse.linkage().precedence() ==
+                  dense.linkage().precedence()))
+                return false;
+        }
+    }
+    return true;
+}
+
 struct SingleTileResult
 {
     Index n;
@@ -292,6 +348,33 @@ struct SkipResult
 };
 
 /**
+ * Mean retrieval-task error rate and cosine margin for a Dnc built
+ * from `cfg`: the shared accuracy leg of the writeSkipThreshold and
+ * linkageSkipThreshold sweeps (fewer episodes under --smoke).
+ */
+std::pair<double, double>
+retrievalAccuracy(const DncConfig &cfg, bool smoke)
+{
+    Dnc model(cfg, 3);
+    TokenCodebook keys(64, cfg.memoryWidth / 2, 1);
+    TokenCodebook values(64, cfg.memoryWidth / 2, 2);
+    InterfaceScripter scripter(cfg, keys, values);
+    Rng episodeRng(11);
+    const auto suite = taskSuite();
+    const Index tasks = smoke ? 2 : 8;
+    double err = 0.0;
+    double margin = 0.0;
+    for (Index t = 0; t < tasks; ++t) {
+        const Episode ep = makeEpisode(suite[t], 64, episodeRng);
+        const EpisodeResult res = runEpisode(model, scripter, ep);
+        err += res.errorRate();
+        margin += res.meanScore;
+    }
+    return {err / static_cast<double>(tasks),
+            margin / static_cast<double>(tasks)};
+}
+
+/**
  * State-level exactness loss: lockstep a skipping MemoryUnit against an
  * exact one on randomized *soft* traffic (mixed content/allocation
  * writes, spread weightings — where sub-threshold rows actually carry
@@ -300,11 +383,9 @@ struct SkipResult
  * the one-hot regime where it never surfaces as task error.
  */
 double
-readDivergence(Real threshold)
+readDivergence(const DncConfig &skipCfg)
 {
-    DncConfig exactCfg = benchConfig(256);
-    DncConfig skipCfg = exactCfg;
-    skipCfg.writeSkipThreshold = threshold;
+    DncConfig exactCfg = benchConfig(skipCfg.memoryRows);
     MemoryUnit exact(exactCfg);
     MemoryUnit skip(skipCfg);
     MemoryReadout outA, outB;
@@ -330,16 +411,17 @@ readDivergence(Real threshold)
 }
 
 std::vector<SkipResult>
-writeSkipSweep()
+writeSkipSweep(bool smoke)
 {
-    const std::vector<Real> thresholds = {0.0,  1e-12, 1e-9, 1e-6,
-                                          1e-4, 1e-2,  0.2};
+    const std::vector<Real> thresholds =
+        smoke ? std::vector<Real>{0.0, 1e-6}
+              : std::vector<Real>{0.0, 1e-12, 1e-9, 1e-6, 1e-4, 1e-2, 0.2};
     std::vector<SkipResult> results;
     double baseErr = 0.0;
     double baseMargin = 0.0;
     for (Real th : thresholds) {
         // Throughput leg: the same N=1024 hot loop the headline uses.
-        DncConfig cfg = benchConfig(1024);
+        DncConfig cfg = benchConfig(smoke ? 256 : 1024);
         cfg.writeSkipThreshold = th;
         Rng rng(7);
         const InterfaceVector iface = benchIface(cfg, rng);
@@ -352,28 +434,14 @@ writeSkipSweep()
         // through a full Dnc with the same knob.
         DncConfig acc = benchConfig(256);
         acc.writeSkipThreshold = th;
-        Dnc model(acc, 3);
-        TokenCodebook keys(64, acc.memoryWidth / 2, 1);
-        TokenCodebook values(64, acc.memoryWidth / 2, 2);
-        InterfaceScripter scripter(acc, keys, values);
-        Rng episodeRng(11);
-        const auto suite = taskSuite();
-        const Index tasks = 8;
-        double err = 0.0;
-        double margin = 0.0;
-        for (Index t = 0; t < tasks; ++t) {
-            const Episode ep = makeEpisode(suite[t], 64, episodeRng);
-            const EpisodeResult res = runEpisode(model, scripter, ep);
-            err += res.errorRate();
-            margin += res.meanScore;
-        }
-        err /= static_cast<double>(tasks);
-        margin /= static_cast<double>(tasks);
+        const auto [err, margin] = retrievalAccuracy(acc, smoke);
         if (th == 0.0) {
             baseErr = err;
             baseMargin = margin;
         }
-        const double rms = readDivergence(th);
+        DncConfig div = benchConfig(256);
+        div.writeSkipThreshold = th;
+        const double rms = readDivergence(div);
         results.push_back({th, rate, err, err - baseErr, margin,
                            margin - baseMargin, rms});
         std::printf("writeSkip %.0e  %10.1f steps/s  error %.4f "
@@ -383,13 +451,171 @@ writeSkipSweep()
     return results;
 }
 
+// --------------------------------------------------------------------
+// Active-row linkage sweep (the PR's tentpole): throughput of the
+// sparse O(A*N) sweep vs the forced-dense O(N^2) one on the regime it
+// targets — early-episode serving, where allocation-gated writes are
+// one-hot and A stays <= N/4 — plus a linkageSkipThreshold exactness
+// sweep in the same Fig. 10 style as writeSkipThreshold above.
+// --------------------------------------------------------------------
+
+struct LinkSkipResult
+{
+    Real threshold;
+    double earlyStepsPerSec;   ///< episodic allocation traffic, A <= N/4
+    double earlySpeedup;       ///< vs the forced-dense baseline
+    double meanActiveRows;     ///< measured A over the early-episode run
+    double steadyStepsPerSec;  ///< soft traffic, no resets (dense regime)
+    double errorRate;          ///< mean over the retrieval task subset
+    double errorDelta;         ///< errorRate - exact baseline
+    double readRms;            ///< read-vector RMS divergence, soft traffic
+};
+
+/**
+ * Timesteps/s of an early-episode serving loop at `cfg`'s N: pure
+ * allocation-gated writes with an episode reset every `episodeLen`
+ * steps, so at most episodeLen slots ever hold linkage mass. Also
+ * reports the measured mean active rows per step via the profiler's
+ * skipped-row counters.
+ */
+double
+earlyEpisodeRate(const DncConfig &cfg, Index episodeLen, double *meanActive)
+{
+    Rng rng(7);
+    InterfaceVector iface = benchIface(cfg, rng);
+    iface.allocationGate = 1.0; // one-hot allocation writes
+    iface.writeGate = 1.0;
+    MemoryUnit mu(cfg);
+    MemoryReadout out;
+    long stepCount = 0;
+    const double rate = benchStepsPerSecond([&] {
+        if (stepCount % static_cast<long>(episodeLen) == 0)
+            mu.reset();
+        ++stepCount;
+        mu.stepInto(iface, out);
+    });
+    const KernelCounters &link = mu.profiler().at(Kernel::Linkage);
+    const double skippedPerStep =
+        link.invocations == 0
+            ? 0.0
+            : static_cast<double>(link.skippedRows) /
+                  static_cast<double>(link.invocations);
+    *meanActive = static_cast<double>(cfg.memoryRows) - skippedPerStep;
+    return rate;
+}
+
+struct ActiveCurvePoint
+{
+    Index n;
+    Index episodeLen;
+    double meanActiveRows;
+    double sparseStepsPerSec;
+    double denseStepsPerSec;
+    double speedup;
+};
+
+/**
+ * Measured A-vs-N curve at threshold 0: for each memory size, the mean
+ * active-row count and the sparse-vs-dense throughput on the same
+ * early-episode workload (episodes of N/4 steps).
+ */
+std::vector<ActiveCurvePoint>
+activeRowsCurve(bool smoke)
+{
+    const std::vector<Index> ns = smoke ? std::vector<Index>{64, 256}
+                                        : std::vector<Index>{256, 1024, 4096};
+    std::vector<ActiveCurvePoint> curve;
+    for (Index n : ns) {
+        const Index episodeLen = n / 4;
+        DncConfig sparseCfg = benchConfig(n);
+        double meanActive = 0.0;
+        const double sparse =
+            earlyEpisodeRate(sparseCfg, episodeLen, &meanActive);
+        DncConfig denseCfg = benchConfig(n);
+        denseCfg.linkageDenseSweep = true;
+        double denseActive = 0.0;
+        const double dense =
+            earlyEpisodeRate(denseCfg, episodeLen, &denseActive);
+        curve.push_back(
+            {n, episodeLen, meanActive, sparse, dense, sparse / dense});
+        std::printf("activeRows N=%5zu  mean A %7.1f  sparse %10.1f "
+                    "steps/s  dense %10.1f steps/s  speedup %.2fx\n",
+                    n, meanActive, sparse, dense, sparse / dense);
+    }
+    return curve;
+}
+
+std::vector<LinkSkipResult>
+linkageSkipSweep(bool smoke, double *denseEarlyRate, Index *sweepRows,
+                 Index *episodeLenOut)
+{
+    const Index n = smoke ? 256 : 1024;
+    const Index episodeLen = n / 4; // A <= N/4 by construction
+    *sweepRows = n;
+    *episodeLenOut = episodeLen;
+
+    // Dense baseline: same workload, skipping disabled.
+    double denseActive = 0.0;
+    DncConfig denseCfg = benchConfig(n);
+    denseCfg.linkageDenseSweep = true;
+    *denseEarlyRate = earlyEpisodeRate(denseCfg, episodeLen, &denseActive);
+    std::printf("linkageSweep dense    %10.1f steps/s (early-episode "
+                "N=%zu, episode %zu)\n",
+                *denseEarlyRate, n, episodeLen);
+
+    const std::vector<Real> thresholds =
+        smoke ? std::vector<Real>{0.0, 1e-6}
+              : std::vector<Real>{0.0, 1e-9, 1e-6, 1e-4, 1e-2};
+    std::vector<LinkSkipResult> results;
+    double baseErr = 0.0;
+    for (Real th : thresholds) {
+        DncConfig cfg = benchConfig(n);
+        cfg.linkageSkipThreshold = th;
+        double meanActive = 0.0;
+        const double early = earlyEpisodeRate(cfg, episodeLen, &meanActive);
+
+        // Steady-state soft traffic: every row active at threshold 0,
+        // so this leg shows the no-regression side of the knob.
+        Rng rng(7);
+        const InterfaceVector iface = benchIface(cfg, rng);
+        MemoryUnit mu(cfg);
+        MemoryReadout out;
+        const double steady =
+            benchStepsPerSecond([&] { mu.stepInto(iface, out); });
+
+        DncConfig acc = benchConfig(256);
+        acc.linkageSkipThreshold = th;
+        const auto [err, margin] = retrievalAccuracy(acc, smoke);
+        (void)margin;
+        if (th == 0.0)
+            baseErr = err;
+        DncConfig div = benchConfig(256);
+        div.linkageSkipThreshold = th;
+        const double rms = readDivergence(div);
+
+        results.push_back({th, early, early / *denseEarlyRate, meanActive,
+                           steady, err, err - baseErr, rms});
+        std::printf("linkageSweep %.0e  early %10.1f steps/s (%.2fx, "
+                    "mean A %.1f)  steady %10.1f steps/s  error %.4f "
+                    "(delta %+.4f)  read RMS div %.2e\n",
+                    th, early, early / *denseEarlyRate, meanActive, steady,
+                    err, err - baseErr, rms);
+    }
+    return results;
+}
+
 } // namespace
 } // namespace hima
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hima;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
 
     if (!crossCheck()) {
         std::fprintf(stderr,
@@ -399,7 +625,18 @@ main()
     }
     std::printf("cross-check: legacy and optimized paths bit-identical\n");
 
-    const std::vector<Index> sizes = {64, 256, 1024, 4096};
+    if (!sparseDenseGate()) {
+        std::fprintf(stderr,
+                     "FATAL: sparse linkage sweep diverged from the dense "
+                     "sweep at threshold 0 — refusing to benchmark\n");
+        return 1;
+    }
+    std::printf("cross-check: sparse and dense linkage sweeps "
+                "bit-identical at threshold 0\n");
+
+    const std::vector<Index> sizes =
+        smoke ? std::vector<Index>{64, 256}
+              : std::vector<Index>{64, 256, 1024, 4096};
     std::vector<SingleTileResult> single;
     for (Index n : sizes) {
         const DncConfig cfg = benchConfig(n);
@@ -421,8 +658,10 @@ main()
                     n, legacyRate, optRate, optRate / legacyRate);
     }
 
-    const std::vector<Index> tileCounts = {1, 4, 16};
-    const std::vector<Index> threadCounts = {1, 4};
+    const std::vector<Index> tileCounts =
+        smoke ? std::vector<Index>{1} : std::vector<Index>{1, 4, 16};
+    const std::vector<Index> threadCounts =
+        smoke ? std::vector<Index>{1} : std::vector<Index>{1, 4};
     std::vector<DncdResult> dncd;
     const Index dncdRows = 1024;
     for (Index tiles : tileCounts) {
@@ -456,7 +695,18 @@ main()
 
     std::printf("\nwriteSkipThreshold exactness-vs-speed sweep "
                 "(Fig. 10-style):\n");
-    const std::vector<SkipResult> skips = writeSkipSweep();
+    const std::vector<SkipResult> skips = writeSkipSweep(smoke);
+
+    std::printf("\nlinkageSkipThreshold active-row sweep:\n");
+    double denseEarlyRate = 0.0;
+    Index sweepRows = 0;
+    Index sweepEpisodeLen = 0;
+    const std::vector<LinkSkipResult> linkSkips =
+        linkageSkipSweep(smoke, &denseEarlyRate, &sweepRows,
+                         &sweepEpisodeLen);
+
+    std::printf("\nactive rows vs N (threshold 0, early-episode):\n");
+    const std::vector<ActiveCurvePoint> curve = activeRowsCurve(smoke);
 
     double headline = 0.0;
     for (const SingleTileResult &r : single)
@@ -470,6 +720,7 @@ main()
     }
     std::fprintf(json, "{\n");
     writeBenchContext(json);
+    std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(json,
                  "  \"config\": {\"memory_width\": 64, \"read_heads\": 4},\n");
     std::fprintf(json, "  \"single_tile\": [\n");
@@ -513,12 +764,50 @@ main()
                      i + 1 < skips.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"linkage_dense_baseline\": {\"n\": %zu, "
+                 "\"episode_len\": %zu, \"early_steps_per_sec\": %.2f},\n",
+                 sweepRows, sweepEpisodeLen, denseEarlyRate);
+    std::fprintf(json, "  \"linkage_skip_sweep\": [\n");
+    for (std::size_t i = 0; i < linkSkips.size(); ++i) {
+        const LinkSkipResult &r = linkSkips[i];
+        std::fprintf(json,
+                     "    {\"threshold\": %.0e, "
+                     "\"early_steps_per_sec\": %.2f, "
+                     "\"early_speedup_vs_dense\": %.3f, "
+                     "\"mean_active_rows_early\": %.1f, "
+                     "\"steady_steps_per_sec\": %.2f, "
+                     "\"retrieval_error_rate\": %.5f, "
+                     "\"error_delta_vs_exact\": %.5f, "
+                     "\"read_rms_divergence\": %.3e}%s\n",
+                     r.threshold, r.earlyStepsPerSec, r.earlySpeedup,
+                     r.meanActiveRows, r.steadyStepsPerSec, r.errorRate,
+                     r.errorDelta, r.readRms,
+                     i + 1 < linkSkips.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"linkage_active_rows_curve\": [\n");
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const ActiveCurvePoint &r = curve[i];
+        std::fprintf(json,
+                     "    {\"n\": %zu, \"episode_len\": %zu, "
+                     "\"mean_active_rows\": %.1f, "
+                     "\"sparse_steps_per_sec\": %.2f, "
+                     "\"dense_steps_per_sec\": %.2f, "
+                     "\"speedup\": %.3f}%s\n",
+                     r.n, r.episodeLen, r.meanActiveRows,
+                     r.sparseStepsPerSec, r.denseStepsPerSec, r.speedup,
+                     i + 1 < curve.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"headline\": {\"n1024_speedup\": %.3f}\n",
                  headline);
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("wrote BENCH_hot_path.json (N=1024 speedup %.2fx, "
-                "16-tile 4-thread scaling %.2fx)\n",
-                headline, scaling16);
+                "16-tile 4-thread scaling %.2fx, early-episode linkage "
+                "speedup %.2fx)\n",
+                headline, scaling16,
+                linkSkips.empty() ? 0.0 : linkSkips[0].earlySpeedup);
     return 0;
 }

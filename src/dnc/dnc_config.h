@@ -120,6 +120,29 @@ struct DncConfig
      */
     Real writeSkipThreshold = 0.0;
 
+    /**
+     * Active-row threshold of the sparse linkage sweep: a linkage row is
+     * swept only while its cached absolute row mass (or its current
+     * write weight) exceeds this value; other rows are left untouched
+     * and contribute nothing to the forward/backward weightings. Zero
+     * (default) skips only rows that are exactly zero — slots never
+     * written since the episode boundary — and is bit-identical to the
+     * dense O(N^2) sweep; small positive values (~1e-12..1e-6) also skim
+     * rows whose linkage mass has decayed to noise, trading exactness
+     * for speed in the spirit of the paper's Sec. 5.2 usage skimming.
+     * Hardware cost charges are unaffected (the skipped work lands in
+     * the profiler's skippedRows/skippedOps columns instead).
+     */
+    Real linkageSkipThreshold = 0.0;
+
+    /**
+     * Bench/test escape hatch: force the dense full-N linkage sweep,
+     * ignoring row activity entirely. The cross-check gates and the
+     * `linkage_skip_sweep` bench use it as the reference/baseline; it
+     * is never what a serving deployment wants.
+     */
+    bool linkageDenseSweep = false;
+
     /** Interface vector width for these shapes (DNC paper layout). */
     Index
     interfaceSize() const
@@ -165,6 +188,13 @@ struct DncConfig
         if (writeSkipThreshold < 0.0 || writeSkipThreshold >= 1.0)
             HIMA_FATAL("DncConfig: write skip threshold %f outside [0, 1)",
                        writeSkipThreshold);
+        if (linkageSkipThreshold < 0.0 || linkageSkipThreshold >= 1.0)
+            HIMA_FATAL("DncConfig: linkage skip threshold %f outside [0, 1)",
+                       linkageSkipThreshold);
+        if (linkageDenseSweep && linkageSkipThreshold > 0.0)
+            HIMA_FATAL("DncConfig: linkageDenseSweep ignores row activity; "
+                       "combining it with a nonzero linkageSkipThreshold "
+                       "(%f) is contradictory", linkageSkipThreshold);
     }
 };
 

@@ -82,6 +82,8 @@ KernelCounters::merge(const KernelCounters &other)
     extMemAccesses += other.extMemAccesses;
     stateMemAccesses += other.stateMemAccesses;
     nanoseconds += other.nanoseconds;
+    skippedRows += other.skippedRows;
+    skippedOps += other.skippedOps;
 }
 
 KernelCounters &

@@ -72,6 +72,18 @@ struct KernelCounters
     std::uint64_t stateMemAccesses = 0; ///< state memory words touched
     std::uint64_t nanoseconds = 0;   ///< wall-clock time inside the kernel
 
+    /**
+     * Software sparse-sweep savings. Op counters above always charge
+     * the full hardware cost model (a Table 1 invariant); these two
+     * record what the simulator actually avoided, so the active-row
+     * linkage sweep's saving is observable without perturbing the
+     * hardware numbers. `skippedRows` counts rows left untouched per
+     * logical kernel invocation; `skippedOps` the ops those rows would
+     * have cost.
+     */
+    std::uint64_t skippedRows = 0;
+    std::uint64_t skippedOps = 0;
+
     std::uint64_t
     totalOps() const
     {

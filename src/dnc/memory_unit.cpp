@@ -18,7 +18,8 @@ MemoryUnit::MemoryUnit(const DncConfig &config)
       memory_(config.memoryRows, config.memoryWidth),
       rowNorms_(config.memoryRows),
       usage_(config.memoryRows),
-      linkage_(config.memoryRows),
+      linkage_(config.memoryRows, config.linkageSkipThreshold,
+               config.linkageDenseSweep),
       writeWeighting_(config.memoryRows),
       readWeightings_(config.readHeads, Vector(config.memoryRows)),
       ws_(config.memoryRows, config.memoryWidth, config.readHeads)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <optional>
 
 #if defined(__AVX2__)
@@ -11,6 +12,21 @@
 namespace hima {
 
 namespace {
+
+/**
+ * Absolute mass of one linkage row, summed in ascending-j order. The
+ * sweep's in-pass refresh and restoreState()'s rebuild both call this,
+ * so an undisturbed run and a checkpoint-restored one make identical
+ * skip decisions (same values, same summation order, bit-identical).
+ */
+inline Real
+rowMassOf(const Real *row, Index n)
+{
+    Real acc = 0.0;
+    for (Index j = 0; j < n; ++j)
+        acc += std::fabs(row[j]);
+    return acc;
+}
 
 /**
  * Read-stage body for one updated row of L: accumulates the row's
@@ -113,10 +129,26 @@ readQuad4(const Real *r0, Index n, const Real *wInt, Real *bwInt,
 
 } // namespace
 
-TemporalLinkage::TemporalLinkage(Index slots)
-    : slots_(slots), linkage_(slots, slots), precedence_(slots)
+TemporalLinkage::TemporalLinkage(Index slots, Real skipThreshold,
+                                 bool denseSweep)
+    : slots_(slots), skipThreshold_(skipThreshold), denseSweep_(denseSweep),
+      linkage_(slots, slots), precedence_(slots), rowMass_(slots)
 {
     HIMA_ASSERT(slots_ > 0, "linkage needs at least one slot");
+    HIMA_ASSERT(skipThreshold_ >= 0.0, "negative linkage skip threshold");
+    activeRows_.reserve(slots_);
+}
+
+Index
+TemporalLinkage::gatherActiveRows(const Real *writeWeighting)
+{
+    activeRows_.clear(); // keeps the reserved capacity — no alloc
+    const Real t = skipThreshold_;
+    const Real *mass = rowMass_.data();
+    for (Index i = 0; i < slots_; ++i)
+        if (denseSweep_ || mass[i] > t || writeWeighting[i] > t)
+            activeRows_.push_back(i);
+    return static_cast<Index>(activeRows_.size());
 }
 
 void
@@ -129,16 +161,23 @@ TemporalLinkage::updateLinkage(const Vector &writeWeighting,
     if (profiler)
         scope.emplace(*profiler, Kernel::Linkage);
 
-    // L[i][j] <- (1 - w[i] - w[j]) L[i][j] + w[i] p[j], diagonal zeroed.
+    // L[i][j] <- (1 - w[i] - w[j]) L[i][j] + w[i] p[j], diagonal zeroed,
+    // over the active rows only. An inactive row (mass and write weight
+    // both at or below the threshold) is exactly zero at threshold 0 —
+    // its update computes (1 - 0 - w[j])*0 + 0*p[j] = 0 — so skipping
+    // it is bit-identical; above 0 it is the paper-style approximation.
     const Real *w = writeWeighting.data();
     const Real *p = precedence_.data();
     Real *L = linkage_.data();
-    for (Index i = 0; i < slots_; ++i) {
-        const Real wi = writeWeighting[i];
+    const Index numActive = gatherActiveRows(w);
+    for (Index k = 0; k < numActive; ++k) {
+        const Index i = activeRows_[k];
+        const Real wi = w[i];
         Real *row = L + i * slots_;
         for (Index j = 0; j < slots_; ++j)
             row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
         row[i] = 0.0;
+        rowMass_[i] = rowMassOf(row, slots_);
     }
 
     if (profiler) {
@@ -146,6 +185,9 @@ TemporalLinkage::updateLinkage(const Vector &writeWeighting,
         const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
         c.elementOps += 4 * n2;          // sub, sub, mult, mac per cell
         c.stateMemAccesses += 2 * n2 + 2 * slots_; // L rd+wr, w and p reads
+        const std::uint64_t skipped = slots_ - numActive;
+        c.skippedRows += skipped;
+        c.skippedOps += skipped * 4 * static_cast<std::uint64_t>(slots_);
     }
 }
 
@@ -201,12 +243,38 @@ TemporalLinkage::forwardWeightingInto(const Vector &prevReadWeighting,
     std::optional<KernelScope> scope;
     if (profiler)
         scope.emplace(*profiler, Kernel::ForwardBackward);
-    matVecInto(linkage_, prevReadWeighting, f);
+
+    // f = L w_prev, sweeping only rows that carry mass. A skipped row's
+    // dot product would be +0.0 exactly at threshold 0 (all entries are
+    // zero); matVecInto's per-row accumulation order is preserved for
+    // the rows that are visited.
+    f.resize(slots_);
+    const Real *pm = linkage_.data();
+    const Real *px = prevReadWeighting.data();
+    const Real *mass = rowMass_.data();
+    const Real t = skipThreshold_;
+    Real *py = f.data();
+    Index skipped = 0;
+    for (Index r = 0; r < slots_; ++r) {
+        if (!denseSweep_ && mass[r] <= t) {
+            py[r] = 0.0;
+            ++skipped;
+            continue;
+        }
+        const Real *row = pm + r * slots_;
+        Real acc = 0.0;
+        for (Index c = 0; c < slots_; ++c)
+            acc += row[c] * px[c];
+        py[r] = acc;
+    }
     if (profiler) {
         auto &c = profiler->at(Kernel::ForwardBackward);
         const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
         c.macOps += n2;
         c.stateMemAccesses += n2 + 2 * slots_;
+        c.skippedRows += skipped;
+        c.skippedOps +=
+            static_cast<std::uint64_t>(skipped) * slots_;
     }
 }
 
@@ -220,14 +288,39 @@ TemporalLinkage::backwardWeightingInto(const Vector &prevReadWeighting,
     std::optional<KernelScope> scope;
     if (profiler)
         scope.emplace(*profiler, Kernel::ForwardBackward);
+
     // The hardware path is transpose + mat-vec (Table 1); the functional
-    // path fuses them to avoid materializing L^T.
-    matTVecInto(linkage_, prevReadWeighting, b);
+    // path fuses them to avoid materializing L^T, and additionally skips
+    // massless rows: a skipped row contributes row[c]*xv = +0.0 to every
+    // accumulator at threshold 0, so dropping it never changes a bit.
+    // Visited rows accumulate in ascending-r order, matTVecInto's order.
+    b.resize(slots_);
+    const Real *pm = linkage_.data();
+    const Real *px = prevReadWeighting.data();
+    const Real *mass = rowMass_.data();
+    const Real t = skipThreshold_;
+    Real *py = b.data();
+    for (Index c = 0; c < slots_; ++c)
+        py[c] = 0.0;
+    Index skipped = 0;
+    for (Index r = 0; r < slots_; ++r) {
+        if (!denseSweep_ && mass[r] <= t) {
+            ++skipped;
+            continue;
+        }
+        const Real xv = px[r];
+        const Real *row = pm + r * slots_;
+        for (Index c = 0; c < slots_; ++c)
+            py[c] += row[c] * xv;
+    }
     if (profiler) {
         auto &c = profiler->at(Kernel::ForwardBackward);
         const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
         c.macOps += n2;
         c.stateMemAccesses += n2 + 2 * slots_;
+        c.skippedRows += skipped;
+        c.skippedOps +=
+            static_cast<std::uint64_t>(skipped) * slots_;
     }
 }
 
@@ -254,7 +347,7 @@ TemporalLinkage::updateAndRead(const Vector &writeWeighting,
 
     // Interleave the previous read weightings (lane h of word j =
     // head h, slot j) and zero the interleaved backward accumulators.
-    // O(RN) — negligible next to the O(RN^2) sweep it enables.
+    // O(RN) — negligible next to the O(A*N) sweep it enables.
     interleavedReads_.resize(slots_ * heads);
     interleavedBackward_.assign(slots_ * heads, 0.0);
     for (Index h = 0; h < heads; ++h) {
@@ -262,6 +355,11 @@ TemporalLinkage::updateAndRead(const Vector &writeWeighting,
         for (Index j = 0; j < slots_; ++j)
             interleavedReads_[j * heads + h] = wr[j];
     }
+
+    // Activity is decided once per step, before the sweep, from the
+    // cached row masses and the *current* write weighting — a row
+    // receiving its first mass this step is swept this step.
+    gatherActiveRows(writeWeighting.data());
 
     switch (heads) {
       case 1:
@@ -303,28 +401,50 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
     const Real *wInt = interleavedReads_.data();
     Real *bwInt = interleavedBackward_.data();
     Real *L = linkage_.data();
+    const Index numActive = static_cast<Index>(activeRows_.size());
+
+    // Rows the sweep skips are exactly zero at threshold 0 (treated as
+    // zero above it): their forward dots are +0.0 and they contribute
+    // nothing to the interleaved backward lanes, so zero-fill the
+    // forward outputs once and let the sweep overwrite only the rows it
+    // visits. O(RN), like the de-interleave below.
+    for (Index h = 0; h < heads; ++h)
+        forward[h].fill(0.0);
 
     // Row-blocked so the read stage re-traverses freshly-updated rows
     // out of L1; L streams through DRAM once per step instead of once
     // per kernel invocation. Four rows x 8 KB stays cache-resident.
+    // Blocks are runs of *consecutive* active rows (up to kBlock long),
+    // so an all-active matrix blocks exactly as the dense sweep did and
+    // a sparse one pays only for the rows it visits. Skipped rows never
+    // enter a timed region — their wall-clock attribution is zero.
     constexpr Index kBlock = 4;
     using Clock = std::chrono::steady_clock;
     const bool timed = profiler != nullptr;
     std::uint64_t updateNs = 0;
     std::uint64_t readNs = 0;
 
-    for (Index blockStart = 0; blockStart < slots_; blockStart += kBlock) {
-        const Index blockEnd = std::min(blockStart + kBlock, slots_);
+    Index cursor = 0;
+    while (cursor < numActive) {
+        const Index blockStart = activeRows_[cursor];
+        Index blockLen = 1;
+        while (blockLen < kBlock && cursor + blockLen < numActive &&
+               activeRows_[cursor + blockLen] == blockStart + blockLen)
+            ++blockLen;
+        cursor += blockLen;
+        const Index blockEnd = blockStart + blockLen;
         const auto t0 = timed ? Clock::now() : Clock::time_point{};
 
         // HR.(1): update rows [blockStart, blockEnd) of L, exactly as
-        // updateLinkage() does.
+        // updateLinkage() does, refreshing each row's mass cache from
+        // the finished row (ascending j — restoreState()'s order).
         for (Index i = blockStart; i < blockEnd; ++i) {
             const Real wi = w[i];
             Real *row = L + i * slots_;
             for (Index j = 0; j < slots_; ++j)
                 row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
             row[i] = 0.0;
+            rowMass_[i] = rowMassOf(row, slots_);
         }
         const auto t1 = timed ? Clock::now() : Clock::time_point{};
 
@@ -391,16 +511,22 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
 
     if (profiler) {
         const std::uint64_t n2 = static_cast<std::uint64_t>(slots_) * slots_;
+        const std::uint64_t skipped = slots_ - numActive;
         auto &link = profiler->at(Kernel::Linkage);
         link.invocations += 1;
         link.nanoseconds += updateNs;
         link.elementOps += 4 * n2;
         link.stateMemAccesses += 2 * n2 + 2 * slots_;
+        link.skippedRows += skipped;
+        link.skippedOps += skipped * 4 * static_cast<std::uint64_t>(slots_);
         auto &fb = profiler->at(Kernel::ForwardBackward);
         fb.invocations += 2 * heads; // mirrors the 2R standalone calls
         fb.nanoseconds += readNs;
         fb.macOps += 2 * heads * n2;
         fb.stateMemAccesses += 2 * heads * (n2 + 2 * slots_);
+        fb.skippedRows += 2 * heads * skipped;
+        fb.skippedOps +=
+            2 * heads * skipped * static_cast<std::uint64_t>(slots_);
     }
 }
 
@@ -409,6 +535,9 @@ TemporalLinkage::reset()
 {
     linkage_.fill(0.0);
     precedence_.fill(0.0);
+    // Every row is massless again: rows never written after this reset
+    // stay exactly zero and are skipped by every sweep.
+    rowMass_.fill(0.0);
 }
 
 void
@@ -423,6 +552,11 @@ TemporalLinkage::restoreState(const Vector &linkageFlat,
                 precedence.size(), slots_);
     std::copy(linkageFlat.begin(), linkageFlat.end(), linkage_.data());
     std::copy(precedence.begin(), precedence.end(), precedence_.begin());
+    // Rebuild the active-row mass cache from the restored matrix with
+    // the sweep's own per-row summation, so a mid-episode restore makes
+    // bit-identical skip decisions to the undisturbed run it snapshots.
+    for (Index i = 0; i < slots_; ++i)
+        rowMass_[i] = rowMassOf(linkage_.data() + i * slots_, slots_);
 }
 
 } // namespace hima

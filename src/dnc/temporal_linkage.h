@@ -17,12 +17,40 @@
 
 namespace hima {
 
-/** Linkage matrix + precedence vector with their update rules. */
+/**
+ * Linkage matrix + precedence vector with their update rules.
+ *
+ * The kernels exploit the matrix's structural sparsity: row and column
+ * i of L are exactly zero until slot i has ever received write mass,
+ * and the row's total mass is tracked in a per-row cache (`rowMass()`,
+ * the sum of absolute entries, refreshed in the same pass that writes
+ * the row). A row is *active* — swept by the update and read kernels —
+ * only while its cached mass, or its current write weight, exceeds
+ * `skipThreshold`; inactive rows are left untouched and contribute
+ * nothing to the forward/backward weightings, so every kernel costs
+ * O(A*N) instead of O(N^2), with A = active rows.
+ *
+ * At threshold 0 (default) only exactly-zero rows are skipped and every
+ * kernel is bit-identical to the dense sweep (a skipped row would have
+ * computed to all zeros and contributed +0.0 everywhere). A positive
+ * threshold additionally freezes rows whose mass has decayed below it —
+ * the paper-style approximation, quantified by `linkage_skip_sweep` in
+ * bench_hot_path. Activity is a pure function of (L, w): restoring a
+ * checkpointed matrix rebuilds the cache bit-identically, so a
+ * mid-episode restore keeps skip behavior indistinguishable from an
+ * undisturbed run at any threshold.
+ */
 class TemporalLinkage
 {
   public:
-    /** Construct zeroed state for an N-slot memory. */
-    explicit TemporalLinkage(Index slots);
+    /**
+     * Construct zeroed state for an N-slot memory.
+     *
+     * @param skipThreshold active-row threshold (see class comment)
+     * @param denseSweep    bench/test escape: never skip any row
+     */
+    explicit TemporalLinkage(Index slots, Real skipThreshold = 0.0,
+                             bool denseSweep = false);
 
     /**
      * HR.(1) Linkage update:
@@ -81,13 +109,37 @@ class TemporalLinkage
     const Matrix &linkage() const { return linkage_; }
     const Vector &precedence() const { return precedence_; }
     Index slots() const { return slots_; }
+    Real skipThreshold() const { return skipThreshold_; }
+
+    /**
+     * Per-row mass cache: rowMass()[i] == sum_j |L[i][j]|, refreshed in
+     * the same pass that last wrote row i (bit-identical to a fresh
+     * recompute in ascending-j order — restoreState() relies on that).
+     * Rows skipped by the sweep keep their previous (still valid) mass.
+     */
+    const Vector &rowMass() const { return rowMass_; }
+
+    /** Rows the next sweep would visit given a zero write weighting. */
+    Index
+    activeRowCount() const
+    {
+        Index active = 0;
+        for (Index i = 0; i < slots_; ++i)
+            if (rowMass_[i] > skipThreshold_)
+                ++active;
+        return active;
+    }
 
     /** Reset all state to zero (episode boundary). */
     void reset();
 
     /**
      * Overwrite linkage + precedence from a flat row-major snapshot
-     * (checkpoint restore; fatal on size mismatch).
+     * (checkpoint restore; fatal on size mismatch). Rebuilds the
+     * active-row mass cache from the restored matrix — the recompute
+     * uses the same per-row summation order as the sweep's refresh, so
+     * a restored run's skip decisions are bit-identical to an
+     * undisturbed one at any threshold.
      */
     void restoreState(const Vector &linkageFlat, const Vector &precedence);
 
@@ -99,9 +151,19 @@ class TemporalLinkage
                            std::vector<Vector> &backward,
                            KernelProfiler *profiler);
 
+    /** Collect the rows `writeWeighting` makes active into activeRows_. */
+    Index gatherActiveRows(const Real *writeWeighting);
+
     Index slots_;
+    Real skipThreshold_;
+    bool denseSweep_;
     Matrix linkage_;
     Vector precedence_;
+    Vector rowMass_; ///< per-row sum of |L[i][j]| (see rowMass())
+
+    // Active-row scratch for the sweeps, reserved at construction so
+    // steady-state steps stay allocation-free.
+    std::vector<Index> activeRows_;
 
     // Head-interleaved scratch for the fused sweep (slots x R each,
     // grown on first use): lane h of word j holds head h's value for

@@ -62,6 +62,7 @@ WireConfig::fromShard(const DncConfig &shard, Index hostedTiles, Index lanes)
     wc.fixedPoint = shard.fixedPoint ? 1 : 0;
     wc.skimRate = shard.skimRate;
     wc.writeSkipThreshold = shard.writeSkipThreshold;
+    wc.linkageSkipThreshold = shard.linkageSkipThreshold;
     return wc;
 }
 
@@ -78,6 +79,7 @@ WireConfig::toShardConfig() const
     cfg.fixedPoint = fixedPoint != 0;
     cfg.skimRate = skimRate;
     cfg.writeSkipThreshold = writeSkipThreshold;
+    cfg.linkageSkipThreshold = linkageSkipThreshold;
     return cfg;
 }
 
@@ -408,6 +410,7 @@ putConfigBody(const WireConfig &config, WireWriter &out)
     out.putU8(config.fixedPoint);
     out.putReal(config.skimRate);
     out.putReal(config.writeSkipThreshold);
+    out.putReal(config.linkageSkipThreshold);
 }
 
 void
@@ -424,6 +427,7 @@ readConfigBody(WireReader &in, WireConfig &config)
     config.fixedPoint = in.u8();
     config.skimRate = in.real();
     config.writeSkipThreshold = in.real();
+    config.linkageSkipThreshold = in.real();
 }
 
 /**

@@ -74,8 +74,9 @@ namespace hima {
 /** Protocol magic ("HM") — first two payload bytes of every message. */
 constexpr std::uint16_t kWireMagic = 0x484D;
 
-/** Protocol version; bumped on any layout change. */
-constexpr std::uint8_t kWireVersion = 3;
+/** Protocol version; bumped on any layout change (v4: the handshake
+ * config body gained linkageSkipThreshold). */
+constexpr std::uint8_t kWireVersion = 4;
 
 /** Largest legal payload (guards framing against garbage lengths). */
 constexpr std::uint32_t kWireMaxFrameBytes = 64u << 20;
@@ -136,6 +137,7 @@ struct WireConfig
     std::uint8_t fixedPoint = 0;
     Real skimRate = 0.0;
     Real writeSkipThreshold = 0.0;
+    Real linkageSkipThreshold = 0.0;
 
     /** Build from a per-shard DncConfig plus the hosted-tile count. */
     static WireConfig fromShard(const DncConfig &shard, Index hostedTiles,

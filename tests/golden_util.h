@@ -87,6 +87,8 @@ expectLaneStateIdentical(Dnc &ref, const BatchedDnc &engine, Index lane,
         << "linkage matrix diverged";
     EXPECT_TRUE(rm.linkage().precedence() == bm.linkage().precedence())
         << "precedence diverged";
+    EXPECT_TRUE(rm.linkage().rowMass() == bm.linkage().rowMass())
+        << "linkage row-mass cache diverged";
     EXPECT_TRUE(ref.controller().lstm().hidden() == engine.laneHidden(lane))
         << "LSTM hidden diverged";
     EXPECT_TRUE(ref.controller().lstm().cell() == engine.laneCell(lane))

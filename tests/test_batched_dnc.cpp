@@ -83,6 +83,26 @@ TEST(BatchedDnc, ApproximateSoftmaxStaysBitIdentical)
     golden::runLockstep(cfg, 4, 1, 6, /*weightSeed=*/7, /*inputSeed=*/71);
 }
 
+TEST(BatchedDnc, LinkageSkipThresholdStaysBitIdentical)
+{
+    DncConfig cfg = tinyConfig();
+    cfg.linkageSkipThreshold = 1e-6;
+    golden::runLockstep(cfg, 5, 4, 8, /*weightSeed=*/9, /*inputSeed=*/41);
+}
+
+TEST(BatchedDnc, LinkageSkipChurnStaysBitIdentical)
+{
+    // Admit/release churn with the linkage approximation on: every
+    // admit's episode reset must clear the lane's active-row set, and
+    // the row-mass compare inside expectLaneStateIdentical pins each
+    // lane's skip decisions to its sequential reference every step.
+    DncConfig cfg = tinyConfig();
+    cfg.linkageSkipThreshold = 1e-6;
+    golden::runChurnLockstep(cfg, /*capacity=*/5, /*threads=*/2, 14,
+                             /*weightSeed=*/21, /*churnSeed=*/9,
+                             /*inputSeed=*/61);
+}
+
 TEST(BatchedDnc, BeyondOneLaneChunkStaysBitIdentical)
 {
     // B=70 crosses the kBatchLaneChunk=64 boundary of the SoA sweeps:
@@ -129,6 +149,37 @@ TEST(BatchedDnc, ResetRestartsEveryLane)
     const std::vector<Vector> replay = engine.step(inputs);
     for (Index b = 0; b < cfg.batchSize; ++b)
         EXPECT_TRUE(first[b] == replay[b]) << "lane " << b;
+}
+
+TEST(BatchedDnc, AdmitResetClearsLinkageActivity)
+{
+    DncConfig cfg = tinyConfig();
+    cfg.batchSize = 2;
+    cfg.numThreads = 1;
+    BatchedDnc engine(cfg, 17);
+    Rng rng(5);
+
+    // Fresh lanes start with no active linkage rows.
+    EXPECT_EQ(engine.laneMemory(0).linkage().activeRowCount(), 0u);
+
+    std::vector<Vector> outputs;
+    for (int step = 0; step < 6; ++step)
+        engine.stepInto(golden::randomBatchInputs(cfg, cfg.batchSize, rng),
+                        outputs);
+    // Full-DNC traffic (softmax content weighting) activates rows.
+    EXPECT_GT(engine.laneMemory(0).linkage().activeRowCount(), 0u);
+
+    // Release + re-admit: the in-place episode reset must leave the
+    // lane indistinguishable from a fresh one — no active rows, no
+    // cached mass, a bit-zero matrix.
+    engine.release(0);
+    const Index slot = engine.admit();
+    ASSERT_EQ(slot, 0u);
+    const TemporalLinkage &tl = engine.laneMemory(slot).linkage();
+    EXPECT_EQ(tl.activeRowCount(), 0u);
+    EXPECT_DOUBLE_EQ(tl.rowMass().sum(), 0.0);
+    const Matrix zeros(cfg.memoryRows, cfg.memoryRows);
+    EXPECT_TRUE(tl.linkage() == zeros);
 }
 
 TEST(BatchedDnc, LanesAreIndependent)

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/random.h"
 #include "dnc/temporal_linkage.h"
 
@@ -161,6 +164,248 @@ TEST(Linkage, ProfilerChargesQuadraticWork)
     EXPECT_EQ(prof.at(Kernel::Linkage).elementOps, 4u * 32 * 32);
     EXPECT_EQ(prof.at(Kernel::ForwardBackward).macOps, 32u * 32);
     EXPECT_GT(prof.at(Kernel::Linkage).stateMemAccesses, 2u * 32 * 32);
+}
+
+/**
+ * Ground-truth row activity, computed by scanning a (dense-swept)
+ * reference matrix rather than trusting the sparse instance's own
+ * cache: a row is swept when its absolute mass, or its current write
+ * weight, exceeds the threshold.
+ */
+Index
+referenceActiveRows(const Matrix &link, const Vector &w, Real threshold)
+{
+    const Index n = w.size();
+    Index active = 0;
+    for (Index i = 0; i < n; ++i) {
+        Real mass = 0.0;
+        for (Index j = 0; j < n; ++j)
+            mass += std::fabs(link(i, j));
+        if (mass > threshold || w[i] > threshold)
+            ++active;
+    }
+    return active;
+}
+
+/**
+ * A sparse write pattern: most steps write 1-3 slots drawn from a pool
+ * that grows over time, and some steps write nothing (closed write
+ * gate), so a prefix of the slots accumulates linkage mass while the
+ * rest stays exactly zero.
+ */
+Vector
+sparseWritePattern(Rng &rng, Index n, int step)
+{
+    Vector w(n);
+    if (step % 5 == 4)
+        return w; // closed write gate: no slot written
+    const Index pool = std::min<Index>(n, 4 + static_cast<Index>(step));
+    const Index k = 1 + rng.uniformInt(3);
+    for (Index x = 0; x < k; ++x)
+        w[rng.uniformInt(pool)] = rng.uniform(0.05, 0.3);
+    return w;
+}
+
+/**
+ * Property test for the active-row sweep: under random sparse write
+ * patterns, the fused updateAndRead() and the standalone forward/
+ * backward kernels at threshold 0 are bit-identical to a forced dense
+ * sweep, and the profiler's skipped-row counts match the activity
+ * predicted from the dense reference matrix at every step.
+ */
+class SparseLinkage : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SparseLinkage, BitIdenticalToDenseWithPredictedSkips)
+{
+    const Index n = 48;
+    const Index heads = static_cast<Index>(GetParam());
+    Rng rng(0xbeef + heads);
+
+    TemporalLinkage sparse(n);           // threshold 0, skipping enabled
+    TemporalLinkage dense(n, 0.0, true); // forced dense sweep
+    KernelProfiler profSparse;
+
+    std::vector<Vector> prevReads(heads), fS, bS, fD, bD;
+    std::uint64_t totalSkipped = 0;
+    for (int step = 0; step < 60; ++step) {
+        const Vector w = sparseWritePattern(rng, n, step);
+        for (auto &pr : prevReads) {
+            pr = rng.uniformVector(n);
+            pr = scale(pr, 1.0 / pr.sum());
+        }
+
+        // Predict this step's activity from the dense matrix *before*
+        // the update (the sweep decides from pre-update mass).
+        const Index active = referenceActiveRows(dense.linkage(), w, 0.0);
+        const std::uint64_t linkBefore =
+            profSparse.at(Kernel::Linkage).skippedRows;
+        const std::uint64_t fbBefore =
+            profSparse.at(Kernel::ForwardBackward).skippedRows;
+
+        sparse.updateAndRead(w, prevReads, fS, bS, &profSparse);
+        dense.updateAndRead(w, prevReads, fD, bD, nullptr);
+
+        const std::uint64_t skipped = static_cast<std::uint64_t>(n - active);
+        EXPECT_EQ(profSparse.at(Kernel::Linkage).skippedRows - linkBefore,
+                  skipped);
+        EXPECT_EQ(
+            profSparse.at(Kernel::ForwardBackward).skippedRows - fbBefore,
+            2 * static_cast<std::uint64_t>(heads) * skipped);
+        totalSkipped += skipped;
+
+        // Bit-identical state and readouts (operator== is exact).
+        ASSERT_TRUE(sparse.linkage() == dense.linkage()) << "step " << step;
+        for (Index h = 0; h < heads; ++h) {
+            EXPECT_TRUE(fS[h] == fD[h]) << "forward head " << h;
+            EXPECT_TRUE(bS[h] == bD[h]) << "backward head " << h;
+        }
+
+        // The standalone kernels skip by cached mass alone; they must
+        // agree with the dense reference bit-for-bit too.
+        Vector probe = rng.uniformVector(n);
+        probe = scale(probe, 1.0 / probe.sum());
+        Vector f1, f2, b1, b2;
+        sparse.forwardWeightingInto(probe, f1);
+        dense.forwardWeightingInto(probe, f2);
+        sparse.backwardWeightingInto(probe, b1);
+        dense.backwardWeightingInto(probe, b2);
+        EXPECT_TRUE(f1 == f2);
+        EXPECT_TRUE(b1 == b2);
+
+        // The cache itself matches a fresh recompute of the matrix.
+        for (Index i = 0; i < n; ++i) {
+            Real mass = 0.0;
+            for (Index j = 0; j < n; ++j)
+                mass += std::fabs(sparse.linkage()(i, j));
+            EXPECT_DOUBLE_EQ(sparse.rowMass()[i], mass);
+        }
+
+        sparse.updatePrecedence(w, &profSparse);
+        dense.updatePrecedence(w);
+        EXPECT_TRUE(sparse.precedence() == dense.precedence());
+    }
+    // The pattern must actually exercise skipping, or this test proves
+    // nothing about the sparse path.
+    EXPECT_GT(totalSkipped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heads, SparseLinkage, ::testing::Values(1, 2, 4));
+
+TEST(SparseLinkage, SelfLinkOnlyRowStaysInactive)
+{
+    // Writing only slot 3, every step: the lone precedence support is
+    // slot 3 itself, the diagonal zeroing kills the only product, and
+    // row 3 stays exactly zero — written, swept, but never gaining
+    // mass. The standalone read kernels may then skip all 8 rows.
+    const Index n = 8;
+    TemporalLinkage tl(n);
+    Vector w(n);
+    w[3] = 0.5;
+    KernelProfiler prof;
+    for (int step = 0; step < 4; ++step) {
+        const std::uint64_t before = prof.at(Kernel::Linkage).skippedRows;
+        tl.updateLinkage(w, &prof);
+        tl.updatePrecedence(w, &prof);
+        // Only row 3 is active (write weight), the other 7 skip.
+        EXPECT_EQ(prof.at(Kernel::Linkage).skippedRows - before, 7u);
+    }
+    for (Index i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(tl.rowMass()[i], 0.0);
+        for (Index j = 0; j < n; ++j)
+            EXPECT_DOUBLE_EQ(tl.linkage()(i, j), 0.0);
+    }
+    EXPECT_EQ(tl.activeRowCount(), 0u);
+    Vector f;
+    tl.forwardWeightingInto(oneHot(n, 3), f, &prof);
+    EXPECT_EQ(prof.at(Kernel::ForwardBackward).skippedRows, 8u);
+    EXPECT_DOUBLE_EQ(f.sum(), 0.0);
+}
+
+TEST(SparseLinkage, ResetClearsRowMass)
+{
+    TemporalLinkage tl(8);
+    for (Index slot : {2, 5, 1}) {
+        tl.updateLinkage(oneHot(8, slot));
+        tl.updatePrecedence(oneHot(8, slot));
+    }
+    EXPECT_GT(tl.activeRowCount(), 0u);
+    tl.reset();
+    EXPECT_EQ(tl.activeRowCount(), 0u);
+    for (Index i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(tl.rowMass()[i], 0.0);
+    // Post-reset, a zero write weighting sweeps nothing.
+    KernelProfiler prof;
+    tl.updateLinkage(Vector(8), &prof);
+    EXPECT_EQ(prof.at(Kernel::Linkage).skippedRows, 8u);
+}
+
+/**
+ * Satellite of the checkpoint/restore path: restoreState() must
+ * rebuild the row-mass cache from the restored matrix so that a
+ * restored instance makes bit-identical skip decisions to the
+ * undisturbed one — at threshold 0 and at a paper-style positive
+ * threshold.
+ */
+TEST(SparseLinkage, RestoreRebuildsActivityBitIdentical)
+{
+    const Index n = 32;
+    const Index heads = 2;
+    for (Real threshold : {0.0, 1e-6}) {
+        Rng rng(77);
+        TemporalLinkage undisturbed(n, threshold);
+        TemporalLinkage victim(n, threshold);
+
+        std::vector<Vector> prevReads(heads), fU, bU, fV, bV;
+        auto stepBoth = [&](int step) {
+            const Vector w = sparseWritePattern(rng, n, step);
+            for (auto &pr : prevReads) {
+                pr = rng.uniformVector(n);
+                pr = scale(pr, 1.0 / pr.sum());
+            }
+            undisturbed.updateAndRead(w, prevReads, fU, bU, nullptr);
+            victim.updateAndRead(w, prevReads, fV, bV, nullptr);
+            undisturbed.updatePrecedence(w);
+            victim.updatePrecedence(w);
+        };
+        for (int step = 0; step < 20; ++step)
+            stepBoth(step);
+
+        // Snapshot mid-run, then wreck the victim with unrelated
+        // traffic so the restore has real work to undo.
+        Vector flat(n * n), prec(n);
+        std::copy(undisturbed.linkage().data(),
+                  undisturbed.linkage().data() + n * n, flat.begin());
+        std::copy(undisturbed.precedence().begin(),
+                  undisturbed.precedence().end(), prec.begin());
+        Rng wrecker(123);
+        for (int step = 0; step < 5; ++step) {
+            Vector w = wrecker.uniformVector(n);
+            w = scale(w, 0.9 / w.sum());
+            victim.updateLinkage(w);
+            victim.updatePrecedence(w);
+        }
+
+        victim.restoreState(flat, prec);
+        ASSERT_TRUE(victim.linkage() == undisturbed.linkage());
+        ASSERT_TRUE(victim.precedence() == undisturbed.precedence());
+        // The rebuilt cache is bit-identical to the incrementally
+        // maintained one (same values, same summation order).
+        ASSERT_TRUE(victim.rowMass() == undisturbed.rowMass());
+
+        // And the continuation diverges nowhere: same sweeps, same
+        // skips, same bits.
+        for (int step = 20; step < 40; ++step) {
+            stepBoth(step);
+            ASSERT_TRUE(victim.linkage() == undisturbed.linkage())
+                << "threshold " << threshold << " step " << step;
+            ASSERT_TRUE(victim.rowMass() == undisturbed.rowMass());
+            for (Index h = 0; h < heads; ++h) {
+                EXPECT_TRUE(fV[h] == fU[h]);
+                EXPECT_TRUE(bV[h] == bU[h]);
+            }
+        }
+    }
 }
 
 } // namespace

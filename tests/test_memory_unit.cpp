@@ -271,5 +271,54 @@ TEST(MemoryUnit, TemporalChainReadableViaForwardMode)
     EXPECT_GT(cosineSimilarity(out.readVectors[0], p2), 0.9);
 }
 
+TEST(MemoryUnit, LinkageSkipChurnAcrossEpisodeResets)
+{
+    // Allocation-gated writes are exactly one-hot, so each step of an
+    // episode activates at most one new linkage row: the sparse sweep
+    // must skip nearly everything early in every episode, rows never
+    // written since the reset must stay bit-zero, and reset() must
+    // return the active set to empty each cycle.
+    const DncConfig cfg = smallConfig();
+    const Index n = cfg.memoryRows;
+    MemoryUnit mu(cfg);
+    Rng rng(9);
+
+    for (int episode = 0; episode < 3; ++episode) {
+        ASSERT_EQ(mu.linkage().activeRowCount(), 0u);
+
+        std::vector<bool> written(n, false);
+        const int steps = 6;
+        for (int t = 0; t < steps; ++t) {
+            const std::uint64_t before =
+                mu.profiler().at(Kernel::Linkage).skippedRows;
+            const MemoryReadout out =
+                mu.step(writeIface(cfg, rng.normalVector(cfg.memoryWidth)));
+            written[out.writeWeighting.argmax()] = true;
+            // At most t rows carried mass and one more is written, so
+            // the fused sweep skips at least n - t - 1 rows this step.
+            EXPECT_GE(mu.profiler().at(Kernel::Linkage).skippedRows - before,
+                      static_cast<std::uint64_t>(n - t - 1));
+        }
+
+        EXPECT_LE(mu.linkage().activeRowCount(),
+                  static_cast<Index>(steps));
+        const Matrix &link = mu.linkage().linkage();
+        for (Index i = 0; i < n; ++i) {
+            if (written[i])
+                continue;
+            // Never written this episode: row and column i are exactly
+            // zero and the row carries no cached mass.
+            EXPECT_DOUBLE_EQ(mu.linkage().rowMass()[i], 0.0);
+            for (Index j = 0; j < n; ++j) {
+                EXPECT_DOUBLE_EQ(link(i, j), 0.0);
+                EXPECT_DOUBLE_EQ(link(j, i), 0.0);
+            }
+        }
+
+        mu.reset();
+        EXPECT_EQ(mu.linkage().activeRowCount(), 0u);
+    }
+}
+
 } // namespace
 } // namespace hima

@@ -700,11 +700,20 @@ class ShardRecoveryGolden
           std::tuple<ClusterTransport, int, bool>>
 {};
 
-TEST_P(ShardRecoveryGolden, KilledWorkersRestoreBitIdenticalToUndisturbed)
+/**
+ * The scripted-kill recovery body, parameterized additionally on the
+ * linkage skip threshold: at a positive threshold the sparse sweep's
+ * skip decisions derive from the row-mass cache, which the restore
+ * path must rebuild bit-identically from the checkpointed matrix (and
+ * the v4 handshake must carry the knob to respawned workers).
+ */
+void
+runRecoveryGolden(ClusterTransport transport, int tiles, bool fixedPoint,
+                  Real linkageSkipThreshold)
 {
-    const auto [transport, tiles, fixedPoint] = GetParam();
     DncConfig cfg = gridConfig(tiles, 1, fixedPoint);
     cfg.shardCheckpointIntervalSteps = 4;
+    cfg.linkageSkipThreshold = linkageSkipThreshold;
 
     LocalShardCluster stack = makeLocalCluster(transport, cfg, tiles, 2);
     ASSERT_TRUE(stack.coordinator != nullptr);
@@ -758,6 +767,19 @@ TEST_P(ShardRecoveryGolden, KilledWorkersRestoreBitIdenticalToUndisturbed)
     EXPECT_EQ(harness->workers.size(), 2u); // one replacement per kill
     // Checkpoints land at steps 4, 8, 12 and 16.
     EXPECT_EQ(stack.coordinator->checkpointsTaken(), 4u);
+}
+
+TEST_P(ShardRecoveryGolden, KilledWorkersRestoreBitIdenticalToUndisturbed)
+{
+    const auto [transport, tiles, fixedPoint] = GetParam();
+    runRecoveryGolden(transport, tiles, fixedPoint,
+                      /*linkageSkipThreshold=*/0.0);
+}
+
+TEST(ShardRecoveryLinkageSkim, NonzeroThresholdRestoresBitIdentical)
+{
+    runRecoveryGolden(ClusterTransport::UnixSocket, 4, false,
+                      /*linkageSkipThreshold=*/1e-6);
 }
 
 INSTANTIATE_TEST_SUITE_P(

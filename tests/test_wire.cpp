@@ -66,6 +66,7 @@ TEST(Wire, HelloRoundTrip)
     cfg.fixedPoint = true;
     cfg.skimRate = 0.25;
     cfg.writeSkipThreshold = 1e-9;
+    cfg.linkageSkipThreshold = 1e-6;
     cfg.approximateSoftmax = true;
     cfg.softmaxSegments = 12;
     cfg.numThreads = 4;
@@ -87,6 +88,7 @@ TEST(Wire, HelloRoundTrip)
     EXPECT_EQ(back.softmaxSegments, cfg.softmaxSegments);
     EXPECT_EQ(back.skimRate, cfg.skimRate);
     EXPECT_EQ(back.writeSkipThreshold, cfg.writeSkipThreshold);
+    EXPECT_EQ(back.linkageSkipThreshold, cfg.linkageSkipThreshold);
     EXPECT_EQ(back.numThreads, cfg.numThreads);
 }
 
