@@ -31,6 +31,7 @@
 #include "common/bench_env.h"
 #include "common/stats.h"
 #include "dnc/dnc.h"
+#include "obs/obs.h"
 #include "serve/router.h"
 #include "workload/arrival.h"
 
@@ -317,8 +318,13 @@ main(int argc, char **argv)
             r.p95QueueSteps, r.requestsPerSec, r.laneStepsPerSec,
             i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n");
-    std::fprintf(json, "}\n");
+    std::fprintf(json, "  ],\n");
+    // The router.* series accumulated across every load point above.
+    obs::Snapshot telemetry;
+    obs::processSnapshot(telemetry);
+    std::fprintf(json, "  \"telemetry\": ");
+    writeTelemetrySnapshot(json, telemetry);
+    std::fprintf(json, "\n}\n");
     std::fclose(json);
     std::printf("wrote BENCH_router.json (%zu load points)\n",
                 results.size());

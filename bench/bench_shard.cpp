@@ -45,6 +45,7 @@
 
 #include "common/bench_env.h"
 #include "common/random.h"
+#include "obs/obs.h"
 #include "shard/local_cluster.h"
 
 namespace hima {
@@ -244,14 +245,8 @@ void
 diffStats(const Channel &chan, const WireTrafficStats &sentBase,
           const WireTrafficStats &recvBase, Point &p)
 {
-    for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
-        p.sent.frames[t] += chan.sentStats().frames[t] - sentBase.frames[t];
-        p.sent.bytes[t] += chan.sentStats().bytes[t] - sentBase.bytes[t];
-        p.received.frames[t] +=
-            chan.receivedStats().frames[t] - recvBase.frames[t];
-        p.received.bytes[t] +=
-            chan.receivedStats().bytes[t] - recvBase.bytes[t];
-    }
+    p.sent += chan.sentStats().diffFrom(sentBase);
+    p.received += chan.receivedStats().diffFrom(recvBase);
 }
 
 Point
@@ -453,19 +448,13 @@ writeWireStats(FILE *json, const Point &p)
 {
     std::fprintf(json, "\"wire_per_step\": {");
     bool firstType = true;
-    for (std::size_t t = 1; t < kMsgTypeCount; ++t) {
-        const std::uint64_t frames =
-            p.sent.frames[t] + p.received.frames[t];
-        if (frames == 0)
-            continue;
+    for (const WireTrafficRow &row :
+         wireTrafficRows(p.sent, p.received, p.statSteps)) {
         std::fprintf(json,
                      "%s\"%s\": {\"frames\": %.3f, \"bytes_out\": %.1f, "
                      "\"bytes_in\": %.1f}",
-                     firstType ? "" : ", ",
-                     msgTypeName(static_cast<MsgType>(t)),
-                     static_cast<double>(frames) / p.statSteps,
-                     static_cast<double>(p.sent.bytes[t]) / p.statSteps,
-                     static_cast<double>(p.received.bytes[t]) / p.statSteps);
+                     firstType ? "" : ", ", row.name, row.framesPerStep,
+                     row.bytesOutPerStep, row.bytesInPerStep);
         firstType = false;
     }
     std::fprintf(json, "}");
@@ -667,8 +656,14 @@ main(int argc, char **argv)
                      r.interval, r.stepMs, r.recoveryMs,
                      i + 1 < recoveries.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n");
-    std::fprintf(json, "}\n");
+    std::fprintf(json, "  ],\n");
+    // The process registry accumulated over every point above (workers
+    // run in-process here): the run's own telemetry, machine-readable.
+    obs::Snapshot telemetry;
+    obs::processSnapshot(telemetry);
+    std::fprintf(json, "  \"telemetry\": ");
+    writeTelemetrySnapshot(json, telemetry);
+    std::fprintf(json, "\n}\n");
     std::fclose(json);
     std::printf("wrote BENCH_shard.json (%zu points)\n", points.size());
     return 0;

@@ -10,6 +10,7 @@
 #define HIMA_EXAMPLES_DEMO_UTIL_H
 
 #include <cstdlib>
+#include <cstring>
 
 #include "dnc/dnc_config.h"
 
@@ -48,6 +49,27 @@ positiveRealArg(int argc, char **argv, int index, double fallback)
     if (end == argv[index] || *end != '\0' || v <= 0.0)
         return 0.0;
     return v;
+}
+
+/**
+ * Extract `NAME N` from anywhere in argv (value in the following
+ * slot). When present both slots are spliced out — argc shrinks by 2 —
+ * so the demos' positional parsing never sees the flag. Returns N, or
+ * `fallback` when the flag is absent, or 0 on a malformed value.
+ */
+inline Index
+extractFlag(int &argc, char **argv, const char *name, Index fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) != 0)
+            continue;
+        const Index value = parsePositive(argv[i + 1]);
+        for (int j = i; j + 2 < argc; ++j)
+            argv[j] = argv[j + 2];
+        argc -= 2;
+        return value;
+    }
+    return fallback;
 }
 
 /**

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/obs.h"
 #include "serve/router.h"
 #include "workload/arrival.h"
 
@@ -33,6 +34,11 @@ int
 main(int argc, char **argv)
 {
     using namespace hima;
+
+    // --stats-interval N: print the router's telemetry registry every N
+    // steps and dump the Prometheus text at exit.
+    const Index statsInterval =
+        extractFlag(argc, argv, "--stats-interval", 0);
 
     DncConfig cfg = demoServeConfig();
     cfg.batchSize = positiveArg(argc, argv, 1, 8);
@@ -88,6 +94,21 @@ main(int argc, char **argv)
                             router.now(), router.activeRequests(),
                             router.queuedRequests(),
                             router.completed().size());
+            if (statsInterval != 0 && router.now() % statsInterval == 0) {
+                obs::Snapshot snap;
+                obs::processSnapshot(snap);
+                const obs::SnapshotEntry *steps =
+                    snap.find("router.steps");
+                const obs::SnapshotEntry *nanos =
+                    snap.find("router.step_nanos");
+                std::printf("  [stats] router.steps=%llu  step p95=%llu "
+                            "ns  series=%zu\n",
+                            static_cast<unsigned long long>(
+                                steps ? steps->counter : 0),
+                            static_cast<unsigned long long>(
+                                nanos ? nanos->hist.percentile(0.95) : 0),
+                            snap.entries.size());
+            }
         }
 
         std::vector<double> latency, queueing;
@@ -107,6 +128,15 @@ main(int argc, char **argv)
                     "(queue-wait p95: %.0f)\n\n",
                     lat[0], lat[1], lat[2],
                     percentile(std::move(queueing), 0.95));
+    }
+
+    if (statsInterval != 0) {
+        obs::Snapshot snap;
+        obs::processSnapshot(snap);
+        std::string text;
+        obs::renderPrometheus(snap, text);
+        std::printf("telemetry registry (Prometheus text):\n%s",
+                    text.c_str());
     }
     return 0;
 }

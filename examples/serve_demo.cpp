@@ -11,10 +11,11 @@
  * independently and (b) the whole batch steps at a per-lane rate a
  * sequential serve loop cannot match.
  *
- *   usage: serve_demo [batch] [threads] [steps]
+ *   usage: serve_demo [batch] [threads] [steps] [--stats-interval N]
  *     batch    concurrent sessions (default 8)
  *     threads  pool threads        (default 2)
  *     steps    batch steps to run  (default 200)
+ *     --stats-interval N  print telemetry every N steps (default off)
  */
 
 #include <chrono>
@@ -23,6 +24,8 @@
 #include <vector>
 
 #include "common/random.h"
+#include "dnc/kernel_profiler.h"
+#include "obs/obs.h"
 #include "serve/batched_dnc.h"
 
 #include "demo_util.h"
@@ -31,6 +34,11 @@ int
 main(int argc, char **argv)
 {
     using namespace hima;
+
+    // --stats-interval N: print a kernel-telemetry line every N steps
+    // and dump the Prometheus text at exit.
+    const Index statsInterval =
+        extractFlag(argc, argv, "--stats-interval", 0);
 
     DncConfig cfg = demoServeConfig();
     // 8 concurrent sessions across 2 pool threads by default; argv
@@ -68,6 +76,23 @@ main(int argc, char **argv)
                 0.1 * static_cast<Real>(b + 1);
         }
         engine.stepInto(inputs, outputs);
+        if (statsInterval != 0 &&
+            (step + 1) % static_cast<int>(statsInterval) == 0) {
+            KernelProfiler total;
+            for (Index b = 0; b < cfg.batchSize; ++b)
+                total.merge(engine.laneMemory(b).profiler());
+            obs::Snapshot snap;
+            obs::processSnapshot(snap);
+            obs::importKernelProfiler(snap, total);
+            const obs::SnapshotEntry *nanos =
+                snap.find("kernel.total.nanoseconds");
+            std::printf("  [stats] step %d: kernel total %.1f ms, "
+                        "series=%zu\n",
+                        step + 1,
+                        static_cast<double>(nanos ? nanos->counter : 0) *
+                            1e-6,
+                        snap.entries.size());
+        }
     }
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -86,5 +111,18 @@ main(int argc, char **argv)
                 static_cast<double>(kSteps) *
                     static_cast<double>(cfg.batchSize) / seconds,
                 engine.batchSize());
+
+    if (statsInterval != 0) {
+        KernelProfiler total;
+        for (Index b = 0; b < cfg.batchSize; ++b)
+            total.merge(engine.laneMemory(b).profiler());
+        obs::Snapshot snap;
+        obs::processSnapshot(snap);
+        obs::importKernelProfiler(snap, total);
+        std::string text;
+        obs::renderPrometheus(snap, text);
+        std::printf("\ntelemetry registry (Prometheus text):\n%s",
+                    text.c_str());
+    }
     return 0;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "obs/obs.h"
 #include "shard/coordinator.h"
 #include "shard/worker.h"
 #include "workload/retrieval.h"
@@ -80,6 +81,11 @@ main(int argc, char **argv)
     Index workers = 2;
     Index steps = 64;
     std::vector<std::string> addrs;
+
+    // --stats-interval N: scrape the whole fleet's telemetry every N
+    // cross-check steps and dump the aggregate at exit.
+    const Index statsInterval =
+        extractFlag(argc, argv, "--stats-interval", 0);
 
     int arg = 1;
     if (argc > 1 && std::strcmp(argv[1], "--connect") == 0) {
@@ -192,6 +198,8 @@ main(int argc, char **argv)
     DncD ref(cfg, tiles);
     Rng rng(2026);
     Index mismatches = 0;
+    std::vector<obs::Snapshot> perWorker;
+    obs::Snapshot fleet;
     for (Index s = 0; s < steps; ++s) {
         InterfaceVector iface;
         {
@@ -207,6 +215,16 @@ main(int argc, char **argv)
         for (Index h = 0; h < cfg.readHeads; ++h)
             if (!(a.readVectors[h] == b.readVectors[h]))
                 ++mismatches;
+        if (statsInterval != 0 && (s + 1) % statsInterval == 0) {
+            coordinator->scrapeWorkers(perWorker, fleet);
+            const obs::SnapshotEntry *served =
+                fleet.find("worker.steps_served");
+            std::printf("  [stats @ step %zu] fleet series: %zu, worker "
+                        "steps served: %llu\n",
+                        s + 1, fleet.entries.size(),
+                        static_cast<unsigned long long>(
+                            served ? served->counter : 0));
+        }
     }
     std::printf("\ncross-check vs in-process DncD: %zu steps, %zu "
                 "mismatching read vectors %s\n",
@@ -230,28 +248,16 @@ main(int argc, char **argv)
     std::printf("\n%zu merge round trips in %.3f s = %.1f steps/s\n",
                 steps, seconds, static_cast<double>(steps) / seconds);
     std::printf("wire traffic per step, by message type:\n");
-    for (std::size_t t = 1; t < kMsgTypeCount; ++t) {
-        std::uint64_t frames = 0, bytesOut = 0, bytesIn = 0;
-        for (Index k = 0; k < coordinator->channelCount(); ++k) {
-            const Channel &chan = coordinator->channel(k);
-            frames += chan.sentStats().frames[t] - sentBase[k].frames[t] +
-                      chan.receivedStats().frames[t] -
-                      recvBase[k].frames[t];
-            bytesOut += chan.sentStats().bytes[t] - sentBase[k].bytes[t];
-            bytesIn +=
-                chan.receivedStats().bytes[t] - recvBase[k].bytes[t];
-        }
-        if (frames == 0)
-            continue;
-        std::printf("  %-13s %5.1f frames  %8.1f B out  %8.1f B in\n",
-                    msgTypeName(static_cast<MsgType>(t)),
-                    static_cast<double>(frames) /
-                        static_cast<double>(steps),
-                    static_cast<double>(bytesOut) /
-                        static_cast<double>(steps),
-                    static_cast<double>(bytesIn) /
-                        static_cast<double>(steps));
+    WireTrafficStats sentDiff, recvDiff;
+    for (Index k = 0; k < coordinator->channelCount(); ++k) {
+        const Channel &chan = coordinator->channel(k);
+        sentDiff += chan.sentStats().diffFrom(sentBase[k]);
+        recvDiff += chan.receivedStats().diffFrom(recvBase[k]);
     }
+    std::string table;
+    formatWireTrafficTable(sentDiff, recvDiff,
+                           static_cast<double>(steps), table);
+    std::fputs(table.c_str(), stdout);
 
     // 4. Kill + recover (loopback mode): a worker dies mid-stream; the
     //    coordinator respawns a replacement, restores the last
@@ -286,6 +292,16 @@ main(int argc, char **argv)
                     faultMismatches == 0 ? "bit-identical (recovered)"
                                          : "DIVERGED (BUG!)");
         mismatches += faultMismatches;
+    }
+
+    // Final fleet scrape: every worker's registry merged with this
+    // process's, rendered as the Prometheus text a scraper would pull.
+    if (statsInterval != 0) {
+        coordinator->scrapeWorkers(perWorker, fleet);
+        std::string text;
+        obs::renderPrometheus(fleet, text);
+        std::printf("\nfleet telemetry (%zu workers + coordinator):\n%s",
+                    perWorker.size(), text.c_str());
     }
     return mismatches == 0 ? 0 : 1;
 }

@@ -30,4 +30,38 @@ writeBenchContext(std::FILE *json)
     std::fprintf(json, "  \"git_sha\": \"%s\",\n", buildGitSha());
 }
 
+void
+writeTelemetrySnapshot(std::FILE *json, const obs::Snapshot &snapshot)
+{
+    std::fprintf(json, "{");
+    bool first = true;
+    for (const obs::SnapshotEntry &e : snapshot.entries) {
+        std::fprintf(json, "%s\"%s\": ", first ? "" : ", ",
+                     e.name.c_str());
+        switch (e.kind) {
+        case obs::MetricKind::Counter:
+            std::fprintf(json, "%llu",
+                         static_cast<unsigned long long>(e.counter));
+            break;
+        case obs::MetricKind::Gauge:
+            std::fprintf(json, "%lld", static_cast<long long>(e.gauge));
+            break;
+        case obs::MetricKind::Histogram:
+            std::fprintf(
+                json,
+                "{\"count\": %llu, \"mean\": %.1f, \"p50\": %llu, "
+                "\"p95\": %llu, \"p99\": %llu, \"max\": %llu}",
+                static_cast<unsigned long long>(e.hist.count),
+                e.hist.mean(),
+                static_cast<unsigned long long>(e.hist.percentile(0.50)),
+                static_cast<unsigned long long>(e.hist.percentile(0.95)),
+                static_cast<unsigned long long>(e.hist.percentile(0.99)),
+                static_cast<unsigned long long>(e.hist.max));
+            break;
+        }
+        first = false;
+    }
+    std::fprintf(json, "}");
+}
+
 } // namespace hima

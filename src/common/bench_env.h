@@ -14,6 +14,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace hima {
 
 /** Hardware threads visible to this process (always >= 1). */
@@ -31,6 +33,14 @@ const char *buildGitSha();
  * the opening brace.
  */
 void writeBenchContext(std::FILE *json);
+
+/**
+ * Write a telemetry snapshot as one JSON object keyed by metric name:
+ * counters and gauges as bare integers, histograms as
+ * {count, mean, p50, p95, p99, max} summaries. The shared shape every
+ * BENCH_*.json telemetry row uses.
+ */
+void writeTelemetrySnapshot(std::FILE *json, const obs::Snapshot &snapshot);
 
 /**
  * Shared timing loop of the bench harnesses: run `stepFn` once to warm

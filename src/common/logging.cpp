@@ -1,19 +1,64 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace hima {
 
 namespace {
 
+/**
+ * Assemble "<prefix><formatted message>\n" into one buffer and emit it
+ * with a single fwrite so concurrent loggers (worker threads, the
+ * coordinator, transport callbacks) never interleave mid-message.
+ * POSIX guarantees stdio operations are atomic with respect to each
+ * other (flockfile), but only per *call* — the old prefix/body/newline
+ * triple of calls interleaved corruptly under load.
+ *
+ * Messages longer than the stack buffer are truncated with a marker;
+ * log lines that long are a bug of their own.
+ */
 void
-vreport(FILE *stream, const char *tag, const char *fmt, va_list args)
+emitLine(FILE *stream, const char *prefix, const char *fmt, va_list args)
 {
-    std::fprintf(stream, "%s: ", tag);
-    std::vfprintf(stream, fmt, args);
-    std::fprintf(stream, "\n");
+    char buf[2048];
+    std::size_t len = 0;
+
+    const int p = std::snprintf(buf, sizeof(buf), "%s", prefix);
+    if (p > 0)
+        len = std::min(static_cast<std::size_t>(p), sizeof(buf) - 1);
+
+    const int n = std::vsnprintf(buf + len, sizeof(buf) - len, fmt, args);
+    if (n > 0)
+        len = std::min(len + static_cast<std::size_t>(n), sizeof(buf) - 1);
+
+    if (len == sizeof(buf) - 1) {
+        static const char marker[] = "...[truncated]";
+        std::memcpy(buf + sizeof(buf) - sizeof(marker), marker,
+                    sizeof(marker));
+        len = sizeof(buf) - 1; // the '\n' below replaces the NUL
+    }
+    buf[len++] = '\n';
+
+    std::fwrite(buf, 1, len, stream);
     std::fflush(stream);
+}
+
+void
+emitPrefixed(FILE *stream, const char *kind, const char *file, int line,
+             const char *cond, const char *fmt, va_list args)
+{
+    char prefix[512];
+    if (cond != nullptr)
+        std::snprintf(prefix, sizeof(prefix),
+                      "%s: (%s:%d) assertion '%s' failed: ", kind, file,
+                      line, cond);
+    else
+        std::snprintf(prefix, sizeof(prefix), "%s: (%s:%d) ", kind, file,
+                      line);
+    emitLine(stream, prefix, fmt, args);
 }
 
 } // namespace
@@ -23,9 +68,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "panic: (%s:%d) ", file, line);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    emitPrefixed(stderr, "panic", file, line, nullptr, fmt, args);
     va_end(args);
     std::abort();
 }
@@ -36,10 +79,7 @@ assertFailImpl(const char *file, int line, const char *cond,
 {
     va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "panic: (%s:%d) assertion '%s' failed: ", file,
-                 line, cond);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    emitPrefixed(stderr, "panic", file, line, cond, fmt, args);
     va_end(args);
     std::abort();
 }
@@ -49,9 +89,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    std::fprintf(stderr, "fatal: (%s:%d) ", file, line);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    emitPrefixed(stderr, "fatal", file, line, nullptr, fmt, args);
     va_end(args);
     std::exit(1);
 }
@@ -61,7 +99,7 @@ warnImpl(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport(stderr, "warn", fmt, args);
+    emitLine(stderr, "warn: ", fmt, args);
     va_end(args);
 }
 
@@ -70,7 +108,7 @@ informImpl(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport(stdout, "info", fmt, args);
+    emitLine(stdout, "info: ", fmt, args);
     va_end(args);
 }
 

@@ -26,7 +26,11 @@ RunningStat::add(Real x)
 Real
 RunningStat::variance() const
 {
-    return count_ ? m2_ / static_cast<Real>(count_) : 0.0;
+    // A single sample has no spread, and m2_ can carry a tiny negative
+    // rounding residue there; guard rather than divide.
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<Real>(count_);
 }
 
 Real

@@ -136,6 +136,30 @@ struct DncConfig
     Real linkageSkipThreshold = 0.0;
 
     /**
+     * Runtime metrics toggle (src/obs): counters/gauges/histograms are
+     * recorded while true. Off, every metric write is one predictable
+     * branch; compiled with HIMA_TELEMETRY=OFF the writes vanish
+     * entirely and this knob is ignored.
+     */
+    bool telemetryMetrics = true;
+
+    /**
+     * Phase-trace toggle (src/obs): record begin/end span events from
+     * the Router/shard/transport phases into per-thread rings,
+     * exportable as Chrome trace JSON (Perfetto). Defaults off —
+     * tracing costs a clock read per span edge, which is measurable on
+     * nanosecond-scale phases.
+     */
+    bool telemetryTracing = false;
+
+    /**
+     * Per-thread trace ring capacity in events; a thread's oldest
+     * events are overwritten once it has emitted this many. Applies to
+     * rings created after obs::applyTelemetryConfig runs. Must be >= 1.
+     */
+    Index telemetryTraceCapacity = 4096;
+
+    /**
      * Bench/test escape hatch: force the dense full-N linkage sweep,
      * ignoring row activity entirely. The cross-check gates and the
      * `linkage_skip_sweep` bench use it as the reference/baseline; it
@@ -191,6 +215,8 @@ struct DncConfig
         if (linkageSkipThreshold < 0.0 || linkageSkipThreshold >= 1.0)
             HIMA_FATAL("DncConfig: linkage skip threshold %f outside [0, 1)",
                        linkageSkipThreshold);
+        if (telemetryTraceCapacity == 0)
+            HIMA_FATAL("DncConfig: telemetryTraceCapacity must be >= 1");
         if (linkageDenseSweep && linkageSkipThreshold > 0.0)
             HIMA_FATAL("DncConfig: linkageDenseSweep ignores row activity; "
                        "combining it with a nonzero linkageSkipThreshold "

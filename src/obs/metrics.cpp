@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Metrics core out-of-line parts: thread shard assignment, the log
+ * bucket maps, shard merging, the process-wide registry, and the
+ * Prometheus text renderer.
+ */
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace hima {
+namespace obs {
+
+#ifndef HIMA_OBS_DISABLED
+namespace detail {
+std::atomic<bool> g_metricsEnabled{true};
+}
+#endif
+
+unsigned
+threadShard()
+{
+    // Threads claim shard slots round-robin on first touch; processes
+    // with more than kMaxShards concurrent threads fold onto existing
+    // slots, which stays correct (cells are atomic) at the price of
+    // some write sharing.
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kMaxShards;
+    return slot;
+}
+
+unsigned
+histogramBucket(std::uint64_t value)
+{
+    if (value < 8)
+        return static_cast<unsigned>(value);
+    const unsigned msb = std::bit_width(value) - 1; // >= 3
+    const unsigned sub =
+        static_cast<unsigned>((value >> (msb - 3)) & 7u);
+    return 8 + (msb - 3) * 8 + sub;
+}
+
+std::uint64_t
+histogramBucketUpperBound(unsigned b)
+{
+    if (b < 8)
+        return b;
+    if (b >= kHistogramBuckets)
+        b = kHistogramBuckets - 1;
+    const unsigned msb = (b - 8) / 8 + 3;
+    const unsigned sub = (b - 8) % 8;
+    const std::uint64_t width = std::uint64_t{1} << (msb - 3);
+    const std::uint64_t lower =
+        (std::uint64_t{1} << msb) + sub * width;
+    return lower + (width - 1);
+}
+
+std::uint64_t
+HistogramStats::percentile(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q <= 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest rank: the ceil(q * count)-th smallest sample, at least
+    // the 1st.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count) + 0.9999999999);
+    if (rank == 0)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            const std::uint64_t bound = histogramBucketUpperBound(b);
+            return bound < max ? bound : max;
+        }
+    }
+    return max;
+}
+
+void
+HistogramStats::merge(const HistogramStats &other)
+{
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max)
+        max = other.max;
+    for (unsigned b = 0; b < kHistogramBuckets; ++b)
+        buckets[b] += other.buckets[b];
+}
+
+void
+Histogram::read(HistogramStats &out) const
+{
+    out = HistogramStats{};
+    for (const Shard &shard : shards_) {
+        for (unsigned b = 0; b < kHistogramBuckets; ++b) {
+            const std::uint64_t n =
+                shard.buckets[b].load(std::memory_order_relaxed);
+            out.buckets[b] += n;
+            out.count += n;
+        }
+        out.sum += shard.sum.load(std::memory_order_relaxed);
+        const std::uint64_t m =
+            shard.max.load(std::memory_order_relaxed);
+        if (m > out.max)
+            out.max = m;
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (Shard &shard : shards_) {
+        for (unsigned b = 0; b < kHistogramBuckets; ++b)
+            shard.buckets[b].store(0, std::memory_order_relaxed);
+        shard.sum.store(0, std::memory_order_relaxed);
+        shard.max.store(0, std::memory_order_relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+const SnapshotEntry *
+Snapshot::find(const std::string &name) const
+{
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), name,
+        [](const SnapshotEntry &e, const std::string &n) {
+            return e.name < n;
+        });
+    if (it == entries.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+SnapshotEntry &
+Snapshot::upsert(const std::string &name, MetricKind kind)
+{
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), name,
+        [](const SnapshotEntry &e, const std::string &n) {
+            return e.name < n;
+        });
+    if (it != entries.end() && it->name == name) {
+        if (it->kind != kind)
+            HIMA_WARN("obs: metric '%s' scraped with conflicting kinds",
+                      name.c_str());
+        return *it;
+    }
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.kind = kind;
+    return *entries.insert(it, std::move(entry));
+}
+
+void
+Snapshot::addCounter(const std::string &name, std::uint64_t value)
+{
+    upsert(name, MetricKind::Counter).counter += value;
+}
+
+void
+Snapshot::addGauge(const std::string &name, std::int64_t value)
+{
+    upsert(name, MetricKind::Gauge).gauge += value;
+}
+
+void
+Snapshot::addHistogram(const std::string &name, const HistogramStats &h)
+{
+    upsert(name, MetricKind::Histogram).hist.merge(h);
+}
+
+void
+Snapshot::merge(const Snapshot &other)
+{
+    for (const SnapshotEntry &e : other.entries) {
+        switch (e.kind) {
+          case MetricKind::Counter:
+            addCounter(e.name, e.counter);
+            break;
+          case MetricKind::Gauge:
+            addGauge(e.name, e.gauge);
+            break;
+          case MetricKind::Histogram:
+            addHistogram(e.name, e.hist);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+struct Registry::Impl
+{
+    struct Slot
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    std::mutex mutex;                 ///< guards registration only
+    std::map<std::string, Slot> slots; ///< sorted — snapshots come out
+                                       ///< name-ordered for free
+};
+
+Registry &
+Registry::instance()
+{
+    // Leaked on purpose: metrics outlive every static destructor that
+    // might still want to bump a counter during shutdown.
+    static Registry *registry = new Registry;
+    return *registry;
+}
+
+Registry::Impl &
+Registry::impl() const
+{
+    static Impl *impl = new Impl;
+    return *impl;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    Impl::Slot &slot = i.slots[name];
+    if (!slot.counter) {
+        if (slot.gauge || slot.histogram)
+            HIMA_FATAL("obs: metric '%s' re-registered as a counter",
+                       name.c_str());
+        slot.kind = MetricKind::Counter;
+        slot.counter = std::make_unique<Counter>();
+    }
+    return *slot.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    Impl::Slot &slot = i.slots[name];
+    if (!slot.gauge) {
+        if (slot.counter || slot.histogram)
+            HIMA_FATAL("obs: metric '%s' re-registered as a gauge",
+                       name.c_str());
+        slot.kind = MetricKind::Gauge;
+        slot.gauge = std::make_unique<Gauge>();
+    }
+    return *slot.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    Impl::Slot &slot = i.slots[name];
+    if (!slot.histogram) {
+        if (slot.counter || slot.gauge)
+            HIMA_FATAL("obs: metric '%s' re-registered as a histogram",
+                       name.c_str());
+        slot.kind = MetricKind::Histogram;
+        slot.histogram = std::make_unique<Histogram>();
+    }
+    return *slot.histogram;
+}
+
+void
+Registry::snapshot(Snapshot &out) const
+{
+    out.clear();
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    out.entries.reserve(i.slots.size());
+    for (const auto &[name, slot] : i.slots) {
+        SnapshotEntry entry;
+        entry.name = name;
+        entry.kind = slot.kind;
+        switch (slot.kind) {
+          case MetricKind::Counter:
+            entry.counter = slot.counter->total();
+            break;
+          case MetricKind::Gauge:
+            entry.gauge = slot.gauge->value();
+            break;
+          case MetricKind::Histogram:
+            slot.histogram->read(entry.hist);
+            break;
+        }
+        out.entries.push_back(std::move(entry));
+    }
+}
+
+void
+Registry::resetAll()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    for (auto &[name, slot] : i.slots) {
+        (void)name;
+        if (slot.counter)
+            slot.counter->reset();
+        if (slot.gauge)
+            slot.gauge->set(0);
+        if (slot.histogram)
+            slot.histogram->reset();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** "shard.tx.frames" -> "hima_shard_tx_frames". */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "hima_";
+    out.reserve(out.size() + name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void
+appendLine(std::string &out, const char *fmt, ...)
+{
+    char line[256];
+    va_list args;
+    va_start(args, fmt);
+    vsnprintf(line, sizeof(line), fmt, args);
+    va_end(args);
+    out += line;
+}
+
+} // namespace
+
+void
+renderPrometheus(const Snapshot &snapshot, std::string &out)
+{
+    for (const SnapshotEntry &e : snapshot.entries) {
+        const std::string n = promName(e.name);
+        switch (e.kind) {
+          case MetricKind::Counter:
+            appendLine(out, "# TYPE %s counter\n", n.c_str());
+            appendLine(out, "%s %" PRIu64 "\n", n.c_str(), e.counter);
+            break;
+          case MetricKind::Gauge:
+            appendLine(out, "# TYPE %s gauge\n", n.c_str());
+            appendLine(out, "%s %" PRId64 "\n", n.c_str(), e.gauge);
+            break;
+          case MetricKind::Histogram:
+            appendLine(out, "# TYPE %s summary\n", n.c_str());
+            appendLine(out, "%s_count %" PRIu64 "\n", n.c_str(),
+                       e.hist.count);
+            appendLine(out, "%s_sum %" PRIu64 "\n", n.c_str(),
+                       e.hist.sum);
+            appendLine(out, "%s_max %" PRIu64 "\n", n.c_str(),
+                       e.hist.max);
+            appendLine(out, "%s{quantile=\"0.5\"} %" PRIu64 "\n",
+                       n.c_str(), e.hist.percentile(0.50));
+            appendLine(out, "%s{quantile=\"0.95\"} %" PRIu64 "\n",
+                       n.c_str(), e.hist.percentile(0.95));
+            appendLine(out, "%s{quantile=\"0.99\"} %" PRIu64 "\n",
+                       n.c_str(), e.hist.percentile(0.99));
+            break;
+        }
+    }
+}
+
+} // namespace obs
+} // namespace hima

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Allocation-free runtime metrics: named counters, gauges and
+ * log-bucketed latency histograms usable on the serving hot path.
+ *
+ * Design rules (the standing zero-allocation contract applies to
+ * telemetry exactly as it does to the kernels it observes):
+ *
+ *   - Writes are per-thread-sharded relaxed atomics into pre-sized
+ *     cells: a hot-path add() touches one cache line it (almost
+ *     always) owns, never a lock, never the heap. Threads map onto a
+ *     fixed shard set (kMaxShards); an over-subscribed process folds
+ *     extra threads onto existing shards, which stays correct because
+ *     every cell is atomic.
+ *   - Shards are merged at *scrape* time with plain relaxed loads —
+ *     lock-free on read, never merged on write. Scrapes may run
+ *     concurrently with writers; a snapshot is a consistent-enough
+ *     view for monitoring (each cell is read atomically).
+ *   - Histograms are log-bucketed (8 sub-buckets per octave, <= 12.5%
+ *     bucket width) over a u64 domain — nanosecond latencies fit with
+ *     bucket-resolution percentiles. p50/p95/p99/max are extracted at
+ *     scrape time from the merged buckets; the observed max is exact.
+ *   - Metrics register by '.'-separated name in a process-wide
+ *     Registry (one per process, like the serving engine itself).
+ *     Registration allocates (startup cost); everything after is
+ *     steady-state allocation-free.
+ *   - The whole subsystem is toggleable at runtime
+ *     (setMetricsEnabled / DncConfig::telemetryMetrics) and compiles
+ *     out of the hot loops entirely under HIMA_OBS_DISABLED — the
+ *     enabled() checks become constant-false and dead-code away.
+ *
+ * The Snapshot type doubles as the fleet-scrape interchange record:
+ * the wire StatsReport frame carries one, the coordinator merges many
+ * (counters and histogram buckets sum; gauges sum, which is the fleet
+ * meaning of "queue depth across workers"), and renderPrometheus()
+ * dumps any snapshot as a Prometheus-style text exposition.
+ */
+
+#ifndef HIMA_OBS_METRICS_H
+#define HIMA_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hima {
+namespace obs {
+
+/** Per-thread write shards per metric (threads fold onto these). */
+constexpr unsigned kMaxShards = 16;
+
+/** Exact buckets 0..7, then 8 sub-buckets per octave up to 2^64-1. */
+constexpr unsigned kHistogramBuckets = 8 + 61 * 8;
+
+#ifdef HIMA_OBS_DISABLED
+/** Compiled out: every hot-path guard folds to constant false. */
+inline bool metricsEnabled() { return false; }
+inline void setMetricsEnabled(bool) {}
+#else
+namespace detail {
+extern std::atomic<bool> g_metricsEnabled;
+}
+
+/** Runtime toggle (DncConfig::telemetryMetrics lands here). */
+inline bool
+metricsEnabled()
+{
+    return detail::g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+inline void
+setMetricsEnabled(bool on)
+{
+    detail::g_metricsEnabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+/** Stable small shard index for the calling thread (mod kMaxShards). */
+unsigned threadShard();
+
+/** Log-bucket index of a u64 sample (monotone in the sample). */
+unsigned histogramBucket(std::uint64_t value);
+
+/** Largest sample that lands in bucket `b` (inverse of the above). */
+std::uint64_t histogramBucketUpperBound(unsigned b);
+
+/** One cache line of atomic u64 — the unit every shard is made of. */
+struct alignas(64) ShardCell
+{
+    std::atomic<std::uint64_t> value{0};
+};
+
+/** Monotone event count, sharded per thread. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        if (!metricsEnabled())
+            return;
+        cells_[threadShard()].value.fetch_add(delta,
+                                              std::memory_order_relaxed);
+    }
+
+    /** Merged value (relaxed loads across the shards). */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const ShardCell &cell : cells_)
+            sum += cell.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    /** Scrape-side reset (benches differencing around a timed loop). */
+    void
+    reset()
+    {
+        for (ShardCell &cell : cells_)
+            cell.value.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<ShardCell, kMaxShards> cells_{};
+};
+
+/**
+ * Point-in-time level (queue depth, in-flight window, active lanes).
+ * A single atomic cell: gauges have one logical writer per series in
+ * this stack, and set() semantics do not shard.
+ */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        if (!metricsEnabled())
+            return;
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        if (!metricsEnabled())
+            return;
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/** Merged scrape view of one histogram (also the wire/merge record). */
+struct HistogramStats
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0; ///< exact observed maximum
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+    /**
+     * Nearest-rank percentile over the log buckets, q in (0, 1]:
+     * the upper bound of the first bucket whose cumulative count
+     * reaches ceil(q * count), clamped to the exact max. Zero when
+     * empty. Buckets 0..7 are exact; above that the bound is within
+     * 12.5% of the true sample.
+     */
+    std::uint64_t percentile(double q) const;
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+
+    void merge(const HistogramStats &other);
+};
+
+/** Log-bucketed u64 histogram, sharded per thread. */
+class Histogram
+{
+  public:
+    void
+    record(std::uint64_t value)
+    {
+        if (!metricsEnabled())
+            return;
+        Shard &shard = shards_[threadShard()];
+        shard.buckets[histogramBucket(value)].fetch_add(
+            1, std::memory_order_relaxed);
+        shard.sum.fetch_add(value, std::memory_order_relaxed);
+        // Monotone max: a stale read only means one extra CAS loop.
+        std::uint64_t seen = shard.max.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !shard.max.compare_exchange_weak(seen, value,
+                                                std::memory_order_relaxed))
+            ;
+    }
+
+    /** Merge every shard into one scrape record (relaxed loads). */
+    void read(HistogramStats &out) const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::array<std::atomic<std::uint64_t>, kHistogramBuckets>
+            buckets{};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> max{0};
+    };
+
+    std::array<Shard, kMaxShards> shards_{};
+};
+
+/** Metric kinds (also the wire encoding of a snapshot entry). */
+enum class MetricKind : std::uint8_t
+{
+    Counter = 0,
+    Gauge = 1,
+    Histogram = 2,
+};
+
+/** One named series in a scrape. */
+struct SnapshotEntry
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t counter = 0; ///< Counter value
+    std::int64_t gauge = 0;    ///< Gauge value
+    HistogramStats hist;       ///< Histogram buckets + extrema
+};
+
+/**
+ * A point-in-time scrape of a registry (or a merge of many): the
+ * interchange record between processes, the input to
+ * renderPrometheus(), and what BENCH JSON telemetry rows serialize.
+ */
+struct Snapshot
+{
+    std::vector<SnapshotEntry> entries; ///< sorted by name
+
+    void clear() { entries.clear(); }
+
+    /** Entry by name; null when absent. */
+    const SnapshotEntry *find(const std::string &name) const;
+
+    /** Find-or-insert keeping the name order (scrape-side only). */
+    SnapshotEntry &upsert(const std::string &name, MetricKind kind);
+
+    void addCounter(const std::string &name, std::uint64_t value);
+    void addGauge(const std::string &name, std::int64_t value);
+    void addHistogram(const std::string &name, const HistogramStats &h);
+
+    /**
+     * Fold another snapshot in: counters and histograms sum; gauges
+     * sum as well — the fleet meaning of a level metric is the total
+     * across workers (per-worker values stay visible in the per-worker
+     * snapshots the scrape also returns).
+     */
+    void merge(const Snapshot &other);
+};
+
+/**
+ * The process-wide registry. counter()/gauge()/histogram() register by
+ * name on first use (under a mutex, allocating) and return a stable
+ * reference — call sites cache it (function-local static or member)
+ * so the hot path never touches the name map again.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Merge every metric's shards into `out` (cleared first). Reads
+     * are relaxed atomic loads — writers are never blocked; the name
+     * table lock only excludes concurrent *registration*.
+     */
+    void snapshot(Snapshot &out) const;
+
+    /** Zero every metric (benches; not for concurrent hot loops). */
+    void resetAll();
+
+  private:
+    Registry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+/**
+ * Prometheus-style text exposition of a snapshot: counters and gauges
+ * one sample line each, histograms as _count/_sum/_max plus p50/p95/
+ * p99 quantile lines. Metric names swap '.' for '_' and gain a
+ * "hima_" prefix. Appended to `out`.
+ */
+void renderPrometheus(const Snapshot &snapshot, std::string &out);
+
+} // namespace obs
+} // namespace hima
+
+#endif // HIMA_OBS_METRICS_H

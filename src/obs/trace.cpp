@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Trace ring implementation and the balanced Chrome-JSON exporter.
+ */
+
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hima {
+namespace obs {
+
+#ifndef HIMA_OBS_DISABLED
+namespace detail {
+std::atomic<bool> g_tracingEnabled{false};
+}
+#endif
+
+namespace {
+
+constexpr std::size_t kDefaultTraceCapacity = 4096;
+
+std::atomic<std::size_t> g_traceCapacity{kDefaultTraceCapacity};
+
+struct TraceEvent
+{
+    const char *name;
+    std::uint64_t tsNanos;
+    std::uint64_t arg;
+    char phase; // 'B', 'E', 'i'
+};
+
+/**
+ * One thread's ring. Emission and export both take the ring's own
+ * mutex — the exporter contends only with the ring's owner, never
+ * with other threads, and the critical section is a couple of stores.
+ */
+struct TraceRing
+{
+    std::mutex mutex;
+    std::vector<TraceEvent> events; ///< pre-sized at creation
+    std::uint64_t head = 0;         ///< total events ever emitted
+    unsigned tid = 0;
+
+    explicit TraceRing(std::size_t capacity, unsigned id) : tid(id)
+    {
+        events.resize(capacity == 0 ? 1 : capacity);
+    }
+
+    void
+    emit(char phase, const char *name, std::uint64_t arg)
+    {
+        const std::uint64_t ts = traceNowNanos();
+        std::lock_guard<std::mutex> lock(mutex);
+        TraceEvent &slot = events[head % events.size()];
+        slot.name = name;
+        slot.tsNanos = ts;
+        slot.arg = arg;
+        slot.phase = phase;
+        ++head;
+    }
+};
+
+struct TraceState
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<TraceRing>> rings;
+    unsigned nextTid = 0;
+};
+
+TraceState &
+traceState()
+{
+    // Leaked: rings of exited threads stay exportable, and emission
+    // during static destruction stays safe.
+    static TraceState *state = new TraceState;
+    return *state;
+}
+
+TraceRing &
+threadRing()
+{
+    thread_local TraceRing *ring = [] {
+        TraceState &state = traceState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.rings.push_back(std::make_unique<TraceRing>(
+            g_traceCapacity.load(std::memory_order_relaxed),
+            state.nextTid++));
+        return state.rings.back().get();
+    }();
+    return *ring;
+}
+
+} // namespace
+
+void
+setTraceCapacity(std::size_t events)
+{
+    g_traceCapacity.store(events == 0 ? 1 : events,
+                          std::memory_order_relaxed);
+}
+
+std::uint64_t
+traceNowNanos()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point start = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - start)
+            .count());
+}
+
+void
+traceBegin(const char *name, std::uint64_t arg)
+{
+    if (!tracingEnabled())
+        return;
+    threadRing().emit('B', name, arg);
+}
+
+void
+traceEnd(const char *name)
+{
+    // No enabled() check: a TraceSpan whose begin was recorded must
+    // record its end even if tracing was toggled off mid-span, or the
+    // export would systematically drop the span.
+    threadRing().emit('E', name, 0);
+}
+
+void
+traceInstant(const char *name, std::uint64_t arg)
+{
+    if (!tracingEnabled())
+        return;
+    threadRing().emit('i', name, arg);
+}
+
+void
+traceReset()
+{
+    TraceState &state = traceState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (auto &ring : state.rings) {
+        std::lock_guard<std::mutex> ringLock(ring->mutex);
+        ring->head = 0;
+    }
+}
+
+namespace {
+
+struct ExportEvent
+{
+    const char *name;
+    std::uint64_t tsNanos;
+    std::uint64_t arg;
+    unsigned tid;
+    char phase;
+};
+
+/** JSON-escape a name (literals are tame, but be safe). */
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            snprintf(buf, sizeof(buf), "\\u%04x",
+                     static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+}
+
+void
+appendEvent(std::string &out, const ExportEvent &e, bool &first)
+{
+    if (!first)
+        out += ",\n";
+    first = false;
+    out += "    {\"name\":\"";
+    appendEscaped(out, e.name);
+    out += "\",\"ph\":\"";
+    out.push_back(e.phase);
+    char buf[160];
+    // Chrome's ts unit is microseconds; keep sub-µs precision as a
+    // fraction (Perfetto accepts fractional ts).
+    snprintf(buf, sizeof(buf),
+             "\",\"pid\":1,\"tid\":%u,\"ts\":%" PRIu64 ".%03u",
+             e.tid, e.tsNanos / 1000,
+             static_cast<unsigned>(e.tsNanos % 1000));
+    out += buf;
+    if (e.phase == 'i')
+        out += ",\"s\":\"t\"";
+    if (e.phase != 'E') {
+        snprintf(buf, sizeof(buf),
+                 ",\"args\":{\"arg\":%" PRIu64 "}", e.arg);
+        out += buf;
+    }
+    out += "}";
+}
+
+} // namespace
+
+void
+traceExportJson(std::string &out)
+{
+    // Gather every ring's live window.
+    std::vector<ExportEvent> events;
+    {
+        TraceState &state = traceState();
+        std::lock_guard<std::mutex> lock(state.mutex);
+        for (auto &ring : state.rings) {
+            std::lock_guard<std::mutex> ringLock(ring->mutex);
+            const std::uint64_t cap = ring->events.size();
+            const std::uint64_t n = std::min<std::uint64_t>(ring->head, cap);
+            const std::uint64_t begin = ring->head - n;
+            for (std::uint64_t i = begin; i < ring->head; ++i) {
+                const TraceEvent &ev = ring->events[i % cap];
+                events.push_back(
+                    {ev.name, ev.tsNanos, ev.arg, ring->tid, ev.phase});
+            }
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const ExportEvent &a, const ExportEvent &b) {
+                         return a.tsNanos < b.tsNanos;
+                     });
+
+    // Balance per tid: an 'E' whose 'B' fell off the ring is dropped,
+    // and a 'B' whose 'E' never arrived (still-open or overwritten) is
+    // dropped together with everything nested inside it staying valid.
+    std::vector<char> keep(events.size(), 0);
+    {
+        // Per-tid stacks of indices of pending 'B' events.
+        std::vector<std::vector<std::size_t>> stacks;
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const ExportEvent &e = events[i];
+            if (e.tid >= stacks.size())
+                stacks.resize(e.tid + 1);
+            std::vector<std::size_t> &stack = stacks[e.tid];
+            if (e.phase == 'i') {
+                keep[i] = 1;
+            } else if (e.phase == 'B') {
+                stack.push_back(i);
+            } else { // 'E'
+                if (!stack.empty()) {
+                    keep[stack.back()] = 1;
+                    keep[i] = 1;
+                    stack.pop_back();
+                }
+                // else: orphaned end (begin lost to wraparound) — drop.
+            }
+        }
+        // Unclosed begins left on the stacks stay keep[i] == 0.
+    }
+
+    out += "{\"traceEvents\":[\n";
+    bool first = true;
+    for (std::size_t i = 0; i < events.size(); ++i)
+        if (keep[i])
+            appendEvent(out, events[i], first);
+    out += "\n  ]}\n";
+}
+
+bool
+traceWriteFile(const char *path)
+{
+    std::string json;
+    traceExportJson(json);
+    FILE *f = fopen(path, "w");
+    if (!f)
+        return false;
+    const bool ok =
+        fwrite(json.data(), 1, json.size(), f) == json.size();
+    return fclose(f) == 0 && ok;
+}
+
+} // namespace obs
+} // namespace hima

@@ -26,6 +26,18 @@ batchFillAdmission(Index minFill, Index maxWaitSteps)
     };
 }
 
+Router::RouterMetrics::RouterMetrics()
+{
+    obs::Registry &reg = obs::Registry::instance();
+    steps = &reg.counter("router.steps");
+    admitted = &reg.counter("router.admitted");
+    completed = &reg.counter("router.completed");
+    rejected = &reg.counter("router.rejected");
+    queueDepth = &reg.gauge("router.queue_depth");
+    activeLanes = &reg.gauge("router.active_lanes");
+    stepNanos = &reg.histogram("router.step_nanos");
+}
+
 Router::Router(const DncConfig &config, std::uint64_t seed,
                AdmissionPolicy policy)
     : Router(std::make_unique<BatchedDnc>(config, seed), std::move(policy))
@@ -64,6 +76,7 @@ Router::submit(ServeRequest request)
                     static_cast<unsigned long long>(request.id));
     if (queue_.size() >= queueCapacity_) {
         ++rejected_;
+        metrics_.rejected->add();
         return false;
     }
     queue_.push_back(std::move(request));
@@ -74,70 +87,97 @@ Router::submit(ServeRequest request)
 void
 Router::step()
 {
+    const std::uint64_t stepStart =
+        obs::metricsEnabled() ? obs::traceNowNanos() : 0;
+
     // 1. Evict lanes that finished on the previous step. Their results
     //    were harvested when they finished; only the slot is reclaimed.
-    for (Index slot : drainingSlots_)
-        engine_->release(slot);
-    drainingSlots_.clear();
+    {
+        obs::TraceSpan span("router.evict", drainingSlots_.size());
+        for (Index slot : drainingSlots_)
+            engine_->release(slot);
+        drainingSlots_.clear();
+    }
 
     // 2. Admission: policy decides how many queued requests to bind now.
-    const Index headroom =
-        maxActive_ - std::min(maxActive_, engine_->activeLanes());
-    const Index bindable = std::min(engine_->freeLanes(), headroom);
-    if (!queue_.empty() && bindable > 0) {
-        const Index oldestWait = now_ - arrivalSteps_.front();
-        Index admitCount = policy_(queue_.size(), bindable, oldestWait);
-        admitCount = std::min({admitCount, Index(queue_.size()), bindable});
-        for (Index i = 0; i < admitCount; ++i) {
-            const Index slot = engine_->admit();
-            Binding &binding = bindings_[slot];
-            binding.bound = true;
-            binding.request = std::move(queue_.front());
-            queue_.pop_front();
-            binding.cursor = 0;
-            binding.result = ServeResult{};
-            binding.result.id = binding.request.id;
-            binding.result.arrivalStep = arrivalSteps_.front();
-            arrivalSteps_.pop_front();
-            binding.result.admitStep = now_;
-            // Pre-size the whole result at admission so the per-step
-            // harvest is a same-size Vector copy — serving steps stay
-            // zero-alloc even while the queue is overflowing.
-            binding.result.outputs.assign(binding.request.tokens.size(),
-                                          Vector(config().outputSize));
-            ++inFlight_;
+    {
+        obs::TraceSpan span("router.bind", queue_.size());
+        const Index headroom =
+            maxActive_ - std::min(maxActive_, engine_->activeLanes());
+        const Index bindable = std::min(engine_->freeLanes(), headroom);
+        if (!queue_.empty() && bindable > 0) {
+            const Index oldestWait = now_ - arrivalSteps_.front();
+            Index admitCount = policy_(queue_.size(), bindable, oldestWait);
+            admitCount =
+                std::min({admitCount, Index(queue_.size()), bindable});
+            for (Index i = 0; i < admitCount; ++i) {
+                const Index slot = engine_->admit();
+                Binding &binding = bindings_[slot];
+                binding.bound = true;
+                binding.request = std::move(queue_.front());
+                queue_.pop_front();
+                binding.cursor = 0;
+                binding.result = ServeResult{};
+                binding.result.id = binding.request.id;
+                binding.result.arrivalStep = arrivalSteps_.front();
+                arrivalSteps_.pop_front();
+                binding.result.admitStep = now_;
+                // Pre-size the whole result at admission so the per-step
+                // harvest is a same-size Vector copy — serving steps stay
+                // zero-alloc even while the queue is overflowing.
+                binding.result.outputs.assign(
+                    binding.request.tokens.size(),
+                    Vector(config().outputSize));
+                ++inFlight_;
+            }
+            metrics_.admitted->add(admitCount);
         }
     }
 
     // 3. One engine step over the active lanes. inputs_ entries for
     //    inactive slots are ignored by the engine; bound slots reuse
     //    their Vector storage (same-size copy assignment: no realloc).
-    for (Index slot = 0; slot < bindings_.size(); ++slot) {
-        Binding &binding = bindings_[slot];
-        if (binding.bound)
-            inputs_[slot] = binding.request.tokens[binding.cursor];
+    {
+        obs::TraceSpan span("router.engine_step", engine_->activeLanes());
+        for (Index slot = 0; slot < bindings_.size(); ++slot) {
+            Binding &binding = bindings_[slot];
+            if (binding.bound)
+                inputs_[slot] = binding.request.tokens[binding.cursor];
+        }
+        engine_->stepInto(inputs_, outputs_);
     }
-    engine_->stepInto(inputs_, outputs_);
 
     // Harvest this step's outputs; finished lanes start draining and are
     // evicted at the next boundary.
-    for (Index slot = 0; slot < bindings_.size(); ++slot) {
-        Binding &binding = bindings_[slot];
-        if (!binding.bound)
-            continue;
-        binding.result.outputs[binding.cursor] = outputs_[slot];
-        ++binding.cursor;
-        if (binding.cursor == binding.request.tokens.size()) {
-            binding.result.finishStep = now_;
-            engine_->markDraining(slot);
-            drainingSlots_.push_back(slot);
-            completed_.push_back(std::move(binding.result));
-            binding = Binding{};
-            --inFlight_;
+    {
+        obs::TraceSpan span("router.harvest");
+        Index finished = 0;
+        for (Index slot = 0; slot < bindings_.size(); ++slot) {
+            Binding &binding = bindings_[slot];
+            if (!binding.bound)
+                continue;
+            binding.result.outputs[binding.cursor] = outputs_[slot];
+            ++binding.cursor;
+            if (binding.cursor == binding.request.tokens.size()) {
+                binding.result.finishStep = now_;
+                engine_->markDraining(slot);
+                drainingSlots_.push_back(slot);
+                completed_.push_back(std::move(binding.result));
+                binding = Binding{};
+                --inFlight_;
+                ++finished;
+            }
         }
+        if (finished > 0)
+            metrics_.completed->add(finished);
     }
 
     ++now_;
+    metrics_.steps->add();
+    metrics_.queueDepth->set(static_cast<std::int64_t>(queue_.size()));
+    metrics_.activeLanes->set(static_cast<std::int64_t>(inFlight_));
+    if (stepStart != 0)
+        metrics_.stepNanos->record(obs::traceNowNanos() - stepStart);
 }
 
 void

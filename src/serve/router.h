@@ -53,6 +53,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "serve/batched_dnc.h"
 
 namespace hima {
@@ -194,6 +195,21 @@ class Router
     Index inFlight_ = 0;
     Index rejected_ = 0;
     Index now_ = 0;
+
+    // Telemetry series, registered once at construction so the step
+    // path never touches the registry's name table.
+    struct RouterMetrics
+    {
+        obs::Counter *steps;
+        obs::Counter *admitted;
+        obs::Counter *completed;
+        obs::Counter *rejected;
+        obs::Gauge *queueDepth;
+        obs::Gauge *activeLanes;
+        obs::Histogram *stepNanos;
+        RouterMetrics();
+    };
+    RouterMetrics metrics_;
 };
 
 } // namespace hima

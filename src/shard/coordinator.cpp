@@ -2,11 +2,41 @@
 
 #include <utility>
 
+#include "obs/obs.h"
 #include "shard/worker.h"
 
 namespace hima {
 
 namespace {
+
+/**
+ * Process-wide series shared (by name) with ShardLaneGroup — the
+ * registry hands back the same instruments, so a process running both
+ * front-ends folds them into one fleet view.
+ */
+struct CoordMetrics
+{
+    obs::Counter *scatters;
+    obs::Counter *checkpoints;
+    obs::Counter *recoveries;
+    obs::Histogram *recoveryNanos;
+
+    CoordMetrics()
+    {
+        obs::Registry &reg = obs::Registry::instance();
+        scatters = &reg.counter("shard.scatters");
+        checkpoints = &reg.counter("shard.checkpoints");
+        recoveries = &reg.counter("shard.recoveries");
+        recoveryNanos = &reg.histogram("recover.latency_nanos");
+    }
+
+    static CoordMetrics &
+    get()
+    {
+        static CoordMetrics metrics;
+        return metrics;
+    }
+};
 
 std::uint32_t
 maskOf(const std::vector<Index> &heads)
@@ -94,13 +124,17 @@ ShardCoordinator::stepInterfaceInto(const InterfaceVector &iface,
     const std::uint32_t mask = maskOf(gate_.selectHeads(
         iface, policy_, globalConfig_.readHeads, tiles_));
     ++seq_;
-    for (Index k = 0; k < channels_.size(); ++k) {
-        FrameScope frame(*channels_[k], writer_);
-        encodeStepBroadcast(seq_, wantWeightings_, mask, iface,
-                            tileCount_[k], frame.writer());
-        trackPending(k, frame.writer());
-        frame.commit();
+    {
+        obs::TraceSpan span("shard.scatter", channels_.size());
+        for (Index k = 0; k < channels_.size(); ++k) {
+            FrameScope frame(*channels_[k], writer_);
+            encodeStepBroadcast(seq_, wantWeightings_, mask, iface,
+                                tileCount_[k], frame.writer());
+            trackPending(k, frame.writer());
+            frame.commit();
+        }
     }
+    CoordMetrics::get().scatters->add();
     exchange(out);
     maybeCheckpoint();
 }
@@ -130,13 +164,18 @@ ShardCoordinator::stepInterfacesInto(
     const std::uint32_t mask = maskOf(gate_.selectHeads(
         ifaces[0], policy_, globalConfig_.readHeads, tiles_));
     ++seq_;
-    for (Index k = 0; k < channels_.size(); ++k) {
-        FrameScope frame(*channels_[k], writer_);
-        encodeStepSpan(seq_, wantWeightings_, mask, &ifaces[firstTile_[k]],
-                       tileCount_[k], frame.writer());
-        trackPending(k, frame.writer());
-        frame.commit();
+    {
+        obs::TraceSpan span("shard.scatter", channels_.size());
+        for (Index k = 0; k < channels_.size(); ++k) {
+            FrameScope frame(*channels_[k], writer_);
+            encodeStepSpan(seq_, wantWeightings_, mask,
+                           &ifaces[firstTile_[k]], tileCount_[k],
+                           frame.writer());
+            trackPending(k, frame.writer());
+            frame.commit();
+        }
     }
+    CoordMetrics::get().scatters->add();
     exchange(out);
     maybeCheckpoint();
 }
@@ -146,38 +185,46 @@ ShardCoordinator::exchange(MemoryReadout &out)
 {
     // Gather replies in channel order; remote workers overlap compute.
     const Index r = globalConfig_.readHeads;
-    for (Index k = 0; k < channels_.size(); ++k) {
-        recvOrRecover(k, "step");
-        MsgType type;
-        if (!peekType(frameData_, frameSize_, type))
-            HIMA_FATAL("shard step %llu: worker %zu sent a malformed frame",
-                       static_cast<unsigned long long>(seq_), k);
-        if (type == MsgType::Error) {
-            ErrorMsg err;
-            decodeError(frameData_, frameSize_, err);
-            HIMA_FATAL("shard step %llu: worker %zu error: %s",
-                       static_cast<unsigned long long>(seq_), k,
-                       err.message.c_str());
+    {
+        obs::TraceSpan span("shard.gather_recv", channels_.size());
+        for (Index k = 0; k < channels_.size(); ++k) {
+            recvOrRecover(k, "step");
+            MsgType type;
+            if (!peekType(frameData_, frameSize_, type))
+                HIMA_FATAL("shard step %llu: worker %zu sent a malformed "
+                           "frame",
+                           static_cast<unsigned long long>(seq_), k);
+            if (type == MsgType::Error) {
+                ErrorMsg err;
+                decodeError(frameData_, frameSize_, err);
+                HIMA_FATAL("shard step %llu: worker %zu error: %s",
+                           static_cast<unsigned long long>(seq_), k,
+                           err.message.c_str());
+            }
+            if (!decodeStepReply(frameData_, frameSize_, shardConfig_,
+                                 tileCount_[k], replies_[k]))
+                HIMA_FATAL("shard step %llu: worker %zu sent a malformed "
+                           "reply",
+                           static_cast<unsigned long long>(seq_), k);
+            if (replies_[k].seq != seq_)
+                HIMA_FATAL("shard step %llu: worker %zu replied out of "
+                           "sequence (%llu)",
+                           static_cast<unsigned long long>(seq_), k,
+                           static_cast<unsigned long long>(
+                               replies_[k].seq));
+            if (replies_[k].hasWeightings != wantWeightings_)
+                HIMA_FATAL("shard step %llu: worker %zu weighting flag "
+                           "mismatch",
+                           static_cast<unsigned long long>(seq_), k);
+            for (Index i = 0; i < tileCount_[k]; ++i)
+                localPtrs_[firstTile_[k] + i] = &replies_[k].tiles[i];
         }
-        if (!decodeStepReply(frameData_, frameSize_, shardConfig_,
-                             tileCount_[k], replies_[k]))
-            HIMA_FATAL("shard step %llu: worker %zu sent a malformed reply",
-                       static_cast<unsigned long long>(seq_), k);
-        if (replies_[k].seq != seq_)
-            HIMA_FATAL("shard step %llu: worker %zu replied out of sequence "
-                       "(%llu)",
-                       static_cast<unsigned long long>(seq_), k,
-                       static_cast<unsigned long long>(replies_[k].seq));
-        if (replies_[k].hasWeightings != wantWeightings_)
-            HIMA_FATAL("shard step %llu: worker %zu weighting flag mismatch",
-                       static_cast<unsigned long long>(seq_), k);
-        for (Index i = 0; i < tileCount_[k]; ++i)
-            localPtrs_[firstTile_[k] + i] = &replies_[k].tiles[i];
     }
 
     // The distributed confidence merge: softmax over the gathered
     // (head x tile) logits, then the Eq. 4 weighted sum — the same gate
     // and merge code the in-process DncD runs.
+    obs::TraceSpan mergeSpan("shard.merge", tiles_);
     const std::vector<Index> &scored = gate_.scoredHeads();
     if (!scored.empty()) {
         scoreScratch_.assign(scored.size() * tiles_, 0.0);
@@ -293,6 +340,7 @@ ShardCoordinator::snapshotSlice(Index k)
 void
 ShardCoordinator::pullCheckpoints()
 {
+    obs::TraceSpan span("shard.checkpoint_pull");
     const Index chans = channels_.size();
     checkpoints_.resize(tiles_);
     ++checkpointSeq_;
@@ -329,12 +377,59 @@ ShardCoordinator::pullCheckpoints()
     ++checkpointsTaken_;
     stepsSinceCheckpoint_ = 0;
     logCount_ = 0; // ring buffers kept: the next window reuses them
+    CoordMetrics::get().checkpoints->add();
 }
 
 void
 ShardCoordinator::checkpointNow()
 {
     pullCheckpoints();
+}
+
+void
+ShardCoordinator::scrapeWorkers(std::vector<obs::Snapshot> &perWorker,
+                                obs::Snapshot &aggregate)
+{
+    const Index chans = channels_.size();
+    perWorker.resize(chans);
+    ++statsSeq_;
+    for (Index k = 0; k < chans; ++k) {
+        FrameScope frame(*channels_[k], writer_);
+        encodeStatsPull(statsSeq_, frame.writer());
+        trackPending(k, frame.writer());
+        frame.commit();
+    }
+    for (Index k = 0; k < chans; ++k) {
+        recvOrRecover(k, "stats scrape");
+        MsgType type;
+        if (peekType(frameData_, frameSize_, type) &&
+            type == MsgType::Error) {
+            ErrorMsg err;
+            decodeError(frameData_, frameSize_, err);
+            HIMA_FATAL("shard stats scrape %llu: worker %zu error: %s",
+                       static_cast<unsigned long long>(statsSeq_), k,
+                       err.message.c_str());
+        }
+        std::uint64_t seq = 0;
+        if (!decodeStatsReport(frameData_, frameSize_, perWorker[k],
+                               seq) ||
+            seq != statsSeq_)
+            HIMA_FATAL("shard stats scrape %llu: worker %zu sent a "
+                       "malformed report",
+                       static_cast<unsigned long long>(statsSeq_), k);
+    }
+
+    // Fleet view: this process's registry + every worker's report +
+    // the coordinator-side wire counters (its tx is the workers' rx).
+    obs::processSnapshot(aggregate);
+    for (const obs::Snapshot &report : perWorker)
+        aggregate.merge(report);
+    WireTrafficStats sent, received;
+    for (const auto &channel : channels_) {
+        sent += channel->sentStats();
+        received += channel->receivedStats();
+    }
+    obs::importWireTraffic(aggregate, sent, received, "shard.wire");
 }
 
 void
@@ -393,6 +488,9 @@ ShardCoordinator::recoverWorker(Index k, const char *what)
     if (!recoveryArmed())
         HIMA_FATAL("%s", err.describe().c_str());
     ++recoveries_;
+    const std::uint64_t recoverStart = obs::traceNowNanos();
+    obs::TraceSpan span("recover.worker", logCount_);
+    obs::traceInstant("recover.detected", k);
     HIMA_WARN("%s; respawning and replaying %zu logged frames",
               err.describe().c_str(), logCount_);
     std::unique_ptr<Channel> fresh = respawner_(k);
@@ -428,6 +526,10 @@ ShardCoordinator::recoverWorker(Index k, const char *what)
                        "%zu/%zu",
                        k, e + 1, static_cast<std::size_t>(logCount_));
     }
+
+    CoordMetrics::get().recoveries->add();
+    CoordMetrics::get().recoveryNanos->record(obs::traceNowNanos() -
+                                              recoverStart);
 }
 
 void

@@ -151,6 +151,22 @@ class ShardCoordinator final : public TileMemory
     /** Checkpoint pulls completed (periodic + forced). */
     std::uint64_t checkpointsTaken() const { return checkpointsTaken_; }
 
+    // --- fleet telemetry scrape (wire v5) -------------------------------
+
+    /**
+     * Pull every worker's telemetry registry (StatsPull/StatsReport).
+     * `perWorker` is resized to one snapshot per worker in channel
+     * order; `aggregate` (cleared first) merges those reports with this
+     * coordinator process's own registry and every channel's wire
+     * traffic ("shard.wire.*" series). On a loopback fleet the workers
+     * share this process's registry, so the same process-wide series
+     * appear once per worker plus once for the coordinator — fleet
+     * totals stay meaningful for worker-local series (kernel.*,
+     * worker.*) only. Callable between steps; never on the step path.
+     */
+    void scrapeWorkers(std::vector<obs::Snapshot> &perWorker,
+                       obs::Snapshot &aggregate);
+
   private:
     /** Gather replies after a scatter, then score + merge into `out`. */
     void exchange(MemoryReadout &out);
@@ -235,6 +251,7 @@ class ShardCoordinator final : public TileMemory
     std::uint64_t recoveries_ = 0;
     std::uint64_t checkpointsTaken_ = 0;
     std::uint64_t checkpointSeq_ = 0;
+    std::uint64_t statsSeq_ = 0; ///< scrape round ids (StatsPull seq)
     std::uint64_t stepsSinceCheckpoint_ = 0;
     bool checkpointValid_ = false; ///< checkpoints_ holds a real pull
     std::vector<MemoryTileState> checkpoints_;    ///< per global tile

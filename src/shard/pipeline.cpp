@@ -2,9 +2,40 @@
 
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace hima {
 
 namespace {
+
+/** Process-wide series for the lane group (registered on first use). */
+struct GroupMetrics
+{
+    obs::Counter *laneSteps;
+    obs::Counter *scatters;
+    obs::Counter *checkpoints;
+    obs::Counter *recoveries;
+    obs::Gauge *inFlight;
+    obs::Histogram *recoveryNanos;
+
+    GroupMetrics()
+    {
+        obs::Registry &reg = obs::Registry::instance();
+        laneSteps = &reg.counter("shard.lane_steps");
+        scatters = &reg.counter("shard.scatters");
+        checkpoints = &reg.counter("shard.checkpoints");
+        recoveries = &reg.counter("shard.recoveries");
+        inFlight = &reg.gauge("shard.in_flight_batches");
+        recoveryNanos = &reg.histogram("recover.latency_nanos");
+    }
+
+    static GroupMetrics &
+    get()
+    {
+        static GroupMetrics metrics;
+        return metrics;
+    }
+};
 
 std::uint32_t
 maskOf(const std::vector<Index> &heads)
@@ -137,6 +168,7 @@ ShardLaneGroup::scatter(const std::vector<Index> &lanes,
         entryScratch_[j].iface = ifaces[j];
     }
 
+    obs::TraceSpan span("shard.scatter", lanes.size());
     const std::uint64_t seq = ++seq_;
     Pending &slot =
         pending_[(pendingHead_ + pendingCount_) % kMaxInFlight];
@@ -160,6 +192,9 @@ ShardLaneGroup::scatter(const std::vector<Index> &lanes,
         frame.commit();
     }
     ++pendingCount_;
+    GroupMetrics::get().scatters->add();
+    GroupMetrics::get().inFlight->set(
+        static_cast<std::int64_t>(pendingCount_));
 }
 
 void
@@ -171,95 +206,106 @@ ShardLaneGroup::gather(const std::vector<MemoryReadout *> &outs)
                 "gather needs one readout per scattered lane");
 
     const Index r = globalConfig_.readHeads;
-    for (Index k = 0; k < channels_.size(); ++k) {
-        if (!recvFrom(k)) {
-            recoverWorker(k, "batch", p.seq); // fatal unless armed
-            // The replacement holds the checkpoint + replayed log;
-            // resend the whole outstanding window oldest-first. Only
-            // the oldest reply is consumed here — the rest queue up
-            // for their own gathers, draining the double buffer
-            // deterministically (the window never exceeds an shm reply
-            // ring's depth). A second loss is fatal.
-            for (Index b = 0; b < pendingCount_; ++b) {
-                const Pending &q =
-                    pending_[(pendingHead_ + b) % kMaxInFlight];
-                channels_[k]->sendFrame(q.bytes.data(), q.bytes.size());
+    {
+        obs::TraceSpan recvSpan("shard.gather_recv", channels_.size());
+        for (Index k = 0; k < channels_.size(); ++k) {
+            if (!recvFrom(k)) {
+                recoverWorker(k, "batch", p.seq); // fatal unless armed
+                // The replacement holds the checkpoint + replayed log;
+                // resend the whole outstanding window oldest-first. Only
+                // the oldest reply is consumed here — the rest queue up
+                // for their own gathers, draining the double buffer
+                // deterministically (the window never exceeds an shm
+                // reply ring's depth). A second loss is fatal.
+                for (Index b = 0; b < pendingCount_; ++b) {
+                    const Pending &q =
+                        pending_[(pendingHead_ + b) % kMaxInFlight];
+                    channels_[k]->sendFrame(q.bytes.data(),
+                                            q.bytes.size());
+                }
+                if (!recvFrom(k))
+                    shardRecvFailure(*channels_[k], "batch", p.seq, k);
             }
-            if (!recvFrom(k))
-                shardRecvFailure(*channels_[k], "batch", p.seq, k);
-        }
-        MsgType type;
-        if (!peekType(frameData_, frameSize_, type))
-            HIMA_FATAL("shard batch %llu: worker %zu sent a malformed "
-                       "frame",
-                       static_cast<unsigned long long>(p.seq), k);
-        if (type == MsgType::Error) {
-            ErrorMsg err;
-            decodeError(frameData_, frameSize_, err);
-            HIMA_FATAL("shard batch %llu: worker %zu error: %s",
-                       static_cast<unsigned long long>(p.seq), k,
-                       err.message.c_str());
-        }
-        LaneStepReplyMsg &reply = replies_[k];
-        if (!decodeLaneStepReply(frameData_, frameSize_, shardConfig_,
-                                 tileCount_[k], p.lanes.size(), reply))
-            HIMA_FATAL("shard batch %llu: worker %zu sent a malformed "
-                       "reply",
-                       static_cast<unsigned long long>(p.seq), k);
-        if (reply.seq != p.seq)
-            HIMA_FATAL("shard batch %llu: worker %zu replied out of "
-                       "sequence (%llu)",
-                       static_cast<unsigned long long>(p.seq), k,
-                       static_cast<unsigned long long>(reply.seq));
-        if (reply.hasWeightings != wantWeightings_)
-            HIMA_FATAL("shard batch %llu: worker %zu weighting flag "
-                       "mismatch",
-                       static_cast<unsigned long long>(p.seq), k);
-        if (reply.lanes.size() != p.lanes.size())
-            HIMA_FATAL("shard batch %llu: worker %zu answered %zu lanes, "
-                       "expected %zu",
-                       static_cast<unsigned long long>(p.seq), k,
-                       reply.lanes.size(), p.lanes.size());
-        for (Index j = 0; j < p.lanes.size(); ++j)
-            if (reply.lanes[j] != p.lanes[j])
-                HIMA_FATAL("shard batch %llu: worker %zu echoed lane %u "
-                           "at slot %zu, expected %zu",
+            MsgType type;
+            if (!peekType(frameData_, frameSize_, type))
+                HIMA_FATAL("shard batch %llu: worker %zu sent a "
+                           "malformed frame",
+                           static_cast<unsigned long long>(p.seq), k);
+            if (type == MsgType::Error) {
+                ErrorMsg err;
+                decodeError(frameData_, frameSize_, err);
+                HIMA_FATAL("shard batch %llu: worker %zu error: %s",
                            static_cast<unsigned long long>(p.seq), k,
-                           reply.lanes[j], j, p.lanes[j]);
+                           err.message.c_str());
+            }
+            LaneStepReplyMsg &reply = replies_[k];
+            if (!decodeLaneStepReply(frameData_, frameSize_, shardConfig_,
+                                     tileCount_[k], p.lanes.size(),
+                                     reply))
+                HIMA_FATAL("shard batch %llu: worker %zu sent a "
+                           "malformed reply",
+                           static_cast<unsigned long long>(p.seq), k);
+            if (reply.seq != p.seq)
+                HIMA_FATAL("shard batch %llu: worker %zu replied out of "
+                           "sequence (%llu)",
+                           static_cast<unsigned long long>(p.seq), k,
+                           static_cast<unsigned long long>(reply.seq));
+            if (reply.hasWeightings != wantWeightings_)
+                HIMA_FATAL("shard batch %llu: worker %zu weighting flag "
+                           "mismatch",
+                           static_cast<unsigned long long>(p.seq), k);
+            if (reply.lanes.size() != p.lanes.size())
+                HIMA_FATAL("shard batch %llu: worker %zu answered %zu "
+                           "lanes, expected %zu",
+                           static_cast<unsigned long long>(p.seq), k,
+                           reply.lanes.size(), p.lanes.size());
+            for (Index j = 0; j < p.lanes.size(); ++j)
+                if (reply.lanes[j] != p.lanes[j])
+                    HIMA_FATAL("shard batch %llu: worker %zu echoed lane "
+                               "%u at slot %zu, expected %zu",
+                               static_cast<unsigned long long>(p.seq), k,
+                               reply.lanes[j], j, p.lanes[j]);
+        }
     }
 
     // Per-lane confidence merge — the same gate + mergeTileReadouts the
     // in-process DncD runs, so a lane of a group cannot drift from it.
-    for (Index j = 0; j < p.lanes.size(); ++j) {
-        const Index lane = p.lanes[j];
-        ConfidenceGate &gate = gates_[lane];
-        for (Index k = 0; k < channels_.size(); ++k)
-            for (Index i = 0; i < tileCount_[k]; ++i)
-                localPtrs_[firstTile_[k] + i] =
-                    &replies_[k].tiles[j * tileCount_[k] + i];
-        const std::vector<Index> &scored = gate.scoredHeads();
-        if (!scored.empty()) {
-            scoreScratch_.assign(scored.size() * tiles_, 0.0);
-            for (Index k = 0; k < channels_.size(); ++k) {
-                for (Index i = 0; i < tileCount_[k]; ++i) {
-                    const Index tile = firstTile_[k] + i;
-                    const Real *logits =
-                        replies_[k].confidence.data() +
-                        (j * tileCount_[k] + i) * r;
-                    for (Index s = 0; s < scored.size(); ++s)
-                        scoreScratch_[s * tiles_ + tile] =
-                            logits[scored[s]];
+    {
+        obs::TraceSpan mergeSpan("shard.merge", p.lanes.size());
+        for (Index j = 0; j < p.lanes.size(); ++j) {
+            const Index lane = p.lanes[j];
+            ConfidenceGate &gate = gates_[lane];
+            for (Index k = 0; k < channels_.size(); ++k)
+                for (Index i = 0; i < tileCount_[k]; ++i)
+                    localPtrs_[firstTile_[k] + i] =
+                        &replies_[k].tiles[j * tileCount_[k] + i];
+            const std::vector<Index> &scored = gate.scoredHeads();
+            if (!scored.empty()) {
+                scoreScratch_.assign(scored.size() * tiles_, 0.0);
+                for (Index k = 0; k < channels_.size(); ++k) {
+                    for (Index i = 0; i < tileCount_[k]; ++i) {
+                        const Index tile = firstTile_[k] + i;
+                        const Real *logits =
+                            replies_[k].confidence.data() +
+                            (j * tileCount_[k] + i) * r;
+                        for (Index s = 0; s < scored.size(); ++s)
+                            scoreScratch_[s * tiles_ + tile] =
+                                logits[scored[s]];
+                    }
                 }
+                gate.applyScores(scoreScratch_, tiles_);
             }
-            gate.applyScores(scoreScratch_, tiles_);
+            mergeTileReadouts(localPtrs_, gate.alphas(), globalConfig_,
+                              shardConfig_.memoryRows, *outs[j]);
         }
-        mergeTileReadouts(localPtrs_, gate.alphas(), globalConfig_,
-                          shardConfig_.memoryRows, *outs[j]);
     }
 
     laneSteps_ += p.lanes.size();
     pendingHead_ = (pendingHead_ + 1) % kMaxInFlight;
     --pendingCount_;
+    GroupMetrics::get().laneSteps->add(p.lanes.size());
+    GroupMetrics::get().inFlight->set(
+        static_cast<std::int64_t>(pendingCount_));
 
     if (recoveryArmed()) {
         commitLog(p.bytes);
@@ -383,6 +429,7 @@ ShardLaneGroup::pullCheckpoints()
     HIMA_ASSERT(pendingCount_ == 0,
                 "shard checkpoint while %zu batches are in flight",
                 pendingCount_);
+    obs::TraceSpan span("shard.checkpoint_pull");
     const Index chans = channels_.size();
     checkpoints_.resize(gates_.size() * tiles_);
     ++checkpointSeq_;
@@ -426,6 +473,62 @@ ShardLaneGroup::pullCheckpoints()
     ++checkpointsTaken_;
     laneStepsSinceCheckpoint_ = 0;
     logCount_ = 0; // ring buffers kept: the next window reuses them
+    GroupMetrics::get().checkpoints->add();
+}
+
+void
+ShardLaneGroup::scrapeWorkers(std::vector<obs::Snapshot> &perWorker,
+                              obs::Snapshot &aggregate)
+{
+    HIMA_ASSERT(pendingCount_ == 0,
+                "shard stats scrape while %zu batches are in flight",
+                pendingCount_);
+    const Index chans = channels_.size();
+    perWorker.resize(chans);
+    ++statsSeq_;
+    encodeStatsPull(statsSeq_, writer_);
+    for (auto &channel : channels_)
+        channel->sendFrame(writer_.buffer().data(),
+                           writer_.buffer().size());
+    if (recoveryArmed())
+        resendScratch_.assign(writer_.buffer().begin(),
+                              writer_.buffer().end());
+    for (Index k = 0; k < chans; ++k) {
+        if (!recvFrom(k)) {
+            recoverWorker(k, "stats scrape", statsSeq_);
+            channels_[k]->sendFrame(resendScratch_.data(),
+                                    resendScratch_.size());
+            if (!recvFrom(k))
+                shardRecvFailure(*channels_[k], "stats scrape", statsSeq_,
+                                 k);
+        }
+        MsgType type;
+        if (peekType(frameData_, frameSize_, type) &&
+            type == MsgType::Error) {
+            ErrorMsg err;
+            decodeError(frameData_, frameSize_, err);
+            HIMA_FATAL("shard stats scrape %llu: worker %zu error: %s",
+                       static_cast<unsigned long long>(statsSeq_), k,
+                       err.message.c_str());
+        }
+        std::uint64_t seq = 0;
+        if (!decodeStatsReport(frameData_, frameSize_, perWorker[k],
+                               seq) ||
+            seq != statsSeq_)
+            HIMA_FATAL("shard stats scrape %llu: worker %zu sent a "
+                       "malformed report",
+                       static_cast<unsigned long long>(statsSeq_), k);
+    }
+
+    obs::processSnapshot(aggregate);
+    for (const obs::Snapshot &report : perWorker)
+        aggregate.merge(report);
+    WireTrafficStats sent, received;
+    for (const auto &channel : channels_) {
+        sent += channel->sentStats();
+        received += channel->receivedStats();
+    }
+    obs::importWireTraffic(aggregate, sent, received, "shard.wire");
 }
 
 void
@@ -477,6 +580,9 @@ ShardLaneGroup::recoverWorker(Index k, const char *what, std::uint64_t seq)
     if (!recoveryArmed())
         HIMA_FATAL("%s", err.describe().c_str());
     ++recoveries_;
+    const std::uint64_t recoverStart = obs::traceNowNanos();
+    obs::TraceSpan span("recover.worker", logCount_);
+    obs::traceInstant("recover.detected", k);
     HIMA_WARN("%s; respawning and replaying %zu logged frames",
               err.describe().c_str(), logCount_);
     std::unique_ptr<Channel> fresh = respawner_(k);
@@ -506,6 +612,10 @@ ShardLaneGroup::recoverWorker(Index k, const char *what, std::uint64_t seq)
                        "%zu/%zu",
                        k, e + 1, static_cast<std::size_t>(logCount_));
     }
+
+    GroupMetrics::get().recoveries->add();
+    GroupMetrics::get().recoveryNanos->record(obs::traceNowNanos() -
+                                              recoverStart);
 }
 
 void

@@ -202,6 +202,18 @@ class ShardLaneGroup
     /** Checkpoint pulls completed (periodic + forced). */
     std::uint64_t checkpointsTaken() const { return checkpointsTaken_; }
 
+    // --- fleet telemetry scrape (wire v5) -------------------------------
+
+    /**
+     * Pull every worker's telemetry registry (StatsPull/StatsReport)
+     * into `perWorker` (one snapshot per worker, channel order) and
+     * merge them — plus this process's registry and the group's wire
+     * counters ("shard.wire.*") — into `aggregate`. Requires an empty
+     * in-flight window, like every control-plane exchange here.
+     */
+    void scrapeWorkers(std::vector<obs::Snapshot> &perWorker,
+                       obs::Snapshot &aggregate);
+
   private:
     void sendControl(ControlKind kind, std::uint32_t lane);
 
@@ -290,6 +302,7 @@ class ShardLaneGroup
     std::uint64_t recoveries_ = 0;
     std::uint64_t checkpointsTaken_ = 0;
     std::uint64_t checkpointSeq_ = 0;
+    std::uint64_t statsSeq_ = 0; ///< scrape round ids (StatsPull seq)
     std::uint64_t laneStepsSinceCheckpoint_ = 0;
     bool checkpointValid_ = false; ///< checkpoints_ holds a real pull
     std::vector<MemoryTileState> checkpoints_; ///< lane-major, lanes x Nt

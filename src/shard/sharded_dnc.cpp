@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace hima {
 
 // --------------------------------------------------------------------
@@ -221,15 +223,20 @@ PipelinedShardedLaneEngine::stepInto(const std::vector<Vector> &inputs,
         const Index count = std::min(k, total - first);
         batchLanes_.clear();
         batchIfaces_.clear();
-        for (Index j = 0; j < count; ++j) {
-            const Index slot = activeScratch_[first + j];
-            // stepInto returns a reference into controller-owned
-            // storage; distinct slots use distinct controllers, so all
-            // of a batch's interfaces stay live until the scatter.
-            const InterfaceVector &iface = controllers_[slot]->stepInto(
-                inputs[slot], lastReads_[slot]);
-            batchLanes_.push_back(slot);
-            batchIfaces_.push_back(&iface);
+        {
+            obs::TraceSpan span("shard.controller_compute", count);
+            for (Index j = 0; j < count; ++j) {
+                const Index slot = activeScratch_[first + j];
+                // stepInto returns a reference into controller-owned
+                // storage; distinct slots use distinct controllers, so
+                // all of a batch's interfaces stay live until the
+                // scatter.
+                const InterfaceVector &iface =
+                    controllers_[slot]->stepInto(inputs[slot],
+                                                 lastReads_[slot]);
+                batchLanes_.push_back(slot);
+                batchIfaces_.push_back(&iface);
+            }
         }
         group_->scatter(batchLanes_, batchIfaces_);
         if (prevCount > 0)

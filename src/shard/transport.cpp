@@ -26,9 +26,87 @@
 #include <unistd.h>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 #include "shard/wire.h"
 
 namespace hima {
+
+namespace {
+
+/** Transport wait/timeout series (slow paths only — never per frame). */
+struct WaitMetrics
+{
+    obs::Counter *sendTimeouts;
+    obs::Counter *recvTimeouts;
+    obs::Counter *futexWaits;
+    obs::Counter *spinExhausted;
+
+    WaitMetrics()
+    {
+        obs::Registry &reg = obs::Registry::instance();
+        sendTimeouts = &reg.counter("wire.timeout.send");
+        recvTimeouts = &reg.counter("wire.timeout.recv");
+        futexWaits = &reg.counter("wire.shm.futex_waits");
+        spinExhausted = &reg.counter("wire.shm.spin_exhausted");
+    }
+
+    static WaitMetrics &
+    get()
+    {
+        static WaitMetrics metrics;
+        return metrics;
+    }
+};
+
+// Waits fire data-dependently (a spin budget runs out under load), so
+// they cannot rely on a warm-up call to do the one-time registration
+// the zero-alloc contract pushes out of steady state; register at load.
+[[maybe_unused]] const WaitMetrics &g_waitMetricsInit = WaitMetrics::get();
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Wire traffic reporting
+// --------------------------------------------------------------------
+
+std::vector<WireTrafficRow>
+wireTrafficRows(const WireTrafficStats &sent,
+                const WireTrafficStats &received, double steps)
+{
+    std::vector<WireTrafficRow> rows;
+    if (steps <= 0.0)
+        steps = 1.0;
+    for (std::size_t t = 1; t < kMsgTypeCount; ++t) {
+        const std::uint64_t frames = sent.frames[t] + received.frames[t];
+        if (frames == 0)
+            continue;
+        WireTrafficRow row;
+        row.type = static_cast<MsgType>(t);
+        row.name = msgTypeName(row.type);
+        row.framesPerStep = static_cast<double>(frames) / steps;
+        row.bytesOutPerStep = static_cast<double>(sent.bytes[t]) / steps;
+        row.bytesInPerStep =
+            static_cast<double>(received.bytes[t]) / steps;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+void
+formatWireTrafficTable(const WireTrafficStats &sent,
+                       const WireTrafficStats &received, double steps,
+                       std::string &out)
+{
+    for (const WireTrafficRow &row :
+         wireTrafficRows(sent, received, steps)) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  %-17s %7.1f frames  %10.1f B out  %10.1f B in\n",
+                      row.name, row.framesPerStep, row.bytesOutPerStep,
+                      row.bytesInPerStep);
+        out += line;
+    }
+}
 
 // --------------------------------------------------------------------
 // LoopbackChannel
@@ -174,9 +252,12 @@ SocketChannel::flush()
 {
     if (sendBuf_.empty())
         return;
+    obs::TraceSpan span("wire.flush", sendBuf_.size());
     if (!broken_ &&
         !writeFully(fd_, sendBuf_.data(), sendBuf_.size(),
                     sendTimedOut_)) {
+        if (sendTimedOut_)
+            WaitMetrics::get().sendTimeouts->add();
         // Dead peer: drop the batch and let the next recvFrame() report
         // the failure in context (the coordinator turns it into a fatal
         // protocol error; a best-effort Shutdown in a destructor is
@@ -224,11 +305,14 @@ SocketChannel::recvFrame(std::vector<std::uint8_t> &frame)
     timedOut_ = false;
     if (broken_)
         return false;
+    obs::TraceSpan span("wire.recv");
     // Every failure is sticky: a partial read leaves the stream
     // position unknown, so a later retry would misparse payload bytes
     // as a length prefix. The protocol has no mid-stream resync.
     std::uint8_t len[4];
     if (!readFully(fd_, len, 4, timedOut_)) {
+        if (timedOut_)
+            WaitMetrics::get().recvTimeouts->add();
         broken_ = true;
         return false;
     }
@@ -241,6 +325,8 @@ SocketChannel::recvFrame(std::vector<std::uint8_t> &frame)
     }
     frame.resize(size);
     if (size > 0 && !readFully(fd_, frame.data(), size, timedOut_)) {
+        if (timedOut_)
+            WaitMetrics::get().recvTimeouts->add();
         broken_ = true;
         return false;
     }
@@ -608,7 +694,11 @@ shmSlotBytesFor(const DncConfig &shard, Index hostedTiles, Index lanes)
     const std::size_t scatter = std::max(laneCount, hosted) * iface;
     // Replies with weightings: reads R*W, weightings (1+R)*N, scores.
     const std::size_t reply = 8 * states * (r * w + (1 + r) * n + r + 8);
-    std::size_t bytes = std::max({snapshot, scatter, reply}) + 512;
+    // StatsReport scrapes are name+counter rows plus sparse histogram
+    // buckets — small next to state frames, but tiny-tile configs can
+    // shrink `snapshot` below a fleet scrape, so give stats a floor.
+    const std::size_t stats = 64 * 1024;
+    std::size_t bytes = std::max({snapshot, scatter, reply, stats}) + 512;
     bytes = roundUpTo(bytes, 4096);
     return std::min<std::size_t>(bytes, kWireMaxFrameBytes);
 }
@@ -779,6 +869,7 @@ ShmChannel::waitForFrame()
             return false; // peer closed and the ring is drained: EOF
         cpuRelax();
     }
+    WaitMetrics::get().spinExhausted->add();
     const bool bounded = recvTimeoutMs_ > 0;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(recvTimeoutMs_);
@@ -801,6 +892,7 @@ ShmChannel::waitForFrame()
             const auto left = std::chrono::duration_cast<std::chrono::nanoseconds>(
                 deadline - std::chrono::steady_clock::now());
             if (left.count() <= 0) {
+                WaitMetrics::get().recvTimeouts->add();
                 timedOut_ = true;
                 broken_ = true; // sticky, like a socket recv expiry
                 return false;
@@ -818,9 +910,11 @@ ShmChannel::waitForFrame()
             ring->dataWaiters.fetch_sub(1, std::memory_order_relaxed);
             continue;
         }
+        WaitMetrics::get().futexWaits->add();
         const long rc = futexWait(&ring->dataSeq, seq, relPtr);
         ring->dataWaiters.fetch_sub(1, std::memory_order_relaxed);
         if (rc == -1 && errno == ETIMEDOUT) {
+            WaitMetrics::get().recvTimeouts->add();
             timedOut_ = true;
             broken_ = true;
             return false;
@@ -845,6 +939,7 @@ ShmChannel::waitForSpace()
             return true;
         cpuRelax();
     }
+    WaitMetrics::get().spinExhausted->add();
     const bool bounded = recvTimeoutMs_ > 0;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(recvTimeoutMs_);
@@ -872,6 +967,7 @@ ShmChannel::waitForSpace()
                 // The peer is alive enough to keep the region mapped
                 // but is not consuming: the send-side analogue of an
                 // SO_SNDTIMEO expiry (wedged, not dead).
+                WaitMetrics::get().sendTimeouts->add();
                 timedOut_ = true;
                 broken_ = true;
                 return false;
@@ -886,9 +982,11 @@ ShmChannel::waitForSpace()
             ring->spaceWaiters.fetch_sub(1, std::memory_order_relaxed);
             continue;
         }
+        WaitMetrics::get().futexWaits->add();
         const long rc = futexWait(&ring->spaceSeq, seq, relPtr);
         ring->spaceWaiters.fetch_sub(1, std::memory_order_relaxed);
         if (rc == -1 && errno == ETIMEDOUT) {
+            WaitMetrics::get().sendTimeouts->add();
             timedOut_ = true;
             broken_ = true;
             return false;
@@ -913,6 +1011,7 @@ ShmChannel::publish(std::size_t payloadBytes)
 void
 ShmChannel::sendFrame(const std::uint8_t *data, std::size_t size)
 {
+    obs::TraceSpan span("wire.send", size);
     sentStats_.note(data, size);
     maybeUnlink();
     if (broken_)
@@ -989,6 +1088,7 @@ ShmChannel::recvFrameView(const std::uint8_t *&data, std::size_t &size,
                           std::vector<std::uint8_t> &scratch)
 {
     (void)scratch; // zero-copy path: the ring slot itself is the buffer
+    obs::TraceSpan span("wire.recv");
     releaseBorrowedSlot();
     maybeUnlink();
     // broken_ freezes timedOut_: once the channel failed, the cause of

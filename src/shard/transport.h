@@ -87,7 +87,79 @@ struct WireTrafficStats
             sum += f;
         return sum;
     }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t b : bytes)
+            sum += b;
+        return sum;
+    }
+
+    /** Zero every counter (bench loops differencing a fresh window). */
+    void
+    reset()
+    {
+        frames.fill(0);
+        bytes.fill(0);
+    }
+
+    /** Aggregate another channel's (or direction's) counters in. */
+    WireTrafficStats &
+    operator+=(const WireTrafficStats &other)
+    {
+        for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
+            frames[t] += other.frames[t];
+            bytes[t] += other.bytes[t];
+        }
+        return *this;
+    }
+
+    /**
+     * Counters accumulated since `base`, an earlier reading of the
+     * same channel direction (monotone, so per-slot subtraction).
+     */
+    WireTrafficStats
+    diffFrom(const WireTrafficStats &base) const
+    {
+        WireTrafficStats out;
+        for (std::size_t t = 0; t < kMsgTypeCount; ++t) {
+            out.frames[t] = frames[t] - base.frames[t];
+            out.bytes[t] = bytes[t] - base.bytes[t];
+        }
+        return out;
+    }
 };
+
+/** One non-zero per-message-type row of an aggregated traffic table. */
+struct WireTrafficRow
+{
+    MsgType type;
+    const char *name;       ///< msgTypeName(type)
+    double framesPerStep;   ///< both directions combined
+    double bytesOutPerStep; ///< payload bytes sent
+    double bytesInPerStep;  ///< payload bytes received
+};
+
+/**
+ * The non-zero message-type rows of a (sent, received) counter pair,
+ * normalized by `steps` — the shared core of every per-type wire
+ * report (shard_demo's console table, bench_shard's JSON rows).
+ * Slot 0 (unparsed headers) is skipped; healthy runs never hit it.
+ */
+std::vector<WireTrafficRow> wireTrafficRows(const WireTrafficStats &sent,
+                                            const WireTrafficStats &received,
+                                            double steps);
+
+/**
+ * Human-readable per-type table of wireTrafficRows, one line per type
+ * ("  LaneStepReply   2.0 frames   1024.0 B out  ..."), appended to
+ * `out`.
+ */
+void formatWireTrafficTable(const WireTrafficStats &sent,
+                            const WireTrafficStats &received, double steps,
+                            std::string &out);
 
 /** Anything that accepts outbound frames (channels, loopback inboxes). */
 class FrameSink

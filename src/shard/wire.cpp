@@ -43,6 +43,10 @@ msgTypeName(MsgType type)
         return "Restore";
     case MsgType::Rejoin:
         return "Rejoin";
+    case MsgType::StatsPull:
+        return "StatsPull";
+    case MsgType::StatsReport:
+        return "StatsReport";
     }
     return "?";
 }
@@ -327,7 +331,7 @@ peekType(const std::uint8_t *data, std::size_t size, MsgType &type)
     if (!r.ok() || magic != kWireMagic || version != kWireVersion)
         return false;
     if (raw < static_cast<std::uint8_t>(MsgType::Hello) ||
-        raw > static_cast<std::uint8_t>(MsgType::Rejoin))
+        raw > static_cast<std::uint8_t>(MsgType::StatsReport))
         return false;
     type = static_cast<MsgType>(raw);
     return true;
@@ -718,6 +722,59 @@ encodeRejoin(const WireConfig &config, std::uint64_t firstTile,
     out.putU64(firstTile);
 }
 
+void
+encodeStatsPull(std::uint64_t seq, WireWriter &out)
+{
+    out.clear();
+    out.header(MsgType::StatsPull);
+    out.putU64(seq);
+}
+
+/** Cap on declared scrape entries (fail-closed decode bound). */
+constexpr std::uint32_t kMaxStatsEntries = 65536;
+
+void
+encodeStatsReport(std::uint64_t seq, const obs::Snapshot &snapshot,
+                  WireWriter &out)
+{
+    HIMA_ASSERT(snapshot.entries.size() <= kMaxStatsEntries,
+                "StatsReport: %zu entries exceed the wire cap %u",
+                snapshot.entries.size(), kMaxStatsEntries);
+    out.clear();
+    out.header(MsgType::StatsReport);
+    out.putU64(seq);
+    out.putU32(static_cast<std::uint32_t>(snapshot.entries.size()));
+    for (const obs::SnapshotEntry &e : snapshot.entries) {
+        out.putString(e.name);
+        out.putU8(static_cast<std::uint8_t>(e.kind));
+        switch (e.kind) {
+          case obs::MetricKind::Counter:
+            out.putU64(e.counter);
+            break;
+          case obs::MetricKind::Gauge:
+            out.putU64(static_cast<std::uint64_t>(e.gauge));
+            break;
+          case obs::MetricKind::Histogram: {
+            out.putU64(e.hist.count);
+            out.putU64(e.hist.sum);
+            out.putU64(e.hist.max);
+            std::uint16_t nonZero = 0;
+            for (unsigned b = 0; b < obs::kHistogramBuckets; ++b)
+                if (e.hist.buckets[b] != 0)
+                    ++nonZero;
+            out.putU16(nonZero);
+            for (unsigned b = 0; b < obs::kHistogramBuckets; ++b) {
+                if (e.hist.buckets[b] == 0)
+                    continue;
+                out.putU16(static_cast<std::uint16_t>(b));
+                out.putU64(e.hist.buckets[b]);
+            }
+            break;
+          }
+        }
+    }
+}
+
 // --------------------------------------------------------------------
 // Message decoders.
 // --------------------------------------------------------------------
@@ -947,6 +1004,86 @@ decodeRejoin(const std::uint8_t *data, std::size_t size, WireConfig &config,
     readConfigBody(in, config);
     firstTile = in.u64();
     return in.atEnd();
+}
+
+bool
+decodeStatsPull(const std::uint8_t *data, std::size_t size,
+                std::uint64_t &seq)
+{
+    WireReader in(data, size);
+    in.header(MsgType::StatsPull);
+    seq = in.u64();
+    return in.atEnd();
+}
+
+bool
+decodeStatsReport(const std::uint8_t *data, std::size_t size,
+                  obs::Snapshot &snapshot, std::uint64_t &seq)
+{
+    snapshot.clear();
+    WireReader in(data, size);
+    in.header(MsgType::StatsReport);
+    seq = in.u64();
+    const std::uint32_t count = in.u32();
+    if (count > kMaxStatsEntries)
+        in.fail();
+    snapshot.entries.reserve(in.ok() ? count : 0);
+    std::string name;
+    for (std::uint32_t i = 0; in.ok() && i < count; ++i) {
+        in.string(name);
+        const std::uint8_t kind = in.u8();
+        if (name.empty() || kind > 2) {
+            in.fail();
+            break;
+        }
+        obs::SnapshotEntry entry;
+        entry.name = name;
+        entry.kind = static_cast<obs::MetricKind>(kind);
+        switch (entry.kind) {
+          case obs::MetricKind::Counter:
+            entry.counter = in.u64();
+            break;
+          case obs::MetricKind::Gauge:
+            entry.gauge = static_cast<std::int64_t>(in.u64());
+            break;
+          case obs::MetricKind::Histogram: {
+            entry.hist.count = in.u64();
+            entry.hist.sum = in.u64();
+            entry.hist.max = in.u64();
+            const std::uint16_t nonZero = in.u16();
+            if (nonZero > obs::kHistogramBuckets) {
+                in.fail();
+                break;
+            }
+            int prev = -1;
+            for (std::uint16_t b = 0; in.ok() && b < nonZero; ++b) {
+                const std::uint16_t idx = in.u16();
+                const std::uint64_t n = in.u64();
+                if (idx >= obs::kHistogramBuckets ||
+                    static_cast<int>(idx) <= prev || n == 0) {
+                    in.fail();
+                    break;
+                }
+                prev = idx;
+                entry.hist.buckets[idx] = n;
+            }
+            break;
+          }
+        }
+        // Entries are encoded in snapshot (name) order; enforcing it
+        // here keeps find()'s binary search valid on decoded scrapes.
+        if (!snapshot.entries.empty() &&
+            !(snapshot.entries.back().name < entry.name)) {
+            in.fail();
+            break;
+        }
+        snapshot.entries.push_back(std::move(entry));
+    }
+    if (!in.atEnd()) {
+        snapshot.clear();
+        return false;
+    }
+    return true;
 }
 
 } // namespace hima

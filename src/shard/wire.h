@@ -68,15 +68,16 @@
 
 #include "dnc/interface.h"
 #include "dnc/memory_unit.h"
+#include "obs/metrics.h"
 
 namespace hima {
 
 /** Protocol magic ("HM") — first two payload bytes of every message. */
 constexpr std::uint16_t kWireMagic = 0x484D;
 
-/** Protocol version; bumped on any layout change (v4: the handshake
- * config body gained linkageSkipThreshold). */
-constexpr std::uint8_t kWireVersion = 4;
+/** Protocol version; bumped on any layout change (v5: the telemetry
+ * scrape pair StatsPull/StatsReport). */
+constexpr std::uint8_t kWireVersion = 5;
 
 /** Largest legal payload (guards framing against garbage lengths). */
 constexpr std::uint32_t kWireMaxFrameBytes = 64u << 20;
@@ -98,11 +99,13 @@ enum class MsgType : std::uint8_t
     CheckpointState = 12,   ///< worker -> coordinator: lane-major snapshots
     Restore = 13,           ///< coordinator -> worker: push tile snapshots
     Rejoin = 14, ///< coordinator -> replacement worker: re-attach handshake
+    StatsPull = 15,   ///< coordinator -> worker: scrape the telemetry registry
+    StatsReport = 16, ///< worker -> coordinator: obs::Snapshot of the process
 };
 
 /** Number of distinct message-type slots (for per-type counters). */
 constexpr std::size_t kMsgTypeCount =
-    static_cast<std::size_t>(MsgType::Rejoin) + 1;
+    static_cast<std::size_t>(MsgType::StatsReport) + 1;
 
 /** Human-readable message-type name ("?" for out-of-range values). */
 const char *msgTypeName(MsgType type);
@@ -443,6 +446,18 @@ void encodeRestore(std::uint64_t seq,
                    const MemoryTileState *const *snapshots, Index count,
                    const DncConfig &shard, WireWriter &out);
 
+/** Pull the worker's telemetry registry; answered by StatsReport. */
+void encodeStatsPull(std::uint64_t seq, WireWriter &out);
+
+/**
+ * Encode one process's scrape: per entry, the '.'-path name, the kind,
+ * and a kind-dependent body; histogram buckets go sparse — [u16 index]
+ * [u64 count] pairs with strictly increasing indices — since a scrape
+ * window rarely touches more than a few octaves of the 496 buckets.
+ */
+void encodeStatsReport(std::uint64_t seq, const obs::Snapshot &snapshot,
+                       WireWriter &out);
+
 /**
  * Re-attach handshake for a replacement worker: the Hello body plus the
  * first global tile index of its assignment (so operators can identify
@@ -508,6 +523,18 @@ bool decodeRestore(const std::uint8_t *data, std::size_t size,
 
 bool decodeRejoin(const std::uint8_t *data, std::size_t size,
                   WireConfig &config, std::uint64_t &firstTile);
+
+bool decodeStatsPull(const std::uint8_t *data, std::size_t size,
+                     std::uint64_t &seq);
+
+/**
+ * Decode a StatsReport into `snapshot` (cleared first). Fail-closed:
+ * the declared entry count is capped, names are length-checked against
+ * the remaining bytes, kinds must be known, and sparse histogram
+ * bucket indices must be strictly increasing and in range.
+ */
+bool decodeStatsReport(const std::uint8_t *data, std::size_t size,
+                       obs::Snapshot &snapshot, std::uint64_t &seq);
 
 } // namespace hima
 

@@ -1,5 +1,7 @@
 #include "shard/worker.h"
 
+#include "obs/obs.h"
+
 namespace hima {
 
 bool
@@ -40,12 +42,44 @@ ShardWorker::handleFrame(const std::uint8_t *data, std::size_t size,
     case MsgType::Restore:
         handleRestore(data, size, sink);
         return true;
+    case MsgType::StatsPull:
+        handleStatsPull(data, size, sink);
+        return true;
     case MsgType::Shutdown:
         return false;
     default:
         sendError("unexpected message type", sink);
         return true;
     }
+}
+
+void
+ShardWorker::handleStatsPull(const std::uint8_t *data, std::size_t size,
+                             FrameSink &sink)
+{
+    std::uint64_t seq = 0;
+    if (!decodeStatsPull(data, size, seq)) {
+        sendError("malformed StatsPull", sink);
+        return;
+    }
+    // Scrapes are off the step path: building the report may allocate.
+    obs::processSnapshot(statsScratch_);
+    statsScratch_.addCounter("worker.steps_served", stepsServed_);
+    statsScratch_.addCounter("worker.episodes_served", episodesServed_);
+    statsScratch_.addGauge("worker.hosted_tiles",
+                           static_cast<std::int64_t>(tiles_.size()));
+    statsScratch_.addGauge("worker.lanes",
+                           static_cast<std::int64_t>(configured() ? lanes_
+                                                                  : 0));
+    if (configured()) {
+        KernelProfiler total;
+        for (const auto &tile : tiles_)
+            total.merge(tile->profiler());
+        obs::importKernelProfiler(statsScratch_, total);
+    }
+    FrameScope reply(sink, writer_);
+    encodeStatsReport(seq, statsScratch_, reply.writer());
+    reply.commit();
 }
 
 void

@@ -116,6 +116,8 @@ class ShardWorker
                                  FrameSink &sink);
     void handleRestore(const std::uint8_t *data, std::size_t size,
                        FrameSink &sink);
+    void handleStatsPull(const std::uint8_t *data, std::size_t size,
+                         FrameSink &sink);
 
     /** Shared Hello/Rejoin body: validate + build tiles, fill the ack. */
     void applyConfig(const WireConfig &wire, HelloAckMsg &ack);
@@ -155,6 +157,7 @@ class ShardWorker
 
     FaultInjector fault_;
     std::uint64_t firstGlobalTile_ = 0;
+    obs::Snapshot statsScratch_; ///< StatsPull reply staging
 
     std::uint64_t stepsServed_ = 0;
     std::uint64_t episodesServed_ = 0;

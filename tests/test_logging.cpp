@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the logging helpers: concurrent HIMA_WARN emitters must
+ * produce whole, un-interleaved lines (each message is assembled into
+ * one buffer and written with a single fwrite), long messages must be
+ * truncated with a visible marker rather than overrun, and the
+ * warn/inform prefixes must land on the right streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hima {
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(Logging, ConcurrentWarnLinesNeverInterleave)
+{
+    constexpr int kThreads = 8;
+    constexpr int kLines = 50;
+
+    testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t)
+            threads.emplace_back([t] {
+                for (int i = 0; i < kLines; ++i)
+                    HIMA_WARN("thread %d line %d aaaaaaaaaa bbbbbbbbbb "
+                              "cccccccccc dddddddddd",
+                              t, i);
+            });
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    const std::string captured = testing::internal::GetCapturedStderr();
+
+    const std::vector<std::string> lines = splitLines(captured);
+    ASSERT_EQ(lines.size(),
+              static_cast<std::size_t>(kThreads * kLines));
+
+    // Every line must be exactly one whole message: correct prefix,
+    // correct payload, nothing spliced in from another thread.
+    std::vector<std::vector<bool>> seen(
+        kThreads, std::vector<bool>(kLines, false));
+    for (const std::string &line : lines) {
+        int t = -1, i = -1;
+        ASSERT_EQ(std::sscanf(line.c_str(),
+                              "warn: thread %d line %d", &t, &i),
+                  2)
+            << "garbled line: " << line;
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, kThreads);
+        ASSERT_GE(i, 0);
+        ASSERT_LT(i, kLines);
+        char expected[128];
+        std::snprintf(expected, sizeof(expected),
+                      "warn: thread %d line %d aaaaaaaaaa bbbbbbbbbb "
+                      "cccccccccc dddddddddd",
+                      t, i);
+        EXPECT_EQ(line, expected);
+        EXPECT_FALSE(seen[t][i]) << "duplicate line: " << line;
+        seen[t][i] = true;
+    }
+}
+
+TEST(Logging, OverlongMessageIsTruncatedWithMarker)
+{
+    const std::string payload(8192, 'x');
+    testing::internal::CaptureStderr();
+    HIMA_WARN("%s", payload.c_str());
+    const std::string captured = testing::internal::GetCapturedStderr();
+
+    EXPECT_EQ(captured.rfind("warn: ", 0), 0u);
+    EXPECT_NE(captured.find("...[truncated]"), std::string::npos);
+    // The emit buffer is 2 KiB; nothing near the full payload leaks out.
+    EXPECT_LT(captured.size(), 4096u);
+}
+
+TEST(Logging, InformGoesToStdoutWithPrefix)
+{
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    HIMA_INFORM("status %d", 42);
+    const std::string out = testing::internal::GetCapturedStdout();
+    const std::string err = testing::internal::GetCapturedStderr();
+
+    EXPECT_EQ(out, "info: status 42\n");
+    EXPECT_EQ(err.find("status 42"), std::string::npos);
+}
+
+} // namespace
+} // namespace hima

@@ -19,6 +19,18 @@ TEST(RunningStat, Empty)
     EXPECT_EQ(s.variance(), 0.0);
 }
 
+TEST(RunningStat, SingleSampleVarianceIsZero)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
 TEST(RunningStat, KnownSequence)
 {
     RunningStat s;
