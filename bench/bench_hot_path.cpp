@@ -479,7 +479,8 @@ struct LinkSkipResult
  * skipped-row counters.
  */
 double
-earlyEpisodeRate(const DncConfig &cfg, Index episodeLen, double *meanActive)
+earlyEpisodeRate(const DncConfig &cfg, Index episodeLen, double *meanActive,
+                 double *readSkippedPerScore = nullptr)
 {
     Rng rng(7);
     InterfaceVector iface = benchIface(cfg, rng);
@@ -501,6 +502,16 @@ earlyEpisodeRate(const DncConfig &cfg, Index episodeLen, double *meanActive)
             : static_cast<double>(link.skippedRows) /
                   static_cast<double>(link.invocations);
     *meanActive = static_cast<double>(cfg.memoryRows) - skippedPerStep;
+    if (readSkippedPerScore) {
+        // Mean zero-norm rows the read stage skipped per scored content
+        // weighting (the write CW plus R read CRs each count one).
+        const KernelCounters &sim = mu.profiler().at(Kernel::Similarity);
+        *readSkippedPerScore =
+            sim.invocations == 0
+                ? 0.0
+                : static_cast<double>(sim.skippedRows) /
+                      static_cast<double>(sim.invocations);
+    }
     return rate;
 }
 
@@ -604,6 +615,56 @@ linkageSkipSweep(bool smoke, double *denseEarlyRate, Index *sweepRows,
     return results;
 }
 
+struct ReadSkipResult
+{
+    Index n;
+    Real threshold;
+    double earlyStepsPerSec;
+    double earlySpeedup;        ///< vs the forced-dense baseline at this N
+    double meanActiveRows;      ///< linkage-sweep active rows
+    double meanReadSkippedRows; ///< zero-norm rows skipped per content score
+};
+
+/**
+ * Read-stage rows of the sparsity sweep: the threshold drives the whole
+ * pipeline (content-score norm skip, sparse memory read and the
+ * column-sparse linkage sweeps together, as the knobs ship) against the
+ * forced-dense baseline on the same early-episode workload.
+ */
+std::vector<ReadSkipResult>
+readSkipSweep(bool smoke)
+{
+    const std::vector<Index> ns = smoke ? std::vector<Index>{64, 256}
+                                        : std::vector<Index>{1024, 4096};
+    const std::vector<Real> thresholds = {0.0, 1e-2};
+    std::vector<ReadSkipResult> rows;
+    for (Index n : ns) {
+        const Index episodeLen = n / 4;
+        DncConfig denseCfg = benchConfig(n);
+        denseCfg.linkageDenseSweep = true;
+        double denseActive = 0.0;
+        const double dense =
+            earlyEpisodeRate(denseCfg, episodeLen, &denseActive);
+        for (Real th : thresholds) {
+            DncConfig cfg = benchConfig(n);
+            cfg.readSkipThreshold = th;
+            cfg.linkageSkipThreshold = th;
+            double meanActive = 0.0;
+            double readSkipped = 0.0;
+            const double early =
+                earlyEpisodeRate(cfg, episodeLen, &meanActive, &readSkipped);
+            rows.push_back(
+                {n, th, early, early / dense, meanActive, readSkipped});
+            std::printf("readSweep N=%5zu th=%.0e  early %10.1f steps/s "
+                        "(%.2fx vs dense %.1f)  mean A %.1f  read-skip "
+                        "%.1f rows/score\n",
+                        n, th, early, early / dense, dense, meanActive,
+                        readSkipped);
+        }
+    }
+    return rows;
+}
+
 } // namespace
 } // namespace hima
 
@@ -705,6 +766,9 @@ main(int argc, char **argv)
         linkageSkipSweep(smoke, &denseEarlyRate, &sweepRows,
                          &sweepEpisodeLen);
 
+    std::printf("\nread-stage sparsity sweep (early-episode):\n");
+    const std::vector<ReadSkipResult> readSkips = readSkipSweep(smoke);
+
     std::printf("\nactive rows vs N (threshold 0, early-episode):\n");
     const std::vector<ActiveCurvePoint> curve = activeRowsCurve(smoke);
 
@@ -784,6 +848,20 @@ main(int argc, char **argv)
                      r.meanActiveRows, r.steadyStepsPerSec, r.errorRate,
                      r.errorDelta, r.readRms,
                      i + 1 < linkSkips.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json, "  \"read_skip_sweep\": [\n");
+    for (std::size_t i = 0; i < readSkips.size(); ++i) {
+        const ReadSkipResult &r = readSkips[i];
+        std::fprintf(json,
+                     "    {\"n\": %zu, \"threshold\": %.0e, "
+                     "\"early_steps_per_sec\": %.2f, "
+                     "\"early_speedup_vs_dense\": %.3f, "
+                     "\"mean_active_rows_early\": %.1f, "
+                     "\"mean_read_skipped_rows_per_score\": %.1f}%s\n",
+                     r.n, r.threshold, r.earlyStepsPerSec, r.earlySpeedup,
+                     r.meanActiveRows, r.meanReadSkippedRows,
+                     i + 1 < readSkips.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
     std::fprintf(json, "  \"linkage_active_rows_curve\": [\n");

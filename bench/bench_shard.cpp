@@ -45,8 +45,10 @@
 
 #include "common/bench_env.h"
 #include "common/random.h"
+#include "dnc/memory_unit.h"
 #include "obs/obs.h"
 #include "shard/local_cluster.h"
+#include "shard/wire.h"
 
 namespace hima {
 namespace {
@@ -381,12 +383,89 @@ runPipelinedPoint(Transport transport, Index tiles, Index workers,
 }
 
 /** One measured kill + recovery on the sync coordinator. */
+/**
+ * Byte sizes of one tile's checkpoint frame under the v6 sparse
+ * encoding vs the dense escape, plus the bit-identity verdict of a
+ * restore from the sparse frame. The traffic is allocation-gated
+ * (early-episode), where the active set is a small fraction of N and
+ * the sparse frames must win by bytes.
+ */
+struct CheckpointFrameReport
+{
+    bool ok = false;         ///< sparse restore replayed bit-identically
+    Index rows = 0;          ///< tile N
+    Index activeRows = 0;    ///< touched slots at capture time
+    std::size_t sparseBytes = 0;
+    std::size_t denseBytes = 0;
+};
+
+/**
+ * Fatal gate for the v6 sparse checkpoint path: at an early-episode
+ * active set the frame must be byte-smaller than the dense encoding
+ * AND restore a replica that replays bit-identically against the
+ * uninterrupted tile.
+ */
+CheckpointFrameReport
+sparseCheckpointGate()
+{
+    CheckpointFrameReport rep;
+    const DncConfig cfg = benchConfig(1);
+    DncConfig denseCfg = cfg;
+    denseCfg.linkageDenseSweep = true;
+    rep.rows = cfg.memoryRows;
+
+    std::vector<std::unique_ptr<MemoryUnit>> sparse, dense;
+    sparse.push_back(std::make_unique<MemoryUnit>(cfg));
+    dense.push_back(std::make_unique<MemoryUnit>(denseCfg));
+    Rng rng(11);
+    MemoryReadout out;
+    for (int step = 0; step < 16; ++step) {
+        InterfaceVector iface = randomIface(cfg, rng);
+        iface.allocationGate = 1.0; // early-episode one-hot writes
+        iface.writeGate = 1.0;
+        sparse[0]->stepInto(iface, out);
+        dense[0]->stepInto(iface, out);
+    }
+    rep.activeRows = sparse[0]->linkage().touchedSlots().size();
+
+    WireWriter sparseFrame, denseFrame;
+    encodeCheckpointState(1, sparse, cfg, sparseFrame);
+    encodeCheckpointState(1, dense, denseCfg, denseFrame);
+    rep.sparseBytes = sparseFrame.buffer().size();
+    rep.denseBytes = denseFrame.buffer().size();
+    if (rep.sparseBytes >= rep.denseBytes)
+        return rep;
+
+    MemoryTileState snap;
+    MemoryTileState *slots[] = {&snap};
+    std::uint64_t seq = 0;
+    if (!decodeCheckpointState(sparseFrame.buffer().data(), rep.sparseBytes,
+                               cfg, slots, 1, seq))
+        return rep;
+    MemoryUnit replica(cfg);
+    replica.restoreState(snap);
+    MemoryReadout a, b;
+    for (int step = 0; step < 8; ++step) {
+        const InterfaceVector iface = randomIface(cfg, rng);
+        sparse[0]->stepInto(iface, a);
+        replica.stepInto(iface, b);
+        for (Index h = 0; h < cfg.readHeads; ++h)
+            if (!(a.readVectors[h] == b.readVectors[h]))
+                return rep;
+        if (!(a.writeWeighting == b.writeWeighting))
+            return rep;
+    }
+    rep.ok = true;
+    return rep;
+}
+
 struct RecoveryRow
 {
     Transport transport;
     Index tiles;
     Index workers;
     Index interval;    ///< checkpoint cadence (steps)
+    bool denseFrames;  ///< dense escape: pre-sparsity checkpoint frames
     double stepMs;     ///< fastest normal step just before the kill
     double recoveryMs; ///< the killed step: detect + respawn + restore + replay
 };
@@ -395,21 +474,30 @@ struct RecoveryRow
  * Measure recovery latency: run past one checkpoint pull, kill worker 0
  * half an interval later (so the replay log holds interval/2 steps),
  * and time the step that detects the loss and recovers through it.
+ *
+ * Traffic is allocation-gated so the run sits in the early-episode
+ * regime where the v6 sparse checkpoint frames apply; `denseFrames`
+ * re-runs the same workload through the dense escape (dense sweeps and
+ * dense frames — the pre-sparsity behavior) for comparison.
  */
 RecoveryRow
 runRecoveryRow(Transport transport, Index tiles, Index workers,
-               Index interval)
+               Index interval, bool denseFrames = false)
 {
     DncConfig cfg = benchConfig(tiles);
     cfg.shardCheckpointIntervalSteps = interval;
+    cfg.linkageDenseSweep = denseFrames;
     Rng rng(7);
-    const InterfaceVector iface = randomIface(cfg, rng);
+    InterfaceVector iface = randomIface(cfg, rng);
+    iface.allocationGate = 1.0;
+    iface.writeGate = 1.0;
 
     RecoveryRow row{};
     row.transport = transport;
     row.tiles = tiles;
     row.workers = workers;
     row.interval = interval;
+    row.denseFrames = denseFrames;
 
     LocalShardCluster stack = makeLocalCluster(
         toCluster(transport), cfg, tiles, workers, MergePolicy::Confidence,
@@ -484,6 +572,25 @@ main(int argc, char **argv)
                 "bit-identical to in-process DncD (float and "
                 "fixed-point)\n");
 
+    const CheckpointFrameReport frames = sparseCheckpointGate();
+    if (!frames.ok) {
+        std::fprintf(stderr,
+                     "FATAL: v6 sparse checkpoint frames failed the gate "
+                     "(sparse %zu B vs dense %zu B at A=%zu/N=%zu) — "
+                     "either the frame did not shrink or the restore "
+                     "diverged\n",
+                     frames.sparseBytes, frames.denseBytes,
+                     frames.activeRows, frames.rows);
+        return 1;
+    }
+    std::printf("cross-check: sparse checkpoint frame %zu B vs dense "
+                "%zu B (%.1fx smaller at A=%zu/N=%zu), restore "
+                "bit-identical\n",
+                frames.sparseBytes, frames.denseBytes,
+                static_cast<double>(frames.denseBytes) /
+                    static_cast<double>(frames.sparseBytes),
+                frames.activeRows, frames.rows);
+
     struct Case
     {
         Transport transport;
@@ -499,6 +606,7 @@ main(int argc, char **argv)
         Index tiles;
         Index workers;
         Index interval;
+        bool denseFrames = false;
     };
     std::vector<Case> cases;
     std::vector<RecoveryCase> recoveryCases;
@@ -514,8 +622,10 @@ main(int argc, char **argv)
                  {Transport::Shm, 4, 2, 0, 16}};
         // Injected kill + recovery under the sanitizers — the shm row
         // drives ring re-rendezvous + replay through TSan/ASan too.
-        recoveryCases = {{Transport::Unix, 4, 2, 16},
-                         {Transport::Shm, 4, 2, 16}};
+        // One sparse-frame row and one dense-escape row, so both
+        // checkpoint encodings recover under the sanitizers.
+        recoveryCases = {{Transport::Unix, 4, 2, 16, false},
+                         {Transport::Shm, 4, 2, 16, true}};
     } else {
         for (Index tiles : {Index(2), Index(4), Index(8), Index(16)}) {
             const Index workers = tiles >= 4 ? 4 : tiles;
@@ -558,6 +668,11 @@ main(int argc, char **argv)
             recoveryCases.push_back({Transport::Tcp, 8, 4, interval});
             recoveryCases.push_back({Transport::Shm, 8, 4, interval});
         }
+        // Dense-escape twins at interval 64: same workload recovered
+        // through dense checkpoint frames, pricing the v6 sparse-frame
+        // restore against the pre-sparsity baseline.
+        recoveryCases.push_back({Transport::Unix, 8, 4, 64, true});
+        recoveryCases.push_back({Transport::Shm, 8, 4, 64, true});
     }
 
     std::printf("bench_shard: N=1024, W=64, R=4; merge round trips "
@@ -604,14 +719,15 @@ main(int argc, char **argv)
 
     std::vector<RecoveryRow> recoveries;
     for (const RecoveryCase &c : recoveryCases) {
-        const RecoveryRow r =
-            runRecoveryRow(c.transport, c.tiles, c.workers, c.interval);
+        const RecoveryRow r = runRecoveryRow(c.transport, c.tiles, c.workers,
+                                             c.interval, c.denseFrames);
         recoveries.push_back(r);
         std::printf("%-10s tiles=%2zu workers=%zu recovery ckpt=%-4zu "
-                    "killed worker recovered in %.2f ms (normal step "
-                    "%.3f ms)\n",
+                    "%s frames  killed worker recovered in %.2f ms "
+                    "(normal step %.3f ms)\n",
                     transportName(r.transport), r.tiles, r.workers,
-                    r.interval, r.recoveryMs, r.stepMs);
+                    r.interval, r.denseFrames ? "dense " : "sparse",
+                    r.recoveryMs, r.stepMs);
     }
 
     FILE *json = std::fopen("BENCH_shard.json", "w");
@@ -651,12 +767,22 @@ main(int argc, char **argv)
         std::fprintf(json,
                      "    {\"transport\": \"%s\", \"tiles\": %zu, "
                      "\"workers\": %zu, \"checkpoint_interval\": %zu, "
+                     "\"dense_frames\": %s, "
                      "\"step_ms\": %.4f, \"recovery_ms\": %.4f}%s\n",
                      transportName(r.transport), r.tiles, r.workers,
-                     r.interval, r.stepMs, r.recoveryMs,
-                     i + 1 < recoveries.size() ? "," : "");
+                     r.interval, r.denseFrames ? "true" : "false", r.stepMs,
+                     r.recoveryMs, i + 1 < recoveries.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"checkpoint_frames\": {\"memory_rows\": %zu, "
+                 "\"active_rows\": %zu, \"sparse_frame_bytes\": %zu, "
+                 "\"dense_frame_bytes\": %zu, \"shrink_factor\": %.2f, "
+                 "\"restore_bit_identical\": true},\n",
+                 frames.rows, frames.activeRows, frames.sparseBytes,
+                 frames.denseBytes,
+                 static_cast<double>(frames.denseBytes) /
+                     static_cast<double>(frames.sparseBytes));
     // The process registry accumulated over every point above (workers
     // run in-process here): the run's own telemetry, machine-readable.
     obs::Snapshot telemetry;

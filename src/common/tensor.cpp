@@ -223,6 +223,38 @@ matTVecInto(const Matrix &m, const Vector &x, Vector &y)
     }
 }
 
+Index
+matTVecSparseInto(const Matrix &m, const Vector &x, const Vector &rowGate,
+                  Real threshold, Vector &y)
+{
+    HIMA_ASSERT(m.rows() == x.size(), "matTVecSparseInto: rows %zu != x %zu",
+                m.rows(), x.size());
+    HIMA_ASSERT(rowGate.size() == m.rows(),
+                "matTVecSparseInto: gate %zu != rows %zu", rowGate.size(),
+                m.rows());
+    const Index rows = m.rows();
+    const Index cols = m.cols();
+    y.resize(cols);
+    const Real *pm = m.data();
+    const Real *px = x.data();
+    const Real *pg = rowGate.data();
+    Real *py = y.data();
+    for (Index c = 0; c < cols; ++c)
+        py[c] = 0.0;
+    Index skipped = 0;
+    for (Index r = 0; r < rows; ++r) {
+        if (pg[r] <= threshold) {
+            ++skipped;
+            continue;
+        }
+        const Real xv = px[r];
+        const Real *row = pm + r * cols;
+        for (Index c = 0; c < cols; ++c)
+            py[c] += row[c] * xv;
+    }
+    return skipped;
+}
+
 void
 outerAccumulate(const Vector &a, const Vector &b, Real s, Matrix &m)
 {

@@ -7,8 +7,11 @@
 
 namespace hima {
 
-ContentAddressing::ContentAddressing(bool approximate, int segments)
+ContentAddressing::ContentAddressing(bool approximate, int segments,
+                                     Real skipThreshold, bool denseSweep)
+    : skipThreshold_(skipThreshold), denseSweep_(denseSweep)
 {
+    HIMA_ASSERT(skipThreshold_ >= 0.0, "negative read skip threshold");
     if (approximate)
         approx_ = std::make_unique<SoftmaxApprox>(segments);
 }
@@ -87,32 +90,62 @@ ContentAddressing::weightingInto(const Matrix &memory, const Vector &key,
         // Four rows at a time: each row keeps its own accumulator (and
         // its own j-ascending chain, so results are bit-identical to
         // the one-row loop); the four independent chains overlap in the
-        // FPU pipeline instead of serializing on add latency.
-        Index i = 0;
-        for (; i + 4 <= n; i += 4) {
-            const Real *r0 = memory.rowPtr(i + 0);
-            const Real *r1 = memory.rowPtr(i + 1);
-            const Real *r2 = memory.rowPtr(i + 2);
-            const Real *r3 = memory.rowPtr(i + 3);
-            Real a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-            for (Index c = 0; c < w; ++c) {
-                const Real kc = pkey[c];
-                a0 += r0[c] * kc;
-                a1 += r1[c] * kc;
-                a2 += r2[c] * kc;
-                a3 += r3[c] * kc;
+        // FPU pipeline instead of serializing on add latency. Run
+        // alignment does not affect bits, so the sparse path below can
+        // reuse the same bodies over runs of consecutive active rows.
+        const auto scoreRun = [&](Index beg, Index end) {
+            Index i = beg;
+            for (; i + 4 <= end; i += 4) {
+                const Real *r0 = memory.rowPtr(i + 0);
+                const Real *r1 = memory.rowPtr(i + 1);
+                const Real *r2 = memory.rowPtr(i + 2);
+                const Real *r3 = memory.rowPtr(i + 3);
+                Real a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+                for (Index c = 0; c < w; ++c) {
+                    const Real kc = pkey[c];
+                    a0 += r0[c] * kc;
+                    a1 += r1[c] * kc;
+                    a2 += r2[c] * kc;
+                    a3 += r3[c] * kc;
+                }
+                ps[i + 0] = strength * a0 / (rowNorms[i + 0] * keyNorm + eps);
+                ps[i + 1] = strength * a1 / (rowNorms[i + 1] * keyNorm + eps);
+                ps[i + 2] = strength * a2 / (rowNorms[i + 2] * keyNorm + eps);
+                ps[i + 3] = strength * a3 / (rowNorms[i + 3] * keyNorm + eps);
             }
-            ps[i + 0] = strength * a0 / (rowNorms[i + 0] * keyNorm + eps);
-            ps[i + 1] = strength * a1 / (rowNorms[i + 1] * keyNorm + eps);
-            ps[i + 2] = strength * a2 / (rowNorms[i + 2] * keyNorm + eps);
-            ps[i + 3] = strength * a3 / (rowNorms[i + 3] * keyNorm + eps);
-        }
-        for (; i < n; ++i) {
-            const Real *row = memory.rowPtr(i);
-            Real acc = 0.0;
-            for (Index c = 0; c < w; ++c)
-                acc += row[c] * pkey[c];
-            ps[i] = strength * acc / (rowNorms[i] * keyNorm + eps);
+            for (; i < end; ++i) {
+                const Real *row = memory.rowPtr(i);
+                Real acc = 0.0;
+                for (Index c = 0; c < w; ++c)
+                    acc += row[c] * pkey[c];
+                ps[i] = strength * acc / (rowNorms[i] * keyNorm + eps);
+            }
+        };
+
+        Index skipped = 0;
+        if (!cachedRowNorms || denseSweep_) {
+            scoreRun(0, n);
+        } else {
+            // Sparse scan: a row whose cached norm is at or below the
+            // threshold is scored +0.0 without the dot. At threshold 0
+            // that is exactly the dense result — the row is all-zero,
+            // its dot accumulates ±0.0 terms to +0.0, and sharpening
+            // keeps the sign: strength * +0.0 / eps == +0.0.
+            const Real skipT = skipThreshold_;
+            Index i = 0;
+            while (i < n) {
+                if (rowNorms[i] <= skipT) {
+                    ps[i] = 0.0;
+                    ++skipped;
+                    ++i;
+                    continue;
+                }
+                Index runEnd = i + 1;
+                while (runEnd < n && rowNorms[runEnd] > skipT)
+                    ++runEnd;
+                scoreRun(i, runEnd);
+                i = runEnd;
+            }
         }
         if (profiler) {
             auto &c = profiler->at(Kernel::Similarity);
@@ -120,6 +153,8 @@ ContentAddressing::weightingInto(const Matrix &memory, const Vector &key,
             c.specialOps += n;          // divides
             c.extMemAccesses += n * w;
             c.stateMemAccesses += w;
+            c.skippedRows += skipped;
+            c.skippedOps += static_cast<std::uint64_t>(skipped) * w;
         }
     }
 

@@ -24,10 +24,17 @@ class ContentAddressing
 {
   public:
     /**
-     * @param approximate use the PLA+LUT softmax (Sec. 5.2)
-     * @param segments    PLA segment count when approximate
+     * @param approximate   use the PLA+LUT softmax (Sec. 5.2)
+     * @param segments      PLA segment count when approximate
+     * @param skipThreshold active-row threshold of the similarity scan:
+     *                      rows whose cached norm is at or below it are
+     *                      scored 0 without the O(W) dot (see
+     *                      DncConfig::readSkipThreshold)
+     * @param denseSweep    bench/test escape: never skip any row
      */
-    explicit ContentAddressing(bool approximate = false, int segments = 8);
+    explicit ContentAddressing(bool approximate = false, int segments = 8,
+                               Real skipThreshold = 0.0,
+                               bool denseSweep = false);
 
     /**
      * C(M, k, beta): weighting over the N rows of memory.
@@ -49,11 +56,18 @@ class ContentAddressing
      *
      * When `cachedRowNorms` is non-null it must hold the L2 norm of each
      * memory row (the MemoryUnit maintains this cache across writes) and
-     * the O(N*W) norm recompute is skipped; profiler charges still
-     * reflect the full hardware Normalize cost — the cache is a
-     * simulator-speed optimization, not a change to the modeled
-     * architecture. With a null cache the norms are recomputed exactly
-     * as the reference path does.
+     * the O(N*W) norm recompute is skipped; additionally the similarity
+     * scan skips rows whose cached norm is at or below the construction
+     * skip threshold, scoring them 0 without the O(W) dot. At the
+     * default threshold of 0 only never-written rows are skipped, and
+     * their score is exactly what the dense scan computes (an all-zero
+     * row's dot is +0.0 and +0.0/eps sharpens to +0.0), so the result is
+     * bit-identical; the softmax still runs over all N rows. Profiler
+     * charges still reflect the full hardware Normalize/Similarity cost
+     * (software savings land in skippedRows/skippedOps) — the cache is
+     * a simulator-speed optimization, not a change to the modeled
+     * architecture. With a null cache the norms are recomputed and every
+     * row is scored, exactly as the reference path does.
      *
      * @param cachedRowNorms length-N row-norm cache, or nullptr
      * @param scores         length-N scratch (overwritten)
@@ -65,9 +79,12 @@ class ContentAddressing
                        KernelProfiler *profiler = nullptr) const;
 
     bool approximate() const { return approx_ != nullptr; }
+    Real skipThreshold() const { return skipThreshold_; }
 
   private:
     std::unique_ptr<SoftmaxApprox> approx_;
+    Real skipThreshold_ = 0.0;
+    bool denseSweep_ = false;
 };
 
 } // namespace hima

@@ -136,6 +136,21 @@ struct DncConfig
     Real linkageSkipThreshold = 0.0;
 
     /**
+     * Active-row threshold of the sparse read stage: content addressing
+     * skips the cosine dot for memory rows whose cached L2 norm is at or
+     * below this value (scoring them exactly 0 before the softmax), the
+     * memory-read mat-T-vec skips their rows, and the DNC-D confidence
+     * scorer skips them tile-locally. Zero (default) skips only rows
+     * whose norm is exactly zero — rows never written since the episode
+     * boundary, whose cosine score and read contribution are exactly
+     * determined — and is bit-identical to the dense read stage; small
+     * positive values additionally skim rows whose content has been
+     * erased to noise. Hardware cost charges are unaffected (skipped
+     * work lands in skippedRows/skippedOps).
+     */
+    Real readSkipThreshold = 0.0;
+
+    /**
      * Runtime metrics toggle (src/obs): counters/gauges/histograms are
      * recorded while true. Off, every metric write is one predictable
      * branch; compiled with HIMA_TELEMETRY=OFF the writes vanish
@@ -160,10 +175,14 @@ struct DncConfig
     Index telemetryTraceCapacity = 4096;
 
     /**
-     * Bench/test escape hatch: force the dense full-N linkage sweep,
-     * ignoring row activity entirely. The cross-check gates and the
-     * `linkage_skip_sweep` bench use it as the reference/baseline; it
-     * is never what a serving deployment wants.
+     * Bench/test escape hatch: force the dense full-N sweeps everywhere
+     * the active-set machinery would skip work — the linkage update and
+     * forward/backward reads, the content-addressing similarity scan,
+     * the memory-read mat-T-vec, the DNC-D confidence scorer, and the
+     * sparse checkpoint encoder (frames are emitted dense). The
+     * cross-check gates and the sparsity sweeps in bench_hot_path /
+     * bench_shard use it as the reference/baseline; it is never what a
+     * serving deployment wants.
      */
     bool linkageDenseSweep = false;
 
@@ -209,18 +228,29 @@ struct DncConfig
             HIMA_FATAL("DncConfig: routerMaxActiveLanes %zu exceeds "
                        "batchSize %zu (0 means \"use batchSize\")",
                        routerMaxActiveLanes, batchSize);
-        if (writeSkipThreshold < 0.0 || writeSkipThreshold >= 1.0)
+        // The skip thresholds are written as negated conjunctions so a
+        // NaN (which compares false both ways) is rejected rather than
+        // slipping past a `< 0.0 || >= 1.0` pair of checks.
+        if (!(writeSkipThreshold >= 0.0 && writeSkipThreshold < 1.0))
             HIMA_FATAL("DncConfig: write skip threshold %f outside [0, 1)",
                        writeSkipThreshold);
-        if (linkageSkipThreshold < 0.0 || linkageSkipThreshold >= 1.0)
+        if (!(linkageSkipThreshold >= 0.0 && linkageSkipThreshold < 1.0))
             HIMA_FATAL("DncConfig: linkage skip threshold %f outside [0, 1)",
                        linkageSkipThreshold);
+        if (!(readSkipThreshold >= 0.0 && readSkipThreshold < 1.0))
+            HIMA_FATAL("DncConfig: read skip threshold %f outside [0, 1)",
+                       readSkipThreshold);
         if (telemetryTraceCapacity == 0)
             HIMA_FATAL("DncConfig: telemetryTraceCapacity must be >= 1");
         if (linkageDenseSweep && linkageSkipThreshold > 0.0)
             HIMA_FATAL("DncConfig: linkageDenseSweep ignores row activity; "
                        "combining it with a nonzero linkageSkipThreshold "
                        "(%f) is contradictory", linkageSkipThreshold);
+        if (linkageDenseSweep && readSkipThreshold > 0.0)
+            HIMA_FATAL("DncConfig: linkageDenseSweep forces the dense read "
+                       "stage; combining it with a nonzero "
+                       "readSkipThreshold (%f) is contradictory",
+                       readSkipThreshold);
     }
 };
 

@@ -25,8 +25,18 @@ tileConfidenceScore(const MemoryUnit &tile, const Vector &key, Real strength)
     const Vector &norms = tile.rowNorms();
     const Real keyNorm = key.norm();
     constexpr Real eps = 1e-6;
+    // A row whose cached norm is at or below the read skip threshold is
+    // a never-written (all-zero) row at the default threshold of 0: its
+    // cosine is exactly +0.0/eps == +0.0, so folding a literal 0.0 into
+    // the max without the O(W) dot leaves the chain bit-identical.
+    const DncConfig &cfg = tile.config();
+    const Real skipT = cfg.linkageDenseSweep ? -1.0 : cfg.readSkipThreshold;
     Real best = -1.0;
     for (Index i = 0; i < mem.rows(); ++i) {
+        if (norms[i] <= skipT) {
+            best = std::max(best, 0.0);
+            continue;
+        }
         const Real cos = dotRow(mem, i, key) / (norms[i] * keyNorm + eps);
         best = std::max(best, cos);
     }

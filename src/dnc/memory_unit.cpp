@@ -11,7 +11,8 @@ namespace hima {
 
 MemoryUnit::MemoryUnit(const DncConfig &config)
     : config_(config),
-      addressing_(config.approximateSoftmax, config.softmaxSegments),
+      addressing_(config.approximateSoftmax, config.softmaxSegments,
+                  config.readSkipThreshold, config.linkageDenseSweep),
       usageSorter_(referenceUsageSort),
       skimK_(static_cast<Index>(config.skimRate *
                                 static_cast<Real>(config.memoryRows))),
@@ -205,14 +206,27 @@ MemoryUnit::softRead(const InterfaceVector &iface, MemoryReadout &out)
         if (config_.fixedPoint)
             quantizeInPlace(weighting);
 
-        // MR: v_r = M^T w_r.
+        // MR: v_r = M^T w_r. Rows whose cached norm is at or below the
+        // read skip threshold are never-written (all-zero) rows at the
+        // default threshold of 0: their contribution to every output
+        // word is +0.0 exactly, so skipping them is bit-identical (the
+        // weighting is nonnegative). The hardware still reads all N
+        // rows — only simulator work is skipped.
         {
             KernelScope scope(profiler_, Kernel::MemoryRead);
-            matTVecInto(memory_, weighting, out.readVectors[head]);
+            Index skipped = 0;
+            if (config_.linkageDenseSweep)
+                matTVecInto(memory_, weighting, out.readVectors[head]);
+            else
+                skipped = matTVecSparseInto(memory_, weighting, rowNorms_,
+                                            config_.readSkipThreshold,
+                                            out.readVectors[head]);
             auto &c = profiler_.at(Kernel::MemoryRead);
             c.macOps += static_cast<std::uint64_t>(n) * w;
             c.extMemAccesses += static_cast<std::uint64_t>(n) * w;
             c.stateMemAccesses += n;
+            c.skippedRows += skipped;
+            c.skippedOps += static_cast<std::uint64_t>(skipped) * w;
         }
         if (config_.fixedPoint)
             quantizeInPlace(out.readVectors[head]);
@@ -248,6 +262,9 @@ MemoryTileState::sizeFor(const DncConfig &config)
         readWeightings.resize(config.readHeads);
     for (auto &rw : readWeightings)
         rw.resize(n);
+    // Variable-length (0..N entries); reserving N up front keeps the
+    // per-checkpoint refills allocation-free as the set grows.
+    touchedSlots.reserve(n);
 }
 
 void
@@ -267,6 +284,8 @@ MemoryUnit::captureState(MemoryTileState &out) const
     for (Index h = 0; h < config_.readHeads; ++h)
         std::copy(readWeightings_[h].begin(), readWeightings_[h].end(),
                   out.readWeightings[h].begin());
+    const std::vector<Index> &tl = linkage_.touchedSlots();
+    out.touchedSlots.assign(tl.begin(), tl.end());
 }
 
 void
@@ -284,11 +303,29 @@ MemoryUnit::restoreState(const MemoryTileState &state)
     for (const Vector &rw : state.readWeightings)
         HIMA_ASSERT(rw.size() == n, "tile restore: read weighting %zu != %zu",
                     rw.size(), n);
-    std::copy(state.memory.begin(), state.memory.end(), memory_.data());
-    std::copy(state.rowNorms.begin(), state.rowNorms.end(),
-              rowNorms_.begin());
+    // Fused restore of the read stage: copy each memory row and rebuild
+    // its cached norm in the same pass, instead of one sweep for the
+    // matrix and a second for the snapshot's norm vector. The recompute
+    // uses memoryWrite's own accumulation (ascending c, acc += v*v,
+    // sqrt), so the rebuilt cache — and with it every sparse read-stage
+    // skip decision — is bit-identical to the live cache the snapshot
+    // was captured from. Snapshot norms are never trusted: sparse
+    // checkpoint frames do not even carry them.
+    const Real *src = state.memory.data();
+    for (Index i = 0; i < n; ++i) {
+        Real *row = memory_.rowPtr(i);
+        const Real *srow = src + i * w;
+        Real acc = 0.0;
+        for (Index c = 0; c < w; ++c) {
+            const Real v = srow[c];
+            row[c] = v;
+            acc += v * v;
+        }
+        rowNorms_[i] = std::sqrt(acc);
+    }
     std::copy(state.usage.begin(), state.usage.end(), usage_.begin());
-    linkage_.restoreState(state.linkage, state.precedence);
+    linkage_.restoreState(state.linkage, state.precedence,
+                          state.touchedSlots);
     std::copy(state.writeWeighting.begin(), state.writeWeighting.end(),
               writeWeighting_.begin());
     for (Index h = 0; h < config_.readHeads; ++h)

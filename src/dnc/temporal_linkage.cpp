@@ -29,6 +29,22 @@ rowMassOf(const Real *row, Index n)
 }
 
 /**
+ * Column-sparse variant: sums |row[j]| over the ascending touched-column
+ * list only. Bit-identical to rowMassOf when every unlisted column is
+ * exactly zero (the touched-set invariant): the skipped terms are
+ * fabs(+0.0) == +0.0 and the accumulator is nonnegative, so adding them
+ * never changes a bit.
+ */
+inline Real
+rowMassOfSparse(const Real *row, const Index *cols, Index count)
+{
+    Real acc = 0.0;
+    for (Index k = 0; k < count; ++k)
+        acc += std::fabs(row[cols[k]]);
+    return acc;
+}
+
+/**
  * Read-stage body for one updated row of L: accumulates the row's
  * contribution to every head's forward dot (chain order: j ascending)
  * and to the interleaved backward lanes (chain order: i ascending at
@@ -42,6 +58,35 @@ readRow(const Real *row, Index n, const Real *wInt, Real *bwInt,
 {
     Real acc[R] = {};
     for (Index j = 0; j < n; ++j) {
+        const Real lij = row[j];
+        const Real *wj = wInt + j * R;
+        Real *bj = bwInt + j * R;
+        for (Index h = 0; h < R; ++h) {
+            acc[h] += lij * wj[h];
+            bj[h] += lij * wv[h];
+        }
+    }
+    for (Index h = 0; h < R; ++h)
+        accOut[h] = acc[h];
+}
+
+/**
+ * Column-sparse readRow: iterates the ascending touched-column list
+ * instead of all N columns. An unlisted column j has row[j] == +0.0
+ * (never written since reset), so its forward terms are +0.0 and its
+ * backward lanes receive += +0.0 — dropping both leaves every
+ * accumulation chain bit-identical to the dense kernel (L entries are
+ * never -0.0 and the weightings are nonnegative, so no chain can sit
+ * at -0.0 when a dropped +0.0 would have flushed it to +0.0).
+ */
+template <Index R>
+inline void
+readRowSparse(const Real *row, const Index *cols, Index count,
+              const Real *wInt, Real *bwInt, const Real *wv, Real *accOut)
+{
+    Real acc[R] = {};
+    for (Index k = 0; k < count; ++k) {
+        const Index j = cols[k];
         const Real lij = row[j];
         const Real *wj = wInt + j * R;
         Real *bj = bwInt + j * R;
@@ -125,6 +170,79 @@ readQuad4(const Real *r0, Index n, const Real *wInt, Real *bwInt,
     _mm256_storeu_pd(accOut[2], a2);
     _mm256_storeu_pd(accOut[3], a3);
 }
+
+/**
+ * Column-sparse four-head specialization: same lanes and rounding as
+ * readRow<4>, with j drawn from the touched-column list. The per-column
+ * loads were already gathered (wInt + 4j), so the indirection adds no
+ * extra memory traffic per visited column.
+ */
+template <>
+inline void
+readRowSparse<4>(const Real *row, const Index *cols, Index count,
+                 const Real *wInt, Real *bwInt, const Real *wv,
+                 Real *accOut)
+{
+    __m256d acc = _mm256_setzero_pd();
+    const __m256d wvv = _mm256_loadu_pd(wv);
+    for (Index k = 0; k < count; ++k) {
+        const Index j = cols[k];
+        const __m256d lij = _mm256_set1_pd(row[j]);
+        acc = _mm256_add_pd(acc,
+                            _mm256_mul_pd(lij, _mm256_loadu_pd(wInt + 4 * j)));
+        _mm256_storeu_pd(
+            bwInt + 4 * j,
+            _mm256_add_pd(_mm256_loadu_pd(bwInt + 4 * j),
+                          _mm256_mul_pd(lij, wvv)));
+    }
+    _mm256_storeu_pd(accOut, acc);
+}
+
+/**
+ * Column-sparse four-head x four-row kernel: readQuad4 walking the
+ * touched-column list. Chain structure and rounding match readQuad4
+ * column for column, so visiting only the (all other columns are
+ * +0.0) touched set is bit-identical.
+ */
+inline void
+readQuad4Sparse(const Real *r0, Index n, const Index *cols, Index count,
+                const Real *wInt, Real *bwInt, const Real *wv0,
+                Real accOut[4][4])
+{
+    const Real *r1 = r0 + n;
+    const Real *r2 = r1 + n;
+    const Real *r3 = r2 + n;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    const __m256d v0 = _mm256_loadu_pd(wv0);
+    const __m256d v1 = _mm256_loadu_pd(wv0 + 4);
+    const __m256d v2 = _mm256_loadu_pd(wv0 + 8);
+    const __m256d v3 = _mm256_loadu_pd(wv0 + 12);
+    for (Index k = 0; k < count; ++k) {
+        const Index j = cols[k];
+        const __m256d wj = _mm256_loadu_pd(wInt + 4 * j);
+        const __m256d l0 = _mm256_set1_pd(r0[j]);
+        const __m256d l1 = _mm256_set1_pd(r1[j]);
+        const __m256d l2 = _mm256_set1_pd(r2[j]);
+        const __m256d l3 = _mm256_set1_pd(r3[j]);
+        a0 = _mm256_add_pd(a0, _mm256_mul_pd(l0, wj));
+        a1 = _mm256_add_pd(a1, _mm256_mul_pd(l1, wj));
+        a2 = _mm256_add_pd(a2, _mm256_mul_pd(l2, wj));
+        a3 = _mm256_add_pd(a3, _mm256_mul_pd(l3, wj));
+        __m256d b = _mm256_loadu_pd(bwInt + 4 * j);
+        b = _mm256_add_pd(b, _mm256_mul_pd(l0, v0));
+        b = _mm256_add_pd(b, _mm256_mul_pd(l1, v1));
+        b = _mm256_add_pd(b, _mm256_mul_pd(l2, v2));
+        b = _mm256_add_pd(b, _mm256_mul_pd(l3, v3));
+        _mm256_storeu_pd(bwInt + 4 * j, b);
+    }
+    _mm256_storeu_pd(accOut[0], a0);
+    _mm256_storeu_pd(accOut[1], a1);
+    _mm256_storeu_pd(accOut[2], a2);
+    _mm256_storeu_pd(accOut[3], a3);
+}
 #endif
 
 } // namespace
@@ -137,18 +255,41 @@ TemporalLinkage::TemporalLinkage(Index slots, Real skipThreshold,
     HIMA_ASSERT(slots_ > 0, "linkage needs at least one slot");
     HIMA_ASSERT(skipThreshold_ >= 0.0, "negative linkage skip threshold");
     activeRows_.reserve(slots_);
+    touched_.assign(slots_, 0);
+    touchedList_.reserve(slots_);
 }
 
 Index
 TemporalLinkage::gatherActiveRows(const Real *writeWeighting)
 {
-    activeRows_.clear(); // keeps the reserved capacity — no alloc
+    activeRows_.clear();  // keeps the reserved capacity — no alloc
+    touchedList_.clear(); // likewise
     const Real t = skipThreshold_;
     const Real *mass = rowMass_.data();
-    for (Index i = 0; i < slots_; ++i)
-        if (denseSweep_ || mass[i] > t || writeWeighting[i] > t)
+    for (Index i = 0; i < slots_; ++i) {
+        const bool writing = writeWeighting[i] > t;
+        if (writing)
+            touched_[i] = 1;
+        if (denseSweep_ || touched_[i])
+            touchedList_.push_back(i);
+        if (denseSweep_ || mass[i] > t || writing)
             activeRows_.push_back(i);
+    }
+    touchedListValid_ = true;
     return static_cast<Index>(activeRows_.size());
+}
+
+const std::vector<Index> &
+TemporalLinkage::touchedSlots() const
+{
+    if (!touchedListValid_) {
+        touchedList_.clear();
+        for (Index i = 0; i < slots_; ++i)
+            if (denseSweep_ || touched_[i])
+                touchedList_.push_back(i);
+        touchedListValid_ = true;
+    }
+    return touchedList_;
 }
 
 void
@@ -162,22 +303,36 @@ TemporalLinkage::updateLinkage(const Vector &writeWeighting,
         scope.emplace(*profiler, Kernel::Linkage);
 
     // L[i][j] <- (1 - w[i] - w[j]) L[i][j] + w[i] p[j], diagonal zeroed,
-    // over the active rows only. An inactive row (mass and write weight
-    // both at or below the threshold) is exactly zero at threshold 0 —
-    // its update computes (1 - 0 - w[j])*0 + 0*p[j] = 0 — so skipping
-    // it is bit-identical; above 0 it is the paper-style approximation.
+    // over the active rows and touched columns only. An inactive row
+    // (mass and write weight both at or below the threshold) is exactly
+    // zero at threshold 0 — its update computes (1 - 0 - w[j])*0 +
+    // 0*p[j] = 0 — and an untouched column j has row[j] == 0 and
+    // p[j] == 0, so its update computes (1 - wi - 0)*0 + wi*0 = 0;
+    // skipping both is bit-identical. Above 0 both skips are the
+    // paper-style approximation.
     const Real *w = writeWeighting.data();
     const Real *p = precedence_.data();
     Real *L = linkage_.data();
     const Index numActive = gatherActiveRows(w);
+    const Index *cols = touchedList_.data();
+    const Index tcount = static_cast<Index>(touchedList_.size());
+    const bool fullCols = tcount == slots_;
     for (Index k = 0; k < numActive; ++k) {
         const Index i = activeRows_[k];
         const Real wi = w[i];
         Real *row = L + i * slots_;
-        for (Index j = 0; j < slots_; ++j)
-            row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+        if (fullCols) {
+            for (Index j = 0; j < slots_; ++j)
+                row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+        } else {
+            for (Index c = 0; c < tcount; ++c) {
+                const Index j = cols[c];
+                row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+            }
+        }
         row[i] = 0.0;
-        rowMass_[i] = rowMassOf(row, slots_);
+        rowMass_[i] = fullCols ? rowMassOf(row, slots_)
+                               : rowMassOfSparse(row, cols, tcount);
     }
 
     if (profiler) {
@@ -188,6 +343,9 @@ TemporalLinkage::updateLinkage(const Vector &writeWeighting,
         const std::uint64_t skipped = slots_ - numActive;
         c.skippedRows += skipped;
         c.skippedOps += skipped * 4 * static_cast<std::uint64_t>(slots_);
+        // Column skips on the rows that were visited.
+        c.skippedOps += static_cast<std::uint64_t>(numActive) * 4 *
+                        (slots_ - tcount);
     }
 }
 
@@ -244,14 +402,19 @@ TemporalLinkage::forwardWeightingInto(const Vector &prevReadWeighting,
     if (profiler)
         scope.emplace(*profiler, Kernel::ForwardBackward);
 
-    // f = L w_prev, sweeping only rows that carry mass. A skipped row's
-    // dot product would be +0.0 exactly at threshold 0 (all entries are
-    // zero); matVecInto's per-row accumulation order is preserved for
-    // the rows that are visited.
+    // f = L w_prev, sweeping only rows that carry mass and, within a
+    // row, only the touched columns. A skipped row's dot product would
+    // be +0.0 exactly at threshold 0 (all entries are zero), and a
+    // skipped column's term is +0.0 (untouched columns are exactly
+    // zero); the surviving per-row accumulation order is matVecInto's.
     f.resize(slots_);
     const Real *pm = linkage_.data();
     const Real *px = prevReadWeighting.data();
     const Real *mass = rowMass_.data();
+    const std::vector<Index> &tl = touchedSlots();
+    const Index *cols = tl.data();
+    const Index tcount = static_cast<Index>(tl.size());
+    const bool fullCols = tcount == slots_;
     const Real t = skipThreshold_;
     Real *py = f.data();
     Index skipped = 0;
@@ -263,8 +426,13 @@ TemporalLinkage::forwardWeightingInto(const Vector &prevReadWeighting,
         }
         const Real *row = pm + r * slots_;
         Real acc = 0.0;
-        for (Index c = 0; c < slots_; ++c)
-            acc += row[c] * px[c];
+        if (fullCols) {
+            for (Index c = 0; c < slots_; ++c)
+                acc += row[c] * px[c];
+        } else {
+            for (Index k = 0; k < tcount; ++k)
+                acc += row[cols[k]] * px[cols[k]];
+        }
         py[r] = acc;
     }
     if (profiler) {
@@ -275,6 +443,8 @@ TemporalLinkage::forwardWeightingInto(const Vector &prevReadWeighting,
         c.skippedRows += skipped;
         c.skippedOps +=
             static_cast<std::uint64_t>(skipped) * slots_;
+        c.skippedOps += static_cast<std::uint64_t>(slots_ - skipped) *
+                        (slots_ - tcount);
     }
 }
 
@@ -291,13 +461,22 @@ TemporalLinkage::backwardWeightingInto(const Vector &prevReadWeighting,
 
     // The hardware path is transpose + mat-vec (Table 1); the functional
     // path fuses them to avoid materializing L^T, and additionally skips
-    // massless rows: a skipped row contributes row[c]*xv = +0.0 to every
-    // accumulator at threshold 0, so dropping it never changes a bit.
-    // Visited rows accumulate in ascending-r order, matTVecInto's order.
+    // massless rows and untouched columns — the column-sparse backward
+    // sweep: instead of scanning each visited row's dense columns, it
+    // scatters into the touched columns only (the transpose of the
+    // active-row structure). A skipped row contributes row[c]*xv = +0.0
+    // to every accumulator at threshold 0 and a skipped column's output
+    // stays the +0.0 it was zero-filled with, so dropping both never
+    // changes a bit. Visited rows accumulate in ascending-r order and
+    // visited columns in ascending-c order, matTVecInto's order.
     b.resize(slots_);
     const Real *pm = linkage_.data();
     const Real *px = prevReadWeighting.data();
     const Real *mass = rowMass_.data();
+    const std::vector<Index> &tl = touchedSlots();
+    const Index *cols = tl.data();
+    const Index tcount = static_cast<Index>(tl.size());
+    const bool fullCols = tcount == slots_;
     const Real t = skipThreshold_;
     Real *py = b.data();
     for (Index c = 0; c < slots_; ++c)
@@ -310,8 +489,13 @@ TemporalLinkage::backwardWeightingInto(const Vector &prevReadWeighting,
         }
         const Real xv = px[r];
         const Real *row = pm + r * slots_;
-        for (Index c = 0; c < slots_; ++c)
-            py[c] += row[c] * xv;
+        if (fullCols) {
+            for (Index c = 0; c < slots_; ++c)
+                py[c] += row[c] * xv;
+        } else {
+            for (Index k = 0; k < tcount; ++k)
+                py[cols[k]] += row[cols[k]] * xv;
+        }
     }
     if (profiler) {
         auto &c = profiler->at(Kernel::ForwardBackward);
@@ -321,6 +505,8 @@ TemporalLinkage::backwardWeightingInto(const Vector &prevReadWeighting,
         c.skippedRows += skipped;
         c.skippedOps +=
             static_cast<std::uint64_t>(skipped) * slots_;
+        c.skippedOps += static_cast<std::uint64_t>(slots_ - skipped) *
+                        (slots_ - tcount);
     }
 }
 
@@ -403,6 +589,15 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
     Real *L = linkage_.data();
     const Index numActive = static_cast<Index>(activeRows_.size());
 
+    // Column-sparse traversal: every inner loop walks the touched
+    // columns (rebuilt by gatherActiveRows just before this call)
+    // instead of all N. When every slot is touched the loops fall back
+    // to the contiguous dense kernels — same order, same bits, no
+    // index indirection.
+    const Index *cols = touchedList_.data();
+    const Index tcount = static_cast<Index>(touchedList_.size());
+    const bool fullCols = tcount == slots_;
+
     // Rows the sweep skips are exactly zero at threshold 0 (treated as
     // zero above it): their forward dots are +0.0 and they contribute
     // nothing to the interleaved backward lanes, so zero-fill the
@@ -438,13 +633,23 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
         // HR.(1): update rows [blockStart, blockEnd) of L, exactly as
         // updateLinkage() does, refreshing each row's mass cache from
         // the finished row (ascending j — restoreState()'s order).
+        // Untouched columns hold +0.0 in row, p and w's touched test,
+        // so iterating only the touched columns is bit-identical.
         for (Index i = blockStart; i < blockEnd; ++i) {
             const Real wi = w[i];
             Real *row = L + i * slots_;
-            for (Index j = 0; j < slots_; ++j)
-                row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+            if (fullCols) {
+                for (Index j = 0; j < slots_; ++j)
+                    row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+            } else {
+                for (Index k = 0; k < tcount; ++k) {
+                    const Index j = cols[k];
+                    row[j] = (1.0 - wi - w[j]) * row[j] + wi * p[j];
+                }
+            }
             row[i] = 0.0;
-            rowMass_[i] = rowMassOf(row, slots_);
+            rowMass_[i] = fullCols ? rowMassOf(row, slots_)
+                                   : rowMassOfSparse(row, cols, tcount);
         }
         const auto t1 = timed ? Clock::now() : Clock::time_point{};
 
@@ -457,8 +662,13 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
         if constexpr (R == 4) {
             if (blockEnd - blockStart == 4) {
                 Real acc[4][4];
-                readQuad4(L + blockStart * slots_, slots_, wInt, bwInt,
-                          wInt + blockStart * 4, acc);
+                if (fullCols)
+                    readQuad4(L + blockStart * slots_, slots_, wInt, bwInt,
+                              wInt + blockStart * 4, acc);
+                else
+                    readQuad4Sparse(L + blockStart * slots_, slots_, cols,
+                                    tcount, wInt, bwInt,
+                                    wInt + blockStart * 4, acc);
                 for (Index k = 0; k < 4; ++k)
                     for (Index h = 0; h < 4; ++h)
                         forward[h][blockStart + k] = acc[k][h];
@@ -478,8 +688,13 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
             const Real *row = L + i * slots_;
             if (R != 0) {
                 Real acc[R == 0 ? 1 : R];
-                readRow<R == 0 ? 1 : R>(row, slots_, wInt, bwInt,
-                                        wInt + i * heads, acc);
+                if (fullCols)
+                    readRow<R == 0 ? 1 : R>(row, slots_, wInt, bwInt,
+                                            wInt + i * heads, acc);
+                else
+                    readRowSparse<R == 0 ? 1 : R>(row, cols, tcount, wInt,
+                                                  bwInt, wInt + i * heads,
+                                                  acc);
                 for (Index h = 0; h < heads; ++h)
                     forward[h][i] = acc[h];
             } else {
@@ -487,9 +702,17 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
                 for (Index h = 0; h < heads; ++h) {
                     const Real hv = wInt[i * heads + h];
                     Real a = 0.0;
-                    for (Index j = 0; j < slots_; ++j) {
-                        a += row[j] * wInt[j * heads + h];
-                        bwInt[j * heads + h] += row[j] * hv;
+                    if (fullCols) {
+                        for (Index j = 0; j < slots_; ++j) {
+                            a += row[j] * wInt[j * heads + h];
+                            bwInt[j * heads + h] += row[j] * hv;
+                        }
+                    } else {
+                        for (Index k = 0; k < tcount; ++k) {
+                            const Index j = cols[k];
+                            a += row[j] * wInt[j * heads + h];
+                            bwInt[j * heads + h] += row[j] * hv;
+                        }
                     }
                     forward[h][i] = a;
                 }
@@ -519,6 +742,8 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
         link.stateMemAccesses += 2 * n2 + 2 * slots_;
         link.skippedRows += skipped;
         link.skippedOps += skipped * 4 * static_cast<std::uint64_t>(slots_);
+        link.skippedOps += static_cast<std::uint64_t>(numActive) * 4 *
+                           (slots_ - tcount);
         auto &fb = profiler->at(Kernel::ForwardBackward);
         fb.invocations += 2 * heads; // mirrors the 2R standalone calls
         fb.nanoseconds += readNs;
@@ -527,6 +752,8 @@ TemporalLinkage::updateAndReadImpl(const Vector &writeWeighting,
         fb.skippedRows += 2 * heads * skipped;
         fb.skippedOps +=
             2 * heads * skipped * static_cast<std::uint64_t>(slots_);
+        fb.skippedOps += 2 * heads * static_cast<std::uint64_t>(numActive) *
+                         (slots_ - tcount);
     }
 }
 
@@ -536,13 +763,39 @@ TemporalLinkage::reset()
     linkage_.fill(0.0);
     precedence_.fill(0.0);
     // Every row is massless again: rows never written after this reset
-    // stay exactly zero and are skipped by every sweep.
+    // stay exactly zero and are skipped by every sweep. The touched set
+    // empties with them — it only ever grows within an episode.
     rowMass_.fill(0.0);
+    std::fill(touched_.begin(), touched_.end(), 0);
+    touchedListValid_ = false;
+}
+
+void
+TemporalLinkage::rebuildMassAndMarkTouched()
+{
+    // The mass rebuild uses the sweep's own ascending-j summation, so a
+    // mid-episode restore makes bit-identical skip decisions to the
+    // undisturbed run it snapshots. Marking every column that holds a
+    // nonzero entry keeps the sweeps' "untouched columns are exactly
+    // zero" invariant even for hand-edited snapshots.
+    for (Index i = 0; i < slots_; ++i) {
+        const Real *row = linkage_.data() + i * slots_;
+        Real acc = 0.0;
+        for (Index j = 0; j < slots_; ++j) {
+            const Real a = std::fabs(row[j]);
+            acc += a;
+            if (a != 0.0)
+                touched_[j] = 1;
+        }
+        rowMass_[i] = acc;
+    }
+    touchedListValid_ = false;
 }
 
 void
 TemporalLinkage::restoreState(const Vector &linkageFlat,
-                              const Vector &precedence)
+                              const Vector &precedence,
+                              const std::vector<Index> &touchedSlots)
 {
     HIMA_ASSERT(linkageFlat.size() == slots_ * slots_,
                 "linkage restore: %zu reals for %zu slots",
@@ -552,11 +805,33 @@ TemporalLinkage::restoreState(const Vector &linkageFlat,
                 precedence.size(), slots_);
     std::copy(linkageFlat.begin(), linkageFlat.end(), linkage_.data());
     std::copy(precedence.begin(), precedence.end(), precedence_.begin());
-    // Rebuild the active-row mass cache from the restored matrix with
-    // the sweep's own per-row summation, so a mid-episode restore makes
-    // bit-identical skip decisions to the undisturbed run it snapshots.
-    for (Index i = 0; i < slots_; ++i)
-        rowMass_[i] = rowMassOf(linkage_.data() + i * slots_, slots_);
+    std::fill(touched_.begin(), touched_.end(), 0);
+    Index prev = 0;
+    for (Index k = 0; k < touchedSlots.size(); ++k) {
+        const Index s = touchedSlots[k];
+        HIMA_ASSERT(s < slots_ && (k == 0 || s > prev),
+                    "touched-slot restore: index %zu out of order or out "
+                    "of range for %zu slots", s, slots_);
+        touched_[s] = 1;
+        prev = s;
+    }
+    rebuildMassAndMarkTouched();
+}
+
+void
+TemporalLinkage::restoreState(const Vector &linkageFlat,
+                              const Vector &precedence)
+{
+    static const std::vector<Index> kNone;
+    restoreState(linkageFlat, precedence, kNone);
+    // Without a snapshotted touched set, slots whose precedence still
+    // carries mass must count as touched: their columns receive
+    // w[i]*p[j] on the very next update. (See the header comment for
+    // the positive-threshold caveat.)
+    for (Index j = 0; j < slots_; ++j)
+        if (precedence_[j] != 0.0)
+            touched_[j] = 1;
+    touchedListValid_ = false;
 }
 
 } // namespace hima

@@ -12,6 +12,9 @@
 #ifndef HIMA_DNC_TEMPORAL_LINKAGE_H
 #define HIMA_DNC_TEMPORAL_LINKAGE_H
 
+#include <cstdint>
+#include <vector>
+
 #include "dnc/kernel_profiler.h"
 #include "common/tensor.h"
 
@@ -30,15 +33,27 @@ namespace hima {
  * nothing to the forward/backward weightings, so every kernel costs
  * O(A*N) instead of O(N^2), with A = active rows.
  *
- * At threshold 0 (default) only exactly-zero rows are skipped and every
- * kernel is bit-identical to the dense sweep (a skipped row would have
- * computed to all zeros and contributed +0.0 everywhere). A positive
- * threshold additionally freezes rows whose mass has decayed below it —
- * the paper-style approximation, quantified by `linkage_skip_sweep` in
- * bench_hot_path. Activity is a pure function of (L, w): restoring a
- * checkpointed matrix rebuilds the cache bit-identically, so a
- * mid-episode restore keeps skip behavior indistinguishable from an
- * undisturbed run at any threshold.
+ * The sweeps are additionally *column*-sparse: the class tracks the
+ * monotone set of slots ever written since the last reset (`touched`
+ * slots — w[j] exceeded the threshold at some step). An untouched slot
+ * j has p[j] == +0.0 and L[i][j] == +0.0 for every i (the update only
+ * ever adds w[i]*p[j] into column j), so the linkage update, the mass
+ * refresh, the forward dots and the backward accumulations all iterate
+ * the touched columns only, making the fused sweep O(A * T) with T =
+ * touched slots instead of O(A * N).
+ *
+ * At threshold 0 (default) only exactly-zero rows/columns are skipped
+ * and every kernel is bit-identical to the dense sweep (a skipped row
+ * or column would have computed to all zeros and contributed +0.0
+ * everywhere). A positive threshold additionally freezes rows whose
+ * mass has decayed below it and drops the sub-threshold precedence
+ * mass of untouched columns — the paper-style approximation,
+ * quantified by `linkage_skip_sweep` in bench_hot_path. Row activity
+ * is a pure function of (L, w) and is rebuilt on restore; the touched
+ * set is *not* derivable from (L, p) at positive thresholds, so
+ * checkpoints carry it explicitly (restoreState takes it back) — that
+ * is what keeps a mid-episode restore's skip behavior indistinguishable
+ * from an undisturbed run at any threshold.
  */
 class TemporalLinkage
 {
@@ -130,6 +145,15 @@ class TemporalLinkage
         return active;
     }
 
+    /**
+     * The monotone touched-slot set: slots whose write weight exceeded
+     * the skip threshold at some step since the last reset (every slot
+     * when the dense escape is on), ascending. This is the column set
+     * every sweep iterates, and the set checkpoints must carry for a
+     * restore to reproduce an undisturbed run at positive thresholds.
+     */
+    const std::vector<Index> &touchedSlots() const;
+
     /** Reset all state to zero (episode boundary). */
     void reset();
 
@@ -140,6 +164,23 @@ class TemporalLinkage
      * uses the same per-row summation order as the sweep's refresh, so
      * a restored run's skip decisions are bit-identical to an
      * undisturbed one at any threshold.
+     *
+     * `touchedSlots` is the snapshotted touched set (strictly
+     * ascending; fatal otherwise). Columns holding nonzero restored
+     * mass are unioned in defensively, so a faithful snapshot restores
+     * exactly and a hand-edited one stays safe.
+     */
+    void restoreState(const Vector &linkageFlat, const Vector &precedence,
+                      const std::vector<Index> &touchedSlots);
+
+    /**
+     * Legacy two-argument restore: derives the touched set as {columns
+     * with nonzero mass} union {slots with nonzero precedence}. At
+     * threshold 0 that is exactly the semantic touched set (modulo
+     * fully-decayed slots, whose handling is bit-identical either way);
+     * at positive thresholds it can over-mark slots whose write weight
+     * never exceeded the threshold — prefer the three-argument form,
+     * which checkpoints use.
      */
     void restoreState(const Vector &linkageFlat, const Vector &precedence);
 
@@ -151,8 +192,19 @@ class TemporalLinkage
                            std::vector<Vector> &backward,
                            KernelProfiler *profiler);
 
-    /** Collect the rows `writeWeighting` makes active into activeRows_. */
+    /**
+     * Collect the rows `writeWeighting` makes active into activeRows_,
+     * fold newly written slots into the touched set, and rebuild
+     * touchedList_ — one O(N) pass per step.
+     */
     Index gatherActiveRows(const Real *writeWeighting);
+
+    /**
+     * Rebuild rowMass_ from the full matrix (restoreState's recompute,
+     * same ascending-j order as the sweeps' refresh) and mark every
+     * column holding a nonzero entry as touched, in one fused pass.
+     */
+    void rebuildMassAndMarkTouched();
 
     Index slots_;
     Real skipThreshold_;
@@ -164,6 +216,14 @@ class TemporalLinkage
     // Active-row scratch for the sweeps, reserved at construction so
     // steady-state steps stay allocation-free.
     std::vector<Index> activeRows_;
+
+    // Monotone touched-slot flags (cleared on reset) and their ascending
+    // index list. The list is rebuilt lazily — the const read kernels
+    // consume it, so it is mutable and revalidated on demand; capacity
+    // is reserved at construction, keeping steady state allocation-free.
+    std::vector<std::uint8_t> touched_;
+    mutable std::vector<Index> touchedList_;
+    mutable bool touchedListValid_ = false;
 
     // Head-interleaved scratch for the fused sweep (slots x R each,
     // grown on first use): lane h of word j holds head h's value for

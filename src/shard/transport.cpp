@@ -686,8 +686,13 @@ shmSlotBytesFor(const DncConfig &shard, Index hostedTiles, Index lanes)
     // CheckpointState / Restore carry full MemoryUnit state per
     // (lane, tile) — memory N*W, linkage N*N, row norms + usage +
     // precedence + write weighting 4N, read weightings R*N — by far
-    // the largest frame the protocol produces.
-    const std::size_t snapshot = 8 * states * (n * w + n * n + (4 + r) * n);
+    // the largest frame the protocol produces. The v6 body adds an
+    // encoding byte and the touched-slot list (worst case 4N + counts);
+    // the sparse encoding is chosen per tile only when byte-smaller
+    // than dense, so the dense size plus that headroom bounds every
+    // frame the encoder can emit.
+    const std::size_t snapshot =
+        states * (8 * (n * w + n * n + (4 + r) * n) + 4 * n + 16);
     // Scatter: one interface vector (+ per-entry framing) per lane, or
     // the span broadcast over hosted tiles.
     const std::size_t iface = 8 * (r * w + 3 * w + 8 * r + 16) + 64;

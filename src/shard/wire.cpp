@@ -1,6 +1,7 @@
 #include "shard/wire.h"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.h"
@@ -67,6 +68,8 @@ WireConfig::fromShard(const DncConfig &shard, Index hostedTiles, Index lanes)
     wc.skimRate = shard.skimRate;
     wc.writeSkipThreshold = shard.writeSkipThreshold;
     wc.linkageSkipThreshold = shard.linkageSkipThreshold;
+    wc.readSkipThreshold = shard.readSkipThreshold;
+    wc.denseSweep = shard.linkageDenseSweep ? 1 : 0;
     return wc;
 }
 
@@ -84,6 +87,8 @@ WireConfig::toShardConfig() const
     cfg.skimRate = skimRate;
     cfg.writeSkipThreshold = writeSkipThreshold;
     cfg.linkageSkipThreshold = linkageSkipThreshold;
+    cfg.readSkipThreshold = readSkipThreshold;
+    cfg.linkageDenseSweep = denseSweep != 0;
     return cfg;
 }
 
@@ -415,6 +420,8 @@ putConfigBody(const WireConfig &config, WireWriter &out)
     out.putReal(config.skimRate);
     out.putReal(config.writeSkipThreshold);
     out.putReal(config.linkageSkipThreshold);
+    out.putReal(config.readSkipThreshold);
+    out.putU8(config.denseSweep);
 }
 
 void
@@ -432,43 +439,167 @@ readConfigBody(WireReader &in, WireConfig &config)
     config.skimRate = in.real();
     config.writeSkipThreshold = in.real();
     config.linkageSkipThreshold = in.real();
+    config.readSkipThreshold = in.real();
+    config.denseSweep = in.u8();
+}
+
+/** True when any of the row's `count` entries is nonzero. This — not
+ * the cached norm — is the sparse-encoding predicate: a row of
+ * denormals can square-underflow to a zero norm while still holding
+ * state, and the same scan on both the live-tile and snapshot encoders
+ * keeps their frames byte-identical. */
+bool
+rowHasNonzero(const Real *row, Index count)
+{
+    for (Index c = 0; c < count; ++c)
+        if (row[c] != 0.0)
+            return true;
+    return false;
 }
 
 /**
- * Tile-state body: a fixed field sequence whose shapes all come from
- * the handshake config, so the wire carries no per-field counts and
- * each field moves as one bulk Real array. CheckpointState encodes
- * straight from a live MemoryUnit, Restore from a MemoryTileState
- * snapshot — byte-identical layouts.
+ * Tile-state body, shared by the live-tile (CheckpointState) and
+ * snapshot (Restore) encoders so their frames are byte-identical for
+ * equal state. Layout: [u8 encoding] [u32 touchedCount] [ascending u32
+ * slots], then the dense v5 field sequence (encoding 0) or the sparse
+ * row-pair sections (encoding 1; rowNorms omitted — the decoder
+ * rebuilds them from the shipped rows). Each tile takes whichever
+ * encoding is byte-smaller, so the dense size bounds every frame (the
+ * shm slot sizing relies on that); `denseSweep` forces dense.
  */
 void
-putTileStateBody(const MemoryUnit &tile, WireWriter &out)
+putStateBodyV6(const Real *mem, const Real *rowNorms, const Real *usage,
+               const Real *link, const Real *prec, const Real *ww,
+               const Real *const *readW, Index n, Index w, Index r,
+               const std::vector<Index> &touched, bool denseSweep,
+               WireWriter &out)
 {
-    const Matrix &mem = tile.memory();
-    out.putRealArray(mem.data(), mem.size());
-    out.putRealArray(tile.rowNorms().data(), tile.rowNorms().size());
-    out.putRealArray(tile.usage().data(), tile.usage().size());
-    const Matrix &link = tile.linkage().linkage();
-    out.putRealArray(link.data(), link.size());
-    out.putRealArray(tile.linkage().precedence().data(),
-                     tile.linkage().precedence().size());
-    out.putRealArray(tile.writeWeighting().data(),
-                     tile.writeWeighting().size());
-    for (const Vector &rw : tile.readWeightings())
-        out.putRealArray(rw.data(), rw.size());
+    Index memRows = 0;
+    Index linkRows = 0;
+    if (!denseSweep) {
+        for (Index i = 0; i < n; ++i)
+            if (rowHasNonzero(mem + i * w, w))
+                ++memRows;
+        for (Index i = 0; i < n; ++i)
+            if (rowHasNonzero(link + i * n, n))
+                ++linkRows;
+    }
+    const std::size_t denseBytes =
+        8 * (static_cast<std::size_t>(n) * w + n + n * static_cast<std::size_t>(n));
+    const std::size_t sparseBytes =
+        8 + memRows * (4 + 8 * static_cast<std::size_t>(w)) +
+        linkRows * (4 + 8 * static_cast<std::size_t>(n));
+    const bool sparse = !denseSweep && sparseBytes < denseBytes;
+
+    out.putU8(sparse ? 1 : 0);
+    out.putU32(static_cast<std::uint32_t>(touched.size()));
+    for (Index s : touched)
+        out.putU32(static_cast<std::uint32_t>(s));
+
+    if (!sparse) {
+        out.putRealArray(mem, n * w);
+        out.putRealArray(rowNorms, n);
+        out.putRealArray(usage, n);
+        out.putRealArray(link, static_cast<std::size_t>(n) * n);
+        out.putRealArray(prec, n);
+        out.putRealArray(ww, n);
+        for (Index h = 0; h < r; ++h)
+            out.putRealArray(readW[h], n);
+        return;
+    }
+
+    out.putU32(static_cast<std::uint32_t>(memRows));
+    for (Index i = 0; i < n; ++i) {
+        if (!rowHasNonzero(mem + i * w, w))
+            continue;
+        out.putU32(static_cast<std::uint32_t>(i));
+        out.putRealArray(mem + i * w, w);
+    }
+    out.putU32(static_cast<std::uint32_t>(linkRows));
+    for (Index i = 0; i < n; ++i) {
+        if (!rowHasNonzero(link + i * n, n))
+            continue;
+        out.putU32(static_cast<std::uint32_t>(i));
+        out.putRealArray(link + i * n, n);
+    }
+    out.putRealArray(usage, n);
+    out.putRealArray(prec, n);
+    out.putRealArray(ww, n);
+    for (Index h = 0; h < r; ++h)
+        out.putRealArray(readW[h], n);
+}
+
+/**
+ * Shape echo for snapshot frames: sparse tile bodies are
+ * variable-length, so decoders need explicit shapes to reject a
+ * mismatched peer instead of misparsing (or accepting) its frames.
+ */
+void
+putShapeEcho(const DncConfig &shard, WireWriter &out)
+{
+    out.putU32(static_cast<std::uint32_t>(shard.memoryRows));
+    out.putU32(static_cast<std::uint32_t>(shard.memoryWidth));
+    out.putU32(static_cast<std::uint32_t>(shard.readHeads));
 }
 
 void
-putSnapshotBody(const MemoryTileState &s, WireWriter &out)
+putTileStateBody(const MemoryUnit &tile, WireWriter &out)
 {
-    out.putRealArray(s.memory.data(), s.memory.size());
-    out.putRealArray(s.rowNorms.data(), s.rowNorms.size());
-    out.putRealArray(s.usage.data(), s.usage.size());
-    out.putRealArray(s.linkage.data(), s.linkage.size());
-    out.putRealArray(s.precedence.data(), s.precedence.size());
-    out.putRealArray(s.writeWeighting.data(), s.writeWeighting.size());
-    for (const Vector &rw : s.readWeightings)
-        out.putRealArray(rw.data(), rw.size());
+    const DncConfig &cfg = tile.config();
+    const Index r = cfg.readHeads;
+    const Real *readW[32]; // readHeads capped at 32 by the handshake
+    HIMA_ASSERT(r <= 32, "readHeads exceeds wire cap");
+    for (Index h = 0; h < r; ++h)
+        readW[h] = tile.readWeightings()[h].data();
+    putStateBodyV6(tile.memory().data(), tile.rowNorms().data(),
+                   tile.usage().data(), tile.linkage().linkage().data(),
+                   tile.linkage().precedence().data(),
+                   tile.writeWeighting().data(), readW, cfg.memoryRows,
+                   cfg.memoryWidth, r, tile.linkage().touchedSlots(),
+                   cfg.linkageDenseSweep, out);
+}
+
+void
+putSnapshotBody(const MemoryTileState &s, const DncConfig &shard,
+                WireWriter &out)
+{
+    const Index r = shard.readHeads;
+    const Real *readW[32];
+    HIMA_ASSERT(r <= 32, "readHeads exceeds wire cap");
+    for (Index h = 0; h < r; ++h)
+        readW[h] = s.readWeightings[h].data();
+    putStateBodyV6(s.memory.data(), s.rowNorms.data(), s.usage.data(),
+                   s.linkage.data(), s.precedence.data(),
+                   s.writeWeighting.data(), readW, shard.memoryRows,
+                   shard.memoryWidth, r, s.touchedSlots,
+                   shard.linkageDenseSweep, out);
+}
+
+/**
+ * Read one ascending-index list section: [u32 count <= n] [u32 x
+ * count, strictly ascending, < n] into `out` (capacity-reusing).
+ * Fail-closed: any violation trips the reader's sticky flag.
+ */
+void
+readAscendingIndices(WireReader &in, Index n, std::vector<Index> &out)
+{
+    const std::uint32_t count = in.u32();
+    out.clear();
+    if (!in.ok() || count > static_cast<std::uint32_t>(n)) {
+        in.fail();
+        return;
+    }
+    std::uint32_t prev = 0;
+    for (std::uint32_t k = 0; k < count; ++k) {
+        const std::uint32_t idx = in.u32();
+        if (!in.ok() || idx >= static_cast<std::uint32_t>(n) ||
+            (k > 0 && idx <= prev)) {
+            in.fail();
+            return;
+        }
+        out.push_back(static_cast<Index>(idx));
+        prev = idx;
+    }
 }
 
 void
@@ -480,10 +611,75 @@ readSnapshotBody(WireReader &in, const DncConfig &shard, MemoryTileState &s)
     // Destinations are sized by the trusted handshake config, never by
     // frame contents; resize reuses capacity in steady state.
     s.sizeFor(shard);
-    in.realArray(s.memory.data(), n * w);
-    in.realArray(s.rowNorms.data(), n);
+    const std::uint8_t enc = in.u8();
+    if (!in.ok() || enc > 1) {
+        in.fail();
+        return;
+    }
+    readAscendingIndices(in, n, s.touchedSlots);
+    if (!in.ok())
+        return;
+
+    if (enc == 0) {
+        in.realArray(s.memory.data(), n * w);
+        in.realArray(s.rowNorms.data(), n);
+        in.realArray(s.usage.data(), n);
+        in.realArray(s.linkage.data(), n * n);
+        in.realArray(s.precedence.data(), n);
+        in.realArray(s.writeWeighting.data(), n);
+        for (Index h = 0; h < r; ++h)
+            in.realArray(s.readWeightings[h].data(), n);
+        return;
+    }
+
+    // Sparse body: zero-fill, scatter the shipped rows, and rebuild the
+    // row-norm cache with the memory write's own summation order
+    // (ascending acc += v*v, then sqrt), so the rebuilt cache is
+    // bit-identical to the live tile's incrementally maintained one.
+    // Row indices are validated strictly ascending and in range before
+    // any row lands; omitted rows are all-zero by the encoder's
+    // nonzero-scan, so their zero norm is exact too.
+    s.memory.fill(0.0);
+    s.rowNorms.fill(0.0);
+    std::uint32_t count = in.u32();
+    if (!in.ok() || count > static_cast<std::uint32_t>(n)) {
+        in.fail();
+        return;
+    }
+    std::uint32_t prev = 0;
+    for (std::uint32_t k = 0; k < count; ++k) {
+        const std::uint32_t idx = in.u32();
+        if (!in.ok() || idx >= static_cast<std::uint32_t>(n) ||
+            (k > 0 && idx <= prev)) {
+            in.fail();
+            return;
+        }
+        Real *row = s.memory.data() + static_cast<std::size_t>(idx) * w;
+        in.realArray(row, w);
+        Real acc = 0.0;
+        for (Index c = 0; c < w; ++c)
+            acc += row[c] * row[c];
+        s.rowNorms[idx] = std::sqrt(acc);
+        prev = idx;
+    }
+    s.linkage.fill(0.0);
+    count = in.u32();
+    if (!in.ok() || count > static_cast<std::uint32_t>(n)) {
+        in.fail();
+        return;
+    }
+    prev = 0;
+    for (std::uint32_t k = 0; k < count; ++k) {
+        const std::uint32_t idx = in.u32();
+        if (!in.ok() || idx >= static_cast<std::uint32_t>(n) ||
+            (k > 0 && idx <= prev)) {
+            in.fail();
+            return;
+        }
+        in.realArray(s.linkage.data() + static_cast<std::size_t>(idx) * n, n);
+        prev = idx;
+    }
     in.realArray(s.usage.data(), n);
-    in.realArray(s.linkage.data(), n * n);
     in.realArray(s.precedence.data(), n);
     in.realArray(s.writeWeighting.data(), n);
     for (Index h = 0; h < r; ++h)
@@ -503,7 +699,16 @@ decodeSnapshotFrame(MsgType type, const std::uint8_t *data,
     const std::uint32_t declared = in.u32();
     if (!in.ok() || declared != count)
         return false;
-    for (Index i = 0; i < count; ++i)
+    // Shape echo: sparse bodies are variable-length, so a shape
+    // mismatch is not detectable from the frame length alone.
+    const std::uint32_t n = in.u32();
+    const std::uint32_t w = in.u32();
+    const std::uint32_t r = in.u32();
+    if (!in.ok() || n != static_cast<std::uint32_t>(shard.memoryRows) ||
+        w != static_cast<std::uint32_t>(shard.memoryWidth) ||
+        r != static_cast<std::uint32_t>(shard.readHeads))
+        return false;
+    for (Index i = 0; i < count && in.ok(); ++i)
         readSnapshotBody(in, shard, *snapshots[i]);
     return in.atEnd();
 }
@@ -690,11 +895,11 @@ encodeCheckpointState(std::uint64_t seq,
                       const std::vector<std::unique_ptr<MemoryUnit>> &tiles,
                       const DncConfig &shard, WireWriter &out)
 {
-    (void)shard; // shapes are implied by the handshake config
     out.clear();
     out.header(MsgType::CheckpointState);
     out.putU64(seq);
     out.putU32(static_cast<std::uint32_t>(tiles.size()));
+    putShapeEcho(shard, out);
     for (const auto &tile : tiles)
         putTileStateBody(*tile, out);
 }
@@ -703,13 +908,13 @@ void
 encodeRestore(std::uint64_t seq, const MemoryTileState *const *snapshots,
               Index count, const DncConfig &shard, WireWriter &out)
 {
-    (void)shard;
     out.clear();
     out.header(MsgType::Restore);
     out.putU64(seq);
     out.putU32(static_cast<std::uint32_t>(count));
+    putShapeEcho(shard, out);
     for (Index i = 0; i < count; ++i)
-        putSnapshotBody(*snapshots[i], out);
+        putSnapshotBody(*snapshots[i], shard, out);
 }
 
 void

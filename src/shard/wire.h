@@ -56,6 +56,25 @@
  * stays fail-closed: a v2 peer is rejected at the header check, counts
  * are validated before any resize, truncation at any byte returns
  * false.
+ *
+ * Version 6 makes checkpoint traffic active-set sparse. Every tile
+ * body now opens with an encoding byte and the linkage's monotone
+ * touched-slot list (the column set the sparse sweeps iterate — not
+ * derivable from the matrix at positive skip thresholds, so it must
+ * ride the frame for a restore to reproduce an undisturbed run).
+ * Encoding 0 is the dense v5 field sequence; encoding 1 ships only the
+ * nonzero memory rows and nonzero linkage rows as (u32 index, row)
+ * pairs and omits the row-norm cache entirely (the decoder rebuilds it
+ * from the shipped rows with the memory write's own summation order,
+ * bit-identically). The encoder picks per tile whichever encoding is
+ * byte-smaller — early-episode snapshots shrink by ~N/A while a
+ * saturated memory falls back to dense, which also bounds the shm slot
+ * size — and `linkageDenseSweep` configs always emit dense frames.
+ * Sparse decoders stay fail-closed: counts are capped by the handshake
+ * shapes, indices must be strictly ascending and in range, the
+ * encoding byte must be known, and truncation anywhere returns false.
+ * The handshake grows the read-stage knobs (readSkipThreshold,
+ * denseSweep) so coordinator and worker agree on the sparse datapath.
  */
 
 #ifndef HIMA_SHARD_WIRE_H
@@ -75,9 +94,9 @@ namespace hima {
 /** Protocol magic ("HM") — first two payload bytes of every message. */
 constexpr std::uint16_t kWireMagic = 0x484D;
 
-/** Protocol version; bumped on any layout change (v5: the telemetry
- * scrape pair StatsPull/StatsReport). */
-constexpr std::uint8_t kWireVersion = 5;
+/** Protocol version; bumped on any layout change (v6: sparse
+ * checkpoint/restore tile bodies + the read-stage handshake knobs). */
+constexpr std::uint8_t kWireVersion = 6;
 
 /** Largest legal payload (guards framing against garbage lengths). */
 constexpr std::uint32_t kWireMaxFrameBytes = 64u << 20;
@@ -141,6 +160,8 @@ struct WireConfig
     Real skimRate = 0.0;
     Real writeSkipThreshold = 0.0;
     Real linkageSkipThreshold = 0.0;
+    Real readSkipThreshold = 0.0;
+    std::uint8_t denseSweep = 0; ///< forces dense sweeps + dense frames
 
     /** Build from a per-shard DncConfig plus the hosted-tile count. */
     static WireConfig fromShard(const DncConfig &shard, Index hostedTiles,
@@ -428,9 +449,23 @@ void encodeCheckpointRequest(std::uint64_t seq, WireWriter &out);
 /**
  * Encode all hosted tile state straight from the worker's lane-major
  * tile array — no intermediate snapshot object, one bulk Real-array
- * append per field. Body layout per tile (shapes from the handshake, so
- * no per-field counts): memory N*W, rowNorms N, usage N, linkage N*N,
- * precedence N, writeWeighting N, readWeightings R*N.
+ * append per field. The body opens with a [u32 N] [u32 W] [u32 R]
+ * shape echo after the tile count: sparse tile bodies are
+ * variable-length (an all-zero tile carries no W-dependent field at
+ * all), so decoders validate the echoed shapes against their own
+ * config instead of inferring a mismatch from frame length.
+ * Body layout per tile: [u8 encoding] [u32
+ * touchedCount] [u32 slot x touchedCount, strictly ascending], then
+ * either the dense field sequence (encoding 0: memory N*W, rowNorms N,
+ * usage N, linkage N*N, precedence N, writeWeighting N, readWeightings
+ * R*N — shapes from the handshake, no per-field counts) or the sparse
+ * one (encoding 1: [u32 memRows] [(u32 row, Real x W) x memRows]
+ * [u32 linkRows] [(u32 row, Real x N) x linkRows], both strictly
+ * ascending and covering exactly the rows holding a nonzero entry,
+ * then dense usage/precedence/writeWeighting/readWeightings — the
+ * row-norm cache is omitted and rebuilt on decode). Each tile uses
+ * whichever encoding is byte-smaller; `shard.linkageDenseSweep` forces
+ * encoding 0.
  */
 void encodeCheckpointState(std::uint64_t seq,
                            const std::vector<std::unique_ptr<MemoryUnit>>

@@ -862,5 +862,166 @@ TEST(Transport, LoopbackInboxRingSurvivesEpisodesAndOutstandingSteps)
               3u);
 }
 
+// --------------------------------------------------------------------
+// v6 sparse checkpoint frames.
+//
+// Frame byte offsets used below (no transport length prefix in the
+// writer buffer): header 4 (magic u16, version u8, type u8), seq u64 at
+// 4, tile count u32 at 12, shape echo N/W/R u32s at 16/20/24, first
+// tile body at 28: [u8 encoding][u32 touchedCount][u32 slots...].
+// --------------------------------------------------------------------
+
+/** One allocation-gated one-hot write (touches exactly one fresh slot). */
+InterfaceVector
+allocIface(const DncConfig &cfg, std::uint64_t seed)
+{
+    InterfaceVector iface = sampleIface(cfg, seed);
+    iface.allocationGate = 1.0;
+    iface.writeGate = 1.0;
+    return iface;
+}
+
+constexpr std::size_t kFirstTileOffset = 28;
+
+TEST(WireV6, SparseEncodingChosenAtEarlyEpisodeStateAndShrinksFrame)
+{
+    const DncConfig cfg = shardCfg();
+    DncConfig denseCfg = cfg;
+    denseCfg.linkageDenseSweep = true;
+
+    std::vector<std::unique_ptr<MemoryUnit>> sparseTiles;
+    std::vector<std::unique_ptr<MemoryUnit>> denseTiles;
+    sparseTiles.push_back(std::make_unique<MemoryUnit>(cfg));
+    denseTiles.push_back(std::make_unique<MemoryUnit>(denseCfg));
+    MemoryReadout out;
+    for (int step = 0; step < 3; ++step) {
+        const InterfaceVector iface = allocIface(cfg, 40 + step);
+        sparseTiles[0]->stepInto(iface, out);
+        denseTiles[0]->stepInto(iface, out);
+    }
+
+    WireWriter sparseFrame, denseFrame;
+    encodeCheckpointState(9, sparseTiles, cfg, sparseFrame);
+    encodeCheckpointState(9, denseTiles, denseCfg, denseFrame);
+
+    // 3 of 16 memory/linkage rows hold mass: sparse must win by bytes;
+    // the dense escape must force encoding 0 regardless.
+    EXPECT_EQ(sparseFrame.buffer()[kFirstTileOffset], 1u);
+    EXPECT_EQ(denseFrame.buffer()[kFirstTileOffset], 0u);
+    EXPECT_LT(sparseFrame.buffer().size(), denseFrame.buffer().size());
+
+    // The sparse frame decodes to the exact captured state (row norms
+    // rebuilt, touched set carried) and restores a bit-exact replica.
+    MemoryTileState decoded;
+    MemoryTileState *slots[] = {&decoded};
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(decodeCheckpointState(sparseFrame.buffer().data(),
+                                      sparseFrame.buffer().size(), cfg,
+                                      slots, 1, seq));
+    EXPECT_EQ(seq, 9u);
+
+    MemoryTileState captured;
+    sparseTiles[0]->captureState(captured);
+    EXPECT_TRUE(decoded.memory == captured.memory);
+    EXPECT_TRUE(decoded.rowNorms == captured.rowNorms);
+    EXPECT_TRUE(decoded.usage == captured.usage);
+    EXPECT_TRUE(decoded.linkage == captured.linkage);
+    EXPECT_TRUE(decoded.precedence == captured.precedence);
+    EXPECT_TRUE(decoded.writeWeighting == captured.writeWeighting);
+    ASSERT_EQ(decoded.readWeightings.size(), captured.readWeightings.size());
+    for (Index h = 0; h < decoded.readWeightings.size(); ++h)
+        EXPECT_TRUE(decoded.readWeightings[h] == captured.readWeightings[h]);
+    EXPECT_EQ(decoded.touchedSlots, captured.touchedSlots);
+
+    MemoryUnit replica(cfg);
+    replica.restoreState(decoded);
+    MemoryReadout a, b;
+    for (int step = 0; step < 4; ++step) {
+        const InterfaceVector iface = sampleIface(cfg, 90 + step);
+        sparseTiles[0]->stepInto(iface, a);
+        replica.stepInto(iface, b);
+        for (Index h = 0; h < cfg.readHeads; ++h)
+            EXPECT_TRUE(a.readVectors[h] == b.readVectors[h])
+                << "head " << h << " step " << step;
+        EXPECT_TRUE(a.writeWeighting == b.writeWeighting) << "step " << step;
+    }
+}
+
+TEST(WireV6, DenseEncodingFallsBackOnceActiveSetIsLarge)
+{
+    const DncConfig cfg = shardCfg();
+    std::vector<std::unique_ptr<MemoryUnit>> tiles;
+    tiles.push_back(std::make_unique<MemoryUnit>(cfg));
+    MemoryReadout out;
+    // Soft writes touch every row: per-row index overhead makes the
+    // sparse encoding larger, so the encoder must pick dense.
+    for (int step = 0; step < 4; ++step)
+        tiles[0]->stepInto(sampleIface(cfg, 60 + step), out);
+
+    WireWriter frame;
+    encodeCheckpointState(3, tiles, cfg, frame);
+    EXPECT_EQ(frame.buffer()[kFirstTileOffset], 0u);
+
+    MemoryTileState decoded;
+    MemoryTileState *slots[] = {&decoded};
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(decodeCheckpointState(frame.buffer().data(),
+                                      frame.buffer().size(), cfg, slots, 1,
+                                      seq));
+    MemoryTileState captured;
+    tiles[0]->captureState(captured);
+    EXPECT_TRUE(decoded.memory == captured.memory);
+    EXPECT_TRUE(decoded.rowNorms == captured.rowNorms);
+    EXPECT_EQ(decoded.touchedSlots, captured.touchedSlots);
+}
+
+TEST(WireV6Malformed, SparseFrameValidationFailsClosed)
+{
+    const DncConfig cfg = shardCfg();
+    std::vector<std::unique_ptr<MemoryUnit>> tiles;
+    tiles.push_back(std::make_unique<MemoryUnit>(cfg));
+    MemoryReadout out;
+    for (int step = 0; step < 3; ++step)
+        tiles[0]->stepInto(allocIface(cfg, 40 + step), out);
+
+    WireWriter w;
+    encodeCheckpointState(7, tiles, cfg, w);
+    ASSERT_EQ(w.buffer()[kFirstTileOffset], 1u) << "sparse frame expected";
+
+    MemoryTileState snap;
+    MemoryTileState *slots[] = {&snap};
+    std::uint64_t seq = 0;
+    ASSERT_TRUE(decodeCheckpointState(w.buffer().data(), w.buffer().size(),
+                                      cfg, slots, 1, seq));
+
+    // Unknown encoding byte.
+    std::vector<std::uint8_t> frame = w.buffer();
+    frame[kFirstTileOffset] = 2;
+    EXPECT_FALSE(decodeCheckpointState(frame.data(), frame.size(), cfg,
+                                       slots, 1, seq));
+
+    // Touched-slot index out of range (low byte of the first u32 slot).
+    frame = w.buffer();
+    frame[kFirstTileOffset + 5] = 0xFF;
+    EXPECT_FALSE(decodeCheckpointState(frame.data(), frame.size(), cfg,
+                                       slots, 1, seq));
+
+    // Non-ascending touched list: overwrite the second slot with the
+    // first (strictly-ascending check must reject equality too).
+    frame = w.buffer();
+    for (int i = 0; i < 4; ++i)
+        frame[kFirstTileOffset + 9 + i] = frame[kFirstTileOffset + 5 + i];
+    EXPECT_FALSE(decodeCheckpointState(frame.data(), frame.size(), cfg,
+                                       slots, 1, seq));
+
+    // Shape-echo mismatch (memory width at offset 20): sparse bodies are
+    // variable-length, so this is the check that keeps a mismatched
+    // peer's frames out even when the byte count happens to line up.
+    frame = w.buffer();
+    frame[20] ^= 0x01;
+    EXPECT_FALSE(decodeCheckpointState(frame.data(), frame.size(), cfg,
+                                       slots, 1, seq));
+}
+
 } // namespace
 } // namespace hima
